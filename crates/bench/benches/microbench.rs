@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the hot paths underlying the paper's
+//! evaluation: the cryptographic primitives used by the enclaves, path and
+//! payload encryption, wire serialization, enclave transitions, data-tree
+//! operations, and one end-to-end secure request.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use jute::records::{CreateMode, CreateRequest, GetDataRequest, RequestHeader};
+use jute::{OpCode, Request};
+use securekeeper::integration::{secure_cluster, SecureKeeperConfig};
+use securekeeper::path_crypto::PathCipher;
+use securekeeper::payload_crypto::{PayloadCipher, SequentialFlag};
+use securekeeper::SecureKeeperClient;
+use sgx_sim::{EnclaveBuilder, Epc};
+use zkcrypto::gcm::AesGcm128;
+use zkcrypto::keys::{Key128, StorageKey};
+use zkcrypto::sha256::Sha256;
+use zkserver::client::share;
+use zkserver::{DataTree, ZkCluster, ZkClient};
+
+fn bench_crypto_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zkcrypto");
+    let cipher = AesGcm128::new(&Key128::from_bytes([7u8; 16]));
+    for &size in &[64usize, 1024, 4096] {
+        let payload = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("aes_gcm_seal", size), &payload, |b, payload| {
+            b.iter(|| cipher.seal(&[1u8; 12], payload, b""))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &payload, |b, payload| {
+            b.iter(|| Sha256::digest(payload))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_and_payload_encryption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("securekeeper_storage_crypto");
+    let storage = StorageKey::derive_from_label("bench");
+    let path_cipher = PathCipher::new(&storage);
+    let payload_cipher = PayloadCipher::new(&storage);
+    let deep_path = "/app/region-eu/service-payments/instance-0042/config";
+
+    group.bench_function("encrypt_path_depth5", |b| b.iter(|| path_cipher.encrypt_path(deep_path).unwrap()));
+    let encrypted = path_cipher.encrypt_path(deep_path).unwrap();
+    group.bench_function("decrypt_path_depth5", |b| b.iter(|| path_cipher.decrypt_path(&encrypted).unwrap()));
+
+    for &size in &[128usize, 1024, 4096] {
+        let payload = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal_payload", size), &payload, |b, payload| {
+            b.iter(|| payload_cipher.seal(deep_path, payload, SequentialFlag::Regular))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jute");
+    let request = Request::Create(CreateRequest {
+        path: "/app/config/database".to_string(),
+        data: vec![0u8; 1024],
+        mode: CreateMode::Persistent,
+    });
+    let header = RequestHeader { xid: 7, op: OpCode::Create };
+    group.bench_function("serialize_create_1k", |b| b.iter(|| request.to_bytes(&header)));
+    let bytes = request.to_bytes(&header);
+    group.bench_function("deserialize_create_1k", |b| b.iter(|| Request::from_bytes(&bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_enclave_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgx_sim");
+    let epc = Epc::new();
+    let enclave = EnclaveBuilder::new(b"bench enclave".to_vec()).build(&epc).unwrap();
+    group.bench_function("ecall_roundtrip_accounting", |b| {
+        b.iter(|| enclave.ecall(1024, 1024, || Ok::<_, sgx_sim::SgxError>(())).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_datatree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zkserver_datatree");
+    let mut tree = DataTree::new();
+    tree.create("/bench", Vec::new(), 0, 1, 0).unwrap();
+    for i in 0..1000 {
+        tree.create(&format!("/bench/node-{i:04}"), vec![0u8; 256], 0, i + 2, 0).unwrap();
+    }
+    group.bench_function("get_data", |b| b.iter(|| tree.get_data("/bench/node-0500").unwrap()));
+    group.bench_function("get_children_1000", |b| b.iter(|| tree.get_children("/bench").unwrap()));
+    let mut version = 0;
+    group.bench_function("set_data", |b| {
+        b.iter(|| {
+            version += 1;
+            tree.set_data("/bench/node-0500", vec![0u8; 256], -1, version, 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.measurement_time(Duration::from_secs(3));
+
+    // Vanilla ZooKeeper request path.
+    let vanilla_cluster = share(ZkCluster::new(3));
+    let vanilla_replica = vanilla_cluster.lock().replica_ids()[0];
+    let vanilla = ZkClient::connect(&vanilla_cluster, vanilla_replica).unwrap();
+    vanilla.create("/bench", vec![0u8; 1024], CreateMode::Persistent).unwrap();
+    group.bench_function("vanilla_get_1k", |b| b.iter(|| vanilla.get_data("/bench", false).unwrap()));
+    group.bench_function("vanilla_set_1k", |b| b.iter(|| vanilla.set_data("/bench", vec![1u8; 1024], -1).unwrap()));
+
+    // SecureKeeper request path (transport + enclave + storage crypto).
+    let config = SecureKeeperConfig::with_label("criterion");
+    let (sk_cluster, handles) = secure_cluster(3, &config);
+    let sk_replica = sk_cluster.lock().replica_ids()[0];
+    let secure = SecureKeeperClient::connect(&sk_cluster, &handles, sk_replica).unwrap();
+    secure.create("/bench", vec![0u8; 1024], CreateMode::Persistent).unwrap();
+    group.bench_function("securekeeper_get_1k", |b| b.iter(|| secure.get_data("/bench", false).unwrap()));
+    group.bench_function("securekeeper_set_1k", |b| b.iter(|| secure.set_data("/bench", vec![1u8; 1024], -1).unwrap()));
+
+    // The serialized-request path that exercises the interceptor directly.
+    let request = Request::GetData(GetDataRequest { path: "/bench".to_string(), watch: false });
+    group.bench_function("vanilla_serialized_get", |b| {
+        let session = vanilla_cluster.lock().connect_default(vanilla_replica).unwrap().session_id;
+        b.iter(|| {
+            let bytes = zkserver::ZkReplica::serialize_request(1, &request);
+            vanilla_cluster.lock().submit_serialized(session, bytes).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets =
+        bench_crypto_primitives,
+        bench_path_and_payload_encryption,
+        bench_jute,
+        bench_enclave_transitions,
+        bench_datatree,
+        bench_end_to_end_requests
+}
+criterion_main!(benches);

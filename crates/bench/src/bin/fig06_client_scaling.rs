@@ -1,0 +1,41 @@
+//! Figure 6: throughput of the 70:30 GET/SET mix (1 KiB payload) as the number
+//! of client threads grows — synchronous (6a) and asynchronous (6b).
+
+use workload::costmodel::ServiceCostModel;
+use workload::metrics::{Figure, Series};
+use workload::variant::{RequestMode, Variant};
+
+fn main() {
+    bench::print_header(
+        "Figure 6 — throughput of the 70:30 mix vs number of client threads",
+        "paper §6.1, Figures 6a/6b: sync saturates around 300 threads, async around 5",
+    );
+    let model = ServiceCostModel::default();
+    let mix = ServiceCostModel::paper_mix();
+
+    let mut sync_figure = Figure::new("Figure 6a — synchronous requests", "Client Threads", "Requests/s");
+    for variant in Variant::all() {
+        let mut series = Series::new(variant.label());
+        for clients in [1usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            series.push(
+                clients as f64,
+                model.mixed_throughput_rps(variant, &mix, 1024, RequestMode::Synchronous, clients),
+            );
+        }
+        sync_figure.add(series);
+    }
+    bench::print_figure(&sync_figure);
+
+    let mut async_figure = Figure::new("Figure 6b — asynchronous requests", "Client Threads", "Requests/s");
+    for variant in Variant::all() {
+        let mut series = Series::new(variant.label());
+        for clients in 2usize..=16 {
+            series.push(
+                clients as f64,
+                model.mixed_throughput_rps(variant, &mix, 1024, RequestMode::Asynchronous, clients),
+            );
+        }
+        async_figure.add(series);
+    }
+    bench::print_figure(&async_figure);
+}

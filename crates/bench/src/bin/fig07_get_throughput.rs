@@ -1,0 +1,16 @@
+//! Figure 7: GET throughput versus payload size, synchronous and asynchronous.
+
+use workload::variant::{OpKind, RequestMode};
+
+fn main() {
+    bench::print_header(
+        "Figure 7 — throughput of sync. and async. GET requests",
+        "paper §6.2, Figure 7",
+    );
+    let figure = bench::throughput_vs_payload_figure(
+        "Figure 7 — GET throughput vs payload",
+        OpKind::Get,
+        &[RequestMode::Synchronous, RequestMode::Asynchronous],
+    );
+    bench::print_figure(&figure);
+}

@@ -1,0 +1,16 @@
+//! Figure 8: SET throughput versus payload size, synchronous and asynchronous.
+
+use workload::variant::{OpKind, RequestMode};
+
+fn main() {
+    bench::print_header(
+        "Figure 8 — throughput of sync. and async. SET requests",
+        "paper §6.2, Figure 8",
+    );
+    let figure = bench::throughput_vs_payload_figure(
+        "Figure 8 — SET throughput vs payload",
+        OpKind::Set,
+        &[RequestMode::Synchronous, RequestMode::Asynchronous],
+    );
+    bench::print_figure(&figure);
+}

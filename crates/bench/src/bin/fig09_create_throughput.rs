@@ -1,0 +1,42 @@
+//! Figure 9: CREATE throughput (regular and sequential znodes) versus payload
+//! size — sequential creates additionally pass through the counter enclave on
+//! the leader.
+
+use workload::costmodel::ServiceCostModel;
+use workload::metrics::{Figure, Series};
+use workload::variant::{OpKind, RequestMode, Variant};
+
+fn main() {
+    bench::print_header(
+        "Figure 9 — throughput of CREATE requests (regular and sequential)",
+        "paper §6.2, Figures 9a/9b",
+    );
+    let model = ServiceCostModel::default();
+    for (caption, mode, clients) in [
+        ("Figure 9a — synchronous requests", RequestMode::Synchronous, 300usize),
+        ("Figure 9b — asynchronous requests", RequestMode::Asynchronous, 5usize),
+    ] {
+        let mut figure = Figure::new(caption, "Payload [Byte]", "Requests/s");
+        for variant in Variant::all() {
+            let mut series = Series::new(variant.label());
+            for &payload in &bench::payload_sweep() {
+                series.push(
+                    payload as f64,
+                    model.throughput_rps(variant, OpKind::Create, payload, mode, clients),
+                );
+            }
+            figure.add(series);
+            if variant == Variant::SecureKeeper {
+                let mut seq = Series::new("SecureKeeper (seq.)");
+                for &payload in &bench::payload_sweep() {
+                    seq.push(
+                        payload as f64,
+                        model.throughput_rps(variant, OpKind::CreateSequential, payload, mode, clients),
+                    );
+                }
+                figure.add(seq);
+            }
+        }
+        bench::print_figure(&figure);
+    }
+}

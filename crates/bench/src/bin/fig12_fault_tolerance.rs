@@ -1,0 +1,30 @@
+//! Figure 12: throughput over time while a replica fails — leader failure
+//! (12a, with an election outage) and follower failure (12b).
+
+use workload::costmodel::ServiceCostModel;
+use workload::faults::{FaultExperiment, FaultKind};
+use workload::metrics::Figure;
+use workload::variant::Variant;
+
+fn main() {
+    bench::print_header(
+        "Figure 12 — fault-tolerance behaviour of the ZooKeeper variants",
+        "paper §6.3, Figures 12a/12b: leader failure causes a short outage, follower failure only a capacity drop",
+    );
+    let model = ServiceCostModel::default();
+    for (caption, fault) in [
+        ("Figure 12a — leader failure", FaultKind::Leader),
+        ("Figure 12b — follower failure", FaultKind::Follower),
+    ] {
+        let experiment = FaultExperiment { fault, ..FaultExperiment::default() };
+        let mut figure = Figure::new(caption, "Time [s]", "Requests/s");
+        for variant in Variant::all() {
+            figure.add(experiment.timeline(&model, variant));
+        }
+        bench::print_figure(&figure);
+        println!(
+            "steady-state throughput after the fault: {:.0}% of the pre-fault level\n",
+            experiment.expected_degradation(&model, Variant::SecureKeeper) * 100.0
+        );
+    }
+}

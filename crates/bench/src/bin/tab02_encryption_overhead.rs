@@ -1,0 +1,40 @@
+//! Table 2: how transport, path and payload encryption change message lengths,
+//! measured with the real ciphers of the `securekeeper` crate.
+
+use workload::report::EncryptionOverheadReport;
+
+fn main() {
+    bench::print_header(
+        "Table 2 — comparison of encryption overhead",
+        "paper §6.2, Table 2: transport adds a constant, paths grow per chunk (~33% Base64 + IV/MAC), payloads grow by a constant",
+    );
+    println!(
+        "{:>6} {:>9} {:>12} {:>14} {:>16} {:>18} {:>12}",
+        "depth", "payload", "plain path", "cipher path", "plain request", "storage request", "tls request"
+    );
+    for depth in [1usize, 2, 3, 5] {
+        for payload in [0usize, 128, 1024, 4096] {
+            let report = EncryptionOverheadReport::measure(depth, payload);
+            println!(
+                "{:>6} {:>9} {:>12} {:>14} {:>16} {:>18} {:>12}",
+                depth,
+                payload,
+                report.plain_path_len,
+                report.encrypted_path_len,
+                report.plain_request_len,
+                report.storage_encrypted_request_len,
+                report.transport_encrypted_request_len,
+            );
+        }
+    }
+    let reference = EncryptionOverheadReport::measure(3, 1024);
+    println!();
+    println!("constant per-payload storage overhead: {} bytes (IV + tag + path hash + flag)", reference.payload_overhead);
+    println!("constant per-frame transport overhead: {} bytes (AES-GCM tag)", reference.transport_overhead);
+    println!("path growth factor at depth 3: x{:.2}", reference.path_growth_factor());
+    println!();
+    println!("qualitative summary (paper Table 2):");
+    println!("  transport  | request: -tag -IV      | response: +tag +IV");
+    println!("  path       | request: +per-chunk overhead | response: -per-chunk overhead (LS only)");
+    println!("  payload    | request: +tag +IV +hash | response: -tag -IV -hash");
+}

@@ -1,0 +1,393 @@
+//! The SecureKeeper client library.
+//!
+//! Offers the same typed API as [`zkserver::ZkClient`], but every message is
+//! serialized, transport-encrypted with the per-session key shared with the
+//! entry enclave, and sent down the byte-level path of the cluster — so the
+//! client code of an application needs no changes beyond swapping the client
+//! type (the paper reports fewer than 100 added lines on the client side).
+
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+use jute::records::{
+    CreateMode, CreateRequest, DeleteRequest, ErrorCode, ExistsRequest, GetChildrenRequest,
+    GetDataRequest, RequestHeader, SetDataRequest, Stat,
+};
+use jute::{Request, Response};
+use zab::NodeId;
+use zkcrypto::keys::SessionKey;
+use zkserver::client::SharedCluster;
+use zkserver::ops::error_from_code;
+use zkserver::watch::WatchEvent;
+
+use crate::error::SkError;
+use crate::integration::SecureKeeperHandles;
+use crate::transport::TransportChannel;
+
+/// A client session whose traffic is end-to-end protected up to the entry
+/// enclave.
+pub struct SecureKeeperClient {
+    cluster: SharedCluster,
+    session_id: i64,
+    replica: NodeId,
+    transport: TransportChannel,
+    next_xid: AtomicI32,
+    handles: SecureKeeperHandles,
+}
+
+impl std::fmt::Debug for SecureKeeperClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureKeeperClient")
+            .field("session_id", &self.session_id)
+            .field("replica", &self.replica)
+            .finish()
+    }
+}
+
+impl SecureKeeperClient {
+    /// Connects to `replica`, negotiating a fresh session key with its entry
+    /// enclave manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Service`] when the replica is unreachable and
+    /// [`SkError::Enclave`] when no entry enclave could be instantiated.
+    pub fn connect(
+        cluster: &SharedCluster,
+        handles: &SecureKeeperHandles,
+        replica: NodeId,
+    ) -> Result<Self, SkError> {
+        let response = cluster.lock().connect_default(replica)?;
+        let session_key = SessionKey::generate();
+        handles.register_session(replica, response.session_id, &session_key)?;
+        Ok(SecureKeeperClient {
+            cluster: Arc::clone(cluster),
+            session_id: response.session_id,
+            replica,
+            transport: TransportChannel::client_side(&session_key),
+            next_xid: AtomicI32::new(1),
+            handles: handles.clone(),
+        })
+    }
+
+    /// The session id assigned by the cluster.
+    pub fn session_id(&self) -> i64 {
+        self.session_id
+    }
+
+    /// The replica this client is connected to.
+    pub fn replica(&self) -> NodeId {
+        self.replica
+    }
+
+    /// Re-establishes the session on a different replica after a failure.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecureKeeperClient::connect`].
+    pub fn reconnect_to(&mut self, replica: NodeId) -> Result<(), SkError> {
+        let response = self.cluster.lock().connect_default(replica)?;
+        let session_key = SessionKey::generate();
+        self.handles.register_session(replica, response.session_id, &session_key)?;
+        self.session_id = response.session_id;
+        self.replica = replica;
+        self.transport = TransportChannel::client_side(&session_key);
+        self.next_xid.store(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn call(&self, request: &Request) -> Result<Response, SkError> {
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let op = request.op();
+        let bytes = request.to_bytes(&RequestHeader { xid, op });
+        let sealed = self.transport.seal(&bytes);
+        // Enclave-side rejections (tampered or swapped ciphertext in the
+        // untrusted store) reach the untrusted pipeline as opaque marshalling
+        // failures; surface them to the application as what they are.
+        let response_sealed =
+            self.cluster.lock().submit_serialized(self.session_id, sealed).map_err(|err| match err {
+                zkserver::ZkError::Marshalling { ref reason } if reason.contains("integrity violation") => {
+                    SkError::IntegrityViolation { what: reason.clone() }
+                }
+                other => SkError::Service(other),
+            })?;
+        let plain = self.transport.open(&response_sealed)?;
+        let (header, response) = Response::from_bytes(&plain, op)?;
+        if header.xid != xid {
+            return Err(SkError::FifoViolation);
+        }
+        Ok(response)
+    }
+
+    fn unexpected(response: Response) -> SkError {
+        SkError::Malformed { reason: format!("unexpected response {response:?}") }
+    }
+
+    /// Creates a znode; the returned path carries the sequence suffix for
+    /// sequential modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors (`NodeExists`, missing parent, quorum loss)
+    /// and integrity failures.
+    pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, SkError> {
+        let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
+        match self.call(&request)? {
+            Response::Create(create) => Ok(create.path),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Reads a znode's payload (decrypted and binding-verified by the enclave).
+    ///
+    /// # Errors
+    ///
+    /// Returns `NoNode` for missing paths and an integrity violation if the
+    /// untrusted store returned a payload that is not bound to `path`.
+    pub fn get_data(&self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), SkError> {
+        let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::GetData(get) => Ok((get.data, get.stat)),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Overwrites a znode's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns `BadVersion` on a version mismatch and `NoNode` for missing paths.
+    pub fn set_data(&self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, SkError> {
+        let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
+        match self.call(&request)? {
+            Response::SetData(set) => Ok(set.stat),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Deletes a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns `NotEmpty`, `BadVersion` or `NoNode` as appropriate.
+    pub fn delete(&self, path: &str, version: i32) -> Result<(), SkError> {
+        let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
+        match self.call(&request)? {
+            Response::Delete => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Lists the (decrypted) child names of a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns `NoNode` for missing paths.
+    pub fn get_children(&self, path: &str, watch: bool) -> Result<Vec<String>, SkError> {
+        let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::GetChildren(ls) => Ok(ls.children),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Checks whether a znode exists.
+    ///
+    /// # Errors
+    ///
+    /// Only connection-level failures produce errors; a missing node yields
+    /// `Ok(None)`.
+    pub fn exists(&self, path: &str, watch: bool) -> Result<Option<Stat>, SkError> {
+        let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::Exists(exists) => Ok(Some(exists.stat)),
+            Response::Error(code) if code == ErrorCode::NoNode => Ok(None),
+            Response::Error(code) => Err(error_from_code(code, path).into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Sends a keep-alive ping through the secure channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a service error when the session is gone.
+    pub fn ping(&self) -> Result<(), SkError> {
+        match self.call(&Request::Ping)? {
+            Response::Ping => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, "/").into()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Drains watch notifications delivered to this session. Paths in the
+    /// events are the *encrypted* paths stored by the service (watch metadata
+    /// is untrusted); applications typically only use them as wake-up signals.
+    pub fn take_watch_events(&self) -> Vec<WatchEvent> {
+        self.cluster.lock().take_watch_events(self.session_id)
+    }
+
+    /// Closes the session; ephemeral znodes created by it are removed.
+    pub fn close(self) {
+        self.cluster.lock().close_session(self.session_id);
+    }
+}
+
+/// Convenience conversion so applications can treat service errors uniformly.
+impl From<SecureKeeperClient> for i64 {
+    fn from(client: SecureKeeperClient) -> Self {
+        client.session_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integration::{secure_cluster, SecureKeeperConfig};
+    use zkserver::ZkError;
+
+    fn setup() -> (SharedCluster, SecureKeeperHandles) {
+        secure_cluster(3, &SecureKeeperConfig::with_label("client-tests"))
+    }
+
+    fn connect(cluster: &SharedCluster, handles: &SecureKeeperHandles, idx: usize) -> SecureKeeperClient {
+        let replica = cluster.lock().replica_ids()[idx];
+        SecureKeeperClient::connect(cluster, handles, replica).unwrap()
+    }
+
+    #[test]
+    fn crud_cycle_with_confidential_storage() {
+        let (cluster, handles) = setup();
+        let client = connect(&cluster, &handles, 0);
+
+        client.create("/app", b"root".to_vec(), CreateMode::Persistent).unwrap();
+        client.create("/app/db-password", b"hunter2".to_vec(), CreateMode::Persistent).unwrap();
+
+        let (data, stat) = client.get_data("/app/db-password", false).unwrap();
+        assert_eq!(data, b"hunter2");
+        assert_eq!(stat.data_length, 7);
+
+        client.set_data("/app/db-password", b"correct horse".to_vec(), 0).unwrap();
+        let (data, _) = client.get_data("/app/db-password", false).unwrap();
+        assert_eq!(data, b"correct horse");
+
+        assert_eq!(client.get_children("/app", false).unwrap(), vec!["db-password"]);
+        assert!(client.exists("/app/db-password", false).unwrap().is_some());
+        assert!(client.exists("/app/missing", false).unwrap().is_none());
+
+        client.delete("/app/db-password", -1).unwrap();
+        assert!(matches!(
+            client.get_data("/app/db-password", false),
+            Err(SkError::Service(ZkError::NoNode { .. }))
+        ));
+        client.ping().unwrap();
+
+        // Nothing in the untrusted store reveals the plaintext.
+        let guard = cluster.lock();
+        for id in guard.replica_ids() {
+            for path in guard.replica(id).tree().paths() {
+                assert!(!path.contains("app"), "plaintext path leaked: {path}");
+                assert!(!path.contains("db-password"), "plaintext path leaked: {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_client_visibility_with_different_sessions() {
+        // Two clients with different session keys read each other's data —
+        // possible because all entry enclaves share the storage key.
+        let (cluster, handles) = setup();
+        let writer = connect(&cluster, &handles, 0);
+        let reader = connect(&cluster, &handles, 2);
+        writer.create("/shared", b"v".to_vec(), CreateMode::Persistent).unwrap();
+        writer.create("/shared/item", b"cross-client".to_vec(), CreateMode::Persistent).unwrap();
+        let (data, _) = reader.get_data("/shared/item", false).unwrap();
+        assert_eq!(data, b"cross-client");
+        assert_eq!(reader.get_children("/shared", false).unwrap(), vec!["item"]);
+    }
+
+    #[test]
+    fn sequential_nodes_work_end_to_end() {
+        let (cluster, handles) = setup();
+        let client = connect(&cluster, &handles, 0);
+        client.create("/locks", vec![], CreateMode::Persistent).unwrap();
+        let first = client.create("/locks/lock-", b"me".to_vec(), CreateMode::EphemeralSequential).unwrap();
+        let second = client.create("/locks/lock-", b"you".to_vec(), CreateMode::EphemeralSequential).unwrap();
+        assert_eq!(first, "/locks/lock-0000000000");
+        assert_eq!(second, "/locks/lock-0000000001");
+        // The payload of a sequential node is readable under its final name.
+        let (data, _) = client.get_data(&first, false).unwrap();
+        assert_eq!(data, b"me");
+        // The children decrypt to the numbered plaintext names.
+        let children = client.get_children("/locks", false).unwrap();
+        assert_eq!(children, vec!["lock-0000000000", "lock-0000000001"]);
+        // Counter enclaves on the replicas performed the merges.
+        let total_merges: u64 =
+            cluster.lock().replica_ids().iter().map(|&id| handles.counter(id).merges()).sum();
+        assert!(total_merges >= 2);
+    }
+
+    #[test]
+    fn ephemerals_disappear_when_a_secure_client_closes() {
+        let (cluster, handles) = setup();
+        let member = connect(&cluster, &handles, 1);
+        let observer = connect(&cluster, &handles, 0);
+        observer.create("/group", vec![], CreateMode::Persistent).unwrap();
+        member.create("/group/member", vec![], CreateMode::Ephemeral).unwrap();
+        assert_eq!(observer.get_children("/group", false).unwrap().len(), 1);
+        member.close();
+        assert!(observer.get_children("/group", false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn client_survives_leader_failover() {
+        let (cluster, handles) = setup();
+        let survivor_replica = {
+            let guard = cluster.lock();
+            let leader = guard.leader_id();
+            guard.replica_ids().into_iter().find(|&id| id != leader).unwrap()
+        };
+        let client = SecureKeeperClient::connect(&cluster, &handles, survivor_replica).unwrap();
+        client.create("/durable", b"1".to_vec(), CreateMode::Persistent).unwrap();
+        let leader = cluster.lock().leader_id();
+        cluster.lock().crash(leader);
+        // Writes and reads still work through the surviving replica.
+        client.create("/durable/after-failover", b"2".to_vec(), CreateMode::Persistent).unwrap();
+        let (data, _) = client.get_data("/durable/after-failover", false).unwrap();
+        assert_eq!(data, b"2");
+    }
+
+    #[test]
+    fn client_reconnects_to_another_replica_after_crash() {
+        let (cluster, handles) = setup();
+        let (follower, leader) = {
+            let guard = cluster.lock();
+            let leader = guard.leader_id();
+            let follower = guard.replica_ids().into_iter().find(|&id| id != leader).unwrap();
+            (follower, leader)
+        };
+        let mut client = SecureKeeperClient::connect(&cluster, &handles, follower).unwrap();
+        client.create("/persistent", b"x".to_vec(), CreateMode::Persistent).unwrap();
+        cluster.lock().crash(follower);
+        assert!(client.get_data("/persistent", false).is_err());
+        client.reconnect_to(leader).unwrap();
+        let (data, _) = client.get_data("/persistent", false).unwrap();
+        assert_eq!(data, b"x");
+    }
+
+    #[test]
+    fn duplicate_create_maps_to_node_exists() {
+        let (cluster, handles) = setup();
+        let client = connect(&cluster, &handles, 0);
+        client.create("/dup", vec![], CreateMode::Persistent).unwrap();
+        assert!(matches!(
+            client.create("/dup", vec![], CreateMode::Persistent),
+            Err(SkError::Service(ZkError::NodeExists { .. }))
+        ));
+    }
+}

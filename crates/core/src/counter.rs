@@ -1,0 +1,183 @@
+//! The counter enclave (paper Section 4.4).
+//!
+//! Sequential znodes are the one place where ZooKeeper *processes* rather than
+//! merely stores user data: it appends a monotonically increasing number to
+//! the requested znode name. With encrypted path names the untrusted server
+//! cannot do that — the result would be "ciphertext + plaintext digits", which
+//! later path decryption would reject.
+//!
+//! The counter enclave therefore runs on the leader replica (and exists on
+//! every replica, since any follower may become leader) and performs the merge
+//! inside the enclave: decrypt the requested name, append the sequence number
+//! supplied by ZooKeeper, re-encrypt the whole altered path.
+//!
+//! The sequence number itself is untrusted input chosen by the server; the
+//! enclave validates that it is a number but cannot validate its value — this
+//! is the limited naming-attack surface the paper accepts (Section 7.1).
+
+use parking_lot::Mutex;
+
+use sgx_sim::{CostModel, Enclave, EnclaveBuilder, Epc};
+use zkcrypto::keys::StorageKey;
+
+use crate::error::SkError;
+use crate::path_crypto::PathCipher;
+
+/// Stand-in for the compiled counter-enclave image (the paper reports 325 KB).
+const COUNTER_ENCLAVE_IMAGE: &[u8] = b"securekeeper counter enclave image v1";
+
+/// Heap reserved for the counter enclave; it only ever processes paths, so it
+/// is much smaller than the entry enclave (~397 KB total in the paper).
+const COUNTER_ENCLAVE_HEAP: usize = 320 * 1024;
+
+/// The per-replica counter enclave.
+pub struct CounterEnclave {
+    enclave: Enclave,
+    path_cipher: PathCipher,
+    merges: Mutex<u64>,
+}
+
+impl std::fmt::Debug for CounterEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterEnclave")
+            .field("enclave", &self.enclave.id())
+            .field("merges", &*self.merges.lock())
+            .finish()
+    }
+}
+
+impl CounterEnclave {
+    /// Creates the counter enclave for one replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Enclave`] when the EPC cannot hold the enclave.
+    pub fn new(epc: &Epc, storage_key: &StorageKey, cost_model: CostModel) -> Result<Self, SkError> {
+        let enclave = EnclaveBuilder::new(COUNTER_ENCLAVE_IMAGE.to_vec())
+            .heap_bytes(COUNTER_ENCLAVE_HEAP)
+            .stack_bytes(64 * 1024)
+            .threads(1)
+            .cost_model(cost_model)
+            .build(epc)?;
+        Ok(CounterEnclave { enclave, path_cipher: PathCipher::new(storage_key), merges: Mutex::new(0) })
+    }
+
+    /// The underlying simulated enclave (for cost and EPC statistics).
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Number of sequential-node merges performed.
+    pub fn merges(&self) -> u64 {
+        *self.merges.lock()
+    }
+
+    /// `ec_counter`: merges `sequence` into the encrypted path of a sequential
+    /// znode and returns the new encrypted path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::IntegrityViolation`] when the encrypted path cannot
+    /// be decrypted with the storage key (it was forged or corrupted).
+    pub fn merge_sequence(&self, encrypted_path: &str, sequence: u32) -> Result<String, SkError> {
+        let result = self.enclave.ecall(encrypted_path.len(), encrypted_path.len() + 16, || {
+            self.merge_trusted(encrypted_path, sequence)
+                .map_err(|err| sgx_sim::SgxError::EnclaveFault { message: err.to_string() })
+        });
+        match result {
+            Ok(path) => {
+                *self.merges.lock() += 1;
+                Ok(path)
+            }
+            Err(sgx_sim::SgxError::EnclaveFault { message }) => {
+                Err(SkError::IntegrityViolation { what: message })
+            }
+            Err(other) => Err(other.into()),
+        }
+    }
+
+    fn merge_trusted(&self, encrypted_path: &str, sequence: u32) -> Result<String, SkError> {
+        let model = self.enclave.cost_model().clone();
+        self.enclave.charge_ns(
+            model.aes_gcm_ns(encrypted_path.len())
+                + model.base64_ns(encrypted_path.len())
+                + model.sha256_ns(encrypted_path.len()),
+        );
+        let plaintext = self.path_cipher.decrypt_path(encrypted_path)?;
+        let with_sequence = format!("{plaintext}{sequence:010}");
+        let re_encrypted = self.path_cipher.encrypt_path(&with_sequence)?;
+        self.enclave.charge_ns(model.aes_gcm_ns(with_sequence.len()) + model.base64_ns(with_sequence.len()));
+        Ok(re_encrypted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Epc, StorageKey, CounterEnclave, PathCipher) {
+        let epc = Epc::new();
+        let storage = StorageKey::derive_from_label("cluster");
+        let counter = CounterEnclave::new(&epc, &storage, CostModel::default()).unwrap();
+        let cipher = PathCipher::new(&storage);
+        (epc, storage, counter, cipher)
+    }
+
+    #[test]
+    fn merge_appends_number_inside_the_ciphertext() {
+        let (_epc, _storage, counter, cipher) = setup();
+        let encrypted = cipher.encrypt_path("/locks/lock-").unwrap();
+        let merged = counter.merge_sequence(&encrypted, 42).unwrap();
+        assert_ne!(merged, encrypted);
+        assert_eq!(cipher.decrypt_path(&merged).unwrap(), "/locks/lock-0000000042");
+        assert_eq!(counter.merges(), 1);
+        assert!(counter.enclave().stats().ecalls >= 1);
+    }
+
+    #[test]
+    fn merged_path_keeps_the_parent_ciphertext_stable() {
+        // Only the final component changes; the parent chunks stay identical
+        // so the node lands under the correct parent in the untrusted store.
+        let (_epc, _storage, counter, cipher) = setup();
+        let encrypted = cipher.encrypt_path("/app/queue/item-").unwrap();
+        let merged = counter.merge_sequence(&encrypted, 7).unwrap();
+        let original_chunks: Vec<&str> = encrypted[1..].split('/').collect();
+        let merged_chunks: Vec<&str> = merged[1..].split('/').collect();
+        assert_eq!(original_chunks.len(), merged_chunks.len());
+        assert_eq!(original_chunks[..2], merged_chunks[..2]);
+        assert_ne!(original_chunks[2], merged_chunks[2]);
+    }
+
+    #[test]
+    fn forged_paths_are_rejected() {
+        let (_epc, _storage, counter, _cipher) = setup();
+        assert!(counter.merge_sequence("/bm90LXZhbGlk", 1).is_err());
+        let other_cipher = PathCipher::new(&StorageKey::derive_from_label("other-cluster"));
+        let foreign = other_cipher.encrypt_path("/locks/lock-").unwrap();
+        assert!(counter.merge_sequence(&foreign, 1).is_err());
+        assert_eq!(counter.merges(), 0);
+    }
+
+    #[test]
+    fn naming_attack_surface_is_limited_to_the_sequence_number() {
+        // The untrusted server chooses the sequence number: it can forge the
+        // *number*, but it cannot craft an arbitrary name because the prefix
+        // comes from the authenticated ciphertext.
+        let (_epc, _storage, counter, cipher) = setup();
+        let encrypted = cipher.encrypt_path("/locks/lock-").unwrap();
+        let forged = counter.merge_sequence(&encrypted, 999_999_999).unwrap();
+        let plaintext = cipher.decrypt_path(&forged).unwrap();
+        assert!(plaintext.starts_with("/locks/lock-"));
+        assert!(plaintext.ends_with("0999999999"));
+    }
+
+    #[test]
+    fn counter_enclave_is_smaller_than_entry_enclave() {
+        let epc = Epc::new();
+        let storage = StorageKey::derive_from_label("cluster");
+        let counter = CounterEnclave::new(&epc, &storage, CostModel::default()).unwrap();
+        let session = zkcrypto::keys::SessionKey::derive_from_label("c");
+        let entry = crate::entry::EntryEnclave::new(&epc, &storage, &session, CostModel::default()).unwrap();
+        assert!(counter.enclave().elrange_bytes() < entry.enclave().elrange_bytes());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for SecureKeeper operations.
+
+use std::error::Error;
+use std::fmt;
+
+use zkserver::ZkError;
+
+/// Errors produced by SecureKeeper's enclaves and client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkError {
+    /// Decryption or integrity verification failed (wrong key, tampering,
+    /// payload/path binding violation).
+    IntegrityViolation {
+        /// What failed to verify.
+        what: String,
+    },
+    /// The message could not be (de)serialized inside the enclave.
+    Malformed {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The response queue was empty or out of sync with the request stream
+    /// (a violation of ZooKeeper's per-session FIFO guarantee).
+    FifoViolation,
+    /// An error reported by the underlying coordination service.
+    Service(ZkError),
+    /// The enclave infrastructure failed (EPC exhaustion, attestation, ...).
+    Enclave {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkError::IntegrityViolation { what } => write!(f, "integrity violation: {what}"),
+            SkError::Malformed { reason } => write!(f, "malformed message: {reason}"),
+            SkError::FifoViolation => write!(f, "response does not match any pending request"),
+            SkError::Service(err) => write!(f, "service error: {err}"),
+            SkError::Enclave { reason } => write!(f, "enclave error: {reason}"),
+        }
+    }
+}
+
+impl Error for SkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SkError::Service(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ZkError> for SkError {
+    fn from(err: ZkError) -> Self {
+        SkError::Service(err)
+    }
+}
+
+impl From<zkcrypto::CryptoError> for SkError {
+    fn from(err: zkcrypto::CryptoError) -> Self {
+        SkError::IntegrityViolation { what: err.to_string() }
+    }
+}
+
+impl From<jute::JuteError> for SkError {
+    fn from(err: jute::JuteError) -> Self {
+        SkError::Malformed { reason: err.to_string() }
+    }
+}
+
+impl From<sgx_sim::SgxError> for SkError {
+    fn from(err: sgx_sim::SgxError) -> Self {
+        SkError::Enclave { reason: err.to_string() }
+    }
+}
+
+/// Converts a SecureKeeper error into the service-level error the untrusted
+/// pipeline reports to the client (an authentication failure — the untrusted
+/// side learns nothing about *why* the enclave rejected the message).
+impl From<SkError> for ZkError {
+    fn from(err: SkError) -> Self {
+        match err {
+            SkError::Service(inner) => inner,
+            other => ZkError::Marshalling { reason: other.to_string() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_information() {
+        let err: SkError = zkcrypto::CryptoError::AuthenticationFailed.into();
+        assert!(matches!(err, SkError::IntegrityViolation { .. }));
+
+        let err: SkError = jute::JuteError::TrailingBytes { remaining: 1 }.into();
+        assert!(matches!(err, SkError::Malformed { .. }));
+
+        let err: SkError = ZkError::NoQuorum.into();
+        assert!(matches!(err, SkError::Service(ZkError::NoQuorum)));
+
+        let back: ZkError = SkError::FifoViolation.into();
+        assert!(matches!(back, ZkError::Marshalling { .. }));
+
+        let back: ZkError = SkError::Service(ZkError::NoQuorum).into();
+        assert_eq!(back, ZkError::NoQuorum);
+    }
+
+    #[test]
+    fn display_is_lowercase_and_contextual() {
+        let err = SkError::IntegrityViolation { what: "payload binding".into() };
+        assert!(err.to_string().contains("payload binding"));
+        assert!(SkError::FifoViolation.to_string().contains("pending request"));
+    }
+}

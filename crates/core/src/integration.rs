@@ -1,0 +1,320 @@
+//! Minimally invasive integration with the coordination service.
+//!
+//! The paper changes only three lines of ZooKeeper: the request and response
+//! byte buffers are diverted through the entry enclave, and the leader-side
+//! sequential-name computation is diverted through the counter enclave. The
+//! `zkserver` crate exposes exactly those two seams —
+//! [`zkserver::pipeline::RequestInterceptor`] and
+//! [`zkserver::ops::SequentialNamer`] — and this module provides the
+//! SecureKeeper implementations plus [`secure_cluster`], which assembles a
+//! hardened ensemble.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jute::records::OpCode;
+use sgx_sim::{CostModel, Epc};
+use zab::NodeId;
+use zkcrypto::keys::{SessionKey, StorageKey};
+use zkserver::client::{share, SharedCluster};
+use zkserver::ops::{DefaultSequentialNamer, SequentialNamer};
+use zkserver::pipeline::RequestInterceptor;
+use zkserver::{ZkCluster, ZkError, ZkReplica};
+
+use crate::counter::CounterEnclave;
+use crate::entry::EntryEnclave;
+use crate::error::SkError;
+
+/// Cluster-wide SecureKeeper configuration.
+#[derive(Debug, Clone)]
+pub struct SecureKeeperConfig {
+    /// The storage key shared by all entry and counter enclaves.
+    pub storage_key: StorageKey,
+    /// Cost model charged to the enclaves (SGX transition and crypto costs).
+    pub cost_model: CostModel,
+}
+
+impl SecureKeeperConfig {
+    /// Configuration with a freshly generated storage key.
+    pub fn generate() -> Self {
+        SecureKeeperConfig { storage_key: StorageKey::generate(), cost_model: CostModel::default() }
+    }
+
+    /// Deterministic configuration derived from a label (tests, examples).
+    pub fn with_label(label: &str) -> Self {
+        SecureKeeperConfig {
+            storage_key: StorageKey::derive_from_label(label),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// The per-replica SecureKeeper interceptor: owns one entry enclave per
+/// connected session.
+pub struct SecureKeeperInterceptor {
+    epc: Epc,
+    storage_key: StorageKey,
+    cost_model: CostModel,
+    enclaves: Mutex<HashMap<i64, Arc<EntryEnclave>>>,
+}
+
+impl std::fmt::Debug for SecureKeeperInterceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureKeeperInterceptor")
+            .field("entry_enclaves", &self.enclaves.lock().len())
+            .field("epc", &self.epc.usage())
+            .finish()
+    }
+}
+
+impl SecureKeeperInterceptor {
+    /// Creates the interceptor for one replica. All entry enclaves of the
+    /// replica share the replica's EPC.
+    pub fn new(config: &SecureKeeperConfig) -> Self {
+        SecureKeeperInterceptor {
+            epc: Epc::new(),
+            storage_key: config.storage_key.clone(),
+            cost_model: config.cost_model.clone(),
+            enclaves: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The replica's EPC (for memory statistics).
+    pub fn epc(&self) -> &Epc {
+        &self.epc
+    }
+
+    /// Number of entry enclaves currently instantiated.
+    pub fn entry_enclave_count(&self) -> usize {
+        self.enclaves.lock().len()
+    }
+
+    /// Total simulated nanoseconds charged to all entry enclaves so far.
+    pub fn total_simulated_ns(&self) -> f64 {
+        self.enclaves.lock().values().map(|e| e.enclave().simulated_ns()).sum()
+    }
+
+    /// Establishes the per-session secure channel: instantiates an entry
+    /// enclave for `session_id` keyed with `session_key`.
+    ///
+    /// In the real system this happens during the TLS-like handshake that the
+    /// client performs against the enclave after (implicit) attestation; here
+    /// the client library calls it right after `connect`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Enclave`] when the EPC cannot hold another enclave.
+    pub fn register_session(&self, session_id: i64, session_key: &SessionKey) -> Result<(), SkError> {
+        let enclave =
+            EntryEnclave::new(&self.epc, &self.storage_key, session_key, self.cost_model.clone())?;
+        self.enclaves.lock().insert(session_id, Arc::new(enclave));
+        Ok(())
+    }
+
+    fn enclave_for(&self, session_id: i64) -> Result<Arc<EntryEnclave>, ZkError> {
+        self.enclaves.lock().get(&session_id).cloned().ok_or(ZkError::Marshalling {
+            reason: format!("no entry enclave registered for session {session_id}"),
+        })
+    }
+}
+
+impl RequestInterceptor for SecureKeeperInterceptor {
+    fn on_request(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        let enclave = self.enclave_for(session_id)?;
+        enclave.process_request(buffer).map_err(ZkError::from)
+    }
+
+    fn on_response(&self, session_id: i64, _op: OpCode, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        // The operation type is *not* taken from the untrusted caller: the
+        // enclave uses its own FIFO queue, as in the paper.
+        let enclave = self.enclave_for(session_id)?;
+        enclave.process_response(buffer).map_err(ZkError::from)
+    }
+
+    fn on_session_closed(&self, session_id: i64) {
+        if let Some(enclave) = self.enclaves.lock().remove(&session_id) {
+            enclave.enclave().destroy();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "securekeeper-entry-enclave"
+    }
+}
+
+/// The sequential namer backed by the counter enclave.
+pub struct SecureKeeperNamer {
+    counter: Arc<CounterEnclave>,
+    fallback: DefaultSequentialNamer,
+}
+
+impl std::fmt::Debug for SecureKeeperNamer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureKeeperNamer").field("counter", &self.counter).finish()
+    }
+}
+
+impl SecureKeeperNamer {
+    /// Wraps a counter enclave as a [`SequentialNamer`].
+    pub fn new(counter: Arc<CounterEnclave>) -> Self {
+        SecureKeeperNamer { counter, fallback: DefaultSequentialNamer }
+    }
+}
+
+impl SequentialNamer for SecureKeeperNamer {
+    fn name(&self, requested_path: &str, sequence: u32) -> String {
+        // Paths created by SecureKeeper clients are always encrypted; if the
+        // counter enclave rejects the input (e.g. a plaintext path created by
+        // an operator tool directly against the store), fall back to vanilla
+        // naming so the service stays available.
+        match self.counter.merge_sequence(requested_path, sequence) {
+            Ok(path) => path,
+            Err(_) => self.fallback.name(requested_path, sequence),
+        }
+    }
+}
+
+/// Handles to the per-replica SecureKeeper components, needed by clients (to
+/// register their session keys) and by the benchmark harness (to read enclave
+/// statistics).
+#[derive(Debug, Clone)]
+pub struct SecureKeeperHandles {
+    interceptors: HashMap<NodeId, Arc<SecureKeeperInterceptor>>,
+    counters: HashMap<NodeId, Arc<CounterEnclave>>,
+    config: SecureKeeperConfig,
+}
+
+impl SecureKeeperHandles {
+    /// The interceptor (entry-enclave manager) of a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is not part of the cluster.
+    pub fn interceptor(&self, replica: NodeId) -> Arc<SecureKeeperInterceptor> {
+        Arc::clone(&self.interceptors[&replica])
+    }
+
+    /// The counter enclave of a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is not part of the cluster.
+    pub fn counter(&self, replica: NodeId) -> Arc<CounterEnclave> {
+        Arc::clone(&self.counters[&replica])
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SecureKeeperConfig {
+        &self.config
+    }
+
+    /// Registers a client session's transport key with the entry-enclave
+    /// manager of the replica the session is connected to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Enclave`] if the replica is unknown or its EPC is full.
+    pub fn register_session(
+        &self,
+        replica: NodeId,
+        session_id: i64,
+        session_key: &SessionKey,
+    ) -> Result<(), SkError> {
+        let interceptor = self
+            .interceptors
+            .get(&replica)
+            .ok_or_else(|| SkError::Enclave { reason: format!("unknown replica {replica}") })?;
+        interceptor.register_session(session_id, session_key)
+    }
+}
+
+/// Builds a SecureKeeper-hardened ensemble of `size` replicas.
+///
+/// Every replica gets its own EPC, entry-enclave manager and counter enclave;
+/// all of them share the storage key from `config`.
+pub fn secure_cluster(size: usize, config: &SecureKeeperConfig) -> (SharedCluster, SecureKeeperHandles) {
+    let interceptors: Mutex<HashMap<NodeId, Arc<SecureKeeperInterceptor>>> = Mutex::new(HashMap::new());
+    let counters: Mutex<HashMap<NodeId, Arc<CounterEnclave>>> = Mutex::new(HashMap::new());
+
+    let cluster = ZkCluster::with_replica_factory(size, |id| {
+        let interceptor = Arc::new(SecureKeeperInterceptor::new(config));
+        let counter = Arc::new(
+            CounterEnclave::new(interceptor.epc(), &config.storage_key, config.cost_model.clone())
+                .expect("a fresh EPC always fits one counter enclave"),
+        );
+        interceptors.lock().insert(NodeId(id), Arc::clone(&interceptor));
+        counters.lock().insert(NodeId(id), Arc::clone(&counter));
+        ZkReplica::new(id)
+            .with_interceptor(interceptor)
+            .with_namer(Arc::new(SecureKeeperNamer::new(counter)))
+    });
+
+    let handles = SecureKeeperHandles {
+        interceptors: interceptors.into_inner(),
+        counters: counters.into_inner(),
+        config: config.clone(),
+    };
+    (share(cluster), handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secure_cluster_creates_per_replica_components() {
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (cluster, handles) = secure_cluster(3, &config);
+        let ids = cluster.lock().replica_ids();
+        assert_eq!(ids.len(), 3);
+        for id in ids {
+            assert_eq!(handles.interceptor(id).entry_enclave_count(), 0);
+            assert_eq!(handles.counter(id).merges(), 0);
+            // Counter enclave occupies the replica's EPC.
+            assert!(handles.interceptor(id).epc().usage().allocated_bytes > 0);
+        }
+        assert_eq!(handles.config().storage_key, config.storage_key);
+    }
+
+    #[test]
+    fn register_session_creates_an_entry_enclave() {
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (cluster, handles) = secure_cluster(1, &config);
+        let replica = cluster.lock().replica_ids()[0];
+        let key = SessionKey::derive_from_label("c1");
+        handles.register_session(replica, 77, &key).unwrap();
+        assert_eq!(handles.interceptor(replica).entry_enclave_count(), 1);
+        // Closing the session tears the enclave down.
+        handles.interceptor(replica).on_session_closed(77);
+        assert_eq!(handles.interceptor(replica).entry_enclave_count(), 0);
+    }
+
+    #[test]
+    fn requests_without_a_registered_session_are_rejected() {
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (_cluster, handles) = secure_cluster(1, &config);
+        let interceptor = handles.interceptor(NodeId(1));
+        let mut buffer = vec![0u8; 16];
+        assert!(interceptor.on_request(123, &mut buffer).is_err());
+    }
+
+    #[test]
+    fn register_session_on_unknown_replica_fails() {
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (_cluster, handles) = secure_cluster(1, &config);
+        let key = SessionKey::derive_from_label("c1");
+        assert!(handles.register_session(NodeId(99), 1, &key).is_err());
+    }
+
+    #[test]
+    fn namer_falls_back_on_plaintext_paths() {
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (_cluster, handles) = secure_cluster(1, &config);
+        let namer = SecureKeeperNamer::new(handles.counter(NodeId(1)));
+        // A plaintext path (not produced by an entry enclave) falls back to
+        // vanilla naming instead of panicking.
+        assert_eq!(namer.name("/plain/node-", 3), "/plain/node-0000000003");
+    }
+}

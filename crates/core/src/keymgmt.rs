@@ -1,0 +1,192 @@
+//! Deployment, attestation and key management (paper Section 4.5).
+//!
+//! The storage key must reach the entry enclaves without ever being visible to
+//! the untrusted replica software. The paper's bootstrap works as follows:
+//!
+//! 1. the SecureKeeper administrator remotely attests the *first* entry
+//!    enclave started on each replica;
+//! 2. only after a successful attestation does the administrator hand over the
+//!    cluster-wide storage key;
+//! 3. the enclave *seals* the key to the replica's disk, bound to its own
+//!    measurement, so that further entry enclaves on the same replica (which
+//!    share the measurement) can unseal it locally without another round of
+//!    remote attestation.
+//!
+//! This module reproduces that workflow on top of the `sgx-sim` attestation
+//! and sealing primitives.
+
+use sgx_sim::attestation::{AttestationService, Quote, QuotingEnclave};
+use sgx_sim::sealing::{seal, unseal, PlatformSecret, SealedBlob, SealingPolicy};
+use sgx_sim::Enclave;
+use zkcrypto::keys::{Key128, StorageKey};
+
+use crate::error::SkError;
+
+/// The signer identity under which SecureKeeper enclaves are released.
+pub const SECUREKEEPER_SIGNER: &str = "securekeeper-vendor";
+
+/// Persistent, untrusted per-replica storage for the sealed storage key
+/// (stands in for a file on the replica's disk).
+#[derive(Debug, Default, Clone)]
+pub struct ReplicaKeyStore {
+    sealed: Option<SealedBlob>,
+}
+
+impl ReplicaKeyStore {
+    /// An empty key store (fresh replica).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once a sealed key blob has been written.
+    pub fn is_provisioned(&self) -> bool {
+        self.sealed.is_some()
+    }
+
+    /// Raw sealed bytes (what an attacker with disk access sees).
+    pub fn sealed_bytes(&self) -> Option<&[u8]> {
+        self.sealed.as_ref().map(SealedBlob::as_bytes)
+    }
+}
+
+/// Performs the first-boot provisioning of a replica: attest `enclave`, obtain
+/// the storage key from the administrator's `service`, seal it into `store`.
+///
+/// # Errors
+///
+/// Returns [`SkError::Enclave`] when attestation fails (unknown measurement or
+/// forged quote); nothing is written to the store in that case.
+pub fn provision_replica(
+    service: &mut AttestationService,
+    quoting: &QuotingEnclave,
+    platform: &PlatformSecret,
+    enclave: &Enclave,
+    store: &mut ReplicaKeyStore,
+) -> Result<StorageKey, SkError> {
+    let report_data = [0u8; 64];
+    let quote: Quote = quoting.quote(enclave, report_data);
+    let storage_key = service.provision_storage_key(quoting, &quote)?;
+    let blob = seal(
+        platform,
+        &enclave.measurement(),
+        SECUREKEEPER_SIGNER,
+        SealingPolicy::MrEnclave,
+        storage_key.key().as_bytes(),
+    );
+    store.sealed = Some(blob);
+    Ok(storage_key)
+}
+
+/// Recovers the storage key on an already-provisioned replica by unsealing the
+/// stored blob — no remote attestation needed, but only an enclave with the
+/// expected measurement succeeds.
+///
+/// # Errors
+///
+/// Returns [`SkError::Enclave`] when the store is empty or the blob cannot be
+/// unsealed by this enclave identity.
+pub fn obtain_storage_key(
+    platform: &PlatformSecret,
+    enclave: &Enclave,
+    store: &ReplicaKeyStore,
+) -> Result<StorageKey, SkError> {
+    let blob = store
+        .sealed
+        .as_ref()
+        .ok_or_else(|| SkError::Enclave { reason: "replica has not been provisioned".to_string() })?;
+    let bytes = unseal(platform, &enclave.measurement(), SECUREKEEPER_SIGNER, SealingPolicy::MrEnclave, blob)?;
+    if bytes.len() != 16 {
+        return Err(SkError::Enclave { reason: "sealed blob does not contain a 128-bit key".to_string() });
+    }
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&bytes);
+    Ok(StorageKey(Key128::from_bytes(key)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::{EnclaveBuilder, Epc};
+
+    fn entry_enclave(epc: &Epc, image: &[u8]) -> Enclave {
+        EnclaveBuilder::new(image.to_vec()).build(epc).unwrap()
+    }
+
+    #[test]
+    fn full_provisioning_workflow() {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let quoting = QuotingEnclave::new(platform.clone());
+        let enclave = entry_enclave(&epc, b"entry image");
+        let cluster_key = StorageKey::derive_from_label("cluster");
+        let mut service = AttestationService::new(vec![enclave.measurement()], cluster_key.clone());
+        let mut store = ReplicaKeyStore::new();
+
+        // First boot: attestation + sealing.
+        let key = provision_replica(&mut service, &quoting, &platform, &enclave, &mut store).unwrap();
+        assert_eq!(key, cluster_key);
+        assert!(store.is_provisioned());
+        assert_eq!(service.keys_released(), 1);
+
+        // Later enclaves on the same replica unseal locally.
+        let second = entry_enclave(&epc, b"entry image");
+        assert_eq!(second.measurement(), enclave.measurement());
+        let unsealed = obtain_storage_key(&platform, &second, &store).unwrap();
+        assert_eq!(unsealed, cluster_key);
+    }
+
+    #[test]
+    fn rogue_enclave_is_not_provisioned() {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let quoting = QuotingEnclave::new(platform.clone());
+        let genuine = entry_enclave(&epc, b"entry image");
+        let rogue = entry_enclave(&epc, b"malicious image");
+        let mut service =
+            AttestationService::new(vec![genuine.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut store = ReplicaKeyStore::new();
+        let err = provision_replica(&mut service, &quoting, &platform, &rogue, &mut store).unwrap_err();
+        assert!(matches!(err, SkError::Enclave { .. }));
+        assert!(!store.is_provisioned());
+    }
+
+    #[test]
+    fn rogue_enclave_cannot_unseal_a_provisioned_key() {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let quoting = QuotingEnclave::new(platform.clone());
+        let genuine = entry_enclave(&epc, b"entry image");
+        let mut service =
+            AttestationService::new(vec![genuine.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut store = ReplicaKeyStore::new();
+        provision_replica(&mut service, &quoting, &platform, &genuine, &mut store).unwrap();
+
+        let rogue = entry_enclave(&epc, b"malicious image");
+        assert!(obtain_storage_key(&platform, &rogue, &store).is_err());
+    }
+
+    #[test]
+    fn sealed_blob_does_not_leak_the_key() {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let quoting = QuotingEnclave::new(platform.clone());
+        let enclave = entry_enclave(&epc, b"entry image");
+        let cluster_key = StorageKey::derive_from_label("cluster");
+        let mut service = AttestationService::new(vec![enclave.measurement()], cluster_key.clone());
+        let mut store = ReplicaKeyStore::new();
+        provision_replica(&mut service, &quoting, &platform, &enclave, &mut store).unwrap();
+
+        let sealed = store.sealed_bytes().unwrap();
+        let key_bytes = cluster_key.key().as_bytes();
+        assert!(!sealed.windows(key_bytes.len()).any(|window| window == key_bytes));
+    }
+
+    #[test]
+    fn unprovisioned_store_reports_a_clear_error() {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let enclave = entry_enclave(&epc, b"entry image");
+        let err = obtain_storage_key(&platform, &enclave, &ReplicaKeyStore::new()).unwrap_err();
+        assert!(err.to_string().contains("not been provisioned"));
+    }
+}

@@ -1,0 +1,78 @@
+//! # SecureKeeper — confidential ZooKeeper using (simulated) Intel SGX
+//!
+//! This crate is the primary contribution of the reproduced paper:
+//! *SecureKeeper: Confidential ZooKeeper using Intel SGX* (Brenner et al.,
+//! Middleware 2016). It keeps all user-provided ZooKeeper data — znode
+//! **paths** and **payloads** — encrypted whenever it is outside a small
+//! enclave, while the unmodified coordination service (the `zkserver` crate)
+//! continues to operate on the ciphertext as a black box.
+//!
+//! ## Architecture
+//!
+//! * [`entry::EntryEnclave`] — one per connected client, terminates the
+//!   transport encryption (the TLS stand-in, [`transport`]), deserializes the
+//!   request *inside* the enclave, encrypts the sensitive fields with the
+//!   cluster-wide storage key ([`path_crypto`], [`payload_crypto`]), and
+//!   re-serializes the message for the untrusted server. Responses travel the
+//!   same path in reverse. A FIFO queue of pending operations matches
+//!   responses to requests, exactly as in the paper (Section 4.2).
+//! * [`counter::CounterEnclave`] — one per replica, used on the leader when a
+//!   *sequential* znode is created: it decrypts the encrypted name, appends
+//!   the ZooKeeper-assigned sequence number and re-encrypts the whole name
+//!   (Section 4.4).
+//! * [`keymgmt`] — deployment workflow: remote attestation of the first entry
+//!   enclave per replica, provisioning of the storage key, sealing it to the
+//!   replica's disk so later enclaves can unseal it without re-attestation
+//!   (Section 4.5).
+//! * [`integration`] — the minimally invasive glue: a
+//!   [`zkserver::pipeline::RequestInterceptor`] that owns the per-session
+//!   entry enclaves and a [`zkserver::ops::SequentialNamer`] backed by the
+//!   counter enclave, plus [`integration::secure_cluster`] which builds a
+//!   ready-to-use hardened ensemble.
+//! * [`client::SecureKeeperClient`] — the client-side library: same typed API
+//!   as [`zkserver::ZkClient`], but every message is transport-encrypted with
+//!   the per-session key negotiated with the entry enclave.
+//!
+//! ## Example
+//!
+//! ```
+//! use securekeeper::client::SecureKeeperClient;
+//! use securekeeper::integration::{secure_cluster, SecureKeeperConfig};
+//! use jute::records::CreateMode;
+//!
+//! let config = SecureKeeperConfig::with_label("example-cluster");
+//! let (cluster, handles) = secure_cluster(3, &config);
+//! let replica = cluster.lock().replica_ids()[0];
+//! let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+//!
+//! client.create("/app", b"".to_vec(), CreateMode::Persistent).unwrap();
+//! client.create("/app/db-password", b"hunter2".to_vec(), CreateMode::Persistent).unwrap();
+//! let (payload, _) = client.get_data("/app/db-password", false).unwrap();
+//! assert_eq!(payload, b"hunter2");
+//!
+//! // The untrusted store never sees the plaintext path or payload.
+//! let guard = cluster.lock();
+//! let leader = guard.leader_id();
+//! for path in guard.replica(leader).tree().paths() {
+//!     assert!(!path.contains("db-password"));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod counter;
+pub mod entry;
+pub mod error;
+pub mod integration;
+pub mod keymgmt;
+pub mod path_crypto;
+pub mod payload_crypto;
+pub mod transport;
+
+pub use client::SecureKeeperClient;
+pub use counter::CounterEnclave;
+pub use entry::EntryEnclave;
+pub use error::SkError;
+pub use integration::{secure_cluster, SecureKeeperConfig, SecureKeeperHandles};

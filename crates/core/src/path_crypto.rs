@@ -1,0 +1,242 @@
+//! Znode path encryption (paper Section 4.3).
+//!
+//! Path names are sensitive — "in many cases, the pure existence of a certain
+//! path steers processing in a distributed application" — but ZooKeeper must
+//! still be able to operate on them: an encrypted path has to be a valid path
+//! (no `/` or illegal characters inside a component) and the znode hierarchy
+//! must survive encryption so that `getChildren` keeps working.
+//!
+//! SecureKeeper therefore encrypts each path component ("chunk") separately:
+//!
+//! * the IV of a chunk is derived from the SHA-256 hash of the *plaintext*
+//!   path prefix up to and including that chunk, which makes encryption
+//!   deterministic (equal paths encrypt equally, so lookups work) while never
+//!   reusing an IV for different plaintexts;
+//! * the IV and the authentication tag are appended to the ciphertext so that
+//!   a chunk can be decrypted in isolation — required for the LS operation,
+//!   where the enclave only sees child names, not their plaintext prefix;
+//! * the result is Base64-url encoded so it never contains `/`.
+
+use zkcrypto::base64url;
+use zkcrypto::gcm::AesGcm128;
+use zkcrypto::keys::StorageKey;
+use zkcrypto::sha256::Sha256;
+use zkcrypto::{NONCE_LEN, TAG_LEN};
+
+use crate::error::SkError;
+
+/// Encrypts and decrypts znode paths with the cluster storage key.
+#[derive(Debug, Clone)]
+pub struct PathCipher {
+    cipher: AesGcm128,
+}
+
+impl PathCipher {
+    /// Creates a cipher bound to the cluster-wide storage key.
+    pub fn new(storage_key: &StorageKey) -> Self {
+        PathCipher { cipher: AesGcm128::new(storage_key.key()) }
+    }
+
+    /// Derives the 12-byte IV for a chunk from the plaintext path prefix that
+    /// ends with this chunk.
+    fn chunk_iv(plaintext_prefix: &str) -> [u8; NONCE_LEN] {
+        let digest = Sha256::digest(plaintext_prefix.as_bytes());
+        let mut iv = [0u8; NONCE_LEN];
+        iv.copy_from_slice(&digest[..NONCE_LEN]);
+        iv
+    }
+
+    /// Encrypts a single path chunk given the plaintext prefix (including the
+    /// chunk itself) that determines its IV.
+    fn encrypt_chunk(&self, plaintext_prefix: &str, chunk: &str) -> String {
+        let iv = Self::chunk_iv(plaintext_prefix);
+        let sealed = self.cipher.seal(&iv, chunk.as_bytes(), b"securekeeper-path");
+        let mut combined = Vec::with_capacity(NONCE_LEN + sealed.len());
+        combined.extend_from_slice(&iv);
+        combined.extend_from_slice(&sealed);
+        base64url::encode(&combined)
+    }
+
+    /// Decrypts a single encoded chunk (IV is embedded, so no prefix needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::IntegrityViolation`] when the chunk is not valid
+    /// Base64, is too short, or fails authentication.
+    pub fn decrypt_chunk(&self, encoded: &str) -> Result<String, SkError> {
+        let combined = base64url::decode(encoded)?;
+        if combined.len() < NONCE_LEN + TAG_LEN {
+            return Err(SkError::IntegrityViolation { what: format!("path chunk too short: {} bytes", combined.len()) });
+        }
+        let (iv, sealed) = combined.split_at(NONCE_LEN);
+        let plaintext = self.cipher.open(iv, sealed, b"securekeeper-path")?;
+        String::from_utf8(plaintext)
+            .map_err(|_| SkError::IntegrityViolation { what: "path chunk is not utf-8".to_string() })
+    }
+
+    /// Encrypts a full path, component by component.
+    ///
+    /// The root path `/` is not sensitive (it exists in every installation)
+    /// and is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Malformed`] for paths that are not absolute.
+    pub fn encrypt_path(&self, plaintext_path: &str) -> Result<String, SkError> {
+        if plaintext_path == "/" {
+            return Ok("/".to_string());
+        }
+        if !plaintext_path.starts_with('/') {
+            return Err(SkError::Malformed { reason: format!("path must be absolute: {plaintext_path}") });
+        }
+        let mut encrypted = String::new();
+        let mut prefix = String::new();
+        for chunk in plaintext_path[1..].split('/') {
+            prefix.push('/');
+            prefix.push_str(chunk);
+            encrypted.push('/');
+            encrypted.push_str(&self.encrypt_chunk(&prefix, chunk));
+        }
+        Ok(encrypted)
+    }
+
+    /// Decrypts a full encrypted path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::IntegrityViolation`] when any component fails to
+    /// decrypt, and [`SkError::Malformed`] for non-absolute input.
+    pub fn decrypt_path(&self, encrypted_path: &str) -> Result<String, SkError> {
+        if encrypted_path == "/" {
+            return Ok("/".to_string());
+        }
+        if !encrypted_path.starts_with('/') {
+            return Err(SkError::Malformed { reason: format!("path must be absolute: {encrypted_path}") });
+        }
+        let mut plaintext = String::new();
+        for chunk in encrypted_path[1..].split('/') {
+            plaintext.push('/');
+            plaintext.push_str(&self.decrypt_chunk(chunk)?);
+        }
+        Ok(plaintext)
+    }
+
+    /// Size in characters of the encrypted encoding of a `chunk_len`-byte
+    /// component (IV + ciphertext + tag, Base64-url encoded). Used for the
+    /// Table 2 message-size analysis.
+    pub fn encrypted_chunk_len(chunk_len: usize) -> usize {
+        base64url::encoded_len(NONCE_LEN + chunk_len + TAG_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> PathCipher {
+        PathCipher::new(&StorageKey::derive_from_label("test-cluster"))
+    }
+
+    #[test]
+    fn roundtrip_simple_and_nested_paths() {
+        let cipher = cipher();
+        for path in ["/a", "/app/config/database", "/x/y/z/deep/nesting/here", "/"] {
+            let encrypted = cipher.encrypt_path(path).unwrap();
+            assert_eq!(cipher.decrypt_path(&encrypted).unwrap(), path, "{path}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_deterministic_for_lookups() {
+        let cipher = cipher();
+        assert_eq!(
+            cipher.encrypt_path("/app/config").unwrap(),
+            cipher.encrypt_path("/app/config").unwrap()
+        );
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext_and_is_path_safe() {
+        let cipher = cipher();
+        let encrypted = cipher.encrypt_path("/admin-credentials/password").unwrap();
+        assert!(!encrypted.contains("admin"));
+        assert!(!encrypted.contains("password"));
+        // Each component is a valid znode name: no '/', no '='.
+        for chunk in encrypted[1..].split('/') {
+            assert!(!chunk.is_empty());
+            assert!(chunk.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        }
+        // Hierarchy is preserved: same number of components.
+        assert_eq!(encrypted.matches('/').count(), 2);
+    }
+
+    #[test]
+    fn shared_prefix_encrypts_identically() {
+        // Children of the same parent must agree on the parent's ciphertext,
+        // otherwise the tree hierarchy would fall apart.
+        let cipher = cipher();
+        let a = cipher.encrypt_path("/app/one").unwrap();
+        let b = cipher.encrypt_path("/app/two").unwrap();
+        let parent_a = a[1..].split('/').next().unwrap();
+        let parent_b = b[1..].split('/').next().unwrap();
+        assert_eq!(parent_a, parent_b);
+        // But the differing components differ.
+        assert_ne!(a[1..].split('/').nth(1), b[1..].split('/').nth(1));
+    }
+
+    #[test]
+    fn same_name_under_different_parents_encrypts_differently() {
+        // The IV covers the whole prefix, so "config" under /app and under
+        // /other yields different ciphertexts — no cross-tree correlation.
+        let cipher = cipher();
+        let a = cipher.encrypt_path("/app/config").unwrap();
+        let b = cipher.encrypt_path("/other/config").unwrap();
+        assert_ne!(a[1..].split('/').nth(1), b[1..].split('/').nth(1));
+    }
+
+    #[test]
+    fn chunks_decrypt_in_isolation_for_ls() {
+        let cipher = cipher();
+        let encrypted = cipher.encrypt_path("/app/workers/worker-007").unwrap();
+        let last_chunk = encrypted[1..].split('/').nth(2).unwrap();
+        assert_eq!(cipher.decrypt_chunk(last_chunk).unwrap(), "worker-007");
+    }
+
+    #[test]
+    fn tampered_chunks_are_rejected() {
+        let cipher = cipher();
+        let encrypted = cipher.encrypt_path("/app/secret").unwrap();
+        let mut tampered: Vec<char> = encrypted.chars().collect();
+        let last = tampered.len() - 1;
+        tampered[last] = if tampered[last] == 'A' { 'B' } else { 'A' };
+        let tampered: String = tampered.into_iter().collect();
+        assert!(cipher.decrypt_path(&tampered).is_err());
+    }
+
+    #[test]
+    fn wrong_key_cannot_decrypt() {
+        let cipher = cipher();
+        let other = PathCipher::new(&StorageKey::derive_from_label("other-cluster"));
+        let encrypted = cipher.encrypt_path("/app").unwrap();
+        assert!(other.decrypt_path(&encrypted).is_err());
+    }
+
+    #[test]
+    fn garbage_input_is_rejected_not_panicking() {
+        let cipher = cipher();
+        assert!(cipher.decrypt_path("/not-base64!@#").is_err());
+        assert!(cipher.decrypt_path("/c2hvcnQ").is_err()); // valid base64, too short
+        assert!(cipher.decrypt_path("relative").is_err());
+        assert!(cipher.encrypt_path("relative").is_err());
+    }
+
+    #[test]
+    fn encrypted_chunk_len_matches_actual_overhead() {
+        let cipher = cipher();
+        let encrypted = cipher.encrypt_path("/abcdefgh").unwrap();
+        let chunk = &encrypted[1..];
+        assert_eq!(chunk.len(), PathCipher::encrypted_chunk_len(8));
+        // Roughly: (12 + n + 16) * 4/3 — about 33% expansion plus constants.
+        assert!(chunk.len() > 8);
+    }
+}

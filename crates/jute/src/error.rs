@@ -1,0 +1,78 @@
+//! Error type for jute (de)serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding jute-encoded data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JuteError {
+    /// The input ended before the expected number of bytes was available.
+    UnexpectedEof {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A length prefix was negative or implausibly large.
+    InvalidLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length value.
+        length: i64,
+    },
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8 {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// An unknown operation code was encountered.
+    UnknownOpCode {
+        /// The raw opcode value.
+        code: i32,
+    },
+    /// The message was decoded but trailing bytes remain.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for JuteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JuteError::UnexpectedEof { what, needed, remaining } => {
+                write!(f, "unexpected end of input while decoding {what}: need {needed} bytes, {remaining} remain")
+            }
+            JuteError::InvalidLength { what, length } => {
+                write!(f, "invalid length {length} while decoding {what}")
+            }
+            JuteError::InvalidUtf8 { what } => write!(f, "invalid utf-8 while decoding {what}"),
+            JuteError::UnknownOpCode { code } => write!(f, "unknown operation code {code}"),
+            JuteError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoding message")
+            }
+        }
+    }
+}
+
+impl Error for JuteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let err = JuteError::UnexpectedEof { what: "path", needed: 8, remaining: 2 };
+        assert!(err.to_string().contains("path"));
+        assert!(JuteError::UnknownOpCode { code: 99 }.to_string().contains("99"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<JuteError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! Length-prefixed message framing.
+//!
+//! On the wire every ZooKeeper message is preceded by a 4-byte big-endian
+//! length. The simulated network in this workspace exchanges whole frames, so
+//! framing mostly matters for the transport-encryption layer (which operates
+//! on complete frames) and for computing the message-size overheads reported
+//! in Table 2.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::JuteError;
+
+/// Maximum frame size accepted by the decoder (matches the jute field limit).
+pub const MAX_FRAME_LEN: usize = crate::de::MAX_FIELD_LEN;
+
+/// Wraps a message body in a length-prefixed frame.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_i32(body.len() as i32);
+    out.put_slice(body);
+    out.to_vec()
+}
+
+/// Attempts to split one complete frame off the front of `buffer`.
+///
+/// Returns `Ok(None)` when the buffer does not yet contain a complete frame.
+///
+/// # Errors
+///
+/// Returns [`JuteError::InvalidLength`] when the length prefix is negative or
+/// larger than [`MAX_FRAME_LEN`].
+pub fn decode_frame(buffer: &mut BytesMut) -> Result<Option<Vec<u8>>, JuteError> {
+    if buffer.len() < 4 {
+        return Ok(None);
+    }
+    let len = i32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]);
+    if len < 0 || len as usize > MAX_FRAME_LEN {
+        return Err(JuteError::InvalidLength { what: "frame", length: len as i64 });
+    }
+    let len = len as usize;
+    if buffer.len() < 4 + len {
+        return Ok(None);
+    }
+    buffer.advance(4);
+    let body = buffer.split_to(len).to_vec();
+    Ok(Some(body))
+}
+
+/// A streaming frame decoder that accumulates bytes until frames are complete.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buffer: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Drains all frames that are now complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first framing error encountered; the decoder should be
+    /// discarded afterwards (the stream is corrupt).
+    pub fn frames(&mut self) -> Result<Vec<Vec<u8>>, JuteError> {
+        let mut out = Vec::new();
+        while let Some(frame) = decode_frame(&mut self.buffer)? {
+            out.push(frame);
+        }
+        Ok(out)
+    }
+
+    /// Number of buffered bytes that do not yet form a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let framed = encode_frame(b"hello");
+        assert_eq!(framed.len(), 9);
+        let mut buffer = BytesMut::from(&framed[..]);
+        assert_eq!(decode_frame(&mut buffer).unwrap().unwrap(), b"hello");
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_returns_none() {
+        let framed = encode_frame(b"hello world");
+        let mut buffer = BytesMut::from(&framed[..6]);
+        assert_eq!(decode_frame(&mut buffer).unwrap(), None);
+    }
+
+    #[test]
+    fn negative_length_is_rejected() {
+        let mut buffer = BytesMut::from(&(-5i32).to_be_bytes()[..]);
+        assert!(decode_frame(&mut buffer).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buffer = BytesMut::from(&((MAX_FRAME_LEN as i32) + 1).to_be_bytes()[..]);
+        assert!(decode_frame(&mut buffer).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_split_frames() {
+        let mut decoder = FrameDecoder::new();
+        let frame_a = encode_frame(b"first");
+        let frame_b = encode_frame(b"second");
+        let mut stream = frame_a.clone();
+        stream.extend_from_slice(&frame_b);
+
+        decoder.feed(&stream[..3]);
+        assert!(decoder.frames().unwrap().is_empty());
+        decoder.feed(&stream[3..12]);
+        let frames = decoder.frames().unwrap();
+        assert_eq!(frames, vec![b"first".to_vec()]);
+        decoder.feed(&stream[12..]);
+        assert_eq!(decoder.frames().unwrap(), vec![b"second".to_vec()]);
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_body_frames_are_valid() {
+        let framed = encode_frame(b"");
+        let mut buffer = BytesMut::from(&framed[..]);
+        assert_eq!(decode_frame(&mut buffer).unwrap().unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,53 @@
+//! ZooKeeper-style wire protocol ("jute") serialization.
+//!
+//! Apache ZooKeeper serializes requests and responses with the *jute* record
+//! format: big-endian fixed-width integers, length-prefixed byte buffers and
+//! UTF-8 strings, and length-prefixed vectors. SecureKeeper's entry enclave
+//! must (de)serialize these messages inside the enclave in order to encrypt
+//! the sensitive fields — in the original system this accounts for more than
+//! 62% of the trusted code base (Table 3).
+//!
+//! This crate provides:
+//!
+//! * [`ser::OutputArchive`] and [`de::InputArchive`] — the primitive encoders
+//!   and decoders;
+//! * [`records`] — every request and response record used by the paper's six
+//!   operations (GET, SET, CREATE, CREATE sequential, DELETE, LS) plus
+//!   connection handshakes, EXISTS and the `Stat` metadata record;
+//! * [`framing`] — the 4-byte length framing used on the wire;
+//! * [`Request`] and [`Response`] — typed unions over all operations, the
+//!   currency of the rest of the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use jute::records::{CreateMode, CreateRequest, RequestHeader};
+//! use jute::{OpCode, Request};
+//!
+//! let request = Request::Create(CreateRequest {
+//!     path: "/app/config".to_string(),
+//!     data: b"tls=on".to_vec(),
+//!     mode: CreateMode::Persistent,
+//! });
+//! let bytes = request.to_bytes(&RequestHeader { xid: 1, op: OpCode::Create });
+//! let (header, decoded) = Request::from_bytes(&bytes).unwrap();
+//! assert_eq!(header.xid, 1);
+//! assert_eq!(decoded, request);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod error;
+pub mod framing;
+pub mod records;
+pub mod ser;
+
+mod message;
+
+pub use de::InputArchive;
+pub use error::JuteError;
+pub use message::{Request, Response};
+pub use records::OpCode;
+pub use ser::OutputArchive;

@@ -1,0 +1,307 @@
+//! Typed unions over all request and response records.
+//!
+//! The rest of the workspace passes `Request` and `Response` values around;
+//! serialization to the wire format happens at the client boundary and inside
+//! the entry enclave (which must inspect and rewrite serialized messages).
+
+use crate::de::InputArchive;
+use crate::error::JuteError;
+use crate::records::{
+    ConnectRequest, ConnectResponse, CreateRequest, CreateResponse, DeleteRequest, ErrorCode,
+    ExistsRequest, ExistsResponse, GetChildrenRequest, GetChildrenResponse, GetDataRequest,
+    GetDataResponse, OpCode, ReplyHeader, RequestHeader, SetDataRequest, SetDataResponse,
+};
+use crate::ser::OutputArchive;
+
+/// A client request of any supported operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Session establishment.
+    Connect(ConnectRequest),
+    /// CREATE (regular or sequential).
+    Create(CreateRequest),
+    /// DELETE.
+    Delete(DeleteRequest),
+    /// EXISTS.
+    Exists(ExistsRequest),
+    /// GET.
+    GetData(GetDataRequest),
+    /// SET.
+    SetData(SetDataRequest),
+    /// LS.
+    GetChildren(GetChildrenRequest),
+    /// Keep-alive.
+    Ping,
+    /// Session teardown.
+    CloseSession,
+}
+
+impl Request {
+    /// The operation code of this request.
+    pub fn op(&self) -> OpCode {
+        match self {
+            Request::Connect(_) => OpCode::Connect,
+            Request::Create(_) => OpCode::Create,
+            Request::Delete(_) => OpCode::Delete,
+            Request::Exists(_) => OpCode::Exists,
+            Request::GetData(_) => OpCode::GetData,
+            Request::SetData(_) => OpCode::SetData,
+            Request::GetChildren(_) => OpCode::GetChildren,
+            Request::Ping => OpCode::Ping,
+            Request::CloseSession => OpCode::CloseSession,
+        }
+    }
+
+    /// The znode path this request targets, if any.
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            Request::Create(r) => Some(&r.path),
+            Request::Delete(r) => Some(&r.path),
+            Request::Exists(r) => Some(&r.path),
+            Request::GetData(r) => Some(&r.path),
+            Request::SetData(r) => Some(&r.path),
+            Request::GetChildren(r) => Some(&r.path),
+            Request::Connect(_) | Request::Ping | Request::CloseSession => None,
+        }
+    }
+
+    /// Serializes `header` followed by the request body.
+    pub fn to_bytes(&self, header: &RequestHeader) -> Vec<u8> {
+        let mut out = OutputArchive::with_capacity(64);
+        header.serialize(&mut out);
+        match self {
+            Request::Connect(r) => r.serialize(&mut out),
+            Request::Create(r) => r.serialize(&mut out),
+            Request::Delete(r) => r.serialize(&mut out),
+            Request::Exists(r) => r.serialize(&mut out),
+            Request::GetData(r) => r.serialize(&mut out),
+            Request::SetData(r) => r.serialize(&mut out),
+            Request::GetChildren(r) => r.serialize(&mut out),
+            Request::Ping | Request::CloseSession => {}
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a request header and body from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures, including trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(RequestHeader, Request), JuteError> {
+        let mut input = InputArchive::new(bytes);
+        let header = RequestHeader::deserialize(&mut input)?;
+        let request = match header.op {
+            OpCode::Connect => Request::Connect(ConnectRequest::deserialize(&mut input)?),
+            OpCode::Create => Request::Create(CreateRequest::deserialize(&mut input)?),
+            OpCode::Delete => Request::Delete(DeleteRequest::deserialize(&mut input)?),
+            OpCode::Exists => Request::Exists(ExistsRequest::deserialize(&mut input)?),
+            OpCode::GetData => Request::GetData(GetDataRequest::deserialize(&mut input)?),
+            OpCode::SetData => Request::SetData(SetDataRequest::deserialize(&mut input)?),
+            OpCode::GetChildren => Request::GetChildren(GetChildrenRequest::deserialize(&mut input)?),
+            OpCode::Ping => Request::Ping,
+            OpCode::CloseSession => Request::CloseSession,
+        };
+        input.expect_exhausted()?;
+        Ok((header, request))
+    }
+}
+
+/// A server response of any supported operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session establishment succeeded.
+    Connect(ConnectResponse),
+    /// CREATE succeeded.
+    Create(CreateResponse),
+    /// DELETE succeeded.
+    Delete,
+    /// EXISTS result.
+    Exists(ExistsResponse),
+    /// GET result.
+    GetData(GetDataResponse),
+    /// SET result.
+    SetData(SetDataResponse),
+    /// LS result.
+    GetChildren(GetChildrenResponse),
+    /// Keep-alive acknowledgement.
+    Ping,
+    /// Session closed.
+    CloseSession,
+    /// The operation failed with the given error code.
+    Error(ErrorCode),
+}
+
+impl Response {
+    /// Serializes `header` followed by the response body.
+    ///
+    /// When the response is [`Response::Error`], only the header is written,
+    /// with its error field set accordingly (matching ZooKeeper's behaviour).
+    pub fn to_bytes(&self, header: &ReplyHeader) -> Vec<u8> {
+        let mut header = *header;
+        if let Response::Error(code) = self {
+            header.err = *code;
+        }
+        let mut out = OutputArchive::with_capacity(64);
+        header.serialize(&mut out);
+        match self {
+            Response::Connect(r) => r.serialize(&mut out),
+            Response::Create(r) => r.serialize(&mut out),
+            Response::Exists(r) => r.serialize(&mut out),
+            Response::GetData(r) => r.serialize(&mut out),
+            Response::SetData(r) => r.serialize(&mut out),
+            Response::GetChildren(r) => r.serialize(&mut out),
+            Response::Delete | Response::Ping | Response::CloseSession | Response::Error(_) => {}
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a reply header and body. The operation type is not carried in
+    /// ZooKeeper responses, so the caller must supply the `op` it expects —
+    /// this is exactly why SecureKeeper's entry enclave keeps a FIFO queue of
+    /// pending request types (Section 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn from_bytes(bytes: &[u8], op: OpCode) -> Result<(ReplyHeader, Response), JuteError> {
+        let mut input = InputArchive::new(bytes);
+        let header = ReplyHeader::deserialize(&mut input)?;
+        if header.err != ErrorCode::Ok {
+            input.expect_exhausted()?;
+            return Ok((header, Response::Error(header.err)));
+        }
+        let response = match op {
+            OpCode::Connect => Response::Connect(ConnectResponse::deserialize(&mut input)?),
+            OpCode::Create => Response::Create(CreateResponse::deserialize(&mut input)?),
+            OpCode::Delete => Response::Delete,
+            OpCode::Exists => Response::Exists(ExistsResponse::deserialize(&mut input)?),
+            OpCode::GetData => Response::GetData(GetDataResponse::deserialize(&mut input)?),
+            OpCode::SetData => Response::SetData(SetDataResponse::deserialize(&mut input)?),
+            OpCode::GetChildren => Response::GetChildren(GetChildrenResponse::deserialize(&mut input)?),
+            OpCode::Ping => Response::Ping,
+            OpCode::CloseSession => Response::CloseSession,
+        };
+        input.expect_exhausted()?;
+        Ok((header, response))
+    }
+
+    /// The error code carried by this response ([`ErrorCode::Ok`] on success).
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            Response::Error(code) => *code,
+            _ => ErrorCode::Ok,
+        }
+    }
+
+    /// True if the response indicates success.
+    pub fn is_ok(&self) -> bool {
+        self.error_code() == ErrorCode::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CreateMode, Stat};
+
+    #[test]
+    fn request_roundtrip_every_variant() {
+        let requests = vec![
+            Request::Connect(ConnectRequest {
+                protocol_version: 0,
+                last_zxid_seen: 0,
+                timeout_ms: 10_000,
+                session_id: 0,
+                password: vec![],
+            }),
+            Request::Create(CreateRequest {
+                path: "/a/b".into(),
+                data: b"x".to_vec(),
+                mode: CreateMode::Persistent,
+            }),
+            Request::Delete(DeleteRequest { path: "/a/b".into(), version: -1 }),
+            Request::Exists(ExistsRequest { path: "/a".into(), watch: false }),
+            Request::GetData(GetDataRequest { path: "/a".into(), watch: true }),
+            Request::SetData(SetDataRequest { path: "/a".into(), data: vec![1, 2], version: 0 }),
+            Request::GetChildren(GetChildrenRequest { path: "/".into(), watch: false }),
+            Request::Ping,
+            Request::CloseSession,
+        ];
+        for (i, request) in requests.into_iter().enumerate() {
+            let header = RequestHeader { xid: i as i32, op: request.op() };
+            let bytes = request.to_bytes(&header);
+            let (decoded_header, decoded) = Request::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded_header, header);
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_every_variant() {
+        let cases: Vec<(OpCode, Response)> = vec![
+            (
+                OpCode::Connect,
+                Response::Connect(ConnectResponse {
+                    protocol_version: 0,
+                    timeout_ms: 10_000,
+                    session_id: 7,
+                    password: vec![1],
+                }),
+            ),
+            (OpCode::Create, Response::Create(CreateResponse { path: "/a/b0000000001".into() })),
+            (OpCode::Delete, Response::Delete),
+            (OpCode::Exists, Response::Exists(ExistsResponse { stat: Stat::default() })),
+            (
+                OpCode::GetData,
+                Response::GetData(GetDataResponse { data: b"v".to_vec(), stat: Stat::default() }),
+            ),
+            (OpCode::SetData, Response::SetData(SetDataResponse { stat: Stat::default() })),
+            (
+                OpCode::GetChildren,
+                Response::GetChildren(GetChildrenResponse { children: vec!["x".into()] }),
+            ),
+            (OpCode::Ping, Response::Ping),
+            (OpCode::CloseSession, Response::CloseSession),
+        ];
+        for (op, response) in cases {
+            let header = ReplyHeader { xid: 9, zxid: 100, err: ErrorCode::Ok };
+            let bytes = response.to_bytes(&header);
+            let (decoded_header, decoded) = Response::from_bytes(&bytes, op).unwrap();
+            assert_eq!(decoded_header, header);
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let response = Response::Error(ErrorCode::NoNode);
+        let header = ReplyHeader { xid: 4, zxid: 10, err: ErrorCode::Ok };
+        let bytes = response.to_bytes(&header);
+        let (decoded_header, decoded) = Response::from_bytes(&bytes, OpCode::GetData).unwrap();
+        assert_eq!(decoded_header.err, ErrorCode::NoNode);
+        assert_eq!(decoded, response);
+        assert!(!decoded.is_ok());
+        assert_eq!(decoded.error_code(), ErrorCode::NoNode);
+    }
+
+    #[test]
+    fn request_path_accessor() {
+        assert_eq!(
+            Request::GetData(GetDataRequest { path: "/p".into(), watch: false }).path(),
+            Some("/p")
+        );
+        assert_eq!(Request::Ping.path(), None);
+    }
+
+    #[test]
+    fn corrupt_request_is_rejected() {
+        let request = Request::GetData(GetDataRequest { path: "/p".into(), watch: false });
+        let mut bytes = request.to_bytes(&RequestHeader { xid: 0, op: OpCode::GetData });
+        bytes.truncate(bytes.len() - 1);
+        assert!(Request::from_bytes(&bytes).is_err());
+        // Trailing garbage is also rejected.
+        let mut padded = request.to_bytes(&RequestHeader { xid: 0, op: OpCode::GetData });
+        padded.push(0);
+        assert!(Request::from_bytes(&padded).is_err());
+    }
+}

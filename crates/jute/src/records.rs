@@ -1,0 +1,855 @@
+//! Request, response and metadata record types.
+//!
+//! These mirror the jute records generated from ZooKeeper's `zookeeper.jute`
+//! definition, restricted to the operations the paper evaluates: GET, SET,
+//! CREATE (regular and sequential), DELETE, LS (getChildren), plus EXISTS,
+//! connection handshake and session keep-alive.
+
+use crate::de::InputArchive;
+use crate::error::JuteError;
+use crate::ser::OutputArchive;
+
+/// Operation codes carried in the request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    /// Session establishment.
+    Connect,
+    /// Create a znode.
+    Create,
+    /// Delete a znode.
+    Delete,
+    /// Check whether a znode exists.
+    Exists,
+    /// Read a znode's payload (GET).
+    GetData,
+    /// Overwrite a znode's payload (SET).
+    SetData,
+    /// List a znode's children (LS).
+    GetChildren,
+    /// Session keep-alive.
+    Ping,
+    /// Session teardown.
+    CloseSession,
+}
+
+impl OpCode {
+    /// The wire value used by ZooKeeper for this operation.
+    pub fn to_i32(self) -> i32 {
+        match self {
+            OpCode::Connect => 0,
+            OpCode::Create => 1,
+            OpCode::Delete => 2,
+            OpCode::Exists => 3,
+            OpCode::GetData => 4,
+            OpCode::SetData => 5,
+            OpCode::GetChildren => 8,
+            OpCode::Ping => 11,
+            OpCode::CloseSession => -11,
+        }
+    }
+
+    /// Parses a wire value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JuteError::UnknownOpCode`] for values not used by this crate.
+    pub fn from_i32(code: i32) -> Result<Self, JuteError> {
+        Ok(match code {
+            0 => OpCode::Connect,
+            1 => OpCode::Create,
+            2 => OpCode::Delete,
+            3 => OpCode::Exists,
+            4 => OpCode::GetData,
+            5 => OpCode::SetData,
+            8 => OpCode::GetChildren,
+            11 => OpCode::Ping,
+            -11 => OpCode::CloseSession,
+            other => return Err(JuteError::UnknownOpCode { code: other }),
+        })
+    }
+
+    /// True for operations that modify state and therefore must be agreed on
+    /// by the ZAB quorum (writes); false for reads served locally.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpCode::Create | OpCode::Delete | OpCode::SetData | OpCode::CloseSession)
+    }
+}
+
+/// ZooKeeper error codes carried in [`ReplyHeader::err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Success.
+    Ok,
+    /// The requested znode does not exist.
+    NoNode,
+    /// A znode with that path already exists.
+    NodeExists,
+    /// The znode still has children and cannot be deleted.
+    NotEmpty,
+    /// The expected version does not match the znode's version.
+    BadVersion,
+    /// Ephemeral znodes cannot have children.
+    NoChildrenForEphemerals,
+    /// Malformed request arguments (e.g. invalid path).
+    BadArguments,
+    /// The message could not be (de)serialized.
+    MarshallingError,
+    /// Authentication or integrity verification failed.
+    AuthFailed,
+    /// The session does not exist or has expired.
+    SessionExpired,
+}
+
+impl ErrorCode {
+    /// Wire value (matches ZooKeeper's `KeeperException.Code`).
+    pub fn to_i32(self) -> i32 {
+        match self {
+            ErrorCode::Ok => 0,
+            ErrorCode::BadArguments => -8,
+            ErrorCode::MarshallingError => -5,
+            ErrorCode::NoNode => -101,
+            ErrorCode::BadVersion => -103,
+            ErrorCode::NoChildrenForEphemerals => -108,
+            ErrorCode::NodeExists => -110,
+            ErrorCode::NotEmpty => -111,
+            ErrorCode::SessionExpired => -112,
+            ErrorCode::AuthFailed => -115,
+        }
+    }
+
+    /// Parses a wire value, mapping unknown codes to [`ErrorCode::MarshallingError`].
+    pub fn from_i32(code: i32) -> Self {
+        match code {
+            0 => ErrorCode::Ok,
+            -8 => ErrorCode::BadArguments,
+            -5 => ErrorCode::MarshallingError,
+            -101 => ErrorCode::NoNode,
+            -103 => ErrorCode::BadVersion,
+            -108 => ErrorCode::NoChildrenForEphemerals,
+            -110 => ErrorCode::NodeExists,
+            -111 => ErrorCode::NotEmpty,
+            -112 => ErrorCode::SessionExpired,
+            -115 => ErrorCode::AuthFailed,
+            _ => ErrorCode::MarshallingError,
+        }
+    }
+}
+
+/// How a znode is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CreateMode {
+    /// Regular persistent znode.
+    #[default]
+    Persistent,
+    /// Persistent znode whose name gets a monotonically increasing suffix.
+    PersistentSequential,
+    /// Znode tied to the creating session's lifetime.
+    Ephemeral,
+    /// Ephemeral and sequential.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// True for the two sequential variants.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CreateMode::PersistentSequential | CreateMode::EphemeralSequential)
+    }
+
+    /// True for the two ephemeral variants.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    /// Wire flags value (matches ZooKeeper: 1 = ephemeral bit, 2 = sequence bit).
+    pub fn to_flags(self) -> i32 {
+        match self {
+            CreateMode::Persistent => 0,
+            CreateMode::Ephemeral => 1,
+            CreateMode::PersistentSequential => 2,
+            CreateMode::EphemeralSequential => 3,
+        }
+    }
+
+    /// Parses a wire flags value.
+    pub fn from_flags(flags: i32) -> Result<Self, JuteError> {
+        Ok(match flags {
+            0 => CreateMode::Persistent,
+            1 => CreateMode::Ephemeral,
+            2 => CreateMode::PersistentSequential,
+            3 => CreateMode::EphemeralSequential,
+            other => return Err(JuteError::InvalidLength { what: "create flags", length: other as i64 }),
+        })
+    }
+}
+
+/// Request header preceding every operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Client-assigned transaction id, echoed in the reply; also used by the
+    /// entry enclave to match responses to pending requests (FIFO order).
+    pub xid: i32,
+    /// The operation.
+    pub op: OpCode,
+}
+
+impl RequestHeader {
+    /// Serializes the header.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.xid);
+        out.write_i32(self.op.to_i32());
+    }
+
+    /// Deserializes a header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures, including unknown opcodes.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        let xid = input.read_i32("xid")?;
+        let op = OpCode::from_i32(input.read_i32("opcode")?)?;
+        Ok(RequestHeader { xid, op })
+    }
+}
+
+/// Reply header preceding every response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyHeader {
+    /// Echoed client transaction id.
+    pub xid: i32,
+    /// The zxid (global transaction id) at which the request was applied.
+    pub zxid: i64,
+    /// Error code; [`ErrorCode::Ok`] on success.
+    pub err: ErrorCode,
+}
+
+impl ReplyHeader {
+    /// Serializes the header.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.xid);
+        out.write_i64(self.zxid);
+        out.write_i32(self.err.to_i32());
+    }
+
+    /// Deserializes a header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ReplyHeader {
+            xid: input.read_i32("xid")?,
+            zxid: input.read_i64("zxid")?,
+            err: ErrorCode::from_i32(input.read_i32("err")?),
+        })
+    }
+}
+
+/// Metadata attached to every znode (ZooKeeper's `Stat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat {
+    /// zxid of the transaction that created the znode.
+    pub czxid: i64,
+    /// zxid of the transaction that last modified the znode.
+    pub mzxid: i64,
+    /// Creation time in milliseconds since the epoch.
+    pub ctime: i64,
+    /// Last-modification time in milliseconds since the epoch.
+    pub mtime: i64,
+    /// Number of payload changes.
+    pub version: i32,
+    /// Number of child-list changes.
+    pub cversion: i32,
+    /// Number of ACL changes (unused here, kept for wire compatibility).
+    pub aversion: i32,
+    /// Session id of the owner if the znode is ephemeral, 0 otherwise.
+    pub ephemeral_owner: i64,
+    /// Length of the payload in bytes.
+    pub data_length: i32,
+    /// Number of children.
+    pub num_children: i32,
+    /// zxid of the transaction that last modified the children list.
+    pub pzxid: i64,
+}
+
+impl Stat {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i64(self.czxid);
+        out.write_i64(self.mzxid);
+        out.write_i64(self.ctime);
+        out.write_i64(self.mtime);
+        out.write_i32(self.version);
+        out.write_i32(self.cversion);
+        out.write_i32(self.aversion);
+        out.write_i64(self.ephemeral_owner);
+        out.write_i32(self.data_length);
+        out.write_i32(self.num_children);
+        out.write_i64(self.pzxid);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(Stat {
+            czxid: input.read_i64("czxid")?,
+            mzxid: input.read_i64("mzxid")?,
+            ctime: input.read_i64("ctime")?,
+            mtime: input.read_i64("mtime")?,
+            version: input.read_i32("version")?,
+            cversion: input.read_i32("cversion")?,
+            aversion: input.read_i32("aversion")?,
+            ephemeral_owner: input.read_i64("ephemeralOwner")?,
+            data_length: input.read_i32("dataLength")?,
+            num_children: input.read_i32("numChildren")?,
+            pzxid: input.read_i64("pzxid")?,
+        })
+    }
+}
+
+/// Session establishment request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectRequest {
+    /// Protocol version (0).
+    pub protocol_version: i32,
+    /// Last zxid the client has seen (for reconnects).
+    pub last_zxid_seen: i64,
+    /// Requested session timeout in milliseconds.
+    pub timeout_ms: i32,
+    /// Existing session id, 0 for a new session.
+    pub session_id: i64,
+    /// Session password / secret.
+    pub password: Vec<u8>,
+}
+
+impl ConnectRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.protocol_version);
+        out.write_i64(self.last_zxid_seen);
+        out.write_i32(self.timeout_ms);
+        out.write_i64(self.session_id);
+        out.write_buffer(&self.password);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ConnectRequest {
+            protocol_version: input.read_i32("protocolVersion")?,
+            last_zxid_seen: input.read_i64("lastZxidSeen")?,
+            timeout_ms: input.read_i32("timeout")?,
+            session_id: input.read_i64("sessionId")?,
+            password: input.read_buffer("password")?,
+        })
+    }
+}
+
+/// Session establishment response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectResponse {
+    /// Protocol version (0).
+    pub protocol_version: i32,
+    /// Granted session timeout in milliseconds.
+    pub timeout_ms: i32,
+    /// Assigned session id.
+    pub session_id: i64,
+    /// Session password to present on reconnect.
+    pub password: Vec<u8>,
+}
+
+impl ConnectResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.protocol_version);
+        out.write_i32(self.timeout_ms);
+        out.write_i64(self.session_id);
+        out.write_buffer(&self.password);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ConnectResponse {
+            protocol_version: input.read_i32("protocolVersion")?,
+            timeout_ms: input.read_i32("timeout")?,
+            session_id: input.read_i64("sessionId")?,
+            password: input.read_buffer("password")?,
+        })
+    }
+}
+
+/// CREATE request (regular or sequential, persistent or ephemeral).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateRequest {
+    /// Path of the znode to create.
+    pub path: String,
+    /// Initial payload.
+    pub data: Vec<u8>,
+    /// Creation mode.
+    pub mode: CreateMode,
+}
+
+impl CreateRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_buffer(&self.data);
+        out.write_i32(self.mode.to_flags());
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(CreateRequest {
+            path: input.read_string("path")?,
+            data: input.read_buffer("data")?,
+            mode: CreateMode::from_flags(input.read_i32("flags")?)?,
+        })
+    }
+}
+
+/// CREATE response: the actual path (with sequence suffix for sequential nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateResponse {
+    /// The path of the created znode.
+    pub path: String,
+}
+
+impl CreateResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(CreateResponse { path: input.read_string("path")? })
+    }
+}
+
+/// DELETE request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeleteRequest {
+    /// Path of the znode to delete.
+    pub path: String,
+    /// Expected version, or -1 to skip the version check.
+    pub version: i32,
+}
+
+impl DeleteRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_i32(self.version);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(DeleteRequest { path: input.read_string("path")?, version: input.read_i32("version")? })
+    }
+}
+
+/// EXISTS request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExistsRequest {
+    /// Path to check.
+    pub path: String,
+    /// Whether to set a watch on the znode.
+    pub watch: bool,
+}
+
+impl ExistsRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_bool(self.watch);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ExistsRequest { path: input.read_string("path")?, watch: input.read_bool("watch")? })
+    }
+}
+
+/// EXISTS response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExistsResponse {
+    /// Metadata of the znode.
+    pub stat: Stat,
+}
+
+impl ExistsResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        self.stat.serialize(out);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ExistsResponse { stat: Stat::deserialize(input)? })
+    }
+}
+
+/// GET (getData) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetDataRequest {
+    /// Path to read.
+    pub path: String,
+    /// Whether to set a watch on the znode.
+    pub watch: bool,
+}
+
+impl GetDataRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_bool(self.watch);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(GetDataRequest { path: input.read_string("path")?, watch: input.read_bool("watch")? })
+    }
+}
+
+/// GET (getData) response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetDataResponse {
+    /// The znode's payload.
+    pub data: Vec<u8>,
+    /// The znode's metadata.
+    pub stat: Stat,
+}
+
+impl GetDataResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_buffer(&self.data);
+        self.stat.serialize(out);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(GetDataResponse { data: input.read_buffer("data")?, stat: Stat::deserialize(input)? })
+    }
+}
+
+/// SET (setData) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetDataRequest {
+    /// Path to write.
+    pub path: String,
+    /// New payload.
+    pub data: Vec<u8>,
+    /// Expected version, or -1 to skip the version check.
+    pub version: i32,
+}
+
+impl SetDataRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_buffer(&self.data);
+        out.write_i32(self.version);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(SetDataRequest {
+            path: input.read_string("path")?,
+            data: input.read_buffer("data")?,
+            version: input.read_i32("version")?,
+        })
+    }
+}
+
+/// SET (setData) response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetDataResponse {
+    /// Updated metadata of the znode.
+    pub stat: Stat,
+}
+
+impl SetDataResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        self.stat.serialize(out);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(SetDataResponse { stat: Stat::deserialize(input)? })
+    }
+}
+
+/// LS (getChildren) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetChildrenRequest {
+    /// Parent path to list.
+    pub path: String,
+    /// Whether to set a watch on the children list.
+    pub watch: bool,
+}
+
+impl GetChildrenRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_bool(self.watch);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(GetChildrenRequest { path: input.read_string("path")?, watch: input.read_bool("watch")? })
+    }
+}
+
+/// LS (getChildren) response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetChildrenResponse {
+    /// Names (not full paths) of the children.
+    pub children: Vec<String>,
+}
+
+impl GetChildrenResponse {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string_vec(&self.children);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(GetChildrenResponse { children: input.read_string_vec("children")? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in [
+            OpCode::Connect,
+            OpCode::Create,
+            OpCode::Delete,
+            OpCode::Exists,
+            OpCode::GetData,
+            OpCode::SetData,
+            OpCode::GetChildren,
+            OpCode::Ping,
+            OpCode::CloseSession,
+        ] {
+            assert_eq!(OpCode::from_i32(op.to_i32()).unwrap(), op);
+        }
+        assert!(OpCode::from_i32(77).is_err());
+    }
+
+    #[test]
+    fn opcode_write_classification() {
+        assert!(OpCode::Create.is_write());
+        assert!(OpCode::SetData.is_write());
+        assert!(OpCode::Delete.is_write());
+        assert!(!OpCode::GetData.is_write());
+        assert!(!OpCode::GetChildren.is_write());
+        assert!(!OpCode::Exists.is_write());
+    }
+
+    #[test]
+    fn error_code_roundtrip() {
+        for code in [
+            ErrorCode::Ok,
+            ErrorCode::NoNode,
+            ErrorCode::NodeExists,
+            ErrorCode::NotEmpty,
+            ErrorCode::BadVersion,
+            ErrorCode::NoChildrenForEphemerals,
+            ErrorCode::BadArguments,
+            ErrorCode::MarshallingError,
+            ErrorCode::AuthFailed,
+            ErrorCode::SessionExpired,
+        ] {
+            assert_eq!(ErrorCode::from_i32(code.to_i32()), code);
+        }
+    }
+
+    #[test]
+    fn create_mode_flags_roundtrip() {
+        for mode in [
+            CreateMode::Persistent,
+            CreateMode::Ephemeral,
+            CreateMode::PersistentSequential,
+            CreateMode::EphemeralSequential,
+        ] {
+            assert_eq!(CreateMode::from_flags(mode.to_flags()).unwrap(), mode);
+        }
+        assert!(CreateMode::from_flags(9).is_err());
+        assert!(CreateMode::PersistentSequential.is_sequential());
+        assert!(CreateMode::EphemeralSequential.is_ephemeral());
+        assert!(!CreateMode::Persistent.is_ephemeral());
+    }
+
+    fn roundtrip<T, S, D>(value: &T, serialize: S, deserialize: D) -> T
+    where
+        S: Fn(&T, &mut OutputArchive),
+        D: Fn(&mut InputArchive<'_>) -> Result<T, JuteError>,
+    {
+        let mut out = OutputArchive::new();
+        serialize(value, &mut out);
+        let bytes = out.into_bytes();
+        let mut input = InputArchive::new(&bytes);
+        let decoded = deserialize(&mut input).expect("deserialize");
+        input.expect_exhausted().expect("exhausted");
+        decoded
+    }
+
+    #[test]
+    fn headers_roundtrip() {
+        let req = RequestHeader { xid: 42, op: OpCode::SetData };
+        assert_eq!(roundtrip(&req, RequestHeader::serialize, RequestHeader::deserialize), req);
+        let reply = ReplyHeader { xid: 42, zxid: 1 << 33, err: ErrorCode::NoNode };
+        assert_eq!(roundtrip(&reply, ReplyHeader::serialize, ReplyHeader::deserialize), reply);
+    }
+
+    #[test]
+    fn stat_roundtrip() {
+        let stat = Stat {
+            czxid: 1,
+            mzxid: 2,
+            ctime: 3,
+            mtime: 4,
+            version: 5,
+            cversion: 6,
+            aversion: 7,
+            ephemeral_owner: 8,
+            data_length: 9,
+            num_children: 10,
+            pzxid: 11,
+        };
+        assert_eq!(roundtrip(&stat, Stat::serialize, Stat::deserialize), stat);
+    }
+
+    #[test]
+    fn connect_records_roundtrip() {
+        let req = ConnectRequest {
+            protocol_version: 0,
+            last_zxid_seen: 7,
+            timeout_ms: 30_000,
+            session_id: 0,
+            password: vec![1, 2, 3],
+        };
+        assert_eq!(roundtrip(&req, ConnectRequest::serialize, ConnectRequest::deserialize), req);
+        let resp = ConnectResponse { protocol_version: 0, timeout_ms: 30_000, session_id: 99, password: vec![9] };
+        assert_eq!(roundtrip(&resp, ConnectResponse::serialize, ConnectResponse::deserialize), resp);
+    }
+
+    #[test]
+    fn operation_records_roundtrip() {
+        let create = CreateRequest {
+            path: "/app/lock-".to_string(),
+            data: vec![0u8; 100],
+            mode: CreateMode::EphemeralSequential,
+        };
+        assert_eq!(roundtrip(&create, CreateRequest::serialize, CreateRequest::deserialize), create);
+
+        let create_resp = CreateResponse { path: "/app/lock-0000000007".to_string() };
+        assert_eq!(
+            roundtrip(&create_resp, CreateResponse::serialize, CreateResponse::deserialize),
+            create_resp
+        );
+
+        let delete = DeleteRequest { path: "/app/lock-0000000007".to_string(), version: -1 };
+        assert_eq!(roundtrip(&delete, DeleteRequest::serialize, DeleteRequest::deserialize), delete);
+
+        let exists = ExistsRequest { path: "/app".to_string(), watch: true };
+        assert_eq!(roundtrip(&exists, ExistsRequest::serialize, ExistsRequest::deserialize), exists);
+
+        let exists_resp = ExistsResponse { stat: Stat { version: 3, ..Stat::default() } };
+        assert_eq!(
+            roundtrip(&exists_resp, ExistsResponse::serialize, ExistsResponse::deserialize),
+            exists_resp
+        );
+
+        let get = GetDataRequest { path: "/app/config".to_string(), watch: false };
+        assert_eq!(roundtrip(&get, GetDataRequest::serialize, GetDataRequest::deserialize), get);
+
+        let get_resp = GetDataResponse { data: b"secret".to_vec(), stat: Stat::default() };
+        assert_eq!(
+            roundtrip(&get_resp, GetDataResponse::serialize, GetDataResponse::deserialize),
+            get_resp
+        );
+
+        let set = SetDataRequest { path: "/app/config".to_string(), data: b"v2".to_vec(), version: 4 };
+        assert_eq!(roundtrip(&set, SetDataRequest::serialize, SetDataRequest::deserialize), set);
+
+        let set_resp = SetDataResponse { stat: Stat { version: 5, ..Stat::default() } };
+        assert_eq!(
+            roundtrip(&set_resp, SetDataResponse::serialize, SetDataResponse::deserialize),
+            set_resp
+        );
+
+        let ls = GetChildrenRequest { path: "/app".to_string(), watch: false };
+        assert_eq!(
+            roundtrip(&ls, GetChildrenRequest::serialize, GetChildrenRequest::deserialize),
+            ls
+        );
+
+        let ls_resp = GetChildrenResponse { children: vec!["a".to_string(), "b".to_string()] };
+        assert_eq!(
+            roundtrip(&ls_resp, GetChildrenResponse::serialize, GetChildrenResponse::deserialize),
+            ls_resp
+        );
+    }
+}

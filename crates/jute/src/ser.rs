@@ -1,0 +1,124 @@
+//! Primitive jute encoders.
+
+/// An append-only encoder for jute primitives.
+///
+/// All multi-byte integers are written big-endian, matching ZooKeeper's wire
+/// format. Buffers and strings are prefixed with a signed 32-bit length; a
+/// `-1` length denotes a missing (null) buffer.
+#[derive(Debug, Default, Clone)]
+pub struct OutputArchive {
+    buffer: Vec<u8>,
+}
+
+impl OutputArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        OutputArchive { buffer: Vec::new() }
+    }
+
+    /// Creates an archive with a pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        OutputArchive { buffer: Vec::with_capacity(capacity) }
+    }
+
+    /// Writes a boolean as a single byte (0 or 1).
+    pub fn write_bool(&mut self, value: bool) {
+        self.buffer.push(u8::from(value));
+    }
+
+    /// Writes a signed 32-bit integer, big-endian.
+    pub fn write_i32(&mut self, value: i32) {
+        self.buffer.extend_from_slice(&value.to_be_bytes());
+    }
+
+    /// Writes a signed 64-bit integer, big-endian.
+    pub fn write_i64(&mut self, value: i64) {
+        self.buffer.extend_from_slice(&value.to_be_bytes());
+    }
+
+    /// Writes a length-prefixed byte buffer.
+    pub fn write_buffer(&mut self, value: &[u8]) {
+        self.write_i32(value.len() as i32);
+        self.buffer.extend_from_slice(value);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_string(&mut self, value: &str) {
+        self.write_buffer(value.as_bytes());
+    }
+
+    /// Writes a length-prefixed vector of strings.
+    pub fn write_string_vec(&mut self, values: &[String]) {
+        self.write_i32(values.len() as i32);
+        for value in values {
+            self.write_string(value);
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Consumes the archive and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buffer
+    }
+
+    /// Borrows the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_big_endian() {
+        let mut out = OutputArchive::new();
+        out.write_i32(0x0102_0304);
+        out.write_i64(0x0102_0304_0506_0708);
+        assert_eq!(
+            out.as_bytes(),
+            &[1, 2, 3, 4, 1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn buffers_and_strings_are_length_prefixed() {
+        let mut out = OutputArchive::new();
+        out.write_buffer(b"ab");
+        out.write_string("/x");
+        assert_eq!(out.as_bytes(), &[0, 0, 0, 2, b'a', b'b', 0, 0, 0, 2, b'/', b'x']);
+    }
+
+    #[test]
+    fn bools_are_single_bytes() {
+        let mut out = OutputArchive::new();
+        out.write_bool(true);
+        out.write_bool(false);
+        assert_eq!(out.as_bytes(), &[1, 0]);
+    }
+
+    #[test]
+    fn string_vec_includes_count() {
+        let mut out = OutputArchive::new();
+        out.write_string_vec(&["a".to_string(), "bc".to_string()]);
+        assert_eq!(out.as_bytes()[..4], [0, 0, 0, 2]);
+        assert_eq!(out.len(), 4 + (4 + 1) + (4 + 2));
+    }
+
+    #[test]
+    fn with_capacity_and_empty() {
+        let out = OutputArchive::with_capacity(64);
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+}

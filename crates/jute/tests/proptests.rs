@@ -1,0 +1,112 @@
+//! Property-based tests: every message round-trips through the wire format.
+
+use proptest::prelude::*;
+
+use jute::records::{
+    CreateMode, CreateRequest, DeleteRequest, ErrorCode, GetChildrenRequest, GetChildrenResponse,
+    GetDataRequest, GetDataResponse, ReplyHeader, RequestHeader, SetDataRequest, Stat,
+};
+use jute::{OpCode, Request, Response};
+
+fn arb_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9_-]{1,12}", 1..5).prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn arb_create_mode() -> impl Strategy<Value = CreateMode> {
+    prop_oneof![
+        Just(CreateMode::Persistent),
+        Just(CreateMode::PersistentSequential),
+        Just(CreateMode::Ephemeral),
+        Just(CreateMode::EphemeralSequential),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..512), arb_create_mode())
+            .prop_map(|(path, data, mode)| Request::Create(CreateRequest { path, data, mode })),
+        (arb_path(), any::<i32>()).prop_map(|(path, version)| Request::Delete(DeleteRequest { path, version })),
+        (arb_path(), any::<bool>()).prop_map(|(path, watch)| Request::GetData(GetDataRequest { path, watch })),
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..512), any::<i32>())
+            .prop_map(|(path, data, version)| Request::SetData(SetDataRequest { path, data, version })),
+        (arb_path(), any::<bool>())
+            .prop_map(|(path, watch)| Request::GetChildren(GetChildrenRequest { path, watch })),
+        Just(Request::Ping),
+    ]
+}
+
+fn arb_stat() -> impl Strategy<Value = Stat> {
+    (any::<i64>(), any::<i64>(), any::<i32>(), any::<i32>(), any::<i64>()).prop_map(
+        |(czxid, mzxid, version, num_children, pzxid)| Stat {
+            czxid,
+            mzxid,
+            version,
+            num_children,
+            pzxid,
+            ..Stat::default()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn request_wire_roundtrip(request in arb_request(), xid in any::<i32>()) {
+        let header = RequestHeader { xid, op: request.op() };
+        let bytes = request.to_bytes(&header);
+        let (decoded_header, decoded) = Request::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded_header, header);
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn get_response_wire_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        stat in arb_stat(),
+        xid in any::<i32>(),
+        zxid in any::<i64>(),
+    ) {
+        let response = Response::GetData(GetDataResponse { data, stat });
+        let header = ReplyHeader { xid, zxid, err: ErrorCode::Ok };
+        let bytes = response.to_bytes(&header);
+        let (decoded_header, decoded) = Response::from_bytes(&bytes, OpCode::GetData).unwrap();
+        prop_assert_eq!(decoded_header, header);
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn children_response_wire_roundtrip(
+        children in proptest::collection::vec("[a-zA-Z0-9_=-]{1,40}", 0..50),
+        xid in any::<i32>(),
+    ) {
+        let response = Response::GetChildren(GetChildrenResponse { children });
+        let header = ReplyHeader { xid, zxid: 0, err: ErrorCode::Ok };
+        let bytes = response.to_bytes(&header);
+        let (_, decoded) = Response::from_bytes(&bytes, OpCode::GetChildren).unwrap();
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn framing_roundtrip_multiple_messages(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..10),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(&jute::framing::encode_frame(body));
+        }
+        let cut = cut.index(stream.len() + 1);
+        let mut decoder = jute::framing::FrameDecoder::new();
+        decoder.feed(&stream[..cut]);
+        let mut frames = decoder.frames().unwrap();
+        decoder.feed(&stream[cut..]);
+        frames.extend(decoder.frames().unwrap());
+        prop_assert_eq!(frames, bodies);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes either decode or error, but never panic.
+        let _ = Request::from_bytes(&bytes);
+        let _ = Response::from_bytes(&bytes, OpCode::GetData);
+    }
+}

@@ -1,0 +1,187 @@
+//! Remote attestation and key provisioning.
+//!
+//! SecureKeeper's deployment model (Section 4.5): the administrator remotely
+//! attests one entry enclave per replica; only after a successful attestation
+//! is the cluster-wide storage key handed to the enclave, which then seals it
+//! locally so further enclaves on the same replica can unseal it without
+//! re-attestation.
+//!
+//! The simulation uses an HMAC keyed by a per-platform attestation key in
+//! place of the EPID/quoting-enclave machinery: the *protocol* (quote over
+//! measurement + report data, verification against an allow-list of expected
+//! measurements, key release only on success) is the part the paper relies
+//! on, and that is reproduced faithfully.
+
+use zkcrypto::hmac::{constant_time_eq, hmac_sha256};
+use zkcrypto::keys::StorageKey;
+
+use crate::enclave::{Enclave, Measurement};
+use crate::error::SgxError;
+use crate::sealing::PlatformSecret;
+
+/// An attestation quote: the enclave's measurement plus caller-chosen report
+/// data, authenticated by the platform's quoting key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement of the quoted enclave.
+    pub measurement: Measurement,
+    /// 64 bytes of report data chosen by the enclave (e.g. a hash of the
+    /// enclave's ephemeral public key).
+    pub report_data: [u8; 64],
+    signature: [u8; 32],
+}
+
+/// The platform-side quoting facility (stand-in for the quoting enclave).
+#[derive(Debug, Clone)]
+pub struct QuotingEnclave {
+    platform: PlatformSecret,
+}
+
+impl QuotingEnclave {
+    /// Creates the quoting facility for a platform.
+    pub fn new(platform: PlatformSecret) -> Self {
+        QuotingEnclave { platform }
+    }
+
+    /// Produces a quote for `enclave` carrying `report_data`.
+    pub fn quote(&self, enclave: &Enclave, report_data: [u8; 64]) -> Quote {
+        let measurement = enclave.measurement();
+        let signature = self.sign(&measurement, &report_data);
+        Quote { measurement, report_data, signature }
+    }
+
+    fn sign(&self, measurement: &Measurement, report_data: &[u8; 64]) -> [u8; 32] {
+        let mut message = Vec::with_capacity(32 + 64);
+        message.extend_from_slice(measurement.as_bytes());
+        message.extend_from_slice(report_data);
+        hmac_sha256(self.platform.sealing_key(measurement, "quoting", crate::sealing::SealingPolicy::MrSigner).as_bytes(), &message)
+    }
+
+    /// Verifies that `quote` was produced by this platform's quoting facility.
+    pub fn verify(&self, quote: &Quote) -> bool {
+        let expected = self.sign(&quote.measurement, &quote.report_data);
+        constant_time_eq(&expected, &quote.signature)
+    }
+}
+
+/// The SecureKeeper administrator's attestation service: verifies quotes and
+/// releases the storage key to genuine entry enclaves.
+#[derive(Debug)]
+pub struct AttestationService {
+    expected_measurements: Vec<Measurement>,
+    storage_key: StorageKey,
+    released: u64,
+}
+
+impl AttestationService {
+    /// Creates a service that will release `storage_key` to enclaves whose
+    /// measurement appears in `expected_measurements`.
+    pub fn new(expected_measurements: Vec<Measurement>, storage_key: StorageKey) -> Self {
+        AttestationService { expected_measurements, storage_key, released: 0 }
+    }
+
+    /// Number of times the storage key has been released.
+    pub fn keys_released(&self) -> u64 {
+        self.released
+    }
+
+    /// Verifies `quote` against the platform's quoting facility and the
+    /// expected-measurement allow-list; on success returns the storage key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::AttestationFailed`] if the quote signature is
+    /// invalid or the measurement is not recognized.
+    pub fn provision_storage_key(
+        &mut self,
+        quoting: &QuotingEnclave,
+        quote: &Quote,
+    ) -> Result<StorageKey, SgxError> {
+        if !quoting.verify(quote) {
+            return Err(SgxError::AttestationFailed { reason: "invalid quote signature".to_string() });
+        }
+        if !self.expected_measurements.contains(&quote.measurement) {
+            return Err(SgxError::AttestationFailed {
+                reason: "measurement not in the expected set".to_string(),
+            });
+        }
+        self.released += 1;
+        Ok(self.storage_key.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveBuilder;
+    use crate::epc::Epc;
+
+    fn setup() -> (Epc, PlatformSecret, Enclave) {
+        let epc = Epc::new();
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let enclave = EnclaveBuilder::new(b"entry enclave image".to_vec()).build(&epc).unwrap();
+        (epc, platform, enclave)
+    }
+
+    #[test]
+    fn quote_verifies_on_same_platform() {
+        let (_epc, platform, enclave) = setup();
+        let quoting = QuotingEnclave::new(platform);
+        let quote = quoting.quote(&enclave, [7u8; 64]);
+        assert!(quoting.verify(&quote));
+    }
+
+    #[test]
+    fn quote_from_other_platform_is_rejected() {
+        let (_epc, platform, enclave) = setup();
+        let quoting_a = QuotingEnclave::new(platform);
+        let quoting_b = QuotingEnclave::new(PlatformSecret::derive_from_label("other"));
+        let quote = quoting_a.quote(&enclave, [7u8; 64]);
+        assert!(!quoting_b.verify(&quote));
+    }
+
+    #[test]
+    fn tampered_report_data_is_rejected() {
+        let (_epc, platform, enclave) = setup();
+        let quoting = QuotingEnclave::new(platform);
+        let mut quote = quoting.quote(&enclave, [7u8; 64]);
+        quote.report_data[0] ^= 1;
+        assert!(!quoting.verify(&quote));
+    }
+
+    #[test]
+    fn attestation_service_releases_key_to_expected_enclave() {
+        let (_epc, platform, enclave) = setup();
+        let quoting = QuotingEnclave::new(platform);
+        let storage_key = StorageKey::derive_from_label("cluster");
+        let mut service = AttestationService::new(vec![enclave.measurement()], storage_key.clone());
+        let quote = quoting.quote(&enclave, [0u8; 64]);
+        let released = service.provision_storage_key(&quoting, &quote).unwrap();
+        assert_eq!(released, storage_key);
+        assert_eq!(service.keys_released(), 1);
+    }
+
+    #[test]
+    fn attestation_service_rejects_unknown_measurement() {
+        let (epc, platform, enclave) = setup();
+        let rogue = EnclaveBuilder::new(b"rogue image".to_vec()).build(&epc).unwrap();
+        let quoting = QuotingEnclave::new(platform);
+        let mut service =
+            AttestationService::new(vec![enclave.measurement()], StorageKey::derive_from_label("cluster"));
+        let quote = quoting.quote(&rogue, [0u8; 64]);
+        let err = service.provision_storage_key(&quoting, &quote).unwrap_err();
+        assert!(matches!(err, SgxError::AttestationFailed { .. }));
+        assert_eq!(service.keys_released(), 0);
+    }
+
+    #[test]
+    fn attestation_service_rejects_forged_quote() {
+        let (_epc, platform, enclave) = setup();
+        let quoting = QuotingEnclave::new(platform);
+        let mut service =
+            AttestationService::new(vec![enclave.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut quote = quoting.quote(&enclave, [0u8; 64]);
+        quote.report_data[63] ^= 0xff;
+        assert!(service.provision_storage_key(&quoting, &quote).is_err());
+    }
+}

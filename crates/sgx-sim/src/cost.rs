@@ -1,0 +1,209 @@
+//! Performance cost model for the simulated SGX runtime.
+//!
+//! All costs are expressed in nanoseconds of *simulated time*. The benchmark
+//! harness in the `workload` crate adds these costs to a simulated clock
+//! instead of sleeping, so experiments run quickly and deterministically while
+//! preserving the relative overheads the paper reports.
+//!
+//! Default values are calibrated from published SGX measurements and from the
+//! paper's own microbenchmarks:
+//!
+//! * an ecall/ocall round trip costs on the order of 8 000 cycles (~2.4 µs at
+//!   3.4 GHz);
+//! * AES-GCM with AES-NI style performance is roughly 1 ns/byte inside the
+//!   enclave (the paper's enclaves use the SGX SDK crypto library);
+//! * random page accesses are ~5.5× slower when the working set exceeds the
+//!   8 MB L3 cache and another ~200× slower once EPC paging starts
+//!   (paper Figure 3).
+
+/// Cost model parameters, all in nanoseconds unless stated otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of entering an enclave (ecall) including the stack switch
+    /// and parameter marshalling, one way.
+    pub ecall_entry_ns: f64,
+    /// Fixed cost of returning from an ecall (or performing an ocall), one way.
+    pub ecall_exit_ns: f64,
+    /// Per-byte cost of copying a buffer across the enclave boundary.
+    pub boundary_copy_ns_per_byte: f64,
+    /// Per-byte cost of AES-GCM encryption or decryption inside the enclave.
+    pub aes_gcm_ns_per_byte: f64,
+    /// Fixed per-message cost of AES-GCM (key schedule, J0, tag finalization).
+    pub aes_gcm_fixed_ns: f64,
+    /// Per-byte cost of SHA-256 hashing inside the enclave.
+    pub sha256_ns_per_byte: f64,
+    /// Per-byte cost of Base64 encoding/decoding.
+    pub base64_ns_per_byte: f64,
+    /// Cost of one random access to a page that hits the L1/L2/L3 caches.
+    pub page_access_cached_ns: f64,
+    /// Cost of one random access once the working set exceeds the L3 cache but
+    /// still fits in the EPC (regular DRAM latency + MEE decryption).
+    pub page_access_epc_ns: f64,
+    /// Cost of one random access once EPC paging is required (page eviction,
+    /// re-encryption and version-array bookkeeping).
+    pub page_access_paged_ns: f64,
+    /// L3 cache size in bytes (cliff #1 in Figure 3).
+    pub l3_cache_bytes: usize,
+    /// Usable EPC size in bytes (cliff #2 in Figure 3; the paper measures
+    /// roughly 92 MB of the nominal 128 MB).
+    pub epc_usable_bytes: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ecall_entry_ns: 1_200.0,
+            ecall_exit_ns: 1_200.0,
+            boundary_copy_ns_per_byte: 0.25,
+            aes_gcm_ns_per_byte: 1.0,
+            aes_gcm_fixed_ns: 250.0,
+            sha256_ns_per_byte: 1.5,
+            base64_ns_per_byte: 0.4,
+            page_access_cached_ns: 60.0,
+            page_access_epc_ns: 330.0,
+            page_access_paged_ns: 66_000.0,
+            l3_cache_bytes: 8 * 1024 * 1024,
+            epc_usable_bytes: 92 * 1024 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with all SGX-specific overheads set to zero.
+    ///
+    /// Used to model the *native* (non-enclave) execution baseline in the
+    /// Figure 4 experiment and the vanilla/TLS ZooKeeper variants.
+    pub fn native() -> Self {
+        CostModel {
+            ecall_entry_ns: 0.0,
+            ecall_exit_ns: 0.0,
+            boundary_copy_ns_per_byte: 0.0,
+            page_access_epc_ns: 110.0,
+            page_access_paged_ns: 110.0,
+            ..CostModel::default()
+        }
+    }
+
+    /// Cost of a full ecall round trip that copies `bytes_in` into the enclave
+    /// and `bytes_out` back out.
+    pub fn ecall_roundtrip_ns(&self, bytes_in: usize, bytes_out: usize) -> f64 {
+        self.ecall_entry_ns
+            + self.ecall_exit_ns
+            + (bytes_in + bytes_out) as f64 * self.boundary_copy_ns_per_byte
+    }
+
+    /// Cost of AES-GCM over `bytes` (either direction).
+    pub fn aes_gcm_ns(&self, bytes: usize) -> f64 {
+        self.aes_gcm_fixed_ns + bytes as f64 * self.aes_gcm_ns_per_byte
+    }
+
+    /// Cost of hashing `bytes` with SHA-256.
+    pub fn sha256_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.sha256_ns_per_byte
+    }
+
+    /// Cost of Base64-encoding or decoding `bytes`.
+    pub fn base64_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.base64_ns_per_byte
+    }
+
+    /// Expected cost of a single random page access for a working set of
+    /// `working_set_bytes` allocated inside an enclave.
+    ///
+    /// Models the two cliffs of Figure 3: L3 exhaustion and EPC exhaustion.
+    /// Between the cliffs the cost is a weighted mix because part of the
+    /// working set still hits the cache / resident EPC pages.
+    pub fn random_access_ns(&self, working_set_bytes: usize) -> f64 {
+        if working_set_bytes == 0 {
+            return self.page_access_cached_ns;
+        }
+        let ws = working_set_bytes as f64;
+        let l3 = self.l3_cache_bytes as f64;
+        let epc = self.epc_usable_bytes as f64;
+        if ws <= l3 {
+            self.page_access_cached_ns
+        } else if ws <= epc {
+            // Fraction of accesses that still hit L3.
+            let hit = l3 / ws;
+            hit * self.page_access_cached_ns + (1.0 - hit) * self.page_access_epc_ns
+        } else {
+            // Fraction of accesses that hit resident EPC pages vs paged-out pages.
+            let resident = epc / ws;
+            let l3_hit = l3 / ws;
+            l3_hit * self.page_access_cached_ns
+                + (resident - l3_hit).max(0.0) * self.page_access_epc_ns
+                + (1.0 - resident) * self.page_access_paged_ns
+        }
+    }
+
+    /// Throughput in random page accesses per second for a given working set,
+    /// the quantity plotted on the y-axis of Figure 3.
+    pub fn random_accesses_per_second(&self, working_set_bytes: usize) -> f64 {
+        1e9 / self.random_access_ns(working_set_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: usize = 1024 * 1024;
+
+    #[test]
+    fn default_model_has_positive_costs() {
+        let m = CostModel::default();
+        assert!(m.ecall_entry_ns > 0.0);
+        assert!(m.page_access_paged_ns > m.page_access_epc_ns);
+        assert!(m.page_access_epc_ns > m.page_access_cached_ns);
+    }
+
+    #[test]
+    fn ecall_roundtrip_scales_with_buffer_size() {
+        let m = CostModel::default();
+        let small = m.ecall_roundtrip_ns(64, 64);
+        let large = m.ecall_roundtrip_ns(4096, 4096);
+        assert!(large > small);
+        // The fixed transition cost dominates small messages.
+        assert!(small > 2_000.0);
+    }
+
+    #[test]
+    fn random_access_reproduces_figure3_cliffs() {
+        let m = CostModel::default();
+        let in_l3 = m.random_accesses_per_second(4 * MB);
+        let in_epc = m.random_accesses_per_second(64 * MB);
+        let paged = m.random_accesses_per_second(256 * MB);
+        // Paper: ~5.5x slowdown past L3, ~200x slowdown past EPC, >1000x vs L3.
+        let l3_over_epc = in_l3 / in_epc;
+        let epc_over_paged = in_epc / paged;
+        assert!(l3_over_epc > 3.0 && l3_over_epc < 10.0, "l3/epc = {l3_over_epc}");
+        assert!(epc_over_paged > 50.0, "epc/paged = {epc_over_paged}");
+        assert!(in_l3 / paged > 500.0, "l3/paged = {}", in_l3 / paged);
+    }
+
+    #[test]
+    fn native_model_has_no_transition_cost_and_no_paging_cliff() {
+        let m = CostModel::native();
+        assert_eq!(m.ecall_roundtrip_ns(1024, 1024), 0.0);
+        let below = m.random_accesses_per_second(64 * MB);
+        let above = m.random_accesses_per_second(512 * MB);
+        // Without SGX there is no EPC cliff; only the L3 effect remains.
+        assert!(below / above < 2.0);
+    }
+
+    #[test]
+    fn crypto_costs_scale_linearly() {
+        let m = CostModel::default();
+        let one_kb = m.aes_gcm_ns(1024);
+        let four_kb = m.aes_gcm_ns(4096);
+        assert!(four_kb > one_kb * 3.0 && four_kb < one_kb * 4.0);
+        assert!(m.sha256_ns(0) == 0.0);
+        assert!(m.base64_ns(300) > 0.0);
+    }
+
+    #[test]
+    fn zero_working_set_is_cached() {
+        let m = CostModel::default();
+        assert_eq!(m.random_access_ns(0), m.page_access_cached_ns);
+    }
+}

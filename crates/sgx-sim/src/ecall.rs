@@ -1,0 +1,200 @@
+//! EDL-style ecall interface support.
+//!
+//! The Intel SGX SDK generates untrusted stubs from an EDL file; the paper's
+//! entry enclave exposes exactly two ecalls (`ec_request`, `ec_response`, see
+//! Listing 1) and the counter enclave exposes one. This module provides a
+//! small registry that mimics that calling convention: an ecall receives a
+//! mutable byte buffer (allocated slightly larger than the message by the
+//! untrusted side), the current message length, and returns the new message
+//! length. This reproduces the paper's solution to the "message grows inside
+//! the enclave" problem (Section 5.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::enclave::Enclave;
+use crate::error::SgxError;
+
+/// Counters describing enclave boundary crossings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionStats {
+    /// Number of ecalls performed.
+    pub ecalls: u64,
+    /// Number of ocalls performed.
+    pub ocalls: u64,
+    /// Total bytes marshalled into the enclave.
+    pub bytes_in: u64,
+    /// Total bytes marshalled out of the enclave.
+    pub bytes_out: u64,
+}
+
+impl TransitionStats {
+    /// Total number of boundary crossings (each call is one round trip).
+    pub fn total_transitions(&self) -> u64 {
+        self.ecalls + self.ocalls
+    }
+}
+
+/// Handler signature for a buffer-style ecall.
+///
+/// Arguments are the message buffer and the current message length; the
+/// result is the new message length (which must fit in the buffer).
+pub type EcallHandler = dyn Fn(&mut Vec<u8>, usize) -> Result<usize, SgxError> + Send + Sync;
+
+/// A registry of named ecalls for one enclave, mirroring an EDL interface.
+#[derive(Clone)]
+pub struct EcallRegistry {
+    enclave: Enclave,
+    handlers: Arc<Mutex<HashMap<String, Arc<EcallHandler>>>>,
+}
+
+impl std::fmt::Debug for EcallRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcallRegistry")
+            .field("enclave", &self.enclave.id())
+            .field("ecalls", &self.handlers.lock().keys().cloned().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl EcallRegistry {
+    /// Creates an empty registry bound to `enclave`.
+    pub fn new(enclave: Enclave) -> Self {
+        EcallRegistry { enclave, handlers: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// The enclave this registry belongs to.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Registers an ecall under `name`.
+    pub fn register(
+        &self,
+        name: &str,
+        handler: impl Fn(&mut Vec<u8>, usize) -> Result<usize, SgxError> + Send + Sync + 'static,
+    ) {
+        self.handlers.lock().insert(name.to_string(), Arc::new(handler));
+    }
+
+    /// Names of all registered ecalls (the attack surface, in the paper's terms).
+    pub fn interface(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.handlers.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Invokes the ecall `name` on `buffer` containing a message of
+    /// `msg_len` bytes, returning the new message length.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgxError::UnknownEcall`] if `name` was never registered.
+    /// * [`SgxError::BufferTooSmall`] if the handler produced a message larger
+    ///   than the buffer capacity (mirrors the SDK's inability to grow
+    ///   untrusted buffers from inside the enclave).
+    /// * Any error returned by the handler itself.
+    pub fn call(&self, name: &str, buffer: &mut Vec<u8>, msg_len: usize) -> Result<usize, SgxError> {
+        let handler = self
+            .handlers
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SgxError::UnknownEcall { name: name.to_string() })?;
+        let capacity = buffer.capacity().max(buffer.len());
+        let new_len = self.enclave.ecall(msg_len, capacity, || handler(buffer, msg_len))?;
+        if new_len > capacity {
+            return Err(SgxError::BufferTooSmall { needed: new_len, capacity });
+        }
+        Ok(new_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveBuilder;
+    use crate::epc::Epc;
+
+    fn registry() -> EcallRegistry {
+        let epc = Epc::new();
+        let enclave = EnclaveBuilder::new(b"test enclave".to_vec()).build(&epc).unwrap();
+        EcallRegistry::new(enclave)
+    }
+
+    #[test]
+    fn registered_ecall_is_invoked_with_buffer() {
+        let reg = registry();
+        reg.register("ec_request", |buffer, msg_len| {
+            // Append four bytes, as storage encryption would.
+            buffer.resize(msg_len, 0);
+            buffer.extend_from_slice(b"MAC!");
+            Ok(msg_len + 4)
+        });
+        let mut buffer = Vec::with_capacity(64);
+        buffer.extend_from_slice(b"hello");
+        let new_len = reg.call("ec_request", &mut buffer, 5).unwrap();
+        assert_eq!(new_len, 9);
+        assert_eq!(&buffer[..9], b"helloMAC!");
+    }
+
+    #[test]
+    fn unknown_ecall_is_rejected() {
+        let reg = registry();
+        let mut buffer = vec![0u8; 8];
+        let err = reg.call("ec_missing", &mut buffer, 8).unwrap_err();
+        assert!(matches!(err, SgxError::UnknownEcall { .. }));
+    }
+
+    #[test]
+    fn interface_lists_registered_calls_sorted() {
+        let reg = registry();
+        reg.register("ec_response", |_, n| Ok(n));
+        reg.register("ec_request", |_, n| Ok(n));
+        assert_eq!(reg.interface(), vec!["ec_request".to_string(), "ec_response".to_string()]);
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let reg = registry();
+        reg.register("ec_request", |_, _| {
+            Err(SgxError::EnclaveFault { message: "bad message".into() })
+        });
+        let mut buffer = vec![0u8; 4];
+        let err = reg.call("ec_request", &mut buffer, 4).unwrap_err();
+        assert!(matches!(err, SgxError::EnclaveFault { .. }));
+    }
+
+    #[test]
+    fn oversized_result_is_rejected() {
+        let reg = registry();
+        reg.register("ec_request", |buffer, _| {
+            let capacity = buffer.capacity().max(buffer.len());
+            Ok(capacity + 100)
+        });
+        let mut buffer = Vec::with_capacity(16);
+        buffer.resize(8, 0);
+        let err = reg.call("ec_request", &mut buffer, 8).unwrap_err();
+        assert!(matches!(err, SgxError::BufferTooSmall { .. }));
+    }
+
+    #[test]
+    fn calls_update_enclave_stats() {
+        let reg = registry();
+        reg.register("ec_request", |_, n| Ok(n));
+        let mut buffer = vec![0u8; 128];
+        for _ in 0..5 {
+            reg.call("ec_request", &mut buffer, 128).unwrap();
+        }
+        assert_eq!(reg.enclave().stats().ecalls, 5);
+        assert!(reg.enclave().simulated_ns() > 0.0);
+    }
+
+    #[test]
+    fn transition_stats_totals() {
+        let stats = TransitionStats { ecalls: 3, ocalls: 2, bytes_in: 10, bytes_out: 20 };
+        assert_eq!(stats.total_transitions(), 5);
+    }
+}

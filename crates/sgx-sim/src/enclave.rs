@@ -1,0 +1,375 @@
+//! Simulated enclave lifecycle: creation, measurement, ecalls, destruction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zkcrypto::sha256::Sha256;
+
+use crate::cost::CostModel;
+use crate::ecall::TransitionStats;
+use crate::epc::Epc;
+use crate::error::SgxError;
+
+static NEXT_ENCLAVE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Unique identifier of a simulated enclave instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnclaveId(u64);
+
+impl EnclaveId {
+    /// Allocates a fresh process-wide unique id.
+    pub fn next() -> Self {
+        EnclaveId(NEXT_ENCLAVE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Builds an id from a raw value (tests only; uniqueness is the caller's problem).
+    pub fn from_raw(raw: u64) -> Self {
+        EnclaveId(raw)
+    }
+
+    /// Raw numeric value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "enclave#{}", self.0)
+    }
+}
+
+/// The MRENCLAVE-style measurement of an enclave: a SHA-256 digest over the
+/// enclave's code image and configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement([u8; 32]);
+
+impl Measurement {
+    /// Computes the measurement of an enclave image.
+    pub fn of_image(code: &[u8], heap_bytes: usize, stack_bytes: usize) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(code);
+        hasher.update(&(heap_bytes as u64).to_le_bytes());
+        hasher.update(&(stack_bytes as u64).to_le_bytes());
+        Measurement(hasher.finalize())
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// Lifecycle state of an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnclaveState {
+    /// ECREATE/EADD done, EINIT pending.
+    Created,
+    /// EINIT done, ecalls permitted.
+    Initialized,
+    /// EREMOVE done.
+    Destroyed,
+}
+
+/// Builder for a simulated enclave, mirroring the knobs of the SGX SDK's
+/// enclave configuration file (heap size, stack size, thread count).
+#[derive(Debug, Clone)]
+pub struct EnclaveBuilder {
+    code: Vec<u8>,
+    heap_bytes: usize,
+    stack_bytes: usize,
+    threads: usize,
+    cost_model: CostModel,
+}
+
+impl EnclaveBuilder {
+    /// Starts a builder for an enclave whose "code image" is `code`.
+    ///
+    /// The code bytes only feed the measurement; they are not executed.
+    pub fn new(code: impl Into<Vec<u8>>) -> Self {
+        EnclaveBuilder {
+            code: code.into(),
+            heap_bytes: 64 * 1024,
+            stack_bytes: 64 * 1024,
+            threads: 1,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Sets the heap size in bytes.
+    pub fn heap_bytes(mut self, bytes: usize) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-thread stack size in bytes (default 64 KB, as in the SDK).
+    pub fn stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of trusted threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the cost model (defaults to [`CostModel::default`]).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// ELRANGE size implied by this configuration: code + heap + per-thread
+    /// stack and thread-control structures.
+    pub fn elrange_bytes(&self) -> usize {
+        const TCS_BYTES: usize = 16 * 1024;
+        self.code.len() + self.heap_bytes + self.threads * (self.stack_bytes + TCS_BYTES)
+    }
+
+    /// Creates and initializes the enclave, reserving its ELRANGE in `epc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::OutOfEpcMemory`] when the ELRANGE cannot be created.
+    pub fn build(self, epc: &Epc) -> Result<Enclave, SgxError> {
+        let id = EnclaveId::next();
+        let elrange = self.elrange_bytes();
+        epc.reserve(id, elrange)?;
+        let measurement = Measurement::of_image(&self.code, self.heap_bytes, self.stack_bytes);
+        let enclave = Enclave {
+            id,
+            measurement,
+            elrange_bytes: elrange,
+            epc: epc.clone(),
+            cost_model: self.cost_model,
+            inner: Arc::new(Mutex::new(EnclaveInner {
+                state: EnclaveState::Created,
+                stats: TransitionStats::default(),
+                simulated_ns: 0.0,
+            })),
+        };
+        // EINIT: the SDK initializes the enclave right after adding its pages.
+        enclave.inner.lock().state = EnclaveState::Initialized;
+        Ok(enclave)
+    }
+}
+
+#[derive(Debug)]
+struct EnclaveInner {
+    state: EnclaveState,
+    stats: TransitionStats,
+    simulated_ns: f64,
+}
+
+/// A simulated SGX enclave.
+///
+/// The enclave does not actually isolate anything — it runs the provided
+/// trusted closures in-process — but it *accounts* for everything the real
+/// hardware would charge: transition costs, boundary copies, and EPC pressure.
+/// Cloning an [`Enclave`] produces another handle to the same instance, which
+/// mirrors how multiple untrusted threads may enter the same enclave.
+#[derive(Debug, Clone)]
+pub struct Enclave {
+    id: EnclaveId,
+    measurement: Measurement,
+    elrange_bytes: usize,
+    epc: Epc,
+    cost_model: CostModel,
+    inner: Arc<Mutex<EnclaveInner>>,
+}
+
+impl Enclave {
+    /// The enclave's unique id.
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// The enclave's measurement (MRENCLAVE).
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Size of the enclave's ELRANGE in bytes.
+    pub fn elrange_bytes(&self) -> usize {
+        self.elrange_bytes
+    }
+
+    /// The cost model used to account simulated time.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Executes a trusted function as an ecall.
+    ///
+    /// `bytes_in` and `bytes_out` describe the marshalled buffer sizes so the
+    /// transition cost can be charged; the closure is the "trusted" code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Destroyed`] after [`Enclave::destroy`] was called,
+    /// or propagates the error returned by the trusted closure.
+    pub fn ecall<R>(
+        &self,
+        bytes_in: usize,
+        bytes_out: usize,
+        trusted: impl FnOnce() -> Result<R, SgxError>,
+    ) -> Result<R, SgxError> {
+        {
+            let mut inner = self.inner.lock();
+            match inner.state {
+                EnclaveState::Destroyed => return Err(SgxError::Destroyed),
+                EnclaveState::Created => return Err(SgxError::NotInitialized),
+                EnclaveState::Initialized => {}
+            }
+            inner.stats.ecalls += 1;
+            inner.stats.bytes_in += bytes_in as u64;
+            inner.stats.bytes_out += bytes_out as u64;
+            inner.simulated_ns += self.cost_model.ecall_roundtrip_ns(bytes_in, bytes_out);
+        }
+        trusted()
+    }
+
+    /// Records an ocall made from inside the enclave (cost accounting only).
+    pub fn ocall(&self, bytes_out: usize, bytes_in: usize) {
+        let mut inner = self.inner.lock();
+        inner.stats.ocalls += 1;
+        inner.simulated_ns += self.cost_model.ecall_roundtrip_ns(bytes_out, bytes_in);
+    }
+
+    /// Charges additional simulated nanoseconds of in-enclave work (crypto,
+    /// hashing, serialization) to this enclave.
+    pub fn charge_ns(&self, ns: f64) {
+        self.inner.lock().simulated_ns += ns;
+    }
+
+    /// Charges `accesses` random accesses over a working set of `bytes`.
+    pub fn charge_random_accesses(&self, bytes: usize, accesses: u64) {
+        self.epc.charge_accesses(self.id, accesses);
+        let per_access = self.cost_model.random_access_ns(bytes);
+        self.inner.lock().simulated_ns += per_access * accesses as f64;
+    }
+
+    /// Returns transition statistics accumulated so far.
+    pub fn stats(&self) -> TransitionStats {
+        self.inner.lock().stats
+    }
+
+    /// Total simulated nanoseconds charged to this enclave so far.
+    pub fn simulated_ns(&self) -> f64 {
+        self.inner.lock().simulated_ns
+    }
+
+    /// Resets the simulated-time counter and returns its previous value.
+    pub fn take_simulated_ns(&self) -> f64 {
+        let mut inner = self.inner.lock();
+        std::mem::replace(&mut inner.simulated_ns, 0.0)
+    }
+
+    /// Destroys the enclave and releases its EPC reservation.
+    pub fn destroy(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = EnclaveState::Destroyed;
+        self.epc.release(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_computes_elrange_from_components() {
+        let builder = EnclaveBuilder::new(vec![0u8; 436 * 1024])
+            .heap_bytes(128 * 1024)
+            .stack_bytes(64 * 1024)
+            .threads(1);
+        // 436 KB code + 128 KB heap + 64 KB stack + 16 KB TCS ≈ 644 KB.
+        assert_eq!(builder.elrange_bytes(), (436 + 128 + 64 + 16) * 1024);
+    }
+
+    #[test]
+    fn measurement_depends_on_code_and_config() {
+        let a = Measurement::of_image(b"entry enclave v1", 1024, 1024);
+        let b = Measurement::of_image(b"entry enclave v2", 1024, 1024);
+        let c = Measurement::of_image(b"entry enclave v1", 2048, 1024);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, Measurement::of_image(b"entry enclave v1", 1024, 1024));
+    }
+
+    #[test]
+    fn ecall_counts_transitions_and_charges_time() {
+        let epc = Epc::new();
+        let enclave = EnclaveBuilder::new(b"code".to_vec()).build(&epc).unwrap();
+        let result = enclave.ecall(100, 200, || Ok::<_, SgxError>(42)).unwrap();
+        assert_eq!(result, 42);
+        let stats = enclave.stats();
+        assert_eq!(stats.ecalls, 1);
+        assert_eq!(stats.bytes_in, 100);
+        assert_eq!(stats.bytes_out, 200);
+        assert!(enclave.simulated_ns() > 0.0);
+    }
+
+    #[test]
+    fn destroyed_enclave_rejects_ecalls_and_frees_epc() {
+        let epc = Epc::new();
+        let enclave = EnclaveBuilder::new(b"code".to_vec()).build(&epc).unwrap();
+        assert_eq!(epc.usage().enclaves, 1);
+        enclave.destroy();
+        assert_eq!(epc.usage().enclaves, 0);
+        let err = enclave.ecall(0, 0, || Ok::<_, SgxError>(())).unwrap_err();
+        assert_eq!(err, SgxError::Destroyed);
+    }
+
+    #[test]
+    fn oversized_enclave_is_rejected() {
+        let epc = Epc::new();
+        let err = EnclaveBuilder::new(vec![])
+            .heap_bytes(256 * 1024 * 1024)
+            .build(&epc)
+            .unwrap_err();
+        assert!(matches!(err, SgxError::OutOfEpcMemory { .. }));
+    }
+
+    #[test]
+    fn take_simulated_ns_resets_counter() {
+        let epc = Epc::new();
+        let enclave = EnclaveBuilder::new(b"c".to_vec()).build(&epc).unwrap();
+        enclave.charge_ns(1234.5);
+        assert_eq!(enclave.take_simulated_ns(), 1234.5);
+        assert_eq!(enclave.simulated_ns(), 0.0);
+    }
+
+    #[test]
+    fn charge_random_accesses_reflects_epc_pressure() {
+        let epc = Epc::new();
+        let small = EnclaveBuilder::new(b"small".to_vec()).heap_bytes(1024 * 1024).build(&epc).unwrap();
+        small.charge_random_accesses(1024 * 1024, 1000);
+        let cheap = small.take_simulated_ns();
+
+        let big = EnclaveBuilder::new(b"big".to_vec()).heap_bytes(100 * 1024 * 1024).build(&epc).unwrap();
+        big.charge_random_accesses(100 * 1024 * 1024 + small.elrange_bytes(), 1000);
+        let expensive = big.take_simulated_ns();
+        assert!(expensive > cheap * 10.0, "expensive={expensive} cheap={cheap}");
+    }
+
+    #[test]
+    fn enclave_ids_are_unique() {
+        let epc = Epc::new();
+        let a = EnclaveBuilder::new(b"x".to_vec()).build(&epc).unwrap();
+        let b = EnclaveBuilder::new(b"x".to_vec()).build(&epc).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn clone_shares_stats() {
+        let epc = Epc::new();
+        let enclave = EnclaveBuilder::new(b"x".to_vec()).build(&epc).unwrap();
+        let handle = enclave.clone();
+        handle.ecall(1, 1, || Ok::<_, SgxError>(())).unwrap();
+        assert_eq!(enclave.stats().ecalls, 1);
+    }
+}

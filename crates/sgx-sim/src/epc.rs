@@ -1,0 +1,246 @@
+//! Enclave Page Cache (EPC) accounting.
+//!
+//! SGX backs enclave memory with a reserved range of system memory of at most
+//! 128 MB, of which only about 92 MB are usable for enclave pages (the rest
+//! holds SGX management structures). Once the sum of all enclave working sets
+//! exceeds this limit, the (untrusted) kernel must page enclave pages out to
+//! normal RAM after re-encryption, which is extremely slow.
+//!
+//! This module tracks allocations of all simulated enclaves against a shared
+//! EPC and reports paging pressure so the cost model can charge for it.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::enclave::EnclaveId;
+use crate::error::SgxError;
+use crate::PAGE_SIZE;
+
+/// Nominal EPC size reserved by the BIOS (128 MB).
+pub const EPC_TOTAL_BYTES: usize = 128 * 1024 * 1024;
+/// Usable EPC size after SGX metadata overhead (~92 MB, measured in the paper).
+pub const EPC_USABLE_BYTES: usize = 92 * 1024 * 1024;
+
+/// Shared, thread-safe EPC tracker.
+///
+/// Cloning an [`Epc`] yields another handle to the same underlying state, so a
+/// replica process can hand one handle to every enclave it hosts.
+#[derive(Debug, Clone)]
+pub struct Epc {
+    inner: Arc<Mutex<EpcState>>,
+}
+
+#[derive(Debug)]
+struct EpcState {
+    usable_bytes: usize,
+    allocations: HashMap<EnclaveId, usize>,
+    /// Total number of page-out events charged so far.
+    pages_evicted: u64,
+}
+
+/// A snapshot of EPC utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcUsage {
+    /// Bytes currently allocated across all enclaves.
+    pub allocated_bytes: usize,
+    /// Usable capacity in bytes.
+    pub usable_bytes: usize,
+    /// Number of enclaves holding allocations.
+    pub enclaves: usize,
+    /// Cumulative count of simulated page evictions.
+    pub pages_evicted: u64,
+}
+
+impl EpcUsage {
+    /// True when the working set exceeds usable EPC and paging is active.
+    pub fn is_paging(&self) -> bool {
+        self.allocated_bytes > self.usable_bytes
+    }
+
+    /// Utilization in the range `[0, ∞)`; values above 1.0 mean paging.
+    pub fn utilization(&self) -> f64 {
+        self.allocated_bytes as f64 / self.usable_bytes as f64
+    }
+}
+
+impl Default for Epc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Epc {
+    /// Creates an EPC with the default usable capacity of [`EPC_USABLE_BYTES`].
+    pub fn new() -> Self {
+        Self::with_usable_bytes(EPC_USABLE_BYTES)
+    }
+
+    /// Creates an EPC with a custom usable capacity (for experiments).
+    pub fn with_usable_bytes(usable_bytes: usize) -> Self {
+        Epc {
+            inner: Arc::new(Mutex::new(EpcState {
+                usable_bytes,
+                allocations: HashMap::new(),
+                pages_evicted: 0,
+            })),
+        }
+    }
+
+    /// Records that `enclave` now occupies `bytes` of EPC-backed memory.
+    ///
+    /// Unlike real hardware this never fails: exceeding the usable capacity
+    /// simply turns on paging (with the associated cost), exactly as the
+    /// kernel's EPC paging does. Enclave *creation* beyond the total EPC size
+    /// is rejected by [`Epc::reserve`], mirroring the conservative upfront
+    /// allocation the paper describes in Section 6.5.
+    pub fn set_allocation(&self, enclave: EnclaveId, bytes: usize) {
+        let mut state = self.inner.lock();
+        state.allocations.insert(enclave, bytes);
+    }
+
+    /// Attempts to reserve `bytes` for a new enclave's ELRANGE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::OutOfEpcMemory`] when the reservation alone exceeds
+    /// the *total* EPC (such an enclave could never be fully resident and the
+    /// SDK refuses to create it).
+    pub fn reserve(&self, enclave: EnclaveId, bytes: usize) -> Result<(), SgxError> {
+        if bytes > EPC_TOTAL_BYTES {
+            return Err(SgxError::OutOfEpcMemory { requested: bytes, available: EPC_TOTAL_BYTES });
+        }
+        self.set_allocation(enclave, bytes);
+        Ok(())
+    }
+
+    /// Releases all EPC pages owned by `enclave`.
+    pub fn release(&self, enclave: EnclaveId) {
+        let mut state = self.inner.lock();
+        state.allocations.remove(&enclave);
+    }
+
+    /// Charges `accesses` random page accesses for `enclave` and returns the
+    /// number of accesses that required paging (for statistics).
+    pub fn charge_accesses(&self, _enclave: EnclaveId, accesses: u64) -> u64 {
+        let mut state = self.inner.lock();
+        let allocated: usize = state.allocations.values().sum();
+        if allocated <= state.usable_bytes {
+            return 0;
+        }
+        let paged_fraction = 1.0 - state.usable_bytes as f64 / allocated as f64;
+        let paged = (accesses as f64 * paged_fraction).round() as u64;
+        state.pages_evicted += paged;
+        paged
+    }
+
+    /// Returns a snapshot of current usage.
+    pub fn usage(&self) -> EpcUsage {
+        let state = self.inner.lock();
+        EpcUsage {
+            allocated_bytes: state.allocations.values().sum(),
+            usable_bytes: state.usable_bytes,
+            enclaves: state.allocations.len(),
+            pages_evicted: state.pages_evicted,
+        }
+    }
+
+    /// Number of 4 KiB pages backing `bytes`.
+    pub fn pages_for(bytes: usize) -> usize {
+        bytes.div_ceil(PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> EnclaveId {
+        EnclaveId::from_raw(n)
+    }
+
+    #[test]
+    fn empty_epc_has_zero_usage() {
+        let epc = Epc::new();
+        let usage = epc.usage();
+        assert_eq!(usage.allocated_bytes, 0);
+        assert_eq!(usage.enclaves, 0);
+        assert!(!usage.is_paging());
+    }
+
+    #[test]
+    fn allocations_accumulate_across_enclaves() {
+        let epc = Epc::new();
+        epc.set_allocation(id(1), 580 * 1024);
+        epc.set_allocation(id(2), 580 * 1024);
+        epc.set_allocation(id(3), 397 * 1024);
+        let usage = epc.usage();
+        assert_eq!(usage.enclaves, 3);
+        assert_eq!(usage.allocated_bytes, (580 + 580 + 397) * 1024);
+        assert!(!usage.is_paging());
+    }
+
+    #[test]
+    fn one_hundred_fifty_entry_enclaves_fit_without_paging() {
+        // Paper §6.5: more than 150 entry enclaves (580 KB each) fit in the EPC.
+        let epc = Epc::new();
+        for i in 0..150u64 {
+            epc.set_allocation(id(i), 580 * 1024);
+        }
+        assert!(!epc.usage().is_paging());
+    }
+
+    #[test]
+    fn exceeding_usable_capacity_triggers_paging() {
+        let epc = Epc::new();
+        epc.set_allocation(id(1), 100 * 1024 * 1024);
+        let usage = epc.usage();
+        assert!(usage.is_paging());
+        assert!(usage.utilization() > 1.0);
+        let paged = epc.charge_accesses(id(1), 10_000);
+        assert!(paged > 0);
+        assert!(epc.usage().pages_evicted > 0);
+    }
+
+    #[test]
+    fn reserve_rejects_elrange_larger_than_total_epc() {
+        let epc = Epc::new();
+        let err = epc.reserve(id(1), EPC_TOTAL_BYTES + 1).unwrap_err();
+        assert!(matches!(err, SgxError::OutOfEpcMemory { .. }));
+        assert!(epc.reserve(id(2), 64 * 1024 * 1024).is_ok());
+    }
+
+    #[test]
+    fn release_frees_pages() {
+        let epc = Epc::new();
+        epc.set_allocation(id(1), 50 * 1024 * 1024);
+        epc.set_allocation(id(2), 50 * 1024 * 1024);
+        assert!(epc.usage().is_paging());
+        epc.release(id(1));
+        assert!(!epc.usage().is_paging());
+        assert_eq!(epc.usage().enclaves, 1);
+    }
+
+    #[test]
+    fn charge_accesses_below_limit_is_free() {
+        let epc = Epc::new();
+        epc.set_allocation(id(1), 1024 * 1024);
+        assert_eq!(epc.charge_accesses(id(1), 1_000_000), 0);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let epc = Epc::new();
+        let handle = epc.clone();
+        handle.set_allocation(id(1), 4096);
+        assert_eq!(epc.usage().allocated_bytes, 4096);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(Epc::pages_for(0), 0);
+        assert_eq!(Epc::pages_for(1), 1);
+        assert_eq!(Epc::pages_for(4096), 1);
+        assert_eq!(Epc::pages_for(4097), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the SGX simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated SGX runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// The enclave has not been initialized (EINIT has not run).
+    NotInitialized,
+    /// The enclave was already destroyed.
+    Destroyed,
+    /// The requested ELRANGE size cannot be satisfied.
+    OutOfEpcMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently available in the EPC.
+        available: usize,
+    },
+    /// An ecall was invoked that the enclave does not export.
+    UnknownEcall {
+        /// Name of the missing ecall.
+        name: String,
+    },
+    /// The output buffer supplied to an ecall is too small for the result.
+    BufferTooSmall {
+        /// Bytes required by the enclave.
+        needed: usize,
+        /// Bytes available in the caller-supplied buffer.
+        capacity: usize,
+    },
+    /// Unsealing failed: the blob was produced by a different enclave
+    /// measurement or was tampered with.
+    UnsealingFailed,
+    /// Attestation verification failed.
+    AttestationFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The enclave code raised an application-level error.
+    EnclaveFault {
+        /// Description propagated from inside the enclave.
+        message: String,
+    },
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::NotInitialized => write!(f, "enclave is not initialized"),
+            SgxError::Destroyed => write!(f, "enclave has been destroyed"),
+            SgxError::OutOfEpcMemory { requested, available } => {
+                write!(f, "out of EPC memory: requested {requested} bytes, {available} available")
+            }
+            SgxError::UnknownEcall { name } => write!(f, "unknown ecall `{name}`"),
+            SgxError::BufferTooSmall { needed, capacity } => {
+                write!(f, "ecall buffer too small: need {needed} bytes, capacity {capacity}")
+            }
+            SgxError::UnsealingFailed => write!(f, "unsealing failed"),
+            SgxError::AttestationFailed { reason } => write!(f, "attestation failed: {reason}"),
+            SgxError::EnclaveFault { message } => write!(f, "enclave fault: {message}"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SgxError::OutOfEpcMemory { requested: 1024, available: 512 };
+        assert!(err.to_string().contains("1024"));
+        assert!(err.to_string().contains("512"));
+        assert!(SgxError::UnknownEcall { name: "ec_request".into() }.to_string().contains("ec_request"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+}

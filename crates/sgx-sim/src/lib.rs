@@ -1,0 +1,48 @@
+//! Software simulation of Intel SGX used by the SecureKeeper reproduction.
+//!
+//! The original paper runs on SGX-capable Skylake machines with the Intel SGX
+//! SDK. This repository has no SGX hardware available, so this crate provides
+//! a faithful *functional and performance model* of the parts of SGX the paper
+//! relies on:
+//!
+//! * **Enclave lifecycle** — creation, measurement, initialization,
+//!   destruction ([`enclave::Enclave`], [`enclave::EnclaveBuilder`]).
+//! * **EPC accounting** — the Enclave Page Cache is limited to 128 MB of
+//!   which roughly 92 MB are usable; exceeding it triggers costly paging
+//!   ([`epc::Epc`]).
+//! * **ecall/ocall transitions** — entering and leaving an enclave has a
+//!   fixed cost that dominates small-message workloads
+//!   ([`ecall::TransitionStats`], [`cost::CostModel`]).
+//! * **Paging cost model** — random accesses to enclave memory fall off a
+//!   cliff once the working set exceeds the L3 cache and again once it
+//!   exceeds the EPC (paper Figures 3 and 4) ([`paging`]).
+//! * **Sealing** — encrypting enclave secrets for persistent storage bound to
+//!   the enclave measurement ([`sealing`]).
+//! * **Remote attestation** — quote generation and verification so that the
+//!   SecureKeeper administrator can provision the storage key only to genuine
+//!   entry enclaves ([`attestation`]).
+//!
+//! The cost model is calibrated against the microbenchmarks published in the
+//! paper itself, so the *shape* of every performance result (who wins, by what
+//! factor, where the cliffs are) is reproduced even though absolute numbers
+//! necessarily differ from the authors' testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod cost;
+pub mod ecall;
+pub mod enclave;
+pub mod epc;
+pub mod error;
+pub mod paging;
+pub mod sealing;
+
+pub use cost::CostModel;
+pub use enclave::{Enclave, EnclaveBuilder, EnclaveId, Measurement};
+pub use epc::{Epc, EPC_TOTAL_BYTES, EPC_USABLE_BYTES};
+pub use error::SgxError;
+
+/// Size of an SGX page in bytes.
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,171 @@
+//! EPC paging microbenchmark models (paper Figures 3 and 4).
+//!
+//! Figure 3 measures the maximum number of random single-byte page accesses
+//! per second as a function of the memory allocated inside an enclave; the
+//! curve shows two cliffs (L3 cache at 8 MB, EPC at ~92 MB). Figure 4 runs a
+//! small key-value store inside an enclave of growing size and measures
+//! request throughput from a remote machine, comparing against native
+//! execution.
+//!
+//! Both experiments are reproduced here on top of [`CostModel`]; the bench
+//! binaries `fig03_epc_paging` and `fig04_enclave_kvs` print the series.
+
+use crate::cost::CostModel;
+
+/// Result of one point of the random-access experiment (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomAccessPoint {
+    /// Allocated enclave memory in bytes.
+    pub enclave_bytes: usize,
+    /// Thousand page accesses per second for random reads.
+    pub kilo_reads_per_sec: f64,
+    /// Thousand page accesses per second for random writes.
+    pub kilo_writes_per_sec: f64,
+}
+
+/// Runs the Figure 3 experiment for the given allocation sizes.
+///
+/// Writes are slightly more expensive than reads once paging starts because
+/// dirty pages must be re-encrypted before eviction; the paper's figure shows
+/// the same small gap.
+pub fn random_access_sweep(model: &CostModel, sizes_bytes: &[usize]) -> Vec<RandomAccessPoint> {
+    sizes_bytes
+        .iter()
+        .map(|&bytes| {
+            let read_ns = model.random_access_ns(bytes);
+            // Dirty-page eviction adds ~20% once the working set exceeds the EPC.
+            let write_ns = if bytes > model.epc_usable_bytes { read_ns * 1.2 } else { read_ns * 1.05 };
+            RandomAccessPoint {
+                enclave_bytes: bytes,
+                kilo_reads_per_sec: 1e9 / read_ns / 1e3,
+                kilo_writes_per_sec: 1e9 / write_ns / 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Result of one point of the in-enclave key-value store experiment (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvsPoint {
+    /// Size of the enclave memory range holding the KVS, in bytes.
+    pub enclave_bytes: usize,
+    /// Requests per second with the KVS running natively (no enclave).
+    pub native_rps: f64,
+    /// Requests per second with the KVS inside an SGX enclave.
+    pub sgx_rps: f64,
+}
+
+impl KvsPoint {
+    /// Normalized difference `(native - sgx) / sgx`, the secondary axis of Figure 4.
+    pub fn normed_difference(&self) -> f64 {
+        (self.native_rps - self.sgx_rps) / self.sgx_rps
+    }
+}
+
+/// Parameters of the Figure 4 key-value store experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvsExperiment {
+    /// Fixed per-request cost outside the store itself (network, request
+    /// parsing) in nanoseconds. Dominates while the store is small.
+    pub request_overhead_ns: f64,
+    /// Number of random memory touches a single KVS request performs
+    /// (hash-bucket walk plus value copy).
+    pub accesses_per_request: u32,
+    /// Size of one key-value pair in bytes (determines how many pairs fit).
+    pub pair_bytes: usize,
+}
+
+impl Default for KvsExperiment {
+    fn default() -> Self {
+        KvsExperiment { request_overhead_ns: 25_000.0, accesses_per_request: 16, pair_bytes: 1024 }
+    }
+}
+
+/// Runs the Figure 4 experiment over the given enclave sizes.
+pub fn kvs_sweep(model: &CostModel, experiment: &KvsExperiment, sizes_bytes: &[usize]) -> Vec<KvsPoint> {
+    let native_model = CostModel::native();
+    sizes_bytes
+        .iter()
+        .map(|&bytes| {
+            let per_request = |m: &CostModel, enclave: bool| {
+                let transition = if enclave { m.ecall_roundtrip_ns(256, 1024 + 64) } else { 0.0 };
+                let touches = experiment.accesses_per_request as f64 * m.random_access_ns(bytes);
+                experiment.request_overhead_ns + transition + touches
+            };
+            KvsPoint {
+                enclave_bytes: bytes,
+                native_rps: 1e9 / per_request(&native_model, false),
+                sgx_rps: 1e9 / per_request(model, true),
+            }
+        })
+        .collect()
+}
+
+/// The allocation sizes (in MB) used on the x-axis of Figure 3.
+pub fn figure3_sizes_mb() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64, 92, 128, 256, 512, 1024, 2561]
+}
+
+/// The enclave sizes (in MB) used on the x-axis of Figure 4.
+pub fn figure4_sizes_mb() -> Vec<usize> {
+    vec![1, 4, 16, 64, 102, 128, 256, 512, 1024, 3072]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: usize = 1024 * 1024;
+
+    #[test]
+    fn figure3_shape_two_cliffs() {
+        let model = CostModel::default();
+        let sizes: Vec<usize> = figure3_sizes_mb().iter().map(|mb| mb * MB).collect();
+        let points = random_access_sweep(&model, &sizes);
+        let at = |mb: usize| points.iter().find(|p| p.enclave_bytes == mb * MB).unwrap();
+        // Inside L3: fastest. Between L3 and EPC: ~5x slower. Past EPC: >100x slower.
+        assert!(at(4).kilo_reads_per_sec / at(64).kilo_reads_per_sec > 3.0);
+        assert!(at(64).kilo_reads_per_sec / at(256).kilo_reads_per_sec > 20.0);
+        assert!(at(1).kilo_reads_per_sec / at(2561).kilo_reads_per_sec > 500.0);
+    }
+
+    #[test]
+    fn figure3_writes_slower_than_reads_when_paging() {
+        let model = CostModel::default();
+        let points = random_access_sweep(&model, &[256 * MB]);
+        assert!(points[0].kilo_writes_per_sec < points[0].kilo_reads_per_sec);
+    }
+
+    #[test]
+    fn figure4_sgx_close_to_native_below_epc() {
+        let model = CostModel::default();
+        let points = kvs_sweep(&model, &KvsExperiment::default(), &[16 * MB]);
+        let p = points[0];
+        // Paper: below the EPC limit SGX throughput is within ~25% of native.
+        assert!(p.normed_difference() < 0.5, "normed diff {}", p.normed_difference());
+    }
+
+    #[test]
+    fn figure4_sgx_collapses_past_epc() {
+        let model = CostModel::default();
+        let points = kvs_sweep(&model, &KvsExperiment::default(), &[102 * MB, 512 * MB, 3072 * MB]);
+        for p in &points {
+            assert!(
+                p.normed_difference() > 2.0,
+                "expected large normed difference at {} MB, got {}",
+                p.enclave_bytes / MB,
+                p.normed_difference()
+            );
+        }
+        // And the effect grows with size.
+        assert!(points[2].normed_difference() > points[0].normed_difference());
+    }
+
+    #[test]
+    fn size_axes_are_nonempty_and_sorted() {
+        let f3 = figure3_sizes_mb();
+        let f4 = figure4_sizes_mb();
+        assert!(f3.windows(2).all(|w| w[0] < w[1]));
+        assert!(f4.windows(2).all(|w| w[0] < w[1]));
+    }
+}

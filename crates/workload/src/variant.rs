@@ -1,0 +1,146 @@
+//! The three systems compared throughout the evaluation.
+
+/// Which ZooKeeper variant is being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Unmodified ZooKeeper, plaintext on the wire and in the store.
+    VanillaZk,
+    /// ZooKeeper with TLS between clients and replicas (the paper's baseline
+    /// for a fair comparison: it pays for transport crypto but provides no
+    /// protection against the replica itself).
+    TlsZk,
+    /// SecureKeeper: transport crypto terminated inside the entry enclave plus
+    /// storage encryption of paths and payloads.
+    SecureKeeper,
+}
+
+impl Variant {
+    /// All variants in the order used by the paper's plots.
+    pub fn all() -> [Variant; 3] {
+        [Variant::VanillaZk, Variant::TlsZk, Variant::SecureKeeper]
+    }
+
+    /// Label used in reports and plots (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::VanillaZk => "Vanilla-ZK",
+            Variant::TlsZk => "TLS-ZK",
+            Variant::SecureKeeper => "SecureKeeper",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The request kinds evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// GET (getData).
+    Get,
+    /// SET (setData).
+    Set,
+    /// CREATE of a regular znode.
+    Create,
+    /// CREATE of a sequential znode (extra counter-enclave hop on the leader).
+    CreateSequential,
+    /// DELETE.
+    Delete,
+    /// LS (getChildren).
+    Ls,
+}
+
+impl OpKind {
+    /// All operations in the order of Table 1.
+    pub fn all() -> [OpKind; 6] {
+        [OpKind::Get, OpKind::Set, OpKind::Ls, OpKind::Create, OpKind::CreateSequential, OpKind::Delete]
+    }
+
+    /// True for operations that go through ZAB agreement.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Set | OpKind::Create | OpKind::CreateSequential | OpKind::Delete)
+    }
+
+    /// Label used in reports (matches Table 1).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Get => "GET",
+            OpKind::Set => "SET",
+            OpKind::Ls => "LS",
+            OpKind::Create => "CREATE",
+            OpKind::CreateSequential => "CREATESEQ",
+            OpKind::Delete => "DELETE",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether clients issue requests synchronously (one outstanding request per
+/// thread) or asynchronously (a window of pending requests per connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestMode {
+    /// One outstanding request per client thread.
+    Synchronous,
+    /// Pipelined requests (the paper uses 200 pending requests per client).
+    Asynchronous,
+}
+
+impl RequestMode {
+    /// Both modes.
+    pub fn all() -> [RequestMode; 2] {
+        [RequestMode::Synchronous, RequestMode::Asynchronous]
+    }
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestMode::Synchronous => "sync",
+            RequestMode::Asynchronous => "async",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Variant::VanillaZk.to_string(), "Vanilla-ZK");
+        assert_eq!(Variant::TlsZk.to_string(), "TLS-ZK");
+        assert_eq!(Variant::SecureKeeper.to_string(), "SecureKeeper");
+        assert_eq!(OpKind::CreateSequential.to_string(), "CREATESEQ");
+        assert_eq!(RequestMode::Asynchronous.to_string(), "async");
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(!OpKind::Get.is_write());
+        assert!(!OpKind::Ls.is_write());
+        assert!(OpKind::Set.is_write());
+        assert!(OpKind::Create.is_write());
+        assert!(OpKind::CreateSequential.is_write());
+        assert!(OpKind::Delete.is_write());
+    }
+
+    #[test]
+    fn enumerations_are_complete() {
+        assert_eq!(Variant::all().len(), 3);
+        assert_eq!(OpKind::all().len(), 6);
+        assert_eq!(RequestMode::all().len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! A ZooKeeper Atomic Broadcast (ZAB) style agreement protocol.
+//!
+//! ZooKeeper orders all write requests through its leader replica using the
+//! ZAB protocol [Junqueira et al., DSN 2011]: the leader wraps each state
+//! change in a *transaction* identified by a monotonically increasing `zxid`,
+//! proposes it to the followers, collects acknowledgements, and commits the
+//! transaction once a quorum (majority) has acknowledged it. When the leader
+//! fails, the remaining replicas elect a new leader — the replica with the
+//! most up-to-date transaction log — and a new epoch begins.
+//!
+//! SecureKeeper does not modify ZAB at all; it only relies on the properties
+//! above (total order of writes, FIFO per client, leader-side hook for
+//! sequential-node numbering, and crash fault tolerance). This crate provides
+//! a deterministic, in-process implementation of those properties that the
+//! `zkserver` crate builds on and that the fault-tolerance experiment
+//! (Figure 12) exercises:
+//!
+//! * [`message::Zxid`], [`message::Txn`], [`message::ZabMessage`] — the
+//!   protocol vocabulary;
+//! * [`log::TxnLog`] — the per-replica committed transaction log;
+//! * [`network::SimNetwork`] — a reliable FIFO message bus with crash
+//!   injection;
+//! * [`node::ZabNode`] — the per-replica protocol state machine;
+//! * [`cluster::ZabCluster`] — glue that steps all nodes, runs leader
+//!   election, and exposes a simple `broadcast` API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod log;
+pub mod message;
+pub mod network;
+pub mod node;
+
+pub use cluster::ZabCluster;
+pub use log::TxnLog;
+pub use message::{NodeId, Txn, ZabMessage, Zxid};
+pub use node::{Role, ZabNode};

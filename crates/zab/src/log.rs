@@ -1,0 +1,162 @@
+//! Per-replica transaction log.
+
+use crate::message::{Txn, Zxid};
+
+/// An in-memory, append-only log of transactions with a commit watermark.
+///
+/// Proposals are appended when received; they become visible to the state
+/// machine only once committed. This mirrors ZooKeeper's behaviour where a
+/// follower logs a proposal to disk before acknowledging it and applies it to
+/// its database only on commit.
+#[derive(Debug, Clone, Default)]
+pub struct TxnLog {
+    entries: Vec<Txn>,
+    committed_up_to: Zxid,
+}
+
+impl TxnLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a proposed transaction.
+    ///
+    /// Out-of-order or duplicate appends are ignored (idempotent), which keeps
+    /// recovery simple: a replica may receive the same proposal again during
+    /// leader synchronization.
+    pub fn append(&mut self, txn: Txn) {
+        if self.entries.last().map_or(true, |last| txn.zxid > last.zxid) {
+            self.entries.push(txn);
+        }
+    }
+
+    /// Marks every entry up to and including `zxid` as committed and returns
+    /// the newly committed transactions in order.
+    pub fn commit_up_to(&mut self, zxid: Zxid) -> Vec<Txn> {
+        let newly: Vec<Txn> = self
+            .entries
+            .iter()
+            .filter(|t| t.zxid > self.committed_up_to && t.zxid <= zxid)
+            .cloned()
+            .collect();
+        if zxid > self.committed_up_to {
+            self.committed_up_to = zxid;
+        }
+        newly
+    }
+
+    /// The zxid of the last appended proposal (committed or not).
+    pub fn last_logged(&self) -> Zxid {
+        self.entries.last().map_or(Zxid::ZERO, |t| t.zxid)
+    }
+
+    /// The zxid up to which transactions have been committed.
+    pub fn last_committed(&self) -> Zxid {
+        self.committed_up_to
+    }
+
+    /// All committed transactions in order.
+    pub fn committed(&self) -> impl Iterator<Item = &Txn> {
+        self.entries.iter().filter(move |t| t.zxid <= self.committed_up_to)
+    }
+
+    /// All transactions (committed or not) strictly newer than `after`.
+    pub fn entries_after(&self, after: Zxid) -> Vec<Txn> {
+        self.entries.iter().filter(|t| t.zxid > after).cloned().collect()
+    }
+
+    /// Discards uncommitted entries from a stale epoch. A replica that
+    /// rejoins after a new leader was elected must drop proposals that were
+    /// never committed under the old epoch.
+    pub fn truncate_uncommitted(&mut self) {
+        let committed = self.committed_up_to;
+        self.entries.retain(|t| t.zxid <= committed);
+    }
+
+    /// Number of logged entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entry has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(epoch: u32, counter: u32) -> Txn {
+        Txn { zxid: Zxid { epoch, counter }, payload: vec![counter as u8] }
+    }
+
+    #[test]
+    fn append_and_commit_in_order() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        log.append(txn(1, 3));
+        assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 3 });
+        assert_eq!(log.last_committed(), Zxid::ZERO);
+
+        let committed = log.commit_up_to(Zxid { epoch: 1, counter: 2 });
+        assert_eq!(committed.len(), 2);
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 2 });
+        assert_eq!(log.committed().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_stale_appends_are_ignored() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        log.append(txn(1, 1)); // stale
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_monotonic() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        assert_eq!(log.commit_up_to(Zxid { epoch: 1, counter: 2 }).len(), 2);
+        assert!(log.commit_up_to(Zxid { epoch: 1, counter: 2 }).is_empty());
+        assert!(log.commit_up_to(Zxid { epoch: 1, counter: 1 }).is_empty());
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 2 });
+    }
+
+    #[test]
+    fn entries_after_returns_suffix() {
+        let mut log = TxnLog::new();
+        for i in 1..=5 {
+            log.append(txn(1, i));
+        }
+        let suffix = log.entries_after(Zxid { epoch: 1, counter: 3 });
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].zxid.counter, 4);
+    }
+
+    #[test]
+    fn truncate_uncommitted_drops_pending_entries() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        log.commit_up_to(Zxid { epoch: 1, counter: 1 });
+        log.truncate_uncommitted();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 1 });
+    }
+
+    #[test]
+    fn empty_log_properties() {
+        let log = TxnLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.last_logged(), Zxid::ZERO);
+        assert_eq!(log.last_committed(), Zxid::ZERO);
+        assert!(log.entries_after(Zxid::ZERO).is_empty());
+    }
+}

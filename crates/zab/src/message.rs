@@ -1,0 +1,136 @@
+//! Protocol vocabulary: identifiers, transactions and messages.
+
+/// Identifier of a replica participating in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica{}", self.0)
+    }
+}
+
+/// A ZooKeeper transaction id: the high 32 bits hold the leader epoch, the low
+/// 32 bits a counter that resets with each new epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Zxid {
+    /// Leader epoch.
+    pub epoch: u32,
+    /// Per-epoch counter, starting at 1 for the first proposal of an epoch.
+    pub counter: u32,
+}
+
+impl Zxid {
+    /// The zero zxid (no transaction seen yet).
+    pub const ZERO: Zxid = Zxid { epoch: 0, counter: 0 };
+
+    /// Builds a zxid from its packed 64-bit representation.
+    pub fn from_u64(raw: u64) -> Self {
+        Zxid { epoch: (raw >> 32) as u32, counter: raw as u32 }
+    }
+
+    /// Packs the zxid into 64 bits (epoch high, counter low).
+    pub fn as_u64(&self) -> u64 {
+        (u64::from(self.epoch) << 32) | u64::from(self.counter)
+    }
+
+    /// The next zxid within the same epoch.
+    pub fn next(&self) -> Zxid {
+        Zxid { epoch: self.epoch, counter: self.counter + 1 }
+    }
+
+    /// The first zxid of the following epoch.
+    pub fn next_epoch(&self) -> Zxid {
+        Zxid { epoch: self.epoch + 1, counter: 0 }
+    }
+}
+
+impl std::fmt::Display for Zxid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:08x}{:08x}", self.epoch, self.counter)
+    }
+}
+
+/// A state-machine command to be totally ordered. The payload is opaque to the
+/// protocol; `zkserver` stores a serialized write request in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// The zxid assigned by the leader.
+    pub zxid: Zxid,
+    /// Opaque command payload.
+    pub payload: Vec<u8>,
+}
+
+/// Messages exchanged between replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZabMessage {
+    /// Leader → follower: please accept this transaction.
+    Proposal {
+        /// The proposed transaction.
+        txn: Txn,
+    },
+    /// Follower → leader: transaction logged, ready to commit.
+    Ack {
+        /// zxid being acknowledged.
+        zxid: Zxid,
+        /// Acknowledging replica.
+        from: NodeId,
+    },
+    /// Leader → follower: a quorum acknowledged, apply the transaction.
+    Commit {
+        /// zxid to commit.
+        zxid: Zxid,
+    },
+    /// New leader → follower: synchronize missing transactions after election.
+    NewLeaderSync {
+        /// The new epoch.
+        epoch: u32,
+        /// Transactions the follower is missing.
+        txns: Vec<Txn>,
+    },
+    /// Follower → new leader: synchronization acknowledged.
+    SyncAck {
+        /// The follower.
+        from: NodeId,
+        /// The new epoch.
+        epoch: u32,
+    },
+    /// Periodic heartbeat from the leader (used for failure detection).
+    Heartbeat {
+        /// Current epoch.
+        epoch: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zxid_ordering_is_epoch_major() {
+        let a = Zxid { epoch: 1, counter: 100 };
+        let b = Zxid { epoch: 2, counter: 1 };
+        assert!(b > a);
+        assert!(Zxid::ZERO < a);
+    }
+
+    #[test]
+    fn zxid_packing_roundtrip() {
+        let z = Zxid { epoch: 7, counter: 123_456 };
+        assert_eq!(Zxid::from_u64(z.as_u64()), z);
+        assert_eq!(z.as_u64() >> 32, 7);
+    }
+
+    #[test]
+    fn zxid_next_and_next_epoch() {
+        let z = Zxid { epoch: 3, counter: 9 };
+        assert_eq!(z.next(), Zxid { epoch: 3, counter: 10 });
+        assert_eq!(z.next_epoch(), Zxid { epoch: 4, counter: 0 });
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(2).to_string(), "replica2");
+        assert_eq!(Zxid { epoch: 1, counter: 2 }.to_string(), "0x0000000100000002");
+    }
+}

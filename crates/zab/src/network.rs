@@ -1,0 +1,201 @@
+//! Simulated replica-to-replica network.
+//!
+//! Replicas exchange [`ZabMessage`]s over per-destination FIFO queues. The
+//! network is reliable (no loss, no reordering between a given pair of nodes)
+//! but supports *crash injection*: a crashed node neither receives nor sends
+//! messages until it recovers. This matches the fault model of the paper's
+//! evaluation (replica crashes, no Byzantine behaviour, no partitions).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::message::{NodeId, ZabMessage};
+
+/// An envelope carrying a message and its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending replica.
+    pub from: NodeId,
+    /// The protocol message.
+    pub message: ZabMessage,
+}
+
+#[derive(Debug, Default)]
+struct NetworkState {
+    queues: HashMap<NodeId, VecDeque<Envelope>>,
+    crashed: HashSet<NodeId>,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// A handle to the shared simulated network.
+#[derive(Debug, Clone, Default)]
+pub struct SimNetwork {
+    state: Arc<Mutex<NetworkState>>,
+}
+
+impl SimNetwork {
+    /// Creates a network connecting `nodes`.
+    pub fn new(nodes: &[NodeId]) -> Self {
+        let mut queues = HashMap::new();
+        for &node in nodes {
+            queues.insert(node, VecDeque::new());
+        }
+        SimNetwork {
+            state: Arc::new(Mutex::new(NetworkState { queues, ..NetworkState::default() })),
+        }
+    }
+
+    /// Sends `message` from `from` to `to`. Messages to or from crashed nodes
+    /// are silently dropped (counted in [`SimNetwork::dropped`]).
+    pub fn send(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        let mut state = self.state.lock();
+        if state.crashed.contains(&from) || state.crashed.contains(&to) {
+            state.dropped += 1;
+            return;
+        }
+        if let Some(queue) = state.queues.get_mut(&to) {
+            queue.push_back(Envelope { from, message });
+        } else {
+            state.dropped += 1;
+        }
+    }
+
+    /// Broadcasts `message` from `from` to every other node.
+    pub fn broadcast(&self, from: NodeId, message: &ZabMessage) {
+        let targets: Vec<NodeId> = {
+            let state = self.state.lock();
+            state.queues.keys().copied().filter(|&n| n != from).collect()
+        };
+        for to in targets {
+            self.send(from, to, message.clone());
+        }
+    }
+
+    /// Removes and returns the next message queued for `node`, if any.
+    pub fn receive(&self, node: NodeId) -> Option<Envelope> {
+        let mut state = self.state.lock();
+        if state.crashed.contains(&node) {
+            return None;
+        }
+        let envelope = state.queues.get_mut(&node)?.pop_front();
+        if envelope.is_some() {
+            state.delivered += 1;
+        }
+        envelope
+    }
+
+    /// Marks `node` as crashed: its queue is cleared and it stops exchanging
+    /// messages until [`SimNetwork::recover`] is called.
+    pub fn crash(&self, node: NodeId) {
+        let mut state = self.state.lock();
+        state.crashed.insert(node);
+        if let Some(queue) = state.queues.get_mut(&node) {
+            queue.clear();
+        }
+    }
+
+    /// Recovers a crashed node (with an empty inbox).
+    pub fn recover(&self, node: NodeId) {
+        self.state.lock().crashed.remove(&node);
+    }
+
+    /// True if `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.state.lock().crashed.contains(&node)
+    }
+
+    /// All nodes that are not crashed.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        let state = self.state.lock();
+        let mut alive: Vec<NodeId> =
+            state.queues.keys().copied().filter(|n| !state.crashed.contains(n)).collect();
+        alive.sort();
+        alive
+    }
+
+    /// Total number of messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.state.lock().delivered
+    }
+
+    /// Total number of messages dropped (crashed endpoints or unknown nodes).
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Number of messages waiting in `node`'s inbox.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.state.lock().queues.get(&node).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Zxid;
+
+    fn nodes() -> Vec<NodeId> {
+        vec![NodeId(1), NodeId(2), NodeId(3)]
+    }
+
+    fn heartbeat() -> ZabMessage {
+        ZabMessage::Heartbeat { epoch: 1 }
+    }
+
+    #[test]
+    fn send_and_receive_fifo() {
+        let net = SimNetwork::new(&nodes());
+        net.send(NodeId(1), NodeId(2), ZabMessage::Commit { zxid: Zxid { epoch: 1, counter: 1 } });
+        net.send(NodeId(1), NodeId(2), ZabMessage::Commit { zxid: Zxid { epoch: 1, counter: 2 } });
+        let first = net.receive(NodeId(2)).unwrap();
+        let second = net.receive(NodeId(2)).unwrap();
+        assert!(matches!(first.message, ZabMessage::Commit { zxid } if zxid.counter == 1));
+        assert!(matches!(second.message, ZabMessage::Commit { zxid } if zxid.counter == 2));
+        assert!(net.receive(NodeId(2)).is_none());
+        assert_eq!(net.delivered(), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let net = SimNetwork::new(&nodes());
+        net.broadcast(NodeId(1), &heartbeat());
+        assert_eq!(net.pending(NodeId(1)), 0);
+        assert_eq!(net.pending(NodeId(2)), 1);
+        assert_eq!(net.pending(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn crashed_node_is_isolated() {
+        let net = SimNetwork::new(&nodes());
+        net.crash(NodeId(2));
+        assert!(net.is_crashed(NodeId(2)));
+        net.send(NodeId(1), NodeId(2), heartbeat());
+        net.send(NodeId(2), NodeId(3), heartbeat());
+        assert_eq!(net.dropped(), 2);
+        assert_eq!(net.pending(NodeId(3)), 0);
+        assert!(net.receive(NodeId(2)).is_none());
+        assert_eq!(net.alive_nodes(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn recovery_restores_connectivity_with_empty_inbox() {
+        let net = SimNetwork::new(&nodes());
+        net.send(NodeId(1), NodeId(2), heartbeat());
+        net.crash(NodeId(2));
+        net.recover(NodeId(2));
+        // The message queued before the crash is gone.
+        assert!(net.receive(NodeId(2)).is_none());
+        net.send(NodeId(1), NodeId(2), heartbeat());
+        assert!(net.receive(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn unknown_destination_counts_as_dropped() {
+        let net = SimNetwork::new(&nodes());
+        net.send(NodeId(1), NodeId(99), heartbeat());
+        assert_eq!(net.dropped(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! The per-replica ZAB state machine.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::log::TxnLog;
+use crate::message::{NodeId, Txn, ZabMessage, Zxid};
+use crate::network::{Envelope, SimNetwork};
+
+/// The role a replica currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Orders writes and drives commits.
+    Leader,
+    /// Accepts proposals from the leader and serves reads.
+    Follower,
+    /// Between leaders: participating in an election.
+    Electing,
+}
+
+/// One replica's protocol state.
+#[derive(Debug)]
+pub struct ZabNode {
+    id: NodeId,
+    role: Role,
+    epoch: u32,
+    leader: Option<NodeId>,
+    cluster_size: usize,
+    log: TxnLog,
+    /// zxid of the last proposal issued (leader only).
+    last_proposed: Zxid,
+    /// Outstanding acks per proposal (leader only).
+    pending_acks: HashMap<Zxid, HashSet<NodeId>>,
+    /// Committed transactions not yet consumed by the state machine above.
+    committed_outbox: Vec<Txn>,
+}
+
+impl ZabNode {
+    /// Creates a follower node in epoch 0.
+    pub fn new(id: NodeId, cluster_size: usize) -> Self {
+        ZabNode {
+            id,
+            role: Role::Follower,
+            epoch: 0,
+            leader: None,
+            cluster_size,
+            log: TxnLog::new(),
+            last_proposed: Zxid::ZERO,
+            pending_acks: HashMap::new(),
+            committed_outbox: Vec::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The node this replica believes is the leader.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// Read access to the transaction log.
+    pub fn log(&self) -> &TxnLog {
+        &self.log
+    }
+
+    /// Size of the quorum (majority of the cluster).
+    pub fn quorum(&self) -> usize {
+        self.cluster_size / 2 + 1
+    }
+
+    /// Promotes this node to leader of `epoch`, committing everything it has
+    /// logged (ZAB guarantees logged-on-a-quorum transactions survive, and the
+    /// election picks the node with the longest log).
+    pub fn become_leader(&mut self, epoch: u32) {
+        self.role = Role::Leader;
+        self.epoch = epoch;
+        self.leader = Some(self.id);
+        self.pending_acks.clear();
+        let newly = self.log.commit_up_to(self.log.last_logged());
+        self.committed_outbox.extend(newly);
+        self.last_proposed = Zxid { epoch, counter: 0 };
+    }
+
+    /// Demotes this node to follower of `leader` in `epoch`.
+    pub fn become_follower(&mut self, epoch: u32, leader: NodeId) {
+        self.role = Role::Follower;
+        self.epoch = epoch;
+        self.leader = Some(leader);
+        self.pending_acks.clear();
+        self.log.truncate_uncommitted();
+    }
+
+    /// Marks the node as participating in an election.
+    pub fn start_election(&mut self) {
+        self.role = Role::Electing;
+        self.leader = None;
+    }
+
+    /// Leader only: assigns a zxid to `payload`, logs it locally, and
+    /// broadcasts the proposal. Returns the assigned zxid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-leader; the cluster wrapper routes proposals
+    /// to the current leader.
+    pub fn propose(&mut self, payload: Vec<u8>, net: &SimNetwork) -> Zxid {
+        assert_eq!(self.role, Role::Leader, "only the leader proposes");
+        self.last_proposed = if self.last_proposed.epoch == self.epoch {
+            self.last_proposed.next()
+        } else {
+            Zxid { epoch: self.epoch, counter: 1 }
+        };
+        let txn = Txn { zxid: self.last_proposed, payload };
+        self.log.append(txn.clone());
+        // The leader's own log entry counts as its ack.
+        self.pending_acks.entry(txn.zxid).or_default().insert(self.id);
+        net.broadcast(self.id, &ZabMessage::Proposal { txn });
+        self.maybe_commit(self.last_proposed, net);
+        self.last_proposed
+    }
+
+    /// Processes one incoming message, possibly sending replies via `net`.
+    pub fn handle(&mut self, envelope: Envelope, net: &SimNetwork) {
+        match envelope.message {
+            ZabMessage::Proposal { txn } => self.on_proposal(envelope.from, txn, net),
+            ZabMessage::Ack { zxid, from } => self.on_ack(zxid, from, net),
+            ZabMessage::Commit { zxid } => self.on_commit(zxid),
+            ZabMessage::NewLeaderSync { epoch, txns } => {
+                self.on_new_leader_sync(envelope.from, epoch, txns, net)
+            }
+            ZabMessage::SyncAck { .. } | ZabMessage::Heartbeat { .. } => {}
+        }
+    }
+
+    fn on_proposal(&mut self, from: NodeId, txn: Txn, net: &SimNetwork) {
+        if self.role != Role::Follower {
+            return;
+        }
+        // Reject proposals from stale epochs.
+        if txn.zxid.epoch < self.epoch {
+            return;
+        }
+        let zxid = txn.zxid;
+        self.log.append(txn);
+        net.send(self.id, from, ZabMessage::Ack { zxid, from: self.id });
+    }
+
+    fn on_ack(&mut self, zxid: Zxid, from: NodeId, net: &SimNetwork) {
+        if self.role != Role::Leader || zxid.epoch != self.epoch {
+            return;
+        }
+        self.pending_acks.entry(zxid).or_default().insert(from);
+        self.maybe_commit(zxid, net);
+    }
+
+    fn maybe_commit(&mut self, zxid: Zxid, net: &SimNetwork) {
+        let quorum = self.quorum();
+        let reached = self.pending_acks.get(&zxid).map_or(0, |acks| acks.len()) >= quorum;
+        if reached && zxid > self.log.last_committed() {
+            let newly = self.log.commit_up_to(zxid);
+            self.committed_outbox.extend(newly);
+            net.broadcast(self.id, &ZabMessage::Commit { zxid });
+            self.pending_acks.retain(|&z, _| z > zxid);
+        }
+    }
+
+    fn on_commit(&mut self, zxid: Zxid) {
+        if self.role != Role::Follower {
+            return;
+        }
+        let newly = self.log.commit_up_to(zxid);
+        self.committed_outbox.extend(newly);
+    }
+
+    fn on_new_leader_sync(&mut self, from: NodeId, epoch: u32, txns: Vec<Txn>, net: &SimNetwork) {
+        if epoch < self.epoch {
+            return;
+        }
+        self.become_follower(epoch, from);
+        let mut max_zxid = self.log.last_committed();
+        for txn in txns {
+            max_zxid = max_zxid.max(txn.zxid);
+            self.log.append(txn);
+        }
+        // Everything the new leader ships is already committed on its side.
+        let newly = self.log.commit_up_to(max_zxid);
+        self.committed_outbox.extend(newly);
+        net.send(self.id, from, ZabMessage::SyncAck { from: self.id, epoch });
+    }
+
+    /// Drains committed transactions that the replicated state machine (the
+    /// ZooKeeper data tree) has not applied yet.
+    pub fn take_committed(&mut self) -> Vec<Txn> {
+        std::mem::take(&mut self.committed_outbox)
+    }
+
+    /// Number of committed-but-not-yet-applied transactions.
+    pub fn committed_backlog(&self) -> usize {
+        self.committed_outbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_nodes() -> (SimNetwork, ZabNode, ZabNode, ZabNode) {
+        let ids = [NodeId(1), NodeId(2), NodeId(3)];
+        let net = SimNetwork::new(&ids);
+        let mut leader = ZabNode::new(NodeId(1), 3);
+        leader.become_leader(1);
+        let mut f2 = ZabNode::new(NodeId(2), 3);
+        f2.become_follower(1, NodeId(1));
+        let mut f3 = ZabNode::new(NodeId(3), 3);
+        f3.become_follower(1, NodeId(1));
+        (net, leader, f2, f3)
+    }
+
+    fn pump(net: &SimNetwork, nodes: &mut [&mut ZabNode]) {
+        // Deliver until all queues drain.
+        loop {
+            let mut any = false;
+            for node in nodes.iter_mut() {
+                if let Some(envelope) = net.receive(node.id()) {
+                    node.handle(envelope, net);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn proposal_commits_after_quorum() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        let zxid = leader.propose(b"create /a".to_vec(), &net);
+        assert_eq!(zxid, Zxid { epoch: 1, counter: 1 });
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+
+        assert_eq!(leader.take_committed().len(), 1);
+        assert_eq!(f2.take_committed().len(), 1);
+        assert_eq!(f3.take_committed().len(), 1);
+        assert_eq!(leader.log().last_committed(), zxid);
+    }
+
+    #[test]
+    fn commits_preserve_proposal_order() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        for i in 0..10u8 {
+            leader.propose(vec![i], &net);
+        }
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        let committed = f2.take_committed();
+        assert_eq!(committed.len(), 10);
+        for (i, txn) in committed.iter().enumerate() {
+            assert_eq!(txn.payload, vec![i as u8]);
+            assert_eq!(txn.zxid.counter, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn commit_happens_with_one_follower_down() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        net.crash(NodeId(3));
+        leader.propose(b"x".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        assert_eq!(leader.take_committed().len(), 1);
+        assert_eq!(f2.take_committed().len(), 1);
+        assert_eq!(f3.take_committed().len(), 0);
+    }
+
+    #[test]
+    fn no_commit_without_quorum() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        net.crash(NodeId(2));
+        net.crash(NodeId(3));
+        leader.propose(b"x".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        assert_eq!(leader.take_committed().len(), 0);
+        assert_eq!(leader.log().last_committed(), Zxid::ZERO);
+    }
+
+    #[test]
+    fn follower_ignores_stale_epoch_proposals() {
+        let (net, _leader, mut f2, _f3) = three_nodes();
+        f2.become_follower(2, NodeId(3));
+        let stale = Txn { zxid: Zxid { epoch: 1, counter: 5 }, payload: vec![] };
+        f2.handle(Envelope { from: NodeId(1), message: ZabMessage::Proposal { txn: stale } }, &net);
+        assert!(f2.log().is_empty());
+    }
+
+    #[test]
+    fn new_leader_sync_brings_follower_up_to_date() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        leader.propose(b"a".to_vec(), &net);
+        leader.propose(b"b".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        f2.take_committed();
+
+        // A fresh replica joins via sync.
+        let mut f4 = ZabNode::new(NodeId(3), 3);
+        let txns = leader.log().entries_after(Zxid::ZERO);
+        f4.handle(
+            Envelope { from: NodeId(1), message: ZabMessage::NewLeaderSync { epoch: 2, txns } },
+            &net,
+        );
+        assert_eq!(f4.take_committed().len(), 2);
+        assert_eq!(f4.epoch(), 2);
+        assert_eq!(f4.leader(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn become_leader_commits_logged_entries() {
+        let mut node = ZabNode::new(NodeId(2), 3);
+        node.become_follower(1, NodeId(1));
+        node.log.append(Txn { zxid: Zxid { epoch: 1, counter: 1 }, payload: b"x".to_vec() });
+        node.become_leader(2);
+        assert_eq!(node.take_committed().len(), 1);
+        assert_eq!(node.role(), Role::Leader);
+        assert_eq!(node.quorum(), 2);
+    }
+}

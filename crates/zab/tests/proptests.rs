@@ -1,0 +1,144 @@
+//! Property-based tests for the agreement protocol: safety (agreement, total
+//! order, durability of committed writes) holds under arbitrary interleavings
+//! of writes, crashes and recoveries, as long as a quorum survives.
+
+use proptest::prelude::*;
+
+use zab::{NodeId, ZabCluster, Zxid};
+
+/// A step of a randomly generated cluster schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Submit a write with the given payload byte.
+    Write(u8),
+    /// Crash the replica with this index (modulo cluster size).
+    Crash(usize),
+    /// Recover the replica with this index (modulo cluster size).
+    Recover(usize),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(Step::Write),
+        1 => (0usize..5).prop_map(Step::Crash),
+        1 => (0usize..5).prop_map(Step::Recover),
+    ]
+}
+
+/// Applies a schedule, never letting the cluster lose its quorum (the paper's
+/// fault model: a minority of crash faults).
+fn run_schedule(size: usize, steps: &[Step]) -> (ZabCluster, Vec<(Zxid, u8)>) {
+    let mut cluster = ZabCluster::new(size);
+    let ids: Vec<NodeId> = cluster.node_ids().to_vec();
+    let quorum = size / 2 + 1;
+    let mut committed = Vec::new();
+
+    for step in steps {
+        match step {
+            Step::Write(payload) => {
+                if let Some(zxid) = cluster.broadcast(vec![*payload]) {
+                    committed.push((zxid, *payload));
+                }
+            }
+            Step::Crash(index) => {
+                let id = ids[index % ids.len()];
+                if !cluster.is_crashed(id) && cluster.alive_count() > quorum {
+                    cluster.crash(id);
+                }
+            }
+            Step::Recover(index) => {
+                let id = ids[index % ids.len()];
+                if cluster.is_crashed(id) {
+                    cluster.recover(id);
+                }
+            }
+        }
+    }
+    (cluster, committed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn committed_writes_are_totally_ordered_and_durable(
+        steps in proptest::collection::vec(arb_step(), 1..60)
+    ) {
+        let (mut cluster, committed) = run_schedule(3, &steps);
+
+        // Zxids of successful broadcasts are strictly increasing: total order.
+        for window in committed.windows(2) {
+            prop_assert!(window[1].0 > window[0].0, "{:?} !> {:?}", window[1].0, window[0].0);
+        }
+
+        // Bring everyone back and let them synchronize.
+        for id in cluster.node_ids().to_vec() {
+            if cluster.is_crashed(id) {
+                cluster.recover(id);
+            }
+        }
+
+        // Every replica's committed log contains every acknowledged write, in
+        // the same order (agreement + durability).
+        let expected: Vec<(u64, u8)> = committed.iter().map(|(z, p)| (z.as_u64(), *p)).collect();
+        for id in cluster.node_ids().to_vec() {
+            let log: Vec<(u64, u8)> = cluster
+                .node(id)
+                .log()
+                .committed()
+                .map(|txn| (txn.zxid.as_u64(), txn.payload[0]))
+                .collect();
+            // The replica may have committed everything we saw acknowledged…
+            for entry in &expected {
+                prop_assert!(log.contains(entry), "{id} is missing {entry:?}");
+            }
+            // …and whatever it committed is a superset ordered consistently.
+            let mut sorted = log.clone();
+            sorted.sort_by_key(|(z, _)| *z);
+            prop_assert_eq!(&log, &sorted, "commit order on {}", id);
+        }
+    }
+
+    #[test]
+    fn replicas_never_diverge_even_while_some_are_down(
+        steps in proptest::collection::vec(arb_step(), 1..60)
+    ) {
+        let (cluster, _) = run_schedule(3, &steps);
+        // Among the replicas that are currently alive, any two committed logs
+        // must be prefixes of one another (no forks).
+        let alive: Vec<NodeId> =
+            cluster.node_ids().iter().copied().filter(|&id| !cluster.is_crashed(id)).collect();
+        for &a in &alive {
+            for &b in &alive {
+                let log_a: Vec<u64> = cluster.node(a).log().committed().map(|t| t.zxid.as_u64()).collect();
+                let log_b: Vec<u64> = cluster.node(b).log().committed().map(|t| t.zxid.as_u64()).collect();
+                let shorter = log_a.len().min(log_b.len());
+                prop_assert_eq!(&log_a[..shorter], &log_b[..shorter], "fork between {} and {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn leadership_changes_never_lose_quorum_acknowledged_writes(
+        crash_after in 1usize..10,
+        writes in 2usize..12,
+    ) {
+        let mut cluster = ZabCluster::new(5);
+        let mut acknowledged = Vec::new();
+        for i in 0..writes {
+            if let Some(zxid) = cluster.broadcast(vec![i as u8]) {
+                acknowledged.push(zxid);
+            }
+            if i == crash_after % writes {
+                let leader = cluster.leader_id();
+                cluster.crash(leader);
+            }
+        }
+        // After the dust settles the current leader holds every acknowledged write.
+        let leader = cluster.leader_id();
+        let log: Vec<u64> = cluster.node(leader).log().committed().map(|t| t.zxid.as_u64()).collect();
+        for zxid in acknowledged {
+            prop_assert!(log.contains(&zxid.as_u64()), "leader lost {zxid}");
+        }
+    }
+}

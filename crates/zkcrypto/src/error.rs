@@ -1,0 +1,74 @@
+//! Error type shared by all primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Authentication failed while opening an AEAD ciphertext or verifying an HMAC.
+    AuthenticationFailed,
+    /// The ciphertext is too short to contain the mandatory tag and/or IV.
+    CiphertextTooShort {
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Minimum number of bytes required.
+        need: usize,
+    },
+    /// The input is not valid URL-safe Base64.
+    InvalidBase64 {
+        /// Byte offset of the first offending character.
+        position: usize,
+    },
+    /// A key, nonce or tag had an unexpected length.
+    InvalidLength {
+        /// What was being parsed.
+        what: &'static str,
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Number of bytes expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
+            CryptoError::CiphertextTooShort { got, need } => {
+                write!(f, "ciphertext too short: got {got} bytes, need at least {need}")
+            }
+            CryptoError::InvalidBase64 { position } => {
+                write!(f, "invalid base64 character at position {position}")
+            }
+            CryptoError::InvalidLength { what, got, expected } => {
+                write!(f, "invalid {what} length: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        assert_eq!(CryptoError::AuthenticationFailed.to_string(), "authentication failed");
+        assert!(CryptoError::CiphertextTooShort { got: 3, need: 28 }
+            .to_string()
+            .contains("3 bytes"));
+        assert!(CryptoError::InvalidBase64 { position: 7 }.to_string().contains("position 7"));
+        assert!(CryptoError::InvalidLength { what: "key", got: 5, expected: 16 }
+            .to_string()
+            .contains("key"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,311 @@
+//! AES-128 in Galois/Counter Mode (NIST SP 800-38D).
+//!
+//! This is the authenticated cipher SecureKeeper uses for both *transport*
+//! encryption (client ↔ entry enclave) and *storage* encryption (entry
+//! enclave ↔ ZooKeeper data store). The 16-byte authentication tag is what the
+//! paper refers to as the "HMAC" appended to each ciphertext.
+
+use crate::aes::Aes128;
+use crate::error::CryptoError;
+use crate::hmac::constant_time_eq;
+use crate::keys::Key128;
+use crate::{NONCE_LEN, TAG_LEN};
+
+/// AES-128-GCM authenticated encryption.
+///
+/// # Example
+///
+/// ```
+/// use zkcrypto::{gcm::AesGcm128, keys::Key128};
+///
+/// let cipher = AesGcm128::new(&Key128::from_bytes([1; 16]));
+/// let nonce = [0u8; 12];
+/// let ct = cipher.seal(&nonce, b"payload", b"");
+/// assert_eq!(cipher.open(&nonce, &ct, b"").unwrap(), b"payload");
+/// assert!(cipher.open(&[1u8; 12], &ct, b"").is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm128 {
+    cipher: Aes128,
+    /// GHASH subkey H = E_K(0^128).
+    h: u128,
+}
+
+impl AesGcm128 {
+    /// Creates a GCM instance for the given 128-bit key.
+    pub fn new(key: &Key128) -> Self {
+        let cipher = Aes128::new(key.as_bytes());
+        let h_block = cipher.encrypt_block_copy(&[0u8; 16]);
+        AesGcm128 { cipher, h: u128::from_be_bytes(h_block) }
+    }
+
+    /// Encrypts `plaintext` with the 12-byte `nonce`, authenticating `aad` as
+    /// well, and returns `ciphertext || tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonce` is not exactly 12 bytes — nonces in this workspace
+    /// are always derived from fixed-size hashes or counters.
+    pub fn seal(&self, nonce: &[u8], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        assert_eq!(nonce.len(), NONCE_LEN, "AES-GCM nonce must be 12 bytes");
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let j0 = self.initial_counter(nonce);
+        self.ctr_transform(increment_counter(j0), &mut out);
+        let tag = self.compute_tag(j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext || tag` produced by [`AesGcm128::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::CiphertextTooShort`] if the input cannot contain
+    /// a tag, and [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify (wrong key, wrong nonce, wrong AAD, or tampered data).
+    pub fn open(&self, nonce: &[u8], ciphertext_and_tag: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        assert_eq!(nonce.len(), NONCE_LEN, "AES-GCM nonce must be 12 bytes");
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CryptoError::CiphertextTooShort {
+                got: ciphertext_and_tag.len(),
+                need: TAG_LEN,
+            });
+        }
+        let split = ciphertext_and_tag.len() - TAG_LEN;
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(split);
+        let j0 = self.initial_counter(nonce);
+        let expected_tag = self.compute_tag(j0, aad, ciphertext);
+        if !constant_time_eq(&expected_tag, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr_transform(increment_counter(j0), &mut out);
+        Ok(out)
+    }
+
+    /// Number of bytes `seal` adds to a plaintext (the tag length).
+    pub const fn overhead() -> usize {
+        TAG_LEN
+    }
+
+    fn initial_counter(&self, nonce: &[u8]) -> [u8; 16] {
+        // For 96-bit nonces J0 = IV || 0^31 || 1.
+        let mut j0 = [0u8; 16];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// CTR-mode keystream XOR starting at `counter`.
+    fn ctr_transform(&self, mut counter: [u8; 16], data: &mut [u8]) {
+        for chunk in data.chunks_mut(16) {
+            let keystream = self.cipher.encrypt_block_copy(&counter);
+            for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= ks;
+            }
+            counter = increment_counter(counter);
+        }
+    }
+
+    fn compute_tag(&self, j0: [u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut ghash = Ghash::new(self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        ghash.update_lengths(aad.len(), ciphertext.len());
+        let s = ghash.finalize();
+        let e_j0 = self.cipher.encrypt_block_copy(&j0);
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ e_j0[i];
+        }
+        tag
+    }
+}
+
+/// Increments the rightmost 32 bits of a GCM counter block.
+fn increment_counter(mut block: [u8; 16]) -> [u8; 16] {
+    let mut ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+    ctr = ctr.wrapping_add(1);
+    block[12..16].copy_from_slice(&ctr.to_be_bytes());
+    block
+}
+
+/// GHASH universal hash over GF(2^128).
+#[derive(Debug, Clone)]
+struct Ghash {
+    h: u128,
+    y: u128,
+}
+
+impl Ghash {
+    fn new(h: u128) -> Self {
+        Ghash { h, y: 0 }
+    }
+
+    fn update_block(&mut self, block: u128) {
+        self.y = gf128_mul(self.y ^ block, self.h);
+    }
+
+    /// Absorbs `data` zero-padded to a multiple of 16 bytes.
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(u128::from_be_bytes(block));
+        }
+    }
+
+    fn update_lengths(&mut self, aad_len: usize, ct_len: usize) {
+        let block = ((aad_len as u128 * 8) << 64) | (ct_len as u128 * 8);
+        self.update_block(block);
+    }
+
+    fn finalize(self) -> [u8; 16] {
+        self.y.to_be_bytes()
+    }
+}
+
+/// Carry-less multiplication in GF(2^128) with the GCM reduction polynomial,
+/// operating on big-endian bit order as specified in SP 800-38D.
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST GCM test case 1: empty plaintext, empty AAD, zero key/IV.
+    #[test]
+    fn nist_test_case_1_empty() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([0u8; 16]));
+        let out = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM test case 2: single zero block.
+    #[test]
+    fn nist_test_case_2_single_block() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([0u8; 16]));
+        let out = cipher.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            hex(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    // NIST GCM test case 3: 4-block plaintext with key/IV from the spec.
+    #[test]
+    fn nist_test_case_3() {
+        let key_bytes = hex_to_bytes("feffe9928665731c6d6a8f9467308308");
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&key_bytes);
+        let cipher = AesGcm128::new(&Key128::from_bytes(key));
+        let iv = hex_to_bytes("cafebabefacedbaddecaf888");
+        let plaintext = hex_to_bytes(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let out = cipher.seal(&iv, &plaintext, b"");
+        let expected_ct = "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985";
+        let expected_tag = "4d5c2af327cd64a62cf35abd2ba6fab4";
+        assert_eq!(hex(&out[..plaintext.len()]), expected_ct);
+        assert_eq!(hex(&out[plaintext.len()..]), expected_tag);
+    }
+
+    // NIST GCM test case 4: plaintext not a multiple of the block size + AAD.
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        let key_bytes = hex_to_bytes("feffe9928665731c6d6a8f9467308308");
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&key_bytes);
+        let cipher = AesGcm128::new(&Key128::from_bytes(key));
+        let iv = hex_to_bytes("cafebabefacedbaddecaf888");
+        let plaintext = hex_to_bytes(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex_to_bytes("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let out = cipher.seal(&iv, &plaintext, &aad);
+        let expected_ct = "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091";
+        let expected_tag = "5bc94fbc3221a5db94fae95ae7121a47";
+        assert_eq!(hex(&out[..plaintext.len()]), expected_ct);
+        assert_eq!(hex(&out[plaintext.len()..]), expected_tag);
+        // And decryption round-trips with the same AAD.
+        assert_eq!(cipher.open(&iv, &out, &aad).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn open_rejects_wrong_aad() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([3u8; 16]));
+        let nonce = [9u8; 12];
+        let sealed = cipher.seal(&nonce, b"payload", b"path=/a");
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"path=/b").unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn open_rejects_tampered_ciphertext_and_tag() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([3u8; 16]));
+        let nonce = [9u8; 12];
+        let sealed = cipher.seal(&nonce, b"some znode payload", b"");
+        for flip_index in [0, sealed.len() / 2, sealed.len() - 1] {
+            let mut tampered = sealed.clone();
+            tampered[flip_index] ^= 0x80;
+            assert_eq!(
+                cipher.open(&nonce, &tampered, b"").unwrap_err(),
+                CryptoError::AuthenticationFailed,
+                "flip at {flip_index}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_rejects_short_input() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([3u8; 16]));
+        let err = cipher.open(&[0u8; 12], &[1, 2, 3], b"").unwrap_err();
+        assert!(matches!(err, CryptoError::CiphertextTooShort { got: 3, need: 16 }));
+    }
+
+    #[test]
+    fn different_nonces_produce_different_ciphertexts() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([5u8; 16]));
+        let a = cipher.seal(&[0u8; 12], b"same plaintext", b"");
+        let b = cipher.seal(&[1u8; 12], b"same plaintext", b"");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn overhead_is_tag_length() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([5u8; 16]));
+        for len in [0usize, 1, 15, 16, 17, 1000] {
+            let sealed = cipher.seal(&[0u8; 12], &vec![0u8; len], b"");
+            assert_eq!(sealed.len(), len + AesGcm128::overhead());
+        }
+    }
+}

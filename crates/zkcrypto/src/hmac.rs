@@ -1,0 +1,176 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! SecureKeeper appends a keyed MAC to every encrypted path chunk and payload
+//! so that the untrusted ZooKeeper store cannot tamper with ciphertext
+//! undetected. AES-GCM already provides an authentication tag; the HMAC here
+//! is additionally used for key derivation and for binding structures that are
+//! not encrypted with GCM (for example the sealed key blobs in `sgx-sim`).
+
+use crate::sha256::Sha256;
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Example
+///
+/// ```
+/// let tag = zkcrypto::hmac::hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Verifies an HMAC tag in constant time with respect to the tag contents.
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expected = hmac_sha256(key, message);
+    constant_time_eq(&expected, tag)
+}
+
+/// Compares two byte slices without early exit on the first mismatching byte.
+///
+/// Returns `false` immediately only when lengths differ (length is public).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Incremental HMAC-SHA256 computation.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key_pad: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key_pad = [0u8; BLOCK_LEN];
+        let mut outer_key_pad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key_pad[i] = key_block[i] ^ 0x36;
+            outer_key_pad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key_pad);
+        HmacSha256 { inner, outer_key_pad }
+    }
+
+    /// Feeds message bytes into the MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes the computation and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_key_longer_than_block() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_correct_tag_and_rejects_flipped_bit() {
+        let key = b"storage key";
+        let msg = b"/app/config/database";
+        let mut tag = hmac_sha256(key, msg);
+        assert!(verify_hmac_sha256(key, msg, &tag));
+        tag[5] ^= 0x01;
+        assert!(!verify_hmac_sha256(key, msg, &tag));
+    }
+
+    #[test]
+    fn verify_rejects_truncated_tag() {
+        let key = b"k";
+        let msg = b"m";
+        let tag = hmac_sha256(key, msg);
+        assert!(!verify_hmac_sha256(key, msg, &tag[..31]));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let key = b"0123456789abcdef";
+        let msg: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let mut mac = HmacSha256::new(key);
+        mac.update(&msg[..17]);
+        mac.update(&msg[17..200]);
+        mac.update(&msg[200..]);
+        assert_eq!(mac.finalize(), hmac_sha256(key, &msg));
+    }
+
+    #[test]
+    fn constant_time_eq_basic_properties() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+    }
+}

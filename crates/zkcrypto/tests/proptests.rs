@@ -1,0 +1,95 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+use zkcrypto::base64url;
+use zkcrypto::gcm::AesGcm128;
+use zkcrypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use zkcrypto::keys::Key128;
+use zkcrypto::sha256::Sha256;
+
+proptest! {
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = base64url::encode(&data);
+        prop_assert_eq!(base64url::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_output_is_path_safe(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = base64url::encode(&data);
+        prop_assert!(encoded.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+    }
+
+    #[test]
+    fn gcm_roundtrip(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..1024),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cipher = AesGcm128::new(&Key128::from_bytes(key));
+        let sealed = cipher.seal(&nonce, &plaintext, &aad);
+        prop_assert_eq!(sealed.len(), plaintext.len() + 16);
+        prop_assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn gcm_detects_any_single_bit_flip(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cipher = AesGcm128::new(&Key128::from_bytes(key));
+        let mut sealed = cipher.seal(&nonce, &plaintext, b"");
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(cipher.open(&nonce, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn gcm_wrong_key_fails(
+        key_a in any::<[u8; 16]>(),
+        key_b in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        prop_assume!(key_a != key_b);
+        let sealer = AesGcm128::new(&Key128::from_bytes(key_a));
+        let opener = AesGcm128::new(&Key128::from_bytes(key_b));
+        let sealed = sealer.seal(&nonce, &plaintext, b"");
+        prop_assert!(opener.open(&nonce, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let cut = split.index(data.len() + 1);
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..cut]);
+        hasher.update(&data[cut..]);
+        prop_assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_verifies_own_output(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+    }
+
+    #[test]
+    fn hmac_distinguishes_messages(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        msg_a in proptest::collection::vec(any::<u8>(), 0..256),
+        msg_b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(msg_a != msg_b);
+        prop_assert_ne!(hmac_sha256(&key, &msg_a), hmac_sha256(&key, &msg_b));
+    }
+}

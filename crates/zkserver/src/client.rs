@@ -1,0 +1,298 @@
+//! A typed client handle over a [`ZkCluster`].
+//!
+//! The client mirrors the convenience API of ZooKeeper's Java client: typed
+//! `create`/`get_data`/`set_data`/`delete`/`get_children`/`exists` methods,
+//! one-shot watches, and reconnection to another replica after a connection
+//! loss. The examples and the benchmark harness both drive the service
+//! through this interface, and the SecureKeeper crate provides a drop-in
+//! equivalent whose traffic is transport-encrypted.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jute::records::{
+    CreateMode, CreateRequest, DeleteRequest, ExistsRequest, GetChildrenRequest, GetDataRequest,
+    SetDataRequest, Stat,
+};
+use jute::{Request, Response};
+use zab::NodeId;
+
+use crate::cluster::ZkCluster;
+use crate::error::ZkError;
+use crate::ops::error_from_code;
+use crate::watch::WatchEvent;
+
+/// A shared handle to an in-process cluster.
+pub type SharedCluster = Arc<Mutex<ZkCluster>>;
+
+/// Wraps a cluster in the shared handle used by clients.
+pub fn share(cluster: ZkCluster) -> SharedCluster {
+    Arc::new(Mutex::new(cluster))
+}
+
+/// A client session against one replica of the cluster.
+#[derive(Debug, Clone)]
+pub struct ZkClient {
+    cluster: SharedCluster,
+    session_id: i64,
+    replica: NodeId,
+}
+
+impl ZkClient {
+    /// Connects a new session to `replica`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::SessionExpired`] if the replica is unreachable.
+    pub fn connect(cluster: &SharedCluster, replica: NodeId) -> Result<Self, ZkError> {
+        let response = cluster.lock().connect_default(replica)?;
+        Ok(ZkClient { cluster: Arc::clone(cluster), session_id: response.session_id, replica })
+    }
+
+    /// The session id assigned by the cluster.
+    pub fn session_id(&self) -> i64 {
+        self.session_id
+    }
+
+    /// The replica this client is connected to.
+    pub fn replica(&self) -> NodeId {
+        self.replica
+    }
+
+    /// Re-establishes the session on a different replica (after a crash of the
+    /// previous one). Ephemeral znodes of the old session are *not* carried
+    /// over, matching ZooKeeper's session-expiry semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::SessionExpired`] if the new replica is unreachable.
+    pub fn reconnect_to(&mut self, replica: NodeId) -> Result<(), ZkError> {
+        let response = self.cluster.lock().connect_default(replica)?;
+        self.session_id = response.session_id;
+        self.replica = replica;
+        Ok(())
+    }
+
+    fn submit(&self, request: &Request) -> Response {
+        self.cluster.lock().submit(self.session_id, request)
+    }
+
+    /// Creates a znode and returns its actual path (with the sequence suffix
+    /// for sequential modes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error (`NodeExists`, `NoNode` for a missing
+    /// parent, quorum loss, ...).
+    pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, ZkError> {
+        let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
+        match self.submit(&request) {
+            Response::Create(create) => Ok(create.path),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Reads a znode's payload and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] if the path does not exist.
+    pub fn get_data(&self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
+        let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
+        match self.submit(&request) {
+            Response::GetData(get) => Ok((get.data, get.stat)),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Overwrites a znode's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::BadVersion`] when `version` does not match, or
+    /// [`ZkError::NoNode`] if the path does not exist.
+    pub fn set_data(&self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
+        let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
+        match self.submit(&request) {
+            Response::SetData(set) => Ok(set.stat),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Deletes a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NotEmpty`] when the node still has children,
+    /// [`ZkError::BadVersion`] on a version mismatch, or [`ZkError::NoNode`].
+    pub fn delete(&self, path: &str, version: i32) -> Result<(), ZkError> {
+        let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
+        match self.submit(&request) {
+            Response::Delete => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Lists the children of a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] if the path does not exist.
+    pub fn get_children(&self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
+        let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
+        match self.submit(&request) {
+            Response::GetChildren(ls) => Ok(ls.children),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Checks whether a znode exists, returning its metadata if it does.
+    ///
+    /// # Errors
+    ///
+    /// Only connection-level failures produce errors; a missing node yields
+    /// `Ok(None)`.
+    pub fn exists(&self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
+        match self.submit(&request) {
+            Response::Exists(exists) => Ok(Some(exists.stat)),
+            Response::Error(code) if code == jute::records::ErrorCode::NoNode => Ok(None),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Sends a keep-alive ping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::SessionExpired`] when the session is gone.
+    pub fn ping(&self) -> Result<(), ZkError> {
+        match self.submit(&Request::Ping) {
+            Response::Ping => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, "/")),
+            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Drains watch notifications delivered to this session.
+    pub fn take_watch_events(&self) -> Vec<WatchEvent> {
+        self.cluster.lock().take_watch_events(self.session_id)
+    }
+
+    /// Closes the session, removing its ephemeral znodes.
+    pub fn close(self) {
+        self.cluster.lock().close_session(self.session_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watch::WatchEventKind;
+
+    fn cluster() -> SharedCluster {
+        share(ZkCluster::new(3))
+    }
+
+    #[test]
+    fn typed_crud_cycle() {
+        let cluster = cluster();
+        let replica = cluster.lock().replica_ids()[0];
+        let client = ZkClient::connect(&cluster, replica).unwrap();
+
+        assert_eq!(client.create("/app", b"root".to_vec(), CreateMode::Persistent).unwrap(), "/app");
+        let (data, stat) = client.get_data("/app", false).unwrap();
+        assert_eq!(data, b"root");
+        assert_eq!(stat.version, 0);
+
+        let stat = client.set_data("/app", b"v2".to_vec(), 0).unwrap();
+        assert_eq!(stat.version, 1);
+        assert!(client.exists("/app", false).unwrap().is_some());
+        assert!(client.exists("/nope", false).unwrap().is_none());
+
+        client.create("/app/a", vec![], CreateMode::Persistent).unwrap();
+        client.create("/app/b", vec![], CreateMode::Persistent).unwrap();
+        assert_eq!(client.get_children("/app", false).unwrap(), vec!["a", "b"]);
+
+        client.delete("/app/a", -1).unwrap();
+        assert_eq!(client.get_children("/app", false).unwrap(), vec!["b"]);
+        assert!(matches!(client.get_data("/app/a", false), Err(ZkError::NoNode { .. })));
+        client.ping().unwrap();
+    }
+
+    #[test]
+    fn sequential_create_returns_generated_path() {
+        let cluster = cluster();
+        let replica = cluster.lock().replica_ids()[0];
+        let client = ZkClient::connect(&cluster, replica).unwrap();
+        client.create("/tasks", vec![], CreateMode::Persistent).unwrap();
+        let first = client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
+        let second = client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
+        assert_eq!(first, "/tasks/task-0000000000");
+        assert_eq!(second, "/tasks/task-0000000001");
+    }
+
+    #[test]
+    fn watches_are_delivered_through_the_client() {
+        let cluster = cluster();
+        let ids = cluster.lock().replica_ids();
+        let watcher = ZkClient::connect(&cluster, ids[0]).unwrap();
+        let writer = ZkClient::connect(&cluster, ids[0]).unwrap();
+        watcher.create("/watched", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+        watcher.get_data("/watched", true).unwrap();
+        writer.set_data("/watched", b"v2".to_vec(), -1).unwrap();
+        let events = watcher.take_watch_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::NodeDataChanged);
+        assert_eq!(events[0].path, "/watched");
+    }
+
+    #[test]
+    fn ephemeral_nodes_vanish_when_the_client_closes() {
+        let cluster = cluster();
+        let ids = cluster.lock().replica_ids();
+        let member = ZkClient::connect(&cluster, ids[1]).unwrap();
+        let observer = ZkClient::connect(&cluster, ids[2]).unwrap();
+        observer.create("/group", vec![], CreateMode::Persistent).unwrap();
+        member.create("/group/member-1", vec![], CreateMode::Ephemeral).unwrap();
+        assert_eq!(observer.get_children("/group", false).unwrap().len(), 1);
+        member.close();
+        assert!(observer.get_children("/group", false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn client_reconnects_after_replica_crash() {
+        let cluster = cluster();
+        let ids = cluster.lock().replica_ids();
+        let follower = {
+            let guard = cluster.lock();
+            ids.iter().copied().find(|&id| id != guard.leader_id()).unwrap()
+        };
+        let mut client = ZkClient::connect(&cluster, follower).unwrap();
+        client.create("/persistent", vec![], CreateMode::Persistent).unwrap();
+        cluster.lock().crash(follower);
+        assert!(client.get_data("/persistent", false).is_err());
+        let target = cluster.lock().leader_id();
+        client.reconnect_to(target).unwrap();
+        assert!(client.get_data("/persistent", false).is_ok());
+    }
+
+    #[test]
+    fn duplicate_create_reports_node_exists() {
+        let cluster = cluster();
+        let replica = cluster.lock().replica_ids()[0];
+        let client = ZkClient::connect(&cluster, replica).unwrap();
+        client.create("/dup", vec![], CreateMode::Persistent).unwrap();
+        assert!(matches!(
+            client.create("/dup", vec![], CreateMode::Persistent),
+            Err(ZkError::NodeExists { .. })
+        ));
+    }
+}

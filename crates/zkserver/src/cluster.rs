@@ -1,0 +1,476 @@
+//! A ZAB-replicated ensemble of replicas.
+//!
+//! Reads are answered by the replica the client is connected to; writes are
+//! serialized into [`WriteTxn`]s, totally ordered by the [`zab`] cluster, and
+//! applied by every replica in commit order. Crashing the leader triggers an
+//! election among the survivors, exactly the behaviour the fault-tolerance
+//! experiment (Figure 12) measures.
+
+use std::collections::HashMap;
+
+use jute::records::{ConnectResponse, OpCode, ReplyHeader};
+use jute::{Request, Response};
+use zab::{NodeId, ZabCluster};
+
+use crate::error::ZkError;
+use crate::ops::WriteTxn;
+use crate::server::{ZkReplica, DEFAULT_SESSION_TIMEOUT_MS};
+use crate::watch::WatchEvent;
+
+/// A replicated ZooKeeper ensemble driven deterministically in-process.
+pub struct ZkCluster {
+    replicas: HashMap<NodeId, ZkReplica>,
+    zab: ZabCluster,
+    clock_ms: i64,
+    session_to_replica: HashMap<i64, NodeId>,
+    next_session_hint: i64,
+}
+
+impl std::fmt::Debug for ZkCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkCluster")
+            .field("replicas", &self.replicas.len())
+            .field("leader", &self.zab.leader_id())
+            .field("epoch", &self.zab.epoch())
+            .field("sessions", &self.session_to_replica.len())
+            .finish()
+    }
+}
+
+impl ZkCluster {
+    /// Creates an ensemble of `size` vanilla replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        Self::with_replica_factory(size, ZkReplica::new)
+    }
+
+    /// Creates an ensemble whose replicas are built by `factory` (used by
+    /// SecureKeeper to install its interceptor and counter-enclave namer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_replica_factory(size: usize, factory: impl Fn(u32) -> ZkReplica) -> Self {
+        let zab = ZabCluster::new(size);
+        let mut replicas = HashMap::new();
+        for &id in zab.node_ids() {
+            replicas.insert(id, factory(id.0));
+        }
+        ZkCluster { replicas, zab, clock_ms: 0, session_to_replica: HashMap::new(), next_session_hint: 0 }
+    }
+
+    /// Identifiers of all replicas.
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.zab.node_ids().to_vec()
+    }
+
+    /// The replica currently acting as ZAB leader.
+    pub fn leader_id(&self) -> NodeId {
+        self.zab.leader_id()
+    }
+
+    /// Number of leader elections run so far.
+    pub fn elections(&self) -> u32 {
+        self.zab.elections()
+    }
+
+    /// True if a write quorum is available.
+    pub fn has_quorum(&self) -> bool {
+        self.zab.has_quorum()
+    }
+
+    /// True if the given replica is crashed.
+    pub fn is_crashed(&self, replica: NodeId) -> bool {
+        self.zab.is_crashed(replica)
+    }
+
+    /// Read access to a replica (panics if the id is unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is not a member of the ensemble.
+    pub fn replica(&self, replica: NodeId) -> &ZkReplica {
+        &self.replicas[&replica]
+    }
+
+    /// Advances the shared logical clock on every replica.
+    pub fn advance_clock(&mut self, delta_ms: i64) {
+        self.clock_ms += delta_ms;
+        for replica in self.replicas.values_mut() {
+            replica.advance_clock(delta_ms);
+        }
+    }
+
+    /// The logical clock in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.clock_ms
+    }
+
+    /// Establishes a session on `replica`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::SessionExpired`] if the replica is crashed (the
+    /// client should retry against another replica).
+    pub fn connect(&mut self, replica: NodeId, timeout_ms: i64) -> Result<ConnectResponse, ZkError> {
+        if self.zab.is_crashed(replica) {
+            return Err(ZkError::SessionExpired { session_id: 0 });
+        }
+        let server = self.replicas.get_mut(&replica).ok_or(ZkError::NoQuorum)?;
+        // Make session ids unique across replicas by folding in the replica id.
+        self.next_session_hint += 1;
+        let unique_id = (i64::from(replica.0) << 48) | self.next_session_hint;
+        let password = server.adopt_session(unique_id, timeout_ms);
+        self.session_to_replica.insert(unique_id, replica);
+        Ok(ConnectResponse {
+            protocol_version: 0,
+            timeout_ms: timeout_ms as i32,
+            session_id: unique_id,
+            password,
+        })
+    }
+
+    /// Connects with the default session timeout.
+    ///
+    /// # Errors
+    ///
+    /// See [`ZkCluster::connect`].
+    pub fn connect_default(&mut self, replica: NodeId) -> Result<ConnectResponse, ZkError> {
+        self.connect(replica, DEFAULT_SESSION_TIMEOUT_MS)
+    }
+
+    /// The replica a session is connected to, if any.
+    pub fn session_replica(&self, session_id: i64) -> Option<NodeId> {
+        self.session_to_replica.get(&session_id).copied()
+    }
+
+    /// Handles a typed request on behalf of `session_id`.
+    pub fn submit(&mut self, session_id: i64, request: &Request) -> Response {
+        let Some(&replica_id) = self.session_to_replica.get(&session_id) else {
+            return Response::Error(ZkError::SessionExpired { session_id }.code());
+        };
+        if self.zab.is_crashed(replica_id) {
+            // Connection loss: the client must reconnect to another replica.
+            return Response::Error(ZkError::SessionExpired { session_id }.code());
+        }
+
+        if request.op().is_write() {
+            self.submit_write(session_id, replica_id, request)
+        } else {
+            let replica = self.replicas.get_mut(&replica_id).expect("member");
+            replica.serve_read(session_id, request)
+        }
+    }
+
+    fn submit_write(&mut self, session_id: i64, replica_id: NodeId, request: &Request) -> Response {
+        if *request == Request::CloseSession {
+            return self.close_session(session_id);
+        }
+        let request_bytes = ZkReplica::serialize_request(0, request);
+        let txn = WriteTxn { session_id, time_ms: self.clock_ms, request_bytes };
+        let Some(zxid) = self.zab.broadcast(txn.to_bytes()) else {
+            return Response::Error(ZkError::NoQuorum.code());
+        };
+        let responses = self.apply_all_committed();
+        responses
+            .get(&(replica_id, zxid.as_u64()))
+            .cloned()
+            .unwrap_or_else(|| Response::Error(ZkError::NoQuorum.code()))
+    }
+
+    /// Applies every newly committed transaction on every alive replica and
+    /// returns the responses keyed by `(replica, zxid)`.
+    fn apply_all_committed(&mut self) -> HashMap<(NodeId, u64), Response> {
+        let mut responses = HashMap::new();
+        for id in self.zab.node_ids().to_vec() {
+            if self.zab.is_crashed(id) {
+                continue;
+            }
+            for txn in self.zab.take_committed(id) {
+                let replica = self.replicas.get_mut(&id).expect("member");
+                match WriteTxn::from_bytes(&txn.payload) {
+                    Ok(write) => {
+                        let response = replica.apply_txn(txn.zxid.as_u64() as i64, &write);
+                        responses.insert((id, txn.zxid.as_u64()), response);
+                    }
+                    Err(err) => {
+                        responses.insert((id, txn.zxid.as_u64()), Response::Error(err.code()));
+                    }
+                }
+            }
+        }
+        responses
+    }
+
+    /// Closes a session: deletes its ephemeral znodes through agreement and
+    /// removes the session from its replica.
+    pub fn close_session(&mut self, session_id: i64) -> Response {
+        let Some(&replica_id) = self.session_to_replica.get(&session_id) else {
+            return Response::Error(ZkError::SessionExpired { session_id }.code());
+        };
+        let ephemerals = self.replicas[&replica_id].tree().ephemerals_of(session_id);
+        for path in ephemerals {
+            let delete = Request::Delete(jute::records::DeleteRequest { path, version: -1 });
+            let bytes = ZkReplica::serialize_request(0, &delete);
+            let txn = WriteTxn { session_id, time_ms: self.clock_ms, request_bytes: bytes };
+            if self.zab.broadcast(txn.to_bytes()).is_none() {
+                return Response::Error(ZkError::NoQuorum.code());
+            }
+            self.apply_all_committed();
+        }
+        self.session_to_replica.remove(&session_id);
+        if let Some(replica) = self.replicas.get_mut(&replica_id) {
+            replica.close_session(session_id);
+        }
+        Response::CloseSession
+    }
+
+    /// Crashes a replica; if it was the leader an election is triggered.
+    pub fn crash(&mut self, replica: NodeId) {
+        self.zab.crash(replica);
+        self.apply_all_committed();
+    }
+
+    /// Recovers a crashed replica and brings its tree up to date.
+    pub fn recover(&mut self, replica: NodeId) {
+        self.zab.recover(replica);
+        self.apply_all_committed();
+    }
+
+    /// Drains watch events queued for a session on its replica.
+    pub fn take_watch_events(&mut self, session_id: i64) -> Vec<WatchEvent> {
+        match self.session_to_replica.get(&session_id) {
+            Some(&replica_id) => {
+                self.replicas.get_mut(&replica_id).expect("member").take_watch_events(session_id)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Handles a serialized request buffer for `session_id`, passing it
+    /// through the connected replica's interceptor on the way in and out —
+    /// the byte-level path SecureKeeper instruments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError`] when the interceptor rejects the message, the
+    /// session is unknown, or the buffer cannot be parsed.
+    pub fn submit_serialized(&mut self, session_id: i64, mut buffer: Vec<u8>) -> Result<Vec<u8>, ZkError> {
+        let replica_id = *self
+            .session_to_replica
+            .get(&session_id)
+            .ok_or(ZkError::SessionExpired { session_id })?;
+        if self.zab.is_crashed(replica_id) {
+            return Err(ZkError::SessionExpired { session_id });
+        }
+        let interceptor = self.replicas[&replica_id].interceptor();
+        interceptor.on_request(session_id, &mut buffer)?;
+        let (header, request) = Request::from_bytes(&buffer)?;
+        let response = self.submit(session_id, &request);
+        let zxid = self.replicas[&replica_id].last_zxid();
+        let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
+        let mut response_bytes = response.to_bytes(&reply);
+        interceptor.on_response(session_id, header.op, &mut response_bytes)?;
+        Ok(response_bytes)
+    }
+
+    /// Parses a serialized response (see [`ZkCluster::submit_serialized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a marshalling error when the buffer cannot be decoded.
+    pub fn parse_response(bytes: &[u8], op: OpCode) -> Result<(ReplyHeader, Response), ZkError> {
+        Ok(Response::from_bytes(bytes, op)?)
+    }
+
+    /// Total number of znodes on the leader (for sanity checks and reporting).
+    pub fn leader_node_count(&self) -> usize {
+        self.replicas[&self.zab.leader_id()].tree().node_count()
+    }
+
+    /// Memory footprint of every replica's database, in bytes.
+    pub fn memory_bytes_per_replica(&self) -> HashMap<NodeId, usize> {
+        self.replicas.iter().map(|(&id, replica)| (id, replica.memory_bytes())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetDataRequest, SetDataRequest};
+
+    fn create(path: &str, mode: CreateMode) -> Request {
+        Request::Create(CreateRequest { path: path.into(), data: b"v".to_vec(), mode })
+    }
+
+    fn get(path: &str) -> Request {
+        Request::GetData(GetDataRequest { path: path.into(), watch: false })
+    }
+
+    #[test]
+    fn write_on_one_replica_is_visible_on_all() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[1]).unwrap().session_id;
+        let response = cluster.submit(session, &create("/shared", CreateMode::Persistent));
+        assert!(response.is_ok());
+        for id in ids {
+            assert!(cluster.replica(id).tree().contains("/shared"), "{id}");
+        }
+    }
+
+    #[test]
+    fn reads_are_served_by_the_connected_replica() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let writer = cluster.connect_default(ids[0]).unwrap().session_id;
+        let reader = cluster.connect_default(ids[2]).unwrap().session_id;
+        cluster.submit(writer, &create("/data", CreateMode::Persistent));
+        let response = cluster.submit(reader, &get("/data"));
+        assert!(response.is_ok());
+    }
+
+    #[test]
+    fn sequential_creates_agree_across_replicas() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let s1 = cluster.connect_default(ids[0]).unwrap().session_id;
+        let s2 = cluster.connect_default(ids[1]).unwrap().session_id;
+        cluster.submit(s1, &create("/queue", CreateMode::Persistent));
+        let r1 = cluster.submit(s1, &create("/queue/item-", CreateMode::PersistentSequential));
+        let r2 = cluster.submit(s2, &create("/queue/item-", CreateMode::PersistentSequential));
+        let (p1, p2) = match (r1, r2) {
+            (Response::Create(a), Response::Create(b)) => (a.path, b.path),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(p1, "/queue/item-0000000000");
+        assert_eq!(p2, "/queue/item-0000000001");
+        for id in ids {
+            assert_eq!(cluster.replica(id).tree().get_children("/queue").unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn follower_failure_keeps_cluster_available() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[0]).unwrap().session_id;
+        cluster.submit(session, &create("/a", CreateMode::Persistent));
+        let follower = ids.iter().copied().find(|&id| id != cluster.leader_id()).unwrap();
+        cluster.crash(follower);
+        assert!(cluster.submit(session, &create("/b", CreateMode::Persistent)).is_ok());
+        // The crashed follower missed the write.
+        assert!(!cluster.replica(follower).tree().contains("/b"));
+        // After recovery it catches up.
+        cluster.recover(follower);
+        assert!(cluster.replica(follower).tree().contains("/b"));
+    }
+
+    #[test]
+    fn leader_failure_triggers_election_and_clients_on_other_replicas_continue() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let leader = cluster.leader_id();
+        let survivor = ids.iter().copied().find(|&id| id != leader).unwrap();
+        let session = cluster.connect_default(survivor).unwrap().session_id;
+        cluster.submit(session, &create("/before", CreateMode::Persistent));
+        cluster.crash(leader);
+        assert_ne!(cluster.leader_id(), leader);
+        assert_eq!(cluster.elections(), 1);
+        let response = cluster.submit(session, &create("/after", CreateMode::Persistent));
+        assert!(response.is_ok());
+        assert!(cluster.replica(survivor).tree().contains("/before"));
+        assert!(cluster.replica(survivor).tree().contains("/after"));
+    }
+
+    #[test]
+    fn clients_connected_to_a_crashed_replica_lose_their_session() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let follower = ids.iter().copied().find(|&id| id != cluster.leader_id()).unwrap();
+        let session = cluster.connect_default(follower).unwrap().session_id;
+        cluster.crash(follower);
+        let response = cluster.submit(session, &get("/"));
+        assert!(!response.is_ok());
+        // Connecting to the crashed replica also fails; another replica works.
+        assert!(cluster.connect_default(follower).is_err());
+        assert!(cluster.connect_default(cluster.leader_id()).is_ok());
+    }
+
+    #[test]
+    fn no_quorum_rejects_writes() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[0]).unwrap().session_id;
+        cluster.crash(ids[1]);
+        cluster.crash(ids[2]);
+        let response = cluster.submit(session, &create("/x", CreateMode::Persistent));
+        assert!(!response.is_ok());
+    }
+
+    #[test]
+    fn version_conflicts_surface_to_the_client() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[0]).unwrap().session_id;
+        cluster.submit(session, &create("/v", CreateMode::Persistent));
+        cluster.submit(
+            session,
+            &Request::SetData(SetDataRequest { path: "/v".into(), data: b"1".to_vec(), version: -1 }),
+        );
+        let stale = cluster.submit(
+            session,
+            &Request::SetData(SetDataRequest { path: "/v".into(), data: b"2".to_vec(), version: 0 }),
+        );
+        assert_eq!(stale.error_code(), jute::records::ErrorCode::BadVersion);
+    }
+
+    #[test]
+    fn close_session_cleans_up_ephemerals_cluster_wide() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[1]).unwrap().session_id;
+        cluster.submit(session, &create("/members", CreateMode::Persistent));
+        cluster.submit(session, &create("/members/me", CreateMode::Ephemeral));
+        for id in &ids {
+            assert!(cluster.replica(*id).tree().contains("/members/me"));
+        }
+        cluster.submit(session, &Request::CloseSession);
+        for id in &ids {
+            assert!(!cluster.replica(*id).tree().contains("/members/me"), "{id}");
+        }
+    }
+
+    #[test]
+    fn serialized_submission_roundtrips() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[0]).unwrap().session_id;
+        let bytes = ZkReplica::serialize_request(3, &create("/raw", CreateMode::Persistent));
+        let response_bytes = cluster.submit_serialized(session, bytes).unwrap();
+        let (header, response) = ZkCluster::parse_response(&response_bytes, OpCode::Create).unwrap();
+        assert_eq!(header.xid, 3);
+        assert!(response.is_ok());
+        let bytes = ZkReplica::serialize_request(4, &get("/raw"));
+        let response_bytes = cluster.submit_serialized(session, bytes).unwrap();
+        let (_, response) = ZkCluster::parse_response(&response_bytes, OpCode::GetData).unwrap();
+        assert!(response.is_ok());
+    }
+
+    #[test]
+    fn deletes_replicate() {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let session = cluster.connect_default(ids[0]).unwrap().session_id;
+        cluster.submit(session, &create("/gone", CreateMode::Persistent));
+        let response =
+            cluster.submit(session, &Request::Delete(DeleteRequest { path: "/gone".into(), version: -1 }));
+        assert!(response.is_ok());
+        for id in ids {
+            assert!(!cluster.replica(id).tree().contains("/gone"));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type for ZooKeeper operations.
+
+use std::error::Error;
+use std::fmt;
+
+use jute::records::ErrorCode;
+
+/// Errors returned by the coordination service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkError {
+    /// The znode does not exist.
+    NoNode {
+        /// The offending path.
+        path: String,
+    },
+    /// A znode with this path already exists.
+    NodeExists {
+        /// The offending path.
+        path: String,
+    },
+    /// The znode still has children.
+    NotEmpty {
+        /// The offending path.
+        path: String,
+    },
+    /// Expected version mismatch.
+    BadVersion {
+        /// The offending path.
+        path: String,
+        /// Version the caller expected.
+        expected: i32,
+        /// Actual version of the znode.
+        actual: i32,
+    },
+    /// Ephemeral znodes cannot have children.
+    NoChildrenForEphemerals {
+        /// The ephemeral parent path.
+        path: String,
+    },
+    /// The path is syntactically invalid.
+    BadArguments {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// The session is unknown or has expired.
+    SessionExpired {
+        /// The session id.
+        session_id: i64,
+    },
+    /// Wire-format decoding failed.
+    Marshalling {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// The cluster has lost its quorum and cannot process writes.
+    NoQuorum,
+}
+
+impl ZkError {
+    /// Maps the error onto ZooKeeper's wire error codes.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ZkError::NoNode { .. } => ErrorCode::NoNode,
+            ZkError::NodeExists { .. } => ErrorCode::NodeExists,
+            ZkError::NotEmpty { .. } => ErrorCode::NotEmpty,
+            ZkError::BadVersion { .. } => ErrorCode::BadVersion,
+            ZkError::NoChildrenForEphemerals { .. } => ErrorCode::NoChildrenForEphemerals,
+            ZkError::BadArguments { .. } => ErrorCode::BadArguments,
+            ZkError::SessionExpired { .. } => ErrorCode::SessionExpired,
+            ZkError::Marshalling { .. } => ErrorCode::MarshallingError,
+            ZkError::NoQuorum => ErrorCode::MarshallingError,
+        }
+    }
+}
+
+impl fmt::Display for ZkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZkError::NoNode { path } => write!(f, "znode does not exist: {path}"),
+            ZkError::NodeExists { path } => write!(f, "znode already exists: {path}"),
+            ZkError::NotEmpty { path } => write!(f, "znode has children: {path}"),
+            ZkError::BadVersion { path, expected, actual } => {
+                write!(f, "version mismatch on {path}: expected {expected}, actual {actual}")
+            }
+            ZkError::NoChildrenForEphemerals { path } => {
+                write!(f, "ephemeral znode cannot have children: {path}")
+            }
+            ZkError::BadArguments { reason } => write!(f, "bad arguments: {reason}"),
+            ZkError::SessionExpired { session_id } => write!(f, "session {session_id} expired"),
+            ZkError::Marshalling { reason } => write!(f, "marshalling error: {reason}"),
+            ZkError::NoQuorum => write!(f, "cluster has no quorum"),
+        }
+    }
+}
+
+impl Error for ZkError {}
+
+impl From<jute::JuteError> for ZkError {
+    fn from(err: jute::JuteError) -> Self {
+        ZkError::Marshalling { reason: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_match_wire_values() {
+        assert_eq!(ZkError::NoNode { path: "/a".into() }.code(), ErrorCode::NoNode);
+        assert_eq!(ZkError::NodeExists { path: "/a".into() }.code(), ErrorCode::NodeExists);
+        assert_eq!(
+            ZkError::BadVersion { path: "/a".into(), expected: 1, actual: 2 }.code(),
+            ErrorCode::BadVersion
+        );
+        assert_eq!(ZkError::NoQuorum.code(), ErrorCode::MarshallingError);
+    }
+
+    #[test]
+    fn display_mentions_the_path() {
+        let err = ZkError::NotEmpty { path: "/app/config".into() };
+        assert!(err.to_string().contains("/app/config"));
+    }
+
+    #[test]
+    fn jute_errors_convert() {
+        let err: ZkError = jute::JuteError::TrailingBytes { remaining: 3 }.into();
+        assert!(matches!(err, ZkError::Marshalling { .. }));
+    }
+}

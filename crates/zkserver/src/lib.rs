@@ -1,0 +1,43 @@
+//! A ZooKeeper-semantics coordination service.
+//!
+//! Apache ZooKeeper exposes a hierarchical tree of *znodes* — nodes that carry
+//! both payload data and children — through a small file-system-like API
+//! (CREATE, GET, SET, DELETE, LS/getChildren, EXISTS), replicates the tree
+//! across an ensemble of replicas with the ZAB agreement protocol, and
+//! guarantees FIFO order for the requests of each client session.
+//!
+//! SecureKeeper (the `securekeeper` crate in this workspace) hardens exactly
+//! this service; this crate provides the untrusted substrate it runs on:
+//!
+//! * [`tree::DataTree`] — the znode database with version checks, sequential
+//!   node numbering, ephemeral ownership and memory accounting;
+//! * [`session::SessionManager`] — client sessions and ephemeral cleanup;
+//! * [`watch::WatchManager`] — one-shot data/child watches;
+//! * [`ops`] — pure application of a request to the tree (the replicated
+//!   state machine);
+//! * [`pipeline`] — the request-processor chain with the byte-buffer
+//!   interception points SecureKeeper's enclaves hook into;
+//! * [`server::ZkReplica`] — a single replica (standalone mode);
+//! * [`cluster::ZkCluster`] — a ZAB-replicated ensemble with crash injection
+//!   and leader failover;
+//! * [`client::ZkClient`] — a typed client handle used by the examples and
+//!   the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod error;
+pub mod ops;
+pub mod pipeline;
+pub mod server;
+pub mod session;
+pub mod tree;
+pub mod watch;
+
+pub use client::ZkClient;
+pub use cluster::ZkCluster;
+pub use error::ZkError;
+pub use server::ZkReplica;
+pub use tree::{DataTree, Znode};

@@ -1,0 +1,344 @@
+//! Pure application of requests to the data tree — the replicated state machine.
+//!
+//! Write requests are wrapped in a [`WriteTxn`] (which pins the issuing
+//! session and logical time) and totally ordered by ZAB; every replica then
+//! calls [`apply_write`] with identical arguments, so all replicas stay
+//! byte-for-byte identical. Read requests never go through agreement and are
+//! answered directly from the local tree with [`apply_read`].
+//!
+//! Sequential-node naming goes through the [`SequentialNamer`] hook. Vanilla
+//! ZooKeeper appends a zero-padded ten-digit counter
+//! ([`DefaultSequentialNamer`]); SecureKeeper replaces the hook with its
+//! *counter enclave*, which decrypts the requested (encrypted) name, appends
+//! the counter, and re-encrypts the result (paper Section 4.4).
+
+use jute::records::{
+    CreateResponse, ErrorCode, ExistsResponse, GetChildrenResponse, GetDataResponse, OpCode,
+    SetDataResponse,
+};
+use jute::{InputArchive, OutputArchive, Request, Response};
+
+use crate::error::ZkError;
+use crate::tree::{split_path, validate_path, DataTree};
+
+/// Strategy for turning a requested sequential-znode path plus its assigned
+/// sequence number into the final znode path.
+pub trait SequentialNamer: Send + Sync {
+    /// Produces the final path stored in the tree.
+    fn name(&self, requested_path: &str, sequence: u32) -> String;
+}
+
+/// ZooKeeper's default naming: append the zero-padded ten-digit counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultSequentialNamer;
+
+impl SequentialNamer for DefaultSequentialNamer {
+    fn name(&self, requested_path: &str, sequence: u32) -> String {
+        format!("{requested_path}{sequence:010}")
+    }
+}
+
+/// Context shared by all replicas when applying one committed write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyContext {
+    /// The transaction's global id.
+    pub zxid: i64,
+    /// Logical time in milliseconds (assigned by the leader).
+    pub time_ms: i64,
+    /// The session that issued the write (owner of ephemeral znodes).
+    pub session_id: i64,
+}
+
+/// A write transaction as carried in a ZAB proposal payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteTxn {
+    /// The session that issued the write.
+    pub session_id: i64,
+    /// Logical time assigned by the leader.
+    pub time_ms: i64,
+    /// The serialized request (header + body).
+    pub request_bytes: Vec<u8>,
+}
+
+impl WriteTxn {
+    /// Serializes the transaction for the ZAB payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = OutputArchive::with_capacity(self.request_bytes.len() + 24);
+        out.write_i64(self.session_id);
+        out.write_i64(self.time_ms);
+        out.write_buffer(&self.request_bytes);
+        out.into_bytes()
+    }
+
+    /// Decodes a transaction from a ZAB payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::Marshalling`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ZkError> {
+        let mut input = InputArchive::new(bytes);
+        let session_id = input.read_i64("session_id")?;
+        let time_ms = input.read_i64("time_ms")?;
+        let request_bytes = input.read_buffer("request")?;
+        input.expect_exhausted()?;
+        Ok(WriteTxn { session_id, time_ms, request_bytes })
+    }
+}
+
+/// Applies a write request to the tree, returning the response the issuing
+/// replica sends back to the client.
+///
+/// # Errors
+///
+/// Returns the [`ZkError`] describing why the operation was rejected; the tree
+/// is left unchanged in that case.
+pub fn apply_write(
+    tree: &mut DataTree,
+    request: &Request,
+    ctx: &ApplyContext,
+    namer: &dyn SequentialNamer,
+) -> Result<Response, ZkError> {
+    match request {
+        Request::Create(create) => {
+            validate_path(&create.path)?;
+            if create.path == "/" {
+                return Err(ZkError::NodeExists { path: "/".to_string() });
+            }
+            let final_path = if create.mode.is_sequential() {
+                let (parent, _) = split_path(&create.path)
+                    .ok_or_else(|| ZkError::BadArguments { reason: "sequential create on root".into() })?;
+                let sequence = tree.next_sequence(parent)?;
+                namer.name(&create.path, sequence)
+            } else {
+                create.path.clone()
+            };
+            let owner = if create.mode.is_ephemeral() { ctx.session_id } else { 0 };
+            tree.create(&final_path, create.data.clone(), owner, ctx.zxid, ctx.time_ms)?;
+            Ok(Response::Create(CreateResponse { path: final_path }))
+        }
+        Request::Delete(delete) => {
+            validate_path(&delete.path)?;
+            tree.delete(&delete.path, delete.version, ctx.zxid)?;
+            Ok(Response::Delete)
+        }
+        Request::SetData(set) => {
+            validate_path(&set.path)?;
+            let stat = tree.set_data(&set.path, set.data.clone(), set.version, ctx.zxid, ctx.time_ms)?;
+            Ok(Response::SetData(SetDataResponse { stat }))
+        }
+        Request::CloseSession => Ok(Response::CloseSession),
+        other => Err(ZkError::BadArguments {
+            reason: format!("{:?} is not a write operation", other.op()),
+        }),
+    }
+}
+
+/// Answers a read request from the local tree.
+///
+/// # Errors
+///
+/// Returns the [`ZkError`] describing why the operation was rejected.
+pub fn apply_read(tree: &DataTree, request: &Request) -> Result<Response, ZkError> {
+    match request {
+        Request::GetData(get) => {
+            validate_path(&get.path)?;
+            let (data, stat) = tree.get_data(&get.path)?;
+            Ok(Response::GetData(GetDataResponse { data, stat }))
+        }
+        Request::Exists(exists) => {
+            validate_path(&exists.path)?;
+            match tree.stat(&exists.path) {
+                Some(stat) => Ok(Response::Exists(ExistsResponse { stat })),
+                None => Err(ZkError::NoNode { path: exists.path.clone() }),
+            }
+        }
+        Request::GetChildren(ls) => {
+            validate_path(&ls.path)?;
+            let children = tree.get_children(&ls.path)?;
+            Ok(Response::GetChildren(GetChildrenResponse { children }))
+        }
+        Request::Ping => Ok(Response::Ping),
+        other => Err(ZkError::BadArguments {
+            reason: format!("{:?} is not a read operation", other.op()),
+        }),
+    }
+}
+
+/// Convenience: turns a [`ZkError`] into the wire-level error response.
+pub fn error_response(err: &ZkError) -> Response {
+    Response::Error(err.code())
+}
+
+/// True if the operation only reads state and can be answered by any replica.
+pub fn is_read_op(op: OpCode) -> bool {
+    !op.is_write() && op != OpCode::Connect
+}
+
+/// Maps an error code back into a `ZkError` (used by typed clients).
+pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
+    match code {
+        ErrorCode::NoNode => ZkError::NoNode { path: path.to_string() },
+        ErrorCode::NodeExists => ZkError::NodeExists { path: path.to_string() },
+        ErrorCode::NotEmpty => ZkError::NotEmpty { path: path.to_string() },
+        ErrorCode::BadVersion => ZkError::BadVersion { path: path.to_string(), expected: -1, actual: -1 },
+        ErrorCode::NoChildrenForEphemerals => {
+            ZkError::NoChildrenForEphemerals { path: path.to_string() }
+        }
+        ErrorCode::SessionExpired => ZkError::SessionExpired { session_id: 0 },
+        ErrorCode::AuthFailed => ZkError::Marshalling { reason: "authentication failed".into() },
+        ErrorCode::BadArguments => ZkError::BadArguments { reason: path.to_string() },
+        ErrorCode::Ok | ErrorCode::MarshallingError => {
+            ZkError::Marshalling { reason: format!("unexpected error code for {path}") }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest};
+
+    fn ctx(zxid: i64) -> ApplyContext {
+        ApplyContext { zxid, time_ms: 1_000 + zxid, session_id: 7 }
+    }
+
+    fn create_req(path: &str, mode: CreateMode) -> Request {
+        Request::Create(CreateRequest { path: path.into(), data: b"d".to_vec(), mode })
+    }
+
+    #[test]
+    fn create_get_set_delete_cycle() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+
+        let resp = apply_write(&mut tree, &create_req("/app", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+        assert_eq!(resp, Response::Create(CreateResponse { path: "/app".into() }));
+
+        let resp = apply_read(&tree, &Request::GetData(GetDataRequest { path: "/app".into(), watch: false })).unwrap();
+        match resp {
+            Response::GetData(get) => assert_eq!(get.data, b"d"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let resp = apply_write(
+            &mut tree,
+            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"d2".to_vec(), version: 0 }),
+            &ctx(2),
+            &namer,
+        )
+        .unwrap();
+        match resp {
+            Response::SetData(set) => assert_eq!(set.stat.version, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        apply_write(
+            &mut tree,
+            &Request::Delete(DeleteRequest { path: "/app".into(), version: -1 }),
+            &ctx(3),
+            &namer,
+        )
+        .unwrap();
+        assert!(!tree.contains("/app"));
+    }
+
+    #[test]
+    fn sequential_create_appends_zero_padded_counter() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/locks", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+
+        let r1 = apply_write(&mut tree, &create_req("/locks/lock-", CreateMode::PersistentSequential), &ctx(2), &namer).unwrap();
+        let r2 = apply_write(&mut tree, &create_req("/locks/lock-", CreateMode::PersistentSequential), &ctx(3), &namer).unwrap();
+        assert_eq!(r1, Response::Create(CreateResponse { path: "/locks/lock-0000000000".into() }));
+        assert_eq!(r2, Response::Create(CreateResponse { path: "/locks/lock-0000000001".into() }));
+        assert_eq!(tree.get_children("/locks").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sequential_numbering_is_per_parent_and_deterministic() {
+        // Two replicas applying the same sequence of writes reach the same names.
+        let namer = DefaultSequentialNamer;
+        let mut a = DataTree::new();
+        let mut b = DataTree::new();
+        for tree in [&mut a, &mut b] {
+            apply_write(tree, &create_req("/q", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+            apply_write(tree, &create_req("/q/item-", CreateMode::PersistentSequential), &ctx(2), &namer).unwrap();
+            apply_write(tree, &create_req("/q/item-", CreateMode::PersistentSequential), &ctx(3), &namer).unwrap();
+        }
+        assert_eq!(a.paths(), b.paths());
+    }
+
+    #[test]
+    fn ephemeral_create_records_session_owner() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/e", CreateMode::Ephemeral), &ctx(1), &namer).unwrap();
+        assert_eq!(tree.get("/e").unwrap().stat().ephemeral_owner, 7);
+        assert_eq!(tree.ephemerals_of(7), vec!["/e".to_string()]);
+    }
+
+    #[test]
+    fn custom_namer_is_honoured() {
+        struct SuffixNamer;
+        impl SequentialNamer for SuffixNamer {
+            fn name(&self, requested_path: &str, sequence: u32) -> String {
+                format!("{requested_path}#{sequence}")
+            }
+        }
+        let mut tree = DataTree::new();
+        apply_write(&mut tree, &create_req("/s", CreateMode::Persistent), &ctx(1), &SuffixNamer).unwrap();
+        let resp =
+            apply_write(&mut tree, &create_req("/s/n-", CreateMode::PersistentSequential), &ctx(2), &SuffixNamer)
+                .unwrap();
+        assert_eq!(resp, Response::Create(CreateResponse { path: "/s/n-#0".into() }));
+    }
+
+    #[test]
+    fn reads_reject_write_ops_and_vice_versa() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        assert!(apply_read(&tree, &create_req("/a", CreateMode::Persistent)).is_err());
+        assert!(apply_write(
+            &mut tree,
+            &Request::GetData(GetDataRequest { path: "/".into(), watch: false }),
+            &ctx(1),
+            &namer
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reads_report_missing_nodes() {
+        let tree = DataTree::new();
+        for request in [
+            Request::GetData(GetDataRequest { path: "/missing".into(), watch: false }),
+            Request::GetChildren(GetChildrenRequest { path: "/missing".into(), watch: false }),
+        ] {
+            assert!(matches!(apply_read(&tree, &request), Err(ZkError::NoNode { .. })));
+        }
+    }
+
+    #[test]
+    fn write_txn_roundtrip() {
+        let txn = WriteTxn { session_id: 42, time_ms: 123_456, request_bytes: vec![1, 2, 3, 4] };
+        assert_eq!(WriteTxn::from_bytes(&txn.to_bytes()).unwrap(), txn);
+        assert!(WriteTxn::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn error_response_maps_code() {
+        let err = ZkError::NoNode { path: "/x".into() };
+        assert_eq!(error_response(&err), Response::Error(ErrorCode::NoNode));
+        assert!(matches!(error_from_code(ErrorCode::NoNode, "/x"), ZkError::NoNode { .. }));
+    }
+
+    #[test]
+    fn read_op_classification() {
+        assert!(is_read_op(OpCode::GetData));
+        assert!(is_read_op(OpCode::GetChildren));
+        assert!(is_read_op(OpCode::Exists));
+        assert!(!is_read_op(OpCode::Create));
+        assert!(!is_read_op(OpCode::Connect));
+    }
+}

@@ -1,0 +1,483 @@
+//! A single ZooKeeper replica.
+//!
+//! A replica owns the data tree, the sessions of the clients connected to it,
+//! their watches, and the byte-level request path that SecureKeeper's entry
+//! enclave intercepts. In standalone mode the replica orders writes itself;
+//! in cluster mode ([`crate::cluster::ZkCluster`]) writes arrive as committed
+//! ZAB transactions via [`ZkReplica::apply_txn`].
+
+use std::sync::Arc;
+
+use jute::records::{ConnectResponse, OpCode, ReplyHeader, RequestHeader};
+use jute::{Request, Response};
+
+use crate::error::ZkError;
+use crate::ops::{self, ApplyContext, DefaultSequentialNamer, SequentialNamer, WriteTxn};
+use crate::pipeline::{PassthroughInterceptor, RequestInterceptor};
+use crate::session::SessionManager;
+use crate::tree::{split_path, DataTree};
+use crate::watch::{WatchEvent, WatchEventKind, WatchManager};
+
+/// Default session timeout granted to clients, in milliseconds.
+pub const DEFAULT_SESSION_TIMEOUT_MS: i64 = 30_000;
+
+/// One ZooKeeper replica.
+pub struct ZkReplica {
+    id: u32,
+    tree: DataTree,
+    sessions: SessionManager,
+    watches: WatchManager,
+    namer: Arc<dyn SequentialNamer>,
+    interceptor: Arc<dyn RequestInterceptor>,
+    clock_ms: i64,
+    last_zxid: i64,
+    watch_events: Vec<WatchEvent>,
+}
+
+impl std::fmt::Debug for ZkReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkReplica")
+            .field("id", &self.id)
+            .field("znodes", &self.tree.node_count())
+            .field("sessions", &self.sessions.count())
+            .field("last_zxid", &self.last_zxid)
+            .finish()
+    }
+}
+
+impl ZkReplica {
+    /// Creates a replica with the default (vanilla ZooKeeper) behaviour.
+    pub fn new(id: u32) -> Self {
+        ZkReplica {
+            id,
+            tree: DataTree::new(),
+            sessions: SessionManager::new(),
+            watches: WatchManager::new(),
+            namer: Arc::new(DefaultSequentialNamer),
+            interceptor: Arc::new(PassthroughInterceptor),
+            clock_ms: 0,
+            last_zxid: 0,
+            watch_events: Vec::new(),
+        }
+    }
+
+    /// Replaces the sequential-node naming hook (SecureKeeper's counter enclave).
+    pub fn with_namer(mut self, namer: Arc<dyn SequentialNamer>) -> Self {
+        self.namer = namer;
+        self
+    }
+
+    /// Replaces the request/response interceptor (SecureKeeper's entry enclaves).
+    pub fn with_interceptor(mut self, interceptor: Arc<dyn RequestInterceptor>) -> Self {
+        self.interceptor = interceptor;
+        self
+    }
+
+    /// The replica's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The interceptor installed on this replica.
+    pub fn interceptor(&self) -> Arc<dyn RequestInterceptor> {
+        Arc::clone(&self.interceptor)
+    }
+
+    /// Read access to the data tree.
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// Approximate memory footprint of the replica's database in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.approximate_memory_bytes()
+    }
+
+    /// The logical clock in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.clock_ms
+    }
+
+    /// Advances the logical clock and expires timed-out sessions (removing
+    /// their ephemeral znodes).
+    pub fn advance_clock(&mut self, delta_ms: i64) {
+        self.clock_ms += delta_ms;
+        let now = self.clock_ms;
+        for session_id in self.sessions.expire_sessions(now) {
+            self.cleanup_session(session_id);
+        }
+    }
+
+    /// The zxid of the most recently applied write.
+    pub fn last_zxid(&self) -> i64 {
+        self.last_zxid
+    }
+
+    /// Number of active sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.count()
+    }
+
+    /// Establishes a new client session.
+    pub fn connect(&mut self, timeout_ms: i64) -> ConnectResponse {
+        let (session_id, password) = self.sessions.create_session(timeout_ms, self.clock_ms);
+        ConnectResponse { protocol_version: 0, timeout_ms: timeout_ms as i32, session_id, password }
+    }
+
+    /// Registers a session under an externally assigned id (cluster mode);
+    /// returns the session password.
+    pub fn adopt_session(&mut self, session_id: i64, timeout_ms: i64) -> Vec<u8> {
+        self.sessions.adopt(session_id, timeout_ms, self.clock_ms)
+    }
+
+    /// Closes a session, removing its watches and ephemeral znodes.
+    pub fn close_session(&mut self, session_id: i64) {
+        if self.sessions.close_session(session_id) {
+            self.cleanup_session(session_id);
+        }
+        self.interceptor.on_session_closed(session_id);
+    }
+
+    fn cleanup_session(&mut self, session_id: i64) {
+        self.watches.remove_session(session_id);
+        for path in self.tree.ephemerals_of(session_id) {
+            self.last_zxid += 1;
+            let zxid = self.last_zxid;
+            if self.tree.delete(&path, -1, zxid).is_ok() {
+                self.record_delete_watches(&path);
+            }
+        }
+    }
+
+    /// Handles a typed request in standalone mode (the replica orders writes
+    /// itself). Returns the response; watch events are queued separately and
+    /// retrieved with [`ZkReplica::take_watch_events`].
+    pub fn handle_request(&mut self, session_id: i64, request: &Request) -> Response {
+        if !self.sessions.is_active(session_id) {
+            return Response::Error(ZkError::SessionExpired { session_id }.code());
+        }
+        self.sessions.touch(session_id, self.clock_ms);
+
+        if request.op().is_write() {
+            if *request == Request::CloseSession {
+                self.close_session(session_id);
+                return Response::CloseSession;
+            }
+            self.last_zxid += 1;
+            let ctx = ApplyContext { zxid: self.last_zxid, time_ms: self.clock_ms, session_id };
+            self.apply_write_with_watches(request, &ctx)
+        } else {
+            self.handle_read(session_id, request)
+        }
+    }
+
+    fn handle_read(&mut self, session_id: i64, request: &Request) -> Response {
+        // Register watches before reading, as ZooKeeper does.
+        match request {
+            Request::GetData(get) if get.watch => self.watches.add_data_watch(&get.path, session_id),
+            Request::Exists(exists) if exists.watch => self.watches.add_data_watch(&exists.path, session_id),
+            Request::GetChildren(ls) if ls.watch => self.watches.add_child_watch(&ls.path, session_id),
+            _ => {}
+        }
+        match ops::apply_read(&self.tree, request) {
+            Ok(response) => response,
+            Err(err) => ops::error_response(&err),
+        }
+    }
+
+    fn apply_write_with_watches(&mut self, request: &Request, ctx: &ApplyContext) -> Response {
+        let result = ops::apply_write(&mut self.tree, request, ctx, self.namer.as_ref());
+        match result {
+            Ok(response) => {
+                self.record_write_watches(request, &response);
+                response
+            }
+            Err(err) => ops::error_response(&err),
+        }
+    }
+
+    fn record_write_watches(&mut self, request: &Request, response: &Response) {
+        match (request, response) {
+            (Request::Create(_), Response::Create(create)) => {
+                let events = self.watches.trigger_data(&create.path, WatchEventKind::NodeCreated);
+                self.watch_events.extend(events);
+                if let Some((parent, _)) = split_path(&create.path) {
+                    let events = self.watches.trigger_children(parent);
+                    self.watch_events.extend(events);
+                }
+            }
+            (Request::Delete(delete), Response::Delete) => self.record_delete_watches(&delete.path),
+            (Request::SetData(set), Response::SetData(_)) => {
+                let events = self.watches.trigger_data(&set.path, WatchEventKind::NodeDataChanged);
+                self.watch_events.extend(events);
+            }
+            _ => {}
+        }
+    }
+
+    fn record_delete_watches(&mut self, path: &str) {
+        let events = self.watches.trigger_data(path, WatchEventKind::NodeDeleted);
+        self.watch_events.extend(events);
+        if let Some((parent, _)) = split_path(path) {
+            let events = self.watches.trigger_children(parent);
+            self.watch_events.extend(events);
+        }
+    }
+
+    /// Drains watch notifications queued for `session_id`.
+    pub fn take_watch_events(&mut self, session_id: i64) -> Vec<WatchEvent> {
+        let (mine, rest): (Vec<WatchEvent>, Vec<WatchEvent>) =
+            std::mem::take(&mut self.watch_events).into_iter().partition(|e| e.session_id == session_id);
+        self.watch_events = rest;
+        mine
+    }
+
+    /// Registers read-side watches for cluster mode (where reads are routed
+    /// through the cluster but watches live on the connected replica).
+    pub fn register_read_watch(&mut self, session_id: i64, request: &Request) {
+        if self.sessions.is_active(session_id) {
+            self.handle_read_watch_only(session_id, request);
+        }
+    }
+
+    fn handle_read_watch_only(&mut self, session_id: i64, request: &Request) {
+        match request {
+            Request::GetData(get) if get.watch => self.watches.add_data_watch(&get.path, session_id),
+            Request::Exists(exists) if exists.watch => self.watches.add_data_watch(&exists.path, session_id),
+            Request::GetChildren(ls) if ls.watch => self.watches.add_child_watch(&ls.path, session_id),
+            _ => {}
+        }
+    }
+
+    /// True if the session is active on this replica.
+    pub fn has_session(&self, session_id: i64) -> bool {
+        self.sessions.is_active(session_id)
+    }
+
+    /// Touches a session (cluster mode bookkeeping).
+    pub fn touch_session(&mut self, session_id: i64) {
+        self.sessions.touch(session_id, self.clock_ms);
+    }
+
+    /// Answers a read directly from the local tree (cluster mode).
+    pub fn serve_read(&mut self, session_id: i64, request: &Request) -> Response {
+        if !self.sessions.is_active(session_id) {
+            return Response::Error(ZkError::SessionExpired { session_id }.code());
+        }
+        self.sessions.touch(session_id, self.clock_ms);
+        self.handle_read(session_id, request)
+    }
+
+    /// Applies a committed write transaction delivered by ZAB (cluster mode).
+    ///
+    /// Every replica calls this with the same arguments in the same order, so
+    /// the trees stay identical. The returned response is only meaningful on
+    /// the replica the issuing client is connected to.
+    pub fn apply_txn(&mut self, zxid: i64, txn: &WriteTxn) -> Response {
+        self.last_zxid = zxid;
+        let (_, request) = match Request::from_bytes(&txn.request_bytes) {
+            Ok(parsed) => parsed,
+            Err(err) => return ops::error_response(&ZkError::from(err)),
+        };
+        let ctx = ApplyContext { zxid, time_ms: txn.time_ms, session_id: txn.session_id };
+        self.apply_write_with_watches(&request, &ctx)
+    }
+
+    /// Handles a serialized request buffer exactly as it arrives from the
+    /// client connection: the interceptor sees the raw bytes first (this is
+    /// where SecureKeeper's entry enclave decrypts the transport layer and
+    /// encrypts sensitive fields), then the request is parsed and dispatched,
+    /// and the serialized response passes through the interceptor again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError`] when the interceptor rejects the message or the
+    /// buffer cannot be parsed; operation-level failures are reported in-band
+    /// as error responses.
+    pub fn handle_serialized_request(
+        &mut self,
+        session_id: i64,
+        mut buffer: Vec<u8>,
+    ) -> Result<Vec<u8>, ZkError> {
+        let interceptor = Arc::clone(&self.interceptor);
+        interceptor.on_request(session_id, &mut buffer)?;
+        let (header, request) = Request::from_bytes(&buffer)?;
+        let response = self.handle_request(session_id, &request);
+        let reply = ReplyHeader { xid: header.xid, zxid: self.last_zxid, err: response.error_code() };
+        let mut response_bytes = response.to_bytes(&reply);
+        interceptor.on_response(session_id, header.op, &mut response_bytes)?;
+        Ok(response_bytes)
+    }
+
+    /// Serializes a request for [`ZkReplica::handle_serialized_request`];
+    /// mirrors what a real client library does before hitting the wire.
+    pub fn serialize_request(xid: i32, request: &Request) -> Vec<u8> {
+        request.to_bytes(&RequestHeader { xid, op: request.op() })
+    }
+
+    /// Parses a serialized response produced by this replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns a marshalling error when the buffer cannot be decoded.
+    pub fn parse_response(bytes: &[u8], op: OpCode) -> Result<(ReplyHeader, Response), ZkError> {
+        Ok(Response::from_bytes(bytes, op)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest};
+
+    fn replica_with_session() -> (ZkReplica, i64) {
+        let mut replica = ZkReplica::new(1);
+        let connect = replica.connect(DEFAULT_SESSION_TIMEOUT_MS);
+        (replica, connect.session_id)
+    }
+
+    fn create(path: &str, mode: CreateMode) -> Request {
+        Request::Create(CreateRequest { path: path.into(), data: b"v".to_vec(), mode })
+    }
+
+    #[test]
+    fn standalone_write_read_cycle() {
+        let (mut replica, session) = replica_with_session();
+        let response = replica.handle_request(session, &create("/app", CreateMode::Persistent));
+        assert!(response.is_ok());
+        let response = replica.handle_request(
+            session,
+            &Request::GetData(GetDataRequest { path: "/app".into(), watch: false }),
+        );
+        match response {
+            Response::GetData(get) => assert_eq!(get.data, b"v"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(replica.last_zxid(), 1);
+    }
+
+    #[test]
+    fn requests_from_unknown_sessions_are_rejected() {
+        let mut replica = ZkReplica::new(1);
+        let response = replica.handle_request(999, &Request::Ping);
+        assert_eq!(response.error_code(), jute::records::ErrorCode::SessionExpired);
+    }
+
+    #[test]
+    fn close_session_removes_ephemerals_and_watches() {
+        let (mut replica, session) = replica_with_session();
+        let other = replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id;
+        replica.handle_request(session, &create("/app", CreateMode::Persistent));
+        replica.handle_request(session, &create("/app/worker", CreateMode::Ephemeral));
+        // The other session watches the ephemeral node.
+        replica.handle_request(
+            other,
+            &Request::GetData(GetDataRequest { path: "/app/worker".into(), watch: true }),
+        );
+        replica.handle_request(session, &Request::CloseSession);
+        assert!(!replica.tree().contains("/app/worker"));
+        let events = replica.take_watch_events(other);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::NodeDeleted);
+        assert!(!replica.has_session(session));
+    }
+
+    #[test]
+    fn session_expiry_removes_ephemerals() {
+        let (mut replica, session) = replica_with_session();
+        replica.handle_request(session, &create("/e", CreateMode::Ephemeral));
+        replica.advance_clock(DEFAULT_SESSION_TIMEOUT_MS + 1);
+        assert!(!replica.tree().contains("/e"));
+        assert_eq!(replica.session_count(), 0);
+    }
+
+    #[test]
+    fn watches_fire_on_data_change_and_child_change() {
+        let (mut replica, session) = replica_with_session();
+        replica.handle_request(session, &create("/app", CreateMode::Persistent));
+        replica.handle_request(
+            session,
+            &Request::GetData(GetDataRequest { path: "/app".into(), watch: true }),
+        );
+        replica.handle_request(
+            session,
+            &Request::GetChildren(GetChildrenRequest { path: "/app".into(), watch: true }),
+        );
+        replica.handle_request(
+            session,
+            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"x".to_vec(), version: -1 }),
+        );
+        replica.handle_request(session, &create("/app/child", CreateMode::Persistent));
+        let events = replica.take_watch_events(session);
+        let kinds: Vec<WatchEventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&WatchEventKind::NodeDataChanged));
+        assert!(kinds.contains(&WatchEventKind::NodeChildrenChanged));
+        // Watches are one-shot: another change fires nothing.
+        replica.handle_request(
+            session,
+            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"y".to_vec(), version: -1 }),
+        );
+        assert!(replica.take_watch_events(session).is_empty());
+    }
+
+    #[test]
+    fn serialized_path_roundtrips_through_interceptor() {
+        let (mut replica, session) = replica_with_session();
+        let request = create("/via-bytes", CreateMode::Persistent);
+        let bytes = ZkReplica::serialize_request(5, &request);
+        let response_bytes = replica.handle_serialized_request(session, bytes).unwrap();
+        let (header, response) = ZkReplica::parse_response(&response_bytes, OpCode::Create).unwrap();
+        assert_eq!(header.xid, 5);
+        assert!(response.is_ok());
+        assert!(replica.tree().contains("/via-bytes"));
+    }
+
+    #[test]
+    fn interceptor_errors_abort_the_request() {
+        struct Reject;
+        impl RequestInterceptor for Reject {
+            fn on_request(&self, _session: i64, _buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+                Err(ZkError::Marshalling { reason: "tampered".into() })
+            }
+        }
+        let mut replica = ZkReplica::new(1).with_interceptor(Arc::new(Reject));
+        let session = replica.connect(1000).session_id;
+        let bytes = ZkReplica::serialize_request(1, &Request::Ping);
+        assert!(replica.handle_serialized_request(session, bytes).is_err());
+    }
+
+    #[test]
+    fn apply_txn_matches_standalone_semantics() {
+        let (mut replica, session) = replica_with_session();
+        let request = create("/from-zab", CreateMode::Persistent);
+        let txn = WriteTxn {
+            session_id: session,
+            time_ms: 42,
+            request_bytes: ZkReplica::serialize_request(1, &request),
+        };
+        let response = replica.apply_txn(10, &txn);
+        assert!(response.is_ok());
+        assert_eq!(replica.tree().get("/from-zab").unwrap().stat().czxid, 10);
+        assert_eq!(replica.last_zxid(), 10);
+    }
+
+    #[test]
+    fn delete_and_error_paths() {
+        let (mut replica, session) = replica_with_session();
+        replica.handle_request(session, &create("/a", CreateMode::Persistent));
+        let response = replica
+            .handle_request(session, &Request::Delete(DeleteRequest { path: "/missing".into(), version: -1 }));
+        assert_eq!(response.error_code(), jute::records::ErrorCode::NoNode);
+        let response = replica
+            .handle_request(session, &Request::Delete(DeleteRequest { path: "/a".into(), version: -1 }));
+        assert!(response.is_ok());
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let (replica, _) = replica_with_session();
+        let rendered = format!("{replica:?}");
+        assert!(rendered.contains("ZkReplica"));
+        assert!(rendered.contains("sessions"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Client session management.
+//!
+//! Each connected client owns a session identified by a 64-bit id. Sessions
+//! have a timeout; a session that is not touched (by any request or ping)
+//! within its timeout expires, and all ephemeral znodes it owns are removed.
+//! Time is logical (milliseconds supplied by the caller) so the replicated
+//! state machine stays deterministic.
+
+use std::collections::HashMap;
+
+/// Metadata of one client session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The session id.
+    pub id: i64,
+    /// Negotiated timeout in milliseconds.
+    pub timeout_ms: i64,
+    /// Logical time of the last request or ping.
+    pub last_seen_ms: i64,
+    /// Session password (returned on connect, checked on reconnect).
+    pub password: Vec<u8>,
+}
+
+impl Session {
+    /// True if the session has not been touched within its timeout at `now_ms`.
+    pub fn is_expired(&self, now_ms: i64) -> bool {
+        now_ms - self.last_seen_ms > self.timeout_ms
+    }
+}
+
+/// Tracks all sessions of one replica (or of the whole in-process cluster).
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: HashMap<i64, Session>,
+    next_id: i64,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager { sessions: HashMap::new(), next_id: 1 }
+    }
+
+    /// Creates a session with the given timeout, returning its id and password.
+    pub fn create_session(&mut self, timeout_ms: i64, now_ms: i64) -> (i64, Vec<u8>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        // A deterministic per-session password (16 bytes derived from the id).
+        let password: Vec<u8> = (0..16u8).map(|i| (id as u8).wrapping_mul(31).wrapping_add(i)).collect();
+        self.sessions.insert(
+            id,
+            Session { id, timeout_ms: timeout_ms.max(1), last_seen_ms: now_ms, password: password.clone() },
+        );
+        (id, password)
+    }
+
+    /// Registers a session under an externally assigned id (used by the
+    /// cluster, which makes ids unique across replicas). Returns the password.
+    pub fn adopt(&mut self, session_id: i64, timeout_ms: i64, now_ms: i64) -> Vec<u8> {
+        let password: Vec<u8> =
+            (0..16u8).map(|i| (session_id as u8).wrapping_mul(31).wrapping_add(i)).collect();
+        self.sessions.insert(
+            session_id,
+            Session {
+                id: session_id,
+                timeout_ms: timeout_ms.max(1),
+                last_seen_ms: now_ms,
+                password: password.clone(),
+            },
+        );
+        password
+    }
+
+    /// Marks a session as active at `now_ms`. Returns false for unknown sessions.
+    pub fn touch(&mut self, session_id: i64, now_ms: i64) -> bool {
+        match self.sessions.get_mut(&session_id) {
+            Some(session) => {
+                session.last_seen_ms = now_ms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the session exists (expired sessions are removed by
+    /// [`SessionManager::expire_sessions`]).
+    pub fn is_active(&self, session_id: i64) -> bool {
+        self.sessions.contains_key(&session_id)
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, session_id: i64) -> Option<&Session> {
+        self.sessions.get(&session_id)
+    }
+
+    /// Closes a session explicitly, returning true if it existed.
+    pub fn close_session(&mut self, session_id: i64) -> bool {
+        self.sessions.remove(&session_id).is_some()
+    }
+
+    /// Removes every session whose timeout elapsed before `now_ms` and returns
+    /// their ids (the caller deletes their ephemeral znodes).
+    pub fn expire_sessions(&mut self, now_ms: i64) -> Vec<i64> {
+        let expired: Vec<i64> = self
+            .sessions
+            .values()
+            .filter(|s| s.is_expired(now_ms))
+            .map(|s| s.id)
+            .collect();
+        for id in &expired {
+            self.sessions.remove(id);
+        }
+        expired
+    }
+
+    /// Number of active sessions.
+    pub fn count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_touch_and_close() {
+        let mut mgr = SessionManager::new();
+        let (id, password) = mgr.create_session(10_000, 0);
+        assert!(id > 0);
+        assert_eq!(password.len(), 16);
+        assert!(mgr.is_active(id));
+        assert!(mgr.touch(id, 500));
+        assert!(!mgr.touch(id + 999, 500));
+        assert!(mgr.close_session(id));
+        assert!(!mgr.close_session(id));
+        assert!(!mgr.is_active(id));
+    }
+
+    #[test]
+    fn session_ids_are_unique_and_increasing() {
+        let mut mgr = SessionManager::new();
+        let (a, _) = mgr.create_session(1000, 0);
+        let (b, _) = mgr.create_session(1000, 0);
+        assert!(b > a);
+        assert_eq!(mgr.count(), 2);
+    }
+
+    #[test]
+    fn sessions_expire_after_timeout() {
+        let mut mgr = SessionManager::new();
+        let (a, _) = mgr.create_session(1_000, 0);
+        let (b, _) = mgr.create_session(10_000, 0);
+        assert!(mgr.expire_sessions(500).is_empty());
+        mgr.touch(a, 900);
+        // `a` was touched at 900 so it survives until 1900; `b` until 10000.
+        assert!(mgr.expire_sessions(1_800).is_empty());
+        let expired = mgr.expire_sessions(2_500);
+        assert_eq!(expired, vec![a]);
+        assert!(mgr.is_active(b));
+    }
+
+    #[test]
+    fn expired_check_uses_strict_timeout() {
+        let session = Session { id: 1, timeout_ms: 100, last_seen_ms: 0, password: vec![] };
+        assert!(!session.is_expired(100));
+        assert!(session.is_expired(101));
+    }
+}

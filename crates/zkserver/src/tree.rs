@@ -1,0 +1,474 @@
+//! The znode database.
+//!
+//! Znodes form a tree rooted at `/`. Each znode carries payload bytes, a
+//! [`Stat`] metadata record, a sorted set of child names and a counter used to
+//! number sequential children. The tree is the replicated state machine: every
+//! replica applies the same committed write transactions to its own copy.
+
+use std::collections::{BTreeSet, HashMap};
+
+use jute::records::Stat;
+
+use crate::error::ZkError;
+
+/// A single node in the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Znode {
+    data: Vec<u8>,
+    stat: Stat,
+    children: BTreeSet<String>,
+    next_sequence: u32,
+}
+
+impl Znode {
+    /// The znode's payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The znode's metadata.
+    pub fn stat(&self) -> &Stat {
+        &self.stat
+    }
+
+    /// Names (not full paths) of the children, sorted.
+    pub fn children(&self) -> impl Iterator<Item = &str> {
+        self.children.iter().map(String::as_str)
+    }
+
+    /// True if the znode is ephemeral (owned by a session).
+    pub fn is_ephemeral(&self) -> bool {
+        self.stat.ephemeral_owner != 0
+    }
+
+    /// Approximate memory footprint of this znode in bytes.
+    fn memory_bytes(&self) -> usize {
+        const NODE_OVERHEAD: usize = 160; // struct, map entry, stat
+        NODE_OVERHEAD
+            + self.data.len()
+            + self.children.iter().map(|c| c.len() + 48).sum::<usize>()
+    }
+}
+
+/// Splits a path into its parent path and final component.
+///
+/// Returns `None` for the root path.
+pub fn split_path(path: &str) -> Option<(&str, &str)> {
+    if path == "/" {
+        return None;
+    }
+    let idx = path.rfind('/')?;
+    let parent = if idx == 0 { "/" } else { &path[..idx] };
+    Some((parent, &path[idx + 1..]))
+}
+
+/// Validates a znode path: absolute, no empty or relative components, no
+/// trailing slash (except the root itself).
+///
+/// # Errors
+///
+/// Returns [`ZkError::BadArguments`] describing the first violation found.
+pub fn validate_path(path: &str) -> Result<(), ZkError> {
+    if path.is_empty() {
+        return Err(ZkError::BadArguments { reason: "path is empty".into() });
+    }
+    if !path.starts_with('/') {
+        return Err(ZkError::BadArguments { reason: format!("path must be absolute: {path}") });
+    }
+    if path == "/" {
+        return Ok(());
+    }
+    if path.ends_with('/') {
+        return Err(ZkError::BadArguments { reason: format!("path must not end with '/': {path}") });
+    }
+    for component in path[1..].split('/') {
+        if component.is_empty() {
+            return Err(ZkError::BadArguments { reason: format!("empty path component in {path}") });
+        }
+        if component == "." || component == ".." {
+            return Err(ZkError::BadArguments {
+                reason: format!("relative path component in {path}"),
+            });
+        }
+        if component.contains('\u{0}') {
+            return Err(ZkError::BadArguments { reason: "null character in path".into() });
+        }
+    }
+    Ok(())
+}
+
+/// The hierarchical znode store.
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    nodes: HashMap<String, Znode>,
+}
+
+impl Default for DataTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataTree {
+    /// Creates a tree containing only the root znode `/`.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert("/".to_string(), Znode::default());
+        DataTree { nodes }
+    }
+
+    /// Number of znodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate memory footprint of the whole tree in bytes (payloads,
+    /// paths, child sets and per-node overhead). Used by the Figure 2
+    /// experiment.
+    pub fn approximate_memory_bytes(&self) -> usize {
+        self.nodes.iter().map(|(path, node)| path.len() + node.memory_bytes()).sum()
+    }
+
+    /// Looks up a znode.
+    pub fn get(&self, path: &str) -> Option<&Znode> {
+        self.nodes.get(path)
+    }
+
+    /// True if the path exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Reserves and returns the next sequence number of `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] if the parent does not exist.
+    pub fn next_sequence(&mut self, parent: &str) -> Result<u32, ZkError> {
+        let node = self.nodes.get_mut(parent).ok_or_else(|| ZkError::NoNode { path: parent.to_string() })?;
+        let seq = node.next_sequence;
+        node.next_sequence += 1;
+        Ok(seq)
+    }
+
+    /// Creates a znode at `path`.
+    ///
+    /// The caller is responsible for having already appended any sequential
+    /// suffix to `path` (see [`crate::ops`]); `ephemeral_owner` is the owning
+    /// session id or 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`ZkError::BadArguments`] for malformed paths;
+    /// * [`ZkError::NoNode`] when the parent does not exist;
+    /// * [`ZkError::NodeExists`] when the path already exists;
+    /// * [`ZkError::NoChildrenForEphemerals`] when the parent is ephemeral.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        ephemeral_owner: i64,
+        zxid: i64,
+        time_ms: i64,
+    ) -> Result<(), ZkError> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(ZkError::NodeExists { path: path.to_string() });
+        }
+        if self.nodes.contains_key(path) {
+            return Err(ZkError::NodeExists { path: path.to_string() });
+        }
+        let (parent_path, name) = split_path(path).expect("non-root path has a parent");
+        let data_length = data.len() as i32;
+        {
+            let parent = self
+                .nodes
+                .get_mut(parent_path)
+                .ok_or_else(|| ZkError::NoNode { path: parent_path.to_string() })?;
+            if parent.is_ephemeral() {
+                return Err(ZkError::NoChildrenForEphemerals { path: parent_path.to_string() });
+            }
+            parent.children.insert(name.to_string());
+            parent.stat.cversion += 1;
+            parent.stat.pzxid = zxid;
+            parent.stat.num_children = parent.children.len() as i32;
+        }
+        let stat = Stat {
+            czxid: zxid,
+            mzxid: zxid,
+            ctime: time_ms,
+            mtime: time_ms,
+            version: 0,
+            cversion: 0,
+            aversion: 0,
+            ephemeral_owner,
+            data_length,
+            num_children: 0,
+            pzxid: zxid,
+        };
+        self.nodes.insert(
+            path.to_string(),
+            Znode { data, stat, children: BTreeSet::new(), next_sequence: 0 },
+        );
+        Ok(())
+    }
+
+    /// Deletes the znode at `path` if `expected_version` matches (or is -1).
+    ///
+    /// # Errors
+    ///
+    /// * [`ZkError::NoNode`] when the path does not exist;
+    /// * [`ZkError::NotEmpty`] when the znode still has children;
+    /// * [`ZkError::BadVersion`] on a version mismatch;
+    /// * [`ZkError::BadArguments`] when attempting to delete the root.
+    pub fn delete(&mut self, path: &str, expected_version: i32, zxid: i64) -> Result<(), ZkError> {
+        if path == "/" {
+            return Err(ZkError::BadArguments { reason: "cannot delete the root znode".into() });
+        }
+        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        if !node.children.is_empty() {
+            return Err(ZkError::NotEmpty { path: path.to_string() });
+        }
+        if expected_version != -1 && node.stat.version != expected_version {
+            return Err(ZkError::BadVersion {
+                path: path.to_string(),
+                expected: expected_version,
+                actual: node.stat.version,
+            });
+        }
+        self.nodes.remove(path);
+        if let Some((parent_path, name)) = split_path(path) {
+            if let Some(parent) = self.nodes.get_mut(parent_path) {
+                parent.children.remove(name);
+                parent.stat.cversion += 1;
+                parent.stat.pzxid = zxid;
+                parent.stat.num_children = parent.children.len() as i32;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the payload of `path` if `expected_version` matches (or is -1),
+    /// returning the updated metadata.
+    ///
+    /// # Errors
+    ///
+    /// * [`ZkError::NoNode`] when the path does not exist;
+    /// * [`ZkError::BadVersion`] on a version mismatch.
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: i32,
+        zxid: i64,
+        time_ms: i64,
+    ) -> Result<Stat, ZkError> {
+        let node = self.nodes.get_mut(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        if expected_version != -1 && node.stat.version != expected_version {
+            return Err(ZkError::BadVersion {
+                path: path.to_string(),
+                expected: expected_version,
+                actual: node.stat.version,
+            });
+        }
+        node.stat.version += 1;
+        node.stat.mzxid = zxid;
+        node.stat.mtime = time_ms;
+        node.stat.data_length = data.len() as i32;
+        node.data = data;
+        Ok(node.stat)
+    }
+
+    /// Reads the payload and metadata of `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] when the path does not exist.
+    pub fn get_data(&self, path: &str) -> Result<(Vec<u8>, Stat), ZkError> {
+        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        Ok((node.data.clone(), node.stat))
+    }
+
+    /// Returns the metadata of `path`, or `None` if it does not exist.
+    pub fn stat(&self, path: &str) -> Option<Stat> {
+        self.nodes.get(path).map(|n| n.stat)
+    }
+
+    /// Lists the child names of `path`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] when the path does not exist.
+    pub fn get_children(&self, path: &str) -> Result<Vec<String>, ZkError> {
+        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        Ok(node.children.iter().cloned().collect())
+    }
+
+    /// Full paths of every ephemeral znode owned by `session_id`.
+    pub fn ephemerals_of(&self, session_id: i64) -> Vec<String> {
+        let mut paths: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, node)| node.stat.ephemeral_owner == session_id && session_id != 0)
+            .map(|(path, _)| path.clone())
+            .collect();
+        // Delete deepest paths first so parents empty out before removal.
+        paths.sort_by_key(|p| std::cmp::Reverse(p.matches('/').count()));
+        paths
+    }
+
+    /// All paths in the tree (sorted), useful for tests and debugging.
+    pub fn paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.nodes.keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(paths: &[&str]) -> DataTree {
+        let mut tree = DataTree::new();
+        for (i, path) in paths.iter().enumerate() {
+            tree.create(path, b"data".to_vec(), 0, i as i64 + 1, 1000).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn root_exists_initially() {
+        let tree = DataTree::new();
+        assert!(tree.contains("/"));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.get_children("/").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let mut tree = DataTree::new();
+        tree.create("/app", b"top".to_vec(), 0, 1, 500).unwrap();
+        tree.create("/app/config", b"secret".to_vec(), 0, 2, 600).unwrap();
+        let (data, stat) = tree.get_data("/app/config").unwrap();
+        assert_eq!(data, b"secret");
+        assert_eq!(stat.czxid, 2);
+        assert_eq!(stat.ctime, 600);
+        assert_eq!(stat.data_length, 6);
+        assert_eq!(tree.get_children("/app").unwrap(), vec!["config".to_string()]);
+        assert_eq!(tree.get("/app").unwrap().stat().num_children, 1);
+    }
+
+    #[test]
+    fn create_requires_existing_parent() {
+        let mut tree = DataTree::new();
+        let err = tree.create("/missing/child", vec![], 0, 1, 0).unwrap_err();
+        assert!(matches!(err, ZkError::NoNode { .. }));
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_root() {
+        let mut tree = tree_with(&["/a"]);
+        assert!(matches!(tree.create("/a", vec![], 0, 2, 0), Err(ZkError::NodeExists { .. })));
+        assert!(matches!(tree.create("/", vec![], 0, 2, 0), Err(ZkError::NodeExists { .. })));
+    }
+
+    #[test]
+    fn path_validation_rejects_malformed_paths() {
+        assert!(validate_path("/ok/path").is_ok());
+        assert!(validate_path("/").is_ok());
+        for bad in ["", "relative", "/trailing/", "/dou//ble", "/dot/.", "/dotdot/..", "/nul/\u{0}x"] {
+            assert!(validate_path(bad).is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn split_path_handles_root_children() {
+        assert_eq!(split_path("/a"), Some(("/", "a")));
+        assert_eq!(split_path("/a/b/c"), Some(("/a/b", "c")));
+        assert_eq!(split_path("/"), None);
+    }
+
+    #[test]
+    fn delete_enforces_children_and_version() {
+        let mut tree = tree_with(&["/a", "/a/b"]);
+        assert!(matches!(tree.delete("/a", -1, 10), Err(ZkError::NotEmpty { .. })));
+        assert!(matches!(tree.delete("/a/b", 7, 10), Err(ZkError::BadVersion { .. })));
+        tree.delete("/a/b", -1, 10).unwrap();
+        tree.delete("/a", 0, 11).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert!(matches!(tree.delete("/a", -1, 12), Err(ZkError::NoNode { .. })));
+        assert!(matches!(tree.delete("/", -1, 12), Err(ZkError::BadArguments { .. })));
+    }
+
+    #[test]
+    fn set_data_bumps_version_and_checks_expected() {
+        let mut tree = tree_with(&["/a"]);
+        let stat = tree.set_data("/a", b"v1".to_vec(), -1, 5, 100).unwrap();
+        assert_eq!(stat.version, 1);
+        assert_eq!(stat.mzxid, 5);
+        let stat = tree.set_data("/a", b"v2".to_vec(), 1, 6, 200).unwrap();
+        assert_eq!(stat.version, 2);
+        assert!(matches!(
+            tree.set_data("/a", b"v3".to_vec(), 1, 7, 300),
+            Err(ZkError::BadVersion { expected: 1, actual: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parent_cversion_tracks_child_changes() {
+        let mut tree = tree_with(&["/a"]);
+        let before = tree.get("/").unwrap().stat().cversion;
+        tree.create("/b", vec![], 0, 2, 0).unwrap();
+        tree.delete("/b", -1, 3).unwrap();
+        let after = tree.get("/").unwrap().stat().cversion;
+        assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn sequence_numbers_increase_per_parent() {
+        let mut tree = tree_with(&["/locks", "/other"]);
+        assert_eq!(tree.next_sequence("/locks").unwrap(), 0);
+        assert_eq!(tree.next_sequence("/locks").unwrap(), 1);
+        assert_eq!(tree.next_sequence("/other").unwrap(), 0);
+        assert!(tree.next_sequence("/missing").is_err());
+    }
+
+    #[test]
+    fn ephemeral_nodes_are_tracked_by_owner_and_cannot_have_children() {
+        let mut tree = DataTree::new();
+        tree.create("/app", vec![], 0, 1, 0).unwrap();
+        tree.create("/app/session-node", vec![], 42, 2, 0).unwrap();
+        assert!(tree.get("/app/session-node").unwrap().is_ephemeral());
+        assert_eq!(tree.ephemerals_of(42), vec!["/app/session-node".to_string()]);
+        assert!(tree.ephemerals_of(0).is_empty());
+        let err = tree.create("/app/session-node/child", vec![], 0, 3, 0).unwrap_err();
+        assert!(matches!(err, ZkError::NoChildrenForEphemerals { .. }));
+    }
+
+    #[test]
+    fn ephemerals_of_orders_deepest_first() {
+        let mut tree = DataTree::new();
+        tree.create("/a", vec![], 7, 1, 0).unwrap();
+        // Ephemerals cannot have children, so build a separate persistent branch.
+        tree.create("/b", vec![], 0, 2, 0).unwrap();
+        tree.create("/b/c", vec![], 7, 3, 0).unwrap();
+        let paths = tree.ephemerals_of(7);
+        assert_eq!(paths, vec!["/b/c".to_string(), "/a".to_string()]);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_payload() {
+        let mut tree = DataTree::new();
+        let empty = tree.approximate_memory_bytes();
+        tree.create("/big", vec![0u8; 100_000], 0, 1, 0).unwrap();
+        let with_node = tree.approximate_memory_bytes();
+        assert!(with_node > empty + 100_000);
+    }
+
+    #[test]
+    fn paths_lists_everything_sorted() {
+        let tree = tree_with(&["/b", "/a", "/a/x"]);
+        assert_eq!(tree.paths(), vec!["/", "/a", "/a/x", "/b"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! One-shot watches on znodes.
+//!
+//! ZooKeeper clients can register a *watch* when reading a znode (GET, EXISTS)
+//! or listing its children (LS). The watch fires exactly once, the next time
+//! the watched state changes, and is delivered to the session that registered
+//! it. SecureKeeper leaves the watch mechanism untouched (watch notifications
+//! carry only the — encrypted — path), but the substrate needs it to be a
+//! faithful ZooKeeper stand-in for the example applications (locks, leader
+//! election).
+
+use std::collections::{HashMap, HashSet};
+
+/// The kind of state change a watch observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchEventKind {
+    /// The znode was created.
+    NodeCreated,
+    /// The znode was deleted.
+    NodeDeleted,
+    /// The znode's payload changed.
+    NodeDataChanged,
+    /// The znode's children changed.
+    NodeChildrenChanged,
+}
+
+/// A fired watch notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The watched path (possibly ciphertext under SecureKeeper).
+    pub path: String,
+    /// What happened.
+    pub kind: WatchEventKind,
+    /// Session that registered the watch.
+    pub session_id: i64,
+}
+
+/// Registry of pending watches.
+#[derive(Debug, Default)]
+pub struct WatchManager {
+    /// Data watches (set by GET and EXISTS).
+    data_watches: HashMap<String, HashSet<i64>>,
+    /// Child watches (set by LS).
+    child_watches: HashMap<String, HashSet<i64>>,
+}
+
+impl WatchManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a data watch on `path` for `session_id`.
+    pub fn add_data_watch(&mut self, path: &str, session_id: i64) {
+        self.data_watches.entry(path.to_string()).or_default().insert(session_id);
+    }
+
+    /// Registers a child watch on `path` for `session_id`.
+    pub fn add_child_watch(&mut self, path: &str, session_id: i64) {
+        self.child_watches.entry(path.to_string()).or_default().insert(session_id);
+    }
+
+    /// Number of pending watches (data + child).
+    pub fn pending(&self) -> usize {
+        self.data_watches.values().map(HashSet::len).sum::<usize>()
+            + self.child_watches.values().map(HashSet::len).sum::<usize>()
+    }
+
+    /// Fires data watches on `path` with `kind`, removing them (one-shot).
+    pub fn trigger_data(&mut self, path: &str, kind: WatchEventKind) -> Vec<WatchEvent> {
+        match self.data_watches.remove(path) {
+            Some(sessions) => {
+                let mut events: Vec<WatchEvent> = sessions
+                    .into_iter()
+                    .map(|session_id| WatchEvent { path: path.to_string(), kind, session_id })
+                    .collect();
+                events.sort_by_key(|e| e.session_id);
+                events
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Fires child watches on `path`, removing them (one-shot).
+    pub fn trigger_children(&mut self, path: &str) -> Vec<WatchEvent> {
+        match self.child_watches.remove(path) {
+            Some(sessions) => {
+                let mut events: Vec<WatchEvent> = sessions
+                    .into_iter()
+                    .map(|session_id| WatchEvent {
+                        path: path.to_string(),
+                        kind: WatchEventKind::NodeChildrenChanged,
+                        session_id,
+                    })
+                    .collect();
+                events.sort_by_key(|e| e.session_id);
+                events
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes every watch registered by `session_id` (on session close).
+    pub fn remove_session(&mut self, session_id: i64) {
+        for sessions in self.data_watches.values_mut() {
+            sessions.remove(&session_id);
+        }
+        for sessions in self.child_watches.values_mut() {
+            sessions.remove(&session_id);
+        }
+        self.data_watches.retain(|_, s| !s.is_empty());
+        self.child_watches.retain(|_, s| !s.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_watch_fires_once() {
+        let mut mgr = WatchManager::new();
+        mgr.add_data_watch("/a", 1);
+        mgr.add_data_watch("/a", 2);
+        let events = mgr.trigger_data("/a", WatchEventKind::NodeDataChanged);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].session_id, 1);
+        assert_eq!(events[1].kind, WatchEventKind::NodeDataChanged);
+        assert!(mgr.trigger_data("/a", WatchEventKind::NodeDataChanged).is_empty());
+        assert_eq!(mgr.pending(), 0);
+    }
+
+    #[test]
+    fn child_watch_is_independent_of_data_watch() {
+        let mut mgr = WatchManager::new();
+        mgr.add_data_watch("/a", 1);
+        mgr.add_child_watch("/a", 1);
+        assert_eq!(mgr.pending(), 2);
+        assert_eq!(mgr.trigger_children("/a").len(), 1);
+        assert_eq!(mgr.pending(), 1);
+        assert_eq!(mgr.trigger_data("/a", WatchEventKind::NodeDeleted).len(), 1);
+    }
+
+    #[test]
+    fn unrelated_paths_do_not_fire() {
+        let mut mgr = WatchManager::new();
+        mgr.add_data_watch("/a", 1);
+        assert!(mgr.trigger_data("/b", WatchEventKind::NodeCreated).is_empty());
+        assert_eq!(mgr.pending(), 1);
+    }
+
+    #[test]
+    fn remove_session_clears_its_watches() {
+        let mut mgr = WatchManager::new();
+        mgr.add_data_watch("/a", 1);
+        mgr.add_data_watch("/a", 2);
+        mgr.add_child_watch("/b", 1);
+        mgr.remove_session(1);
+        assert_eq!(mgr.pending(), 1);
+        let events = mgr.trigger_data("/a", WatchEventKind::NodeDeleted);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].session_id, 2);
+    }
+}

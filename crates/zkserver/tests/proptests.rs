@@ -1,0 +1,166 @@
+//! Property-based tests for the data tree and the replicated cluster:
+//! structural invariants hold under arbitrary operation sequences, and all
+//! replicas converge to identical state regardless of which replica clients
+//! talk to.
+
+use proptest::prelude::*;
+
+use jute::records::{CreateMode, CreateRequest, DeleteRequest, SetDataRequest};
+use jute::Request;
+use zkserver::tree::{split_path, validate_path};
+use zkserver::{DataTree, ZkCluster};
+
+/// A randomly generated tree operation over a bounded name space.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Create { parent: usize, name: usize, payload: Vec<u8>, sequential: bool },
+    Set { target: usize, payload: Vec<u8> },
+    Delete { target: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0usize..6, 0usize..6, proptest::collection::vec(any::<u8>(), 0..64), any::<bool>())
+            .prop_map(|(parent, name, payload, sequential)| TreeOp::Create { parent, name, payload, sequential }),
+        (0usize..12, proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(target, payload)| TreeOp::Set { target, payload }),
+        (0usize..12,).prop_map(|(target,)| TreeOp::Delete { target }),
+    ]
+}
+
+/// Checks the structural invariants of a tree: every non-root node has a live
+/// parent that lists it as a child, and every parent's child list points at
+/// existing nodes with a correct `num_children` count.
+fn assert_tree_invariants(tree: &DataTree) {
+    let paths = tree.paths();
+    for path in &paths {
+        if path == "/" {
+            continue;
+        }
+        let (parent, name) = split_path(path).expect("non-root path has a parent");
+        let parent_node = tree.get(parent).unwrap_or_else(|| panic!("parent {parent} of {path} missing"));
+        assert!(parent_node.children().any(|c| c == name), "{parent} does not list {name}");
+    }
+    for path in &paths {
+        let node = tree.get(path).expect("listed path exists");
+        let mut count = 0;
+        for child in node.children() {
+            let child_path =
+                if path == "/" { format!("/{child}") } else { format!("{path}/{child}") };
+            assert!(tree.contains(&child_path), "child {child_path} of {path} missing");
+            count += 1;
+        }
+        assert_eq!(node.stat().num_children as usize, count, "num_children mismatch at {path}");
+    }
+}
+
+fn candidate_paths() -> Vec<String> {
+    // A small, overlapping name space so creates/deletes collide often.
+    let mut paths = vec!["/n0".to_string(), "/n1".to_string(), "/n2".to_string()];
+    for parent in ["/n0", "/n1", "/n2"] {
+        for child in ["a", "b", "c"] {
+            paths.push(format!("{parent}/{child}"));
+        }
+    }
+    paths
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_invariants_hold_under_random_operations(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut tree = DataTree::new();
+        let paths = candidate_paths();
+        let mut zxid = 0i64;
+        for op in ops {
+            zxid += 1;
+            match op {
+                TreeOp::Create { parent, name, payload, sequential } => {
+                    let parent_path = if parent % 3 == 0 { "/".to_string() } else { paths[parent % paths.len()].clone() };
+                    let path = if parent_path == "/" {
+                        format!("/n{}", name % 3)
+                    } else {
+                        format!("{parent_path}/{}", ["a", "b", "c"][name % 3])
+                    };
+                    if sequential {
+                        if tree.contains(&parent_path) {
+                            let seq = tree.next_sequence(&parent_path).unwrap();
+                            let _ = tree.create(&format!("{path}{seq:010}"), payload, 0, zxid, zxid);
+                        }
+                    } else {
+                        let _ = tree.create(&path, payload, 0, zxid, zxid);
+                    }
+                }
+                TreeOp::Set { target, payload } => {
+                    let path = &paths[target % paths.len()];
+                    let _ = tree.set_data(path, payload, -1, zxid, zxid);
+                }
+                TreeOp::Delete { target } => {
+                    let path = &paths[target % paths.len()];
+                    let _ = tree.delete(path, -1, zxid);
+                }
+            }
+            assert_tree_invariants(&tree);
+        }
+        // The root is indestructible and memory accounting stays consistent.
+        prop_assert!(tree.contains("/"));
+        prop_assert!(tree.approximate_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn set_data_version_always_counts_writes(writes in 1usize..30) {
+        let mut tree = DataTree::new();
+        tree.create("/v", vec![], 0, 1, 0).unwrap();
+        for i in 0..writes {
+            let stat = tree.set_data("/v", vec![i as u8], -1, i as i64 + 2, 0).unwrap();
+            prop_assert_eq!(stat.version, i as i32 + 1);
+        }
+    }
+
+    #[test]
+    fn valid_paths_always_roundtrip_through_split(
+        components in proptest::collection::vec("[a-zA-Z0-9_=-]{1,12}", 1..5)
+    ) {
+        let path = format!("/{}", components.join("/"));
+        prop_assert!(validate_path(&path).is_ok());
+        let (parent, name) = split_path(&path).unwrap();
+        prop_assert_eq!(name, components.last().unwrap().as_str());
+        if components.len() == 1 {
+            prop_assert_eq!(parent, "/");
+        } else {
+            prop_assert!(validate_path(parent).is_ok());
+        }
+    }
+
+    #[test]
+    fn replicas_converge_regardless_of_the_connected_replica(
+        choices in proptest::collection::vec((0usize..3, 0usize..4, any::<bool>()), 1..40)
+    ) {
+        let mut cluster = ZkCluster::new(3);
+        let ids = cluster.replica_ids();
+        let sessions: Vec<i64> = ids
+            .iter()
+            .map(|&id| cluster.connect_default(id).unwrap().session_id)
+            .collect();
+
+        for (replica_choice, node_choice, delete) in choices {
+            let session = sessions[replica_choice % sessions.len()];
+            let path = format!("/node-{}", node_choice % 4);
+            let request = if delete {
+                Request::Delete(DeleteRequest { path, version: -1 })
+            } else if node_choice % 2 == 0 {
+                Request::Create(CreateRequest { path, data: vec![1], mode: CreateMode::Persistent })
+            } else {
+                Request::SetData(SetDataRequest { path, data: vec![2], version: -1 })
+            };
+            cluster.submit(session, &request);
+        }
+
+        // Whatever happened, all replicas hold byte-identical trees.
+        let reference = cluster.replica(ids[0]).tree().paths();
+        for &id in &ids[1..] {
+            prop_assert_eq!(cluster.replica(id).tree().paths(), reference.clone());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Group membership / service discovery on SecureKeeper: workers register
+//! themselves as ephemeral znodes carrying their (confidential) endpoint and
+//! credentials; a dispatcher watches the group and reacts to joins, leaves and
+//! crashes — including a replica failure underneath the coordination service.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example service_discovery
+//! ```
+
+use jute::records::CreateMode;
+use securekeeper::integration::{secure_cluster, SecureKeeperConfig};
+use securekeeper::SecureKeeperClient;
+
+fn main() {
+    let config = SecureKeeperConfig::generate();
+    let (cluster, handles) = secure_cluster(3, &config);
+    let (leader, survivors) = {
+        let guard = cluster.lock();
+        let leader = guard.leader_id();
+        let survivors: Vec<_> = guard.replica_ids().into_iter().filter(|&id| id != leader).collect();
+        (leader, survivors)
+    };
+
+    // The dispatcher and the workers connect to the follower replicas so we can
+    // later crash the leader without losing any client session.
+    let dispatcher = SecureKeeperClient::connect(&cluster, &handles, survivors[0]).expect("connect");
+    dispatcher.create("/services", Vec::new(), CreateMode::Persistent).expect("create /services");
+    dispatcher.create("/services/workers", Vec::new(), CreateMode::Persistent).expect("create group");
+    dispatcher.get_children("/services/workers", true).expect("arm watch");
+
+    // Two workers join from different replicas, registering endpoint + token.
+    let worker_a = SecureKeeperClient::connect(&cluster, &handles, survivors[0]).expect("connect");
+    worker_a
+        .create(
+            "/services/workers/worker-a",
+            b"endpoint=10.0.0.11:7000;token=s3cr3t-a".to_vec(),
+            CreateMode::Ephemeral,
+        )
+        .expect("register worker-a");
+    let worker_b = SecureKeeperClient::connect(&cluster, &handles, survivors[1]).expect("connect");
+    worker_b
+        .create(
+            "/services/workers/worker-b",
+            b"endpoint=10.0.0.12:7000;token=s3cr3t-b".to_vec(),
+            CreateMode::Ephemeral,
+        )
+        .expect("register worker-b");
+
+    // The dispatcher is notified and enumerates the live members.
+    let events = dispatcher.take_watch_events();
+    assert!(!events.is_empty(), "the child watch must fire on the first join");
+    let members = dispatcher.get_children("/services/workers", true).expect("list members");
+    println!("live workers: {members:?}");
+    assert_eq!(members, vec!["worker-a", "worker-b"]);
+
+    // It can read each member's confidential registration record.
+    for member in &members {
+        let path = format!("/services/workers/{member}");
+        let (record, _) = dispatcher.get_data(&path, false).expect("read registration");
+        println!("  {member}: {}", String::from_utf8_lossy(&record));
+    }
+
+    // A coordination-service replica fails; the service keeps working.
+    println!("\ncrashing coordination replica {leader} (the ZAB leader)…");
+    cluster.lock().crash(leader);
+
+    // worker-b's process also dies: its ephemeral registration disappears.
+    worker_b.close();
+
+    let members = dispatcher.get_children("/services/workers", false).expect("list after failures");
+    println!("live workers after leader crash + worker-b exit: {members:?}");
+    assert_eq!(members, vec!["worker-a"]);
+
+    // And the registry data is still confidential on every surviving replica.
+    let guard = cluster.lock();
+    for id in guard.replica_ids() {
+        if guard.is_crashed(id) {
+            continue;
+        }
+        for path in guard.replica(id).tree().paths() {
+            assert!(!path.contains("worker-"), "member names must be encrypted, saw {path}");
+        }
+    }
+    println!("membership survived a replica failure, names stayed encrypted ✔");
+}

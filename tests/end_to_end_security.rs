@@ -1,0 +1,209 @@
+//! Cross-crate integration tests for SecureKeeper's security properties:
+//! confidentiality of paths and payloads in the untrusted store, integrity of
+//! stored data, payload-to-path binding, and the documented limitation around
+//! sequential-node naming (paper Section 7).
+
+use jute::records::CreateMode;
+use securekeeper::integration::{secure_cluster, SecureKeeperConfig};
+use securekeeper::path_crypto::PathCipher;
+use securekeeper::payload_crypto::{PayloadCipher, SequentialFlag};
+use securekeeper::{SecureKeeperClient, SkError};
+use zkcrypto::keys::StorageKey;
+use zkserver::pipeline::RequestInterceptor as _;
+
+const SECRETS: &[&str] = &["db-password", "hunter2", "api-key", "payments", "admin-credentials"];
+
+fn setup() -> (zkserver::client::SharedCluster, securekeeper::SecureKeeperHandles) {
+    secure_cluster(3, &SecureKeeperConfig::with_label("e2e-security"))
+}
+
+#[test]
+fn nothing_sensitive_ever_reaches_the_untrusted_store() {
+    let (cluster, handles) = setup();
+    let replica = cluster.lock().replica_ids()[0];
+    let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+
+    client.create("/admin-credentials", b"root:hunter2".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/admin-credentials/api-key", b"sk_live_secret".to_vec(), CreateMode::Persistent).unwrap();
+    client.set_data("/admin-credentials", b"root:hunter3".to_vec(), -1).unwrap();
+
+    let guard = cluster.lock();
+    for id in guard.replica_ids() {
+        let tree = guard.replica(id).tree();
+        for path in tree.paths() {
+            for secret in SECRETS {
+                assert!(!path.contains(secret), "{id}: path {path} leaks {secret}");
+            }
+            // Payload bytes stored under every znode are ciphertext.
+            if path != "/" {
+                let (stored, _) = tree.get_data(&path).unwrap();
+                let stored_text = String::from_utf8_lossy(&stored);
+                for secret in SECRETS {
+                    assert!(!stored_text.contains(secret), "{id}: payload of {path} leaks {secret}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tampering_with_stored_payloads_is_detected_on_read() {
+    // An attacker with full control over a replica flips bits in the stored
+    // (encrypted) payload. The entry enclave must refuse to return it.
+    let config = SecureKeeperConfig::with_label("e2e-tamper");
+    let (cluster, handles) = secure_cluster(3, &config);
+    let replica = cluster.lock().replica_ids()[0];
+    let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+    client.create("/important", b"original value".to_vec(), CreateMode::Persistent).unwrap();
+
+    // Locate the encrypted path in the untrusted store and overwrite its
+    // payload with a corrupted copy, bypassing the enclaves entirely.
+    {
+        let mut guard = cluster.lock();
+        let leader = guard.leader_id();
+        let encrypted_path = guard
+            .replica(leader)
+            .tree()
+            .paths()
+            .into_iter()
+            .find(|p| p != "/")
+            .expect("the created znode exists");
+        let (mut stored, _) = guard.replica(leader).tree().get_data(&encrypted_path).unwrap();
+        let mid = stored.len() / 2;
+        stored[mid] ^= 0xff;
+        // Write the tampered bytes through a direct (vanilla) session on the
+        // same cluster — this models an attacker editing the database file.
+        let attacker_session = guard.connect_default(leader).unwrap().session_id;
+        let response = guard.submit(
+            attacker_session,
+            &jute::Request::SetData(jute::records::SetDataRequest {
+                path: encrypted_path,
+                data: stored,
+                version: -1,
+            }),
+        );
+        assert!(response.is_ok(), "the untrusted store itself accepts the tampered write");
+    }
+
+    let err = client.get_data("/important", false).unwrap_err();
+    assert!(matches!(err, SkError::IntegrityViolation { .. }), "got {err:?}");
+}
+
+#[test]
+fn payloads_cannot_be_swapped_between_znodes() {
+    // The paper's motivating attack: replace the admin password payload with
+    // the attacker's own (validly encrypted) payload from another znode.
+    let config = SecureKeeperConfig::with_label("e2e-swap");
+    let (cluster, handles) = secure_cluster(3, &config);
+    let replica = cluster.lock().replica_ids()[0];
+    let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+    client.create("/admin", b"admin-password".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/attacker", b"attacker-password".to_vec(), CreateMode::Persistent).unwrap();
+
+    // Swap the two stored ciphertexts behind SecureKeeper's back.
+    {
+        let mut guard = cluster.lock();
+        let leader = guard.leader_id();
+        let paths: Vec<String> =
+            guard.replica(leader).tree().paths().into_iter().filter(|p| p != "/").collect();
+        assert_eq!(paths.len(), 2);
+        let (payload_a, _) = guard.replica(leader).tree().get_data(&paths[0]).unwrap();
+        let (payload_b, _) = guard.replica(leader).tree().get_data(&paths[1]).unwrap();
+        let attacker_session = guard.connect_default(leader).unwrap().session_id;
+        for (path, payload) in [(paths[0].clone(), payload_b), (paths[1].clone(), payload_a)] {
+            let response = guard.submit(
+                attacker_session,
+                &jute::Request::SetData(jute::records::SetDataRequest { path, data: payload, version: -1 }),
+            );
+            assert!(response.is_ok());
+        }
+    }
+
+    // Both reads must now fail the binding check — the attacker cannot make
+    // the admin node return a payload that was encrypted for another path.
+    assert!(matches!(client.get_data("/admin", false), Err(SkError::IntegrityViolation { .. })));
+    assert!(matches!(client.get_data("/attacker", false), Err(SkError::IntegrityViolation { .. })));
+}
+
+#[test]
+fn clients_never_need_the_storage_key_and_excluded_clients_learn_nothing_new() {
+    // The storage key lives only in the enclaves; a client only ever holds its
+    // session key. Excluding a client (dropping its enclave) cuts it off.
+    let config = SecureKeeperConfig::with_label("e2e-exclusion");
+    let (cluster, handles) = secure_cluster(3, &config);
+    let replica = cluster.lock().replica_ids()[0];
+    let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+    client.create("/secret", b"payload".to_vec(), CreateMode::Persistent).unwrap();
+
+    // The administrator excludes the client by tearing down its entry enclave.
+    handles.interceptor(replica).on_session_closed(client.session_id());
+    assert!(client.get_data("/secret", false).is_err(), "excluded client must be rejected");
+
+    // A newly admitted client (fresh enclave, fresh session key) still reads
+    // the data — the storage key never left the enclaves.
+    let fresh = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+    assert_eq!(fresh.get_data("/secret", false).unwrap().0, b"payload");
+}
+
+#[test]
+fn sequential_naming_attack_surface_is_limited_as_documented() {
+    // Section 7.1: the sequence number comes from untrusted code, so an
+    // attacker can influence *which number* is appended — but cannot craft an
+    // arbitrary name, cannot forge payloads, and cannot break the binding for
+    // non-sequential nodes.
+    let storage = StorageKey::derive_from_label("naming-attack");
+    let path_cipher = PathCipher::new(&storage);
+    let payload_cipher = PayloadCipher::new(&storage);
+    let epc = sgx_sim::Epc::new();
+    let counter = securekeeper::CounterEnclave::new(&epc, &storage, sgx_sim::CostModel::default()).unwrap();
+
+    let encrypted = path_cipher.encrypt_path("/locks/lock-").unwrap();
+    // The attacker-controlled server picks an arbitrary sequence number…
+    let forged = counter.merge_sequence(&encrypted, 1_234_567_890).unwrap();
+    let plaintext = path_cipher.decrypt_path(&forged).unwrap();
+    // …but the resulting name still starts with the client-chosen prefix.
+    assert!(plaintext.starts_with("/locks/lock-"));
+    assert!(plaintext.ends_with("1234567890"));
+
+    // And a payload sealed for the sequential node verifies only under that
+    // prefix — it cannot be replayed under an unrelated path.
+    let sealed = payload_cipher.seal("/locks/lock-", b"owner=alice", SequentialFlag::Sequential);
+    assert!(payload_cipher.open(&plaintext, &sealed).is_ok());
+    assert!(payload_cipher.open("/elsewhere/lock-1234567890", &sealed).is_err());
+}
+
+#[test]
+fn all_operations_work_identically_through_the_secure_and_plain_clients() {
+    // Functional equivalence: the same sequence of operations produces the
+    // same observable results on vanilla ZooKeeper and on SecureKeeper.
+    let vanilla_cluster = zkserver::client::share(zkserver::ZkCluster::new(3));
+    let vanilla_replica = vanilla_cluster.lock().replica_ids()[0];
+    let vanilla = zkserver::ZkClient::connect(&vanilla_cluster, vanilla_replica).unwrap();
+
+    let (secure_cluster_handle, handles) = setup();
+    let secure_replica = secure_cluster_handle.lock().replica_ids()[0];
+    let secure = SecureKeeperClient::connect(&secure_cluster_handle, &handles, secure_replica).unwrap();
+
+    // Same scripted scenario against both.
+    let scenario_plain = |create: &dyn Fn(&str, Vec<u8>, CreateMode) -> String,
+                          get_children: &dyn Fn(&str) -> Vec<String>| {
+        create("/app", Vec::new(), CreateMode::Persistent);
+        create("/app/a", b"1".to_vec(), CreateMode::Persistent);
+        create("/app/b", b"2".to_vec(), CreateMode::Persistent);
+        let first = create("/app/task-", b"t".to_vec(), CreateMode::PersistentSequential);
+        let second = create("/app/task-", b"t".to_vec(), CreateMode::PersistentSequential);
+        (get_children("/app"), first, second)
+    };
+
+    let vanilla_result = scenario_plain(
+        &|p, d, m| vanilla.create(p, d, m).unwrap(),
+        &|p| vanilla.get_children(p, false).unwrap(),
+    );
+    let secure_result = scenario_plain(
+        &|p, d, m| secure.create(p, d, m).unwrap(),
+        &|p| secure.get_children(p, false).unwrap(),
+    );
+    assert_eq!(vanilla_result, secure_result);
+    assert_eq!(vanilla_result.1, "/app/task-0000000000");
+    assert_eq!(vanilla_result.2, "/app/task-0000000001");
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests for fault tolerance: SecureKeeper must keep
+//! ZooKeeper's availability and durability guarantees (paper Section 6.3),
+//! and sequential numbering must stay consistent across leader changes.
+
+use jute::records::CreateMode;
+use securekeeper::integration::{secure_cluster, SecureKeeperConfig, SecureKeeperHandles};
+use securekeeper::SecureKeeperClient;
+use zab::NodeId;
+use zkserver::client::SharedCluster;
+
+fn setup(label: &str) -> (SharedCluster, SecureKeeperHandles) {
+    secure_cluster(3, &SecureKeeperConfig::with_label(label))
+}
+
+fn non_leader_replica(cluster: &SharedCluster) -> NodeId {
+    let guard = cluster.lock();
+    let leader = guard.leader_id();
+    guard.replica_ids().into_iter().find(|&id| id != leader).expect("3-replica cluster")
+}
+
+#[test]
+fn writes_survive_leader_failure_and_new_writes_continue() {
+    let (cluster, handles) = setup("ft-leader");
+    let survivor = non_leader_replica(&cluster);
+    let client = SecureKeeperClient::connect(&cluster, &handles, survivor).unwrap();
+
+    client.create("/ledger", Vec::new(), CreateMode::Persistent).unwrap();
+    for i in 0..10 {
+        client.create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent).unwrap();
+    }
+
+    let old_leader = cluster.lock().leader_id();
+    cluster.lock().crash(old_leader);
+    assert_ne!(cluster.lock().leader_id(), old_leader, "a new leader must be elected");
+
+    // Everything written before the crash is still readable.
+    assert_eq!(client.get_children("/ledger", false).unwrap().len(), 10);
+    // And new writes commit under the new leader.
+    for i in 10..15 {
+        client.create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent).unwrap();
+    }
+    assert_eq!(client.get_children("/ledger", false).unwrap().len(), 15);
+}
+
+#[test]
+fn recovered_replica_catches_up_with_encrypted_state() {
+    let (cluster, handles) = setup("ft-recovery");
+    let victim = non_leader_replica(&cluster);
+    let serving = {
+        let guard = cluster.lock();
+        guard.replica_ids().into_iter().find(|&id| id != victim).unwrap()
+    };
+    let client = SecureKeeperClient::connect(&cluster, &handles, serving).unwrap();
+    client.create("/state", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+
+    cluster.lock().crash(victim);
+    client.set_data("/state", b"v2-written-during-outage".to_vec(), -1).unwrap();
+    client.create("/state/child", b"new".to_vec(), CreateMode::Persistent).unwrap();
+    cluster.lock().recover(victim);
+
+    // The recovered replica holds exactly the same (encrypted) tree as the
+    // replica that served the writes.
+    let guard = cluster.lock();
+    assert_eq!(guard.replica(victim).tree().paths(), guard.replica(serving).tree().paths());
+    drop(guard);
+
+    // A client connected to the recovered replica reads the latest values.
+    let reader = SecureKeeperClient::connect(&cluster, &handles, victim).unwrap();
+    assert_eq!(reader.get_data("/state", false).unwrap().0, b"v2-written-during-outage");
+    assert_eq!(reader.get_children("/state", false).unwrap(), vec!["child"]);
+}
+
+#[test]
+fn sequence_numbers_remain_gapless_and_unique_across_leader_failover() {
+    let (cluster, handles) = setup("ft-sequential");
+    let survivor = non_leader_replica(&cluster);
+    let client = SecureKeeperClient::connect(&cluster, &handles, survivor).unwrap();
+    client.create("/queue", Vec::new(), CreateMode::Persistent).unwrap();
+
+    let mut names = Vec::new();
+    for _ in 0..5 {
+        names.push(client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap());
+    }
+    let leader = cluster.lock().leader_id();
+    cluster.lock().crash(leader);
+    for _ in 0..5 {
+        names.push(client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap());
+    }
+
+    // All ten names are unique, ordered, and numbered 0..10 with no gaps: the
+    // parent's counter is replicated state, so the failover cannot fork it.
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 10);
+    let expected: Vec<String> = (0..10).map(|i| format!("/queue/item-{i:010}")).collect();
+    assert_eq!(names, expected);
+}
+
+#[test]
+fn clients_of_a_crashed_replica_fail_over_and_keep_their_guarantees() {
+    let (cluster, handles) = setup("ft-client-failover");
+    let victim = non_leader_replica(&cluster);
+    let mut client = SecureKeeperClient::connect(&cluster, &handles, victim).unwrap();
+    client.create("/durable", b"before".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/session-bound", b"mine".to_vec(), CreateMode::Ephemeral).unwrap();
+
+    cluster.lock().crash(victim);
+    assert!(client.get_data("/durable", false).is_err(), "requests to a dead replica fail");
+
+    let target = cluster.lock().leader_id();
+    client.reconnect_to(target).unwrap();
+    // Durable data is still there; the ephemeral znode of the lost session is
+    // not resurrected (ZooKeeper semantics: it belongs to the dead session).
+    assert_eq!(client.get_data("/durable", false).unwrap().0, b"before");
+    assert!(client.exists("/durable", false).unwrap().is_some());
+
+    // Writes after failover keep being confidential.
+    client.create("/durable/after", b"post-failover-secret".to_vec(), CreateMode::Persistent).unwrap();
+    let guard = cluster.lock();
+    for id in guard.replica_ids() {
+        if guard.is_crashed(id) {
+            continue;
+        }
+        for path in guard.replica(id).tree().paths() {
+            assert!(!path.contains("after"), "{path}");
+            assert!(!path.contains("durable"), "{path}");
+        }
+    }
+}
+
+#[test]
+fn no_quorum_means_no_writes_but_reads_still_work() {
+    let (cluster, handles) = setup("ft-quorum");
+    let ids = cluster.lock().replica_ids();
+    let client = SecureKeeperClient::connect(&cluster, &handles, ids[0]).unwrap();
+    client.create("/config", b"value".to_vec(), CreateMode::Persistent).unwrap();
+
+    cluster.lock().crash(ids[1]);
+    cluster.lock().crash(ids[2]);
+    assert!(!cluster.lock().has_quorum());
+
+    // Writes are rejected without a quorum…
+    assert!(client.create("/config/new", b"x".to_vec(), CreateMode::Persistent).is_err());
+    // …but locally served reads still answer (ZooKeeper behaviour).
+    assert_eq!(client.get_data("/config", false).unwrap().0, b"value");
+}
