@@ -7,18 +7,22 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use std::sync::Arc;
+
 use jute::records::{CreateMode, CreateRequest, GetDataRequest, RequestHeader};
 use jute::{OpCode, Request};
 use securekeeper::integration::{secure_cluster, SecureKeeperConfig};
+use securekeeper::path_cache::PathCipherCache;
 use securekeeper::path_crypto::PathCipher;
 use securekeeper::payload_crypto::{PayloadCipher, SequentialFlag};
 use securekeeper::SecureKeeperClient;
 use sgx_sim::{EnclaveBuilder, Epc};
-use zkcrypto::gcm::AesGcm128;
+use zkcrypto::aes::Aes128;
+use zkcrypto::gcm::{gf128_mul, AesGcm128, Ghash, GhashTable};
 use zkcrypto::keys::{Key128, StorageKey};
 use zkcrypto::sha256::Sha256;
 use zkserver::client::share;
-use zkserver::{DataTree, ZkCluster, ZkClient};
+use zkserver::{DataTree, ZkClient, ZkCluster};
 
 fn bench_crypto_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("zkcrypto");
@@ -29,10 +33,156 @@ fn bench_crypto_primitives(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("aes_gcm_seal", size), &payload, |b, payload| {
             b.iter(|| cipher.seal(&[1u8; 12], payload, b""))
         });
+        group.bench_with_input(
+            BenchmarkId::new("aes_gcm_seal_in_place", size),
+            &payload,
+            |b, payload| {
+                let mut buffer = Vec::with_capacity(size + 16);
+                b.iter(|| {
+                    buffer.clear();
+                    buffer.extend_from_slice(payload);
+                    cipher.seal_in_place(&[1u8; 12], &mut buffer, b"");
+                    buffer.len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sha256", size), &payload, |b, payload| {
             b.iter(|| Sha256::digest(payload))
         });
     }
+    // The seed's naive seal, reconstructed from the retained reference
+    // primitives (per-block `encrypt_block_copy` CTR, bit-serial GHASH,
+    // separate output allocation) — the "before" row for aes_gcm_seal.
+    let reference_aes = Aes128::new(&[7u8; 16]);
+    for &size in &[1024usize, 4096] {
+        let payload = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("aes_gcm_seal_seed_naive", size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(payload.len() + 16);
+                    out.extend_from_slice(payload);
+                    let mut counter = [1u8; 16];
+                    counter[15] = 2;
+                    for chunk in out.chunks_mut(16) {
+                        let keystream = reference_aes.encrypt_block_copy(&counter);
+                        for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                            *byte ^= ks;
+                        }
+                        let ctr = u32::from_be_bytes([
+                            counter[12],
+                            counter[13],
+                            counter[14],
+                            counter[15],
+                        ]);
+                        counter[12..16].copy_from_slice(&ctr.wrapping_add(1).to_be_bytes());
+                    }
+                    let h = u128::from_be_bytes(reference_aes.encrypt_block_copy(&[0u8; 16]));
+                    let mut y = 0u128;
+                    for chunk in out.chunks(16) {
+                        let mut block = [0u8; 16];
+                        block[..chunk.len()].copy_from_slice(chunk);
+                        y = gf128_mul(y ^ u128::from_be_bytes(block), h);
+                    }
+                    y = gf128_mul(y ^ ((out.len() as u128) * 8), h);
+                    let mut j0 = [1u8; 16];
+                    j0[15] = 1;
+                    let e_j0 = reference_aes.encrypt_block_copy(&j0);
+                    let tag: Vec<u8> =
+                        y.to_be_bytes().iter().zip(e_j0.iter()).map(|(a, b)| a ^ b).collect();
+                    out.extend_from_slice(&tag);
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Before/after benchmarks of the table-driven fast paths against the
+/// retained reference implementations. The `reference` rows are the seed's
+/// naive algorithms; the `table` rows are the shipped hot paths — any
+/// regression shows up as the ratio collapsing.
+fn bench_crypto_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zkcrypto_fastpath");
+
+    // One AES-128 block: T-tables vs byte-oriented reference.
+    let aes = Aes128::new(&[7u8; 16]);
+    let mut block = [0x5au8; 16];
+    group.bench_function("aes_block/table", |b| {
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            block[0]
+        })
+    });
+    group.bench_function("aes_block/reference", |b| {
+        b.iter(|| {
+            aes.encrypt_block_reference(&mut block);
+            block[0]
+        })
+    });
+
+    // One GF(2^128) multiplication: 4-bit table vs 128-round bit-serial loop.
+    let h = 0xb83b533708bf535d0aa6e52980d53b78u128;
+    let table = GhashTable::new(h);
+    let x = 0x0388dace60b6a392f328c2b971b2fe78u128;
+    group.bench_function("gf128_mul/table", |b| b.iter(|| table.mul(x)));
+    group.bench_function("gf128_mul/reference", |b| b.iter(|| gf128_mul(x, h)));
+
+    // GHASH over 1 KB: the shipped aggregated-table path vs the seed's
+    // serial bit-serial loop.
+    let bytes_1k: Vec<u8> = (0..1024usize).map(|i| (i * 37 + 11) as u8).collect();
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("ghash_1k/table", |b| {
+        b.iter(|| {
+            let mut ghash = Ghash::new(&table);
+            ghash.update_padded(&bytes_1k);
+            ghash.finalize()
+        })
+    });
+    group.bench_function("ghash_1k/reference", |b| {
+        b.iter(|| {
+            let mut y = 0u128;
+            for block in bytes_1k.chunks(16) {
+                y = gf128_mul(y ^ u128::from_be_bytes(block.try_into().unwrap()), h);
+            }
+            y
+        })
+    });
+
+    // 4 KB CTR keystream: the in-place batch path vs a per-block
+    // reference-cipher loop shaped like the seed's ctr_transform.
+    let gcm = AesGcm128::new(&Key128::from_bytes([7u8; 16]));
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("ctr_4k/in_place_seal", |b| {
+        let mut buffer = Vec::with_capacity(4096 + 16);
+        b.iter(|| {
+            buffer.clear();
+            buffer.resize(4096, 0xa5);
+            gcm.seal_in_place(&[1u8; 12], &mut buffer, b"");
+            buffer.len()
+        })
+    });
+    group.bench_function("ctr_4k/reference_blocks", |b| {
+        let mut data = vec![0xa5u8; 4096];
+        b.iter(|| {
+            let mut counter = [0u8; 16];
+            counter[15] = 2;
+            for chunk in data.chunks_mut(16) {
+                let mut keystream = counter;
+                aes.encrypt_block_reference(&mut keystream);
+                for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                    *byte ^= ks;
+                }
+                let ctr = u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]]);
+                counter[12..16].copy_from_slice(&ctr.wrapping_add(1).to_be_bytes());
+            }
+            data[0]
+        })
+    });
+
     group.finish();
 }
 
@@ -43,9 +193,27 @@ fn bench_path_and_payload_encryption(c: &mut Criterion) {
     let payload_cipher = PayloadCipher::new(&storage);
     let deep_path = "/app/region-eu/service-payments/instance-0042/config";
 
-    group.bench_function("encrypt_path_depth5", |b| b.iter(|| path_cipher.encrypt_path(deep_path).unwrap()));
+    group.bench_function("encrypt_path_depth5", |b| {
+        b.iter(|| path_cipher.encrypt_path(deep_path).unwrap())
+    });
     let encrypted = path_cipher.encrypt_path(deep_path).unwrap();
-    group.bench_function("decrypt_path_depth5", |b| b.iter(|| path_cipher.decrypt_path(&encrypted).unwrap()));
+    group.bench_function("decrypt_path_depth5", |b| {
+        b.iter(|| path_cipher.decrypt_path(&encrypted).unwrap())
+    });
+
+    // Uncached vs warm-cache path encryption: a hit must be a map lookup
+    // with no AES/SHA-256 work at all.
+    group.bench_function("encrypt_path_uncached", |b| {
+        b.iter(|| path_cipher.encrypt_path(deep_path).unwrap())
+    });
+    let cached_cipher = PathCipher::with_cache(&storage, Arc::new(PathCipherCache::default()));
+    cached_cipher.encrypt_path(deep_path).unwrap();
+    group.bench_function("encrypt_path_cached", |b| {
+        b.iter(|| cached_cipher.encrypt_path(deep_path).unwrap())
+    });
+    group.bench_function("decrypt_path_cached", |b| {
+        b.iter(|| cached_cipher.decrypt_path(&encrypted).unwrap())
+    });
 
     for &size in &[128usize, 1024, 4096] {
         let payload = vec![0u8; size];
@@ -67,7 +235,9 @@ fn bench_jute(c: &mut Criterion) {
     let header = RequestHeader { xid: 7, op: OpCode::Create };
     group.bench_function("serialize_create_1k", |b| b.iter(|| request.to_bytes(&header)));
     let bytes = request.to_bytes(&header);
-    group.bench_function("deserialize_create_1k", |b| b.iter(|| Request::from_bytes(&bytes).unwrap()));
+    group.bench_function("deserialize_create_1k", |b| {
+        b.iter(|| Request::from_bytes(&bytes).unwrap())
+    });
     group.finish();
 }
 
@@ -109,8 +279,12 @@ fn bench_end_to_end_requests(c: &mut Criterion) {
     let vanilla_replica = vanilla_cluster.lock().replica_ids()[0];
     let vanilla = ZkClient::connect(&vanilla_cluster, vanilla_replica).unwrap();
     vanilla.create("/bench", vec![0u8; 1024], CreateMode::Persistent).unwrap();
-    group.bench_function("vanilla_get_1k", |b| b.iter(|| vanilla.get_data("/bench", false).unwrap()));
-    group.bench_function("vanilla_set_1k", |b| b.iter(|| vanilla.set_data("/bench", vec![1u8; 1024], -1).unwrap()));
+    group.bench_function("vanilla_get_1k", |b| {
+        b.iter(|| vanilla.get_data("/bench", false).unwrap())
+    });
+    group.bench_function("vanilla_set_1k", |b| {
+        b.iter(|| vanilla.set_data("/bench", vec![1u8; 1024], -1).unwrap())
+    });
 
     // SecureKeeper request path (transport + enclave + storage crypto).
     let config = SecureKeeperConfig::with_label("criterion");
@@ -118,8 +292,12 @@ fn bench_end_to_end_requests(c: &mut Criterion) {
     let sk_replica = sk_cluster.lock().replica_ids()[0];
     let secure = SecureKeeperClient::connect(&sk_cluster, &handles, sk_replica).unwrap();
     secure.create("/bench", vec![0u8; 1024], CreateMode::Persistent).unwrap();
-    group.bench_function("securekeeper_get_1k", |b| b.iter(|| secure.get_data("/bench", false).unwrap()));
-    group.bench_function("securekeeper_set_1k", |b| b.iter(|| secure.set_data("/bench", vec![1u8; 1024], -1).unwrap()));
+    group.bench_function("securekeeper_get_1k", |b| {
+        b.iter(|| secure.get_data("/bench", false).unwrap())
+    });
+    group.bench_function("securekeeper_set_1k", |b| {
+        b.iter(|| secure.set_data("/bench", vec![1u8; 1024], -1).unwrap())
+    });
 
     // The serialized-request path that exercises the interceptor directly.
     let request = Request::GetData(GetDataRequest { path: "/bench".to_string(), watch: false });
@@ -145,6 +323,7 @@ criterion_group! {
     config = configure();
     targets =
         bench_crypto_primitives,
+        bench_crypto_fastpath,
         bench_path_and_payload_encryption,
         bench_jute,
         bench_enclave_transitions,

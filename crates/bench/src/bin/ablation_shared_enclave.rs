@@ -20,7 +20,10 @@ fn main() {
         "paper §6.5: >150 per-client enclaves fit in the EPC; co-locating clients would shrink memory but add synchronization",
     );
 
-    println!("{:>10} {:>28} {:>28} {:>12}", "clients", "per-client EPC [MB]", "shared-enclave EPC [MB]", "paging?");
+    println!(
+        "{:>10} {:>28} {:>28} {:>12}",
+        "clients", "per-client EPC [MB]", "shared-enclave EPC [MB]", "paging?"
+    );
     for clients in [1usize, 50, 100, 150, 200, 400, 800] {
         let per_client_bytes = clients * ENTRY_ENCLAVE_BYTES;
         let shared_bytes = SHARED_ENCLAVE_BASE_BYTES + clients * PER_SESSION_STATE_BYTES;
@@ -38,13 +41,22 @@ fn main() {
     println!("\nsensitivity of the GET overhead to the enclave-transition cost:");
     println!("{:>24} {:>22}", "transition cost [ns]", "GET overhead vs TLS");
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let sgx = CostModel { ecall_entry_ns: 1_200.0 * factor, ecall_exit_ns: 1_200.0 * factor, ..CostModel::default() };
+        let sgx = CostModel {
+            ecall_entry_ns: 1_200.0 * factor,
+            ecall_exit_ns: 1_200.0 * factor,
+            ..CostModel::default()
+        };
         // The analytic service model keeps Table 1 calibration; here we report
         // the microscopic enclave cost per GET for context.
         let per_get = sgx.ecall_roundtrip_ns(1_100, 1_100) * 2.0 + sgx.aes_gcm_ns(1_024) * 2.0;
         let model = ServiceCostModel::default();
-        let tls = model.request_cost_ns(Variant::TlsZk, OpKind::Get, 1024, RequestMode::Synchronous);
-        println!("{:>24.0} {:>21.1}%", sgx.ecall_entry_ns + sgx.ecall_exit_ns, per_get / tls * 100.0);
+        let tls =
+            model.request_cost_ns(Variant::TlsZk, OpKind::Get, 1024, RequestMode::Synchronous);
+        println!(
+            "{:>24.0} {:>21.1}%",
+            sgx.ecall_entry_ns + sgx.ecall_exit_ns,
+            per_get / tls * 100.0
+        );
     }
     println!("\n(the paper's measured delta of ~8-11% corresponds to the 1x row)");
 }

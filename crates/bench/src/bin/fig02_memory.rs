@@ -11,8 +11,14 @@ fn main() {
     let trace = MemoryTrace::default();
     let traces = trace.run(&JvmModel::default());
 
-    println!("{:>8} {:>22} {:>22} {:>22}", "time[s]", &traces[0].label, &traces[1].label, &traces[2].label);
-    println!("{:>8} {:>11} {:>10} {:>11} {:>10} {:>11} {:>10}", "", "total[MB]", "tree[MB]", "total[MB]", "tree[MB]", "total[MB]", "tree[MB]");
+    println!(
+        "{:>8} {:>22} {:>22} {:>22}",
+        "time[s]", &traces[0].label, &traces[1].label, &traces[2].label
+    );
+    println!(
+        "{:>8} {:>11} {:>10} {:>11} {:>10} {:>11} {:>10}",
+        "", "total[MB]", "tree[MB]", "total[MB]", "tree[MB]", "total[MB]", "tree[MB]"
+    );
     let samples = traces[0].total_bytes.points.len();
     for i in 0..samples {
         let t = traces[0].total_bytes.points[i].0;

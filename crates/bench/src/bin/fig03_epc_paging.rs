@@ -13,7 +13,10 @@ fn main() {
     let sizes: Vec<usize> = figure3_sizes_mb().iter().map(|mb| mb * 1024 * 1024).collect();
     let points = random_access_sweep(&model, &sizes);
 
-    println!("{:>14} {:>26} {:>26}", "enclave [MB]", "random read [k acc/s]", "random write [k acc/s]");
+    println!(
+        "{:>14} {:>26} {:>26}",
+        "enclave [MB]", "random read [k acc/s]", "random write [k acc/s]"
+    );
     for point in &points {
         println!(
             "{:>14} {:>26.1} {:>26.1}",
@@ -26,7 +29,16 @@ fn main() {
     let epc = points.iter().find(|p| p.enclave_bytes == 64 * 1024 * 1024).unwrap();
     let paged = points.last().unwrap();
     println!();
-    println!("L3-resident / EPC-resident ratio: {:.1}x", l3.kilo_reads_per_sec / epc.kilo_reads_per_sec);
-    println!("EPC-resident / paged ratio:       {:.0}x", epc.kilo_reads_per_sec / paged.kilo_reads_per_sec);
-    println!("L3-resident / paged ratio:        {:.0}x", l3.kilo_reads_per_sec / paged.kilo_reads_per_sec);
+    println!(
+        "L3-resident / EPC-resident ratio: {:.1}x",
+        l3.kilo_reads_per_sec / epc.kilo_reads_per_sec
+    );
+    println!(
+        "EPC-resident / paged ratio:       {:.0}x",
+        epc.kilo_reads_per_sec / paged.kilo_reads_per_sec
+    );
+    println!(
+        "L3-resident / paged ratio:        {:.0}x",
+        l3.kilo_reads_per_sec / paged.kilo_reads_per_sec
+    );
 }

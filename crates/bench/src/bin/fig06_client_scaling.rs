@@ -13,7 +13,8 @@ fn main() {
     let model = ServiceCostModel::default();
     let mix = ServiceCostModel::paper_mix();
 
-    let mut sync_figure = Figure::new("Figure 6a — synchronous requests", "Client Threads", "Requests/s");
+    let mut sync_figure =
+        Figure::new("Figure 6a — synchronous requests", "Client Threads", "Requests/s");
     for variant in Variant::all() {
         let mut series = Series::new(variant.label());
         for clients in [1usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
@@ -26,7 +27,8 @@ fn main() {
     }
     bench::print_figure(&sync_figure);
 
-    let mut async_figure = Figure::new("Figure 6b — asynchronous requests", "Client Threads", "Requests/s");
+    let mut async_figure =
+        Figure::new("Figure 6b — asynchronous requests", "Client Threads", "Requests/s");
     for variant in Variant::all() {
         let mut series = Series::new(variant.label());
         for clients in 2usize..=16 {

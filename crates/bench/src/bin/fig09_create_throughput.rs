@@ -31,7 +31,13 @@ fn main() {
                 for &payload in &bench::payload_sweep() {
                     seq.push(
                         payload as f64,
-                        model.throughput_rps(variant, OpKind::CreateSequential, payload, mode, clients),
+                        model.throughput_rps(
+                            variant,
+                            OpKind::CreateSequential,
+                            payload,
+                            mode,
+                            clients,
+                        ),
                     );
                 }
                 figure.add(seq);

@@ -11,17 +11,24 @@ fn main() {
         "paper §6.2, Figure 10: the per-child path decryption makes LS the costliest read",
     );
     let model = ServiceCostModel::default();
-    let mut figure = Figure::new("Figure 10 — LS throughput vs payload", "Payload [Byte]", "Requests/s");
+    let mut figure =
+        Figure::new("Figure 10 — LS throughput vs payload", "Payload [Byte]", "Requests/s");
     for mode in [RequestMode::Synchronous, RequestMode::Asynchronous] {
         for variant in Variant::all() {
             let mut series = Series::new(format!("{} {}", variant.label(), mode.label()));
             for payload in [0usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
                 let clients = if mode == RequestMode::Synchronous { 300 } else { 5 };
-                series.push(payload as f64, model.throughput_rps(variant, OpKind::Ls, payload, mode, clients));
+                series.push(
+                    payload as f64,
+                    model.throughput_rps(variant, OpKind::Ls, payload, mode, clients),
+                );
             }
             figure.add(series);
         }
     }
     bench::print_figure(&figure);
-    println!("(the model lists {} children per LS call, as in the evaluation setup)", model.ls_children);
+    println!(
+        "(the model lists {} children per LS call, as in the evaluation setup)",
+        model.ls_children
+    );
 }

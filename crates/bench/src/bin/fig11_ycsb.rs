@@ -16,7 +16,8 @@ fn main() {
     let workload = YcsbWorkload::default();
     let mix = workload.mix();
 
-    let mut figure = Figure::new("Figure 11 — YCSB throughput vs payload", "Payload [Byte]", "Requests/s");
+    let mut figure =
+        Figure::new("Figure 11 — YCSB throughput vs payload", "Payload [Byte]", "Requests/s");
     for variant in Variant::all() {
         let mut series = Series::new(variant.label());
         for &payload in &bench::payload_sweep() {
@@ -31,6 +32,7 @@ fn main() {
 
     println!("zipfian record selection sanity check (theta = {:.2}):", workload.zipf_theta);
     let ops = workload.generate(20_000);
-    let hot = ops.iter().filter(|o| o.record < workload.record_count / 10).count() as f64 / ops.len() as f64;
+    let hot = ops.iter().filter(|o| o.record < workload.record_count / 10).count() as f64
+        / ops.len() as f64;
     println!("  hottest 10% of records receive {:.0}% of the accesses", hot * 100.0);
 }

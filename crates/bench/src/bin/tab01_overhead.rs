@@ -21,11 +21,20 @@ fn main() {
 
     println!("\nwall-clock cross-check (real in-process clusters, 4 clients, 512 B payload):");
     let measured = compare_variants(2_000, 512);
-    let vanilla = measured.iter().find(|m| m.variant == Variant::VanillaZk).expect("vanilla run").ops_per_second;
+    let vanilla = measured
+        .iter()
+        .find(|m| m.variant == Variant::VanillaZk)
+        .expect("vanilla run")
+        .ops_per_second;
     println!("{:<14} {:>14} {:>22}", "variant", "ops/s", "overhead vs vanilla");
     for result in &measured {
         let overhead = (vanilla - result.ops_per_second) / vanilla * 100.0;
-        println!("{:<14} {:>14.0} {:>21.1}%", result.variant.label(), result.ops_per_second, overhead);
+        println!(
+            "{:<14} {:>14.0} {:>21.1}%",
+            result.variant.label(),
+            result.ops_per_second,
+            overhead
+        );
     }
     println!("\n(absolute wall-clock numbers reflect this machine and the in-process");
     println!("transport; only the ordering and rough magnitude are comparable.");

@@ -10,7 +10,13 @@ fn main() {
     );
     println!(
         "{:>6} {:>9} {:>12} {:>14} {:>16} {:>18} {:>12}",
-        "depth", "payload", "plain path", "cipher path", "plain request", "storage request", "tls request"
+        "depth",
+        "payload",
+        "plain path",
+        "cipher path",
+        "plain request",
+        "storage request",
+        "tls request"
     );
     for depth in [1usize, 2, 3, 5] {
         for payload in [0usize, 128, 1024, 4096] {
@@ -29,12 +35,20 @@ fn main() {
     }
     let reference = EncryptionOverheadReport::measure(3, 1024);
     println!();
-    println!("constant per-payload storage overhead: {} bytes (IV + tag + path hash + flag)", reference.payload_overhead);
-    println!("constant per-frame transport overhead: {} bytes (AES-GCM tag)", reference.transport_overhead);
+    println!(
+        "constant per-payload storage overhead: {} bytes (IV + tag + path hash + flag)",
+        reference.payload_overhead
+    );
+    println!(
+        "constant per-frame transport overhead: {} bytes (AES-GCM tag)",
+        reference.transport_overhead
+    );
     println!("path growth factor at depth 3: x{:.2}", reference.path_growth_factor());
     println!();
     println!("qualitative summary (paper Table 2):");
     println!("  transport  | request: -tag -IV      | response: +tag +IV");
-    println!("  path       | request: +per-chunk overhead | response: -per-chunk overhead (LS only)");
+    println!(
+        "  path       | request: +per-chunk overhead | response: -per-chunk overhead (LS only)"
+    );
     println!("  payload    | request: +tag +IV +hash | response: -tag -IV -hash");
 }

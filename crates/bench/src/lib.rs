@@ -33,7 +33,10 @@ pub fn throughput_vs_payload_figure(caption: &str, op: OpKind, modes: &[RequestM
                     RequestMode::Synchronous => 300,
                     RequestMode::Asynchronous => 5,
                 };
-                series.push(payload as f64, model.throughput_rps(variant, op, payload, mode, clients));
+                series.push(
+                    payload as f64,
+                    model.throughput_rps(variant, op, payload, mode, clients),
+                );
             }
             figure.add(series);
         }

@@ -105,12 +105,16 @@ impl SecureKeeperClient {
         // untrusted store) reach the untrusted pipeline as opaque marshalling
         // failures; surface them to the application as what they are.
         let response_sealed =
-            self.cluster.lock().submit_serialized(self.session_id, sealed).map_err(|err| match err {
-                zkserver::ZkError::Marshalling { ref reason } if reason.contains("integrity violation") => {
-                    SkError::IntegrityViolation { what: reason.clone() }
-                }
-                other => SkError::Service(other),
-            })?;
+            self.cluster.lock().submit_serialized(self.session_id, sealed).map_err(
+                |err| match err {
+                    zkserver::ZkError::Marshalling { ref reason }
+                        if reason.contains("integrity violation") =>
+                    {
+                        SkError::IntegrityViolation { what: reason.clone() }
+                    }
+                    other => SkError::Service(other),
+                },
+            )?;
         let plain = self.transport.open(&response_sealed)?;
         let (header, response) = Response::from_bytes(&plain, op)?;
         if header.xid != xid {
@@ -206,7 +210,7 @@ impl SecureKeeperClient {
         let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
         match self.call(&request)? {
             Response::Exists(exists) => Ok(Some(exists.stat)),
-            Response::Error(code) if code == ErrorCode::NoNode => Ok(None),
+            Response::Error(ErrorCode::NoNode) => Ok(None),
             Response::Error(code) => Err(error_from_code(code, path).into()),
             other => Err(Self::unexpected(other)),
         }
@@ -255,7 +259,11 @@ mod tests {
         secure_cluster(3, &SecureKeeperConfig::with_label("client-tests"))
     }
 
-    fn connect(cluster: &SharedCluster, handles: &SecureKeeperHandles, idx: usize) -> SecureKeeperClient {
+    fn connect(
+        cluster: &SharedCluster,
+        handles: &SecureKeeperHandles,
+        idx: usize,
+    ) -> SecureKeeperClient {
         let replica = cluster.lock().replica_ids()[idx];
         SecureKeeperClient::connect(cluster, handles, replica).unwrap()
     }
@@ -316,8 +324,11 @@ mod tests {
         let (cluster, handles) = setup();
         let client = connect(&cluster, &handles, 0);
         client.create("/locks", vec![], CreateMode::Persistent).unwrap();
-        let first = client.create("/locks/lock-", b"me".to_vec(), CreateMode::EphemeralSequential).unwrap();
-        let second = client.create("/locks/lock-", b"you".to_vec(), CreateMode::EphemeralSequential).unwrap();
+        let first =
+            client.create("/locks/lock-", b"me".to_vec(), CreateMode::EphemeralSequential).unwrap();
+        let second = client
+            .create("/locks/lock-", b"you".to_vec(), CreateMode::EphemeralSequential)
+            .unwrap();
         assert_eq!(first, "/locks/lock-0000000000");
         assert_eq!(second, "/locks/lock-0000000001");
         // The payload of a sequential node is readable under its final name.

@@ -52,14 +52,22 @@ impl CounterEnclave {
     /// # Errors
     ///
     /// Returns [`SkError::Enclave`] when the EPC cannot hold the enclave.
-    pub fn new(epc: &Epc, storage_key: &StorageKey, cost_model: CostModel) -> Result<Self, SkError> {
+    pub fn new(
+        epc: &Epc,
+        storage_key: &StorageKey,
+        cost_model: CostModel,
+    ) -> Result<Self, SkError> {
         let enclave = EnclaveBuilder::new(COUNTER_ENCLAVE_IMAGE.to_vec())
             .heap_bytes(COUNTER_ENCLAVE_HEAP)
             .stack_bytes(64 * 1024)
             .threads(1)
             .cost_model(cost_model)
             .build(epc)?;
-        Ok(CounterEnclave { enclave, path_cipher: PathCipher::new(storage_key), merges: Mutex::new(0) })
+        Ok(CounterEnclave {
+            enclave,
+            path_cipher: PathCipher::new(storage_key),
+            merges: Mutex::new(0),
+        })
     }
 
     /// The underlying simulated enclave (for cost and EPC statistics).
@@ -106,7 +114,9 @@ impl CounterEnclave {
         let plaintext = self.path_cipher.decrypt_path(encrypted_path)?;
         let with_sequence = format!("{plaintext}{sequence:010}");
         let re_encrypted = self.path_cipher.encrypt_path(&with_sequence)?;
-        self.enclave.charge_ns(model.aes_gcm_ns(with_sequence.len()) + model.base64_ns(with_sequence.len()));
+        self.enclave.charge_ns(
+            model.aes_gcm_ns(with_sequence.len()) + model.base64_ns(with_sequence.len()),
+        );
         Ok(re_encrypted)
     }
 }
@@ -177,7 +187,8 @@ mod tests {
         let storage = StorageKey::derive_from_label("cluster");
         let counter = CounterEnclave::new(&epc, &storage, CostModel::default()).unwrap();
         let session = zkcrypto::keys::SessionKey::derive_from_label("c");
-        let entry = crate::entry::EntryEnclave::new(&epc, &storage, &session, CostModel::default()).unwrap();
+        let entry = crate::entry::EntryEnclave::new(&epc, &storage, &session, CostModel::default())
+            .unwrap();
         assert!(counter.enclave().elrange_bytes() < entry.enclave().elrange_bytes());
     }
 }

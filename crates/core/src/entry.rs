@@ -17,15 +17,19 @@
 //! ZooKeeper guarantees FIFO order per client connection.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use jute::records::{CreateResponse, GetChildrenResponse, GetDataResponse, OpCode, ReplyHeader, RequestHeader};
+use jute::records::{
+    CreateResponse, GetChildrenResponse, GetDataResponse, OpCode, ReplyHeader, RequestHeader,
+};
 use jute::{Request, Response};
 use sgx_sim::{CostModel, Enclave, EnclaveBuilder, Epc};
 use zkcrypto::keys::{SessionKey, StorageKey};
 
 use crate::error::SkError;
+use crate::path_cache::PathCipherCache;
 use crate::path_crypto::PathCipher;
 use crate::payload_crypto::{PayloadCipher, SequentialFlag};
 use crate::transport::TransportChannel;
@@ -80,16 +84,49 @@ impl EntryEnclave {
         session_key: &SessionKey,
         cost_model: CostModel,
     ) -> Result<Self, SkError> {
+        Self::build(epc, storage_key, session_key, cost_model, None)
+    }
+
+    /// Creates an entry enclave that shares `path_cache` with its siblings.
+    ///
+    /// All entry enclaves of one replica hold the same storage key, so the
+    /// deterministic path encryptions they produce are interchangeable — a
+    /// path warmed by any session is warm for every session on the replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError::Enclave`] when the EPC cannot hold the enclave.
+    pub fn with_path_cache(
+        epc: &Epc,
+        storage_key: &StorageKey,
+        session_key: &SessionKey,
+        cost_model: CostModel,
+        path_cache: Arc<PathCipherCache>,
+    ) -> Result<Self, SkError> {
+        Self::build(epc, storage_key, session_key, cost_model, Some(path_cache))
+    }
+
+    fn build(
+        epc: &Epc,
+        storage_key: &StorageKey,
+        session_key: &SessionKey,
+        cost_model: CostModel,
+        path_cache: Option<Arc<PathCipherCache>>,
+    ) -> Result<Self, SkError> {
         let enclave = EnclaveBuilder::new(ENTRY_ENCLAVE_IMAGE.to_vec())
             .heap_bytes(ENTRY_ENCLAVE_HEAP)
             .stack_bytes(64 * 1024)
             .threads(1)
             .cost_model(cost_model)
             .build(epc)?;
+        let path_cipher = match path_cache {
+            Some(cache) => PathCipher::with_cache(storage_key, cache),
+            None => PathCipher::new(storage_key),
+        };
         Ok(EntryEnclave {
             enclave,
             transport: TransportChannel::enclave_side(session_key),
-            path_cipher: PathCipher::new(storage_key),
+            path_cipher,
             payload_cipher: PayloadCipher::new(storage_key),
             pending: Mutex::new(VecDeque::new()),
             requests_processed: Mutex::new(0),
@@ -122,16 +159,17 @@ impl EntryEnclave {
     pub fn process_request(&self, buffer: &mut Vec<u8>) -> Result<(), SkError> {
         let input_len = buffer.len();
         let result = self.enclave.ecall(input_len, input_len + 256, || {
-            self.process_request_trusted(buffer).map_err(|err| sgx_sim::SgxError::EnclaveFault {
-                message: err.to_string(),
-            })
+            self.process_request_trusted(buffer)
+                .map_err(|err| sgx_sim::SgxError::EnclaveFault { message: err.to_string() })
         });
         match result {
             Ok(()) => {
                 *self.requests_processed.lock() += 1;
                 Ok(())
             }
-            Err(sgx_sim::SgxError::EnclaveFault { message }) => Err(SkError::Malformed { reason: message }),
+            Err(sgx_sim::SgxError::EnclaveFault { message }) => {
+                Err(SkError::Malformed { reason: message })
+            }
             Err(other) => Err(other.into()),
         }
     }
@@ -139,15 +177,18 @@ impl EntryEnclave {
     fn process_request_trusted(&self, buffer: &mut Vec<u8>) -> Result<(), SkError> {
         let model = self.enclave.cost_model().clone();
         self.enclave.charge_ns(model.aes_gcm_ns(buffer.len()));
-        let plaintext = self.transport.open(buffer)?;
-        let (header, request) = Request::from_bytes(&plaintext)?;
+        // Transport decryption happens in place: the sealed frame becomes the
+        // plaintext frame without an intermediate copy.
+        self.transport.open_in_place(buffer)?;
+        let (header, request) = Request::from_bytes(buffer)?;
 
         let (rewritten, plaintext_path) = self.encrypt_request_fields(&request, &model)?;
-        let out = rewritten.to_bytes(&RequestHeader { xid: header.xid, op: header.op });
-        self.pending.lock().push_back(PendingRequest { xid: header.xid, op: header.op, plaintext_path });
-
-        buffer.clear();
-        buffer.extend_from_slice(&out);
+        *buffer = rewritten.to_bytes(&RequestHeader { xid: header.xid, op: header.op });
+        self.pending.lock().push_back(PendingRequest {
+            xid: header.xid,
+            op: header.op,
+            plaintext_path,
+        });
         Ok(())
     }
 
@@ -157,7 +198,11 @@ impl EntryEnclave {
         model: &CostModel,
     ) -> Result<(Request, Option<String>), SkError> {
         let charge_path = |path: &str| {
-            self.enclave.charge_ns(model.sha256_ns(path.len()) + model.aes_gcm_ns(path.len()) + model.base64_ns(path.len()));
+            self.enclave.charge_ns(
+                model.sha256_ns(path.len())
+                    + model.aes_gcm_ns(path.len())
+                    + model.base64_ns(path.len()),
+            );
         };
         let charge_payload = |len: usize| {
             self.enclave.charge_ns(model.aes_gcm_ns(len + PayloadCipher::overhead()));
@@ -238,9 +283,8 @@ impl EntryEnclave {
     pub fn process_response(&self, buffer: &mut Vec<u8>) -> Result<(), SkError> {
         let input_len = buffer.len();
         let result = self.enclave.ecall(input_len, input_len + 64, || {
-            self.process_response_trusted(buffer).map_err(|err| sgx_sim::SgxError::EnclaveFault {
-                message: err.to_string(),
-            })
+            self.process_response_trusted(buffer)
+                .map_err(|err| sgx_sim::SgxError::EnclaveFault { message: err.to_string() })
         });
         match result {
             Ok(()) => Ok(()),
@@ -260,11 +304,16 @@ impl EntryEnclave {
         }
 
         let rewritten = self.decrypt_response_fields(&pending, response, &model)?;
-        let plain = rewritten.to_bytes(&ReplyHeader { xid: header.xid, zxid: header.zxid, err: header.err });
+        let mut plain = rewritten.to_bytes(&ReplyHeader {
+            xid: header.xid,
+            zxid: header.zxid,
+            err: header.err,
+        });
         self.enclave.charge_ns(model.aes_gcm_ns(plain.len()));
-        let sealed = self.transport.seal(&plain);
-        buffer.clear();
-        buffer.extend_from_slice(&sealed);
+        // Transport encryption appends the tag to the serialized response in
+        // place; the result then replaces the caller's buffer without a copy.
+        self.transport.seal_in_place(&mut plain);
+        *buffer = plain;
         Ok(())
     }
 
@@ -276,25 +325,27 @@ impl EntryEnclave {
     ) -> Result<Response, SkError> {
         Ok(match response {
             Response::GetData(get) => {
-                let path = pending
-                    .plaintext_path
-                    .as_deref()
-                    .ok_or_else(|| SkError::Malformed { reason: "GET response without a pending path".into() })?;
+                let path = pending.plaintext_path.as_deref().ok_or_else(|| SkError::Malformed {
+                    reason: "GET response without a pending path".into(),
+                })?;
                 self.enclave.charge_ns(model.aes_gcm_ns(get.data.len()));
-                let payload = self.payload_cipher.open(path, &get.data)?;
+                let payload = self.payload_cipher.open_vec(path, get.data)?;
                 let mut stat = get.stat;
                 stat.data_length = payload.len() as i32;
                 Response::GetData(GetDataResponse { data: payload, stat })
             }
             Response::Create(create) => {
-                self.enclave.charge_ns(model.aes_gcm_ns(create.path.len()) + model.base64_ns(create.path.len()));
+                self.enclave.charge_ns(
+                    model.aes_gcm_ns(create.path.len()) + model.base64_ns(create.path.len()),
+                );
                 let plaintext = self.path_cipher.decrypt_path(&create.path)?;
                 Response::Create(CreateResponse { path: plaintext })
             }
             Response::GetChildren(ls) => {
                 let mut children = Vec::with_capacity(ls.children.len());
                 for child in &ls.children {
-                    self.enclave.charge_ns(model.aes_gcm_ns(child.len()) + model.base64_ns(child.len()));
+                    self.enclave
+                        .charge_ns(model.aes_gcm_ns(child.len()) + model.base64_ns(child.len()));
                     children.push(self.path_cipher.decrypt_chunk(child)?);
                 }
                 children.sort();
@@ -396,9 +447,12 @@ mod tests {
 
         // The attacker substitutes the payload of a different znode.
         let foreign = payload_cipher.seal("/attacker-node", b"forged", SequentialFlag::Regular);
-        let response =
-            Response::GetData(GetDataResponse { data: foreign, stat: jute::records::Stat::default() });
-        let mut response_buffer = response.to_bytes(&ReplyHeader { xid: 1, zxid: 1, err: ErrorCode::Ok });
+        let response = Response::GetData(GetDataResponse {
+            data: foreign,
+            stat: jute::records::Stat::default(),
+        });
+        let mut response_buffer =
+            response.to_bytes(&ReplyHeader { xid: 1, zxid: 1, err: ErrorCode::Ok });
         let err = entry.process_response(&mut response_buffer).unwrap_err();
         assert!(matches!(err, SkError::IntegrityViolation { .. }));
     }
@@ -406,7 +460,8 @@ mod tests {
     #[test]
     fn responses_without_pending_requests_are_rejected() {
         let (_epc, entry, _client) = enclave();
-        let mut buffer = Response::Ping.to_bytes(&ReplyHeader { xid: 0, zxid: 0, err: ErrorCode::Ok });
+        let mut buffer =
+            Response::Ping.to_bytes(&ReplyHeader { xid: 0, zxid: 0, err: ErrorCode::Ok });
         let err = entry.process_response(&mut buffer).unwrap_err();
         assert!(matches!(err, SkError::IntegrityViolation { .. } | SkError::FifoViolation));
     }
@@ -436,7 +491,8 @@ mod tests {
         entry.process_request(&mut buffer).unwrap();
 
         let response = Response::Error(ErrorCode::NoNode);
-        let mut response_buffer = response.to_bytes(&ReplyHeader { xid: 2, zxid: 0, err: ErrorCode::Ok });
+        let mut response_buffer =
+            response.to_bytes(&ReplyHeader { xid: 2, zxid: 0, err: ErrorCode::Ok });
         entry.process_response(&mut response_buffer).unwrap();
         let plain = client.open(&response_buffer).unwrap();
         let (_, decoded) = Response::from_bytes(&plain, OpCode::GetData).unwrap();
@@ -451,7 +507,8 @@ mod tests {
         let mut enclaves = Vec::new();
         for i in 0..150 {
             let session = SessionKey::derive_from_label(&format!("client-{i}"));
-            enclaves.push(EntryEnclave::new(&epc, &storage, &session, CostModel::default()).unwrap());
+            enclaves
+                .push(EntryEnclave::new(&epc, &storage, &session, CostModel::default()).unwrap());
         }
         assert!(!epc.usage().is_paging(), "allocated {} bytes", epc.usage().allocated_bytes);
     }

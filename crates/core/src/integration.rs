@@ -26,6 +26,7 @@ use zkserver::{ZkCluster, ZkError, ZkReplica};
 use crate::counter::CounterEnclave;
 use crate::entry::EntryEnclave;
 use crate::error::SkError;
+use crate::path_cache::PathCipherCache;
 
 /// Cluster-wide SecureKeeper configuration.
 #[derive(Debug, Clone)]
@@ -34,29 +35,38 @@ pub struct SecureKeeperConfig {
     pub storage_key: StorageKey,
     /// Cost model charged to the enclaves (SGX transition and crypto costs).
     pub cost_model: CostModel,
+    /// Bound on the per-replica path-encryption cache (entries per direction).
+    pub path_cache_capacity: usize,
 }
 
 impl SecureKeeperConfig {
     /// Configuration with a freshly generated storage key.
     pub fn generate() -> Self {
-        SecureKeeperConfig { storage_key: StorageKey::generate(), cost_model: CostModel::default() }
+        Self::from_storage_key(StorageKey::generate())
     }
 
     /// Deterministic configuration derived from a label (tests, examples).
     pub fn with_label(label: &str) -> Self {
+        Self::from_storage_key(StorageKey::derive_from_label(label))
+    }
+
+    fn from_storage_key(storage_key: StorageKey) -> Self {
         SecureKeeperConfig {
-            storage_key: StorageKey::derive_from_label(label),
+            storage_key,
             cost_model: CostModel::default(),
+            path_cache_capacity: crate::path_cache::DEFAULT_PATH_CACHE_CAPACITY,
         }
     }
 }
 
 /// The per-replica SecureKeeper interceptor: owns one entry enclave per
-/// connected session.
+/// connected session plus the replica-wide path-encryption cache all of them
+/// share.
 pub struct SecureKeeperInterceptor {
     epc: Epc,
     storage_key: StorageKey,
     cost_model: CostModel,
+    path_cache: Arc<PathCipherCache>,
     enclaves: Mutex<HashMap<i64, Arc<EntryEnclave>>>,
 }
 
@@ -65,18 +75,21 @@ impl std::fmt::Debug for SecureKeeperInterceptor {
         f.debug_struct("SecureKeeperInterceptor")
             .field("entry_enclaves", &self.enclaves.lock().len())
             .field("epc", &self.epc.usage())
+            .field("path_cache_entries", &self.path_cache.len())
+            .field("path_cache_hits", &self.path_cache.hits())
             .finish()
     }
 }
 
 impl SecureKeeperInterceptor {
     /// Creates the interceptor for one replica. All entry enclaves of the
-    /// replica share the replica's EPC.
+    /// replica share the replica's EPC and one path-encryption cache.
     pub fn new(config: &SecureKeeperConfig) -> Self {
         SecureKeeperInterceptor {
             epc: Epc::new(),
             storage_key: config.storage_key.clone(),
             cost_model: config.cost_model.clone(),
+            path_cache: Arc::new(PathCipherCache::with_capacity(config.path_cache_capacity)),
             enclaves: Mutex::new(HashMap::new()),
         }
     }
@@ -84,6 +97,11 @@ impl SecureKeeperInterceptor {
     /// The replica's EPC (for memory statistics).
     pub fn epc(&self) -> &Epc {
         &self.epc
+    }
+
+    /// The replica-wide path-encryption cache (for metrics and sizing).
+    pub fn path_cache(&self) -> &Arc<PathCipherCache> {
+        &self.path_cache
     }
 
     /// Number of entry enclaves currently instantiated.
@@ -106,9 +124,18 @@ impl SecureKeeperInterceptor {
     /// # Errors
     ///
     /// Returns [`SkError::Enclave`] when the EPC cannot hold another enclave.
-    pub fn register_session(&self, session_id: i64, session_key: &SessionKey) -> Result<(), SkError> {
-        let enclave =
-            EntryEnclave::new(&self.epc, &self.storage_key, session_key, self.cost_model.clone())?;
+    pub fn register_session(
+        &self,
+        session_id: i64,
+        session_key: &SessionKey,
+    ) -> Result<(), SkError> {
+        let enclave = EntryEnclave::with_path_cache(
+            &self.epc,
+            &self.storage_key,
+            session_key,
+            self.cost_model.clone(),
+            Arc::clone(&self.path_cache),
+        )?;
         self.enclaves.lock().insert(session_id, Arc::new(enclave));
         Ok(())
     }
@@ -126,7 +153,12 @@ impl RequestInterceptor for SecureKeeperInterceptor {
         enclave.process_request(buffer).map_err(ZkError::from)
     }
 
-    fn on_response(&self, session_id: i64, _op: OpCode, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+    fn on_response(
+        &self,
+        session_id: i64,
+        _op: OpCode,
+        buffer: &mut Vec<u8>,
+    ) -> Result<(), ZkError> {
         // The operation type is *not* taken from the untrusted caller: the
         // enclave uses its own FIFO queue, as in the paper.
         let enclave = self.enclave_for(session_id)?;
@@ -234,8 +266,12 @@ impl SecureKeeperHandles {
 ///
 /// Every replica gets its own EPC, entry-enclave manager and counter enclave;
 /// all of them share the storage key from `config`.
-pub fn secure_cluster(size: usize, config: &SecureKeeperConfig) -> (SharedCluster, SecureKeeperHandles) {
-    let interceptors: Mutex<HashMap<NodeId, Arc<SecureKeeperInterceptor>>> = Mutex::new(HashMap::new());
+pub fn secure_cluster(
+    size: usize,
+    config: &SecureKeeperConfig,
+) -> (SharedCluster, SecureKeeperHandles) {
+    let interceptors: Mutex<HashMap<NodeId, Arc<SecureKeeperInterceptor>>> =
+        Mutex::new(HashMap::new());
     let counters: Mutex<HashMap<NodeId, Arc<CounterEnclave>>> = Mutex::new(HashMap::new());
 
     let cluster = ZkCluster::with_replica_factory(size, |id| {
@@ -306,6 +342,29 @@ mod tests {
         let (_cluster, handles) = secure_cluster(1, &config);
         let key = SessionKey::derive_from_label("c1");
         assert!(handles.register_session(NodeId(99), 1, &key).is_err());
+    }
+
+    #[test]
+    fn path_cache_is_shared_across_sessions_of_a_replica() {
+        use crate::client::SecureKeeperClient;
+        use jute::records::CreateMode;
+
+        let config = SecureKeeperConfig::with_label("integration-test");
+        let (cluster, handles) = secure_cluster(1, &config);
+        let replica = cluster.lock().replica_ids()[0];
+
+        let first = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+        first.create("/shared", b"v".to_vec(), CreateMode::Persistent).unwrap();
+        let interceptor = handles.interceptor(replica);
+        assert!(!interceptor.path_cache().is_empty(), "create warmed the cache");
+        let misses_after_warm = interceptor.path_cache().misses();
+
+        // A *different* session reading the same path hits the shared cache.
+        let second = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
+        let (value, _) = second.get_data("/shared", false).unwrap();
+        assert_eq!(value, b"v");
+        assert!(interceptor.path_cache().hits() >= 1, "second session reused the entry");
+        assert_eq!(interceptor.path_cache().misses(), misses_after_warm, "no new misses");
     }
 
     #[test]

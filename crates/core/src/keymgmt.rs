@@ -90,13 +90,20 @@ pub fn obtain_storage_key(
     enclave: &Enclave,
     store: &ReplicaKeyStore,
 ) -> Result<StorageKey, SkError> {
-    let blob = store
-        .sealed
-        .as_ref()
-        .ok_or_else(|| SkError::Enclave { reason: "replica has not been provisioned".to_string() })?;
-    let bytes = unseal(platform, &enclave.measurement(), SECUREKEEPER_SIGNER, SealingPolicy::MrEnclave, blob)?;
+    let blob = store.sealed.as_ref().ok_or_else(|| SkError::Enclave {
+        reason: "replica has not been provisioned".to_string(),
+    })?;
+    let bytes = unseal(
+        platform,
+        &enclave.measurement(),
+        SECUREKEEPER_SIGNER,
+        SealingPolicy::MrEnclave,
+        blob,
+    )?;
     if bytes.len() != 16 {
-        return Err(SkError::Enclave { reason: "sealed blob does not contain a 128-bit key".to_string() });
+        return Err(SkError::Enclave {
+            reason: "sealed blob does not contain a 128-bit key".to_string(),
+        });
     }
     let mut key = [0u8; 16];
     key.copy_from_slice(&bytes);
@@ -123,7 +130,8 @@ mod tests {
         let mut store = ReplicaKeyStore::new();
 
         // First boot: attestation + sealing.
-        let key = provision_replica(&mut service, &quoting, &platform, &enclave, &mut store).unwrap();
+        let key =
+            provision_replica(&mut service, &quoting, &platform, &enclave, &mut store).unwrap();
         assert_eq!(key, cluster_key);
         assert!(store.is_provisioned());
         assert_eq!(service.keys_released(), 1);
@@ -142,10 +150,13 @@ mod tests {
         let quoting = QuotingEnclave::new(platform.clone());
         let genuine = entry_enclave(&epc, b"entry image");
         let rogue = entry_enclave(&epc, b"malicious image");
-        let mut service =
-            AttestationService::new(vec![genuine.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut service = AttestationService::new(
+            vec![genuine.measurement()],
+            StorageKey::derive_from_label("cluster"),
+        );
         let mut store = ReplicaKeyStore::new();
-        let err = provision_replica(&mut service, &quoting, &platform, &rogue, &mut store).unwrap_err();
+        let err =
+            provision_replica(&mut service, &quoting, &platform, &rogue, &mut store).unwrap_err();
         assert!(matches!(err, SkError::Enclave { .. }));
         assert!(!store.is_provisioned());
     }
@@ -156,8 +167,10 @@ mod tests {
         let platform = PlatformSecret::derive_from_label("replica-1");
         let quoting = QuotingEnclave::new(platform.clone());
         let genuine = entry_enclave(&epc, b"entry image");
-        let mut service =
-            AttestationService::new(vec![genuine.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut service = AttestationService::new(
+            vec![genuine.measurement()],
+            StorageKey::derive_from_label("cluster"),
+        );
         let mut store = ReplicaKeyStore::new();
         provision_replica(&mut service, &quoting, &platform, &genuine, &mut store).unwrap();
 

@@ -67,6 +67,7 @@ pub mod entry;
 pub mod error;
 pub mod integration;
 pub mod keymgmt;
+pub mod path_cache;
 pub mod path_crypto;
 pub mod payload_crypto;
 pub mod transport;
@@ -76,3 +77,4 @@ pub use counter::CounterEnclave;
 pub use entry::EntryEnclave;
 pub use error::SkError;
 pub use integration::{secure_cluster, SecureKeeperConfig, SecureKeeperHandles};
+pub use path_cache::PathCipherCache;

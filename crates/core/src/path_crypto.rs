@@ -16,6 +16,18 @@
 //!   a chunk can be decrypted in isolation — required for the LS operation,
 //!   where the enclave only sees child names, not their plaintext prefix;
 //! * the result is Base64-url encoded so it never contains `/`.
+//!
+//! Two hot-path optimizations (this determinism is what makes both sound):
+//!
+//! * prefix IVs are computed **incrementally**: one running SHA-256 absorbs
+//!   the path left to right and is forked (cloned) per chunk, so a depth-*d*
+//!   path hashes each byte once instead of re-digesting growing prefixes
+//!   (O(n) instead of O(n·d) hashing);
+//! * an optional shared [`PathCipherCache`] memoizes whole-path encryptions
+//!   and decryptions plus chunk decryptions. A warm hit is a single map
+//!   lookup — no AES, SHA-256 or Base64 work at all.
+
+use std::sync::Arc;
 
 use zkcrypto::base64url;
 use zkcrypto::gcm::AesGcm128;
@@ -24,36 +36,40 @@ use zkcrypto::sha256::Sha256;
 use zkcrypto::{NONCE_LEN, TAG_LEN};
 
 use crate::error::SkError;
+use crate::path_cache::PathCipherCache;
 
 /// Encrypts and decrypts znode paths with the cluster storage key.
 #[derive(Debug, Clone)]
 pub struct PathCipher {
     cipher: AesGcm128,
+    cache: Option<Arc<PathCipherCache>>,
 }
 
 impl PathCipher {
     /// Creates a cipher bound to the cluster-wide storage key.
     pub fn new(storage_key: &StorageKey) -> Self {
-        PathCipher { cipher: AesGcm128::new(storage_key.key()) }
+        PathCipher { cipher: AesGcm128::new(storage_key.key()), cache: None }
     }
 
-    /// Derives the 12-byte IV for a chunk from the plaintext path prefix that
-    /// ends with this chunk.
-    fn chunk_iv(plaintext_prefix: &str) -> [u8; NONCE_LEN] {
-        let digest = Sha256::digest(plaintext_prefix.as_bytes());
-        let mut iv = [0u8; NONCE_LEN];
-        iv.copy_from_slice(&digest[..NONCE_LEN]);
-        iv
+    /// Creates a cipher that consults (and fills) `cache`. The cache may be
+    /// shared by any number of `PathCipher`s keyed with the **same** storage
+    /// key — path encryption is deterministic, so their results coincide.
+    pub fn with_cache(storage_key: &StorageKey, cache: Arc<PathCipherCache>) -> Self {
+        PathCipher { cipher: AesGcm128::new(storage_key.key()), cache: Some(cache) }
     }
 
-    /// Encrypts a single path chunk given the plaintext prefix (including the
-    /// chunk itself) that determines its IV.
-    fn encrypt_chunk(&self, plaintext_prefix: &str, chunk: &str) -> String {
-        let iv = Self::chunk_iv(plaintext_prefix);
-        let sealed = self.cipher.seal(&iv, chunk.as_bytes(), b"securekeeper-path");
-        let mut combined = Vec::with_capacity(NONCE_LEN + sealed.len());
+    /// The attached cache, if any (for metrics).
+    pub fn cache(&self) -> Option<&Arc<PathCipherCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Encrypts a single path chunk given the 12-byte IV derived from its
+    /// plaintext prefix.
+    fn encrypt_chunk_with_iv(&self, iv: [u8; NONCE_LEN], chunk: &str) -> String {
+        let mut combined = Vec::with_capacity(NONCE_LEN + chunk.len() + TAG_LEN);
         combined.extend_from_slice(&iv);
-        combined.extend_from_slice(&sealed);
+        combined.extend_from_slice(chunk.as_bytes());
+        self.cipher.seal_in_place_suffix(&iv, &mut combined, NONCE_LEN, b"securekeeper-path");
         base64url::encode(&combined)
     }
 
@@ -64,20 +80,38 @@ impl PathCipher {
     /// Returns [`SkError::IntegrityViolation`] when the chunk is not valid
     /// Base64, is too short, or fails authentication.
     pub fn decrypt_chunk(&self, encoded: &str) -> Result<String, SkError> {
-        let combined = base64url::decode(encoded)?;
-        if combined.len() < NONCE_LEN + TAG_LEN {
-            return Err(SkError::IntegrityViolation { what: format!("path chunk too short: {} bytes", combined.len()) });
+        if let Some(cache) = &self.cache {
+            if let Some(plaintext) = cache.get_chunk(encoded) {
+                return Ok(plaintext);
+            }
         }
-        let (iv, sealed) = combined.split_at(NONCE_LEN);
-        let plaintext = self.cipher.open(iv, sealed, b"securekeeper-path")?;
-        String::from_utf8(plaintext)
-            .map_err(|_| SkError::IntegrityViolation { what: "path chunk is not utf-8".to_string() })
+        let plaintext = self.decrypt_chunk_uncached(encoded)?;
+        if let Some(cache) = &self.cache {
+            cache.insert_chunk(encoded, &plaintext);
+        }
+        Ok(plaintext)
+    }
+
+    fn decrypt_chunk_uncached(&self, encoded: &str) -> Result<String, SkError> {
+        let mut combined = base64url::decode(encoded)?;
+        if combined.len() < NONCE_LEN + TAG_LEN {
+            return Err(SkError::IntegrityViolation {
+                what: format!("path chunk too short: {} bytes", combined.len()),
+            });
+        }
+        let iv: [u8; NONCE_LEN] = combined[..NONCE_LEN].try_into().expect("checked length");
+        self.cipher.open_in_place_suffix(&iv, &mut combined, NONCE_LEN, b"securekeeper-path")?;
+        combined.drain(..NONCE_LEN);
+        String::from_utf8(combined).map_err(|_| SkError::IntegrityViolation {
+            what: "path chunk is not utf-8".to_string(),
+        })
     }
 
     /// Encrypts a full path, component by component.
     ///
     /// The root path `/` is not sensitive (it exists in every installation)
-    /// and is returned unchanged.
+    /// and is returned unchanged. With a warm cache this is a single lookup
+    /// that performs no cryptography.
     ///
     /// # Errors
     ///
@@ -87,15 +121,32 @@ impl PathCipher {
             return Ok("/".to_string());
         }
         if !plaintext_path.starts_with('/') {
-            return Err(SkError::Malformed { reason: format!("path must be absolute: {plaintext_path}") });
+            return Err(SkError::Malformed {
+                reason: format!("path must be absolute: {plaintext_path}"),
+            });
         }
+        if let Some(cache) = &self.cache {
+            if let Some(encrypted) = cache.get_encrypted(plaintext_path) {
+                return Ok(encrypted);
+            }
+        }
+
+        // One running hasher absorbs the path once; each chunk's IV is the
+        // digest of the clone-forked prefix state.
         let mut encrypted = String::new();
-        let mut prefix = String::new();
+        let mut prefix_hash = Sha256::new();
         for chunk in plaintext_path[1..].split('/') {
-            prefix.push('/');
-            prefix.push_str(chunk);
+            prefix_hash.update(b"/");
+            prefix_hash.update(chunk.as_bytes());
+            let digest = prefix_hash.clone().finalize();
+            let mut iv = [0u8; NONCE_LEN];
+            iv.copy_from_slice(&digest[..NONCE_LEN]);
             encrypted.push('/');
-            encrypted.push_str(&self.encrypt_chunk(&prefix, chunk));
+            encrypted.push_str(&self.encrypt_chunk_with_iv(iv, chunk));
+        }
+
+        if let Some(cache) = &self.cache {
+            cache.insert_path(plaintext_path, &encrypted);
         }
         Ok(encrypted)
     }
@@ -111,12 +162,29 @@ impl PathCipher {
             return Ok("/".to_string());
         }
         if !encrypted_path.starts_with('/') {
-            return Err(SkError::Malformed { reason: format!("path must be absolute: {encrypted_path}") });
+            return Err(SkError::Malformed {
+                reason: format!("path must be absolute: {encrypted_path}"),
+            });
         }
+        if let Some(cache) = &self.cache {
+            if let Some(plaintext) = cache.get_decrypted(encrypted_path) {
+                return Ok(plaintext);
+            }
+        }
+
         let mut plaintext = String::new();
         for chunk in encrypted_path[1..].split('/') {
             plaintext.push('/');
             plaintext.push_str(&self.decrypt_chunk(chunk)?);
+        }
+
+        // Decrypt-direction only: `encrypted_path` came from the untrusted
+        // store. Each chunk authenticated individually, but chunks can be
+        // spliced across parents (the chunk IV is self-contained), so this
+        // ciphertext is not necessarily the canonical encryption of
+        // `plaintext` and must never seed the encrypt direction.
+        if let Some(cache) = &self.cache {
+            cache.insert_decrypted(encrypted_path, &plaintext);
         }
         Ok(plaintext)
     }
@@ -238,5 +306,89 @@ mod tests {
         assert_eq!(chunk.len(), PathCipher::encrypted_chunk_len(8));
         // Roughly: (12 + n + 16) * 4/3 — about 33% expansion plus constants.
         assert!(chunk.len() > 8);
+    }
+
+    #[test]
+    fn cached_and_uncached_ciphers_agree() {
+        let key = StorageKey::derive_from_label("test-cluster");
+        let plain = PathCipher::new(&key);
+        let cached = PathCipher::with_cache(&key, Arc::new(PathCipherCache::default()));
+        for path in ["/a", "/app/config/database", "/x/y/z"] {
+            let expected = plain.encrypt_path(path).unwrap();
+            // Cold, then warm.
+            assert_eq!(cached.encrypt_path(path).unwrap(), expected);
+            assert_eq!(cached.encrypt_path(path).unwrap(), expected);
+            assert_eq!(cached.decrypt_path(&expected).unwrap(), path);
+        }
+    }
+
+    #[test]
+    fn warm_cache_hits_bypass_the_cipher_entirely() {
+        // A cipher keyed with the WRONG key but sharing a pre-warmed cache
+        // still answers correctly — proof that a hit performs no AES at all.
+        let cache = Arc::new(PathCipherCache::default());
+        let right =
+            PathCipher::with_cache(&StorageKey::derive_from_label("right"), Arc::clone(&cache));
+        let encrypted = right.encrypt_path("/warm/path").unwrap();
+        let decoy =
+            PathCipher::with_cache(&StorageKey::derive_from_label("wrong"), Arc::clone(&cache));
+        assert_eq!(decoy.encrypt_path("/warm/path").unwrap(), encrypted);
+        assert_eq!(decoy.decrypt_path(&encrypted).unwrap(), "/warm/path");
+        assert!(cache.hits() >= 2);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache = Arc::new(PathCipherCache::default());
+        let cipher =
+            PathCipher::with_cache(&StorageKey::derive_from_label("k"), Arc::clone(&cache));
+        cipher.encrypt_path("/a/b").unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        cipher.encrypt_path("/a/b").unwrap();
+        assert_eq!(cache.hits(), 1);
+        // decrypt_path of the cached encryption also hits.
+        let encrypted = cipher.encrypt_path("/a/b").unwrap();
+        cipher.decrypt_path(&encrypted).unwrap();
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn decrypting_untrusted_paths_cannot_poison_the_encrypt_direction() {
+        // Chunks authenticate individually (their IV is self-contained), so
+        // a malicious store can splice a chunk from one path into another
+        // position and the spliced path still *decrypts*. That decryption
+        // must never seed the encrypt direction of the shared cache:
+        // encrypt_path has to keep producing the canonical ciphertext.
+        let key = StorageKey::derive_from_label("k");
+        let cache = Arc::new(PathCipherCache::default());
+        let cipher = PathCipher::with_cache(&key, Arc::clone(&cache));
+        let reference = PathCipher::new(&key);
+
+        let encrypted = cipher.encrypt_path("/a/config").unwrap();
+        let config_chunk = encrypted[1..].split('/').nth(1).unwrap();
+        // Attacker presents the child chunk as a root-level path.
+        let spliced = format!("/{config_chunk}");
+        assert_eq!(cipher.decrypt_path(&spliced).unwrap(), "/config");
+
+        // The non-canonical mapping must not have been cached for encryption…
+        let canonical = reference.encrypt_path("/config").unwrap();
+        assert_ne!(canonical, spliced, "spliced ciphertext is not canonical");
+        assert_eq!(cipher.encrypt_path("/config").unwrap(), canonical);
+        // …while the decrypt direction may (soundly) remember the answer.
+        assert_eq!(cipher.decrypt_path(&spliced).unwrap(), "/config");
+    }
+
+    #[test]
+    fn ls_chunks_are_cached_individually() {
+        let cache = Arc::new(PathCipherCache::default());
+        let cipher =
+            PathCipher::with_cache(&StorageKey::derive_from_label("k"), Arc::clone(&cache));
+        let encrypted = cipher.encrypt_path("/parent/child").unwrap();
+        let chunk = encrypted[1..].split('/').nth(1).unwrap();
+        cipher.decrypt_chunk(chunk).unwrap();
+        let misses_after_first = cache.misses();
+        cipher.decrypt_chunk(chunk).unwrap();
+        assert_eq!(cache.misses(), misses_after_first, "second chunk decrypt is a hit");
     }
 }

@@ -81,45 +81,60 @@ impl PayloadCipher {
     /// Encrypts `payload`, binding it to `plaintext_path`.
     ///
     /// The stored layout is `IV || AES-GCM(payload || H(path) || flag)`.
+    /// The whole output is assembled in one buffer and encrypted in place —
+    /// no intermediate plaintext or ciphertext copies.
     pub fn seal(&self, plaintext_path: &str, payload: &[u8], flag: SequentialFlag) -> Vec<u8> {
         let bound_path = match flag {
             SequentialFlag::Regular => plaintext_path,
             SequentialFlag::Sequential => strip_sequence_suffix(plaintext_path),
         };
-        let mut plaintext = Vec::with_capacity(payload.len() + DIGEST_LEN + 1);
-        plaintext.extend_from_slice(payload);
-        plaintext.extend_from_slice(&Sha256::digest(bound_path.as_bytes()));
-        plaintext.push(flag.to_byte());
-
         let mut iv = [0u8; NONCE_LEN];
         rand::thread_rng().fill_bytes(&mut iv);
-        let sealed = self.cipher.seal(&iv, &plaintext, b"securekeeper-payload");
-        let mut out = Vec::with_capacity(NONCE_LEN + sealed.len());
+
+        let mut out = Vec::with_capacity(Self::overhead() + payload.len());
         out.extend_from_slice(&iv);
-        out.extend_from_slice(&sealed);
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&Sha256::digest(bound_path.as_bytes()));
+        out.push(flag.to_byte());
+        self.cipher.seal_in_place_suffix(&iv, &mut out, NONCE_LEN, b"securekeeper-payload");
         out
     }
 
     /// Decrypts a stored payload and verifies that it belongs to
-    /// `plaintext_path`.
+    /// `plaintext_path`. The decryption buffer itself is returned (truncated
+    /// to the payload), so the only allocation is the plaintext buffer that
+    /// the caller receives.
     ///
     /// # Errors
     ///
     /// Returns [`SkError::IntegrityViolation`] when decryption fails or the
     /// embedded path hash does not match (payload-swapping attack).
     pub fn open(&self, plaintext_path: &str, stored: &[u8]) -> Result<Vec<u8>, SkError> {
-        if stored.len() < NONCE_LEN + TAG_LEN + DIGEST_LEN + 1 {
+        self.open_vec(plaintext_path, stored.to_vec())
+    }
+
+    /// Like [`PayloadCipher::open`], but consumes an owned buffer and
+    /// decrypts it fully in place — zero allocations. This is what the entry
+    /// enclave uses on the GET response path, where it owns the stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PayloadCipher::open`].
+    pub fn open_vec(&self, plaintext_path: &str, mut stored: Vec<u8>) -> Result<Vec<u8>, SkError> {
+        if stored.len() < Self::overhead() {
             return Err(SkError::IntegrityViolation {
                 what: format!("stored payload too short: {} bytes", stored.len()),
             });
         }
-        let (iv, sealed) = stored.split_at(NONCE_LEN);
-        let plaintext = self.cipher.open(iv, sealed, b"securekeeper-payload")?;
-        if plaintext.len() < DIGEST_LEN + 1 {
-            return Err(SkError::IntegrityViolation { what: "decrypted payload too short".to_string() });
+        let iv: [u8; NONCE_LEN] = stored[..NONCE_LEN].try_into().expect("checked length");
+        self.cipher.open_in_place_suffix(&iv, &mut stored, NONCE_LEN, b"securekeeper-payload")?;
+        if stored.len() < NONCE_LEN + DIGEST_LEN + 1 {
+            return Err(SkError::IntegrityViolation {
+                what: "decrypted payload too short".to_string(),
+            });
         }
-        let (rest, flag_byte) = plaintext.split_at(plaintext.len() - 1);
-        let (payload, stored_hash) = rest.split_at(rest.len() - DIGEST_LEN);
+        let (rest, flag_byte) = stored.split_at(stored.len() - 1);
+        let (payload_with_iv, stored_hash) = rest.split_at(rest.len() - DIGEST_LEN);
         let flag = SequentialFlag::from_byte(flag_byte[0])?;
         let bound_path = match flag {
             SequentialFlag::Regular => plaintext_path,
@@ -131,7 +146,11 @@ impl PayloadCipher {
                 what: format!("payload is not bound to path {plaintext_path}"),
             });
         }
-        Ok(payload.to_vec())
+        let payload_len = payload_with_iv.len() - NONCE_LEN;
+        // Slide the payload over the IV prefix and truncate: no reallocation.
+        stored.copy_within(NONCE_LEN..NONCE_LEN + payload_len, 0);
+        stored.truncate(payload_len);
+        Ok(stored)
     }
 
     /// Constant per-payload overhead in bytes (IV, tag, path hash, flag).
@@ -183,10 +202,7 @@ mod tests {
         // The entry enclave seals before the sequence number exists.
         let sealed = cipher.seal("/locks/lock-", b"owner=client-7", SequentialFlag::Sequential);
         // The client later reads the node under its final, numbered path.
-        assert_eq!(
-            cipher.open("/locks/lock-0000000042", &sealed).unwrap(),
-            b"owner=client-7"
-        );
+        assert_eq!(cipher.open("/locks/lock-0000000042", &sealed).unwrap(), b"owner=client-7");
         // But the binding still prevents moving it under a different prefix.
         assert!(cipher.open("/other/lock-0000000042", &sealed).is_err());
     }

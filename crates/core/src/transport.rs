@@ -76,10 +76,19 @@ impl TransportChannel {
 
     /// Encrypts an outgoing frame.
     pub fn seal(&self, frame: &[u8]) -> Vec<u8> {
+        let mut buffer = frame.to_vec();
+        self.seal_in_place(&mut buffer);
+        buffer
+    }
+
+    /// Encrypts an outgoing frame in place (appends the tag; no intermediate
+    /// allocations). This is the entry-enclave hot path.
+    pub fn seal_in_place(&self, frame: &mut Vec<u8>) {
         let mut counter = self.send_counter.lock();
         let nonce = Self::nonce(self.send_direction, *counter);
         *counter += 1;
-        self.cipher.seal(&nonce, frame, b"securekeeper-transport")
+        drop(counter);
+        self.cipher.seal_in_place(&nonce, frame, b"securekeeper-transport")
     }
 
     /// Decrypts an incoming frame.
@@ -89,15 +98,28 @@ impl TransportChannel {
     /// Returns [`SkError::IntegrityViolation`] when the frame was tampered
     /// with, replayed, or arrived out of order.
     pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, SkError> {
+        let mut buffer = sealed.to_vec();
+        self.open_in_place(&mut buffer)?;
+        Ok(buffer)
+    }
+
+    /// Decrypts an incoming frame in place (verifies and strips the tag; no
+    /// intermediate allocations). On error the buffer is left unmodified and
+    /// the receive counter does not advance.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransportChannel::open`].
+    pub fn open_in_place(&self, sealed: &mut Vec<u8>) -> Result<(), SkError> {
         let recv_direction = match self.send_direction {
             Direction::ClientToEnclave => Direction::EnclaveToClient,
             Direction::EnclaveToClient => Direction::ClientToEnclave,
         };
         let mut counter = self.recv_counter.lock();
         let nonce = Self::nonce(recv_direction, *counter);
-        let plaintext = self.cipher.open(&nonce, sealed, b"securekeeper-transport")?;
+        self.cipher.open_in_place(&nonce, sealed, b"securekeeper-transport")?;
         *counter += 1;
-        Ok(plaintext)
+        Ok(())
     }
 
     /// Number of bytes the transport encryption adds to each frame.

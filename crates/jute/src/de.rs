@@ -163,6 +163,9 @@ mod tests {
     #[test]
     fn trailing_bytes_are_detected() {
         let input = InputArchive::new(&[1, 2, 3]);
-        assert_eq!(input.expect_exhausted().unwrap_err(), JuteError::TrailingBytes { remaining: 3 });
+        assert_eq!(
+            input.expect_exhausted().unwrap_err(),
+            JuteError::TrailingBytes { remaining: 3 }
+        );
     }
 }

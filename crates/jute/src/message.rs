@@ -97,7 +97,9 @@ impl Request {
             OpCode::Exists => Request::Exists(ExistsRequest::deserialize(&mut input)?),
             OpCode::GetData => Request::GetData(GetDataRequest::deserialize(&mut input)?),
             OpCode::SetData => Request::SetData(SetDataRequest::deserialize(&mut input)?),
-            OpCode::GetChildren => Request::GetChildren(GetChildrenRequest::deserialize(&mut input)?),
+            OpCode::GetChildren => {
+                Request::GetChildren(GetChildrenRequest::deserialize(&mut input)?)
+            }
             OpCode::Ping => Request::Ping,
             OpCode::CloseSession => Request::CloseSession,
         };
@@ -177,7 +179,9 @@ impl Response {
             OpCode::Exists => Response::Exists(ExistsResponse::deserialize(&mut input)?),
             OpCode::GetData => Response::GetData(GetDataResponse::deserialize(&mut input)?),
             OpCode::SetData => Response::SetData(SetDataResponse::deserialize(&mut input)?),
-            OpCode::GetChildren => Response::GetChildren(GetChildrenResponse::deserialize(&mut input)?),
+            OpCode::GetChildren => {
+                Response::GetChildren(GetChildrenResponse::deserialize(&mut input)?)
+            }
             OpCode::Ping => Response::Ping,
             OpCode::CloseSession => Response::CloseSession,
         };

@@ -177,7 +177,9 @@ impl CreateMode {
             1 => CreateMode::Ephemeral,
             2 => CreateMode::PersistentSequential,
             3 => CreateMode::EphemeralSequential,
-            other => return Err(JuteError::InvalidLength { what: "create flags", length: other as i64 }),
+            other => {
+                return Err(JuteError::InvalidLength { what: "create flags", length: other as i64 })
+            }
         })
     }
 }
@@ -648,7 +650,10 @@ impl GetChildrenRequest {
     ///
     /// Propagates decoding failures.
     pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
-        Ok(GetChildrenRequest { path: input.read_string("path")?, watch: input.read_bool("watch")? })
+        Ok(GetChildrenRequest {
+            path: input.read_string("path")?,
+            watch: input.read_bool("watch")?,
+        })
     }
 }
 
@@ -791,8 +796,16 @@ mod tests {
             password: vec![1, 2, 3],
         };
         assert_eq!(roundtrip(&req, ConnectRequest::serialize, ConnectRequest::deserialize), req);
-        let resp = ConnectResponse { protocol_version: 0, timeout_ms: 30_000, session_id: 99, password: vec![9] };
-        assert_eq!(roundtrip(&resp, ConnectResponse::serialize, ConnectResponse::deserialize), resp);
+        let resp = ConnectResponse {
+            protocol_version: 0,
+            timeout_ms: 30_000,
+            session_id: 99,
+            password: vec![9],
+        };
+        assert_eq!(
+            roundtrip(&resp, ConnectResponse::serialize, ConnectResponse::deserialize),
+            resp
+        );
     }
 
     #[test]
@@ -802,7 +815,10 @@ mod tests {
             data: vec![0u8; 100],
             mode: CreateMode::EphemeralSequential,
         };
-        assert_eq!(roundtrip(&create, CreateRequest::serialize, CreateRequest::deserialize), create);
+        assert_eq!(
+            roundtrip(&create, CreateRequest::serialize, CreateRequest::deserialize),
+            create
+        );
 
         let create_resp = CreateResponse { path: "/app/lock-0000000007".to_string() };
         assert_eq!(
@@ -811,10 +827,16 @@ mod tests {
         );
 
         let delete = DeleteRequest { path: "/app/lock-0000000007".to_string(), version: -1 };
-        assert_eq!(roundtrip(&delete, DeleteRequest::serialize, DeleteRequest::deserialize), delete);
+        assert_eq!(
+            roundtrip(&delete, DeleteRequest::serialize, DeleteRequest::deserialize),
+            delete
+        );
 
         let exists = ExistsRequest { path: "/app".to_string(), watch: true };
-        assert_eq!(roundtrip(&exists, ExistsRequest::serialize, ExistsRequest::deserialize), exists);
+        assert_eq!(
+            roundtrip(&exists, ExistsRequest::serialize, ExistsRequest::deserialize),
+            exists
+        );
 
         let exists_resp = ExistsResponse { stat: Stat { version: 3, ..Stat::default() } };
         assert_eq!(
@@ -831,7 +853,8 @@ mod tests {
             get_resp
         );
 
-        let set = SetDataRequest { path: "/app/config".to_string(), data: b"v2".to_vec(), version: 4 };
+        let set =
+            SetDataRequest { path: "/app/config".to_string(), data: b"v2".to_vec(), version: 4 };
         assert_eq!(roundtrip(&set, SetDataRequest::serialize, SetDataRequest::deserialize), set);
 
         let set_resp = SetDataResponse { stat: Stat { version: 5, ..Stat::default() } };

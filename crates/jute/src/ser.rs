@@ -85,10 +85,7 @@ mod tests {
         let mut out = OutputArchive::new();
         out.write_i32(0x0102_0304);
         out.write_i64(0x0102_0304_0506_0708);
-        assert_eq!(
-            out.as_bytes(),
-            &[1, 2, 3, 4, 1, 2, 3, 4, 5, 6, 7, 8]
-        );
+        assert_eq!(out.as_bytes(), &[1, 2, 3, 4, 1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use jute::records::{
 use jute::{OpCode, Request, Response};
 
 fn arb_path() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-zA-Z0-9_-]{1,12}", 1..5).prop_map(|parts| format!("/{}", parts.join("/")))
+    proptest::collection::vec("[a-zA-Z0-9_-]{1,12}", 1..5)
+        .prop_map(|parts| format!("/{}", parts.join("/")))
 }
 
 fn arb_create_mode() -> impl Strategy<Value = CreateMode> {
@@ -25,10 +26,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (arb_path(), proptest::collection::vec(any::<u8>(), 0..512), arb_create_mode())
             .prop_map(|(path, data, mode)| Request::Create(CreateRequest { path, data, mode })),
-        (arb_path(), any::<i32>()).prop_map(|(path, version)| Request::Delete(DeleteRequest { path, version })),
-        (arb_path(), any::<bool>()).prop_map(|(path, watch)| Request::GetData(GetDataRequest { path, watch })),
-        (arb_path(), proptest::collection::vec(any::<u8>(), 0..512), any::<i32>())
-            .prop_map(|(path, data, version)| Request::SetData(SetDataRequest { path, data, version })),
+        (arb_path(), any::<i32>())
+            .prop_map(|(path, version)| Request::Delete(DeleteRequest { path, version })),
+        (arb_path(), any::<bool>())
+            .prop_map(|(path, watch)| Request::GetData(GetDataRequest { path, watch })),
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..512), any::<i32>()).prop_map(
+            |(path, data, version)| Request::SetData(SetDataRequest { path, data, version })
+        ),
         (arb_path(), any::<bool>())
             .prop_map(|(path, watch)| Request::GetChildren(GetChildrenRequest { path, watch })),
         Just(Request::Ping),

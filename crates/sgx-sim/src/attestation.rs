@@ -54,7 +54,12 @@ impl QuotingEnclave {
         let mut message = Vec::with_capacity(32 + 64);
         message.extend_from_slice(measurement.as_bytes());
         message.extend_from_slice(report_data);
-        hmac_sha256(self.platform.sealing_key(measurement, "quoting", crate::sealing::SealingPolicy::MrSigner).as_bytes(), &message)
+        hmac_sha256(
+            self.platform
+                .sealing_key(measurement, "quoting", crate::sealing::SealingPolicy::MrSigner)
+                .as_bytes(),
+            &message,
+        )
     }
 
     /// Verifies that `quote` was produced by this platform's quoting facility.
@@ -98,7 +103,9 @@ impl AttestationService {
         quote: &Quote,
     ) -> Result<StorageKey, SgxError> {
         if !quoting.verify(quote) {
-            return Err(SgxError::AttestationFailed { reason: "invalid quote signature".to_string() });
+            return Err(SgxError::AttestationFailed {
+                reason: "invalid quote signature".to_string(),
+            });
         }
         if !self.expected_measurements.contains(&quote.measurement) {
             return Err(SgxError::AttestationFailed {
@@ -166,8 +173,10 @@ mod tests {
         let (epc, platform, enclave) = setup();
         let rogue = EnclaveBuilder::new(b"rogue image".to_vec()).build(&epc).unwrap();
         let quoting = QuotingEnclave::new(platform);
-        let mut service =
-            AttestationService::new(vec![enclave.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut service = AttestationService::new(
+            vec![enclave.measurement()],
+            StorageKey::derive_from_label("cluster"),
+        );
         let quote = quoting.quote(&rogue, [0u8; 64]);
         let err = service.provision_storage_key(&quoting, &quote).unwrap_err();
         assert!(matches!(err, SgxError::AttestationFailed { .. }));
@@ -178,8 +187,10 @@ mod tests {
     fn attestation_service_rejects_forged_quote() {
         let (_epc, platform, enclave) = setup();
         let quoting = QuotingEnclave::new(platform);
-        let mut service =
-            AttestationService::new(vec![enclave.measurement()], StorageKey::derive_from_label("cluster"));
+        let mut service = AttestationService::new(
+            vec![enclave.measurement()],
+            StorageKey::derive_from_label("cluster"),
+        );
         let mut quote = quoting.quote(&enclave, [0u8; 64]);
         quote.report_data[63] ^= 0xff;
         assert!(service.provision_storage_key(&quoting, &quote).is_err());

@@ -96,7 +96,12 @@ impl EcallRegistry {
     ///   than the buffer capacity (mirrors the SDK's inability to grow
     ///   untrusted buffers from inside the enclave).
     /// * Any error returned by the handler itself.
-    pub fn call(&self, name: &str, buffer: &mut Vec<u8>, msg_len: usize) -> Result<usize, SgxError> {
+    pub fn call(
+        &self,
+        name: &str,
+        buffer: &mut Vec<u8>,
+        msg_len: usize,
+    ) -> Result<usize, SgxError> {
         let handler = self
             .handlers
             .lock()

@@ -326,10 +326,8 @@ mod tests {
     #[test]
     fn oversized_enclave_is_rejected() {
         let epc = Epc::new();
-        let err = EnclaveBuilder::new(vec![])
-            .heap_bytes(256 * 1024 * 1024)
-            .build(&epc)
-            .unwrap_err();
+        let err =
+            EnclaveBuilder::new(vec![]).heap_bytes(256 * 1024 * 1024).build(&epc).unwrap_err();
         assert!(matches!(err, SgxError::OutOfEpcMemory { .. }));
     }
 
@@ -345,11 +343,13 @@ mod tests {
     #[test]
     fn charge_random_accesses_reflects_epc_pressure() {
         let epc = Epc::new();
-        let small = EnclaveBuilder::new(b"small".to_vec()).heap_bytes(1024 * 1024).build(&epc).unwrap();
+        let small =
+            EnclaveBuilder::new(b"small".to_vec()).heap_bytes(1024 * 1024).build(&epc).unwrap();
         small.charge_random_accesses(1024 * 1024, 1000);
         let cheap = small.take_simulated_ns();
 
-        let big = EnclaveBuilder::new(b"big".to_vec()).heap_bytes(100 * 1024 * 1024).build(&epc).unwrap();
+        let big =
+            EnclaveBuilder::new(b"big".to_vec()).heap_bytes(100 * 1024 * 1024).build(&epc).unwrap();
         big.charge_random_accesses(100 * 1024 * 1024 + small.elrange_bytes(), 1000);
         let expensive = big.take_simulated_ns();
         assert!(expensive > cheap * 10.0, "expensive={expensive} cheap={cheap}");

@@ -74,7 +74,9 @@ mod tests {
         let err = SgxError::OutOfEpcMemory { requested: 1024, available: 512 };
         assert!(err.to_string().contains("1024"));
         assert!(err.to_string().contains("512"));
-        assert!(SgxError::UnknownEcall { name: "ec_request".into() }.to_string().contains("ec_request"));
+        assert!(SgxError::UnknownEcall { name: "ec_request".into() }
+            .to_string()
+            .contains("ec_request"));
     }
 
     #[test]

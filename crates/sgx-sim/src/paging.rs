@@ -34,7 +34,8 @@ pub fn random_access_sweep(model: &CostModel, sizes_bytes: &[usize]) -> Vec<Rand
         .map(|&bytes| {
             let read_ns = model.random_access_ns(bytes);
             // Dirty-page eviction adds ~20% once the working set exceeds the EPC.
-            let write_ns = if bytes > model.epc_usable_bytes { read_ns * 1.2 } else { read_ns * 1.05 };
+            let write_ns =
+                if bytes > model.epc_usable_bytes { read_ns * 1.2 } else { read_ns * 1.05 };
             RandomAccessPoint {
                 enclave_bytes: bytes,
                 kilo_reads_per_sec: 1e9 / read_ns / 1e3,
@@ -82,7 +83,11 @@ impl Default for KvsExperiment {
 }
 
 /// Runs the Figure 4 experiment over the given enclave sizes.
-pub fn kvs_sweep(model: &CostModel, experiment: &KvsExperiment, sizes_bytes: &[usize]) -> Vec<KvsPoint> {
+pub fn kvs_sweep(
+    model: &CostModel,
+    experiment: &KvsExperiment,
+    sizes_bytes: &[usize],
+) -> Vec<KvsPoint> {
     let native_model = CostModel::native();
     sizes_bytes
         .iter()

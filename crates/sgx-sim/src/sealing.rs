@@ -58,7 +58,12 @@ impl PlatformSecret {
     }
 
     /// Derives the sealing key for an enclave identity under a policy.
-    pub fn sealing_key(&self, measurement: &Measurement, signer: &str, policy: SealingPolicy) -> Key128 {
+    pub fn sealing_key(
+        &self,
+        measurement: &Measurement,
+        signer: &str,
+        policy: SealingPolicy,
+    ) -> Key128 {
         let identity: &[u8] = match policy {
             SealingPolicy::MrEnclave => measurement.as_bytes(),
             SealingPolicy::MrSigner => signer.as_bytes(),
@@ -136,9 +141,7 @@ pub fn unseal(
     let key = platform.sealing_key(measurement, signer, policy);
     let cipher = AesGcm128::new(&key);
     let (nonce, ciphertext) = blob.bytes.split_at(NONCE_LEN);
-    cipher
-        .open(nonce, ciphertext, b"sgx-sealed-blob")
-        .map_err(|_| SgxError::UnsealingFailed)
+    cipher.open(nonce, ciphertext, b"sgx-sealed-blob").map_err(|_| SgxError::UnsealingFailed)
 }
 
 #[cfg(test)]
@@ -153,7 +156,8 @@ mod tests {
     fn seal_unseal_roundtrip() {
         let platform = PlatformSecret::derive_from_label("replica-1");
         let m = measurement("entry enclave");
-        let blob = seal(&platform, &m, "securekeeper", SealingPolicy::MrEnclave, b"storage key bytes");
+        let blob =
+            seal(&platform, &m, "securekeeper", SealingPolicy::MrEnclave, b"storage key bytes");
         assert_eq!(
             unseal(&platform, &m, "securekeeper", SealingPolicy::MrEnclave, &blob).unwrap(),
             b"storage key bytes"
@@ -203,7 +207,14 @@ mod tests {
         let mut tampered = blob.as_bytes().to_vec();
         let last = tampered.len() - 1;
         tampered[last] ^= 0x01;
-        assert!(unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &SealedBlob::from_bytes(tampered)).is_err());
+        assert!(unseal(
+            &platform,
+            &m,
+            "s",
+            SealingPolicy::MrEnclave,
+            &SealedBlob::from_bytes(tampered)
+        )
+        .is_err());
     }
 
     #[test]
@@ -211,7 +222,14 @@ mod tests {
         let platform = PlatformSecret::derive_from_label("replica-1");
         let m = measurement("entry enclave");
         assert_eq!(
-            unseal(&platform, &m, "s", SealingPolicy::MrEnclave, &SealedBlob::from_bytes(vec![1, 2, 3])).unwrap_err(),
+            unseal(
+                &platform,
+                &m,
+                "s",
+                SealingPolicy::MrEnclave,
+                &SealedBlob::from_bytes(vec![1, 2, 3])
+            )
+            .unwrap_err(),
             SgxError::UnsealingFailed
         );
     }

@@ -152,8 +152,8 @@ impl ServiceCostModel {
         let reference = self.vanilla_total_ns(op, CALIBRATION_PAYLOAD, mode);
         let calibrated = reference * pct / (100.0 - pct);
         let fixed = self.fixed_fraction * calibrated;
-        let proportional = (1.0 - self.fixed_fraction) * calibrated * payload as f64
-            / CALIBRATION_PAYLOAD as f64;
+        let proportional =
+            (1.0 - self.fixed_fraction) * calibrated * payload as f64 / CALIBRATION_PAYLOAD as f64;
         fixed + proportional
     }
 
@@ -172,7 +172,13 @@ impl ServiceCostModel {
     ///
     /// Reads are served by every replica, so their capacity scales with the
     /// ensemble size; writes are ordered by the leader, which caps them.
-    pub fn capacity_rps(&self, variant: Variant, op: OpKind, payload: usize, mode: RequestMode) -> f64 {
+    pub fn capacity_rps(
+        &self,
+        variant: Variant,
+        op: OpKind,
+        payload: usize,
+        mode: RequestMode,
+    ) -> f64 {
         let per_request = self.request_cost_ns(variant, op, payload, mode);
         let parallelism = if op.is_write() { 1.0 } else { self.replicas as f64 };
         parallelism * 1e9 / per_request
@@ -251,7 +257,13 @@ impl ServiceCostModel {
 
     /// Measured overhead of `variant` versus vanilla for one configuration, in
     /// percent (the quantity tabulated in Table 1).
-    pub fn overhead_pct(&self, variant: Variant, op: OpKind, payload: usize, mode: RequestMode) -> f64 {
+    pub fn overhead_pct(
+        &self,
+        variant: Variant,
+        op: OpKind,
+        payload: usize,
+        mode: RequestMode,
+    ) -> f64 {
         let vanilla = self.capacity_rps(Variant::VanillaZk, op, payload, mode);
         let this = self.capacity_rps(variant, op, payload, mode);
         (vanilla - this) / vanilla * 100.0
@@ -323,7 +335,12 @@ mod tests {
         let m = model();
         let gap = |payload| {
             let t = m.capacity_rps(Variant::TlsZk, OpKind::Get, payload, RequestMode::Synchronous);
-            let s = m.capacity_rps(Variant::SecureKeeper, OpKind::Get, payload, RequestMode::Synchronous);
+            let s = m.capacity_rps(
+                Variant::SecureKeeper,
+                OpKind::Get,
+                payload,
+                RequestMode::Synchronous,
+            );
             t - s
         };
         assert!(gap(0) > gap(4096), "absolute gap should shrink with payload");
@@ -333,11 +350,15 @@ mod tests {
     fn reads_scale_with_replicas_writes_do_not() {
         let m = model();
         let big = ServiceCostModel { replicas: 6, ..model() };
-        let get_small = m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
-        let get_big = big.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
+        let get_small =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
+        let get_big =
+            big.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
         assert!((get_big / get_small - 2.0).abs() < 0.01);
-        let set_small = m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
-        let set_big = big.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
+        let set_small =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
+        let set_big =
+            big.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
         assert!((set_big / set_small - 1.0).abs() < 0.01);
     }
 
@@ -345,10 +366,14 @@ mod tests {
     fn sync_throughput_ramps_with_clients_then_saturates() {
         let m = model();
         let mix = ServiceCostModel::paper_mix();
-        let t10 = m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 10);
-        let t100 = m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 100);
-        let t500 = m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 500);
-        let t1000 = m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 1000);
+        let t10 =
+            m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 10);
+        let t100 =
+            m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 100);
+        let t500 =
+            m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 500);
+        let t1000 =
+            m.mixed_throughput_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Synchronous, 1000);
         assert!(t100 > t10 * 5.0);
         assert!(t500 >= t100);
         // Saturation: doubling clients past the knee barely helps.
@@ -370,11 +395,14 @@ mod tests {
         // Not exact — but the model should land in the same order of magnitude
         // as the paper's plots.
         let m = model();
-        let get_sync = m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Synchronous);
+        let get_sync =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Synchronous);
         assert!((80_000.0..200_000.0).contains(&get_sync), "{get_sync}");
-        let get_async = m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
+        let get_async =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
         assert!((250_000.0..500_000.0).contains(&get_async), "{get_async}");
-        let set_async = m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
+        let set_async =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
         assert!((20_000.0..60_000.0).contains(&set_async), "{set_async}");
     }
 
@@ -383,8 +411,10 @@ mod tests {
         let m = model();
         let mix = ServiceCostModel::paper_mix();
         let mixed = m.mixed_capacity_rps(Variant::VanillaZk, &mix, 1024, RequestMode::Asynchronous);
-        let reads = m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
-        let writes = m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
+        let reads =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Get, 1024, RequestMode::Asynchronous);
+        let writes =
+            m.capacity_rps(Variant::VanillaZk, OpKind::Set, 1024, RequestMode::Asynchronous);
         assert!(mixed < reads);
         assert!(mixed > writes);
     }

@@ -60,7 +60,13 @@ impl FaultExperiment {
     /// Computes the per-second throughput timeline for one variant.
     pub fn timeline(&self, model: &ServiceCostModel, variant: Variant) -> Series {
         let mix = ServiceCostModel::paper_mix();
-        let full = model.mixed_throughput_rps(variant, &mix, self.payload, RequestMode::Asynchronous, self.clients);
+        let full = model.mixed_throughput_rps(
+            variant,
+            &mix,
+            self.payload,
+            RequestMode::Asynchronous,
+            self.clients,
+        );
         // With one replica gone, reads lose 1/3 of their capacity. Writes keep
         // the same leader-bound capacity (a new leader is just as fast).
         let degraded_model = ServiceCostModel { replicas: model.replicas - 1, ..model.clone() };
@@ -100,7 +106,12 @@ impl FaultExperiment {
         let mix = ServiceCostModel::paper_mix();
         let full = model.mixed_capacity_rps(variant, &mix, self.payload, RequestMode::Asynchronous);
         let degraded_model = ServiceCostModel { replicas: model.replicas - 1, ..model.clone() };
-        let degraded = degraded_model.mixed_capacity_rps(variant, &mix, self.payload, RequestMode::Asynchronous);
+        let degraded = degraded_model.mixed_capacity_rps(
+            variant,
+            &mix,
+            self.payload,
+            RequestMode::Asynchronous,
+        );
         degraded / full
     }
 }
@@ -121,7 +132,8 @@ mod tests {
             // Before the fault the cluster is at full throughput.
             assert!(series.y_at(0.0).unwrap() > 0.0);
             // After the election it recovers to a degraded but nonzero level.
-            let recovered = series.y_at(experiment.fault_at_s + experiment.election_s + 1.0).unwrap();
+            let recovered =
+                series.y_at(experiment.fault_at_s + experiment.election_s + 1.0).unwrap();
             assert!(recovered > 0.0);
             assert!(recovered < series.y_at(0.0).unwrap());
         }
@@ -129,7 +141,8 @@ mod tests {
 
     #[test]
     fn follower_failure_has_no_outage() {
-        let experiment = FaultExperiment { fault: FaultKind::Follower, ..FaultExperiment::default() };
+        let experiment =
+            FaultExperiment { fault: FaultKind::Follower, ..FaultExperiment::default() };
         let model = ServiceCostModel::default();
         let series = experiment.timeline(&model, Variant::SecureKeeper);
         assert!(series.points.iter().all(|&(_, y)| y > 0.0));

@@ -5,7 +5,9 @@
 //! issues a 70:30 mix of GET and SET requests against it as fast as possible;
 //! the per-operation experiments issue a single operation type instead.
 
-use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest};
+use jute::records::{
+    CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest,
+};
 use jute::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,9 +99,10 @@ impl WorkloadSpec {
                     data: vec![rng.gen::<u8>(); self.payload],
                     version: -1,
                 }),
-                OpKind::Ls => {
-                    Request::GetChildren(GetChildrenRequest { path: Self::root_path().to_string(), watch: false })
-                }
+                OpKind::Ls => Request::GetChildren(GetChildrenRequest {
+                    path: Self::root_path().to_string(),
+                    watch: false,
+                }),
                 OpKind::Create => {
                     create_counter += 1;
                     Request::Create(CreateRequest {

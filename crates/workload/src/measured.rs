@@ -80,7 +80,12 @@ impl RequestInterceptor for TlsInterceptor {
         Ok(())
     }
 
-    fn on_response(&self, session_id: i64, _op: OpCode, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+    fn on_response(
+        &self,
+        session_id: i64,
+        _op: OpCode,
+        buffer: &mut Vec<u8>,
+    ) -> Result<(), ZkError> {
         let channel = self.channel(session_id)?;
         *buffer = channel.seal(buffer);
         Ok(())
@@ -169,7 +174,9 @@ pub fn run_measured(variant: Variant, operations: usize, payload: usize) -> Meas
             let cluster = share(ZkCluster::new(3));
             let ids = cluster.lock().replica_ids();
             let handles: Vec<zkserver::ZkClient> = (0..clients)
-                .map(|i| zkserver::ZkClient::connect(&cluster, ids[i % ids.len()]).expect("connect"))
+                .map(|i| {
+                    zkserver::ZkClient::connect(&cluster, ids[i % ids.len()]).expect("connect")
+                })
                 .collect();
             for request in &setup {
                 submit_typed(&handles[0], request);
@@ -183,7 +190,10 @@ pub fn run_measured(variant: Variant, operations: usize, payload: usize) -> Meas
             let (cluster, interceptors) = tls_cluster(3);
             let ids = cluster.lock().replica_ids();
             let handles: Vec<TlsClient> = (0..clients)
-                .map(|i| TlsClient::connect(&cluster, &interceptors, ids[i % ids.len()]).expect("connect"))
+                .map(|i| {
+                    TlsClient::connect(&cluster, &interceptors, ids[i % ids.len()])
+                        .expect("connect")
+                })
                 .collect();
             for request in &setup {
                 handles[0].call(request).expect("setup");
@@ -199,7 +209,8 @@ pub fn run_measured(variant: Variant, operations: usize, payload: usize) -> Meas
             let ids = cluster.lock().replica_ids();
             let handles: Vec<SecureKeeperClient> = (0..clients)
                 .map(|i| {
-                    SecureKeeperClient::connect(&cluster, &sk_handles, ids[i % ids.len()]).expect("connect")
+                    SecureKeeperClient::connect(&cluster, &sk_handles, ids[i % ids.len()])
+                        .expect("connect")
                 })
                 .collect();
             for request in &setup {
@@ -212,12 +223,7 @@ pub fn run_measured(variant: Variant, operations: usize, payload: usize) -> Meas
         }
     }
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    MeasuredResult {
-        variant,
-        operations,
-        seconds,
-        ops_per_second: operations as f64 / seconds,
-    }
+    MeasuredResult { variant, operations, seconds, ops_per_second: operations as f64 / seconds }
 }
 
 fn submit_typed(client: &zkserver::ZkClient, request: &Request) {
@@ -289,7 +295,10 @@ mod tests {
             .unwrap();
         assert!(response.is_ok());
         let response = client
-            .call(&Request::GetData(jute::records::GetDataRequest { path: "/tls-test".into(), watch: false }))
+            .call(&Request::GetData(jute::records::GetDataRequest {
+                path: "/tls-test".into(),
+                watch: false,
+            }))
             .unwrap();
         match response {
             Response::GetData(get) => assert_eq!(get.data, b"v"),

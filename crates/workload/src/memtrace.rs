@@ -94,14 +94,16 @@ impl MemoryTrace {
         let mut sessions = Vec::new();
         for i in 0..self.clients {
             let replica = ids[i % ids.len()];
-            let session = cluster.lock().connect_default(replica).expect("replica alive").session_id;
+            let session =
+                cluster.lock().connect_default(replica).expect("replica alive").session_id;
             sessions.push(session);
         }
 
         let spec = WorkloadSpec::paper_mix(self.payload, self.clients);
         let setup = spec.setup_requests();
         let mut setup_done = false;
-        let mut ops = spec.generate((self.requests_per_second as f64 * self.duration_s) as usize).into_iter();
+        let mut ops =
+            spec.generate((self.requests_per_second as f64 * self.duration_s) as usize).into_iter();
 
         let mut traces: Vec<ReplicaTrace> = ids
             .iter()

@@ -46,8 +46,17 @@ pub struct Figure {
 
 impl Figure {
     /// Creates an empty figure.
-    pub fn new(caption: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
-        Figure { caption: caption.into(), x_label: x_label.into(), y_label: y_label.into(), series: Vec::new() }
+    pub fn new(
+        caption: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            caption: caption.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series.
@@ -68,7 +77,8 @@ impl Figure {
         }
         out.push('\n');
 
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
         xs.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
 

@@ -401,7 +401,8 @@ mod tests {
 
     #[test]
     fn table3_counts_this_workspace() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf();
+        let root =
+            Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf();
         let report = CodeSizeReport::compute(&root);
         assert!(report.trusted_total() > 1_000, "trusted {}", report.trusted_total());
         assert!(report.untrusted_total() > 3_000, "untrusted {}", report.untrusted_total());

@@ -56,7 +56,14 @@ pub enum OpKind {
 impl OpKind {
     /// All operations in the order of Table 1.
     pub fn all() -> [OpKind; 6] {
-        [OpKind::Get, OpKind::Set, OpKind::Ls, OpKind::Create, OpKind::CreateSequential, OpKind::Delete]
+        [
+            OpKind::Get,
+            OpKind::Set,
+            OpKind::Ls,
+            OpKind::Create,
+            OpKind::CreateSequential,
+            OpKind::Delete,
+        ]
     }
 
     /// True for operations that go through ZAB agreement.

@@ -34,7 +34,13 @@ impl Default for YcsbWorkload {
         // The paper's Figure 11 uses a mixed read/write workload; YCSB
         // workload A (50:50) with the default Zipfian skew is the closest
         // published configuration.
-        YcsbWorkload { read_proportion: 0.5, record_count: 1_000, payload: 1_024, zipf_theta: 0.99, seed: 7 }
+        YcsbWorkload {
+            read_proportion: 0.5,
+            record_count: 1_000,
+            payload: 1_024,
+            zipf_theta: 0.99,
+            seed: 7,
+        }
     }
 }
 
@@ -163,7 +169,8 @@ mod tests {
 
     #[test]
     fn mix_matches_read_proportion() {
-        let workload = YcsbWorkload { read_proportion: 0.75, record_count: 100, ..YcsbWorkload::default() };
+        let workload =
+            YcsbWorkload { read_proportion: 0.75, record_count: 100, ..YcsbWorkload::default() };
         let ops = workload.generate(20_000);
         let reads = ops.iter().filter(|o| o.kind == OpKind::Get).count() as f64 / 20_000.0;
         assert!((0.72..0.78).contains(&reads), "{reads}");
@@ -183,8 +190,12 @@ mod tests {
 
     #[test]
     fn uniform_theta_spreads_accesses() {
-        let workload =
-            YcsbWorkload { zipf_theta: 0.01, record_count: 100, seed: 3, ..YcsbWorkload::default() };
+        let workload = YcsbWorkload {
+            zipf_theta: 0.01,
+            record_count: 100,
+            seed: 3,
+            ..YcsbWorkload::default()
+        };
         let ops = workload.generate(50_000);
         let hot = ops.iter().filter(|o| o.record < 10).count() as f64 / 50_000.0;
         assert!(hot < 0.30, "{hot}");

@@ -104,7 +104,7 @@ impl ZabCluster {
 
     /// True if a majority of replicas is alive (writes can commit).
     pub fn has_quorum(&self) -> bool {
-        self.alive_count() >= self.order.len() / 2 + 1
+        self.alive_count() > self.order.len() / 2
     }
 
     /// Submits a write for total ordering. Returns the zxid it committed at,

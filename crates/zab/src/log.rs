@@ -26,7 +26,7 @@ impl TxnLog {
     /// recovery simple: a replica may receive the same proposal again during
     /// leader synchronization.
     pub fn append(&mut self, txn: Txn) {
-        if self.entries.last().map_or(true, |last| txn.zxid > last.zxid) {
+        if self.entries.last().is_none_or(|last| txn.zxid > last.zxid) {
             self.entries.push(txn);
         }
     }

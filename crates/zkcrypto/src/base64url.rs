@@ -11,6 +11,21 @@ use crate::error::CryptoError;
 
 const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
 
+/// Sentinel marking bytes outside the alphabet in [`DECODE_TABLE`].
+const INVALID: u8 = 0xff;
+
+/// Byte-indexed inverse of [`ALPHABET`]: one unconditional load per input
+/// character instead of a five-arm range match.
+static DECODE_TABLE: [u8; 256] = {
+    let mut table = [INVALID; 256];
+    let mut i = 0;
+    while i < 64 {
+        table[ALPHABET[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
 /// Encodes `data` with the URL-safe alphabet, no padding.
 ///
 /// # Example
@@ -19,6 +34,7 @@ const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwx
 /// assert_eq!(zkcrypto::base64url::encode(b"zookeeper"), "em9va2VlcGVy");
 /// assert_eq!(zkcrypto::base64url::encode(&[0xfb, 0xff]), "-_8");
 /// ```
+#[inline]
 pub fn encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(encoded_len(data.len()));
     for chunk in data.chunks(3) {
@@ -44,6 +60,7 @@ pub fn encode(data: &[u8]) -> String {
 ///
 /// Returns [`CryptoError::InvalidBase64`] if the input contains characters
 /// outside the URL-safe alphabet or has an impossible length (`len % 4 == 1`).
+#[inline]
 pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
     let bytes = text.as_bytes();
     if bytes.len() % 4 == 1 {
@@ -78,14 +95,11 @@ pub const fn decoded_len(n: usize) -> usize {
     n * 3 / 4
 }
 
+#[inline(always)]
 fn decode_char(c: u8) -> Option<u8> {
-    match c {
-        b'A'..=b'Z' => Some(c - b'A'),
-        b'a'..=b'z' => Some(c - b'a' + 26),
-        b'0'..=b'9' => Some(c - b'0' + 52),
-        b'-' => Some(62),
-        b'_' => Some(63),
-        _ => None,
+    match DECODE_TABLE[c as usize] {
+        INVALID => None,
+        value => Some(value),
     }
 }
 

@@ -122,7 +122,8 @@ mod tests {
     #[test]
     fn debug_never_prints_key_bytes() {
         let key = Key128::from_bytes([0xAB; 16]);
-        let rendered = format!("{key:?} {:?} {:?}", StorageKey(key.clone()), SessionKey(key.clone()));
+        let rendered =
+            format!("{key:?} {:?} {:?}", StorageKey(key.clone()), SessionKey(key.clone()));
         assert!(!rendered.contains("171")); // 0xAB
         assert!(rendered.contains("redacted"));
     }

@@ -7,8 +7,10 @@
 //! Rust, so that the rest of the workspace has no external cryptographic
 //! dependencies.
 //!
-//! The implementations favour clarity over speed; they are nevertheless fast
-//! enough to drive the throughput experiments of the paper's evaluation.
+//! The hot paths (AES, GHASH, Base64 decode) are table-driven — see
+//! `README.md` for the architecture decisions — while the original naive
+//! implementations are retained as reference oracles that the property tests
+//! check the fast paths against.
 //!
 //! # Example
 //!

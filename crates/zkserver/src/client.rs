@@ -162,7 +162,7 @@ impl ZkClient {
         let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
         match self.submit(&request) {
             Response::Exists(exists) => Ok(Some(exists.stat)),
-            Response::Error(code) if code == jute::records::ErrorCode::NoNode => Ok(None),
+            Response::Error(jute::records::ErrorCode::NoNode) => Ok(None),
             Response::Error(code) => Err(error_from_code(code, path)),
             other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
         }
@@ -207,7 +207,10 @@ mod tests {
         let replica = cluster.lock().replica_ids()[0];
         let client = ZkClient::connect(&cluster, replica).unwrap();
 
-        assert_eq!(client.create("/app", b"root".to_vec(), CreateMode::Persistent).unwrap(), "/app");
+        assert_eq!(
+            client.create("/app", b"root".to_vec(), CreateMode::Persistent).unwrap(),
+            "/app"
+        );
         let (data, stat) = client.get_data("/app", false).unwrap();
         assert_eq!(data, b"root");
         assert_eq!(stat.version, 0);
@@ -233,8 +236,10 @@ mod tests {
         let replica = cluster.lock().replica_ids()[0];
         let client = ZkClient::connect(&cluster, replica).unwrap();
         client.create("/tasks", vec![], CreateMode::Persistent).unwrap();
-        let first = client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
-        let second = client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
+        let first =
+            client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
+        let second =
+            client.create("/tasks/task-", vec![], CreateMode::PersistentSequential).unwrap();
         assert_eq!(first, "/tasks/task-0000000000");
         assert_eq!(second, "/tasks/task-0000000001");
     }

@@ -59,7 +59,13 @@ impl ZkCluster {
         for &id in zab.node_ids() {
             replicas.insert(id, factory(id.0));
         }
-        ZkCluster { replicas, zab, clock_ms: 0, session_to_replica: HashMap::new(), next_session_hint: 0 }
+        ZkCluster {
+            replicas,
+            zab,
+            clock_ms: 0,
+            session_to_replica: HashMap::new(),
+            next_session_hint: 0,
+        }
     }
 
     /// Identifiers of all replicas.
@@ -115,7 +121,11 @@ impl ZkCluster {
     ///
     /// Returns [`ZkError::SessionExpired`] if the replica is crashed (the
     /// client should retry against another replica).
-    pub fn connect(&mut self, replica: NodeId, timeout_ms: i64) -> Result<ConnectResponse, ZkError> {
+    pub fn connect(
+        &mut self,
+        replica: NodeId,
+        timeout_ms: i64,
+    ) -> Result<ConnectResponse, ZkError> {
         if self.zab.is_crashed(replica) {
             return Err(ZkError::SessionExpired { session_id: 0 });
         }
@@ -258,7 +268,11 @@ impl ZkCluster {
     ///
     /// Returns [`ZkError`] when the interceptor rejects the message, the
     /// session is unknown, or the buffer cannot be parsed.
-    pub fn submit_serialized(&mut self, session_id: i64, mut buffer: Vec<u8>) -> Result<Vec<u8>, ZkError> {
+    pub fn submit_serialized(
+        &mut self,
+        session_id: i64,
+        mut buffer: Vec<u8>,
+    ) -> Result<Vec<u8>, ZkError> {
         let replica_id = *self
             .session_to_replica
             .get(&session_id)
@@ -419,11 +433,19 @@ mod tests {
         cluster.submit(session, &create("/v", CreateMode::Persistent));
         cluster.submit(
             session,
-            &Request::SetData(SetDataRequest { path: "/v".into(), data: b"1".to_vec(), version: -1 }),
+            &Request::SetData(SetDataRequest {
+                path: "/v".into(),
+                data: b"1".to_vec(),
+                version: -1,
+            }),
         );
         let stale = cluster.submit(
             session,
-            &Request::SetData(SetDataRequest { path: "/v".into(), data: b"2".to_vec(), version: 0 }),
+            &Request::SetData(SetDataRequest {
+                path: "/v".into(),
+                data: b"2".to_vec(),
+                version: 0,
+            }),
         );
         assert_eq!(stale.error_code(), jute::records::ErrorCode::BadVersion);
     }
@@ -451,7 +473,8 @@ mod tests {
         let session = cluster.connect_default(ids[0]).unwrap().session_id;
         let bytes = ZkReplica::serialize_request(3, &create("/raw", CreateMode::Persistent));
         let response_bytes = cluster.submit_serialized(session, bytes).unwrap();
-        let (header, response) = ZkCluster::parse_response(&response_bytes, OpCode::Create).unwrap();
+        let (header, response) =
+            ZkCluster::parse_response(&response_bytes, OpCode::Create).unwrap();
         assert_eq!(header.xid, 3);
         assert!(response.is_ok());
         let bytes = ZkReplica::serialize_request(4, &get("/raw"));
@@ -466,8 +489,8 @@ mod tests {
         let ids = cluster.replica_ids();
         let session = cluster.connect_default(ids[0]).unwrap().session_id;
         cluster.submit(session, &create("/gone", CreateMode::Persistent));
-        let response =
-            cluster.submit(session, &Request::Delete(DeleteRequest { path: "/gone".into(), version: -1 }));
+        let response = cluster
+            .submit(session, &Request::Delete(DeleteRequest { path: "/gone".into(), version: -1 }));
         assert!(response.is_ok());
         for id in ids {
             assert!(!cluster.replica(id).tree().contains("/gone"));

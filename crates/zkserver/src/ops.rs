@@ -105,8 +105,9 @@ pub fn apply_write(
                 return Err(ZkError::NodeExists { path: "/".to_string() });
             }
             let final_path = if create.mode.is_sequential() {
-                let (parent, _) = split_path(&create.path)
-                    .ok_or_else(|| ZkError::BadArguments { reason: "sequential create on root".into() })?;
+                let (parent, _) = split_path(&create.path).ok_or_else(|| {
+                    ZkError::BadArguments { reason: "sequential create on root".into() }
+                })?;
                 let sequence = tree.next_sequence(parent)?;
                 namer.name(&create.path, sequence)
             } else {
@@ -123,7 +124,8 @@ pub fn apply_write(
         }
         Request::SetData(set) => {
             validate_path(&set.path)?;
-            let stat = tree.set_data(&set.path, set.data.clone(), set.version, ctx.zxid, ctx.time_ms)?;
+            let stat =
+                tree.set_data(&set.path, set.data.clone(), set.version, ctx.zxid, ctx.time_ms)?;
             Ok(Response::SetData(SetDataResponse { stat }))
         }
         Request::CloseSession => Ok(Response::CloseSession),
@@ -180,7 +182,9 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
         ErrorCode::NoNode => ZkError::NoNode { path: path.to_string() },
         ErrorCode::NodeExists => ZkError::NodeExists { path: path.to_string() },
         ErrorCode::NotEmpty => ZkError::NotEmpty { path: path.to_string() },
-        ErrorCode::BadVersion => ZkError::BadVersion { path: path.to_string(), expected: -1, actual: -1 },
+        ErrorCode::BadVersion => {
+            ZkError::BadVersion { path: path.to_string(), expected: -1, actual: -1 }
+        }
         ErrorCode::NoChildrenForEphemerals => {
             ZkError::NoChildrenForEphemerals { path: path.to_string() }
         }
@@ -196,7 +200,10 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest};
+    use jute::records::{
+        CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest,
+        SetDataRequest,
+    };
 
     fn ctx(zxid: i64) -> ApplyContext {
         ApplyContext { zxid, time_ms: 1_000 + zxid, session_id: 7 }
@@ -211,10 +218,16 @@ mod tests {
         let mut tree = DataTree::new();
         let namer = DefaultSequentialNamer;
 
-        let resp = apply_write(&mut tree, &create_req("/app", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+        let resp =
+            apply_write(&mut tree, &create_req("/app", CreateMode::Persistent), &ctx(1), &namer)
+                .unwrap();
         assert_eq!(resp, Response::Create(CreateResponse { path: "/app".into() }));
 
-        let resp = apply_read(&tree, &Request::GetData(GetDataRequest { path: "/app".into(), watch: false })).unwrap();
+        let resp = apply_read(
+            &tree,
+            &Request::GetData(GetDataRequest { path: "/app".into(), watch: false }),
+        )
+        .unwrap();
         match resp {
             Response::GetData(get) => assert_eq!(get.data, b"d"),
             other => panic!("unexpected {other:?}"),
@@ -222,7 +235,11 @@ mod tests {
 
         let resp = apply_write(
             &mut tree,
-            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"d2".to_vec(), version: 0 }),
+            &Request::SetData(SetDataRequest {
+                path: "/app".into(),
+                data: b"d2".to_vec(),
+                version: 0,
+            }),
             &ctx(2),
             &namer,
         )
@@ -246,10 +263,23 @@ mod tests {
     fn sequential_create_appends_zero_padded_counter() {
         let mut tree = DataTree::new();
         let namer = DefaultSequentialNamer;
-        apply_write(&mut tree, &create_req("/locks", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+        apply_write(&mut tree, &create_req("/locks", CreateMode::Persistent), &ctx(1), &namer)
+            .unwrap();
 
-        let r1 = apply_write(&mut tree, &create_req("/locks/lock-", CreateMode::PersistentSequential), &ctx(2), &namer).unwrap();
-        let r2 = apply_write(&mut tree, &create_req("/locks/lock-", CreateMode::PersistentSequential), &ctx(3), &namer).unwrap();
+        let r1 = apply_write(
+            &mut tree,
+            &create_req("/locks/lock-", CreateMode::PersistentSequential),
+            &ctx(2),
+            &namer,
+        )
+        .unwrap();
+        let r2 = apply_write(
+            &mut tree,
+            &create_req("/locks/lock-", CreateMode::PersistentSequential),
+            &ctx(3),
+            &namer,
+        )
+        .unwrap();
         assert_eq!(r1, Response::Create(CreateResponse { path: "/locks/lock-0000000000".into() }));
         assert_eq!(r2, Response::Create(CreateResponse { path: "/locks/lock-0000000001".into() }));
         assert_eq!(tree.get_children("/locks").unwrap().len(), 2);
@@ -263,8 +293,20 @@ mod tests {
         let mut b = DataTree::new();
         for tree in [&mut a, &mut b] {
             apply_write(tree, &create_req("/q", CreateMode::Persistent), &ctx(1), &namer).unwrap();
-            apply_write(tree, &create_req("/q/item-", CreateMode::PersistentSequential), &ctx(2), &namer).unwrap();
-            apply_write(tree, &create_req("/q/item-", CreateMode::PersistentSequential), &ctx(3), &namer).unwrap();
+            apply_write(
+                tree,
+                &create_req("/q/item-", CreateMode::PersistentSequential),
+                &ctx(2),
+                &namer,
+            )
+            .unwrap();
+            apply_write(
+                tree,
+                &create_req("/q/item-", CreateMode::PersistentSequential),
+                &ctx(3),
+                &namer,
+            )
+            .unwrap();
         }
         assert_eq!(a.paths(), b.paths());
     }
@@ -287,10 +329,15 @@ mod tests {
             }
         }
         let mut tree = DataTree::new();
-        apply_write(&mut tree, &create_req("/s", CreateMode::Persistent), &ctx(1), &SuffixNamer).unwrap();
-        let resp =
-            apply_write(&mut tree, &create_req("/s/n-", CreateMode::PersistentSequential), &ctx(2), &SuffixNamer)
-                .unwrap();
+        apply_write(&mut tree, &create_req("/s", CreateMode::Persistent), &ctx(1), &SuffixNamer)
+            .unwrap();
+        let resp = apply_write(
+            &mut tree,
+            &create_req("/s/n-", CreateMode::PersistentSequential),
+            &ctx(2),
+            &SuffixNamer,
+        )
+        .unwrap();
         assert_eq!(resp, Response::Create(CreateResponse { path: "/s/n-#0".into() }));
     }
 

@@ -42,7 +42,12 @@ pub trait RequestInterceptor: Send + Sync {
     ///
     /// Returning an error aborts the response; the client receives a
     /// marshalling/authentication failure.
-    fn on_response(&self, session_id: i64, op: OpCode, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+    fn on_response(
+        &self,
+        session_id: i64,
+        op: OpCode,
+        buffer: &mut Vec<u8>,
+    ) -> Result<(), ZkError> {
         let _ = (session_id, op, buffer);
         Ok(())
     }

@@ -174,9 +174,15 @@ impl ZkReplica {
     fn handle_read(&mut self, session_id: i64, request: &Request) -> Response {
         // Register watches before reading, as ZooKeeper does.
         match request {
-            Request::GetData(get) if get.watch => self.watches.add_data_watch(&get.path, session_id),
-            Request::Exists(exists) if exists.watch => self.watches.add_data_watch(&exists.path, session_id),
-            Request::GetChildren(ls) if ls.watch => self.watches.add_child_watch(&ls.path, session_id),
+            Request::GetData(get) if get.watch => {
+                self.watches.add_data_watch(&get.path, session_id)
+            }
+            Request::Exists(exists) if exists.watch => {
+                self.watches.add_data_watch(&exists.path, session_id)
+            }
+            Request::GetChildren(ls) if ls.watch => {
+                self.watches.add_child_watch(&ls.path, session_id)
+            }
             _ => {}
         }
         match ops::apply_read(&self.tree, request) {
@@ -227,7 +233,9 @@ impl ZkReplica {
     /// Drains watch notifications queued for `session_id`.
     pub fn take_watch_events(&mut self, session_id: i64) -> Vec<WatchEvent> {
         let (mine, rest): (Vec<WatchEvent>, Vec<WatchEvent>) =
-            std::mem::take(&mut self.watch_events).into_iter().partition(|e| e.session_id == session_id);
+            std::mem::take(&mut self.watch_events)
+                .into_iter()
+                .partition(|e| e.session_id == session_id);
         self.watch_events = rest;
         mine
     }
@@ -242,9 +250,15 @@ impl ZkReplica {
 
     fn handle_read_watch_only(&mut self, session_id: i64, request: &Request) {
         match request {
-            Request::GetData(get) if get.watch => self.watches.add_data_watch(&get.path, session_id),
-            Request::Exists(exists) if exists.watch => self.watches.add_data_watch(&exists.path, session_id),
-            Request::GetChildren(ls) if ls.watch => self.watches.add_child_watch(&ls.path, session_id),
+            Request::GetData(get) if get.watch => {
+                self.watches.add_data_watch(&get.path, session_id)
+            }
+            Request::Exists(exists) if exists.watch => {
+                self.watches.add_data_watch(&exists.path, session_id)
+            }
+            Request::GetChildren(ls) if ls.watch => {
+                self.watches.add_child_watch(&ls.path, session_id)
+            }
             _ => {}
         }
     }
@@ -303,7 +317,8 @@ impl ZkReplica {
         interceptor.on_request(session_id, &mut buffer)?;
         let (header, request) = Request::from_bytes(&buffer)?;
         let response = self.handle_request(session_id, &request);
-        let reply = ReplyHeader { xid: header.xid, zxid: self.last_zxid, err: response.error_code() };
+        let reply =
+            ReplyHeader { xid: header.xid, zxid: self.last_zxid, err: response.error_code() };
         let mut response_bytes = response.to_bytes(&reply);
         interceptor.on_response(session_id, header.op, &mut response_bytes)?;
         Ok(response_bytes)
@@ -328,7 +343,10 @@ impl ZkReplica {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jute::records::{CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest, SetDataRequest};
+    use jute::records::{
+        CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest,
+        SetDataRequest,
+    };
 
     fn replica_with_session() -> (ZkReplica, i64) {
         let mut replica = ZkReplica::new(1);
@@ -405,7 +423,11 @@ mod tests {
         );
         replica.handle_request(
             session,
-            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"x".to_vec(), version: -1 }),
+            &Request::SetData(SetDataRequest {
+                path: "/app".into(),
+                data: b"x".to_vec(),
+                version: -1,
+            }),
         );
         replica.handle_request(session, &create("/app/child", CreateMode::Persistent));
         let events = replica.take_watch_events(session);
@@ -415,7 +437,11 @@ mod tests {
         // Watches are one-shot: another change fires nothing.
         replica.handle_request(
             session,
-            &Request::SetData(SetDataRequest { path: "/app".into(), data: b"y".to_vec(), version: -1 }),
+            &Request::SetData(SetDataRequest {
+                path: "/app".into(),
+                data: b"y".to_vec(),
+                version: -1,
+            }),
         );
         assert!(replica.take_watch_events(session).is_empty());
     }
@@ -426,7 +452,8 @@ mod tests {
         let request = create("/via-bytes", CreateMode::Persistent);
         let bytes = ZkReplica::serialize_request(5, &request);
         let response_bytes = replica.handle_serialized_request(session, bytes).unwrap();
-        let (header, response) = ZkReplica::parse_response(&response_bytes, OpCode::Create).unwrap();
+        let (header, response) =
+            ZkReplica::parse_response(&response_bytes, OpCode::Create).unwrap();
         assert_eq!(header.xid, 5);
         assert!(response.is_ok());
         assert!(replica.tree().contains("/via-bytes"));
@@ -465,11 +492,15 @@ mod tests {
     fn delete_and_error_paths() {
         let (mut replica, session) = replica_with_session();
         replica.handle_request(session, &create("/a", CreateMode::Persistent));
-        let response = replica
-            .handle_request(session, &Request::Delete(DeleteRequest { path: "/missing".into(), version: -1 }));
+        let response = replica.handle_request(
+            session,
+            &Request::Delete(DeleteRequest { path: "/missing".into(), version: -1 }),
+        );
         assert_eq!(response.error_code(), jute::records::ErrorCode::NoNode);
-        let response = replica
-            .handle_request(session, &Request::Delete(DeleteRequest { path: "/a".into(), version: -1 }));
+        let response = replica.handle_request(
+            session,
+            &Request::Delete(DeleteRequest { path: "/a".into(), version: -1 }),
+        );
         assert!(response.is_ok());
     }
 

@@ -46,10 +46,16 @@ impl SessionManager {
         let id = self.next_id;
         self.next_id += 1;
         // A deterministic per-session password (16 bytes derived from the id).
-        let password: Vec<u8> = (0..16u8).map(|i| (id as u8).wrapping_mul(31).wrapping_add(i)).collect();
+        let password: Vec<u8> =
+            (0..16u8).map(|i| (id as u8).wrapping_mul(31).wrapping_add(i)).collect();
         self.sessions.insert(
             id,
-            Session { id, timeout_ms: timeout_ms.max(1), last_seen_ms: now_ms, password: password.clone() },
+            Session {
+                id,
+                timeout_ms: timeout_ms.max(1),
+                last_seen_ms: now_ms,
+                password: password.clone(),
+            },
         );
         (id, password)
     }
@@ -101,12 +107,8 @@ impl SessionManager {
     /// Removes every session whose timeout elapsed before `now_ms` and returns
     /// their ids (the caller deletes their ephemeral znodes).
     pub fn expire_sessions(&mut self, now_ms: i64) -> Vec<i64> {
-        let expired: Vec<i64> = self
-            .sessions
-            .values()
-            .filter(|s| s.is_expired(now_ms))
-            .map(|s| s.id)
-            .collect();
+        let expired: Vec<i64> =
+            self.sessions.values().filter(|s| s.is_expired(now_ms)).map(|s| s.id).collect();
         for id in &expired {
             self.sessions.remove(id);
         }

@@ -44,9 +44,7 @@ impl Znode {
     /// Approximate memory footprint of this znode in bytes.
     fn memory_bytes(&self) -> usize {
         const NODE_OVERHEAD: usize = 160; // struct, map entry, stat
-        NODE_OVERHEAD
-            + self.data.len()
-            + self.children.iter().map(|c| c.len() + 48).sum::<usize>()
+        NODE_OVERHEAD + self.data.len() + self.children.iter().map(|c| c.len() + 48).sum::<usize>()
     }
 }
 
@@ -79,11 +77,15 @@ pub fn validate_path(path: &str) -> Result<(), ZkError> {
         return Ok(());
     }
     if path.ends_with('/') {
-        return Err(ZkError::BadArguments { reason: format!("path must not end with '/': {path}") });
+        return Err(ZkError::BadArguments {
+            reason: format!("path must not end with '/': {path}"),
+        });
     }
     for component in path[1..].split('/') {
         if component.is_empty() {
-            return Err(ZkError::BadArguments { reason: format!("empty path component in {path}") });
+            return Err(ZkError::BadArguments {
+                reason: format!("empty path component in {path}"),
+            });
         }
         if component == "." || component == ".." {
             return Err(ZkError::BadArguments {
@@ -145,7 +147,10 @@ impl DataTree {
     ///
     /// Returns [`ZkError::NoNode`] if the parent does not exist.
     pub fn next_sequence(&mut self, parent: &str) -> Result<u32, ZkError> {
-        let node = self.nodes.get_mut(parent).ok_or_else(|| ZkError::NoNode { path: parent.to_string() })?;
+        let node = self
+            .nodes
+            .get_mut(parent)
+            .ok_or_else(|| ZkError::NoNode { path: parent.to_string() })?;
         let seq = node.next_sequence;
         node.next_sequence += 1;
         Ok(seq)
@@ -225,7 +230,8 @@ impl DataTree {
         if path == "/" {
             return Err(ZkError::BadArguments { reason: "cannot delete the root znode".into() });
         }
-        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        let node =
+            self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
         if !node.children.is_empty() {
             return Err(ZkError::NotEmpty { path: path.to_string() });
         }
@@ -263,7 +269,8 @@ impl DataTree {
         zxid: i64,
         time_ms: i64,
     ) -> Result<Stat, ZkError> {
-        let node = self.nodes.get_mut(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        let node =
+            self.nodes.get_mut(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
         if expected_version != -1 && node.stat.version != expected_version {
             return Err(ZkError::BadVersion {
                 path: path.to_string(),
@@ -285,7 +292,8 @@ impl DataTree {
     ///
     /// Returns [`ZkError::NoNode`] when the path does not exist.
     pub fn get_data(&self, path: &str) -> Result<(Vec<u8>, Stat), ZkError> {
-        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        let node =
+            self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
         Ok((node.data.clone(), node.stat))
     }
 
@@ -300,7 +308,8 @@ impl DataTree {
     ///
     /// Returns [`ZkError::NoNode`] when the path does not exist.
     pub fn get_children(&self, path: &str) -> Result<Vec<String>, ZkError> {
-        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+        let node =
+            self.nodes.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
         Ok(node.children.iter().cloned().collect())
     }
 
@@ -377,7 +386,9 @@ mod tests {
     fn path_validation_rejects_malformed_paths() {
         assert!(validate_path("/ok/path").is_ok());
         assert!(validate_path("/").is_ok());
-        for bad in ["", "relative", "/trailing/", "/dou//ble", "/dot/.", "/dotdot/..", "/nul/\u{0}x"] {
+        for bad in
+            ["", "relative", "/trailing/", "/dou//ble", "/dot/.", "/dotdot/..", "/nul/\u{0}x"]
+        {
             assert!(validate_path(bad).is_err(), "{bad:?} should be invalid");
         }
     }

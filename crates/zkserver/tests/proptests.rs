@@ -21,7 +21,12 @@ enum TreeOp {
 fn arb_op() -> impl Strategy<Value = TreeOp> {
     prop_oneof![
         (0usize..6, 0usize..6, proptest::collection::vec(any::<u8>(), 0..64), any::<bool>())
-            .prop_map(|(parent, name, payload, sequential)| TreeOp::Create { parent, name, payload, sequential }),
+            .prop_map(|(parent, name, payload, sequential)| TreeOp::Create {
+                parent,
+                name,
+                payload,
+                sequential
+            }),
         (0usize..12, proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(target, payload)| TreeOp::Set { target, payload }),
         (0usize..12,).prop_map(|(target,)| TreeOp::Delete { target }),
@@ -38,7 +43,8 @@ fn assert_tree_invariants(tree: &DataTree) {
             continue;
         }
         let (parent, name) = split_path(path).expect("non-root path has a parent");
-        let parent_node = tree.get(parent).unwrap_or_else(|| panic!("parent {parent} of {path} missing"));
+        let parent_node =
+            tree.get(parent).unwrap_or_else(|| panic!("parent {parent} of {path} missing"));
         assert!(parent_node.children().any(|c| c == name), "{parent} does not list {name}");
     }
     for path in &paths {

@@ -43,7 +43,11 @@ impl Contender {
     fn contend(&mut self) -> String {
         let path = self
             .client
-            .create("/locks/resource/lock-", self.name.as_bytes().to_vec(), CreateMode::EphemeralSequential)
+            .create(
+                "/locks/resource/lock-",
+                self.name.as_bytes().to_vec(),
+                CreateMode::EphemeralSequential,
+            )
             .expect("create lock node");
         self.lock_node = Some(path.clone());
         path
@@ -73,9 +77,12 @@ fn main() {
 
     // Set up the lock root.
     let admin_replica = cluster.lock().replica_ids()[0];
-    let admin = SecureKeeperClient::connect(&cluster, &handles, admin_replica).expect("connect admin");
+    let admin =
+        SecureKeeperClient::connect(&cluster, &handles, admin_replica).expect("connect admin");
     admin.create("/locks", Vec::new(), CreateMode::Persistent).expect("create /locks");
-    admin.create("/locks/resource", Vec::new(), CreateMode::Persistent).expect("create /locks/resource");
+    admin
+        .create("/locks/resource", Vec::new(), CreateMode::Persistent)
+        .expect("create /locks/resource");
 
     // Three contenders connect to three different replicas.
     let mut alice = Contender::connect("alice", &cluster, &handles, 0);

@@ -30,7 +30,11 @@ fn main() {
     //    plain ZooKeeper.
     client.create("/app", Vec::new(), CreateMode::Persistent).expect("create /app");
     client
-        .create("/app/db-password", b"correct horse battery staple".to_vec(), CreateMode::Persistent)
+        .create(
+            "/app/db-password",
+            b"correct horse battery staple".to_vec(),
+            CreateMode::Persistent,
+        )
         .expect("create /app/db-password");
 
     let (payload, stat) = client.get_data("/app/db-password", false).expect("read back");

@@ -19,15 +19,19 @@ fn main() {
     let (leader, survivors) = {
         let guard = cluster.lock();
         let leader = guard.leader_id();
-        let survivors: Vec<_> = guard.replica_ids().into_iter().filter(|&id| id != leader).collect();
+        let survivors: Vec<_> =
+            guard.replica_ids().into_iter().filter(|&id| id != leader).collect();
         (leader, survivors)
     };
 
     // The dispatcher and the workers connect to the follower replicas so we can
     // later crash the leader without losing any client session.
-    let dispatcher = SecureKeeperClient::connect(&cluster, &handles, survivors[0]).expect("connect");
+    let dispatcher =
+        SecureKeeperClient::connect(&cluster, &handles, survivors[0]).expect("connect");
     dispatcher.create("/services", Vec::new(), CreateMode::Persistent).expect("create /services");
-    dispatcher.create("/services/workers", Vec::new(), CreateMode::Persistent).expect("create group");
+    dispatcher
+        .create("/services/workers", Vec::new(), CreateMode::Persistent)
+        .expect("create group");
     dispatcher.get_children("/services/workers", true).expect("arm watch");
 
     // Two workers join from different replicas, registering endpoint + token.

@@ -24,7 +24,9 @@ fn nothing_sensitive_ever_reaches_the_untrusted_store() {
     let client = SecureKeeperClient::connect(&cluster, &handles, replica).unwrap();
 
     client.create("/admin-credentials", b"root:hunter2".to_vec(), CreateMode::Persistent).unwrap();
-    client.create("/admin-credentials/api-key", b"sk_live_secret".to_vec(), CreateMode::Persistent).unwrap();
+    client
+        .create("/admin-credentials/api-key", b"sk_live_secret".to_vec(), CreateMode::Persistent)
+        .unwrap();
     client.set_data("/admin-credentials", b"root:hunter3".to_vec(), -1).unwrap();
 
     let guard = cluster.lock();
@@ -39,7 +41,10 @@ fn nothing_sensitive_ever_reaches_the_untrusted_store() {
                 let (stored, _) = tree.get_data(&path).unwrap();
                 let stored_text = String::from_utf8_lossy(&stored);
                 for secret in SECRETS {
-                    assert!(!stored_text.contains(secret), "{id}: payload of {path} leaks {secret}");
+                    assert!(
+                        !stored_text.contains(secret),
+                        "{id}: payload of {path} leaks {secret}"
+                    );
                 }
             }
         }
@@ -113,7 +118,11 @@ fn payloads_cannot_be_swapped_between_znodes() {
         for (path, payload) in [(paths[0].clone(), payload_b), (paths[1].clone(), payload_a)] {
             let response = guard.submit(
                 attacker_session,
-                &jute::Request::SetData(jute::records::SetDataRequest { path, data: payload, version: -1 }),
+                &jute::Request::SetData(jute::records::SetDataRequest {
+                    path,
+                    data: payload,
+                    version: -1,
+                }),
             );
             assert!(response.is_ok());
         }
@@ -155,7 +164,8 @@ fn sequential_naming_attack_surface_is_limited_as_documented() {
     let path_cipher = PathCipher::new(&storage);
     let payload_cipher = PayloadCipher::new(&storage);
     let epc = sgx_sim::Epc::new();
-    let counter = securekeeper::CounterEnclave::new(&epc, &storage, sgx_sim::CostModel::default()).unwrap();
+    let counter =
+        securekeeper::CounterEnclave::new(&epc, &storage, sgx_sim::CostModel::default()).unwrap();
 
     let encrypted = path_cipher.encrypt_path("/locks/lock-").unwrap();
     // The attacker-controlled server picks an arbitrary sequence number…
@@ -182,7 +192,8 @@ fn all_operations_work_identically_through_the_secure_and_plain_clients() {
 
     let (secure_cluster_handle, handles) = setup();
     let secure_replica = secure_cluster_handle.lock().replica_ids()[0];
-    let secure = SecureKeeperClient::connect(&secure_cluster_handle, &handles, secure_replica).unwrap();
+    let secure =
+        SecureKeeperClient::connect(&secure_cluster_handle, &handles, secure_replica).unwrap();
 
     // Same scripted scenario against both.
     let scenario_plain = |create: &dyn Fn(&str, Vec<u8>, CreateMode) -> String,
@@ -195,14 +206,12 @@ fn all_operations_work_identically_through_the_secure_and_plain_clients() {
         (get_children("/app"), first, second)
     };
 
-    let vanilla_result = scenario_plain(
-        &|p, d, m| vanilla.create(p, d, m).unwrap(),
-        &|p| vanilla.get_children(p, false).unwrap(),
-    );
-    let secure_result = scenario_plain(
-        &|p, d, m| secure.create(p, d, m).unwrap(),
-        &|p| secure.get_children(p, false).unwrap(),
-    );
+    let vanilla_result = scenario_plain(&|p, d, m| vanilla.create(p, d, m).unwrap(), &|p| {
+        vanilla.get_children(p, false).unwrap()
+    });
+    let secure_result = scenario_plain(&|p, d, m| secure.create(p, d, m).unwrap(), &|p| {
+        secure.get_children(p, false).unwrap()
+    });
     assert_eq!(vanilla_result, secure_result);
     assert_eq!(vanilla_result.1, "/app/task-0000000000");
     assert_eq!(vanilla_result.2, "/app/task-0000000001");

@@ -26,7 +26,9 @@ fn writes_survive_leader_failure_and_new_writes_continue() {
 
     client.create("/ledger", Vec::new(), CreateMode::Persistent).unwrap();
     for i in 0..10 {
-        client.create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent).unwrap();
+        client
+            .create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent)
+            .unwrap();
     }
 
     let old_leader = cluster.lock().leader_id();
@@ -37,7 +39,9 @@ fn writes_survive_leader_failure_and_new_writes_continue() {
     assert_eq!(client.get_children("/ledger", false).unwrap().len(), 10);
     // And new writes commit under the new leader.
     for i in 10..15 {
-        client.create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent).unwrap();
+        client
+            .create(&format!("/ledger/entry-{i}"), vec![i as u8], CreateMode::Persistent)
+            .unwrap();
     }
     assert_eq!(client.get_children("/ledger", false).unwrap().len(), 15);
 }
@@ -79,12 +83,16 @@ fn sequence_numbers_remain_gapless_and_unique_across_leader_failover() {
 
     let mut names = Vec::new();
     for _ in 0..5 {
-        names.push(client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap());
+        names.push(
+            client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap(),
+        );
     }
     let leader = cluster.lock().leader_id();
     cluster.lock().crash(leader);
     for _ in 0..5 {
-        names.push(client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap());
+        names.push(
+            client.create("/queue/item-", b"x".to_vec(), CreateMode::PersistentSequential).unwrap(),
+        );
     }
 
     // All ten names are unique, ordered, and numbered 0..10 with no gaps: the
@@ -116,7 +124,9 @@ fn clients_of_a_crashed_replica_fail_over_and_keep_their_guarantees() {
     assert!(client.exists("/durable", false).unwrap().is_some());
 
     // Writes after failover keep being confidential.
-    client.create("/durable/after", b"post-failover-secret".to_vec(), CreateMode::Persistent).unwrap();
+    client
+        .create("/durable/after", b"post-failover-secret".to_vec(), CreateMode::Persistent)
+        .unwrap();
     let guard = cluster.lock();
     for id in guard.replica_ids() {
         if guard.is_crashed(id) {

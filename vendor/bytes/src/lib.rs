@@ -1,0 +1,176 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`BytesMut`] plus the [`Buf`]/[`BufMut`] trait methods that the
+//! `jute` framing layer uses. The implementation is a plain `Vec<u8>` with a
+//! read cursor; performance characteristics are close enough for this
+//! workspace, where frames are small and short-lived.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side operations on a byte buffer.
+pub trait Buf {
+    /// Number of bytes remaining to be read.
+    fn remaining(&self) -> usize;
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Write-side operations on a byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer with a consuming read cursor.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(capacity), start: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a slice to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf[self.start..].to_vec()
+    }
+
+    /// Splits off and returns the first `n` unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of unread bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let front = self.buf[self.start..self.start + n].to_vec();
+        self.start += n;
+        self.compact();
+        BytesMut { buf: front, start: 0 }
+    }
+
+    fn compact(&mut self) {
+        // Reclaim consumed space once the cursor passes half the storage.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+        self.compact();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.buf[start..]
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { buf: src.to_vec(), start: 0 }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for BytesMut {
+    fn from(src: &[u8; N]) -> Self {
+        BytesMut { buf: src.to_vec(), start: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_split_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_i32(5);
+        b.put_slice(b"hello");
+        assert_eq!(b.len(), 9);
+        assert_eq!(&b[..4], &5i32.to_be_bytes());
+        b.advance(4);
+        assert_eq!(b.split_to(5).to_vec(), b"hello");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benchmarks use — benchmark
+//! groups, `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros — as a compact
+//! wall-clock harness. Statistics are simpler than the real crate (median of
+//! per-sample means, no bootstrap/outlier analysis), but the output is
+//! comparable across runs of the same machine, which is what the repository's
+//! before/after regression snapshots need.
+//!
+//! Results are printed to stdout and, when `CRITERION_JSON` is set, appended
+//! as JSON lines to that file so baselines can be archived.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus an optional
+/// parameter (e.g. a payload size).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(parameter) => format!("{}/{}", self.name, parameter),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate from the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The first CLI argument that is not a cargo-bench flag acts as a
+        // substring filter, like the real crate.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-') && arg != "bench");
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let config = (self.sample_size, self.measurement_time, self.warm_up_time);
+        let full_name = id.into().render();
+        self.run_one(&full_name, config, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        full_name: &str,
+        (sample_size, measurement_time, warm_up_time): (usize, Duration, Duration),
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up: run the closure until the warm-up budget is exhausted,
+        // estimating the per-iteration cost as we go.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warmup_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warmup_start.elapsed() < warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter = (bencher.elapsed / bencher.iters.max(1) as u32).max(Duration::from_nanos(1));
+        }
+
+        // Choose an iteration count per sample so that `sample_size` samples
+        // roughly fill the measurement budget.
+        let per_sample = measurement_time / sample_size as u32;
+        let iters =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(bytes) => format!("{}/s", human_bytes(bytes as f64 / median)),
+            Throughput::Elements(n) => format!("{:.2} Melem/s", n as f64 / median / 1e6),
+        });
+        match &rate {
+            Some(rate) => println!(
+                "{full_name:<55} time: [{} {} {}]  thrpt: [{rate}]",
+                human_time(min),
+                human_time(median),
+                human_time(max)
+            ),
+            None => println!(
+                "{full_name:<55} time: [{} {} {}]",
+                human_time(min),
+                human_time(median),
+                human_time(max)
+            ),
+        }
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"benchmark\":\"{full_name}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters_per_sample\":{iters},\"samples\":{sample_size}}}",
+                    median * 1e9, min * 1e9, max * 1e9
+                );
+            }
+        }
+    }
+}
+
+fn human_time(seconds: f64) -> String {
+    let nanos = seconds * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn human_bytes(bytes_per_sec: f64) -> String {
+    if bytes_per_sec < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes_per_sec / 1024.0)
+    } else if bytes_per_sec < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} MiB", bytes_per_sec / (1024.0 * 1024.0))
+    } else {
+        format!("{:.3} GiB", bytes_per_sec / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn config(&self) -> (usize, Duration, Duration) {
+        (
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+        )
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full_name = format!("{}/{}", self.name, id.into().render());
+        self.criterion.run_one(&full_name, self.config(), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id.render());
+        self.criterion.run_one(&full_name, self.config(), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..1024u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("vec", 64), &64usize, |b, &n| {
+            b.iter(|| vec![0u8; n])
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Strategy`] trait and combinators: `prop_map`, boxing, unions,
+//! tuples, integer ranges, and simple `[class]{m,n}` string patterns.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a strategy
+/// simply draws a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let raw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + raw as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let raw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + raw as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident/$idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / 0);
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// `&str` patterns of the form `[chars]{m,n}` (or `{n}`) act as string
+/// strategies, covering the character-class regexes used by this workspace.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + (rng.below((max - min + 1) as u64)) as usize;
+        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[a-zA-Z0-9_=-]{1,12}`-style patterns into (alphabet, min, max).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = rest.find(']')?;
+    let class = &rest[..class_end];
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    let quant = rest[class_end + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match quant.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_parses_ranges_and_literals() {
+        let (alphabet, min, max) = parse_class_pattern("[a-cXY_=-]{2,5}").unwrap();
+        let set: String = alphabet.iter().collect();
+        assert_eq!(set, "abcXY_=-");
+        assert_eq!((min, max), (2, 5));
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut rng = TestRng::for_test("strings");
+        let strategy = "[a-z0-9]{1,12}";
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng);
+            assert!((1..=12).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let union =
+            Union::new(vec![(9, Strategy::boxed(Just(true))), (1, Strategy::boxed(Just(false)))]);
+        let mut rng = TestRng::for_test("weights");
+        let trues = (0..1000).filter(|_| union.generate(&mut rng)).count();
+        assert!(trues > 800, "{trues}");
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let strategy = (0u8..10, "[ab]{1,2}").prop_map(|(n, s)| format!("{n}{s}"));
+        let mut rng = TestRng::for_test("compose");
+        let value = strategy.generate(&mut rng);
+        assert!(value.len() >= 2);
+    }
+}
