@@ -317,6 +317,56 @@ impl EntryEnclave {
         Ok(())
     }
 
+    /// `ec_event`: protects a server-initiated watch notification for the
+    /// client. The encrypted znode path stored by the untrusted service is
+    /// rewritten to plaintext inside the enclave (when it decrypts — paths
+    /// not produced by an entry enclave pass through unchanged), then the
+    /// whole frame is sealed with the session's transport key so the
+    /// notification travels the same protected channel as responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkError`] when the notification cannot be parsed.
+    pub fn seal_event(&self, buffer: &mut Vec<u8>) -> Result<(), SkError> {
+        let input_len = buffer.len();
+        let result = self.enclave.ecall(input_len, input_len + 64, || {
+            self.seal_event_trusted(buffer)
+                .map_err(|err| sgx_sim::SgxError::EnclaveFault { message: err.to_string() })
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(sgx_sim::SgxError::EnclaveFault { message }) => {
+                Err(SkError::Malformed { reason: message })
+            }
+            Err(other) => Err(other.into()),
+        }
+    }
+
+    fn seal_event_trusted(&self, buffer: &mut Vec<u8>) -> Result<(), SkError> {
+        use jute::records::WatcherEvent;
+
+        let model = self.enclave.cost_model().clone();
+        let mut input = jute::InputArchive::new(buffer);
+        let header = ReplyHeader::deserialize(&mut input)?;
+        let mut event = WatcherEvent::deserialize(&mut input)?;
+        input.expect_exhausted()?;
+
+        self.enclave
+            .charge_ns(model.aes_gcm_ns(event.path.len()) + model.base64_ns(event.path.len()));
+        if let Ok(plaintext) = self.path_cipher.decrypt_path(&event.path) {
+            event.path = plaintext;
+        }
+
+        let mut out = jute::OutputArchive::with_capacity(32 + event.path.len());
+        header.serialize(&mut out);
+        event.serialize(&mut out);
+        let mut plain = out.into_bytes();
+        self.enclave.charge_ns(model.aes_gcm_ns(plain.len()));
+        self.transport.seal_in_place(&mut plain);
+        *buffer = plain;
+        Ok(())
+    }
+
     fn decrypt_response_fields(
         &self,
         pending: &PendingRequest,

@@ -148,9 +148,32 @@ impl SecureKeeperInterceptor {
 }
 
 impl RequestInterceptor for SecureKeeperInterceptor {
+    fn on_session_established(&self, session_id: i64, handshake: &[u8]) -> Result<(), ZkError> {
+        // Over the TCP transport the handshake blob carries the session key
+        // the client negotiated with the enclave (standing in for the
+        // attested key exchange of the paper); an empty blob means the
+        // connection is a plaintext one and gets no enclave.
+        if handshake.is_empty() {
+            return Err(ZkError::Marshalling {
+                reason: "SecureKeeper connections require a session-key handshake".into(),
+            });
+        }
+        let key_bytes: [u8; 16] = handshake.try_into().map_err(|_| ZkError::Marshalling {
+            reason: format!("handshake blob must be 16 bytes, got {}", handshake.len()),
+        })?;
+        let session_key = SessionKey(zkcrypto::keys::Key128::from_bytes(key_bytes));
+        self.register_session(session_id, &session_key)
+            .map_err(|err| ZkError::Marshalling { reason: err.to_string() })
+    }
+
     fn on_request(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
         let enclave = self.enclave_for(session_id)?;
         enclave.process_request(buffer).map_err(ZkError::from)
+    }
+
+    fn on_event(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        let enclave = self.enclave_for(session_id)?;
+        enclave.seal_event(buffer).map_err(ZkError::from)
     }
 
     fn on_response(
@@ -260,6 +283,29 @@ impl SecureKeeperHandles {
             .ok_or_else(|| SkError::Enclave { reason: format!("unknown replica {replica}") })?;
         interceptor.register_session(session_id, session_key)
     }
+}
+
+/// Builds a single SecureKeeper-hardened replica for the networked transport
+/// ([`zkserver::net::ZkTcpServer`]): entry-enclave interceptor, counter-enclave
+/// namer, and a monotonic clock so session expiry follows wall-clock time.
+///
+/// Returns the replica plus handles to the per-replica enclaves (for
+/// statistics and key registration).
+pub fn secure_standalone(
+    config: &SecureKeeperConfig,
+) -> (Arc<ZkReplica>, Arc<SecureKeeperInterceptor>, Arc<CounterEnclave>) {
+    let interceptor = Arc::new(SecureKeeperInterceptor::new(config));
+    let counter = Arc::new(
+        CounterEnclave::new(interceptor.epc(), &config.storage_key, config.cost_model.clone())
+            .expect("a fresh EPC always fits one counter enclave"),
+    );
+    let replica = Arc::new(
+        ZkReplica::new(1)
+            .with_interceptor(Arc::clone(&interceptor) as Arc<dyn RequestInterceptor>)
+            .with_namer(Arc::new(SecureKeeperNamer::new(Arc::clone(&counter))))
+            .with_clock(Arc::new(zkserver::session::MonotonicClock::new())),
+    );
+    (replica, interceptor, counter)
 }
 
 /// Builds a SecureKeeper-hardened ensemble of `size` replicas.

@@ -76,5 +76,6 @@ pub use client::SecureKeeperClient;
 pub use counter::CounterEnclave;
 pub use entry::EntryEnclave;
 pub use error::SkError;
-pub use integration::{secure_cluster, SecureKeeperConfig, SecureKeeperHandles};
+pub use integration::{secure_cluster, secure_standalone, SecureKeeperConfig, SecureKeeperHandles};
 pub use path_cache::PathCipherCache;
+pub use transport::{SecureSessionCredentials, SecureWire};

@@ -128,6 +128,51 @@ impl TransportChannel {
     }
 }
 
+/// Client-side frame cipher for the TCP transport: every wire frame is
+/// sealed/opened with the session's [`TransportChannel`], mirroring the entry
+/// enclave on the server.
+#[derive(Debug)]
+pub struct SecureWire {
+    channel: TransportChannel,
+}
+
+impl SecureWire {
+    /// Wraps the client side of a session's transport channel.
+    pub fn new(session_key: &SessionKey) -> Self {
+        SecureWire { channel: TransportChannel::client_side(session_key) }
+    }
+}
+
+impl zkserver::net::WireCipher for SecureWire {
+    fn seal(&self, buffer: &mut Vec<u8>) -> Result<(), zkserver::ZkError> {
+        self.channel.seal_in_place(buffer);
+        Ok(())
+    }
+
+    fn open(&self, buffer: &mut Vec<u8>) -> Result<(), zkserver::ZkError> {
+        self.channel
+            .open_in_place(buffer)
+            .map_err(|err| zkserver::ZkError::Marshalling { reason: err.to_string() })
+    }
+}
+
+/// [`SessionCredentials`] for SecureKeeper connections: each connection
+/// attempt generates a fresh session key; the handshake blob carries the key
+/// to the server-side entry-enclave manager (standing in for the attested key
+/// exchange the client performs against the enclave in the paper).
+///
+/// [`SessionCredentials`]: zkserver::net::SessionCredentials
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SecureSessionCredentials;
+
+impl zkserver::net::SessionCredentials for SecureSessionCredentials {
+    fn establish(&self) -> (Vec<u8>, Box<dyn zkserver::net::WireCipher>) {
+        let session_key = SessionKey::generate();
+        let blob = session_key.key().as_bytes().to_vec();
+        (blob, Box::new(SecureWire::new(&session_key)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

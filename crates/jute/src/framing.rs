@@ -1,10 +1,13 @@
 //! Length-prefixed message framing.
 //!
 //! On the wire every ZooKeeper message is preceded by a 4-byte big-endian
-//! length. The simulated network in this workspace exchanges whole frames, so
-//! framing mostly matters for the transport-encryption layer (which operates
-//! on complete frames) and for computing the message-size overheads reported
-//! in Table 2.
+//! length. [`encode_frame`]/[`decode_frame`] operate on in-memory buffers
+//! (used by the transport-encryption layer and the Table 2 overhead
+//! accounting); [`read_frame`]/[`write_frame`] speak the same format over a
+//! byte stream such as a [`std::net::TcpStream`], tolerating arbitrarily
+//! fragmented reads and writes.
+
+use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
 
@@ -44,6 +47,65 @@ pub fn decode_frame(buffer: &mut BytesMut) -> Result<Option<Vec<u8>>, JuteError>
     buffer.advance(4);
     let body = buffer.split_to(len).to_vec();
     Ok(Some(body))
+}
+
+/// Reads one complete frame from a byte stream.
+///
+/// Short reads are retried until the frame is complete, so the function works
+/// over sockets that deliver data in arbitrary fragments (including a length
+/// prefix split across TCP segments). Returns `Ok(None)` on a clean
+/// end-of-stream at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] when the stream ends inside a
+/// frame and [`io::ErrorKind::InvalidData`] when the length prefix is negative
+/// or exceeds [`MAX_FRAME_LEN`].
+pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    let len = i32::from_be_bytes(prefix);
+    if len < 0 || len as usize > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            JuteError::InvalidLength { what: "frame", length: i64::from(len) }.to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes `body` as one length-prefixed frame, flushing the stream.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] when `body` exceeds
+/// [`MAX_FRAME_LEN`], and propagates transport errors.
+pub fn write_frame<W: Write + ?Sized>(writer: &mut W, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            JuteError::InvalidLength { what: "frame", length: body.len() as i64 }.to_string(),
+        ));
+    }
+    writer.write_all(&(body.len() as i32).to_be_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
 }
 
 /// A streaming frame decoder that accumulates bytes until frames are complete.
@@ -138,5 +200,79 @@ mod tests {
         let framed = encode_frame(b"");
         let mut buffer = BytesMut::from(&framed[..]);
         assert_eq!(decode_frame(&mut buffer).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    /// A reader that hands out at most `chunk` bytes per `read` call,
+    /// exercising the partial-read paths of [`read_frame`].
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_frame_reassembles_byte_at_a_time() {
+        let mut stream = encode_frame(b"split across many reads");
+        stream.extend_from_slice(&encode_frame(b""));
+        let mut reader = Trickle { data: &stream, pos: 0, chunk: 1 };
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"split across many reads");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn read_frame_handles_split_length_prefix() {
+        // 3 bytes per read splits the 4-byte prefix across two reads.
+        let stream = encode_frame(b"abc");
+        let mut reader = Trickle { data: &stream, pos: 0, chunk: 3 };
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn read_frame_rejects_negative_and_oversized_lengths() {
+        for bad in [(-1i32), (MAX_FRAME_LEN as i32) + 1] {
+            let mut reader = &bad.to_be_bytes()[..];
+            let err = read_frame(&mut reader).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn read_frame_reports_truncation_inside_prefix_and_body() {
+        // EOF after 2 of the 4 prefix bytes.
+        let mut reader = &encode_frame(b"xyz")[..2];
+        assert_eq!(read_frame(&mut reader).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        // EOF after the prefix but inside the body.
+        let framed = encode_frame(b"xyz");
+        let mut reader = &framed[..5];
+        assert_eq!(read_frame(&mut reader).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_frame_roundtrips_through_read_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader = &wire[..];
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn write_frame_rejects_oversized_bodies() {
+        let mut wire = Vec::new();
+        let body = vec![0u8; MAX_FRAME_LEN + 1];
+        assert_eq!(write_frame(&mut wire, &body).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        assert!(wire.is_empty(), "nothing was written for a rejected frame");
     }
 }

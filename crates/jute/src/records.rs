@@ -75,11 +75,17 @@ impl OpCode {
     }
 }
 
+/// Transaction id used in reply headers of server-initiated watch
+/// notifications (matches ZooKeeper's `ClientCnxn.NOTIFICATION_XID`).
+pub const NOTIFICATION_XID: i32 = -1;
+
 /// ZooKeeper error codes carried in [`ReplyHeader::err`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
     /// Success.
     Ok,
+    /// The connection to the server was lost.
+    ConnectionLoss,
     /// The requested znode does not exist.
     NoNode,
     /// A znode with that path already exists.
@@ -105,6 +111,7 @@ impl ErrorCode {
     pub fn to_i32(self) -> i32 {
         match self {
             ErrorCode::Ok => 0,
+            ErrorCode::ConnectionLoss => -4,
             ErrorCode::BadArguments => -8,
             ErrorCode::MarshallingError => -5,
             ErrorCode::NoNode => -101,
@@ -121,6 +128,7 @@ impl ErrorCode {
     pub fn from_i32(code: i32) -> Self {
         match code {
             0 => ErrorCode::Ok,
+            -4 => ErrorCode::ConnectionLoss,
             -8 => ErrorCode::BadArguments,
             -5 => ErrorCode::MarshallingError,
             -101 => ErrorCode::NoNode,
@@ -657,6 +665,45 @@ impl GetChildrenRequest {
     }
 }
 
+/// Server-initiated watch notification (ZooKeeper's `WatcherEvent`).
+///
+/// Delivered over the connection as a reply whose header carries
+/// [`NOTIFICATION_XID`] instead of a client transaction id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatcherEvent {
+    /// Event type (1 created, 2 deleted, 3 data changed, 4 children changed).
+    pub event_type: i32,
+    /// Keeper state (3 = SyncConnected, the only state this crate emits).
+    pub state: i32,
+    /// Path of the watched znode (possibly ciphertext under SecureKeeper).
+    pub path: String,
+}
+
+impl WatcherEvent {
+    /// Keeper state for a healthy connection (ZooKeeper's `SyncConnected`).
+    pub const STATE_SYNC_CONNECTED: i32 = 3;
+
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.event_type);
+        out.write_i32(self.state);
+        out.write_string(&self.path);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(WatcherEvent {
+            event_type: input.read_i32("type")?,
+            state: input.read_i32("state")?,
+            path: input.read_string("path")?,
+        })
+    }
+}
+
 /// LS (getChildren) response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GetChildrenResponse {
@@ -716,6 +763,7 @@ mod tests {
     fn error_code_roundtrip() {
         for code in [
             ErrorCode::Ok,
+            ErrorCode::ConnectionLoss,
             ErrorCode::NoNode,
             ErrorCode::NodeExists,
             ErrorCode::NotEmpty,
@@ -784,6 +832,16 @@ mod tests {
             pzxid: 11,
         };
         assert_eq!(roundtrip(&stat, Stat::serialize, Stat::deserialize), stat);
+    }
+
+    #[test]
+    fn watcher_event_roundtrip() {
+        let event = WatcherEvent {
+            event_type: 3,
+            state: WatcherEvent::STATE_SYNC_CONNECTED,
+            path: "/watched".to_string(),
+        };
+        assert_eq!(roundtrip(&event, WatcherEvent::serialize, WatcherEvent::deserialize), event);
     }
 
     #[test]

@@ -113,4 +113,38 @@ proptest! {
         let _ = Request::from_bytes(&bytes);
         let _ = Response::from_bytes(&bytes, OpCode::GetData);
     }
+
+    #[test]
+    fn stream_framing_roundtrip_with_fragmented_reads(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..10),
+        chunk in 1usize..16,
+    ) {
+        // write_frame → read_frame round-trips regardless of how the reader
+        // fragments the stream (including length prefixes split mid-word).
+        let mut wire = Vec::new();
+        for body in &bodies {
+            jute::framing::write_frame(&mut wire, body).unwrap();
+        }
+        struct Trickle { data: Vec<u8>, pos: usize, chunk: usize }
+        impl std::io::Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut reader = Trickle { data: wire, pos: 0, chunk };
+        let mut decoded = Vec::new();
+        while let Some(frame) = jute::framing::read_frame(&mut reader).unwrap() {
+            decoded.push(frame);
+        }
+        prop_assert_eq!(decoded, bodies);
+    }
+
+    #[test]
+    fn read_frame_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut reader = &bytes[..];
+        let _ = jute::framing::read_frame(&mut reader);
+    }
 }

@@ -16,6 +16,9 @@
 //! * [`measured`] — drives the *real* in-process clusters (vanilla,
 //!   TLS-emulated and SecureKeeper) and measures wall-clock throughput, used
 //!   to validate the relative overheads of the analytic model;
+//! * [`netdriver`] — drives N *real TCP connections* against a live
+//!   [`zkserver::net::ZkTcpServer`], measuring actual connection concurrency
+//!   (the networked variant of the Figure 6 client-scaling experiment);
 //! * [`faults`] — the fault-tolerance timeline of Figure 12;
 //! * [`memtrace`] — the memory-usage-over-time trace of Figure 2;
 //! * [`report`] — the overhead table (Table 1), the message-size analysis
@@ -31,6 +34,7 @@ pub mod generator;
 pub mod measured;
 pub mod memtrace;
 pub mod metrics;
+pub mod netdriver;
 pub mod report;
 pub mod variant;
 pub mod ycsb;

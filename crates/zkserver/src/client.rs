@@ -1,27 +1,36 @@
-//! A typed client handle over a [`ZkCluster`].
+//! Typed client handles: [`ZkClient`] over an in-process [`ZkCluster`] and
+//! the blocking socket client [`ZkTcpClient`] over a [`crate::net::ZkTcpServer`].
 //!
-//! The client mirrors the convenience API of ZooKeeper's Java client: typed
+//! Both mirror the convenience API of ZooKeeper's Java client: typed
 //! `create`/`get_data`/`set_data`/`delete`/`get_children`/`exists` methods,
-//! one-shot watches, and reconnection to another replica after a connection
-//! loss. The examples and the benchmark harness both drive the service
-//! through this interface, and the SecureKeeper crate provides a drop-in
-//! equivalent whose traffic is transport-encrypted.
+//! one-shot watches, and reconnection after a connection loss. The examples
+//! and the benchmark harness both drive the service through this interface,
+//! and the SecureKeeper crate provides drop-in equivalents whose traffic is
+//! transport-encrypted.
 
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use jute::framing::{self, FrameDecoder};
 use jute::records::{
-    CreateMode, CreateRequest, DeleteRequest, ExistsRequest, GetChildrenRequest, GetDataRequest,
-    SetDataRequest, Stat,
+    ConnectRequest, ConnectResponse, CreateMode, CreateRequest, DeleteRequest, ErrorCode,
+    ExistsRequest, GetChildrenRequest, GetDataRequest, ReplyHeader, RequestHeader, SetDataRequest,
+    Stat, WatcherEvent, NOTIFICATION_XID,
 };
-use jute::{Request, Response};
+use jute::{InputArchive, OutputArchive, Request, Response};
 use zab::NodeId;
 
 use crate::cluster::ZkCluster;
 use crate::error::ZkError;
+use crate::net::{PlainCredentials, SessionCredentials, WireCipher};
 use crate::ops::error_from_code;
-use crate::watch::WatchEvent;
+use crate::server::DEFAULT_SESSION_TIMEOUT_MS;
+use crate::watch::{WatchEvent, WatchEventKind};
 
 /// A shared handle to an in-process cluster.
 pub type SharedCluster = Arc<Mutex<ZkCluster>>;
@@ -190,6 +199,405 @@ impl ZkClient {
     pub fn close(self) {
         self.cluster.lock().close_session(self.session_id);
     }
+}
+
+/// Callback invoked for every watch notification the server pushes.
+pub type WatchCallback = Box<dyn FnMut(&WatchEvent) + Send>;
+
+/// A blocking client speaking the length-prefixed wire protocol against a
+/// [`crate::net::ZkTcpServer`].
+///
+/// Requests are correlated with responses by xid; server-initiated watch
+/// notifications (reply xid `-1`) can arrive interleaved with responses and
+/// are queued (and handed to the [`WatchCallback`], when one is set) instead
+/// of being confused with them. The client also tracks the highest zxid it
+/// has seen, like the real ZooKeeper client library.
+pub struct ZkTcpClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    credentials: Arc<dyn SessionCredentials>,
+    cipher: Box<dyn WireCipher>,
+    session_id: i64,
+    negotiated_timeout_ms: i32,
+    next_xid: i32,
+    last_zxid: i64,
+    pending_events: VecDeque<WatchEvent>,
+    watch_callback: Option<WatchCallback>,
+}
+
+impl std::fmt::Debug for ZkTcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkTcpClient")
+            .field("addr", &self.addr)
+            .field("session_id", &self.session_id)
+            .field("last_zxid", &self.last_zxid)
+            .finish()
+    }
+}
+
+impl ZkTcpClient {
+    /// Connects a plaintext (vanilla ZooKeeper) session to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable or
+    /// the handshake fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ZkError> {
+        Self::connect_with(addr, Arc::new(PlainCredentials), DEFAULT_SESSION_TIMEOUT_MS)
+    }
+
+    /// Connects with explicit [`SessionCredentials`] (SecureKeeper's generate
+    /// a fresh session key whose blob the entry-enclave manager consumes) and
+    /// a requested session timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable or
+    /// the handshake fails.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        credentials: Arc<dyn SessionCredentials>,
+        timeout_ms: i64,
+    ) -> Result<Self, ZkError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ZkError::ConnectionLoss { reason: "no address to connect to".into() })?;
+        let (stream, cipher, response) = Self::handshake(addr, credentials.as_ref(), timeout_ms)?;
+        Ok(ZkTcpClient {
+            stream,
+            addr,
+            credentials,
+            cipher,
+            session_id: response.session_id,
+            negotiated_timeout_ms: response.timeout_ms,
+            next_xid: 1,
+            last_zxid: 0,
+            pending_events: VecDeque::new(),
+            watch_callback: None,
+        })
+    }
+
+    fn handshake(
+        addr: SocketAddr,
+        credentials: &dyn SessionCredentials,
+        timeout_ms: i64,
+    ) -> Result<(TcpStream, Box<dyn WireCipher>, ConnectResponse), ZkError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let (blob, cipher) = credentials.establish();
+        let request = ConnectRequest {
+            protocol_version: 0,
+            last_zxid_seen: 0,
+            timeout_ms: timeout_ms as i32,
+            session_id: 0,
+            password: blob,
+        };
+        let mut out = OutputArchive::with_capacity(64);
+        request.serialize(&mut out);
+        framing::write_frame(&mut stream, &out.into_bytes())?;
+        let frame = framing::read_frame(&mut stream)?.ok_or_else(|| ZkError::ConnectionLoss {
+            reason: "server rejected the connection handshake".into(),
+        })?;
+        let mut input = InputArchive::new(&frame);
+        let response = ConnectResponse::deserialize(&mut input)?;
+        input.expect_exhausted()?;
+        Ok((stream, cipher, response))
+    }
+
+    /// The session id granted by the server.
+    pub fn session_id(&self) -> i64 {
+        self.session_id
+    }
+
+    /// The session timeout the server granted, in milliseconds.
+    pub fn negotiated_timeout_ms(&self) -> i32 {
+        self.negotiated_timeout_ms
+    }
+
+    /// The highest zxid observed in any reply header so far.
+    pub fn last_zxid(&self) -> i64 {
+        self.last_zxid
+    }
+
+    /// Installs a callback invoked for every watch notification as it is
+    /// decoded (events are additionally queued for
+    /// [`ZkTcpClient::take_watch_events`]).
+    pub fn set_watch_callback(&mut self, callback: WatchCallback) {
+        self.watch_callback = Some(callback);
+    }
+
+    /// Re-dials the server and establishes a *new* session (fresh credentials,
+    /// fresh session id). Watches and ephemeral znodes of the old session are
+    /// not carried over, matching ZooKeeper's session-expiry semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable.
+    pub fn reconnect(&mut self) -> Result<(), ZkError> {
+        let timeout = i64::from(self.negotiated_timeout_ms);
+        let (stream, cipher, response) =
+            Self::handshake(self.addr, self.credentials.as_ref(), timeout)?;
+        self.stream = stream;
+        self.cipher = cipher;
+        self.session_id = response.session_id;
+        self.negotiated_timeout_ms = response.timeout_ms;
+        self.next_xid = 1;
+        self.last_zxid = 0;
+        self.pending_events.clear();
+        Ok(())
+    }
+
+    /// Sends one request and blocks until its response arrives, queueing any
+    /// watch notifications that arrive in between.
+    fn call(&mut self, request: &Request) -> Result<Response, ZkError> {
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        let op = request.op();
+        let mut bytes = request.to_bytes(&RequestHeader { xid, op });
+        self.cipher.seal(&mut bytes)?;
+        framing::write_frame(&mut self.stream, &bytes)?;
+        loop {
+            let mut frame = framing::read_frame(&mut self.stream)?.ok_or_else(|| {
+                ZkError::ConnectionLoss { reason: "server closed the connection".into() }
+            })?;
+            self.cipher.open(&mut frame)?;
+            if peek_xid(&frame)? == NOTIFICATION_XID {
+                self.decode_event(&frame)?;
+                continue;
+            }
+            let (header, response) = Response::from_bytes(&frame, op)?;
+            if header.xid != xid {
+                return Err(ZkError::Marshalling {
+                    reason: format!("response xid {} does not match request xid {xid}", header.xid),
+                });
+            }
+            self.observe_zxid(header.zxid);
+            return Ok(response);
+        }
+    }
+
+    fn observe_zxid(&mut self, zxid: i64) {
+        if zxid > self.last_zxid {
+            self.last_zxid = zxid;
+        }
+    }
+
+    fn decode_event(&mut self, frame: &[u8]) -> Result<(), ZkError> {
+        let mut input = InputArchive::new(frame);
+        let header = ReplyHeader::deserialize(&mut input)?;
+        let wire = WatcherEvent::deserialize(&mut input)?;
+        input.expect_exhausted()?;
+        self.observe_zxid(header.zxid);
+        let kind = WatchEventKind::from_wire(wire.event_type).ok_or_else(|| {
+            ZkError::Marshalling { reason: format!("unknown watch event type {}", wire.event_type) }
+        })?;
+        let event = WatchEvent { path: wire.path, kind, session_id: self.session_id };
+        if let Some(callback) = &mut self.watch_callback {
+            callback(&event);
+        }
+        self.pending_events.push_back(event);
+        Ok(())
+    }
+
+    /// Drains the watch notifications received so far without touching the
+    /// socket. Combine with [`ZkTcpClient::poll_events`] to wait for new ones.
+    pub fn take_watch_events(&mut self) -> Vec<WatchEvent> {
+        self.pending_events.drain(..).collect()
+    }
+
+    /// Waits up to `wait` for watch notifications and drains every event
+    /// received so far (including previously queued ones). Returns as soon as
+    /// at least one event is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] on socket failures and
+    /// [`ZkError::Marshalling`] if a non-notification frame arrives (which
+    /// would mean the stream is out of sync — no request is outstanding).
+    pub fn poll_events(&mut self, wait: Duration) -> Result<Vec<WatchEvent>, ZkError> {
+        if !self.pending_events.is_empty() {
+            return Ok(self.take_watch_events());
+        }
+        let deadline = Instant::now() + wait;
+        // Once a frame has started arriving we keep reading past the deadline
+        // (bounded by a grace period) so a partially received frame never
+        // desynchronizes the stream.
+        let grace = deadline + Duration::from_secs(5);
+        let mut decoder = FrameDecoder::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let now = Instant::now();
+            if (decoder.pending_bytes() == 0 && now >= deadline) || now >= grace {
+                break;
+            }
+            let budget = if decoder.pending_bytes() == 0 { deadline } else { grace };
+            let remaining = budget.saturating_duration_since(now).max(Duration::from_millis(1));
+            self.stream.set_read_timeout(Some(remaining))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    decoder.feed(&chunk[..n]);
+                    let frames = decoder.frames().map_err(ZkError::from)?;
+                    for mut frame in frames {
+                        self.cipher.open(&mut frame)?;
+                        if peek_xid(&frame)? != NOTIFICATION_XID {
+                            self.stream.set_read_timeout(None)?;
+                            return Err(ZkError::Marshalling {
+                                reason: "unsolicited non-notification frame".into(),
+                            });
+                        }
+                        self.decode_event(&frame)?;
+                    }
+                    if decoder.pending_bytes() == 0 && !self.pending_events.is_empty() {
+                        break;
+                    }
+                }
+                Err(err)
+                    if err.kind() == std::io::ErrorKind::WouldBlock
+                        || err.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(err) => {
+                    let _ = self.stream.set_read_timeout(None);
+                    return Err(err.into());
+                }
+            }
+        }
+        self.stream.set_read_timeout(None)?;
+        if decoder.pending_bytes() > 0 {
+            return Err(ZkError::ConnectionLoss {
+                reason: "stream ended inside a notification frame".into(),
+            });
+        }
+        Ok(self.take_watch_events())
+    }
+
+    /// Creates a znode and returns its actual path (with the sequence suffix
+    /// for sequential modes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error (`NodeExists`, `NoNode` for a missing
+    /// parent, connection loss, ...).
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        mode: CreateMode,
+    ) -> Result<String, ZkError> {
+        let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
+        match self.call(&request)? {
+            Response::Create(create) => Ok(create.path),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Reads a znode's payload and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] if the path does not exist.
+    pub fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
+        let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::GetData(get) => Ok((get.data, get.stat)),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Overwrites a znode's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::BadVersion`] when `version` does not match, or
+    /// [`ZkError::NoNode`] if the path does not exist.
+    pub fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
+        let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
+        match self.call(&request)? {
+            Response::SetData(set) => Ok(set.stat),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Deletes a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NotEmpty`] when the node still has children,
+    /// [`ZkError::BadVersion`] on a version mismatch, or [`ZkError::NoNode`].
+    pub fn delete(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
+        match self.call(&request)? {
+            Response::Delete => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Lists the children of a znode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] if the path does not exist.
+    pub fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
+        let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::GetChildren(ls) => Ok(ls.children),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Checks whether a znode exists, returning its metadata if it does.
+    ///
+    /// # Errors
+    ///
+    /// Only connection-level failures produce errors; a missing node yields
+    /// `Ok(None)`.
+    pub fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
+        match self.call(&request)? {
+            Response::Exists(exists) => Ok(Some(exists.stat)),
+            Response::Error(ErrorCode::NoNode) => Ok(None),
+            Response::Error(code) => Err(error_from_code(code, path)),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Sends a keep-alive ping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::SessionExpired`] when the session is gone.
+    pub fn ping(&mut self) -> Result<(), ZkError> {
+        match self.call(&Request::Ping)? {
+            Response::Ping => Ok(()),
+            Response::Error(code) => Err(error_from_code(code, "/")),
+            other => Err(unexpected_response(other)),
+        }
+    }
+
+    /// Closes the session gracefully; the server removes its ephemeral znodes
+    /// immediately instead of waiting for the session timeout.
+    pub fn close(mut self) {
+        let _ = self.call(&Request::CloseSession);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn unexpected_response(response: Response) -> ZkError {
+    ZkError::Marshalling { reason: format!("unexpected response {response:?}") }
+}
+
+/// Reads the xid out of a reply header without consuming the frame.
+fn peek_xid(frame: &[u8]) -> Result<i32, ZkError> {
+    let prefix: [u8; 4] = frame
+        .get(..4)
+        .and_then(|slice| slice.try_into().ok())
+        .ok_or_else(|| ZkError::Marshalling { reason: "reply frame shorter than an xid".into() })?;
+    Ok(i32::from_be_bytes(prefix))
 }
 
 #[cfg(test)]

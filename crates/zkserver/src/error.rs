@@ -54,6 +54,11 @@ pub enum ZkError {
     },
     /// The cluster has lost its quorum and cannot process writes.
     NoQuorum,
+    /// The connection to the server was lost (networked transport).
+    ConnectionLoss {
+        /// Explanation of what happened.
+        reason: String,
+    },
 }
 
 impl ZkError {
@@ -69,6 +74,7 @@ impl ZkError {
             ZkError::SessionExpired { .. } => ErrorCode::SessionExpired,
             ZkError::Marshalling { .. } => ErrorCode::MarshallingError,
             ZkError::NoQuorum => ErrorCode::MarshallingError,
+            ZkError::ConnectionLoss { .. } => ErrorCode::ConnectionLoss,
         }
     }
 }
@@ -89,6 +95,7 @@ impl fmt::Display for ZkError {
             ZkError::SessionExpired { session_id } => write!(f, "session {session_id} expired"),
             ZkError::Marshalling { reason } => write!(f, "marshalling error: {reason}"),
             ZkError::NoQuorum => write!(f, "cluster has no quorum"),
+            ZkError::ConnectionLoss { reason } => write!(f, "connection lost: {reason}"),
         }
     }
 }
@@ -98,6 +105,12 @@ impl Error for ZkError {}
 impl From<jute::JuteError> for ZkError {
     fn from(err: jute::JuteError) -> Self {
         ZkError::Marshalling { reason: err.to_string() }
+    }
+}
+
+impl From<std::io::Error> for ZkError {
+    fn from(err: std::io::Error) -> Self {
+        ZkError::ConnectionLoss { reason: err.to_string() }
     }
 }
 

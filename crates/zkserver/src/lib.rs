@@ -20,8 +20,12 @@
 //! * [`server::ZkReplica`] — a single replica (standalone mode);
 //! * [`cluster::ZkCluster`] — a ZAB-replicated ensemble with crash injection
 //!   and leader failover;
+//! * [`net::ZkTcpServer`] — the real TCP wire transport: length-prefixed
+//!   jute frames, concurrent connections, single-writer ordering;
 //! * [`client::ZkClient`] — a typed client handle used by the examples and
-//!   the benchmark harness.
+//!   the benchmark harness;
+//! * [`client::ZkTcpClient`] — the blocking socket client matching
+//!   [`net::ZkTcpServer`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@
 pub mod client;
 pub mod cluster;
 pub mod error;
+pub mod net;
 pub mod ops;
 pub mod pipeline;
 pub mod server;
@@ -36,8 +41,9 @@ pub mod session;
 pub mod tree;
 pub mod watch;
 
-pub use client::ZkClient;
+pub use client::{ZkClient, ZkTcpClient};
 pub use cluster::ZkCluster;
 pub use error::ZkError;
+pub use net::ZkTcpServer;
 pub use server::ZkReplica;
 pub use tree::{DataTree, Znode};

@@ -1,0 +1,505 @@
+//! The TCP wire transport.
+//!
+//! SecureKeeper's deployment is a *networked* service: clients speak the
+//! length-prefixed ZooKeeper wire protocol over TCP, and the entry enclave
+//! intercepts serialized buffers on the connection path (paper §5.1). This
+//! module provides that transport on `std::net` and OS threads:
+//!
+//! * each accepted connection performs the `ConnectRequest` handshake and
+//!   then runs a per-connection thread; the handshake blob (the request's
+//!   `password` field) is handed to the replica's interceptor via
+//!   [`RequestInterceptor::on_session_established`], which is where
+//!   SecureKeeper installs the per-session transport key in an entry enclave;
+//! * reads execute concurrently on the connection threads against the
+//!   replica's reader-writer-locked tree;
+//! * writes funnel through a single-writer ordered queue (an [`mpsc`]
+//!   channel drained by one thread), so zxid order on the wire always matches
+//!   apply order;
+//! * a background ticker drives session expiry from the replica's clock and
+//!   fans fired watch notifications back out over the live connections as
+//!   [`WatcherEvent`] frames (reply header xid [`NOTIFICATION_XID`]).
+//!
+//! [`RequestInterceptor`]: crate::pipeline::RequestInterceptor
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use jute::framing;
+use jute::records::{ConnectRequest, ErrorCode, ReplyHeader, WatcherEvent, NOTIFICATION_XID};
+use jute::{InputArchive, OutputArchive, Request};
+
+use crate::error::ZkError;
+use crate::server::{ZkReplica, DEFAULT_SESSION_TIMEOUT_MS};
+use crate::watch::WatchEvent;
+
+/// Encrypts and decrypts whole wire frames (one endpoint of the per-session
+/// secure channel). The server side lives inside the interceptor; clients
+/// hold an implementation of this trait. [`PlainWire`] is the identity
+/// cipher used against vanilla replicas.
+pub trait WireCipher: Send {
+    /// Protects an outgoing frame in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::Marshalling`] when the frame cannot be sealed.
+    fn seal(&self, buffer: &mut Vec<u8>) -> Result<(), ZkError>;
+
+    /// Verifies and strips the protection of an incoming frame in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::Marshalling`] when the frame was tampered with,
+    /// replayed, or reordered.
+    fn open(&self, buffer: &mut Vec<u8>) -> Result<(), ZkError>;
+}
+
+/// The identity cipher: frames travel in plaintext (vanilla ZooKeeper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainWire;
+
+impl WireCipher for PlainWire {
+    fn seal(&self, _buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        Ok(())
+    }
+
+    fn open(&self, _buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        Ok(())
+    }
+}
+
+/// Produces the per-session handshake material for a new connection: the
+/// opaque blob carried in `ConnectRequest.password` (which the server-side
+/// interceptor consumes in `on_session_established`) and the client's frame
+/// cipher. SecureKeeper's implementation generates a fresh session key per
+/// connection; [`PlainCredentials`] yields an empty blob and [`PlainWire`].
+pub trait SessionCredentials: Send + Sync {
+    /// Generates fresh handshake material for one connection attempt.
+    fn establish(&self) -> (Vec<u8>, Box<dyn WireCipher>);
+}
+
+/// Credentials for a vanilla (non-encrypted) session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainCredentials;
+
+impl SessionCredentials for PlainCredentials {
+    fn establish(&self) -> (Vec<u8>, Box<dyn WireCipher>) {
+        (Vec::new(), Box::new(PlainWire))
+    }
+}
+
+/// Configuration of a [`ZkTcpServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Upper bound on the session timeout granted to clients, in ms.
+    pub max_session_timeout_ms: i64,
+    /// Interval of the background expiry/fan-out ticker.
+    pub tick_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_session_timeout_ms: DEFAULT_SESSION_TIMEOUT_MS,
+            tick_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A write queued for the single-writer thread, with the channel its
+/// response travels back on.
+struct WriteJob {
+    session_id: i64,
+    request: Request,
+    reply: Sender<(jute::Response, i64)>,
+}
+
+/// Per-connection server state shared between the connection's own thread
+/// and the threads that push watch notifications to it.
+struct Connection {
+    session_id: i64,
+    stream: TcpStream,
+    /// Serializes seal-and-write pairs so the interceptor's per-session
+    /// frame counters always match the byte order on the socket.
+    write_lock: Mutex<()>,
+}
+
+impl Connection {
+    /// Seals `frame` through `seal` and writes it, atomically with respect to
+    /// other frames sent to this connection.
+    fn send(
+        &self,
+        seal: impl FnOnce(&mut Vec<u8>) -> Result<(), ZkError>,
+        mut frame: Vec<u8>,
+    ) -> Result<(), ZkError> {
+        let _guard = self.write_lock.lock();
+        seal(&mut frame)?;
+        framing::write_frame(&mut &self.stream, &frame)?;
+        Ok(())
+    }
+}
+
+/// State shared by the accept loop, connection threads, writer and ticker.
+struct Shared {
+    replica: Arc<ZkReplica>,
+    config: NetConfig,
+    connections: Mutex<HashMap<i64, Arc<Connection>>>,
+    /// Every accepted socket, registered *before* the handshake and removed
+    /// when its connection thread exits. Shutdown closes these, so a client
+    /// that stalls mid-handshake (never in `connections`) cannot wedge
+    /// [`ZkTcpServer::shutdown`] on a blocking read.
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+    next_socket_token: AtomicU64,
+    running: AtomicBool,
+}
+
+impl Shared {
+    /// Drains fired watch events from the replica and pushes each to the
+    /// connection of the session that registered the watch. Events for
+    /// sessions without a live connection are dropped, as in ZooKeeper.
+    fn fan_out_watch_events(&self) {
+        let events = self.replica.take_all_watch_events();
+        if events.is_empty() {
+            return;
+        }
+        let interceptor = self.replica.interceptor();
+        let zxid = self.replica.last_zxid();
+        for event in events {
+            let conn = self.connections.lock().get(&event.session_id).cloned();
+            let Some(conn) = conn else { continue };
+            let frame = encode_watch_event(&event, zxid);
+            let session_id = event.session_id;
+            let _ = conn.send(|buffer| interceptor.on_event(session_id, buffer), frame);
+        }
+    }
+
+    fn drop_connection(&self, session_id: i64) {
+        if let Some(conn) = self.connections.lock().remove(&session_id) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Serializes a watch notification as a reply frame with
+/// [`NOTIFICATION_XID`] in the header, the format real ZooKeeper uses.
+fn encode_watch_event(event: &WatchEvent, zxid: i64) -> Vec<u8> {
+    let mut out = OutputArchive::with_capacity(32 + event.path.len());
+    ReplyHeader { xid: NOTIFICATION_XID, zxid, err: ErrorCode::Ok }.serialize(&mut out);
+    WatcherEvent {
+        event_type: event.kind.to_wire(),
+        state: WatcherEvent::STATE_SYNC_CONNECTED,
+        path: event.path.clone(),
+    }
+    .serialize(&mut out);
+    out.into_bytes()
+}
+
+/// A ZooKeeper replica listening on a real TCP socket.
+///
+/// Dropping the server shuts it down: the listener and every connection are
+/// closed and all threads are joined.
+pub struct ZkTcpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ZkTcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkTcpServer")
+            .field("local_addr", &self.local_addr)
+            .field("connections", &self.connection_count())
+            .finish()
+    }
+}
+
+impl ZkTcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `replica`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(addr: impl ToSocketAddrs, replica: Arc<ZkReplica>) -> io::Result<Self> {
+        Self::bind_with_config(addr, replica, NetConfig::default())
+    }
+
+    /// Binds with an explicit [`NetConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: NetConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            replica,
+            config,
+            connections: Mutex::new(HashMap::new()),
+            sockets: Mutex::new(HashMap::new()),
+            next_socket_token: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+        });
+        let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut threads = Vec::new();
+        threads.push({
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || writer_loop(&shared, &write_rx))
+        });
+        threads.push({
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || ticker_loop(&shared))
+        });
+        threads.push({
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &write_tx, &conn_threads))
+        });
+
+        Ok(ZkTcpServer { shared, local_addr, threads, conn_threads })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The replica served by this transport.
+    pub fn replica(&self) -> Arc<ZkReplica> {
+        Arc::clone(&self.shared.replica)
+    }
+
+    /// Number of live client connections.
+    pub fn connection_count(&self) -> usize {
+        self.shared.connections.lock().len()
+    }
+
+    /// Stops accepting, closes every connection and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.shared.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Close every accepted socket, including ones still mid-handshake,
+        // so no connection thread stays blocked in a read.
+        for socket in self.shared.sockets.lock().values() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.conn_threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ZkTcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts connections until the server shuts down, spawning one thread per
+/// connection. The writer-queue sender is cloned into each thread; the writer
+/// exits once the last sender (this loop's clone) is gone.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    write_tx: &Sender<WriteJob>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) must not
+                // busy-spin; back off briefly and re-check `running`.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let token = shared.next_socket_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(socket) = stream.try_clone() {
+            shared.sockets.lock().insert(token, socket);
+        }
+        let shared = Arc::clone(shared);
+        let write_tx = write_tx.clone();
+        let handle = std::thread::spawn(move || {
+            connection_loop(&shared, &write_tx, stream);
+            shared.sockets.lock().remove(&token);
+        });
+        // Reap finished connection threads so the handle list tracks live
+        // connections instead of growing with total connection churn.
+        let mut handles = conn_threads.lock();
+        handles.retain(|handle| !handle.is_finished());
+        handles.push(handle);
+    }
+}
+
+/// Applies queued writes one at a time, preserving arrival order, and fans
+/// the watch events fired by each write out to the live connections.
+fn writer_loop(shared: &Shared, write_rx: &Receiver<WriteJob>) {
+    while let Ok(job) = write_rx.recv() {
+        let response = shared.replica.handle_request(job.session_id, &job.request);
+        let zxid = shared.replica.last_zxid();
+        let _ = job.reply.send((response, zxid));
+        shared.fan_out_watch_events();
+    }
+}
+
+/// Expires sessions on the replica's clock, closes their connections, and
+/// delivers the watch events their ephemeral-node cleanup fired.
+fn ticker_loop(shared: &Shared) {
+    while shared.running.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.tick_interval);
+        for session_id in shared.replica.tick() {
+            shared.drop_connection(session_id);
+        }
+        shared.fan_out_watch_events();
+    }
+}
+
+/// Runs one client connection: handshake, then the request loop.
+fn connection_loop(shared: &Shared, write_tx: &Sender<WriteJob>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(reader) = stream.try_clone() else { return };
+    let mut reader = reader;
+    let Some(conn) = handshake(shared, &mut reader, stream) else { return };
+    let session_id = conn.session_id;
+
+    serve_connection(shared, write_tx, &conn, &mut reader);
+
+    shared.drop_connection(session_id);
+    // A connection that ends without CloseSession leaves its session behind
+    // to expire via the ticker — ZooKeeper's disconnection semantics, which
+    // is what keeps ephemeral znodes alive across a client reconnect window.
+}
+
+/// Performs the `ConnectRequest`/`ConnectResponse` exchange and registers the
+/// connection. The handshake travels unencrypted (it carries the key-exchange
+/// blob, not application data), exactly like the attested key exchange that
+/// precedes the secure channel in the paper.
+fn handshake(
+    shared: &Shared,
+    reader: &mut TcpStream,
+    stream: TcpStream,
+) -> Option<Arc<Connection>> {
+    let frame = framing::read_frame(reader).ok()??;
+    let mut input = InputArchive::new(&frame);
+    let connect = ConnectRequest::deserialize(&mut input).ok()?;
+    input.expect_exhausted().ok()?;
+
+    let requested = i64::from(connect.timeout_ms);
+    let timeout_ms = if requested <= 0 {
+        DEFAULT_SESSION_TIMEOUT_MS.min(shared.config.max_session_timeout_ms)
+    } else {
+        requested.min(shared.config.max_session_timeout_ms)
+    };
+    let response = shared.replica.connect(timeout_ms);
+    let session_id = response.session_id;
+
+    let interceptor = shared.replica.interceptor();
+    if interceptor.on_session_established(session_id, &connect.password).is_err() {
+        shared.replica.close_session(session_id);
+        return None;
+    }
+
+    let conn = Arc::new(Connection { session_id, stream, write_lock: Mutex::new(()) });
+    shared.connections.lock().insert(session_id, Arc::clone(&conn));
+
+    let mut out = OutputArchive::with_capacity(64);
+    response.serialize(&mut out);
+    if conn.send(|_| Ok(()), out.into_bytes()).is_err() {
+        shared.drop_connection(session_id);
+        return None;
+    }
+    Some(conn)
+}
+
+/// The per-connection request loop: reads framed requests, routes them
+/// through the interceptor and the replica (reads inline, writes via the
+/// single-writer queue), and sends framed responses back.
+fn serve_connection(
+    shared: &Shared,
+    write_tx: &Sender<WriteJob>,
+    conn: &Arc<Connection>,
+    reader: &mut TcpStream,
+) {
+    let interceptor = shared.replica.interceptor();
+    let session_id = conn.session_id;
+    while let Ok(Some(mut buffer)) = framing::read_frame(reader) {
+        // The interceptor sees the raw bytes first: this is where the entry
+        // enclave terminates the transport encryption and encrypts the
+        // sensitive fields before the untrusted server parses the request.
+        if interceptor.on_request(session_id, &mut buffer).is_err() {
+            break;
+        }
+        let Ok((header, request)) = Request::from_bytes(&buffer) else { break };
+
+        if request == Request::CloseSession {
+            // Seal and send the acknowledgement while the session's enclave
+            // is still alive (closing the session tears it down), then run
+            // the close — ephemeral cleanup is a write — through the ordered
+            // queue before ending the connection.
+            let reply = ReplyHeader {
+                xid: header.xid,
+                zxid: shared.replica.last_zxid(),
+                err: ErrorCode::Ok,
+            };
+            let bytes = jute::Response::CloseSession.to_bytes(&reply);
+            let _ =
+                conn.send(|buffer| interceptor.on_response(session_id, header.op, buffer), bytes);
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_ok() {
+                let _ = reply_rx.recv();
+            }
+            break;
+        }
+
+        let (response, zxid) = if request.op().is_write() {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_err() {
+                break;
+            }
+            match reply_rx.recv() {
+                Ok(result) => result,
+                Err(_) => break,
+            }
+        } else {
+            let response = shared.replica.handle_request(session_id, &request);
+            (response, shared.replica.last_zxid())
+        };
+
+        let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
+        let bytes = response.to_bytes(&reply);
+        let sent =
+            conn.send(|buffer| interceptor.on_response(session_id, header.op, buffer), bytes);
+        if sent.is_err() {
+            break;
+        }
+    }
+}

@@ -189,6 +189,9 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
             ZkError::NoChildrenForEphemerals { path: path.to_string() }
         }
         ErrorCode::SessionExpired => ZkError::SessionExpired { session_id: 0 },
+        ErrorCode::ConnectionLoss => {
+            ZkError::ConnectionLoss { reason: format!("connection lost on {path}") }
+        }
         ErrorCode::AuthFailed => ZkError::Marshalling { reason: "authentication failed".into() },
         ErrorCode::BadArguments => ZkError::BadArguments { reason: path.to_string() },
         ErrorCode::Ok | ErrorCode::MarshallingError => {

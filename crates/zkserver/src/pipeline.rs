@@ -52,6 +52,35 @@ pub trait RequestInterceptor: Send + Sync {
         Ok(())
     }
 
+    /// Called when a new session completes the connection handshake, with the
+    /// opaque handshake blob the client sent in `ConnectRequest.password`.
+    /// SecureKeeper installs the session's transport key in a fresh entry
+    /// enclave here; the default accepts any blob and keeps the session
+    /// unencrypted.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error rejects the connection before any request is
+    /// processed.
+    fn on_session_established(&self, session_id: i64, handshake: &[u8]) -> Result<(), ZkError> {
+        let _ = (session_id, handshake);
+        Ok(())
+    }
+
+    /// Called with a serialized server-initiated watch notification right
+    /// before it is pushed to the client connection. SecureKeeper seals the
+    /// frame with the session's transport key (and rewrites the encrypted
+    /// path back to plaintext) so notifications travel the same protected
+    /// channel as responses.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error drops the notification.
+    fn on_event(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        let _ = (session_id, buffer);
+        Ok(())
+    }
+
     /// Called when a session disconnects, so per-session state (SecureKeeper's
     /// per-client entry enclave) can be torn down.
     fn on_session_closed(&self, session_id: i64) {

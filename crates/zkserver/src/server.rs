@@ -5,8 +5,17 @@
 //! enclave intercepts. In standalone mode the replica orders writes itself;
 //! in cluster mode ([`crate::cluster::ZkCluster`]) writes arrive as committed
 //! ZAB transactions via [`ZkReplica::apply_txn`].
+//!
+//! The replica uses interior mutability throughout so it can be shared
+//! between the threads of the networked transport ([`crate::net`]): reads
+//! take a shared lock on the tree and run concurrently, writes take the
+//! exclusive lock and allocate their zxid inside it, so zxid order always
+//! matches tree-application order.
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use jute::records::{ConnectResponse, OpCode, ReplyHeader, RequestHeader};
 use jute::{Request, Response};
@@ -14,7 +23,7 @@ use jute::{Request, Response};
 use crate::error::ZkError;
 use crate::ops::{self, ApplyContext, DefaultSequentialNamer, SequentialNamer, WriteTxn};
 use crate::pipeline::{PassthroughInterceptor, RequestInterceptor};
-use crate::session::SessionManager;
+use crate::session::{Clock, ManualClock, SessionManager};
 use crate::tree::{split_path, DataTree};
 use crate::watch::{WatchEvent, WatchEventKind, WatchManager};
 
@@ -24,40 +33,46 @@ pub const DEFAULT_SESSION_TIMEOUT_MS: i64 = 30_000;
 /// One ZooKeeper replica.
 pub struct ZkReplica {
     id: u32,
-    tree: DataTree,
-    sessions: SessionManager,
-    watches: WatchManager,
+    tree: RwLock<DataTree>,
+    sessions: Mutex<SessionManager>,
+    watches: Mutex<WatchManager>,
     namer: Arc<dyn SequentialNamer>,
     interceptor: Arc<dyn RequestInterceptor>,
-    clock_ms: i64,
-    last_zxid: i64,
-    watch_events: Vec<WatchEvent>,
+    clock: Arc<dyn Clock>,
+    /// Kept when the replica runs on the default [`ManualClock`] so
+    /// [`ZkReplica::advance_clock`] can drive it (deterministic tests).
+    manual_clock: Option<Arc<ManualClock>>,
+    last_zxid: AtomicI64,
+    watch_events: Mutex<Vec<WatchEvent>>,
 }
 
 impl std::fmt::Debug for ZkReplica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ZkReplica")
             .field("id", &self.id)
-            .field("znodes", &self.tree.node_count())
-            .field("sessions", &self.sessions.count())
-            .field("last_zxid", &self.last_zxid)
+            .field("znodes", &self.tree.read().node_count())
+            .field("sessions", &self.sessions.lock().count())
+            .field("last_zxid", &self.last_zxid())
             .finish()
     }
 }
 
 impl ZkReplica {
-    /// Creates a replica with the default (vanilla ZooKeeper) behaviour.
+    /// Creates a replica with the default (vanilla ZooKeeper) behaviour and a
+    /// manually ticked clock.
     pub fn new(id: u32) -> Self {
+        let manual = Arc::new(ManualClock::new());
         ZkReplica {
             id,
-            tree: DataTree::new(),
-            sessions: SessionManager::new(),
-            watches: WatchManager::new(),
+            tree: RwLock::new(DataTree::new()),
+            sessions: Mutex::new(SessionManager::new()),
+            watches: Mutex::new(WatchManager::new()),
             namer: Arc::new(DefaultSequentialNamer),
             interceptor: Arc::new(PassthroughInterceptor),
-            clock_ms: 0,
-            last_zxid: 0,
-            watch_events: Vec::new(),
+            clock: Arc::clone(&manual) as Arc<dyn Clock>,
+            manual_clock: Some(manual),
+            last_zxid: AtomicI64::new(0),
+            watch_events: Mutex::new(Vec::new()),
         }
     }
 
@@ -73,6 +88,16 @@ impl ZkReplica {
         self
     }
 
+    /// Replaces the session time source. The networked server installs a
+    /// [`crate::session::MonotonicClock`] here so session expiry follows
+    /// wall-clock time; [`ZkReplica::advance_clock`] becomes a no-op for the
+    /// clock (it still runs the expiry sweep).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self.manual_clock = None;
+        self
+    }
+
     /// The replica's id.
     pub fn id(&self) -> u32 {
         self.id
@@ -83,67 +108,80 @@ impl ZkReplica {
         Arc::clone(&self.interceptor)
     }
 
-    /// Read access to the data tree.
-    pub fn tree(&self) -> &DataTree {
-        &self.tree
+    /// Read access to the data tree (holds the tree's shared lock).
+    pub fn tree(&self) -> RwLockReadGuard<'_, DataTree> {
+        self.tree.read()
     }
 
     /// Approximate memory footprint of the replica's database in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.tree.approximate_memory_bytes()
+        self.tree.read().approximate_memory_bytes()
     }
 
-    /// The logical clock in milliseconds.
+    /// The session clock in milliseconds.
     pub fn now_ms(&self) -> i64 {
-        self.clock_ms
+        self.clock.now_ms()
     }
 
-    /// Advances the logical clock and expires timed-out sessions (removing
-    /// their ephemeral znodes).
-    pub fn advance_clock(&mut self, delta_ms: i64) {
-        self.clock_ms += delta_ms;
-        let now = self.clock_ms;
-        for session_id in self.sessions.expire_sessions(now) {
-            self.cleanup_session(session_id);
+    /// Advances the manual clock (when installed) and expires timed-out
+    /// sessions, removing their ephemeral znodes.
+    pub fn advance_clock(&self, delta_ms: i64) {
+        if let Some(manual) = &self.manual_clock {
+            manual.advance(delta_ms);
         }
+        self.tick();
+    }
+
+    /// Runs one session-expiry sweep at the current clock reading and returns
+    /// the ids of the sessions that expired. The networked server calls this
+    /// from its background ticker.
+    pub fn tick(&self) -> Vec<i64> {
+        let now = self.clock.now_ms();
+        let expired = self.sessions.lock().expire_sessions(now);
+        for &session_id in &expired {
+            self.cleanup_session(session_id);
+            self.interceptor.on_session_closed(session_id);
+        }
+        expired
     }
 
     /// The zxid of the most recently applied write.
     pub fn last_zxid(&self) -> i64 {
-        self.last_zxid
+        self.last_zxid.load(Ordering::SeqCst)
     }
 
     /// Number of active sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.count()
+        self.sessions.lock().count()
     }
 
     /// Establishes a new client session.
-    pub fn connect(&mut self, timeout_ms: i64) -> ConnectResponse {
-        let (session_id, password) = self.sessions.create_session(timeout_ms, self.clock_ms);
+    pub fn connect(&self, timeout_ms: i64) -> ConnectResponse {
+        let (session_id, password) =
+            self.sessions.lock().create_session(timeout_ms, self.clock.now_ms());
         ConnectResponse { protocol_version: 0, timeout_ms: timeout_ms as i32, session_id, password }
     }
 
     /// Registers a session under an externally assigned id (cluster mode);
     /// returns the session password.
-    pub fn adopt_session(&mut self, session_id: i64, timeout_ms: i64) -> Vec<u8> {
-        self.sessions.adopt(session_id, timeout_ms, self.clock_ms)
+    pub fn adopt_session(&self, session_id: i64, timeout_ms: i64) -> Vec<u8> {
+        self.sessions.lock().adopt(session_id, timeout_ms, self.clock.now_ms())
     }
 
     /// Closes a session, removing its watches and ephemeral znodes.
-    pub fn close_session(&mut self, session_id: i64) {
-        if self.sessions.close_session(session_id) {
+    pub fn close_session(&self, session_id: i64) {
+        if self.sessions.lock().close_session(session_id) {
             self.cleanup_session(session_id);
         }
         self.interceptor.on_session_closed(session_id);
     }
 
-    fn cleanup_session(&mut self, session_id: i64) {
-        self.watches.remove_session(session_id);
-        for path in self.tree.ephemerals_of(session_id) {
-            self.last_zxid += 1;
-            let zxid = self.last_zxid;
-            if self.tree.delete(&path, -1, zxid).is_ok() {
+    fn cleanup_session(&self, session_id: i64) {
+        self.watches.lock().remove_session(session_id);
+        let mut tree = self.tree.write();
+        for path in tree.ephemerals_of(session_id) {
+            let zxid = self.last_zxid.fetch_add(1, Ordering::SeqCst) + 1;
+            if tree.delete(&path, -1, zxid).is_ok() {
                 self.record_delete_watches(&path);
             }
         }
@@ -152,47 +190,46 @@ impl ZkReplica {
     /// Handles a typed request in standalone mode (the replica orders writes
     /// itself). Returns the response; watch events are queued separately and
     /// retrieved with [`ZkReplica::take_watch_events`].
-    pub fn handle_request(&mut self, session_id: i64, request: &Request) -> Response {
-        if !self.sessions.is_active(session_id) {
-            return Response::Error(ZkError::SessionExpired { session_id }.code());
+    pub fn handle_request(&self, session_id: i64, request: &Request) -> Response {
+        {
+            let mut sessions = self.sessions.lock();
+            if !sessions.is_active(session_id) {
+                return Response::Error(ZkError::SessionExpired { session_id }.code());
+            }
+            sessions.touch(session_id, self.clock.now_ms());
         }
-        self.sessions.touch(session_id, self.clock_ms);
 
         if request.op().is_write() {
             if *request == Request::CloseSession {
                 self.close_session(session_id);
                 return Response::CloseSession;
             }
-            self.last_zxid += 1;
-            let ctx = ApplyContext { zxid: self.last_zxid, time_ms: self.clock_ms, session_id };
-            self.apply_write_with_watches(request, &ctx)
+            // The zxid is allocated while holding the exclusive tree lock, so
+            // concurrent writers always apply in zxid order.
+            let mut tree = self.tree.write();
+            let zxid = self.last_zxid.fetch_add(1, Ordering::SeqCst) + 1;
+            let ctx = ApplyContext { zxid, time_ms: self.clock.now_ms(), session_id };
+            self.apply_write_with_watches(&mut tree, request, &ctx)
         } else {
             self.handle_read(session_id, request)
         }
     }
 
-    fn handle_read(&mut self, session_id: i64, request: &Request) -> Response {
-        // Register watches before reading, as ZooKeeper does.
-        match request {
-            Request::GetData(get) if get.watch => {
-                self.watches.add_data_watch(&get.path, session_id)
-            }
-            Request::Exists(exists) if exists.watch => {
-                self.watches.add_data_watch(&exists.path, session_id)
-            }
-            Request::GetChildren(ls) if ls.watch => {
-                self.watches.add_child_watch(&ls.path, session_id)
-            }
-            _ => {}
-        }
-        match ops::apply_read(&self.tree, request) {
+    fn handle_read(&self, session_id: i64, request: &Request) -> Response {
+        self.handle_read_watch_only(session_id, request);
+        match ops::apply_read(&self.tree.read(), request) {
             Ok(response) => response,
             Err(err) => ops::error_response(&err),
         }
     }
 
-    fn apply_write_with_watches(&mut self, request: &Request, ctx: &ApplyContext) -> Response {
-        let result = ops::apply_write(&mut self.tree, request, ctx, self.namer.as_ref());
+    fn apply_write_with_watches(
+        &self,
+        tree: &mut DataTree,
+        request: &Request,
+        ctx: &ApplyContext,
+    ) -> Response {
+        let result = ops::apply_write(tree, request, ctx, self.namer.as_ref());
         match result {
             Ok(response) => {
                 self.record_write_watches(request, &response);
@@ -202,62 +239,70 @@ impl ZkReplica {
         }
     }
 
-    fn record_write_watches(&mut self, request: &Request, response: &Response) {
+    fn record_write_watches(&self, request: &Request, response: &Response) {
         match (request, response) {
             (Request::Create(_), Response::Create(create)) => {
-                let events = self.watches.trigger_data(&create.path, WatchEventKind::NodeCreated);
-                self.watch_events.extend(events);
+                let events =
+                    self.watches.lock().trigger_data(&create.path, WatchEventKind::NodeCreated);
+                self.watch_events.lock().extend(events);
                 if let Some((parent, _)) = split_path(&create.path) {
-                    let events = self.watches.trigger_children(parent);
-                    self.watch_events.extend(events);
+                    let events = self.watches.lock().trigger_children(parent);
+                    self.watch_events.lock().extend(events);
                 }
             }
             (Request::Delete(delete), Response::Delete) => self.record_delete_watches(&delete.path),
             (Request::SetData(set), Response::SetData(_)) => {
-                let events = self.watches.trigger_data(&set.path, WatchEventKind::NodeDataChanged);
-                self.watch_events.extend(events);
+                let events =
+                    self.watches.lock().trigger_data(&set.path, WatchEventKind::NodeDataChanged);
+                self.watch_events.lock().extend(events);
             }
             _ => {}
         }
     }
 
-    fn record_delete_watches(&mut self, path: &str) {
-        let events = self.watches.trigger_data(path, WatchEventKind::NodeDeleted);
-        self.watch_events.extend(events);
+    fn record_delete_watches(&self, path: &str) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDeleted);
+        self.watch_events.lock().extend(events);
         if let Some((parent, _)) = split_path(path) {
-            let events = self.watches.trigger_children(parent);
-            self.watch_events.extend(events);
+            let events = self.watches.lock().trigger_children(parent);
+            self.watch_events.lock().extend(events);
         }
     }
 
     /// Drains watch notifications queued for `session_id`.
-    pub fn take_watch_events(&mut self, session_id: i64) -> Vec<WatchEvent> {
+    pub fn take_watch_events(&self, session_id: i64) -> Vec<WatchEvent> {
+        let mut queue = self.watch_events.lock();
         let (mine, rest): (Vec<WatchEvent>, Vec<WatchEvent>) =
-            std::mem::take(&mut self.watch_events)
-                .into_iter()
-                .partition(|e| e.session_id == session_id);
-        self.watch_events = rest;
+            std::mem::take(&mut *queue).into_iter().partition(|e| e.session_id == session_id);
+        *queue = rest;
         mine
+    }
+
+    /// Drains every queued watch notification (the networked server fans these
+    /// out to the live connections after each write).
+    pub fn take_all_watch_events(&self) -> Vec<WatchEvent> {
+        std::mem::take(&mut *self.watch_events.lock())
     }
 
     /// Registers read-side watches for cluster mode (where reads are routed
     /// through the cluster but watches live on the connected replica).
-    pub fn register_read_watch(&mut self, session_id: i64, request: &Request) {
-        if self.sessions.is_active(session_id) {
+    pub fn register_read_watch(&self, session_id: i64, request: &Request) {
+        if self.sessions.lock().is_active(session_id) {
             self.handle_read_watch_only(session_id, request);
         }
     }
 
-    fn handle_read_watch_only(&mut self, session_id: i64, request: &Request) {
+    fn handle_read_watch_only(&self, session_id: i64, request: &Request) {
+        // Register watches before reading, as ZooKeeper does.
         match request {
             Request::GetData(get) if get.watch => {
-                self.watches.add_data_watch(&get.path, session_id)
+                self.watches.lock().add_data_watch(&get.path, session_id)
             }
             Request::Exists(exists) if exists.watch => {
-                self.watches.add_data_watch(&exists.path, session_id)
+                self.watches.lock().add_data_watch(&exists.path, session_id)
             }
             Request::GetChildren(ls) if ls.watch => {
-                self.watches.add_child_watch(&ls.path, session_id)
+                self.watches.lock().add_child_watch(&ls.path, session_id)
             }
             _ => {}
         }
@@ -265,20 +310,23 @@ impl ZkReplica {
 
     /// True if the session is active on this replica.
     pub fn has_session(&self, session_id: i64) -> bool {
-        self.sessions.is_active(session_id)
+        self.sessions.lock().is_active(session_id)
     }
 
     /// Touches a session (cluster mode bookkeeping).
-    pub fn touch_session(&mut self, session_id: i64) {
-        self.sessions.touch(session_id, self.clock_ms);
+    pub fn touch_session(&self, session_id: i64) {
+        self.sessions.lock().touch(session_id, self.clock.now_ms());
     }
 
     /// Answers a read directly from the local tree (cluster mode).
-    pub fn serve_read(&mut self, session_id: i64, request: &Request) -> Response {
-        if !self.sessions.is_active(session_id) {
-            return Response::Error(ZkError::SessionExpired { session_id }.code());
+    pub fn serve_read(&self, session_id: i64, request: &Request) -> Response {
+        {
+            let mut sessions = self.sessions.lock();
+            if !sessions.is_active(session_id) {
+                return Response::Error(ZkError::SessionExpired { session_id }.code());
+            }
+            sessions.touch(session_id, self.clock.now_ms());
         }
-        self.sessions.touch(session_id, self.clock_ms);
         self.handle_read(session_id, request)
     }
 
@@ -287,14 +335,15 @@ impl ZkReplica {
     /// Every replica calls this with the same arguments in the same order, so
     /// the trees stay identical. The returned response is only meaningful on
     /// the replica the issuing client is connected to.
-    pub fn apply_txn(&mut self, zxid: i64, txn: &WriteTxn) -> Response {
-        self.last_zxid = zxid;
+    pub fn apply_txn(&self, zxid: i64, txn: &WriteTxn) -> Response {
+        let mut tree = self.tree.write();
+        self.last_zxid.store(zxid, Ordering::SeqCst);
         let (_, request) = match Request::from_bytes(&txn.request_bytes) {
             Ok(parsed) => parsed,
             Err(err) => return ops::error_response(&ZkError::from(err)),
         };
         let ctx = ApplyContext { zxid, time_ms: txn.time_ms, session_id: txn.session_id };
-        self.apply_write_with_watches(&request, &ctx)
+        self.apply_write_with_watches(&mut tree, &request, &ctx)
     }
 
     /// Handles a serialized request buffer exactly as it arrives from the
@@ -309,7 +358,7 @@ impl ZkReplica {
     /// buffer cannot be parsed; operation-level failures are reported in-band
     /// as error responses.
     pub fn handle_serialized_request(
-        &mut self,
+        &self,
         session_id: i64,
         mut buffer: Vec<u8>,
     ) -> Result<Vec<u8>, ZkError> {
@@ -318,7 +367,7 @@ impl ZkReplica {
         let (header, request) = Request::from_bytes(&buffer)?;
         let response = self.handle_request(session_id, &request);
         let reply =
-            ReplyHeader { xid: header.xid, zxid: self.last_zxid, err: response.error_code() };
+            ReplyHeader { xid: header.xid, zxid: self.last_zxid(), err: response.error_code() };
         let mut response_bytes = response.to_bytes(&reply);
         interceptor.on_response(session_id, header.op, &mut response_bytes)?;
         Ok(response_bytes)
@@ -343,13 +392,14 @@ impl ZkReplica {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::MonotonicClock;
     use jute::records::{
         CreateMode, CreateRequest, DeleteRequest, GetChildrenRequest, GetDataRequest,
         SetDataRequest,
     };
 
     fn replica_with_session() -> (ZkReplica, i64) {
-        let mut replica = ZkReplica::new(1);
+        let replica = ZkReplica::new(1);
         let connect = replica.connect(DEFAULT_SESSION_TIMEOUT_MS);
         (replica, connect.session_id)
     }
@@ -360,7 +410,7 @@ mod tests {
 
     #[test]
     fn standalone_write_read_cycle() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         let response = replica.handle_request(session, &create("/app", CreateMode::Persistent));
         assert!(response.is_ok());
         let response = replica.handle_request(
@@ -376,14 +426,14 @@ mod tests {
 
     #[test]
     fn requests_from_unknown_sessions_are_rejected() {
-        let mut replica = ZkReplica::new(1);
+        let replica = ZkReplica::new(1);
         let response = replica.handle_request(999, &Request::Ping);
         assert_eq!(response.error_code(), jute::records::ErrorCode::SessionExpired);
     }
 
     #[test]
     fn close_session_removes_ephemerals_and_watches() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         let other = replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id;
         replica.handle_request(session, &create("/app", CreateMode::Persistent));
         replica.handle_request(session, &create("/app/worker", CreateMode::Ephemeral));
@@ -402,7 +452,7 @@ mod tests {
 
     #[test]
     fn session_expiry_removes_ephemerals() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         replica.handle_request(session, &create("/e", CreateMode::Ephemeral));
         replica.advance_clock(DEFAULT_SESSION_TIMEOUT_MS + 1);
         assert!(!replica.tree().contains("/e"));
@@ -410,8 +460,22 @@ mod tests {
     }
 
     #[test]
+    fn monotonic_clock_expires_sessions_without_manual_ticking() {
+        let replica = ZkReplica::new(1).with_clock(Arc::new(MonotonicClock::new()));
+        let session = replica.connect(1).session_id; // 1 ms timeout
+        replica.handle_request(session, &create("/e", CreateMode::Ephemeral));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let expired = replica.tick();
+        assert_eq!(expired, vec![session]);
+        assert!(!replica.tree().contains("/e"));
+        // advance_clock is harmless without a manual clock: it just sweeps.
+        replica.advance_clock(1_000);
+        assert_eq!(replica.session_count(), 0);
+    }
+
+    #[test]
     fn watches_fire_on_data_change_and_child_change() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         replica.handle_request(session, &create("/app", CreateMode::Persistent));
         replica.handle_request(
             session,
@@ -448,7 +512,7 @@ mod tests {
 
     #[test]
     fn serialized_path_roundtrips_through_interceptor() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         let request = create("/via-bytes", CreateMode::Persistent);
         let bytes = ZkReplica::serialize_request(5, &request);
         let response_bytes = replica.handle_serialized_request(session, bytes).unwrap();
@@ -467,7 +531,7 @@ mod tests {
                 Err(ZkError::Marshalling { reason: "tampered".into() })
             }
         }
-        let mut replica = ZkReplica::new(1).with_interceptor(Arc::new(Reject));
+        let replica = ZkReplica::new(1).with_interceptor(Arc::new(Reject));
         let session = replica.connect(1000).session_id;
         let bytes = ZkReplica::serialize_request(1, &Request::Ping);
         assert!(replica.handle_serialized_request(session, bytes).is_err());
@@ -475,7 +539,7 @@ mod tests {
 
     #[test]
     fn apply_txn_matches_standalone_semantics() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         let request = create("/from-zab", CreateMode::Persistent);
         let txn = WriteTxn {
             session_id: session,
@@ -490,7 +554,7 @@ mod tests {
 
     #[test]
     fn delete_and_error_paths() {
-        let (mut replica, session) = replica_with_session();
+        let (replica, session) = replica_with_session();
         replica.handle_request(session, &create("/a", CreateMode::Persistent));
         let response = replica.handle_request(
             session,
@@ -502,6 +566,48 @@ mod tests {
             &Request::Delete(DeleteRequest { path: "/a".into(), version: -1 }),
         );
         assert!(response.is_ok());
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_keep_zxids_ordered() {
+        let replica = Arc::new(ZkReplica::new(1));
+        replica.handle_request(
+            replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id,
+            &create("/root", CreateMode::Persistent),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let replica = Arc::clone(&replica);
+            handles.push(std::thread::spawn(move || {
+                let session = replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id;
+                let mut last = 0i64;
+                for i in 0..25 {
+                    let response = replica.handle_request(
+                        session,
+                        &create(&format!("/root/t{t}-{i}"), CreateMode::Persistent),
+                    );
+                    assert!(response.is_ok());
+                    let zxid = replica.last_zxid();
+                    assert!(zxid > last, "zxid moved backwards: {zxid} after {last}");
+                    last = zxid;
+                    // Interleave reads, which only take the shared lock.
+                    let read = replica.handle_request(
+                        session,
+                        &Request::GetChildren(GetChildrenRequest {
+                            path: "/root".into(),
+                            watch: false,
+                        }),
+                    );
+                    assert!(read.is_ok());
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // 1 root create + 4 threads × 25 creates.
+        assert_eq!(replica.last_zxid(), 101);
+        assert_eq!(replica.tree().get("/root").unwrap().stat().num_children, 100);
     }
 
     #[test]

@@ -3,10 +3,69 @@
 //! Each connected client owns a session identified by a 64-bit id. Sessions
 //! have a timeout; a session that is not touched (by any request or ping)
 //! within its timeout expires, and all ephemeral znodes it owns are removed.
-//! Time is logical (milliseconds supplied by the caller) so the replicated
-//! state machine stays deterministic.
+//! Time comes from a pluggable [`Clock`]: deterministic tests drive a
+//! [`ManualClock`] by hand, while the networked server installs a
+//! [`MonotonicClock`] so expiry tracks wall-clock time without ticking.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+/// Source of session time in milliseconds.
+pub trait Clock: Send + Sync {
+    /// The current time in milliseconds. Only differences matter; the epoch is
+    /// implementation-defined.
+    fn now_ms(&self) -> i64;
+}
+
+/// A clock advanced explicitly by the test or simulation driver.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ms: AtomicI64,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `delta_ms`.
+    pub fn advance(&self, delta_ms: i64) {
+        self.now_ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> i64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+}
+
+/// A monotonic real-time clock (milliseconds since the clock was created).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock anchored at the current instant.
+    pub fn new() -> Self {
+        MonotonicClock { start: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> i64 {
+        self.start.elapsed().as_millis() as i64
+    }
+}
 
 /// Metadata of one client session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,5 +226,23 @@ mod tests {
         let session = Session { id: 1, timeout_ms: 100, last_seen_ms: 0, password: vec![] };
         assert!(!session.is_expired(100));
         assert!(session.is_expired(101));
+    }
+
+    #[test]
+    fn manual_clock_advances_on_demand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(250);
+        clock.advance(50);
+        assert_eq!(clock.now_ms(), 300);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+        assert!(a >= 0);
     }
 }

@@ -23,6 +23,30 @@ pub enum WatchEventKind {
     NodeChildrenChanged,
 }
 
+impl WatchEventKind {
+    /// ZooKeeper wire value for the event type (carried in
+    /// [`jute::records::WatcherEvent::event_type`]).
+    pub fn to_wire(self) -> i32 {
+        match self {
+            WatchEventKind::NodeCreated => 1,
+            WatchEventKind::NodeDeleted => 2,
+            WatchEventKind::NodeDataChanged => 3,
+            WatchEventKind::NodeChildrenChanged => 4,
+        }
+    }
+
+    /// Parses a ZooKeeper wire event type.
+    pub fn from_wire(value: i32) -> Option<Self> {
+        Some(match value {
+            1 => WatchEventKind::NodeCreated,
+            2 => WatchEventKind::NodeDeleted,
+            3 => WatchEventKind::NodeDataChanged,
+            4 => WatchEventKind::NodeChildrenChanged,
+            _ => return None,
+        })
+    }
+}
+
 /// A fired watch notification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchEvent {
@@ -146,6 +170,19 @@ mod tests {
         mgr.add_data_watch("/a", 1);
         assert!(mgr.trigger_data("/b", WatchEventKind::NodeCreated).is_empty());
         assert_eq!(mgr.pending(), 1);
+    }
+
+    #[test]
+    fn event_kinds_roundtrip_through_the_wire_values() {
+        for kind in [
+            WatchEventKind::NodeCreated,
+            WatchEventKind::NodeDeleted,
+            WatchEventKind::NodeDataChanged,
+            WatchEventKind::NodeChildrenChanged,
+        ] {
+            assert_eq!(WatchEventKind::from_wire(kind.to_wire()), Some(kind));
+        }
+        assert_eq!(WatchEventKind::from_wire(99), None);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Guard against order-of-magnitude crypto regressions in the CI bench smoke run.
+
+Usage: check_bench_regression.py CURRENT_RESULTS BASELINE [THRESHOLD]
+
+CURRENT_RESULTS is the JSON-lines file the vendored criterion shim appends to
+when CRITERION_JSON is set. BASELINE is BENCH_crypto.json (the archived
+snapshot, whose medians live under _meta.results). The check fails when a
+guarded benchmark's median exceeds THRESHOLD x its baseline median (default
+3x — generous on purpose: CI machines are noisy, and this guard exists to
+catch accidental algorithmic regressions, not percent-level drift).
+"""
+
+import json
+import sys
+
+GUARDED_BENCHMARKS = [
+    "zkcrypto/aes_gcm_seal/4096",
+    "zkcrypto_fastpath/ghash_1k/table",
+]
+DEFAULT_THRESHOLD = 3.0
+
+
+def load_medians(path):
+    """Returns {benchmark: median_ns} from either a JSON-lines results file or
+    the archived baseline wrapper ({"_meta": {"results": [...]}})."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read().strip()
+    medians = {}
+    try:
+        wrapper = json.loads(text)
+    except json.JSONDecodeError:
+        wrapper = None
+    if isinstance(wrapper, dict):
+        rows = wrapper.get("_meta", {}).get("results", [])
+    else:
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    for row in rows:
+        medians[row["benchmark"]] = float(row["median_ns"])
+    return medians
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    current = load_medians(argv[1])
+    baseline = load_medians(argv[2])
+    threshold = float(argv[3]) if len(argv) > 3 else DEFAULT_THRESHOLD
+
+    failures = []
+    for name in GUARDED_BENCHMARKS:
+        if name not in baseline:
+            failures.append(f"{name}: missing from baseline {argv[2]}")
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current results {argv[1]}")
+            continue
+        ratio = current[name] / baseline[name]
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(
+            f"{verdict:>4}  {name}: {current[name]:.1f} ns vs baseline "
+            f"{baseline[name]:.1f} ns ({ratio:.2f}x, threshold {threshold:.1f}x)"
+        )
+        if ratio > threshold:
+            failures.append(f"{name}: {ratio:.2f}x over baseline")
+
+    if failures:
+        print("\nbench regression guard failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
