@@ -308,6 +308,32 @@ pub fn secure_standalone(
     (replica, interceptor, counter)
 }
 
+/// Builds one SecureKeeper-hardened replica for the *networked* replicated
+/// ensemble ([`zkserver::ensemble::ZkEnsembleServer`]): like
+/// [`secure_standalone`] but with an explicit replica id, so every member of
+/// the ensemble gets its own EPC, entry-enclave manager and counter enclave
+/// while sharing the storage key from `config` — the property that lets a
+/// session key installed on one replica be replayed to another after a
+/// crash, and that keeps the deterministic path encryption identical on all
+/// replicas (the replicated trees stay byte-for-byte equal).
+pub fn secure_ensemble_replica(
+    id: u32,
+    config: &SecureKeeperConfig,
+) -> (Arc<ZkReplica>, Arc<SecureKeeperInterceptor>, Arc<CounterEnclave>) {
+    let interceptor = Arc::new(SecureKeeperInterceptor::new(config));
+    let counter = Arc::new(
+        CounterEnclave::new(interceptor.epc(), &config.storage_key, config.cost_model.clone())
+            .expect("a fresh EPC always fits one counter enclave"),
+    );
+    let replica = Arc::new(
+        ZkReplica::new(id)
+            .with_interceptor(Arc::clone(&interceptor) as Arc<dyn RequestInterceptor>)
+            .with_namer(Arc::new(SecureKeeperNamer::new(Arc::clone(&counter))))
+            .with_clock(Arc::new(zkserver::session::MonotonicClock::new())),
+    );
+    (replica, interceptor, counter)
+}
+
 /// Builds a SecureKeeper-hardened ensemble of `size` replicas.
 ///
 /// Every replica gets its own EPC, entry-enclave manager and counter enclave;

@@ -76,6 +76,9 @@ pub use client::SecureKeeperClient;
 pub use counter::CounterEnclave;
 pub use entry::EntryEnclave;
 pub use error::SkError;
-pub use integration::{secure_cluster, secure_standalone, SecureKeeperConfig, SecureKeeperHandles};
+pub use integration::{
+    secure_cluster, secure_ensemble_replica, secure_standalone, SecureKeeperConfig,
+    SecureKeeperHandles,
+};
 pub use path_cache::PathCipherCache;
-pub use transport::{SecureSessionCredentials, SecureWire};
+pub use transport::{ReplayableSessionCredentials, SecureSessionCredentials, SecureWire};

@@ -1,0 +1,171 @@
+//! Secure ensemble end-to-end tests: SecureKeeper on a 3-replica networked
+//! ensemble (ZAB over real TCP) with leader crash failover.
+//!
+//! The acceptance properties of the ensemble milestone, exercised with the
+//! entry-enclave interceptor threaded through *every* replica:
+//!
+//! * a write issued against any replica is storage-encrypted by the entry
+//!   enclave of that replica and replicated as ciphertext, so all replicas'
+//!   trees stay identical and ciphertext-only;
+//! * a secure session established before a leader crash keeps decrypting
+//!   after failover: the client replays its session key to a survivor
+//!   ([`ReplayableSessionCredentials`]), which installs it in a fresh entry
+//!   enclave;
+//! * the surviving replicas converge to identical trees and zxids.
+//!
+//! CI runs this file in the `ensemble-e2e` job (secure leg of the matrix).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jute::records::CreateMode;
+use securekeeper::integration::{secure_ensemble_replica, SecureKeeperConfig};
+use securekeeper::ReplayableSessionCredentials;
+use zkserver::client::ZkTcpClient;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::ZkError;
+
+fn test_config() -> EnsembleConfig {
+    EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(5),
+        ..EnsembleConfig::default()
+    }
+}
+
+fn start_secure_ensemble(size: usize) -> Vec<ZkEnsembleServer> {
+    let config = SecureKeeperConfig::with_label("ensemble-e2e");
+    ZkEnsembleServer::start_local_ensemble(size, &test_config(), move |id| {
+        let (replica, _interceptor, _counter) = secure_ensemble_replica(id, &config);
+        replica
+    })
+    .expect("bind loopback secure ensemble")
+}
+
+fn wait_until(what: &str, condition: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn secure_writes_replicate_as_ciphertext_on_every_replica() {
+    let servers = start_secure_ensemble(3);
+    let credentials = Arc::new(ReplayableSessionCredentials::generate());
+    let mut client = ZkTcpClient::connect_with(
+        servers[2].client_addr(),
+        Arc::clone(&credentials) as Arc<dyn zkserver::net::SessionCredentials>,
+        30_000,
+    )
+    .expect("secure connect to a follower");
+
+    client.create("/app", b"root".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/app/db-password", b"hunter2".to_vec(), CreateMode::Persistent).unwrap();
+    let (data, _) = client.get_data("/app/db-password", false).unwrap();
+    assert_eq!(data, b"hunter2");
+
+    // Replication: the identical ciphertext tree appears on every replica.
+    for server in &servers {
+        let server_id = server.id();
+        wait_until(&format!("replication to {server_id}"), || {
+            server.replica().tree().node_count() == servers[2].replica().tree().node_count()
+        });
+    }
+    for server in &servers {
+        for path in server.replica().tree().paths() {
+            assert!(!path.contains("app"), "plaintext path leaked: {path}");
+            assert!(!path.contains("db-password"), "plaintext path leaked: {path}");
+        }
+    }
+    let reference = servers[0].replica().tree().paths();
+    for server in &servers[1..] {
+        assert_eq!(server.replica().tree().paths(), reference, "ciphertext trees diverged");
+    }
+    client.close();
+}
+
+#[test]
+fn pre_crash_secure_session_keeps_decrypting_after_leader_failover() {
+    let mut servers = start_secure_ensemble(3);
+    assert!(servers[0].is_leader());
+    let survivor_addrs: Vec<std::net::SocketAddr> =
+        servers[1..].iter().map(|s| s.client_addr()).collect();
+
+    // Establish a secure session against the *leader* before the crash.
+    let credentials = Arc::new(ReplayableSessionCredentials::generate());
+    let mut client = ZkTcpClient::connect_with(
+        servers[0].client_addr(),
+        Arc::clone(&credentials) as Arc<dyn zkserver::net::SessionCredentials>,
+        30_000,
+    )
+    .expect("secure connect to the leader");
+    client.create("/secrets", b"".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/secrets/api-key", b"s3cr3t".to_vec(), CreateMode::Persistent).unwrap();
+    wait_until("pre-crash replication", || {
+        servers[1..].iter().all(|s| s.replica().tree().node_count() >= 3)
+    });
+
+    // Crash the leader. The client's connection dies with it.
+    let old_leader = servers.remove(0);
+    old_leader.shutdown();
+    assert!(matches!(
+        client.get_data("/secrets/api-key", false),
+        Err(ZkError::ConnectionLoss { .. } | ZkError::Marshalling { .. })
+    ));
+
+    // Fail over to a survivor, replaying the same session key: the entry
+    // enclave installed there decrypts the data written before the crash.
+    client
+        .reconnect_to(survivor_addrs[0])
+        .or_else(|_| client.reconnect_to(survivor_addrs[1]))
+        .expect("failover reconnect with replayed credentials");
+    let (data, _) = client.get_data("/secrets/api-key", false).unwrap();
+    assert_eq!(data, b"s3cr3t", "pre-crash secret must decrypt after failover");
+
+    // The new leader accepts encrypted writes from the replayed session.
+    wait_until("election", || servers.iter().any(|s| s.is_leader()));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.create("/secrets/post-crash", b"fresh".to_vec(), CreateMode::Persistent) {
+            Ok(_) => break,
+            Err(ZkError::NodeExists { .. }) => break,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "post-failover write never recovered");
+                let _ = client
+                    .reconnect_to(survivor_addrs[0])
+                    .or_else(|_| client.reconnect_to(survivor_addrs[1]));
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    let (data, _) = client.get_data("/secrets/post-crash", false).unwrap();
+    assert_eq!(data, b"fresh");
+
+    // Surviving replicas converge to identical ciphertext trees and zxids.
+    wait_until("zxid convergence", || {
+        servers.iter().all(|s| s.last_applied_zxid() == servers[0].last_applied_zxid())
+    });
+    let reference = servers[0].replica().tree().paths();
+    assert_eq!(servers[1].replica().tree().paths(), reference, "survivors diverged");
+    for path in reference {
+        assert!(!path.contains("secret"), "plaintext path leaked: {path}");
+    }
+    client.close();
+}
+
+#[test]
+fn plaintext_clients_are_rejected_by_every_secure_replica() {
+    let servers = start_secure_ensemble(3);
+    for server in &servers {
+        match ZkTcpClient::connect(server.client_addr()) {
+            Err(ZkError::ConnectionLoss { .. }) => {}
+            Ok(_) => panic!("plaintext handshake must not succeed against SecureKeeper"),
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+}

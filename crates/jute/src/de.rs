@@ -57,6 +57,12 @@ impl<'a> InputArchive<'a> {
         Ok(self.take(1, what)?[0] != 0)
     }
 
+    /// Reads a single raw byte (used for compact enum tags, e.g. the ZAB
+    /// replica-to-replica message codec).
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8, JuteError> {
+        Ok(self.take(1, what)?[0])
+    }
+
     /// Reads a big-endian signed 32-bit integer.
     pub fn read_i32(&mut self, what: &'static str) -> Result<i32, JuteError> {
         let bytes = self.take(4, what)?;
@@ -108,6 +114,7 @@ mod tests {
     #[test]
     fn roundtrip_all_primitives() {
         let mut out = OutputArchive::new();
+        out.write_u8(0xa7);
         out.write_bool(true);
         out.write_i32(-5);
         out.write_i64(1 << 40);
@@ -117,6 +124,7 @@ mod tests {
         let bytes = out.into_bytes();
 
         let mut input = InputArchive::new(&bytes);
+        assert_eq!(input.read_u8("tag").unwrap(), 0xa7);
         assert!(input.read_bool("b").unwrap());
         assert_eq!(input.read_i32("i").unwrap(), -5);
         assert_eq!(input.read_i64("l").unwrap(), 1 << 40);

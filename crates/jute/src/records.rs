@@ -104,6 +104,9 @@ pub enum ErrorCode {
     AuthFailed,
     /// The session does not exist or has expired.
     SessionExpired,
+    /// The ensemble has lost its write quorum (a majority of replicas is
+    /// unreachable); reads may still succeed, writes cannot commit.
+    NoQuorum,
 }
 
 impl ErrorCode {
@@ -114,6 +117,8 @@ impl ErrorCode {
             ErrorCode::ConnectionLoss => -4,
             ErrorCode::BadArguments => -8,
             ErrorCode::MarshallingError => -5,
+            // ZooKeeper's NEWCONFIGNOQUORUM; reused for "no write quorum".
+            ErrorCode::NoQuorum => -13,
             ErrorCode::NoNode => -101,
             ErrorCode::BadVersion => -103,
             ErrorCode::NoChildrenForEphemerals => -108,
@@ -131,6 +136,7 @@ impl ErrorCode {
             -4 => ErrorCode::ConnectionLoss,
             -8 => ErrorCode::BadArguments,
             -5 => ErrorCode::MarshallingError,
+            -13 => ErrorCode::NoQuorum,
             -101 => ErrorCode::NoNode,
             -103 => ErrorCode::BadVersion,
             -108 => ErrorCode::NoChildrenForEphemerals,
@@ -773,6 +779,7 @@ mod tests {
             ErrorCode::MarshallingError,
             ErrorCode::AuthFailed,
             ErrorCode::SessionExpired,
+            ErrorCode::NoQuorum,
         ] {
             assert_eq!(ErrorCode::from_i32(code.to_i32()), code);
         }

@@ -26,6 +26,12 @@ impl OutputArchive {
         self.buffer.push(u8::from(value));
     }
 
+    /// Writes a single raw byte (used for compact enum tags, e.g. the ZAB
+    /// replica-to-replica message codec).
+    pub fn write_u8(&mut self, value: u8) {
+        self.buffer.push(value);
+    }
+
     /// Writes a signed 32-bit integer, big-endian.
     pub fn write_i32(&mut self, value: i32) {
         self.buffer.extend_from_slice(&value.to_be_bytes());

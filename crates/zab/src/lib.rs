@@ -18,8 +18,12 @@
 //! * [`message::Zxid`], [`message::Txn`], [`message::ZabMessage`] — the
 //!   protocol vocabulary;
 //! * [`log::TxnLog`] — the per-replica committed transaction log;
-//! * [`network::SimNetwork`] — a reliable FIFO message bus with crash
-//!   injection;
+//! * [`network::ZabTransport`] — the replica-to-replica transport seam, with
+//!   [`network::SimNetwork`] (a reliable in-process FIFO bus with crash
+//!   injection) and [`tcp::TcpNetwork`] (real sockets between replica
+//!   processes) as interchangeable implementations;
+//! * [`wire`] — the length-prefixed jute codec the TCP transport frames
+//!   [`message::ZabMessage`]s with;
 //! * [`node::ZabNode`] — the per-replica protocol state machine;
 //! * [`cluster::ZabCluster`] — glue that steps all nodes, runs leader
 //!   election, and exposes a simple `broadcast` API.
@@ -32,8 +36,12 @@ pub mod log;
 pub mod message;
 pub mod network;
 pub mod node;
+pub mod tcp;
+pub mod wire;
 
 pub use cluster::ZabCluster;
 pub use log::TxnLog;
 pub use message::{NodeId, Txn, ZabMessage, Zxid};
-pub use node::{Role, ZabNode};
+pub use network::{Envelope, ZabTransport};
+pub use node::{send_sync, Role, ZabNode};
+pub use tcp::TcpNetwork;

@@ -33,15 +33,22 @@ impl TxnLog {
 
     /// Marks every entry up to and including `zxid` as committed and returns
     /// the newly committed transactions in order.
+    ///
+    /// The watermark never advances past the last *logged* entry: a commit
+    /// referencing transactions this replica has not received yet (lost
+    /// frames on a real network) commits only the local prefix, so the
+    /// missing entries can still be delivered and applied by a later resync
+    /// instead of being silently skipped.
     pub fn commit_up_to(&mut self, zxid: Zxid) -> Vec<Txn> {
+        let target = zxid.min(self.last_logged());
         let newly: Vec<Txn> = self
             .entries
             .iter()
-            .filter(|t| t.zxid > self.committed_up_to && t.zxid <= zxid)
+            .filter(|t| t.zxid > self.committed_up_to && t.zxid <= target)
             .cloned()
             .collect();
-        if zxid > self.committed_up_to {
-            self.committed_up_to = zxid;
+        if target > self.committed_up_to {
+            self.committed_up_to = target;
         }
         newly
     }
@@ -149,6 +156,127 @@ mod tests {
         log.truncate_uncommitted();
         assert_eq!(log.len(), 1);
         assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 1 });
+    }
+
+    #[test]
+    fn truncated_tail_can_be_replaced_by_new_epoch_entries() {
+        // A follower that logged proposals the old leader never committed
+        // must drop them on truncation and accept the new leader's history
+        // in their place (ZAB's "trailing edge" recovery case).
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        log.append(txn(1, 3));
+        log.commit_up_to(Zxid { epoch: 1, counter: 1 });
+        log.truncate_uncommitted();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 1 });
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 1 });
+
+        // The new leader's divergent history for the same slots arrives.
+        log.append(Txn { zxid: Zxid { epoch: 2, counter: 1 }, payload: b"new".to_vec() });
+        let committed = log.commit_up_to(Zxid { epoch: 2, counter: 1 });
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].payload, b"new");
+        // The truncated entries never resurface.
+        assert_eq!(log.committed().count(), 2);
+    }
+
+    #[test]
+    fn truncation_with_nothing_committed_empties_the_log() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        log.truncate_uncommitted();
+        assert!(log.is_empty());
+        assert_eq!(log.last_logged(), Zxid::ZERO);
+        // Appending after a full truncation starts cleanly.
+        log.append(txn(2, 1));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn epoch_rollover_keeps_ordering_and_commits_across_the_boundary() {
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        // Epoch rolls over: the counter resets but zxids keep increasing
+        // because ordering is epoch-major.
+        log.append(txn(2, 1));
+        log.append(txn(2, 2));
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.last_logged(), Zxid { epoch: 2, counter: 2 });
+
+        // One commit watermark in the new epoch commits the old-epoch tail too.
+        let committed = log.commit_up_to(Zxid { epoch: 2, counter: 1 });
+        let zxids: Vec<Zxid> = committed.iter().map(|t| t.zxid).collect();
+        assert_eq!(
+            zxids,
+            vec![
+                Zxid { epoch: 1, counter: 1 },
+                Zxid { epoch: 1, counter: 2 },
+                Zxid { epoch: 2, counter: 1 },
+            ]
+        );
+        // entries_after spans the boundary as well.
+        let suffix = log.entries_after(Zxid { epoch: 1, counter: 2 });
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].zxid, Zxid { epoch: 2, counter: 1 });
+    }
+
+    #[test]
+    fn counter_restart_in_a_new_epoch_is_not_a_stale_append() {
+        // epoch 2 counter 1 sorts *after* epoch 1 counter 100: the append
+        // must be accepted even though the raw counter went backwards.
+        let mut log = TxnLog::new();
+        log.append(txn(1, 100));
+        log.append(txn(2, 1));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_commit_replay_is_idempotent() {
+        // A replica that receives the same NewLeaderSync twice (e.g. the new
+        // leader retries after a lost SyncAck) must end up with each
+        // transaction committed exactly once.
+        let mut log = TxnLog::new();
+        for i in 1..=3 {
+            log.append(txn(1, i));
+        }
+        let first = log.commit_up_to(Zxid { epoch: 1, counter: 3 });
+        assert_eq!(first.len(), 3);
+
+        // Replay: identical appends are ignored, the commit returns nothing.
+        for i in 1..=3 {
+            log.append(txn(1, i));
+        }
+        assert!(log.commit_up_to(Zxid { epoch: 1, counter: 3 }).is_empty());
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.committed().count(), 3);
+        // A lower replayed watermark does not move `last_committed` back.
+        assert!(log.commit_up_to(Zxid { epoch: 1, counter: 1 }).is_empty());
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 3 });
+    }
+
+    #[test]
+    fn commit_never_advances_past_the_logged_tip() {
+        // A commit referencing entries this replica never received (lost
+        // frames) commits only the local prefix; the watermark stays at the
+        // tip so a resync can still deliver and commit the missing entries.
+        let mut log = TxnLog::new();
+        log.append(txn(1, 1));
+        log.append(txn(1, 2));
+        let committed = log.commit_up_to(Zxid { epoch: 1, counter: 5 });
+        assert_eq!(committed.len(), 2);
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 2 });
+
+        // The resync arrives: the previously referenced entries commit now.
+        for i in 3..=5 {
+            log.append(txn(1, i));
+        }
+        let committed = log.commit_up_to(Zxid { epoch: 1, counter: 5 });
+        assert_eq!(committed.len(), 3);
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 5 });
     }
 
     #[test]

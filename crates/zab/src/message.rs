@@ -68,6 +68,11 @@ pub enum ZabMessage {
     Proposal {
         /// The proposed transaction.
         txn: Txn,
+        /// The zxid of the log entry immediately preceding `txn` on the
+        /// leader. A follower accepts the proposal only when its own log tip
+        /// matches, so a lost frame on a real network can never open a
+        /// silent gap in a follower's log (it requests a resync instead).
+        prev: Zxid,
     },
     /// Follower → leader: transaction logged, ready to commit.
     Ack {
@@ -99,6 +104,40 @@ pub enum ZabMessage {
     Heartbeat {
         /// Current epoch.
         epoch: u32,
+    },
+    /// Follower → leader: a client write received by a follower, forwarded to
+    /// the current leader for proposal (ZooKeeper's request forwarding). The
+    /// `origin`/`request_id` pair lets the origin replica correlate the
+    /// eventual commit with the waiting client connection.
+    ForwardWrite {
+        /// Replica the client is connected to.
+        origin: NodeId,
+        /// Origin-local identifier of the pending client request.
+        request_id: u64,
+        /// The opaque transaction payload to propose.
+        payload: Vec<u8>,
+    },
+    /// Follower → leader: this replica's log does not extend to what the
+    /// leader references (a proposal's `prev` did not match, or a commit
+    /// pointed past the local tip — lost frames on a real network). The
+    /// leader answers with a [`ZabMessage::NewLeaderSync`] carrying the
+    /// committed entries after `last_logged`.
+    SyncRequest {
+        /// The replica requesting the resync.
+        from: NodeId,
+        /// Its current log tip.
+        last_logged: Zxid,
+    },
+    /// Broadcast during leader election: the sender's candidacy for `epoch`
+    /// with its log credential. The node with the most advanced log (ties
+    /// broken by the highest id) wins, as in ZooKeeper's fast leader election.
+    Election {
+        /// The epoch being elected.
+        epoch: u32,
+        /// The sender's most advanced logged zxid.
+        last_logged: Zxid,
+        /// The candidate.
+        from: NodeId,
     },
 }
 

@@ -1,10 +1,15 @@
-//! Simulated replica-to-replica network.
+//! Replica-to-replica transports.
 //!
-//! Replicas exchange [`ZabMessage`]s over per-destination FIFO queues. The
-//! network is reliable (no loss, no reordering between a given pair of nodes)
-//! but supports *crash injection*: a crashed node neither receives nor sends
-//! messages until it recovers. This matches the fault model of the paper's
-//! evaluation (replica crashes, no Byzantine behaviour, no partitions).
+//! The protocol state machine ([`crate::node::ZabNode`]) is transport
+//! agnostic: it sends and receives [`ZabMessage`]s through the
+//! [`ZabTransport`] trait. Two implementations exist:
+//!
+//! * [`SimNetwork`] (this module) — per-destination FIFO queues driven
+//!   deterministically in-process, with crash injection. This matches the
+//!   fault model of the paper's evaluation (replica crashes, no Byzantine
+//!   behaviour, no partitions) and powers the simulation experiments;
+//! * [`crate::tcp::TcpNetwork`] — real sockets between replica processes,
+//!   used by the networked ensemble.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -20,6 +25,23 @@ pub struct Envelope {
     pub from: NodeId,
     /// The protocol message.
     pub message: ZabMessage,
+}
+
+/// A point-to-point message transport connecting the replicas of an ensemble.
+///
+/// Delivery between a pair of live endpoints is FIFO; messages to unreachable
+/// peers may be dropped (ZAB tolerates loss — an out-of-date replica catches
+/// up through [`ZabMessage::NewLeaderSync`]).
+pub trait ZabTransport: Send + Sync {
+    /// Sends `message` from `from` to `to`. Best-effort: undeliverable
+    /// messages are dropped.
+    fn send(&self, from: NodeId, to: NodeId, message: ZabMessage);
+
+    /// Sends `message` from `from` to every other member of the ensemble.
+    fn broadcast(&self, from: NodeId, message: &ZabMessage);
+
+    /// Removes and returns the next message queued for `node`, if any.
+    fn receive(&self, node: NodeId) -> Option<Envelope>;
 }
 
 #[derive(Debug, Default)]
@@ -129,6 +151,20 @@ impl SimNetwork {
     /// Number of messages waiting in `node`'s inbox.
     pub fn pending(&self, node: NodeId) -> usize {
         self.state.lock().queues.get(&node).map_or(0, |q| q.len())
+    }
+}
+
+impl ZabTransport for SimNetwork {
+    fn send(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        SimNetwork::send(self, from, to, message);
+    }
+
+    fn broadcast(&self, from: NodeId, message: &ZabMessage) {
+        SimNetwork::broadcast(self, from, message);
+    }
+
+    fn receive(&self, node: NodeId) -> Option<Envelope> {
+        SimNetwork::receive(self, node)
     }
 }
 

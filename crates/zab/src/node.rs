@@ -4,7 +4,39 @@ use std::collections::{HashMap, HashSet};
 
 use crate::log::TxnLog;
 use crate::message::{NodeId, Txn, ZabMessage, Zxid};
-use crate::network::{Envelope, SimNetwork};
+use crate::network::{Envelope, ZabTransport};
+
+/// Upper bound on the serialized payload carried by one `NewLeaderSync`
+/// frame. Histories longer than this are shipped as a sequence of sync
+/// frames (FIFO links keep them ordered; the receiver commits each chunk
+/// incrementally), so a resync can never exceed the transport's frame limit
+/// no matter how far a replica lags.
+const SYNC_CHUNK_BYTES: usize = 1 << 20;
+
+/// Sends `txns` to `to` as one or more [`ZabMessage::NewLeaderSync`] frames,
+/// each bounded by [`SYNC_CHUNK_BYTES`] of payload. Always sends at least
+/// one frame — the sync doubles as the leadership announcement.
+pub fn send_sync(net: &dyn ZabTransport, from: NodeId, to: NodeId, epoch: u32, txns: Vec<Txn>) {
+    let mut chunk: Vec<Txn> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    let mut sent_any = false;
+    for txn in txns {
+        if !chunk.is_empty() && chunk_bytes + txn.payload.len() > SYNC_CHUNK_BYTES {
+            net.send(
+                from,
+                to,
+                ZabMessage::NewLeaderSync { epoch, txns: std::mem::take(&mut chunk) },
+            );
+            chunk_bytes = 0;
+            sent_any = true;
+        }
+        chunk_bytes += txn.payload.len();
+        chunk.push(txn);
+    }
+    if !chunk.is_empty() || !sent_any {
+        net.send(from, to, ZabMessage::NewLeaderSync { epoch, txns: chunk });
+    }
+}
 
 /// The role a replica currently plays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,36 +147,69 @@ impl ZabNode {
     ///
     /// Panics if called on a non-leader; the cluster wrapper routes proposals
     /// to the current leader.
-    pub fn propose(&mut self, payload: Vec<u8>, net: &SimNetwork) -> Zxid {
+    pub fn propose(&mut self, payload: Vec<u8>, net: &dyn ZabTransport) -> Zxid {
         assert_eq!(self.role, Role::Leader, "only the leader proposes");
         self.last_proposed = if self.last_proposed.epoch == self.epoch {
             self.last_proposed.next()
         } else {
             Zxid { epoch: self.epoch, counter: 1 }
         };
+        let prev = self.log.last_logged();
         let txn = Txn { zxid: self.last_proposed, payload };
         self.log.append(txn.clone());
         // The leader's own log entry counts as its ack.
         self.pending_acks.entry(txn.zxid).or_default().insert(self.id);
-        net.broadcast(self.id, &ZabMessage::Proposal { txn });
+        net.broadcast(self.id, &ZabMessage::Proposal { txn, prev });
         self.maybe_commit(self.last_proposed, net);
         self.last_proposed
     }
 
     /// Processes one incoming message, possibly sending replies via `net`.
-    pub fn handle(&mut self, envelope: Envelope, net: &SimNetwork) {
+    pub fn handle(&mut self, envelope: Envelope, net: &dyn ZabTransport) {
         match envelope.message {
-            ZabMessage::Proposal { txn } => self.on_proposal(envelope.from, txn, net),
+            ZabMessage::Proposal { txn, prev } => self.on_proposal(envelope.from, txn, prev, net),
             ZabMessage::Ack { zxid, from } => self.on_ack(zxid, from, net),
-            ZabMessage::Commit { zxid } => self.on_commit(zxid),
+            ZabMessage::Commit { zxid } => self.on_commit(zxid, net),
             ZabMessage::NewLeaderSync { epoch, txns } => {
                 self.on_new_leader_sync(envelope.from, epoch, txns, net)
             }
-            ZabMessage::SyncAck { .. } | ZabMessage::Heartbeat { .. } => {}
+            ZabMessage::SyncRequest { from, last_logged } => {
+                self.on_sync_request(from, last_logged, net)
+            }
+            ZabMessage::ForwardWrite { origin, request_id, payload } => {
+                self.on_forward_write(origin, request_id, payload, net)
+            }
+            // Heartbeats and election announcements carry failure-detection
+            // state, which lives in the driver above the state machine (the
+            // simulated cluster has global knowledge; the networked ensemble
+            // runs timers around `handle`).
+            ZabMessage::SyncAck { .. }
+            | ZabMessage::Heartbeat { .. }
+            | ZabMessage::Election { .. } => {}
         }
     }
 
-    fn on_proposal(&mut self, from: NodeId, txn: Txn, net: &SimNetwork) {
+    /// A client write forwarded by a follower: the leader proposes it, anyone
+    /// else re-forwards it to the leader it currently follows (covering stale
+    /// leader hints during failover). Without a known leader it is dropped and
+    /// the origin's client times out and retries.
+    fn on_forward_write(
+        &mut self,
+        origin: NodeId,
+        request_id: u64,
+        payload: Vec<u8>,
+        net: &dyn ZabTransport,
+    ) {
+        if self.role == Role::Leader {
+            self.propose(payload, net);
+        } else if let Some(leader) = self.leader {
+            if leader != self.id {
+                net.send(self.id, leader, ZabMessage::ForwardWrite { origin, request_id, payload });
+            }
+        }
+    }
+
+    fn on_proposal(&mut self, from: NodeId, txn: Txn, prev: Zxid, net: &dyn ZabTransport) {
         if self.role != Role::Follower {
             return;
         }
@@ -153,11 +218,28 @@ impl ZabNode {
             return;
         }
         let zxid = txn.zxid;
+        if zxid <= self.log.last_logged() {
+            // Already logged (redelivery after a resync); re-ack so the
+            // leader's quorum accounting is not starved by a lost ack.
+            net.send(self.id, from, ZabMessage::Ack { zxid, from: self.id });
+            return;
+        }
+        if self.log.last_logged() != prev {
+            // This replica's log does not extend to the entry the leader
+            // chained this proposal onto — frames were lost. Accepting would
+            // open a silent gap; request the missing range instead.
+            net.send(
+                self.id,
+                from,
+                ZabMessage::SyncRequest { from: self.id, last_logged: self.log.last_logged() },
+            );
+            return;
+        }
         self.log.append(txn);
         net.send(self.id, from, ZabMessage::Ack { zxid, from: self.id });
     }
 
-    fn on_ack(&mut self, zxid: Zxid, from: NodeId, net: &SimNetwork) {
+    fn on_ack(&mut self, zxid: Zxid, from: NodeId, net: &dyn ZabTransport) {
         if self.role != Role::Leader || zxid.epoch != self.epoch {
             return;
         }
@@ -165,7 +247,7 @@ impl ZabNode {
         self.maybe_commit(zxid, net);
     }
 
-    fn maybe_commit(&mut self, zxid: Zxid, net: &SimNetwork) {
+    fn maybe_commit(&mut self, zxid: Zxid, net: &dyn ZabTransport) {
         let quorum = self.quorum();
         let reached = self.pending_acks.get(&zxid).map_or(0, |acks| acks.len()) >= quorum;
         if reached && zxid > self.log.last_committed() {
@@ -176,19 +258,64 @@ impl ZabNode {
         }
     }
 
-    fn on_commit(&mut self, zxid: Zxid) {
+    fn on_commit(&mut self, zxid: Zxid, net: &dyn ZabTransport) {
         if self.role != Role::Follower {
             return;
         }
         let newly = self.log.commit_up_to(zxid);
         self.committed_outbox.extend(newly);
+        if self.log.last_committed() < zxid {
+            // The commit points past this replica's log tip: the proposals
+            // in between were lost. Ask the leader for the missing range.
+            if let Some(leader) = self.leader {
+                net.send(
+                    self.id,
+                    leader,
+                    ZabMessage::SyncRequest { from: self.id, last_logged: self.log.last_logged() },
+                );
+            }
+        }
     }
 
-    fn on_new_leader_sync(&mut self, from: NodeId, epoch: u32, txns: Vec<Txn>, net: &SimNetwork) {
+    /// Leader only: answers a follower whose log fell behind (lost frames)
+    /// with the committed entries after its tip, then *retransmits* the
+    /// uncommitted in-flight tail as ordinary proposals chained from the
+    /// committed watermark. The retransmission is what keeps in-flight
+    /// writes live: a follower that refused a gapped proposal could
+    /// otherwise never ack it, and a proposal still short of its quorum
+    /// would wedge forever (sync ships only committed entries, because the
+    /// receiver commits everything a sync carries).
+    fn on_sync_request(&mut self, from: NodeId, last_logged: Zxid, net: &dyn ZabTransport) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let txns: Vec<Txn> =
+            self.log.committed().filter(|t| t.zxid > last_logged).cloned().collect();
+        send_sync(net, self.id, from, self.epoch, txns);
+        let mut prev = self.log.last_committed();
+        for txn in self.log.entries_after(prev) {
+            net.send(self.id, from, ZabMessage::Proposal { txn: txn.clone(), prev });
+            prev = txn.zxid;
+        }
+    }
+
+    fn on_new_leader_sync(
+        &mut self,
+        from: NodeId,
+        epoch: u32,
+        txns: Vec<Txn>,
+        net: &dyn ZabTransport,
+    ) {
         if epoch < self.epoch {
             return;
         }
-        self.become_follower(epoch, from);
+        // A repair sync from the leader already being followed must not
+        // truncate acked-but-uncommitted proposals (they may be one ack away
+        // from their quorum); truncation is for genuine leadership changes,
+        // where the divergent tail has to go.
+        if !(self.role == Role::Follower && self.epoch == epoch && self.leader == Some(from)) {
+            self.become_follower(epoch, from);
+        }
         let mut max_zxid = self.log.last_committed();
         for txn in txns {
             max_zxid = max_zxid.max(txn.zxid);
@@ -215,6 +342,7 @@ impl ZabNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::SimNetwork;
 
     fn three_nodes() -> (SimNetwork, ZabNode, ZabNode, ZabNode) {
         let ids = [NodeId(1), NodeId(2), NodeId(3)];
@@ -228,7 +356,7 @@ mod tests {
         (net, leader, f2, f3)
     }
 
-    fn pump(net: &SimNetwork, nodes: &mut [&mut ZabNode]) {
+    fn pump(net: &dyn ZabTransport, nodes: &mut [&mut ZabNode]) {
         // Deliver until all queues drain.
         loop {
             let mut any = false;
@@ -299,7 +427,13 @@ mod tests {
         let (net, _leader, mut f2, _f3) = three_nodes();
         f2.become_follower(2, NodeId(3));
         let stale = Txn { zxid: Zxid { epoch: 1, counter: 5 }, payload: vec![] };
-        f2.handle(Envelope { from: NodeId(1), message: ZabMessage::Proposal { txn: stale } }, &net);
+        f2.handle(
+            Envelope {
+                from: NodeId(1),
+                message: ZabMessage::Proposal { txn: stale, prev: Zxid::ZERO },
+            },
+            &net,
+        );
         assert!(f2.log().is_empty());
     }
 
@@ -321,6 +455,77 @@ mod tests {
         assert_eq!(f4.take_committed().len(), 2);
         assert_eq!(f4.epoch(), 2);
         assert_eq!(f4.leader(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn lost_proposal_triggers_resync_instead_of_a_silent_gap() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        leader.propose(b"a".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+
+        // The next proposal is lost on the way to f2 (a broken TCP link).
+        leader.propose(b"b".to_vec(), &net);
+        let dropped = net.receive(NodeId(2)).expect("f2's copy of the proposal");
+        assert!(matches!(dropped.message, ZabMessage::Proposal { .. }));
+        // The write still commits through f3's ack; f2 sees only the commit.
+        pump(&net, &mut [&mut leader, &mut f3]);
+
+        // A later proposal reaches f2 with a `prev` its log cannot match, so
+        // f2 must refuse it and request a resync — never ack across a gap.
+        leader.propose(b"c".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+
+        assert_eq!(f2.log().last_committed(), leader.log().last_committed());
+        let payloads: Vec<Vec<u8>> = f2.log().committed().map(|t| t.payload.clone()).collect();
+        assert_eq!(payloads, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn lost_commit_is_repaired_by_the_next_commit_watermark() {
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        leader.propose(b"a".to_vec(), &net);
+        // f2 logs and acks the proposal but its Commit frame is lost.
+        let proposal = net.receive(NodeId(2)).expect("proposal");
+        f2.handle(proposal, &net);
+        pump(&net, &mut [&mut leader, &mut f3]);
+        while net.receive(NodeId(2)).is_some() {}
+        assert_eq!(f2.log().last_committed(), Zxid::ZERO);
+
+        // The next write's commit carries a higher watermark, which commits
+        // the earlier transaction on f2 too (commit covers the prefix).
+        leader.propose(b"b".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        assert_eq!(f2.log().last_committed(), leader.log().last_committed());
+        assert_eq!(f2.log().committed().count(), 2);
+    }
+
+    #[test]
+    fn in_flight_proposal_lost_to_every_follower_still_commits_after_resync() {
+        // The wedge case: a proposal that reached *no* follower cannot
+        // gather a quorum, and the followers refuse every later proposal
+        // (prev mismatch). The leader's sync response must retransmit its
+        // uncommitted tail or the write — and all writes after it — would
+        // hang forever.
+        let (net, mut leader, mut f2, mut f3) = three_nodes();
+        leader.propose(b"a".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+
+        // Both followers lose the next proposal.
+        leader.propose(b"b".to_vec(), &net);
+        assert!(net.receive(NodeId(2)).is_some());
+        assert!(net.receive(NodeId(3)).is_some());
+        assert_eq!(leader.log().last_committed(), Zxid { epoch: 1, counter: 1 });
+
+        // The next proposal is refused by both (gap); their sync requests
+        // must revive the lost in-flight write.
+        leader.propose(b"c".to_vec(), &net);
+        pump(&net, &mut [&mut leader, &mut f2, &mut f3]);
+        assert_eq!(leader.log().last_committed(), Zxid { epoch: 1, counter: 3 });
+        for node in [&f2, &f3] {
+            let payloads: Vec<Vec<u8>> =
+                node.log().committed().map(|t| t.payload.clone()).collect();
+            assert_eq!(payloads, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        }
     }
 
     #[test]

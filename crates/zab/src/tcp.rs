@@ -1,0 +1,413 @@
+//! Real-socket replica-to-replica transport.
+//!
+//! Each replica process owns one [`TcpNetwork`]: a listener accepting frames
+//! from its peers and a set of lazily established, reconnecting outgoing
+//! links. Envelopes travel as length-prefixed frames ([`jute::framing`])
+//! encoded by [`crate::wire`]. Delivery is best-effort: a send to a peer that
+//! is down (or whose link just broke) is retried once with a fresh connection
+//! and then dropped — exactly the guarantee ZAB needs, since replicas that
+//! miss messages catch up through [`ZabMessage::NewLeaderSync`].
+//!
+//! [`ZabMessage::NewLeaderSync`]: crate::message::ZabMessage::NewLeaderSync
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::message::{NodeId, ZabMessage};
+use crate::network::{Envelope, ZabTransport};
+use crate::wire;
+
+/// How long a peer that refused a connection is left alone before the next
+/// dial attempt. Keeps a silently dead peer (no RST, e.g. a crashed host)
+/// from inserting a connect timeout into every broadcast.
+const DIAL_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Budget for one synchronous dial. Senders may hold protocol locks while
+/// sending, so a blackholed peer must cost at most this (once per
+/// [`DIAL_BACKOFF`] window) — far below the ensemble's election timeout.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// One outgoing link. Each peer has its own mutex so a stalled or dead peer
+/// never blocks sends (or dials) to the others.
+struct PeerLink {
+    stream: Option<TcpStream>,
+    /// Do not dial before this instant (set after a failed connect).
+    next_dial: Option<Instant>,
+}
+
+/// Shared state between the accept loop, reader threads and senders.
+struct TcpShared {
+    id: NodeId,
+    peers: Mutex<HashMap<NodeId, SocketAddr>>,
+    /// Established outgoing links, one per peer.
+    links: Mutex<HashMap<NodeId, Arc<Mutex<PeerLink>>>>,
+    /// Incoming envelopes, fed by the per-connection reader threads.
+    inbox_tx: Sender<Envelope>,
+    /// Clones of every accepted socket so shutdown can unblock readers.
+    accepted: Mutex<HashMap<u64, TcpStream>>,
+    next_token: AtomicU64,
+    running: AtomicBool,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// One replica's endpoint of the ensemble's TCP mesh.
+///
+/// Dropping the network shuts it down: the listener and every link are closed
+/// and all threads are joined.
+pub struct TcpNetwork {
+    shared: Arc<TcpShared>,
+    local_addr: SocketAddr,
+    inbox_rx: Mutex<Receiver<Envelope>>,
+    accept_thread: Option<JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpNetwork")
+            .field("id", &self.shared.id)
+            .field("local_addr", &self.local_addr)
+            .field("peers", &self.shared.peers.lock().len())
+            .finish()
+    }
+}
+
+impl TcpNetwork {
+    /// Binds `id`'s endpoint to `addr` (use port 0 for an ephemeral port) and
+    /// starts accepting peer connections. Peers are announced afterwards with
+    /// [`TcpNetwork::set_peers`] — two-phase setup lets an ensemble bind every
+    /// listener first and exchange the resulting addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(id: NodeId, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let shared = Arc::new(TcpShared {
+            id,
+            peers: Mutex::new(HashMap::new()),
+            links: Mutex::new(HashMap::new()),
+            inbox_tx,
+            accepted: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&reader_threads);
+            Some(std::thread::spawn(move || accept_loop(&listener, &shared, &readers)))
+        };
+        Ok(TcpNetwork {
+            shared,
+            local_addr,
+            inbox_rx: Mutex::new(inbox_rx),
+            accept_thread,
+            reader_threads,
+        })
+    }
+
+    /// The address this endpoint listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This endpoint's replica id.
+    pub fn id(&self) -> NodeId {
+        self.shared.id
+    }
+
+    /// Installs the peer address map (own entry, if present, is ignored).
+    pub fn set_peers(&self, peers: HashMap<NodeId, SocketAddr>) {
+        let mut map = self.shared.peers.lock();
+        *map = peers;
+        map.remove(&self.shared.id);
+    }
+
+    /// Ids of the configured peers.
+    pub fn peer_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.shared.peers.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total envelopes successfully written to a link.
+    pub fn sent(&self) -> u64 {
+        self.shared.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total envelopes dropped (unknown peer, or the link could not be
+    /// (re-)established).
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Waits up to `timeout` for the next incoming envelope.
+    pub fn receive_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.inbox_rx.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Stops accepting, closes every link and joins all threads.
+    pub fn shutdown(&self) {
+        if !self.shared.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        for socket in self.shared.accepted.lock().values() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        for (_, link) in self.shared.links.lock().drain() {
+            if let Some(stream) = link.lock().stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.reader_threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_threads();
+    }
+}
+
+impl ZabTransport for TcpNetwork {
+    fn send(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        debug_assert_eq!(from, self.shared.id, "a TcpNetwork endpoint only sends as itself");
+        let frame = wire::encode_envelope(&Envelope { from, message });
+        if send_frame(&self.shared, to, &frame) {
+            self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn broadcast(&self, from: NodeId, message: &ZabMessage) {
+        for peer in self.peer_ids() {
+            self.send(from, peer, message.clone());
+        }
+    }
+
+    fn receive(&self, node: NodeId) -> Option<Envelope> {
+        debug_assert_eq!(node, self.shared.id, "a TcpNetwork endpoint only receives as itself");
+        self.inbox_rx.lock().try_recv().ok()
+    }
+}
+
+/// Writes one frame to the link for `to`, transparently (re-)dialling the
+/// peer: a broken link is dropped and replaced with a fresh connection once.
+/// Only the per-peer mutex is held across the dial and the write, so frames
+/// from concurrent senders never interleave on a link yet a dead or stalled
+/// peer cannot delay sends to the others (heartbeats to live followers keep
+/// flowing while a crashed host blackholes its connect attempts).
+fn send_frame(shared: &TcpShared, to: NodeId, frame: &[u8]) -> bool {
+    let addr = match shared.peers.lock().get(&to) {
+        Some(&addr) => addr,
+        None => return false,
+    };
+    let link =
+        Arc::clone(
+            shared.links.lock().entry(to).or_insert_with(|| {
+                Arc::new(Mutex::new(PeerLink { stream: None, next_dial: None }))
+            }),
+        );
+    let mut link = link.lock();
+    for attempt in 0..2 {
+        if link.stream.is_none() {
+            let now = Instant::now();
+            if link.next_dial.is_some_and(|earliest| now < earliest) {
+                return false;
+            }
+            match TcpStream::connect_timeout(&addr, DIAL_TIMEOUT) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    link.stream = Some(stream);
+                    link.next_dial = None;
+                }
+                Err(_) => {
+                    link.next_dial = Some(now + DIAL_BACKOFF);
+                    return false;
+                }
+            }
+        }
+        match jute::framing::write_frame(link.stream.as_mut().expect("dialled above"), frame) {
+            Ok(()) => return true,
+            Err(_) => {
+                // The link broke (peer restarted): discard it and redial.
+                link.stream = None;
+                if attempt > 0 {
+                    return false;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Accepts peer connections until shutdown, one reader thread each.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<TcpShared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.accepted.lock().insert(token, clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            reader_loop(&shared, stream);
+            shared.accepted.lock().remove(&token);
+        });
+        let mut handles = readers.lock();
+        handles.retain(|handle| !handle.is_finished());
+        handles.push(handle);
+    }
+}
+
+/// Reads frames off one accepted connection into the shared inbox. Malformed
+/// frames terminate the connection (the peer will redial).
+fn reader_loop(shared: &TcpShared, mut stream: TcpStream) {
+    while shared.running.load(Ordering::SeqCst) {
+        let Ok(Some(frame)) = jute::framing::read_frame(&mut stream) else { break };
+        let Ok(envelope) = wire::decode_envelope(&frame) else { break };
+        if shared.inbox_tx.send(envelope).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Zxid;
+
+    fn mesh(n: u32) -> Vec<TcpNetwork> {
+        let nets: Vec<TcpNetwork> =
+            (1..=n).map(|i| TcpNetwork::bind(NodeId(i), "127.0.0.1:0").unwrap()).collect();
+        let addrs: HashMap<NodeId, SocketAddr> =
+            nets.iter().map(|net| (net.id(), net.local_addr())).collect();
+        for net in &nets {
+            net.set_peers(addrs.clone());
+        }
+        nets
+    }
+
+    #[test]
+    fn frames_travel_between_endpoints_in_order() {
+        let nets = mesh(2);
+        for counter in 1..=10 {
+            nets[0].send(
+                NodeId(1),
+                NodeId(2),
+                ZabMessage::Commit { zxid: Zxid { epoch: 1, counter } },
+            );
+        }
+        for counter in 1..=10 {
+            let envelope = nets[1].receive_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(envelope.from, NodeId(1));
+            assert_eq!(envelope.message, ZabMessage::Commit { zxid: Zxid { epoch: 1, counter } });
+        }
+        assert_eq!(nets[0].sent(), 10);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_peer_but_not_self() {
+        let nets = mesh(3);
+        nets[0].broadcast(NodeId(1), &ZabMessage::Heartbeat { epoch: 1 });
+        for net in &nets[1..] {
+            let envelope = net.receive_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(envelope.message, ZabMessage::Heartbeat { epoch: 1 });
+        }
+        assert!(nets[0].receive(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn sends_to_a_dead_peer_are_dropped_not_fatal() {
+        let nets = mesh(2);
+        nets[1].shutdown();
+        // Give the link a moment to actually die, then send into the void.
+        std::thread::sleep(Duration::from_millis(20));
+        for _ in 0..3 {
+            nets[0].send(NodeId(1), NodeId(2), ZabMessage::Heartbeat { epoch: 1 });
+        }
+        // At least the retries after the first broken write must be dropped.
+        assert!(nets[0].dropped() > 0 || nets[0].sent() > 0);
+        // The sender endpoint is still usable towards itself... nothing to
+        // assert beyond "no panic, no deadlock".
+    }
+
+    #[test]
+    fn link_reconnects_after_peer_restart() {
+        let mut nets = mesh(2);
+        nets[0].send(NodeId(1), NodeId(2), ZabMessage::Heartbeat { epoch: 1 });
+        assert!(nets[1].receive_timeout(Duration::from_secs(5)).is_some());
+
+        // Restart peer 2 on a fresh port and re-announce it to peer 1.
+        let dead = nets.remove(1);
+        drop(dead);
+        let revived = TcpNetwork::bind(NodeId(2), "127.0.0.1:0").unwrap();
+        let addrs: HashMap<NodeId, SocketAddr> =
+            [(NodeId(1), nets[0].local_addr()), (NodeId(2), revived.local_addr())].into();
+        nets[0].set_peers(addrs.clone());
+        revived.set_peers(addrs);
+
+        // The first send may be eaten by the stale link; the retry path must
+        // re-establish the connection within a few attempts.
+        let mut delivered = false;
+        for _ in 0..5 {
+            nets[0].send(NodeId(1), NodeId(2), ZabMessage::Heartbeat { epoch: 2 });
+            if let Some(envelope) = revived.receive_timeout(Duration::from_millis(500)) {
+                assert_eq!(envelope.message, ZabMessage::Heartbeat { epoch: 2 });
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "link did not reconnect after the peer restart");
+    }
+
+    #[test]
+    fn garbage_frames_kill_the_connection_not_the_endpoint() {
+        let nets = mesh(2);
+        // Dial endpoint 2 directly and send a malformed frame.
+        let mut rogue = TcpStream::connect(nets[1].local_addr()).unwrap();
+        jute::framing::write_frame(&mut rogue, b"not an envelope").unwrap();
+        // The endpoint stays healthy: a well-formed envelope still arrives.
+        nets[0].send(NodeId(1), NodeId(2), ZabMessage::Heartbeat { epoch: 3 });
+        let envelope = nets[1].receive_timeout(Duration::from_secs(5)).expect("healthy");
+        assert_eq!(envelope.message, ZabMessage::Heartbeat { epoch: 3 });
+    }
+}

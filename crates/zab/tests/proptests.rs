@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use zab::{NodeId, ZabCluster, Zxid};
+use zab::message::{Txn, ZabMessage};
+use zab::wire::{decode_envelope, encode_envelope};
+use zab::{Envelope, NodeId, ZabCluster, Zxid};
 
 /// A step of a randomly generated cluster schedule.
 #[derive(Debug, Clone)]
@@ -57,8 +59,65 @@ fn run_schedule(size: usize, steps: &[Step]) -> (ZabCluster, Vec<(Zxid, u8)>) {
     (cluster, committed)
 }
 
+fn arb_zxid() -> impl Strategy<Value = Zxid> {
+    (any::<u32>(), any::<u32>()).prop_map(|(epoch, counter)| Zxid { epoch, counter })
+}
+
+fn arb_txn() -> impl Strategy<Value = Txn> {
+    (arb_zxid(), proptest::collection::vec(any::<u8>(), 0..256))
+        .prop_map(|(zxid, payload)| Txn { zxid, payload })
+}
+
+/// Every [`ZabMessage`] variant, with arbitrary field values.
+fn arb_message() -> impl Strategy<Value = ZabMessage> {
+    prop_oneof![
+        (arb_txn(), arb_zxid()).prop_map(|(txn, prev)| ZabMessage::Proposal { txn, prev }),
+        (arb_zxid(), any::<u32>())
+            .prop_map(|(zxid, from)| ZabMessage::Ack { zxid, from: NodeId(from) }),
+        arb_zxid().prop_map(|zxid| ZabMessage::Commit { zxid }),
+        (any::<u32>(), proptest::collection::vec(arb_txn(), 0..8))
+            .prop_map(|(epoch, txns)| ZabMessage::NewLeaderSync { epoch, txns }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(from, epoch)| ZabMessage::SyncAck { from: NodeId(from), epoch }),
+        any::<u32>().prop_map(|epoch| ZabMessage::Heartbeat { epoch }),
+        (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(origin, request_id, payload)| ZabMessage::ForwardWrite {
+                origin: NodeId(origin),
+                request_id,
+                payload,
+            }
+        ),
+        (any::<u32>(), arb_zxid()).prop_map(|(from, last_logged)| ZabMessage::SyncRequest {
+            from: NodeId(from),
+            last_logged,
+        }),
+        (any::<u32>(), arb_zxid(), any::<u32>()).prop_map(|(epoch, last_logged, from)| {
+            ZabMessage::Election { epoch, last_logged, from: NodeId(from) }
+        }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wire_codec_roundtrips_every_message_variant(
+        from in any::<u32>(),
+        message in arb_message(),
+    ) {
+        let envelope = Envelope { from: NodeId(from), message };
+        let bytes = encode_envelope(&envelope);
+        prop_assert_eq!(decode_envelope(&bytes).unwrap(), envelope);
+    }
+
+    #[test]
+    fn wire_codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding arbitrary bytes must fail cleanly, never panic; and when it
+        // does decode, re-encoding reproduces the input exactly.
+        if let Ok(envelope) = decode_envelope(&bytes) {
+            prop_assert_eq!(encode_envelope(&envelope), bytes);
+        }
+    }
 
     #[test]
     fn committed_writes_are_totally_ordered_and_durable(

@@ -335,10 +335,27 @@ impl ZkTcpClient {
     ///
     /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable.
     pub fn reconnect(&mut self) -> Result<(), ZkError> {
+        self.reconnect_to(self.addr)
+    }
+
+    /// Re-dials a *different* server address — the failover path when the
+    /// replica this client was connected to crashes. The credentials are
+    /// re-established (sticky credentials such as SecureKeeper's replayable
+    /// session key reinstall the same key on the new replica); the session
+    /// id, watches and ephemerals start fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable.
+    pub fn reconnect_to(&mut self, addr: impl ToSocketAddrs) -> Result<(), ZkError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ZkError::ConnectionLoss { reason: "no address to connect to".into() })?;
         let timeout = i64::from(self.negotiated_timeout_ms);
-        let (stream, cipher, response) =
-            Self::handshake(self.addr, self.credentials.as_ref(), timeout)?;
+        let (stream, cipher, response) = Self::handshake(addr, self.credentials.as_ref(), timeout)?;
         self.stream = stream;
+        self.addr = addr;
         self.cipher = cipher;
         self.session_id = response.session_id;
         self.negotiated_timeout_ms = response.timeout_ms;
@@ -346,6 +363,29 @@ impl ZkTcpClient {
         self.last_zxid = 0;
         self.pending_events.clear();
         Ok(())
+    }
+
+    /// Connects to the first reachable address of an ensemble, in order.
+    /// Combine with [`ZkTcpClient::reconnect_to`] to fail over between the
+    /// members after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] when no member is reachable.
+    pub fn connect_ensemble(
+        addrs: &[SocketAddr],
+        credentials: Arc<dyn SessionCredentials>,
+        timeout_ms: i64,
+    ) -> Result<Self, ZkError> {
+        let mut last_error =
+            ZkError::ConnectionLoss { reason: "no ensemble address to connect to".into() };
+        for &addr in addrs {
+            match Self::connect_with(addr, Arc::clone(&credentials), timeout_ms) {
+                Ok(client) => return Ok(client),
+                Err(err) => last_error = err,
+            }
+        }
+        Err(last_error)
     }
 
     /// Sends one request and blocks until its response arrives, queueing any

@@ -415,14 +415,23 @@ mod tests {
     }
 
     #[test]
-    fn no_quorum_rejects_writes() {
+    fn no_quorum_rejects_writes_with_a_typed_error() {
         let mut cluster = ZkCluster::new(3);
         let ids = cluster.replica_ids();
         let session = cluster.connect_default(ids[0]).unwrap().session_id;
         cluster.crash(ids[1]);
         cluster.crash(ids[2]);
         let response = cluster.submit(session, &create("/x", CreateMode::Persistent));
-        assert!(!response.is_ok());
+        // The txn is not silently dropped: the client sees NoQuorum, not a
+        // generic marshalling failure.
+        assert_eq!(response.error_code(), jute::records::ErrorCode::NoQuorum);
+        // The typed client maps the wire code back to the typed error.
+        assert_eq!(crate::ops::error_from_code(response.error_code(), "/x"), ZkError::NoQuorum);
+        // Reads are still served by the surviving replica.
+        assert!(cluster.submit(session, &get("/")).is_ok());
+        // Once quorum returns, the same session writes again.
+        cluster.recover(ids[1]);
+        assert!(cluster.submit(session, &create("/x", CreateMode::Persistent)).is_ok());
     }
 
     #[test]

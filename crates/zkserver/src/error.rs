@@ -73,7 +73,7 @@ impl ZkError {
             ZkError::BadArguments { .. } => ErrorCode::BadArguments,
             ZkError::SessionExpired { .. } => ErrorCode::SessionExpired,
             ZkError::Marshalling { .. } => ErrorCode::MarshallingError,
-            ZkError::NoQuorum => ErrorCode::MarshallingError,
+            ZkError::NoQuorum => ErrorCode::NoQuorum,
             ZkError::ConnectionLoss { .. } => ErrorCode::ConnectionLoss,
         }
     }
@@ -126,7 +126,7 @@ mod tests {
             ZkError::BadVersion { path: "/a".into(), expected: 1, actual: 2 }.code(),
             ErrorCode::BadVersion
         );
-        assert_eq!(ZkError::NoQuorum.code(), ErrorCode::MarshallingError);
+        assert_eq!(ZkError::NoQuorum.code(), ErrorCode::NoQuorum);
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! * [`pipeline`] — the request-processor chain with the byte-buffer
 //!   interception points SecureKeeper's enclaves hook into;
 //! * [`server::ZkReplica`] — a single replica (standalone mode);
-//! * [`cluster::ZkCluster`] — a ZAB-replicated ensemble with crash injection
-//!   and leader failover;
+//! * [`cluster::ZkCluster`] — a deterministic in-process ZAB ensemble with
+//!   crash injection and leader failover (simulation experiments);
 //! * [`net::ZkTcpServer`] — the real TCP wire transport: length-prefixed
 //!   jute frames, concurrent connections, single-writer ordering;
+//! * [`ensemble::ZkEnsembleServer`] — a *networked* ensemble member: ZAB
+//!   over real peer sockets, follower→leader write forwarding, heartbeats,
+//!   leader election, and crash failover;
 //! * [`client::ZkClient`] — a typed client handle used by the examples and
 //!   the benchmark harness;
 //! * [`client::ZkTcpClient`] — the blocking socket client matching
@@ -32,6 +35,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod ensemble;
 pub mod error;
 pub mod net;
 pub mod ops;
@@ -43,6 +47,7 @@ pub mod watch;
 
 pub use client::{ZkClient, ZkTcpClient};
 pub use cluster::ZkCluster;
+pub use ensemble::{EnsembleConfig, ZkEnsembleServer};
 pub use error::ZkError;
 pub use net::ZkTcpServer;
 pub use server::ZkReplica;

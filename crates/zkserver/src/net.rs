@@ -95,6 +95,47 @@ impl SessionCredentials for PlainCredentials {
     }
 }
 
+/// Strategy for ordering and applying the write path of a [`ZkTcpServer`].
+///
+/// The standalone server applies writes directly to its replica
+/// ([`LocalWriteHandler`]); an ensemble member routes them through ZAB
+/// agreement instead ([`crate::ensemble`]), so the seam covers everything
+/// that mutates the replicated tree: client writes, `CloseSession` ephemeral
+/// cleanup, and session-expiry sweeps.
+pub trait WriteHandler: Send + Sync {
+    /// Executes one write (including `CloseSession`) on behalf of
+    /// `session_id` and returns the response plus the zxid for the reply
+    /// header.
+    fn execute_write(
+        &self,
+        replica: &Arc<ZkReplica>,
+        session_id: i64,
+        request: &Request,
+    ) -> (jute::Response, i64);
+
+    /// Runs one session-expiry sweep, returning the ids of the sessions that
+    /// expired (their connections are dropped by the caller).
+    fn tick(&self, replica: &Arc<ZkReplica>) -> Vec<i64> {
+        replica.tick()
+    }
+}
+
+/// The standalone write path: the replica orders and applies writes itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalWriteHandler;
+
+impl WriteHandler for LocalWriteHandler {
+    fn execute_write(
+        &self,
+        replica: &Arc<ZkReplica>,
+        session_id: i64,
+        request: &Request,
+    ) -> (jute::Response, i64) {
+        let response = replica.handle_request(session_id, request);
+        (response, replica.last_zxid())
+    }
+}
+
 /// Configuration of a [`ZkTcpServer`].
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -149,6 +190,7 @@ impl Connection {
 /// State shared by the accept loop, connection threads, writer and ticker.
 struct Shared {
     replica: Arc<ZkReplica>,
+    handler: Arc<dyn WriteHandler>,
     config: NetConfig,
     connections: Mutex<HashMap<i64, Arc<Connection>>>,
     /// Every accepted socket, registered *before* the handshake and removed
@@ -242,10 +284,27 @@ impl ZkTcpServer {
         replica: Arc<ZkReplica>,
         config: NetConfig,
     ) -> io::Result<Self> {
+        Self::bind_with_handler(addr, replica, config, Arc::new(LocalWriteHandler))
+    }
+
+    /// Binds with an explicit [`WriteHandler`] — the seam the replicated
+    /// ensemble uses to route writes through ZAB agreement instead of
+    /// applying them locally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind_with_handler(
+        addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: NetConfig,
+        handler: Arc<dyn WriteHandler>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             replica,
+            handler,
             config,
             connections: Mutex::new(HashMap::new()),
             sockets: Mutex::new(HashMap::new()),
@@ -364,8 +423,8 @@ fn accept_loop(
 /// the watch events fired by each write out to the live connections.
 fn writer_loop(shared: &Shared, write_rx: &Receiver<WriteJob>) {
     while let Ok(job) = write_rx.recv() {
-        let response = shared.replica.handle_request(job.session_id, &job.request);
-        let zxid = shared.replica.last_zxid();
+        let (response, zxid) =
+            shared.handler.execute_write(&shared.replica, job.session_id, &job.request);
         let _ = job.reply.send((response, zxid));
         shared.fan_out_watch_events();
     }
@@ -376,7 +435,7 @@ fn writer_loop(shared: &Shared, write_rx: &Receiver<WriteJob>) {
 fn ticker_loop(shared: &Shared) {
     while shared.running.load(Ordering::SeqCst) {
         std::thread::sleep(shared.config.tick_interval);
-        for session_id in shared.replica.tick() {
+        for session_id in shared.handler.tick(&shared.replica) {
             shared.drop_connection(session_id);
         }
         shared.fan_out_watch_events();

@@ -189,6 +189,7 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
             ZkError::NoChildrenForEphemerals { path: path.to_string() }
         }
         ErrorCode::SessionExpired => ZkError::SessionExpired { session_id: 0 },
+        ErrorCode::NoQuorum => ZkError::NoQuorum,
         ErrorCode::ConnectionLoss => {
             ZkError::ConnectionLoss { reason: format!("connection lost on {path}") }
         }

@@ -65,7 +65,10 @@ impl ZkReplica {
         ZkReplica {
             id,
             tree: RwLock::new(DataTree::new()),
-            sessions: Mutex::new(SessionManager::new()),
+            // Session ids are namespaced by replica id so ephemeral owners
+            // stay unique when several replicas of an ensemble each accept
+            // their own client connections.
+            sessions: Mutex::new(SessionManager::with_id_base(i64::from(id) << 48)),
             watches: Mutex::new(WatchManager::new()),
             namer: Arc::new(DefaultSequentialNamer),
             interceptor: Arc::new(PassthroughInterceptor),
@@ -172,6 +175,25 @@ impl ZkReplica {
     pub fn close_session(&self, session_id: i64) {
         if self.sessions.lock().close_session(session_id) {
             self.cleanup_session(session_id);
+        }
+        self.interceptor.on_session_closed(session_id);
+    }
+
+    /// Ids of sessions whose timeout has elapsed at the current clock
+    /// reading, *without* expiring them. The ensemble server uses this to
+    /// replicate the ephemeral cleanup through agreement before removing the
+    /// session with [`ZkReplica::remove_session_local`].
+    pub fn peek_expired_sessions(&self) -> Vec<i64> {
+        self.sessions.lock().peek_expired(self.clock.now_ms())
+    }
+
+    /// Removes a session and its watches without touching the data tree.
+    /// Cluster mode only: the session's ephemeral znodes must already have
+    /// been deleted through agreement (a local delete would fork the
+    /// replicated tree and corrupt the zxid sequence).
+    pub fn remove_session_local(&self, session_id: i64) {
+        if self.sessions.lock().close_session(session_id) {
+            self.watches.lock().remove_session(session_id);
         }
         self.interceptor.on_session_closed(session_id);
     }

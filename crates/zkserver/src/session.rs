@@ -100,6 +100,21 @@ impl SessionManager {
         SessionManager { sessions: HashMap::new(), next_id: 1 }
     }
 
+    /// Creates an empty manager whose self-allocated session ids start at
+    /// `base + 1`. Replicas of a networked ensemble namespace their ids by
+    /// replica id so the session owner recorded on replicated ephemeral
+    /// znodes is globally unique.
+    pub fn with_id_base(base: i64) -> Self {
+        SessionManager { sessions: HashMap::new(), next_id: base + 1 }
+    }
+
+    /// Ids of the sessions whose timeout has elapsed at `now_ms`, without
+    /// removing them. The ensemble server uses this to run ephemeral cleanup
+    /// through agreement *before* dropping the session.
+    pub fn peek_expired(&self, now_ms: i64) -> Vec<i64> {
+        self.sessions.values().filter(|s| s.is_expired(now_ms)).map(|s| s.id).collect()
+    }
+
     /// Creates a session with the given timeout, returning its id and password.
     pub fn create_session(&mut self, timeout_ms: i64, now_ms: i64) -> (i64, Vec<u8>) {
         let id = self.next_id;

@@ -3,9 +3,11 @@
 
 Usage: check_bench_regression.py CURRENT_RESULTS BASELINE [THRESHOLD]
 
-CURRENT_RESULTS is the JSON-lines file the vendored criterion shim appends to
-when CRITERION_JSON is set. BASELINE is BENCH_crypto.json (the archived
-snapshot, whose medians live under _meta.results). The check fails when a
+CURRENT_RESULTS is the JSON-lines file the vendored criterion shim (and the
+fig12_failover harness, via BENCH_JSON) appends to. BASELINE is an archived
+snapshot — BENCH_crypto.json or BENCH_ensemble.json — whose medians live
+under _meta.results. Only the guarded benchmarks present in the baseline are
+checked, so one guard list serves both baselines. The check fails when a
 guarded benchmark's median exceeds THRESHOLD x its baseline median (default
 3x — generous on purpose: CI machines are noisy, and this guard exists to
 catch accidental algorithmic regressions, not percent-level drift).
@@ -15,8 +17,15 @@ import json
 import sys
 
 GUARDED_BENCHMARKS = [
+    # Crypto hot path (BENCH_crypto.json).
     "zkcrypto/aes_gcm_seal/4096",
     "zkcrypto_fastpath/ghash_1k/table",
+    # Networked-ensemble failover (BENCH_ensemble.json): recovery time after
+    # a leader crash and steady-state per-op latency, plain and secure.
+    "ensemble/failover_recovery_ms/plain",
+    "ensemble/failover_recovery_ms/secure",
+    "ensemble/steady_op_latency/plain",
+    "ensemble/steady_op_latency/secure",
 ]
 DEFAULT_THRESHOLD = 3.0
 
@@ -48,11 +57,13 @@ def main(argv):
     baseline = load_medians(argv[2])
     threshold = float(argv[3]) if len(argv) > 3 else DEFAULT_THRESHOLD
 
+    guarded = [name for name in GUARDED_BENCHMARKS if name in baseline]
+    if not guarded:
+        print(f"no guarded benchmark appears in baseline {argv[2]}")
+        return 2
+
     failures = []
-    for name in GUARDED_BENCHMARKS:
-        if name not in baseline:
-            failures.append(f"{name}: missing from baseline {argv[2]}")
-            continue
+    for name in guarded:
         if name not in current:
             failures.append(f"{name}: missing from current results {argv[1]}")
             continue
