@@ -9,15 +9,16 @@
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
 
+use jute::multi::{MultiRequest, Op, OpResult};
 use jute::records::{
-    CreateMode, CreateRequest, DeleteRequest, ErrorCode, ExistsRequest, GetChildrenRequest,
-    GetDataRequest, RequestHeader, SetDataRequest, Stat,
+    CheckVersionRequest, CreateMode, CreateRequest, DeleteRequest, ExistsRequest,
+    GetChildrenRequest, GetDataRequest, RequestHeader, SetDataRequest, Stat,
 };
 use jute::{Request, Response};
 use zab::NodeId;
 use zkcrypto::keys::SessionKey;
 use zkserver::client::SharedCluster;
-use zkserver::ops::error_from_code;
+use zkserver::typed::{self, MultiDispatch, Txn};
 use zkserver::watch::WatchEvent;
 
 use crate::error::SkError;
@@ -123,10 +124,6 @@ impl SecureKeeperClient {
         Ok(response)
     }
 
-    fn unexpected(response: Response) -> SkError {
-        SkError::Malformed { reason: format!("unexpected response {response:?}") }
-    }
-
     /// Creates a znode; the returned path carries the sequence suffix for
     /// sequential modes.
     ///
@@ -136,11 +133,7 @@ impl SecureKeeperClient {
     /// and integrity failures.
     pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, SkError> {
         let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
-        match self.call(&request)? {
-            Response::Create(create) => Ok(create.path),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_create(self.call(&request)?, path).map_err(SkError::from)
     }
 
     /// Reads a znode's payload (decrypted and binding-verified by the enclave).
@@ -151,11 +144,7 @@ impl SecureKeeperClient {
     /// untrusted store returned a payload that is not bound to `path`.
     pub fn get_data(&self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), SkError> {
         let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::GetData(get) => Ok((get.data, get.stat)),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_get_data(self.call(&request)?, path).map_err(SkError::from)
     }
 
     /// Overwrites a znode's payload.
@@ -165,11 +154,7 @@ impl SecureKeeperClient {
     /// Returns `BadVersion` on a version mismatch and `NoNode` for missing paths.
     pub fn set_data(&self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, SkError> {
         let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
-        match self.call(&request)? {
-            Response::SetData(set) => Ok(set.stat),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_set_data(self.call(&request)?, path).map_err(SkError::from)
     }
 
     /// Deletes a znode.
@@ -179,11 +164,7 @@ impl SecureKeeperClient {
     /// Returns `NotEmpty`, `BadVersion` or `NoNode` as appropriate.
     pub fn delete(&self, path: &str, version: i32) -> Result<(), SkError> {
         let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
-        match self.call(&request)? {
-            Response::Delete => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_delete(self.call(&request)?, path).map_err(SkError::from)
     }
 
     /// Lists the (decrypted) child names of a znode.
@@ -193,11 +174,7 @@ impl SecureKeeperClient {
     /// Returns `NoNode` for missing paths.
     pub fn get_children(&self, path: &str, watch: bool) -> Result<Vec<String>, SkError> {
         let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::GetChildren(ls) => Ok(ls.children),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_get_children(self.call(&request)?, path).map_err(SkError::from)
     }
 
     /// Checks whether a znode exists.
@@ -208,12 +185,39 @@ impl SecureKeeperClient {
     /// `Ok(None)`.
     pub fn exists(&self, path: &str, watch: bool) -> Result<Option<Stat>, SkError> {
         let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::Exists(exists) => Ok(Some(exists.stat)),
-            Response::Error(ErrorCode::NoNode) => Ok(None),
-            Response::Error(code) => Err(error_from_code(code, path).into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_exists(self.call(&request)?, path).map_err(SkError::from)
+    }
+
+    /// Asserts that a znode exists at the expected version (-1 checks
+    /// existence only); the path travels encrypted like every other request.
+    ///
+    /// # Errors
+    ///
+    /// Returns `NoNode` or `BadVersion`.
+    pub fn check(&self, path: &str, version: i32) -> Result<(), SkError> {
+        let request = Request::Check(CheckVersionRequest { path: path.to_string(), version });
+        typed::expect_check(self.call(&request)?, path).map_err(SkError::from)
+    }
+
+    /// Executes `ops` as one atomic transaction; the entry enclave encrypts
+    /// each sub-operation's path and payload individually, so the untrusted
+    /// store only ever sees ciphertext. Aborts are reported in-band (see
+    /// [`MultiDispatch::multi`]); prefer [`SecureKeeperClient::txn`] for the
+    /// fluent builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport-plane failures (session expiry, quorum loss) and
+    /// integrity violations.
+    pub fn multi(&self, ops: Vec<Op>) -> Result<Vec<OpResult>, SkError> {
+        let count = ops.len();
+        let request = Request::Multi(MultiRequest::new(ops));
+        typed::expect_multi(self.call(&request)?, count).map_err(SkError::from)
+    }
+
+    /// Starts an atomic-transaction builder (see [`Txn`]).
+    pub fn txn(&mut self) -> Txn<'_, Self> {
+        MultiDispatch::txn(self)
     }
 
     /// Sends a keep-alive ping through the secure channel.
@@ -222,11 +226,7 @@ impl SecureKeeperClient {
     ///
     /// Returns a service error when the session is gone.
     pub fn ping(&self) -> Result<(), SkError> {
-        match self.call(&Request::Ping)? {
-            Response::Ping => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, "/").into()),
-            other => Err(Self::unexpected(other)),
-        }
+        typed::expect_ping(self.call(&Request::Ping)?).map_err(SkError::from)
     }
 
     /// Drains watch notifications delivered to this session. Paths in the
@@ -239,6 +239,14 @@ impl SecureKeeperClient {
     /// Closes the session; ephemeral znodes created by it are removed.
     pub fn close(self) {
         self.cluster.lock().close_session(self.session_id);
+    }
+}
+
+impl MultiDispatch for SecureKeeperClient {
+    type Error = SkError;
+
+    fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, SkError> {
+        SecureKeeperClient::multi(self, ops)
     }
 }
 
@@ -389,6 +397,80 @@ mod tests {
         client.reconnect_to(leader).unwrap();
         let (data, _) = client.get_data("/persistent", false).unwrap();
         assert_eq!(data, b"x");
+    }
+
+    #[test]
+    fn atomic_txn_commits_and_aborts_through_the_enclave() {
+        use jute::records::CheckVersionRequest;
+        use zkserver::OpResult;
+
+        let (cluster, handles) = setup();
+        let mut client = connect(&cluster, &handles, 0);
+        client.create("/cfg", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+
+        // Read-modify-write with an audit-trail create, as one transaction.
+        let results = client
+            .txn()
+            .check("/cfg", 0)
+            .set_data("/cfg", b"v1".to_vec(), 0)
+            .create("/cfg/audit-", b"v0".to_vec(), CreateMode::PersistentSequential)
+            .commit()
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        match &results[2] {
+            OpResult::Create { path } => assert_eq!(path, "/cfg/audit-0000000000"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (data, stat) = client.get_data("/cfg", false).unwrap();
+        assert_eq!(data, b"v1");
+        assert_eq!(stat.version, 1);
+        let (audit, _) = client.get_data("/cfg/audit-0000000000", false).unwrap();
+        assert_eq!(audit, b"v0");
+
+        // A stale check aborts the whole transaction with the typed error...
+        let err = client
+            .txn()
+            .check("/cfg", 0)
+            .set_data("/cfg", b"v2".to_vec(), -1)
+            .delete("/cfg/audit-0000000000", -1)
+            .commit()
+            .unwrap_err();
+        match err {
+            SkError::Service(ZkError::BadVersion { path, .. }) => assert_eq!(path, "/cfg"),
+            other => panic!("expected a typed BadVersion abort, got {other:?}"),
+        }
+        // ...and nothing was applied.
+        let (data, _) = client.get_data("/cfg", false).unwrap();
+        assert_eq!(data, b"v1");
+        assert!(client.exists("/cfg/audit-0000000000", false).unwrap().is_some());
+
+        // The per-operation result vector of the abort is available through
+        // the in-band multi() surface.
+        let results = client
+            .multi(vec![
+                zkserver::Op::Check(CheckVersionRequest { path: "/cfg".into(), version: 0 }),
+                zkserver::Op::Delete(jute::records::DeleteRequest {
+                    path: "/cfg/audit-0000000000".into(),
+                    version: -1,
+                }),
+            ])
+            .unwrap();
+        assert_eq!(
+            results,
+            vec![
+                OpResult::Error(jute::records::ErrorCode::BadVersion),
+                OpResult::Error(jute::records::ErrorCode::RuntimeInconsistency),
+            ]
+        );
+
+        // Nothing in the untrusted store reveals the transaction's plaintext.
+        let guard = cluster.lock();
+        for id in guard.replica_ids() {
+            for path in guard.replica(id).tree().paths() {
+                assert!(!path.contains("cfg"), "plaintext path leaked: {path}");
+                assert!(!path.contains("audit"), "plaintext path leaked: {path}");
+            }
+        }
     }
 
     #[test]

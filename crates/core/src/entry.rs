@@ -192,49 +192,97 @@ impl EntryEnclave {
         Ok(())
     }
 
+    fn charge_path(&self, model: &CostModel, path: &str) {
+        self.enclave.charge_ns(
+            model.sha256_ns(path.len())
+                + model.aes_gcm_ns(path.len())
+                + model.base64_ns(path.len()),
+        );
+    }
+
+    fn charge_payload(&self, model: &CostModel, len: usize) {
+        self.enclave.charge_ns(model.aes_gcm_ns(len + PayloadCipher::overhead()));
+    }
+
+    /// Rewrites a CREATE towards the store: encrypted path, payload sealed
+    /// and bound to the plaintext path (with the Sequential flag for
+    /// sequential modes, so the counter enclave's merged name still verifies
+    /// the binding). Used verbatim for standalone creates and creates inside
+    /// a `multi` — the sealing rules must never diverge between the two.
+    fn encrypt_create(
+        &self,
+        create: &jute::records::CreateRequest,
+        model: &CostModel,
+    ) -> Result<jute::records::CreateRequest, SkError> {
+        self.charge_path(model, &create.path);
+        self.charge_payload(model, create.data.len());
+        let flag = if create.mode.is_sequential() {
+            SequentialFlag::Sequential
+        } else {
+            SequentialFlag::Regular
+        };
+        Ok(jute::records::CreateRequest {
+            path: self.path_cipher.encrypt_path(&create.path)?,
+            data: self.payload_cipher.seal(&create.path, &create.data, flag),
+            mode: create.mode,
+        })
+    }
+
+    /// Rewrites a SET towards the store (standalone or inside a `multi`).
+    fn encrypt_set_data(
+        &self,
+        set: &jute::records::SetDataRequest,
+        model: &CostModel,
+    ) -> Result<jute::records::SetDataRequest, SkError> {
+        self.charge_path(model, &set.path);
+        self.charge_payload(model, set.data.len());
+        Ok(jute::records::SetDataRequest {
+            path: self.path_cipher.encrypt_path(&set.path)?,
+            data: self.payload_cipher.seal(&set.path, &set.data, SequentialFlag::Regular),
+            version: set.version,
+        })
+    }
+
+    /// Rewrites a DELETE towards the store (standalone or inside a `multi`).
+    fn encrypt_delete(
+        &self,
+        delete: &jute::records::DeleteRequest,
+        model: &CostModel,
+    ) -> Result<jute::records::DeleteRequest, SkError> {
+        self.charge_path(model, &delete.path);
+        Ok(jute::records::DeleteRequest {
+            path: self.path_cipher.encrypt_path(&delete.path)?,
+            version: delete.version,
+        })
+    }
+
+    /// Rewrites a CHECK towards the store (standalone or inside a `multi`).
+    fn encrypt_check(
+        &self,
+        check: &jute::records::CheckVersionRequest,
+        model: &CostModel,
+    ) -> Result<jute::records::CheckVersionRequest, SkError> {
+        self.charge_path(model, &check.path);
+        Ok(jute::records::CheckVersionRequest {
+            path: self.path_cipher.encrypt_path(&check.path)?,
+            version: check.version,
+        })
+    }
+
     fn encrypt_request_fields(
         &self,
         request: &Request,
         model: &CostModel,
     ) -> Result<(Request, Option<String>), SkError> {
-        let charge_path = |path: &str| {
-            self.enclave.charge_ns(
-                model.sha256_ns(path.len())
-                    + model.aes_gcm_ns(path.len())
-                    + model.base64_ns(path.len()),
-            );
-        };
-        let charge_payload = |len: usize| {
-            self.enclave.charge_ns(model.aes_gcm_ns(len + PayloadCipher::overhead()));
-        };
         Ok(match request {
             Request::Create(create) => {
-                charge_path(&create.path);
-                charge_payload(create.data.len());
-                let flag = if create.mode.is_sequential() {
-                    SequentialFlag::Sequential
-                } else {
-                    SequentialFlag::Regular
-                };
-                let encrypted = jute::records::CreateRequest {
-                    path: self.path_cipher.encrypt_path(&create.path)?,
-                    data: self.payload_cipher.seal(&create.path, &create.data, flag),
-                    mode: create.mode,
-                };
-                (Request::Create(encrypted), Some(create.path.clone()))
+                (Request::Create(self.encrypt_create(create, model)?), Some(create.path.clone()))
             }
             Request::SetData(set) => {
-                charge_path(&set.path);
-                charge_payload(set.data.len());
-                let encrypted = jute::records::SetDataRequest {
-                    path: self.path_cipher.encrypt_path(&set.path)?,
-                    data: self.payload_cipher.seal(&set.path, &set.data, SequentialFlag::Regular),
-                    version: set.version,
-                };
-                (Request::SetData(encrypted), Some(set.path.clone()))
+                (Request::SetData(self.encrypt_set_data(set, model)?), Some(set.path.clone()))
             }
             Request::GetData(get) => {
-                charge_path(&get.path);
+                self.charge_path(model, &get.path);
                 let encrypted = jute::records::GetDataRequest {
                     path: self.path_cipher.encrypt_path(&get.path)?,
                     watch: get.watch,
@@ -242,15 +290,10 @@ impl EntryEnclave {
                 (Request::GetData(encrypted), Some(get.path.clone()))
             }
             Request::Delete(delete) => {
-                charge_path(&delete.path);
-                let encrypted = jute::records::DeleteRequest {
-                    path: self.path_cipher.encrypt_path(&delete.path)?,
-                    version: delete.version,
-                };
-                (Request::Delete(encrypted), Some(delete.path.clone()))
+                (Request::Delete(self.encrypt_delete(delete, model)?), Some(delete.path.clone()))
             }
             Request::Exists(exists) => {
-                charge_path(&exists.path);
+                self.charge_path(model, &exists.path);
                 let encrypted = jute::records::ExistsRequest {
                     path: self.path_cipher.encrypt_path(&exists.path)?,
                     watch: exists.watch,
@@ -258,12 +301,38 @@ impl EntryEnclave {
                 (Request::Exists(encrypted), Some(exists.path.clone()))
             }
             Request::GetChildren(ls) => {
-                charge_path(&ls.path);
+                self.charge_path(model, &ls.path);
                 let encrypted = jute::records::GetChildrenRequest {
                     path: self.path_cipher.encrypt_path(&ls.path)?,
                     watch: ls.watch,
                 };
                 (Request::GetChildren(encrypted), Some(ls.path.clone()))
+            }
+            Request::Check(check) => {
+                (Request::Check(self.encrypt_check(check, model)?), Some(check.path.clone()))
+            }
+            Request::Multi(multi) => {
+                // Each sub-operation is rewritten by the same helper as its
+                // standalone counterpart, so the untrusted server sees a
+                // well-formed multi over ciphertext paths and payloads.
+                let mut ops = Vec::with_capacity(multi.ops.len());
+                for op in &multi.ops {
+                    ops.push(match op {
+                        jute::multi::Op::Create(create) => {
+                            jute::multi::Op::Create(self.encrypt_create(create, model)?)
+                        }
+                        jute::multi::Op::SetData(set) => {
+                            jute::multi::Op::SetData(self.encrypt_set_data(set, model)?)
+                        }
+                        jute::multi::Op::Delete(delete) => {
+                            jute::multi::Op::Delete(self.encrypt_delete(delete, model)?)
+                        }
+                        jute::multi::Op::Check(check) => {
+                            jute::multi::Op::Check(self.encrypt_check(check, model)?)
+                        }
+                    });
+                }
+                (Request::Multi(jute::multi::MultiRequest::new(ops)), None)
             }
             Request::Ping => (Request::Ping, None),
             Request::CloseSession => (Request::CloseSession, None),
@@ -400,6 +469,27 @@ impl EntryEnclave {
                 }
                 children.sort();
                 Response::GetChildren(GetChildrenResponse { children })
+            }
+            Response::Multi(multi) => {
+                // Only CREATE results carry storage ciphertext (the final,
+                // possibly sequence-merged path); everything else — stats,
+                // acks, per-operation error codes of an abort — passes
+                // through unchanged.
+                let mut results = Vec::with_capacity(multi.results.len());
+                for result in multi.results {
+                    results.push(match result {
+                        jute::multi::OpResult::Create { path } => {
+                            self.enclave.charge_ns(
+                                model.aes_gcm_ns(path.len()) + model.base64_ns(path.len()),
+                            );
+                            jute::multi::OpResult::Create {
+                                path: self.path_cipher.decrypt_path(&path)?,
+                            }
+                        }
+                        other => other,
+                    });
+                }
+                Response::Multi(jute::multi::MultiResponse::new(results))
             }
             other => other,
         })
@@ -547,6 +637,69 @@ mod tests {
         let plain = client.open(&response_buffer).unwrap();
         let (_, decoded) = Response::from_bytes(&plain, OpCode::GetData).unwrap();
         assert_eq!(decoded, Response::Error(ErrorCode::NoNode));
+    }
+
+    #[test]
+    fn multi_requests_are_storage_encrypted_per_sub_op() {
+        use jute::multi::{MultiRequest, MultiResponse, Op, OpResult};
+        use jute::records::{CheckVersionRequest, DeleteRequest, SetDataRequest};
+
+        let (_epc, entry, client) = enclave();
+        let request = Request::Multi(MultiRequest::new(vec![
+            Op::Check(CheckVersionRequest { path: "/app/guard".into(), version: 1 }),
+            Op::Create(CreateRequest {
+                path: "/app/secret".into(),
+                data: b"password=hunter2".to_vec(),
+                mode: CreateMode::Persistent,
+            }),
+            Op::SetData(SetDataRequest {
+                path: "/app/cfg".into(),
+                data: b"topsecret".to_vec(),
+                version: -1,
+            }),
+            Op::Delete(DeleteRequest { path: "/app/old".into(), version: 0 }),
+        ]));
+        let mut buffer = wire_request(&client, 3, &request);
+        entry.process_request(&mut buffer).unwrap();
+
+        // The rewritten multi parses, keeps the structure, but leaks nothing.
+        let (header, rewritten) = Request::from_bytes(&buffer).unwrap();
+        assert_eq!(header.xid, 3);
+        let multi = match rewritten {
+            Request::Multi(multi) => multi,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(multi.ops.len(), 4);
+        for op in &multi.ops {
+            assert!(!op.path().contains("app"), "plaintext path leaked: {}", op.path());
+            assert!(!op.path().contains("guard"), "plaintext path leaked: {}", op.path());
+            if let Op::Create(create) = op {
+                assert!(!String::from_utf8_lossy(&create.data).contains("hunter2"));
+            }
+            if let Op::SetData(set) = op {
+                assert!(!String::from_utf8_lossy(&set.data).contains("topsecret"));
+            }
+        }
+        // Version guards survive the rewrite untouched.
+        assert!(matches!(&multi.ops[0], Op::Check(check) if check.version == 1));
+        assert!(matches!(&multi.ops[3], Op::Delete(delete) if delete.version == 0));
+
+        // An aborted response carries its typed per-op error codes through
+        // the sealed transport unchanged.
+        let response = Response::Multi(MultiResponse::aborted(4, 0, ErrorCode::BadVersion));
+        let mut response_buffer =
+            response.to_bytes(&ReplyHeader { xid: 3, zxid: 0, err: ErrorCode::Ok });
+        entry.process_response(&mut response_buffer).unwrap();
+        let plain = client.open(&response_buffer).unwrap();
+        let (_, decoded) = Response::from_bytes(&plain, OpCode::Multi).unwrap();
+        assert_eq!(decoded, response);
+        match decoded {
+            Response::Multi(multi) => {
+                assert_eq!(multi.first_error(), Some((0, ErrorCode::BadVersion)));
+                assert_eq!(multi.results[1], OpResult::Error(ErrorCode::RuntimeInconsistency));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

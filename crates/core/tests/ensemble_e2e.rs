@@ -159,6 +159,117 @@ fn pre_crash_secure_session_keeps_decrypting_after_leader_failover() {
 }
 
 #[test]
+fn secure_multi_at_a_follower_is_atomic_and_ciphertext_only() {
+    use jute::records::ErrorCode;
+    use zkserver::OpResult;
+
+    let servers = start_secure_ensemble(3);
+    assert!(!servers[2].is_leader());
+    let credentials = Arc::new(ReplayableSessionCredentials::generate());
+    let mut client = ZkTcpClient::connect_with(
+        servers[2].client_addr(),
+        Arc::clone(&credentials) as Arc<dyn zkserver::net::SessionCredentials>,
+        30_000,
+    )
+    .expect("secure connect to a follower");
+
+    client.create("/ledger", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+    let zxid_before = client.last_zxid();
+
+    // A follower-issued secure transaction: forwarded to the leader as one
+    // sealed proposal, committed everywhere at one zxid, counter-enclave
+    // naming for the sequential audit node included.
+    let results = client
+        .txn()
+        .check("/ledger", 0)
+        .set_data("/ledger", b"v1".to_vec(), 0)
+        .create("/ledger/entry-", b"credit:30".to_vec(), CreateMode::PersistentSequential)
+        .commit()
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    match &results[2] {
+        OpResult::Create { path } => assert_eq!(path, "/ledger/entry-0000000000"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let commit_zxid = client.last_zxid();
+    assert_eq!(commit_zxid, zxid_before + 1, "the batch is one ZAB proposal");
+    let (data, _) = client.get_data("/ledger/entry-0000000000", false).unwrap();
+    assert_eq!(data, b"credit:30");
+
+    // Every replica applied the whole transaction at the same single zxid.
+    for server in &servers {
+        let id = server.id();
+        wait_until(&format!("multi replication to {id}"), || {
+            server.last_applied_zxid() >= commit_zxid
+        });
+        let replica = server.replica();
+        let tree = replica.tree();
+        let root = tree
+            .paths()
+            .into_iter()
+            .find(|p| p != "/" && p.matches('/').count() == 1)
+            .expect("ledger root replicated");
+        assert_eq!(tree.get(&root).unwrap().stat().mzxid, commit_zxid, "{id}");
+    }
+
+    // A failing check aborts the forwarded transaction on every replica.
+    let err = client
+        .txn()
+        .check("/ledger", 0) // stale: version is 1 now
+        .set_data("/ledger", b"v2".to_vec(), -1)
+        .delete("/ledger/entry-0000000000", -1)
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, ZkError::BadVersion { .. }), "got {err:?}");
+    let (data, _) = client.get_data("/ledger", false).unwrap();
+    assert_eq!(data, b"v1", "aborted multi must not apply any sub-op");
+    let abort_zxid = client.last_zxid();
+
+    // Per-op abort results arrive typed through the encrypted channel.
+    let results = client
+        .multi(vec![
+            zkserver::Op::Check(jute::records::CheckVersionRequest {
+                path: "/ledger".into(),
+                version: 0,
+            }),
+            zkserver::Op::Delete(jute::records::DeleteRequest {
+                path: "/ledger/entry-0000000000".into(),
+                version: -1,
+            }),
+        ])
+        .unwrap();
+    assert_eq!(
+        results,
+        vec![
+            OpResult::Error(ErrorCode::BadVersion),
+            OpResult::Error(ErrorCode::RuntimeInconsistency),
+        ]
+    );
+
+    // No replica diverged, and the store holds only ciphertext.
+    for server in &servers {
+        let id = server.id();
+        wait_until(&format!("abort replication to {id}"), || {
+            server.last_applied_zxid() >= abort_zxid
+        });
+        let replica = server.replica();
+        let tree = replica.tree();
+        let reference = servers[0].replica();
+        assert_eq!(tree.paths(), reference.tree().paths(), "{id}");
+        for path in tree.paths() {
+            assert!(!path.contains("ledger"), "plaintext path leaked: {path}");
+            assert!(!path.contains("entry"), "plaintext path leaked: {path}");
+            if path != "/" {
+                let rendered =
+                    String::from_utf8_lossy(tree.get(&path).unwrap().data()).into_owned();
+                assert!(!rendered.contains("credit:30"), "plaintext payload leaked on {path}");
+            }
+        }
+    }
+    client.close();
+}
+
+#[test]
 fn plaintext_clients_are_rejected_by_every_secure_replica() {
     let servers = start_secure_ensemble(3);
     for server in &servers {

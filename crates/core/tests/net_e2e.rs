@@ -247,6 +247,95 @@ fn close_session_is_acknowledged_through_the_secure_channel() {
 }
 
 #[test]
+fn multi_transactions_commit_atomically_over_the_secure_wire() {
+    use jute::records::ErrorCode;
+    use zkserver::OpResult;
+
+    let (server, _interceptor) = secure_server();
+    let mut client = secure_client(&server);
+    client.create("/bank", b"ledger".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/bank/alice", b"100".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/bank/bob", b"50".to_vec(), CreateMode::Persistent).unwrap();
+    let zxid_before = client.last_zxid();
+
+    // A guarded transfer: both balances move, or neither does, and the audit
+    // entry is numbered by the counter enclave inside the same transaction.
+    let results = client
+        .txn()
+        .check("/bank/alice", 0)
+        .check("/bank/bob", 0)
+        .set_data("/bank/alice", b"70".to_vec(), 0)
+        .set_data("/bank/bob", b"80".to_vec(), 0)
+        .create("/bank/xfer-", b"alice->bob:30".to_vec(), CreateMode::PersistentSequential)
+        .commit()
+        .unwrap();
+    assert_eq!(results.len(), 5);
+    match &results[4] {
+        OpResult::Create { path } => assert_eq!(path, "/bank/xfer-0000000000"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(client.last_zxid(), zxid_before + 1, "one zxid for the whole batch");
+    let (alice, _) = client.get_data("/bank/alice", false).unwrap();
+    let (bob, _) = client.get_data("/bank/bob", false).unwrap();
+    let (audit, _) = client.get_data("/bank/xfer-0000000000", false).unwrap();
+    assert_eq!(
+        (alice.as_slice(), bob.as_slice(), audit.as_slice()),
+        (b"70".as_slice(), b"80".as_slice(), b"alice->bob:30".as_slice())
+    );
+
+    // A failing version guard aborts the whole batch: balances untouched,
+    // typed per-op errors returned through the encrypted channel.
+    let err = client
+        .txn()
+        .check("/bank/alice", 0) // stale: version is 1 now
+        .set_data("/bank/alice", b"0".to_vec(), -1)
+        .set_data("/bank/bob", b"150".to_vec(), -1)
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, zkserver::ZkError::BadVersion { .. }), "got {err:?}");
+    let (alice, _) = client.get_data("/bank/alice", false).unwrap();
+    let (bob, _) = client.get_data("/bank/bob", false).unwrap();
+    assert_eq!((alice.as_slice(), bob.as_slice()), (b"70".as_slice(), b"80".as_slice()));
+
+    let results = client
+        .multi(vec![
+            zkserver::Op::Check(jute::records::CheckVersionRequest {
+                path: "/bank/alice".into(),
+                version: 0,
+            }),
+            zkserver::Op::Delete(jute::records::DeleteRequest {
+                path: "/bank/xfer-0000000000".into(),
+                version: -1,
+            }),
+        ])
+        .unwrap();
+    assert_eq!(
+        results,
+        vec![
+            OpResult::Error(ErrorCode::BadVersion),
+            OpResult::Error(ErrorCode::RuntimeInconsistency),
+        ]
+    );
+
+    // The untrusted store holds only ciphertext for everything the
+    // transactions touched.
+    let replica = server.replica();
+    let tree = replica.tree();
+    for path in tree.paths() {
+        assert!(!path.contains("bank"), "plaintext path leaked: {path}");
+        assert!(!path.contains("alice"), "plaintext path leaked: {path}");
+        assert!(!path.contains("xfer"), "plaintext path leaked: {path}");
+        if path != "/" {
+            let rendered = String::from_utf8_lossy(tree.get(&path).unwrap().data()).into_owned();
+            assert!(!rendered.contains("alice->bob"), "plaintext payload leaked on {path}");
+        }
+    }
+    drop(tree);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
 fn sequential_nodes_and_ephemerals_work_over_the_secure_wire() {
     let (server, _interceptor) = secure_server();
     let mut client = secure_client(&server);

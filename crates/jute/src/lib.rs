@@ -15,6 +15,8 @@
 //!   operations (GET, SET, CREATE, CREATE sequential, DELETE, LS) plus
 //!   connection handshakes, EXISTS and the `Stat` metadata record;
 //! * [`framing`] — the 4-byte length framing used on the wire;
+//! * [`multi`] — the typed [`Op`]/[`OpResult`] model of atomic `multi`
+//!   transactions (opcode 14) with their nested `MultiHeader` wire framing;
 //! * [`Request`] and [`Response`] — typed unions over all operations, the
 //!   currency of the rest of the workspace.
 //!
@@ -41,6 +43,7 @@
 pub mod de;
 pub mod error;
 pub mod framing;
+pub mod multi;
 pub mod records;
 pub mod ser;
 
@@ -49,5 +52,6 @@ mod message;
 pub use de::InputArchive;
 pub use error::JuteError;
 pub use message::{Request, Response};
+pub use multi::{MultiRequest, MultiResponse, Op, OpResult};
 pub use records::OpCode;
 pub use ser::OutputArchive;

@@ -6,10 +6,12 @@
 
 use crate::de::InputArchive;
 use crate::error::JuteError;
+use crate::multi::{MultiRequest, MultiResponse};
 use crate::records::{
-    ConnectRequest, ConnectResponse, CreateRequest, CreateResponse, DeleteRequest, ErrorCode,
-    ExistsRequest, ExistsResponse, GetChildrenRequest, GetChildrenResponse, GetDataRequest,
-    GetDataResponse, OpCode, ReplyHeader, RequestHeader, SetDataRequest, SetDataResponse,
+    CheckVersionRequest, ConnectRequest, ConnectResponse, CreateRequest, CreateResponse,
+    DeleteRequest, ErrorCode, ExistsRequest, ExistsResponse, GetChildrenRequest,
+    GetChildrenResponse, GetDataRequest, GetDataResponse, OpCode, ReplyHeader, RequestHeader,
+    SetDataRequest, SetDataResponse,
 };
 use crate::ser::OutputArchive;
 
@@ -30,6 +32,10 @@ pub enum Request {
     SetData(SetDataRequest),
     /// LS.
     GetChildren(GetChildrenRequest),
+    /// Version/existence check without mutation.
+    Check(CheckVersionRequest),
+    /// Atomic transaction of several write sub-operations.
+    Multi(MultiRequest),
     /// Keep-alive.
     Ping,
     /// Session teardown.
@@ -47,12 +53,15 @@ impl Request {
             Request::GetData(_) => OpCode::GetData,
             Request::SetData(_) => OpCode::SetData,
             Request::GetChildren(_) => OpCode::GetChildren,
+            Request::Check(_) => OpCode::Check,
+            Request::Multi(_) => OpCode::Multi,
             Request::Ping => OpCode::Ping,
             Request::CloseSession => OpCode::CloseSession,
         }
     }
 
-    /// The znode path this request targets, if any.
+    /// The znode path this request targets, if any (a `multi` targets one
+    /// path per sub-operation, so it reports `None` here).
     pub fn path(&self) -> Option<&str> {
         match self {
             Request::Create(r) => Some(&r.path),
@@ -61,7 +70,8 @@ impl Request {
             Request::GetData(r) => Some(&r.path),
             Request::SetData(r) => Some(&r.path),
             Request::GetChildren(r) => Some(&r.path),
-            Request::Connect(_) | Request::Ping | Request::CloseSession => None,
+            Request::Check(r) => Some(&r.path),
+            Request::Multi(_) | Request::Connect(_) | Request::Ping | Request::CloseSession => None,
         }
     }
 
@@ -77,6 +87,8 @@ impl Request {
             Request::GetData(r) => r.serialize(&mut out),
             Request::SetData(r) => r.serialize(&mut out),
             Request::GetChildren(r) => r.serialize(&mut out),
+            Request::Check(r) => r.serialize(&mut out),
+            Request::Multi(r) => r.serialize(&mut out),
             Request::Ping | Request::CloseSession => {}
         }
         out.into_bytes()
@@ -100,6 +112,8 @@ impl Request {
             OpCode::GetChildren => {
                 Request::GetChildren(GetChildrenRequest::deserialize(&mut input)?)
             }
+            OpCode::Check => Request::Check(CheckVersionRequest::deserialize(&mut input)?),
+            OpCode::Multi => Request::Multi(MultiRequest::deserialize(&mut input)?),
             OpCode::Ping => Request::Ping,
             OpCode::CloseSession => Request::CloseSession,
         };
@@ -125,6 +139,12 @@ pub enum Response {
     SetData(SetDataResponse),
     /// LS result.
     GetChildren(GetChildrenResponse),
+    /// CHECK succeeded.
+    Check,
+    /// Per-sub-operation results of a `multi` transaction. The reply header
+    /// stays [`ErrorCode::Ok`] even for an aborted transaction; the abort and
+    /// its cause are carried in the per-operation results.
+    Multi(MultiResponse),
     /// Keep-alive acknowledgement.
     Ping,
     /// Session closed.
@@ -152,7 +172,12 @@ impl Response {
             Response::GetData(r) => r.serialize(&mut out),
             Response::SetData(r) => r.serialize(&mut out),
             Response::GetChildren(r) => r.serialize(&mut out),
-            Response::Delete | Response::Ping | Response::CloseSession | Response::Error(_) => {}
+            Response::Multi(r) => r.serialize(&mut out),
+            Response::Delete
+            | Response::Check
+            | Response::Ping
+            | Response::CloseSession
+            | Response::Error(_) => {}
         }
         out.into_bytes()
     }
@@ -182,6 +207,8 @@ impl Response {
             OpCode::GetChildren => {
                 Response::GetChildren(GetChildrenResponse::deserialize(&mut input)?)
             }
+            OpCode::Check => Response::Check,
+            OpCode::Multi => Response::Multi(MultiResponse::deserialize(&mut input)?),
             OpCode::Ping => Response::Ping,
             OpCode::CloseSession => Response::CloseSession,
         };
@@ -228,6 +255,15 @@ mod tests {
             Request::GetData(GetDataRequest { path: "/a".into(), watch: true }),
             Request::SetData(SetDataRequest { path: "/a".into(), data: vec![1, 2], version: 0 }),
             Request::GetChildren(GetChildrenRequest { path: "/".into(), watch: false }),
+            Request::Check(CheckVersionRequest { path: "/a".into(), version: 2 }),
+            Request::Multi(MultiRequest::new(vec![
+                crate::multi::Op::Check(CheckVersionRequest { path: "/a".into(), version: 2 }),
+                crate::multi::Op::SetData(SetDataRequest {
+                    path: "/a".into(),
+                    data: vec![9],
+                    version: 2,
+                }),
+            ])),
             Request::Ping,
             Request::CloseSession,
         ];
@@ -264,6 +300,15 @@ mod tests {
                 OpCode::GetChildren,
                 Response::GetChildren(GetChildrenResponse { children: vec!["x".into()] }),
             ),
+            (OpCode::Check, Response::Check),
+            (
+                OpCode::Multi,
+                Response::Multi(MultiResponse::new(vec![
+                    crate::multi::OpResult::Check,
+                    crate::multi::OpResult::Create { path: "/a/b0000000001".into() },
+                ])),
+            ),
+            (OpCode::Multi, Response::Multi(MultiResponse::aborted(2, 0, ErrorCode::BadVersion))),
             (OpCode::Ping, Response::Ping),
             (OpCode::CloseSession, Response::CloseSession),
         ];

@@ -1,0 +1,391 @@
+//! The typed operation model of `multi` transactions.
+//!
+//! A `multi` (opcode 14) carries several write sub-operations that the server
+//! applies atomically: either every [`Op`] succeeds, or none is applied and
+//! every slot of the result vector reports why. On the wire the request and
+//! response both nest their records behind [`MultiHeader`] framing records,
+//! exactly like ZooKeeper's `MultiTransactionRecord`/`MultiResponse` pair, so
+//! the entry enclave can walk the stream and rewrite each sub-operation's
+//! sensitive fields independently.
+
+use crate::de::InputArchive;
+use crate::error::JuteError;
+use crate::records::{
+    CheckVersionRequest, CreateRequest, DeleteRequest, ErrorCode, MultiHeader, OpCode,
+    SetDataRequest, Stat,
+};
+use crate::ser::OutputArchive;
+
+/// One sub-operation of a `multi` transaction. Only write operations (plus
+/// the `check` guard) may participate, matching ZooKeeper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Create a znode (any [`crate::records::CreateMode`], including the
+    /// sequential variants).
+    Create(CreateRequest),
+    /// Delete a znode (with optional version guard).
+    Delete(DeleteRequest),
+    /// Overwrite a znode's payload (with optional version guard).
+    SetData(SetDataRequest),
+    /// Assert that a znode exists at the expected version without touching it.
+    Check(CheckVersionRequest),
+}
+
+impl Op {
+    /// The opcode of this sub-operation.
+    pub fn op(&self) -> OpCode {
+        match self {
+            Op::Create(_) => OpCode::Create,
+            Op::Delete(_) => OpCode::Delete,
+            Op::SetData(_) => OpCode::SetData,
+            Op::Check(_) => OpCode::Check,
+        }
+    }
+
+    /// The znode path this sub-operation targets.
+    pub fn path(&self) -> &str {
+        match self {
+            Op::Create(r) => &r.path,
+            Op::Delete(r) => &r.path,
+            Op::SetData(r) => &r.path,
+            Op::Check(r) => &r.path,
+        }
+    }
+
+    fn serialize_body(&self, out: &mut OutputArchive) {
+        match self {
+            Op::Create(r) => r.serialize(out),
+            Op::Delete(r) => r.serialize(out),
+            Op::SetData(r) => r.serialize(out),
+            Op::Check(r) => r.serialize(out),
+        }
+    }
+}
+
+/// A `multi` transaction request: the ordered list of sub-operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiRequest {
+    /// The sub-operations, applied in order.
+    pub ops: Vec<Op>,
+}
+
+impl MultiRequest {
+    /// Wraps the sub-operations.
+    pub fn new(ops: Vec<Op>) -> Self {
+        MultiRequest { ops }
+    }
+
+    /// Serializes the nested record stream.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        for op in &self.ops {
+            MultiHeader { op: op.op().to_i32(), done: false, err: -1 }.serialize(out);
+            op.serialize_body(out);
+        }
+        MultiHeader::done().serialize(out);
+    }
+
+    /// Deserializes the nested record stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures, including read-only or unknown opcodes
+    /// in a header — garbage input errors out instead of panicking, and every
+    /// iteration consumes at least one header, so the loop is bounded by the
+    /// input length.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        let mut ops = Vec::new();
+        loop {
+            let header = MultiHeader::deserialize(input)?;
+            if header.done {
+                break;
+            }
+            let op = match OpCode::from_i32(header.op)? {
+                OpCode::Create => Op::Create(CreateRequest::deserialize(input)?),
+                OpCode::Delete => Op::Delete(DeleteRequest::deserialize(input)?),
+                OpCode::SetData => Op::SetData(SetDataRequest::deserialize(input)?),
+                OpCode::Check => Op::Check(CheckVersionRequest::deserialize(input)?),
+                other => return Err(JuteError::UnknownOpCode { code: other.to_i32() }),
+            };
+            ops.push(op);
+        }
+        Ok(MultiRequest { ops })
+    }
+}
+
+/// The result of one sub-operation of a committed or aborted `multi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// CREATE succeeded; carries the final path (with the sequence suffix
+    /// for sequential creates).
+    Create {
+        /// The path of the created znode.
+        path: String,
+    },
+    /// DELETE succeeded.
+    Delete,
+    /// SET succeeded; carries the updated metadata.
+    SetData {
+        /// Updated metadata of the znode.
+        stat: Stat,
+    },
+    /// CHECK succeeded.
+    Check,
+    /// The sub-operation failed — either it was the one that aborted the
+    /// transaction, or it reports [`ErrorCode::RuntimeInconsistency`] because
+    /// a sibling aborted the transaction before/after it.
+    Error(ErrorCode),
+}
+
+impl OpResult {
+    /// The error code carried by this result ([`ErrorCode::Ok`] on success).
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            OpResult::Error(code) => *code,
+            _ => ErrorCode::Ok,
+        }
+    }
+
+    /// True if the sub-operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, OpResult::Error(_))
+    }
+}
+
+/// A `multi` transaction response: one [`OpResult`] per requested [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiResponse {
+    /// Per-sub-operation results, in request order.
+    pub results: Vec<OpResult>,
+}
+
+impl MultiResponse {
+    /// Wraps the results.
+    pub fn new(results: Vec<OpResult>) -> Self {
+        MultiResponse { results }
+    }
+
+    /// Builds the result vector of an aborted transaction: slot
+    /// `failed_index` carries `code`, every other slot reports
+    /// [`ErrorCode::RuntimeInconsistency`] (not attempted / rolled back).
+    pub fn aborted(op_count: usize, failed_index: usize, code: ErrorCode) -> Self {
+        let results = (0..op_count)
+            .map(|i| {
+                OpResult::Error(if i == failed_index {
+                    code
+                } else {
+                    ErrorCode::RuntimeInconsistency
+                })
+            })
+            .collect();
+        MultiResponse { results }
+    }
+
+    /// The position and error code of the first failing sub-operation that is
+    /// not a mere not-attempted marker; `None` if the transaction committed.
+    /// See [`first_error_of`].
+    pub fn first_error(&self) -> Option<(usize, ErrorCode)> {
+        first_error_of(&self.results)
+    }
+
+    /// True if every sub-operation succeeded (the transaction committed).
+    pub fn is_committed(&self) -> bool {
+        self.results.iter().all(OpResult::is_ok)
+    }
+
+    /// Serializes the nested result stream.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        for result in &self.results {
+            match result {
+                OpResult::Create { path } => {
+                    MultiHeader { op: OpCode::Create.to_i32(), done: false, err: 0 }.serialize(out);
+                    out.write_string(path);
+                }
+                OpResult::Delete => {
+                    MultiHeader { op: OpCode::Delete.to_i32(), done: false, err: 0 }.serialize(out);
+                }
+                OpResult::SetData { stat } => {
+                    MultiHeader { op: OpCode::SetData.to_i32(), done: false, err: 0 }
+                        .serialize(out);
+                    stat.serialize(out);
+                }
+                OpResult::Check => {
+                    MultiHeader { op: OpCode::Check.to_i32(), done: false, err: 0 }.serialize(out);
+                }
+                OpResult::Error(code) => {
+                    // ZooKeeper writes the error result as a header with
+                    // op -1 plus an ErrorResult body repeating the code.
+                    MultiHeader { op: MultiHeader::ERROR_OP, done: false, err: code.to_i32() }
+                        .serialize(out);
+                    out.write_i32(code.to_i32());
+                }
+            }
+        }
+        MultiHeader::done().serialize(out);
+    }
+
+    /// Deserializes the nested result stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures; garbage input errors out instead of
+    /// panicking.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        let mut results = Vec::new();
+        loop {
+            let header = MultiHeader::deserialize(input)?;
+            if header.done {
+                break;
+            }
+            let result = if header.op == MultiHeader::ERROR_OP {
+                OpResult::Error(ErrorCode::from_i32(input.read_i32("multi error result")?))
+            } else {
+                match OpCode::from_i32(header.op)? {
+                    OpCode::Create => OpResult::Create { path: input.read_string("path")? },
+                    OpCode::Delete => OpResult::Delete,
+                    OpCode::SetData => OpResult::SetData { stat: Stat::deserialize(input)? },
+                    OpCode::Check => OpResult::Check,
+                    other => return Err(JuteError::UnknownOpCode { code: other.to_i32() }),
+                }
+            };
+            results.push(result);
+        }
+        Ok(MultiResponse { results })
+    }
+}
+
+/// The position and error code of the sub-operation that aborted a
+/// transaction, judged from its result vector: the first slot whose code is
+/// neither [`ErrorCode::Ok`] nor the [`ErrorCode::RuntimeInconsistency`]
+/// not-attempted marker. `None` if every slot succeeded. Falls back to the
+/// first error slot when every failure is a marker (which a well-formed
+/// server never produces).
+pub fn first_error_of(results: &[OpResult]) -> Option<(usize, ErrorCode)> {
+    let mut fallback = None;
+    for (index, result) in results.iter().enumerate() {
+        match result.error_code() {
+            ErrorCode::Ok => {}
+            ErrorCode::RuntimeInconsistency => fallback = fallback.or(Some(index)),
+            code => return Some((index, code)),
+        }
+    }
+    fallback.map(|index| (index, ErrorCode::RuntimeInconsistency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::CreateMode;
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Check(CheckVersionRequest { path: "/guard".into(), version: 3 }),
+            Op::Create(CreateRequest {
+                path: "/q/item-".into(),
+                data: b"payload".to_vec(),
+                mode: CreateMode::PersistentSequential,
+            }),
+            Op::SetData(SetDataRequest { path: "/q".into(), data: b"v2".to_vec(), version: -1 }),
+            Op::Delete(DeleteRequest { path: "/old".into(), version: 0 }),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let request = MultiRequest::new(sample_ops());
+        let mut out = OutputArchive::new();
+        request.serialize(&mut out);
+        let bytes = out.into_bytes();
+        let mut input = InputArchive::new(&bytes);
+        let decoded = MultiRequest::deserialize(&mut input).unwrap();
+        input.expect_exhausted().unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn empty_request_roundtrip() {
+        let request = MultiRequest::default();
+        let mut out = OutputArchive::new();
+        request.serialize(&mut out);
+        let bytes = out.into_bytes();
+        assert_eq!(bytes.len(), 9, "just the terminator header");
+        let mut input = InputArchive::new(&bytes);
+        assert_eq!(MultiRequest::deserialize(&mut input).unwrap(), request);
+    }
+
+    #[test]
+    fn response_roundtrip_success_and_abort() {
+        for response in [
+            MultiResponse::new(vec![
+                OpResult::Check,
+                OpResult::Create { path: "/q/item-0000000004".into() },
+                OpResult::SetData { stat: Stat { version: 5, ..Stat::default() } },
+                OpResult::Delete,
+            ]),
+            MultiResponse::aborted(3, 1, ErrorCode::BadVersion),
+        ] {
+            let mut out = OutputArchive::new();
+            response.serialize(&mut out);
+            let bytes = out.into_bytes();
+            let mut input = InputArchive::new(&bytes);
+            let decoded = MultiResponse::deserialize(&mut input).unwrap();
+            input.expect_exhausted().unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn aborted_marks_the_other_slots_not_attempted() {
+        let response = MultiResponse::aborted(3, 1, ErrorCode::NoNode);
+        assert_eq!(
+            response.results,
+            vec![
+                OpResult::Error(ErrorCode::RuntimeInconsistency),
+                OpResult::Error(ErrorCode::NoNode),
+                OpResult::Error(ErrorCode::RuntimeInconsistency),
+            ]
+        );
+        assert_eq!(response.first_error(), Some((1, ErrorCode::NoNode)));
+        assert!(!response.is_committed());
+        assert!(!response.results[1].is_ok());
+        assert_eq!(response.results[0].error_code(), ErrorCode::RuntimeInconsistency);
+    }
+
+    #[test]
+    fn committed_response_has_no_first_error() {
+        let response = MultiResponse::new(vec![OpResult::Check, OpResult::Delete]);
+        assert_eq!(response.first_error(), None);
+        assert!(response.is_committed());
+    }
+
+    #[test]
+    fn op_accessors() {
+        let ops = sample_ops();
+        assert_eq!(ops[0].op(), OpCode::Check);
+        assert_eq!(ops[1].op(), OpCode::Create);
+        assert_eq!(ops[2].op(), OpCode::SetData);
+        assert_eq!(ops[3].op(), OpCode::Delete);
+        assert_eq!(ops[0].path(), "/guard");
+        assert_eq!(ops[3].path(), "/old");
+    }
+
+    #[test]
+    fn read_ops_in_a_request_stream_are_rejected() {
+        let mut out = OutputArchive::new();
+        MultiHeader { op: OpCode::GetData.to_i32(), done: false, err: -1 }.serialize(&mut out);
+        let bytes = out.into_bytes();
+        let mut input = InputArchive::new(&bytes);
+        assert!(MultiRequest::deserialize(&mut input).is_err());
+    }
+
+    #[test]
+    fn truncated_streams_error_out() {
+        let request = MultiRequest::new(sample_ops());
+        let mut out = OutputArchive::new();
+        request.serialize(&mut out);
+        let bytes = out.into_bytes();
+        for cut in [1, 9, 10, bytes.len() - 1] {
+            let mut input = InputArchive::new(&bytes[..cut]);
+            assert!(MultiRequest::deserialize(&mut input).is_err(), "cut at {cut}");
+        }
+    }
+}

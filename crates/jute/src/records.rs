@@ -26,6 +26,10 @@ pub enum OpCode {
     SetData,
     /// List a znode's children (LS).
     GetChildren,
+    /// Version check (valid standalone or as a sub-operation of a `multi`).
+    Check,
+    /// Atomic transaction of several write sub-operations.
+    Multi,
     /// Session keep-alive.
     Ping,
     /// Session teardown.
@@ -44,6 +48,8 @@ impl OpCode {
             OpCode::SetData => 5,
             OpCode::GetChildren => 8,
             OpCode::Ping => 11,
+            OpCode::Check => 13,
+            OpCode::Multi => 14,
             OpCode::CloseSession => -11,
         }
     }
@@ -63,15 +69,28 @@ impl OpCode {
             5 => OpCode::SetData,
             8 => OpCode::GetChildren,
             11 => OpCode::Ping,
+            13 => OpCode::Check,
+            14 => OpCode::Multi,
             -11 => OpCode::CloseSession,
             other => return Err(JuteError::UnknownOpCode { code: other }),
         })
     }
 
     /// True for operations that modify state and therefore must be agreed on
-    /// by the ZAB quorum (writes); false for reads served locally.
+    /// by the ZAB quorum (writes); false for reads served locally. A `check`
+    /// mutates nothing, but its result must reflect the totally ordered write
+    /// history, so it travels the write path too (as in ZooKeeper, where it
+    /// only ever executes inside the `multi` proposal pipeline).
     pub fn is_write(self) -> bool {
-        matches!(self, OpCode::Create | OpCode::Delete | OpCode::SetData | OpCode::CloseSession)
+        matches!(
+            self,
+            OpCode::Create
+                | OpCode::Delete
+                | OpCode::SetData
+                | OpCode::Check
+                | OpCode::Multi
+                | OpCode::CloseSession
+        )
     }
 }
 
@@ -100,6 +119,10 @@ pub enum ErrorCode {
     BadArguments,
     /// The message could not be (de)serialized.
     MarshallingError,
+    /// A sub-operation of an aborted `multi` that was not attempted because
+    /// an earlier (or later) sub-operation failed (ZooKeeper's
+    /// `RUNTIMEINCONSISTENCY` result for rolled-back transaction members).
+    RuntimeInconsistency,
     /// Authentication or integrity verification failed.
     AuthFailed,
     /// The session does not exist or has expired.
@@ -114,6 +137,7 @@ impl ErrorCode {
     pub fn to_i32(self) -> i32 {
         match self {
             ErrorCode::Ok => 0,
+            ErrorCode::RuntimeInconsistency => -2,
             ErrorCode::ConnectionLoss => -4,
             ErrorCode::BadArguments => -8,
             ErrorCode::MarshallingError => -5,
@@ -133,6 +157,7 @@ impl ErrorCode {
     pub fn from_i32(code: i32) -> Self {
         match code {
             0 => ErrorCode::Ok,
+            -2 => ErrorCode::RuntimeInconsistency,
             -4 => ErrorCode::ConnectionLoss,
             -8 => ErrorCode::BadArguments,
             -5 => ErrorCode::MarshallingError,
@@ -485,6 +510,85 @@ impl DeleteRequest {
     }
 }
 
+/// Framing record separating the sub-operations of a `multi` transaction
+/// (ZooKeeper's `MultiHeader`).
+///
+/// In a request, one header precedes every sub-operation record (`op` is the
+/// sub-operation's opcode, `err` is `-1`); in a response, one header precedes
+/// every sub-result (`err` carries the per-operation error code). Both streams
+/// are terminated by a header with `done == true` and `op == -1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiHeader {
+    /// Wire opcode of the following record, or `-1` for the terminator and
+    /// for error results.
+    pub op: i32,
+    /// True on the stream terminator.
+    pub done: bool,
+    /// `-1` in requests; the sub-operation's error code in responses.
+    pub err: i32,
+}
+
+impl MultiHeader {
+    /// The `op` value used by terminators and error results.
+    pub const ERROR_OP: i32 = -1;
+
+    /// The terminator closing a nested request or response stream.
+    pub fn done() -> Self {
+        MultiHeader { op: Self::ERROR_OP, done: true, err: -1 }
+    }
+
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.op);
+        out.write_bool(self.done);
+        out.write_i32(self.err);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(MultiHeader {
+            op: input.read_i32("multi op")?,
+            done: input.read_bool("multi done")?,
+            err: input.read_i32("multi err")?,
+        })
+    }
+}
+
+/// CHECK request: succeeds iff the znode exists and its data version matches
+/// (`-1` skips the version comparison). Mostly used as a guard inside `multi`
+/// transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckVersionRequest {
+    /// Path to check.
+    pub path: String,
+    /// Expected version, or -1 to only check existence.
+    pub version: i32,
+}
+
+impl CheckVersionRequest {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.path);
+        out.write_i32(self.version);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(CheckVersionRequest {
+            path: input.read_string("path")?,
+            version: input.read_i32("version")?,
+        })
+    }
+}
+
 /// EXISTS request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExistsRequest {
@@ -747,6 +851,8 @@ mod tests {
             OpCode::GetData,
             OpCode::SetData,
             OpCode::GetChildren,
+            OpCode::Check,
+            OpCode::Multi,
             OpCode::Ping,
             OpCode::CloseSession,
         ] {
@@ -760,6 +866,8 @@ mod tests {
         assert!(OpCode::Create.is_write());
         assert!(OpCode::SetData.is_write());
         assert!(OpCode::Delete.is_write());
+        assert!(OpCode::Check.is_write());
+        assert!(OpCode::Multi.is_write());
         assert!(!OpCode::GetData.is_write());
         assert!(!OpCode::GetChildren.is_write());
         assert!(!OpCode::Exists.is_write());
@@ -777,12 +885,28 @@ mod tests {
             ErrorCode::NoChildrenForEphemerals,
             ErrorCode::BadArguments,
             ErrorCode::MarshallingError,
+            ErrorCode::RuntimeInconsistency,
             ErrorCode::AuthFailed,
             ErrorCode::SessionExpired,
             ErrorCode::NoQuorum,
         ] {
             assert_eq!(ErrorCode::from_i32(code.to_i32()), code);
         }
+    }
+
+    #[test]
+    fn multi_header_and_check_roundtrip() {
+        let header = MultiHeader { op: OpCode::Create.to_i32(), done: false, err: -1 };
+        assert_eq!(roundtrip(&header, MultiHeader::serialize, MultiHeader::deserialize), header);
+        let done = MultiHeader::done();
+        assert!(done.done);
+        assert_eq!(done.op, MultiHeader::ERROR_OP);
+        assert_eq!(roundtrip(&done, MultiHeader::serialize, MultiHeader::deserialize), done);
+        let check = CheckVersionRequest { path: "/guard".to_string(), version: 7 };
+        assert_eq!(
+            roundtrip(&check, CheckVersionRequest::serialize, CheckVersionRequest::deserialize),
+            check
+        );
     }
 
     #[test]

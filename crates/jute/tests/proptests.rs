@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 
+use jute::multi::{MultiRequest, MultiResponse, Op, OpResult};
 use jute::records::{
-    CreateMode, CreateRequest, DeleteRequest, ErrorCode, GetChildrenRequest, GetChildrenResponse,
-    GetDataRequest, GetDataResponse, ReplyHeader, RequestHeader, SetDataRequest, Stat,
+    CheckVersionRequest, CreateMode, CreateRequest, DeleteRequest, ErrorCode, GetChildrenRequest,
+    GetChildrenResponse, GetDataRequest, GetDataResponse, MultiHeader, ReplyHeader, RequestHeader,
+    SetDataRequest, Stat,
 };
 use jute::{OpCode, Request, Response};
 
@@ -36,6 +38,36 @@ fn arb_request() -> impl Strategy<Value = Request> {
         (arb_path(), any::<bool>())
             .prop_map(|(path, watch)| Request::GetChildren(GetChildrenRequest { path, watch })),
         Just(Request::Ping),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..256), arb_create_mode())
+            .prop_map(|(path, data, mode)| Op::Create(CreateRequest { path, data, mode })),
+        (arb_path(), any::<i32>())
+            .prop_map(|(path, version)| Op::Delete(DeleteRequest { path, version })),
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..256), any::<i32>())
+            .prop_map(|(path, data, version)| Op::SetData(SetDataRequest { path, data, version })),
+        (arb_path(), any::<i32>())
+            .prop_map(|(path, version)| Op::Check(CheckVersionRequest { path, version })),
+    ]
+}
+
+fn arb_op_result() -> impl Strategy<Value = OpResult> {
+    prop_oneof![
+        arb_path().prop_map(|path| OpResult::Create { path }),
+        Just(OpResult::Delete),
+        arb_stat().prop_map(|stat| OpResult::SetData { stat }),
+        Just(OpResult::Check),
+        prop_oneof![
+            Just(ErrorCode::NoNode),
+            Just(ErrorCode::NodeExists),
+            Just(ErrorCode::BadVersion),
+            Just(ErrorCode::NotEmpty),
+            Just(ErrorCode::RuntimeInconsistency),
+        ]
+        .prop_map(OpResult::Error),
     ]
 }
 
@@ -112,6 +144,96 @@ proptest! {
         // Arbitrary bytes either decode or error, but never panic.
         let _ = Request::from_bytes(&bytes);
         let _ = Response::from_bytes(&bytes, OpCode::GetData);
+    }
+
+    #[test]
+    fn multi_request_wire_roundtrip(
+        ops in proptest::collection::vec(arb_op(), 0..12),
+        xid in any::<i32>(),
+    ) {
+        let request = Request::Multi(MultiRequest::new(ops));
+        let header = RequestHeader { xid, op: OpCode::Multi };
+        let bytes = request.to_bytes(&header);
+        let (decoded_header, decoded) = Request::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded_header, header);
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn multi_response_wire_roundtrip(
+        results in proptest::collection::vec(arb_op_result(), 0..12),
+        xid in any::<i32>(),
+        zxid in any::<i64>(),
+    ) {
+        let response = Response::Multi(MultiResponse::new(results));
+        let header = ReplyHeader { xid, zxid, err: ErrorCode::Ok };
+        let bytes = response.to_bytes(&header);
+        let (decoded_header, decoded) = Response::from_bytes(&bytes, OpCode::Multi).unwrap();
+        prop_assert_eq!(decoded_header, header);
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn multi_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Raw garbage against the nested decoders: error or decode, no panic.
+        let mut input = jute::InputArchive::new(&bytes);
+        let _ = MultiRequest::deserialize(&mut input);
+        let mut input = jute::InputArchive::new(&bytes);
+        let _ = MultiResponse::deserialize(&mut input);
+        // The same garbage behind a well-formed multi request header, as a
+        // hostile client would send it over the wire.
+        let mut framed = Vec::with_capacity(8 + bytes.len());
+        framed.extend_from_slice(&7i32.to_be_bytes());
+        framed.extend_from_slice(&OpCode::Multi.to_i32().to_be_bytes());
+        framed.extend_from_slice(&bytes);
+        let _ = Request::from_bytes(&framed);
+        let _ = Response::from_bytes(&framed, OpCode::Multi);
+    }
+
+    #[test]
+    fn multi_truncation_never_panics_and_always_errors(
+        ops in proptest::collection::vec(arb_op(), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let request = Request::Multi(MultiRequest::new(ops));
+        let bytes = request.to_bytes(&RequestHeader { xid: 1, op: OpCode::Multi });
+        let cut = cut.index(bytes.len().saturating_sub(1));
+        prop_assert!(Request::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn multi_header_framing_roundtrips_under_the_frame_limit(
+        ops in proptest::collection::vec(arb_op(), 0..32),
+        xid in any::<i32>(),
+    ) {
+        // A realistic multi — dozens of ops, paths and payloads — stays far
+        // below MAX_FRAME_LEN, so the socket framing accepts it wholesale and
+        // hands back the identical nested MultiHeader stream.
+        let request = Request::Multi(MultiRequest::new(ops));
+        let body = request.to_bytes(&RequestHeader { xid, op: OpCode::Multi });
+        prop_assert!(body.len() <= jute::framing::MAX_FRAME_LEN);
+        let framed = jute::framing::encode_frame(&body);
+        let mut buffer = bytes::BytesMut::from(&framed[..]);
+        let recovered = jute::framing::decode_frame(&mut buffer).unwrap().unwrap();
+        prop_assert_eq!(&recovered, &body);
+        let (_, decoded) = Request::from_bytes(&recovered).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn multi_header_record_roundtrip(
+        op in any::<i32>(),
+        done in any::<bool>(),
+        err in any::<i32>(),
+    ) {
+        let header = MultiHeader { op, done, err };
+        let mut out = jute::OutputArchive::new();
+        header.serialize(&mut out);
+        let bytes = out.into_bytes();
+        let mut input = jute::InputArchive::new(&bytes);
+        prop_assert_eq!(MultiHeader::deserialize(&mut input).unwrap(), header);
     }
 
     #[test]

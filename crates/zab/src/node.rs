@@ -14,7 +14,7 @@ use crate::network::{Envelope, ZabTransport};
 const SYNC_CHUNK_BYTES: usize = 1 << 20;
 
 /// Sends `txns` to `to` as one or more [`ZabMessage::NewLeaderSync`] frames,
-/// each bounded by [`SYNC_CHUNK_BYTES`] of payload. Always sends at least
+/// each bounded by `SYNC_CHUNK_BYTES` (1 MiB) of payload. Always sends at least
 /// one frame — the sync doubles as the leadership announcement.
 pub fn send_sync(net: &dyn ZabTransport, from: NodeId, to: NodeId, epoch: u32, txns: Vec<Txn>) {
     let mut chunk: Vec<Txn> = Vec::new();

@@ -17,8 +17,9 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use jute::framing::{self, FrameDecoder};
+use jute::multi::{MultiRequest, Op, OpResult};
 use jute::records::{
-    ConnectRequest, ConnectResponse, CreateMode, CreateRequest, DeleteRequest, ErrorCode,
+    CheckVersionRequest, ConnectRequest, ConnectResponse, CreateMode, CreateRequest, DeleteRequest,
     ExistsRequest, GetChildrenRequest, GetDataRequest, ReplyHeader, RequestHeader, SetDataRequest,
     Stat, WatcherEvent, NOTIFICATION_XID,
 };
@@ -28,8 +29,8 @@ use zab::NodeId;
 use crate::cluster::ZkCluster;
 use crate::error::ZkError;
 use crate::net::{PlainCredentials, SessionCredentials, WireCipher};
-use crate::ops::error_from_code;
 use crate::server::DEFAULT_SESSION_TIMEOUT_MS;
+use crate::typed::{self, MultiDispatch, Txn};
 use crate::watch::{WatchEvent, WatchEventKind};
 
 /// A shared handle to an in-process cluster.
@@ -96,11 +97,7 @@ impl ZkClient {
     /// parent, quorum loss, ...).
     pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, ZkError> {
         let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
-        match self.submit(&request) {
-            Response::Create(create) => Ok(create.path),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_create(self.submit(&request), path)
     }
 
     /// Reads a znode's payload and metadata.
@@ -110,11 +107,7 @@ impl ZkClient {
     /// Returns [`ZkError::NoNode`] if the path does not exist.
     pub fn get_data(&self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
         let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
-        match self.submit(&request) {
-            Response::GetData(get) => Ok((get.data, get.stat)),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_get_data(self.submit(&request), path)
     }
 
     /// Overwrites a znode's payload.
@@ -125,11 +118,7 @@ impl ZkClient {
     /// [`ZkError::NoNode`] if the path does not exist.
     pub fn set_data(&self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
         let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
-        match self.submit(&request) {
-            Response::SetData(set) => Ok(set.stat),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_set_data(self.submit(&request), path)
     }
 
     /// Deletes a znode.
@@ -140,11 +129,7 @@ impl ZkClient {
     /// [`ZkError::BadVersion`] on a version mismatch, or [`ZkError::NoNode`].
     pub fn delete(&self, path: &str, version: i32) -> Result<(), ZkError> {
         let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
-        match self.submit(&request) {
-            Response::Delete => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_delete(self.submit(&request), path)
     }
 
     /// Lists the children of a znode.
@@ -154,11 +139,7 @@ impl ZkClient {
     /// Returns [`ZkError::NoNode`] if the path does not exist.
     pub fn get_children(&self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
         let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
-        match self.submit(&request) {
-            Response::GetChildren(ls) => Ok(ls.children),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_get_children(self.submit(&request), path)
     }
 
     /// Checks whether a znode exists, returning its metadata if it does.
@@ -169,12 +150,38 @@ impl ZkClient {
     /// `Ok(None)`.
     pub fn exists(&self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
         let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
-        match self.submit(&request) {
-            Response::Exists(exists) => Ok(Some(exists.stat)),
-            Response::Error(jute::records::ErrorCode::NoNode) => Ok(None),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_exists(self.submit(&request), path)
+    }
+
+    /// Asserts that a znode exists at the expected version (-1 checks
+    /// existence only) without modifying anything; the check is ordered with
+    /// the write history like any other write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] or [`ZkError::BadVersion`].
+    pub fn check(&self, path: &str, version: i32) -> Result<(), ZkError> {
+        let request = Request::Check(CheckVersionRequest { path: path.to_string(), version });
+        typed::expect_check(self.submit(&request), path)
+    }
+
+    /// Executes `ops` as one atomic transaction and returns the
+    /// per-sub-operation results; aborts are reported in-band (see
+    /// [`MultiDispatch::multi`]). Prefer [`MultiDispatch::txn`] for the
+    /// fluent builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport-plane failures (session expiry, quorum loss).
+    pub fn multi(&self, ops: Vec<Op>) -> Result<Vec<OpResult>, ZkError> {
+        let count = ops.len();
+        let request = Request::Multi(MultiRequest::new(ops));
+        typed::expect_multi(self.submit(&request), count)
+    }
+
+    /// Starts an atomic-transaction builder (see [`Txn`]).
+    pub fn txn(&mut self) -> Txn<'_, Self> {
+        MultiDispatch::txn(self)
     }
 
     /// Sends a keep-alive ping.
@@ -183,11 +190,7 @@ impl ZkClient {
     ///
     /// Returns [`ZkError::SessionExpired`] when the session is gone.
     pub fn ping(&self) -> Result<(), ZkError> {
-        match self.submit(&Request::Ping) {
-            Response::Ping => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, "/")),
-            other => Err(ZkError::Marshalling { reason: format!("unexpected response {other:?}") }),
-        }
+        typed::expect_ping(self.submit(&Request::Ping))
     }
 
     /// Drains watch notifications delivered to this session.
@@ -198,6 +201,14 @@ impl ZkClient {
     /// Closes the session, removing its ephemeral znodes.
     pub fn close(self) {
         self.cluster.lock().close_session(self.session_id);
+    }
+}
+
+impl MultiDispatch for ZkClient {
+    type Error = ZkError;
+
+    fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, ZkError> {
+        ZkClient::multi(self, ops)
     }
 }
 
@@ -525,11 +536,7 @@ impl ZkTcpClient {
         mode: CreateMode,
     ) -> Result<String, ZkError> {
         let request = Request::Create(CreateRequest { path: path.to_string(), data, mode });
-        match self.call(&request)? {
-            Response::Create(create) => Ok(create.path),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_create(self.call(&request)?, path)
     }
 
     /// Reads a znode's payload and metadata.
@@ -539,11 +546,7 @@ impl ZkTcpClient {
     /// Returns [`ZkError::NoNode`] if the path does not exist.
     pub fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
         let request = Request::GetData(GetDataRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::GetData(get) => Ok((get.data, get.stat)),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_get_data(self.call(&request)?, path)
     }
 
     /// Overwrites a znode's payload.
@@ -554,11 +557,7 @@ impl ZkTcpClient {
     /// [`ZkError::NoNode`] if the path does not exist.
     pub fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
         let request = Request::SetData(SetDataRequest { path: path.to_string(), data, version });
-        match self.call(&request)? {
-            Response::SetData(set) => Ok(set.stat),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_set_data(self.call(&request)?, path)
     }
 
     /// Deletes a znode.
@@ -569,11 +568,7 @@ impl ZkTcpClient {
     /// [`ZkError::BadVersion`] on a version mismatch, or [`ZkError::NoNode`].
     pub fn delete(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
         let request = Request::Delete(DeleteRequest { path: path.to_string(), version });
-        match self.call(&request)? {
-            Response::Delete => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_delete(self.call(&request)?, path)
     }
 
     /// Lists the children of a znode.
@@ -583,11 +578,7 @@ impl ZkTcpClient {
     /// Returns [`ZkError::NoNode`] if the path does not exist.
     pub fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
         let request = Request::GetChildren(GetChildrenRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::GetChildren(ls) => Ok(ls.children),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_get_children(self.call(&request)?, path)
     }
 
     /// Checks whether a znode exists, returning its metadata if it does.
@@ -598,12 +589,39 @@ impl ZkTcpClient {
     /// `Ok(None)`.
     pub fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
         let request = Request::Exists(ExistsRequest { path: path.to_string(), watch });
-        match self.call(&request)? {
-            Response::Exists(exists) => Ok(Some(exists.stat)),
-            Response::Error(ErrorCode::NoNode) => Ok(None),
-            Response::Error(code) => Err(error_from_code(code, path)),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_exists(self.call(&request)?, path)
+    }
+
+    /// Asserts that a znode exists at the expected version (-1 checks
+    /// existence only) without modifying anything; the check is ordered with
+    /// the write history like any other write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::NoNode`] or [`ZkError::BadVersion`].
+    pub fn check(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        let request = Request::Check(CheckVersionRequest { path: path.to_string(), version });
+        typed::expect_check(self.call(&request)?, path)
+    }
+
+    /// Executes `ops` as one atomic transaction and returns the
+    /// per-sub-operation results; aborts are reported in-band (see
+    /// [`MultiDispatch::multi`]). Prefer [`ZkTcpClient::txn`] for the
+    /// fluent builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport-plane failures (connection loss, session expiry,
+    /// quorum loss).
+    pub fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, ZkError> {
+        let count = ops.len();
+        let request = Request::Multi(MultiRequest::new(ops));
+        typed::expect_multi(self.call(&request)?, count)
+    }
+
+    /// Starts an atomic-transaction builder (see [`Txn`]).
+    pub fn txn(&mut self) -> Txn<'_, Self> {
+        MultiDispatch::txn(self)
     }
 
     /// Sends a keep-alive ping.
@@ -612,11 +630,7 @@ impl ZkTcpClient {
     ///
     /// Returns [`ZkError::SessionExpired`] when the session is gone.
     pub fn ping(&mut self) -> Result<(), ZkError> {
-        match self.call(&Request::Ping)? {
-            Response::Ping => Ok(()),
-            Response::Error(code) => Err(error_from_code(code, "/")),
-            other => Err(unexpected_response(other)),
-        }
+        typed::expect_ping(self.call(&Request::Ping)?)
     }
 
     /// Closes the session gracefully; the server removes its ephemeral znodes
@@ -627,8 +641,12 @@ impl ZkTcpClient {
     }
 }
 
-fn unexpected_response(response: Response) -> ZkError {
-    ZkError::Marshalling { reason: format!("unexpected response {response:?}") }
+impl MultiDispatch for ZkTcpClient {
+    type Error = ZkError;
+
+    fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, ZkError> {
+        ZkTcpClient::multi(self, ops)
+    }
 }
 
 /// Reads the xid out of a reply header without consuming the frame.

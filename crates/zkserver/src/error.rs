@@ -47,6 +47,13 @@ pub enum ZkError {
         /// The session id.
         session_id: i64,
     },
+    /// A `multi` sub-operation that was never attempted because a sibling
+    /// sub-operation aborted the transaction (ZooKeeper's
+    /// `RUNTIMEINCONSISTENCY`).
+    RuntimeInconsistency {
+        /// Path of the not-attempted sub-operation.
+        path: String,
+    },
     /// Wire-format decoding failed.
     Marshalling {
         /// Explanation of what is wrong.
@@ -72,6 +79,7 @@ impl ZkError {
             ZkError::NoChildrenForEphemerals { .. } => ErrorCode::NoChildrenForEphemerals,
             ZkError::BadArguments { .. } => ErrorCode::BadArguments,
             ZkError::SessionExpired { .. } => ErrorCode::SessionExpired,
+            ZkError::RuntimeInconsistency { .. } => ErrorCode::RuntimeInconsistency,
             ZkError::Marshalling { .. } => ErrorCode::MarshallingError,
             ZkError::NoQuorum => ErrorCode::NoQuorum,
             ZkError::ConnectionLoss { .. } => ErrorCode::ConnectionLoss,
@@ -93,6 +101,9 @@ impl fmt::Display for ZkError {
             }
             ZkError::BadArguments { reason } => write!(f, "bad arguments: {reason}"),
             ZkError::SessionExpired { session_id } => write!(f, "session {session_id} expired"),
+            ZkError::RuntimeInconsistency { path } => {
+                write!(f, "transaction sub-operation not attempted: {path}")
+            }
             ZkError::Marshalling { reason } => write!(f, "marshalling error: {reason}"),
             ZkError::NoQuorum => write!(f, "cluster has no quorum"),
             ZkError::ConnectionLoss { reason } => write!(f, "connection lost: {reason}"),

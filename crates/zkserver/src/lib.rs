@@ -28,7 +28,10 @@
 //! * [`client::ZkClient`] — a typed client handle used by the examples and
 //!   the benchmark harness;
 //! * [`client::ZkTcpClient`] — the blocking socket client matching
-//!   [`net::ZkTcpServer`].
+//!   [`net::ZkTcpServer`];
+//! * [`typed`] — the shared typed-operation layer: response decoders used by
+//!   every client flavour and the [`typed::Txn`] builder for atomic `multi`
+//!   transactions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,12 +46,15 @@ pub mod pipeline;
 pub mod server;
 pub mod session;
 pub mod tree;
+pub mod typed;
 pub mod watch;
 
 pub use client::{ZkClient, ZkTcpClient};
 pub use cluster::ZkCluster;
 pub use ensemble::{EnsembleConfig, ZkEnsembleServer};
 pub use error::ZkError;
+pub use jute::multi::{Op, OpResult};
 pub use net::ZkTcpServer;
 pub use server::ZkReplica;
 pub use tree::{DataTree, Znode};
+pub use typed::{MultiDispatch, Txn};

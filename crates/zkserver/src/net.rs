@@ -8,7 +8,8 @@
 //! * each accepted connection performs the `ConnectRequest` handshake and
 //!   then runs a per-connection thread; the handshake blob (the request's
 //!   `password` field) is handed to the replica's interceptor via
-//!   [`RequestInterceptor::on_session_established`], which is where
+//!   [`RequestInterceptor::on_session_established`](crate::pipeline::RequestInterceptor::on_session_established),
+//!   which is where
 //!   SecureKeeper installs the per-session transport key in an entry enclave;
 //! * reads execute concurrently on the connection threads against the
 //!   replica's reader-writer-locked tree;

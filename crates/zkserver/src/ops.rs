@@ -12,14 +12,17 @@
 //! *counter enclave*, which decrypts the requested (encrypted) name, appends
 //! the counter, and re-encrypts the result (paper Section 4.4).
 
+use std::collections::HashSet;
+
+use jute::multi::{MultiRequest, MultiResponse, Op, OpResult};
 use jute::records::{
-    CreateResponse, ErrorCode, ExistsResponse, GetChildrenResponse, GetDataResponse, OpCode,
-    SetDataResponse,
+    CreateMode, CreateResponse, ErrorCode, ExistsResponse, GetChildrenResponse, GetDataResponse,
+    OpCode, SetDataResponse,
 };
 use jute::{InputArchive, OutputArchive, Request, Response};
 
 use crate::error::ZkError;
-use crate::tree::{split_path, validate_path, DataTree};
+use crate::tree::{split_path, validate_path, DataTree, Znode};
 
 /// Strategy for turning a requested sequential-znode path plus its assigned
 /// sequence number into the final znode path.
@@ -100,21 +103,8 @@ pub fn apply_write(
 ) -> Result<Response, ZkError> {
     match request {
         Request::Create(create) => {
-            validate_path(&create.path)?;
-            if create.path == "/" {
-                return Err(ZkError::NodeExists { path: "/".to_string() });
-            }
-            let final_path = if create.mode.is_sequential() {
-                let (parent, _) = split_path(&create.path).ok_or_else(|| {
-                    ZkError::BadArguments { reason: "sequential create on root".into() }
-                })?;
-                let sequence = tree.next_sequence(parent)?;
-                namer.name(&create.path, sequence)
-            } else {
-                create.path.clone()
-            };
-            let owner = if create.mode.is_ephemeral() { ctx.session_id } else { 0 };
-            tree.create(&final_path, create.data.clone(), owner, ctx.zxid, ctx.time_ms)?;
+            let final_path =
+                create_node(tree, &create.path, &create.data, create.mode, ctx, namer, None)?;
             Ok(Response::Create(CreateResponse { path: final_path }))
         }
         Request::Delete(delete) => {
@@ -128,10 +118,166 @@ pub fn apply_write(
                 tree.set_data(&set.path, set.data.clone(), set.version, ctx.zxid, ctx.time_ms)?;
             Ok(Response::SetData(SetDataResponse { stat }))
         }
+        Request::Check(check) => {
+            validate_path(&check.path)?;
+            check_version(tree, &check.path, check.version)?;
+            Ok(Response::Check)
+        }
+        Request::Multi(multi) => Ok(Response::Multi(apply_multi(tree, multi, ctx, namer))),
         Request::CloseSession => Ok(Response::CloseSession),
         other => Err(ZkError::BadArguments {
             reason: format!("{:?} is not a write operation", other.op()),
         }),
+    }
+}
+
+/// Applies a `multi` transaction atomically: sub-operations execute in order
+/// against the live tree, journalling the prior state of every znode they
+/// touch; the first failure rolls the journal back (so the tree is
+/// byte-for-byte what it was) and maps the remaining slots to
+/// [`ErrorCode::RuntimeInconsistency`]. The whole transaction shares one
+/// zxid — the one in `ctx` — exactly like ZooKeeper's multi txn.
+///
+/// Abort is reported in-band through the per-operation results rather than as
+/// an `Err`, because an aborted transaction is still a successfully processed
+/// request (every replica computes the identical result vector).
+pub fn apply_multi(
+    tree: &mut DataTree,
+    multi: &MultiRequest,
+    ctx: &ApplyContext,
+    namer: &dyn SequentialNamer,
+) -> MultiResponse {
+    let mut undo = UndoLog::default();
+    let mut results = Vec::with_capacity(multi.ops.len());
+    for (index, op) in multi.ops.iter().enumerate() {
+        match apply_op(tree, op, ctx, namer, &mut undo) {
+            Ok(result) => results.push(result),
+            Err(err) => {
+                undo.rollback(tree);
+                return MultiResponse::aborted(multi.ops.len(), index, err.code());
+            }
+        }
+    }
+    MultiResponse::new(results)
+}
+
+/// Applies one sub-operation of a `multi`, journalling touched znodes first.
+fn apply_op(
+    tree: &mut DataTree,
+    op: &Op,
+    ctx: &ApplyContext,
+    namer: &dyn SequentialNamer,
+    undo: &mut UndoLog,
+) -> Result<OpResult, ZkError> {
+    match op {
+        Op::Create(create) => {
+            let final_path =
+                create_node(tree, &create.path, &create.data, create.mode, ctx, namer, Some(undo))?;
+            Ok(OpResult::Create { path: final_path })
+        }
+        Op::Delete(delete) => {
+            validate_path(&delete.path)?;
+            undo.capture(tree, &delete.path);
+            if let Some((parent, _)) = split_path(&delete.path) {
+                undo.capture(tree, parent);
+            }
+            tree.delete(&delete.path, delete.version, ctx.zxid)?;
+            Ok(OpResult::Delete)
+        }
+        Op::SetData(set) => {
+            validate_path(&set.path)?;
+            undo.capture(tree, &set.path);
+            let stat =
+                tree.set_data(&set.path, set.data.clone(), set.version, ctx.zxid, ctx.time_ms)?;
+            Ok(OpResult::SetData { stat })
+        }
+        Op::Check(check) => {
+            validate_path(&check.path)?;
+            check_version(tree, &check.path, check.version)?;
+            Ok(OpResult::Check)
+        }
+    }
+}
+
+/// The shared CREATE path: sequential naming through the namer hook, then the
+/// tree insert. `undo` (multi only) captures the parent *before* the sequence
+/// counter is consumed and the target before it is inserted.
+fn create_node(
+    tree: &mut DataTree,
+    path: &str,
+    data: &[u8],
+    mode: CreateMode,
+    ctx: &ApplyContext,
+    namer: &dyn SequentialNamer,
+    undo: Option<&mut UndoLog>,
+) -> Result<String, ZkError> {
+    validate_path(path)?;
+    if path == "/" {
+        return Err(ZkError::NodeExists { path: "/".to_string() });
+    }
+    let (parent, _) = split_path(path)
+        .ok_or_else(|| ZkError::BadArguments { reason: "create on root".into() })?;
+    let undo = match undo {
+        Some(undo) => {
+            undo.capture(tree, parent);
+            Some(undo)
+        }
+        None => None,
+    };
+    let final_path = if mode.is_sequential() {
+        let sequence = tree.next_sequence(parent)?;
+        namer.name(path, sequence)
+    } else {
+        path.to_string()
+    };
+    if let Some(undo) = undo {
+        undo.capture(tree, &final_path);
+    }
+    let owner = if mode.is_ephemeral() { ctx.session_id } else { 0 };
+    tree.create(&final_path, data.to_vec(), owner, ctx.zxid, ctx.time_ms)?;
+    Ok(final_path)
+}
+
+/// Verifies that `path` exists and, unless `version` is -1, that its data
+/// version matches.
+///
+/// # Errors
+///
+/// Returns [`ZkError::NoNode`] or [`ZkError::BadVersion`].
+pub fn check_version(tree: &DataTree, path: &str, version: i32) -> Result<(), ZkError> {
+    let node = tree.get(path).ok_or_else(|| ZkError::NoNode { path: path.to_string() })?;
+    if version != -1 && node.stat().version != version {
+        return Err(ZkError::BadVersion {
+            path: path.to_string(),
+            expected: version,
+            actual: node.stat().version,
+        });
+    }
+    Ok(())
+}
+
+/// First-touch snapshots of the znodes a `multi` has mutated so far, in
+/// touch order. Rolling back restores each snapshot in reverse, leaving the
+/// tree exactly as it was before the transaction started.
+#[derive(Default)]
+struct UndoLog {
+    entries: Vec<(String, Option<Znode>)>,
+    seen: HashSet<String>,
+}
+
+impl UndoLog {
+    /// Records the current state of `path` unless it was already captured.
+    fn capture(&mut self, tree: &DataTree, path: &str) {
+        if self.seen.insert(path.to_string()) {
+            self.entries.push((path.to_string(), tree.get(path).cloned()));
+        }
+    }
+
+    /// Restores every captured snapshot, newest first.
+    fn rollback(self, tree: &mut DataTree) {
+        for (path, node) in self.entries.into_iter().rev() {
+            tree.restore_node(&path, node);
+        }
     }
 }
 
@@ -189,6 +335,7 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
             ZkError::NoChildrenForEphemerals { path: path.to_string() }
         }
         ErrorCode::SessionExpired => ZkError::SessionExpired { session_id: 0 },
+        ErrorCode::RuntimeInconsistency => ZkError::RuntimeInconsistency { path: path.to_string() },
         ErrorCode::NoQuorum => ZkError::NoQuorum,
         ErrorCode::ConnectionLoss => {
             ZkError::ConnectionLoss { reason: format!("connection lost on {path}") }
@@ -368,6 +515,190 @@ mod tests {
         ] {
             assert!(matches!(apply_read(&tree, &request), Err(ZkError::NoNode { .. })));
         }
+    }
+
+    fn multi(ops: Vec<Op>) -> Request {
+        Request::Multi(MultiRequest::new(ops))
+    }
+
+    fn op_create(path: &str, mode: CreateMode) -> Op {
+        Op::Create(jute::records::CreateRequest { path: path.into(), data: b"m".to_vec(), mode })
+    }
+
+    #[test]
+    fn multi_commits_all_sub_ops_at_one_zxid() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/app", CreateMode::Persistent), &ctx(1), &namer)
+            .unwrap();
+
+        let request = multi(vec![
+            Op::Check(jute::records::CheckVersionRequest { path: "/app".into(), version: 0 }),
+            op_create("/app/a", CreateMode::Persistent),
+            Op::SetData(jute::records::SetDataRequest {
+                path: "/app".into(),
+                data: b"v2".to_vec(),
+                version: 0,
+            }),
+            op_create("/app/b", CreateMode::Persistent),
+            Op::Delete(jute::records::DeleteRequest { path: "/app/a".into(), version: -1 }),
+        ]);
+        let response = apply_write(&mut tree, &request, &ctx(2), &namer).unwrap();
+        let results = match response {
+            Response::Multi(multi) => multi,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(results.is_committed());
+        assert_eq!(results.results.len(), 5);
+        assert_eq!(results.results[1], OpResult::Create { path: "/app/a".into() });
+        assert!(matches!(results.results[2], OpResult::SetData { stat } if stat.version == 1));
+        // Everything the transaction touched carries the transaction's zxid.
+        assert_eq!(tree.get("/app/b").unwrap().stat().czxid, 2);
+        assert_eq!(tree.get("/app").unwrap().stat().mzxid, 2);
+        assert_eq!(tree.get("/app").unwrap().stat().pzxid, 2);
+        assert!(!tree.contains("/app/a"), "created then deleted inside the txn");
+    }
+
+    #[test]
+    fn failed_check_aborts_the_whole_multi() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/cfg", CreateMode::Persistent), &ctx(1), &namer)
+            .unwrap();
+        let before = snapshot(&tree);
+
+        let request = multi(vec![
+            op_create("/cfg/staged", CreateMode::Persistent),
+            Op::Check(jute::records::CheckVersionRequest { path: "/cfg".into(), version: 7 }),
+            op_create("/cfg/other", CreateMode::Persistent),
+        ]);
+        let response = apply_write(&mut tree, &request, &ctx(2), &namer).unwrap();
+        let results = match response {
+            Response::Multi(multi) => multi,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            results.results,
+            vec![
+                OpResult::Error(ErrorCode::RuntimeInconsistency),
+                OpResult::Error(ErrorCode::BadVersion),
+                OpResult::Error(ErrorCode::RuntimeInconsistency),
+            ]
+        );
+        assert_eq!(results.first_error(), Some((1, ErrorCode::BadVersion)));
+        assert_eq!(snapshot(&tree), before, "aborted multi must leave the tree untouched");
+    }
+
+    #[test]
+    fn aborted_multi_rolls_back_sequence_counters_and_stats() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/q", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+        apply_write(&mut tree, &create_req("/q/keep", CreateMode::Persistent), &ctx(2), &namer)
+            .unwrap();
+        let before = snapshot(&tree);
+
+        // Two sequential creates, a delete and a set succeed before the
+        // final op fails: every mutation must unwind, including the parent's
+        // sequence counter, cversion/pzxid, and the deleted node.
+        let request = multi(vec![
+            op_create("/q/item-", CreateMode::PersistentSequential),
+            op_create("/q/item-", CreateMode::PersistentSequential),
+            Op::Delete(jute::records::DeleteRequest { path: "/q/keep".into(), version: -1 }),
+            Op::SetData(jute::records::SetDataRequest {
+                path: "/q".into(),
+                data: b"x".to_vec(),
+                version: -1,
+            }),
+            Op::Delete(jute::records::DeleteRequest { path: "/q/missing".into(), version: -1 }),
+        ]);
+        let response = apply_write(&mut tree, &request, &ctx(3), &namer).unwrap();
+        match response {
+            Response::Multi(multi) => {
+                assert_eq!(multi.first_error(), Some((4, ErrorCode::NoNode)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(snapshot(&tree), before);
+
+        // A later sequential create re-uses the rolled-back number.
+        let response = apply_write(
+            &mut tree,
+            &create_req("/q/item-", CreateMode::PersistentSequential),
+            &ctx(4),
+            &namer,
+        )
+        .unwrap();
+        assert_eq!(
+            response,
+            Response::Create(CreateResponse { path: "/q/item-0000000000".into() })
+        );
+    }
+
+    #[test]
+    fn multi_sub_ops_see_earlier_sub_ops() {
+        // A create may target a parent created earlier in the same txn, and a
+        // check may guard a node the txn just wrote.
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        let request = multi(vec![
+            op_create("/parent", CreateMode::Persistent),
+            op_create("/parent/child", CreateMode::Persistent),
+            Op::Check(jute::records::CheckVersionRequest {
+                path: "/parent/child".into(),
+                version: 0,
+            }),
+        ]);
+        let response = apply_write(&mut tree, &request, &ctx(1), &namer).unwrap();
+        match response {
+            Response::Multi(multi) => assert!(multi.is_committed()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tree.contains("/parent/child"));
+    }
+
+    #[test]
+    fn standalone_check_validates_existence_and_version() {
+        let mut tree = DataTree::new();
+        let namer = DefaultSequentialNamer;
+        apply_write(&mut tree, &create_req("/c", CreateMode::Persistent), &ctx(1), &namer).unwrap();
+        let ok =
+            Request::Check(jute::records::CheckVersionRequest { path: "/c".into(), version: 0 });
+        assert_eq!(apply_write(&mut tree, &ok, &ctx(2), &namer).unwrap(), Response::Check);
+        let any =
+            Request::Check(jute::records::CheckVersionRequest { path: "/c".into(), version: -1 });
+        assert_eq!(apply_write(&mut tree, &any, &ctx(3), &namer).unwrap(), Response::Check);
+        let stale =
+            Request::Check(jute::records::CheckVersionRequest { path: "/c".into(), version: 3 });
+        assert!(matches!(
+            apply_write(&mut tree, &stale, &ctx(4), &namer),
+            Err(ZkError::BadVersion { .. })
+        ));
+        let missing = Request::Check(jute::records::CheckVersionRequest {
+            path: "/missing".into(),
+            version: -1,
+        });
+        assert!(matches!(
+            apply_write(&mut tree, &missing, &ctx(5), &namer),
+            Err(ZkError::NoNode { .. })
+        ));
+    }
+
+    /// Captures every node's full state: (path, data, stat, children, and —
+    /// via a probe create below — sequence counters are covered separately).
+    fn snapshot(tree: &DataTree) -> Vec<(String, Vec<u8>, jute::records::Stat, Vec<String>)> {
+        tree.paths()
+            .into_iter()
+            .map(|path| {
+                let node = tree.get(&path).unwrap();
+                (
+                    path.clone(),
+                    node.data().to_vec(),
+                    *node.stat(),
+                    node.children().map(str::to_string).collect(),
+                )
+            })
+            .collect()
     }
 
     #[test]

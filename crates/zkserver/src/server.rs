@@ -264,22 +264,46 @@ impl ZkReplica {
     fn record_write_watches(&self, request: &Request, response: &Response) {
         match (request, response) {
             (Request::Create(_), Response::Create(create)) => {
-                let events =
-                    self.watches.lock().trigger_data(&create.path, WatchEventKind::NodeCreated);
-                self.watch_events.lock().extend(events);
-                if let Some((parent, _)) = split_path(&create.path) {
-                    let events = self.watches.lock().trigger_children(parent);
-                    self.watch_events.lock().extend(events);
-                }
+                self.record_create_watches(&create.path);
             }
             (Request::Delete(delete), Response::Delete) => self.record_delete_watches(&delete.path),
             (Request::SetData(set), Response::SetData(_)) => {
-                let events =
-                    self.watches.lock().trigger_data(&set.path, WatchEventKind::NodeDataChanged);
-                self.watch_events.lock().extend(events);
+                self.record_set_data_watches(&set.path);
+            }
+            (Request::Multi(multi), Response::Multi(results)) if results.is_committed() => {
+                // A committed multi fires the watches of every sub-operation,
+                // in order; an aborted one changed nothing and fires nothing.
+                for (op, result) in multi.ops.iter().zip(&results.results) {
+                    match (op, result) {
+                        (jute::multi::Op::Create(_), jute::multi::OpResult::Create { path }) => {
+                            self.record_create_watches(path);
+                        }
+                        (jute::multi::Op::Delete(delete), jute::multi::OpResult::Delete) => {
+                            self.record_delete_watches(&delete.path);
+                        }
+                        (jute::multi::Op::SetData(set), jute::multi::OpResult::SetData { .. }) => {
+                            self.record_set_data_watches(&set.path);
+                        }
+                        _ => {}
+                    }
+                }
             }
             _ => {}
         }
+    }
+
+    fn record_create_watches(&self, path: &str) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeCreated);
+        self.watch_events.lock().extend(events);
+        if let Some((parent, _)) = split_path(path) {
+            let events = self.watches.lock().trigger_children(parent);
+            self.watch_events.lock().extend(events);
+        }
+    }
+
+    fn record_set_data_watches(&self, path: &str) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDataChanged);
+        self.watch_events.lock().extend(events);
     }
 
     fn record_delete_watches(&self, path: &str) {

@@ -326,6 +326,23 @@ impl DataTree {
         paths
     }
 
+    /// Restores a znode to a previously captured state: `Some` reinstates the
+    /// captured node verbatim, `None` removes the path. Used by the
+    /// all-or-nothing `multi` apply to roll back the nodes a failed
+    /// transaction touched — parent bookkeeping (child sets, `cversion`,
+    /// `pzxid`, sequence counters) is *not* recomputed, because the parent is
+    /// captured and restored as its own snapshot.
+    pub(crate) fn restore_node(&mut self, path: &str, node: Option<Znode>) {
+        match node {
+            Some(node) => {
+                self.nodes.insert(path.to_string(), node);
+            }
+            None => {
+                self.nodes.remove(path);
+            }
+        }
+    }
+
     /// All paths in the tree (sorted), useful for tests and debugging.
     pub fn paths(&self) -> Vec<String> {
         let mut paths: Vec<String> = self.nodes.keys().cloned().collect();

@@ -88,6 +88,105 @@ fn writes_on_a_follower_are_forwarded_and_replicated_everywhere() {
 }
 
 #[test]
+fn multi_at_a_follower_commits_as_one_zxid_on_every_replica() {
+    use zkserver::OpResult;
+
+    let servers = start_ensemble(3);
+    assert!(!servers[2].is_leader());
+    let mut client = connect(&servers[2]);
+    client.create("/cfg", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+
+    // One forwarded proposal carries the whole transaction.
+    let zxid_before = client.last_zxid();
+    let results = client
+        .txn()
+        .check("/cfg", 0)
+        .set_data("/cfg", b"v1".to_vec(), 0)
+        .create("/cfg/hist-", b"v0".to_vec(), CreateMode::PersistentSequential)
+        .create("/cfg/flag", vec![], CreateMode::Persistent)
+        .commit()
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[2], OpResult::Create { path: "/cfg/hist-0000000000".into() });
+    let commit_zxid = client.last_zxid();
+    assert_eq!(commit_zxid, zxid_before + 1, "the batch is one ZAB proposal");
+
+    // Every replica applied the whole batch at that same single zxid.
+    for server in &servers {
+        let id = server.id();
+        wait_until(&format!("multi replication to {id}"), || {
+            server.last_applied_zxid() >= commit_zxid
+        });
+        let replica = server.replica();
+        let tree = replica.tree();
+        assert!(tree.contains("/cfg/hist-0000000000"), "{id}");
+        assert!(tree.contains("/cfg/flag"), "{id}");
+        assert_eq!(tree.get("/cfg").unwrap().stat().mzxid, commit_zxid, "{id}");
+        assert_eq!(tree.get("/cfg/flag").unwrap().stat().czxid, commit_zxid, "{id}");
+        assert_eq!(tree.get("/cfg").unwrap().data(), b"v1", "{id}");
+    }
+    client.close();
+}
+
+#[test]
+fn aborted_multi_at_a_follower_leaves_no_replica_diverged() {
+    use jute::records::{CheckVersionRequest, DeleteRequest, ErrorCode};
+    use zkserver::{Op, OpResult};
+
+    let servers = start_ensemble(3);
+    let mut client = connect(&servers[1]);
+    client.create("/inv", b"stock".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/inv/item", b"7".to_vec(), CreateMode::Persistent).unwrap();
+
+    // The failing check (stale version) aborts the forwarded transaction.
+    let results = client
+        .multi(vec![
+            Op::SetData(jute::records::SetDataRequest {
+                path: "/inv/item".into(),
+                data: b"6".to_vec(),
+                version: -1,
+            }),
+            Op::Check(CheckVersionRequest { path: "/inv/item".into(), version: 9 }),
+            Op::Delete(DeleteRequest { path: "/inv/item".into(), version: -1 }),
+        ])
+        .unwrap();
+    assert_eq!(
+        results,
+        vec![
+            OpResult::Error(ErrorCode::RuntimeInconsistency),
+            OpResult::Error(ErrorCode::BadVersion),
+            OpResult::Error(ErrorCode::RuntimeInconsistency),
+        ]
+    );
+    let abort_zxid = client.last_zxid();
+
+    // The typed builder surfaces the same abort as a BadVersion error.
+    let err = client
+        .txn()
+        .check("/inv/item", 9)
+        .set_data("/inv/item", b"0".to_vec(), -1)
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, ZkError::BadVersion { .. }), "got {err:?}");
+
+    // Every replica processed the aborted proposals (zxids advanced in step)
+    // and none applied any sub-operation: the trees stay identical.
+    for server in &servers {
+        let id = server.id();
+        wait_until(&format!("abort replication to {id}"), || {
+            server.last_applied_zxid() > abort_zxid
+        });
+        let replica = server.replica();
+        let tree = replica.tree();
+        assert_eq!(tree.get("/inv/item").unwrap().data(), b"7", "{id}");
+        assert_eq!(tree.get("/inv/item").unwrap().stat().version, 0, "{id}");
+        let reference = servers[0].replica();
+        assert_eq!(tree.paths(), reference.tree().paths(), "{id}");
+    }
+    client.close();
+}
+
+#[test]
 fn sequential_creates_from_different_replicas_agree() {
     let servers = start_ensemble(3);
     let mut a = connect(&servers[1]);

@@ -45,6 +45,67 @@ fn crud_cycle_over_a_real_socket() {
 }
 
 #[test]
+fn multi_transactions_commit_atomically_over_a_real_socket() {
+    use jute::records::ErrorCode;
+    use zkserver::OpResult;
+
+    let server = start_server();
+    let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
+    client.create("/cfg", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+    let zxid_before = client.last_zxid();
+
+    // Commit: check + set + sequential create + delete as one transaction.
+    client.create("/cfg/tmp", vec![], CreateMode::Persistent).unwrap();
+    let results = client
+        .txn()
+        .check("/cfg", 0)
+        .set_data("/cfg", b"v1".to_vec(), 0)
+        .create("/cfg/hist-", b"v0".to_vec(), CreateMode::PersistentSequential)
+        .delete("/cfg/tmp", -1)
+        .commit()
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[2], OpResult::Create { path: "/cfg/hist-0000000000".into() });
+    // The whole batch consumed exactly one zxid (plus the tmp create above).
+    assert_eq!(client.last_zxid(), zxid_before + 2);
+    let (data, _) = client.get_data("/cfg", false).unwrap();
+    assert_eq!(data, b"v1");
+    assert!(client.exists("/cfg/tmp", false).unwrap().is_none());
+
+    // Abort: the stale check rolls everything back with typed errors.
+    let err =
+        client.txn().set_data("/cfg", b"v2".to_vec(), -1).check("/cfg", 0).commit().unwrap_err();
+    match err {
+        ZkError::BadVersion { path, .. } => assert_eq!(path, "/cfg"),
+        other => panic!("expected a typed BadVersion abort, got {other:?}"),
+    }
+    let (data, _) = client.get_data("/cfg", false).unwrap();
+    assert_eq!(data, b"v1", "aborted multi must not apply any sub-op");
+
+    // The per-op result vector of the abort is observable via multi().
+    let results = client
+        .multi(vec![
+            zkserver::Op::Delete(jute::records::DeleteRequest {
+                path: "/cfg/hist-0000000000".into(),
+                version: -1,
+            }),
+            zkserver::Op::Check(jute::records::CheckVersionRequest {
+                path: "/missing".into(),
+                version: -1,
+            }),
+        ])
+        .unwrap();
+    assert_eq!(
+        results,
+        vec![OpResult::Error(ErrorCode::RuntimeInconsistency), OpResult::Error(ErrorCode::NoNode),]
+    );
+    assert!(client.exists("/cfg/hist-0000000000", false).unwrap().is_some());
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
 fn sequential_creates_over_the_wire_are_gap_free() {
     let server = start_server();
     let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
