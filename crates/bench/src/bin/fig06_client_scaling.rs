@@ -21,6 +21,15 @@
 //! ```text
 //! BENCH_JSON=bench-multi.json cargo run --release --bin fig06_client_scaling -- --multi 8
 //! ```
+//!
+//! With `--recipes` the harness measures the transactional *recipes* built
+//! on `multi`'s atomicity — atomic rename (create the new name + delete the
+//! old one in one batch) and CAS counters (version-guarded check + set) —
+//! against both servers, reporting sub-operations per second per recipe:
+//!
+//! ```text
+//! BENCH_JSON=bench-recipes.json cargo run --release --bin fig06_client_scaling -- --recipes
+//! ```
 
 use std::io::Write;
 use std::sync::Arc;
@@ -28,9 +37,9 @@ use std::sync::Arc;
 use securekeeper::integration::{secure_standalone, SecureKeeperConfig};
 use securekeeper::SecureSessionCredentials;
 use workload::costmodel::ServiceCostModel;
-use workload::generator::MultiSpec;
+use workload::generator::{MultiSpec, RecipeKind, RecipeSpec};
 use workload::metrics::{Figure, Series};
-use workload::netdriver::{run_mixed_get_set, run_multi_batches, NetRunReport};
+use workload::netdriver::{run_mixed_get_set, run_multi_batches, run_recipes, NetRunReport};
 use workload::variant::{RequestMode, Variant};
 use zkserver::net::{PlainCredentials, SessionCredentials};
 use zkserver::session::MonotonicClock;
@@ -101,25 +110,27 @@ fn run_networked_mode() {
     bench::print_figure(&figure);
 }
 
-/// Appends one regression-guard row per variant in the JSON-lines format
+/// Appends one regression-guard row in the JSON-lines format
 /// `scripts/check_bench_regression.py` consumes. The recorded value is the
 /// *derived* ns per sub-operation — the reciprocal of aggregate throughput
 /// at the sweep's highest client count, gated on the slowest worker — not a
 /// sampled latency median; the benchmark key spells that out (the field
 /// name stays `median_ns` because the guard script keys on it).
-fn append_multi_json(path: &str, batch: usize, label: &str, report: &NetRunReport) {
+fn append_derived_ns_row(path: &str, benchmark: &str, report: &NetRunReport) {
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)
         .expect("open BENCH_JSON output");
     let ns_per_op = 1e9 / report.throughput_rps.max(f64::MIN_POSITIVE);
+    writeln!(file, "{{\"benchmark\":\"{benchmark}\",\"median_ns\":{ns_per_op:.1}}}")
+        .expect("write BENCH_JSON row");
+}
+
+fn append_multi_json(path: &str, batch: usize, label: &str, report: &NetRunReport) {
     let clients = report.clients;
-    writeln!(
-        file,
-        "{{\"benchmark\":\"fig06/multi_batch{batch}_derived_ns_per_subop_{clients}clients/{label}\",\"median_ns\":{ns_per_op:.1}}}"
-    )
-    .expect("write BENCH_JSON row");
+    let key = format!("fig06/multi_batch{batch}_derived_ns_per_subop_{clients}clients/{label}");
+    append_derived_ns_row(path, &key, report);
 }
 
 fn run_multi_mode(batch: usize) {
@@ -185,8 +196,79 @@ fn run_multi_mode(batch: usize) {
     }
 }
 
+/// Appends one regression-guard row per (recipe, variant), keyed like the
+/// `--multi` rows (derived ns per sub-operation at the sweep's client count).
+fn append_recipe_json(path: &str, recipe: RecipeKind, label: &str, report: &NetRunReport) {
+    let clients = report.clients;
+    let key =
+        format!("fig06/recipe_{}_derived_ns_per_subop_{clients}clients/{label}", recipe.label());
+    append_derived_ns_row(path, &key, report);
+}
+
+fn run_recipes_mode() {
+    bench::print_header(
+        "Figure 6 (recipes) — atomic rename and CAS counters as multi transactions",
+        "coordination recipes ride multi's atomicity: 2 sub-ops, 1 round-trip, 1 agreement round",
+    );
+    let json_path = std::env::var("BENCH_JSON").ok();
+    let clients = 16usize;
+    let recipes =
+        [RecipeSpec::atomic_rename(PAYLOAD_BYTES, clients), RecipeSpec::cas_counter(clients)];
+
+    for spec in recipes {
+        let mut figure = Figure::new(
+            format!("Figure 6 (recipe: {}) — sub-operations/s on loopback", spec.kind.label()),
+            "Variant",
+            "Sub-ops/s",
+        );
+
+        let mut native = Series::new("zookeeper (measured)");
+        let native_report = {
+            let replica = Arc::new(ZkReplica::new(1).with_clock(Arc::new(MonotonicClock::new())));
+            let server = ZkTcpServer::bind("127.0.0.1:0", replica).expect("bind loopback");
+            let credentials: Arc<dyn SessionCredentials> = Arc::new(PlainCredentials);
+            let report = run_recipes(server.local_addr(), credentials, TXNS_PER_CLIENT, &spec)
+                .expect("networked recipe run");
+            server.shutdown();
+            report
+        };
+        native.push(clients as f64, native_report.throughput_rps);
+        figure.add(native);
+
+        let mut secure = Series::new("securekeeper (measured)");
+        let secure_report = {
+            let config = SecureKeeperConfig::with_label("fig06-recipes");
+            let (replica, _interceptor, _counter) = secure_standalone(&config);
+            let server = ZkTcpServer::bind("127.0.0.1:0", replica).expect("bind loopback");
+            let credentials: Arc<dyn SessionCredentials> = Arc::new(SecureSessionCredentials);
+            let report = run_recipes(server.local_addr(), credentials, TXNS_PER_CLIENT, &spec)
+                .expect("networked recipe run");
+            server.shutdown();
+            report
+        };
+        secure.push(clients as f64, secure_report.throughput_rps);
+        figure.add(secure);
+
+        bench::print_figure(&figure);
+        println!(
+            "recipe {}: plain {:.0} sub-ops/s vs secure {:.0} sub-ops/s ({clients} clients)",
+            spec.kind.label(),
+            native_report.throughput_rps,
+            secure_report.throughput_rps
+        );
+        if let Some(path) = &json_path {
+            append_recipe_json(path, spec.kind, "plain", &native_report);
+            append_recipe_json(path, spec.kind, "secure", &secure_report);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--recipes") {
+        run_recipes_mode();
+        return;
+    }
     if let Some(position) = args.iter().position(|arg| arg == "--multi") {
         let batch = args
             .get(position + 1)

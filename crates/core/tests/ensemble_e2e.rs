@@ -270,6 +270,185 @@ fn secure_multi_at_a_follower_is_atomic_and_ciphertext_only() {
 }
 
 #[test]
+fn secure_members_restart_from_sealed_disk_state_and_rejoin() {
+    use std::collections::HashMap;
+    use std::net::SocketAddr;
+    use std::path::{Path, PathBuf};
+    use zab::NodeId;
+    use zkserver::persist::{PersistConfig, ReplicaPersistence};
+
+    let secure_config = SecureKeeperConfig::with_label("persistence-e2e");
+    let persist_config = PersistConfig { snapshot_every: 8, ..PersistConfig::default() };
+    let dirs: Vec<PathBuf> = (1..=3)
+        .map(|i| {
+            let dir = std::env::temp_dir()
+                .join(format!("secure-persist-e2e-{}-m{i}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        })
+        .collect();
+
+    // Reserve three loopback peer ports, then start durable secure members.
+    let probes: Vec<zab::TcpNetwork> = (1..=3u32)
+        .map(|i| zab::TcpNetwork::bind(NodeId(i), "127.0.0.1:0").expect("bind probe"))
+        .collect();
+    let peer_addrs: HashMap<NodeId, SocketAddr> =
+        probes.iter().map(|t| (t.id(), t.local_addr())).collect();
+    drop(probes);
+    let start_member = |i: u32| -> ZkEnsembleServer {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let persistence = ReplicaPersistence::open(&dirs[i as usize - 1], persist_config)
+                .expect("open data dir");
+            let (replica, _interceptor, _counter) = secure_ensemble_replica(i, &secure_config);
+            match ZkEnsembleServer::start_persistent(
+                NodeId(i),
+                peer_addrs.clone(),
+                "127.0.0.1:0",
+                replica,
+                test_config(),
+                persistence,
+            ) {
+                Ok(server) => return server,
+                Err(err) => {
+                    assert!(Instant::now() < deadline, "member {i} never started: {err}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    let mut servers: Vec<Option<ZkEnsembleServer>> =
+        (1..=3u32).map(|i| Some(start_member(i))).collect();
+    let alive = |servers: &Vec<Option<ZkEnsembleServer>>| servers.iter().flatten().count();
+    assert_eq!(alive(&servers), 3);
+
+    // Secure writes with recognizable plaintext markers.
+    let credentials = Arc::new(ReplayableSessionCredentials::generate());
+    let mut client = ZkTcpClient::connect_with(
+        servers[0].as_ref().unwrap().client_addr(),
+        Arc::clone(&credentials) as Arc<dyn zkserver::net::SessionCredentials>,
+        30_000,
+    )
+    .expect("secure connect");
+    client.create("/vault", b"".to_vec(), CreateMode::Persistent).unwrap();
+    for i in 0..30 {
+        client
+            .create(
+                &format!("/vault/topsecret-{i:02}"),
+                format!("HUNTER2-PAYLOAD-{i:02}").into_bytes(),
+                CreateMode::Persistent,
+            )
+            .unwrap();
+    }
+    let tip = servers[0].as_ref().unwrap().last_applied_zxid();
+    wait_until("replication", || servers.iter().flatten().all(|s| s.last_applied_zxid() >= tip));
+
+    // Kill the third member; write more while it is down; restart it from
+    // its data directory.
+    servers[2].take().unwrap().shutdown();
+    for i in 30..40 {
+        client
+            .create(
+                &format!("/vault/topsecret-{i:02}"),
+                format!("HUNTER2-PAYLOAD-{i:02}").into_bytes(),
+                CreateMode::Persistent,
+            )
+            .unwrap();
+    }
+    servers[2] = Some(start_member(3));
+    let tip = servers[0].as_ref().unwrap().last_applied_zxid();
+    wait_until("follower rejoin", || {
+        servers.iter().flatten().all(|s| s.last_applied_zxid() >= tip)
+    });
+    let stats = servers[2].as_ref().unwrap().sync_stats();
+    assert!(
+        stats.recovered_txns > 0 || stats.recovered_snapshot_zxid > 0,
+        "the restart must have recovered local state from disk: {stats:?}"
+    );
+
+    // Separately: kill the current leader (leadership may have moved during
+    // the churn above), let the survivors elect, restart it.
+    wait_until("a leader exists", || servers.iter().flatten().any(|s| s.is_leader()));
+    let leader_index = servers
+        .iter()
+        .position(|s| s.as_ref().is_some_and(|s| s.is_leader()))
+        .expect("leader present");
+    servers[leader_index].take().unwrap().shutdown();
+    wait_until("election", || servers.iter().flatten().any(|s| s.is_leader()));
+    let survivor_addrs: Vec<SocketAddr> =
+        servers.iter().flatten().map(|s| s.client_addr()).collect();
+    client
+        .reconnect_to(survivor_addrs[0])
+        .or_else(|_| client.reconnect_to(survivor_addrs[1]))
+        .expect("failover reconnect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.create(
+            "/vault/during-outage",
+            b"HUNTER2-LATE".to_vec(),
+            CreateMode::Persistent,
+        ) {
+            Ok(_) | Err(ZkError::NodeExists { .. }) => break,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "write never recovered");
+                let _ = client
+                    .reconnect_to(survivor_addrs[0])
+                    .or_else(|_| client.reconnect_to(survivor_addrs[1]));
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    servers[leader_index] = Some(start_member(leader_index as u32 + 1));
+    let tip = servers.iter().flatten().map(|s| s.last_applied_zxid()).max().unwrap();
+    wait_until("old leader rejoins", || {
+        servers.iter().flatten().all(|s| s.last_applied_zxid() >= tip)
+    });
+
+    // Identical ciphertext trees and zxids on every member.
+    wait_until("zxid convergence", || {
+        let zxids: Vec<i64> = servers.iter().flatten().map(|s| s.last_applied_zxid()).collect();
+        zxids.windows(2).all(|w| w[0] == w[1])
+    });
+    let reference = servers[0].as_ref().unwrap().replica().tree().paths();
+    for server in servers.iter().flatten() {
+        assert_eq!(server.replica().tree().paths(), reference, "trees diverged");
+        for path in server.replica().tree().paths() {
+            assert!(!path.contains("vault"), "plaintext path leaked: {path}");
+            assert!(!path.contains("topsecret"), "plaintext path leaked: {path}");
+        }
+    }
+    // The pre-crash secret still decrypts through the replayed session.
+    let (data, _) = client.get_data("/vault/topsecret-00", false).unwrap();
+    assert_eq!(data, b"HUNTER2-PAYLOAD-00");
+    client.close();
+
+    // Sealed at rest: no data directory byte sequence contains a plaintext
+    // path component or payload marker — the WAL segments and snapshots
+    // hold only what the enclaves sealed.
+    fn scan_dir(dir: &Path, needles: &[&[u8]]) {
+        for entry in std::fs::read_dir(dir).expect("read data dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                scan_dir(&path, needles);
+            } else {
+                let bytes = std::fs::read(&path).expect("read data file");
+                for needle in needles {
+                    assert!(
+                        !bytes.windows(needle.len()).any(|w| w == *needle),
+                        "plaintext {:?} leaked into {}",
+                        String::from_utf8_lossy(needle),
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+    for dir in &dirs {
+        scan_dir(dir, &[b"vault", b"topsecret", b"HUNTER2"]);
+    }
+}
+
+#[test]
 fn plaintext_clients_are_rejected_by_every_secure_replica() {
     let servers = start_secure_ensemble(3);
     for server in &servers {

@@ -1,0 +1,33 @@
+//! Durable storage for the replicated coordination service.
+//!
+//! SecureKeeper keeps the coordination store ciphertext-only precisely so
+//! that *untrusted* storage — including disk — can hold it safely. This
+//! crate is that disk: a write-ahead transaction log plus point-in-time
+//! snapshot files, both holding nothing but the bytes the upper layers hand
+//! down (which, in secure mode, are already sealed by the enclaves — the
+//! data directory is sealed-at-rest by construction).
+//!
+//! The crate deliberately knows nothing about znodes or trees. It stores
+//! two kinds of artifact under a data directory:
+//!
+//! * [`wal::Wal`] — `log/` holds append-only segment files of CRC-framed
+//!   [`zab::Txn`] records with group-commit fsync batching, torn-tail
+//!   truncation on open, and epoch-aware segment rollover;
+//! * [`snapshot::SnapshotStore`] — `snap/` holds whole-state snapshots
+//!   (opaque payload bytes) written atomically and validated by checksum on
+//!   load, falling back to the previous snapshot when the newest is
+//!   corrupt.
+//!
+//! The `zkserver` crate composes the two into replica recovery: load the
+//! newest valid snapshot, replay the log suffix, rejoin the ensemble with
+//! local history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod snapshot;
+pub mod wal;
+
+pub use snapshot::SnapshotStore;
+pub use wal::{Wal, WalConfig, WalRecovery};

@@ -1,0 +1,193 @@
+//! Point-in-time snapshot files.
+//!
+//! A snapshot is an opaque payload (the serialized data tree — ciphertext
+//! in secure mode) recorded at a zxid. Files are named
+//! `snap-<zxid:016x>.snap` and written atomically: payload to a temp file,
+//! fsync, rename, directory fsync. Each file carries a magic, a format
+//! version, the zxid, and a CRC-32C over the payload; [`SnapshotStore::
+//! load_latest`] validates all of it and silently falls back to the next
+//! older snapshot when the newest is truncated or corrupt — a crash while
+//! writing a snapshot can never lose the previous one.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use jute::{InputArchive, OutputArchive};
+
+use crate::crc::crc32c;
+
+const MAGIC: i32 = 0x534B_534E; // "SKSN"
+const VERSION: i32 = 1;
+
+/// A directory of validated snapshot files.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snapshot_path(dir: &Path, zxid: u64) -> PathBuf {
+    dir.join(format!("snap-{zxid:016x}.snap"))
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the store under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// Writes a snapshot of `payload` taken at `zxid`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the previous snapshot is untouched in that
+    /// case.
+    pub fn save(&self, zxid: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        let mut out = OutputArchive::with_capacity(payload.len() + 32);
+        out.write_i32(MAGIC);
+        out.write_i32(VERSION);
+        out.write_i64(zxid as i64);
+        out.write_i32(crc32c(payload) as i32);
+        out.write_buffer(payload);
+
+        let path = snapshot_path(&self.dir, zxid);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(out.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Make the rename itself durable.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(path)
+    }
+
+    fn load_file(path: &Path) -> Option<(u64, Vec<u8>)> {
+        let mut bytes = Vec::new();
+        File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+        let mut input = InputArchive::new(&bytes);
+        if input.read_i32("snapshot magic").ok()? != MAGIC {
+            return None;
+        }
+        if input.read_i32("snapshot version").ok()? != VERSION {
+            return None;
+        }
+        let zxid = input.read_i64("snapshot zxid").ok()? as u64;
+        let crc = input.read_i32("snapshot crc").ok()? as u32;
+        let payload = input.read_buffer("snapshot payload").ok()?;
+        input.expect_exhausted().ok()?;
+        if crc32c(&payload) != crc {
+            return None;
+        }
+        Some((zxid, payload))
+    }
+
+    /// Every snapshot zxid on disk, newest first (no validation).
+    pub fn list(&self) -> Vec<u64> {
+        let mut zxids: Vec<u64> = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(|entry| {
+                    let name = entry.ok()?.file_name().to_string_lossy().into_owned();
+                    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+                    u64::from_str_radix(hex, 16).ok()
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        zxids.sort_unstable_by(|a, b| b.cmp(a));
+        zxids
+    }
+
+    /// Loads the newest snapshot that validates (magic, version, checksum),
+    /// skipping damaged ones. `None` when no valid snapshot exists.
+    pub fn load_latest(&self) -> Option<(u64, Vec<u8>)> {
+        self.list().into_iter().find_map(|zxid| Self::load_file(&snapshot_path(&self.dir, zxid)))
+    }
+
+    /// Deletes all but the newest `keep` snapshot files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deletion failures.
+    pub fn retain(&self, keep: usize) -> io::Result<()> {
+        for zxid in self.list().into_iter().skip(keep.max(1)) {
+            fs::remove_file(snapshot_path(&self.dir, zxid))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(name: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!("persist-snap-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let store = store("roundtrip");
+        assert!(store.load_latest().is_none());
+        store.save(10, b"state at 10").unwrap();
+        store.save(25, b"state at 25").unwrap();
+        let (zxid, payload) = store.load_latest().unwrap();
+        assert_eq!(zxid, 25);
+        assert_eq!(payload, b"state at 25");
+        assert_eq!(store.list(), vec![25, 10]);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_the_previous_snapshot() {
+        let store = store("fallback");
+        store.save(10, b"good").unwrap();
+        let newest = store.save(20, b"about to rot").unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (zxid, payload) = store.load_latest().unwrap();
+        assert_eq!(zxid, 10);
+        assert_eq!(payload, b"good");
+    }
+
+    #[test]
+    fn truncated_and_garbage_files_are_skipped_without_panicking() {
+        let store = store("garbage");
+        store.save(5, b"good").unwrap();
+        let newest = store.save(9, b"will be truncated").unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        for keep in [0, 4, 10, bytes.len() - 1] {
+            fs::write(&newest, &bytes[..keep]).unwrap();
+            let (zxid, _) = store.load_latest().unwrap();
+            assert_eq!(zxid, 5, "truncated to {keep} bytes");
+        }
+        fs::write(snapshot_path(&store.dir, 11), b"not a snapshot at all").unwrap();
+        assert_eq!(store.load_latest().unwrap().0, 5);
+    }
+
+    #[test]
+    fn retain_keeps_the_newest_files() {
+        let store = store("retain");
+        for zxid in [1u64, 2, 3, 4, 5] {
+            store.save(zxid, &zxid.to_be_bytes()).unwrap();
+        }
+        store.retain(2).unwrap();
+        assert_eq!(store.list(), vec![5, 4]);
+        // retain(0) still keeps one: the store never deletes its only state.
+        store.retain(0).unwrap();
+        assert_eq!(store.list(), vec![5]);
+    }
+}

@@ -17,7 +17,7 @@ use jute::records::CreateMode;
 use zkserver::net::SessionCredentials;
 use zkserver::{ZkError, ZkTcpClient};
 
-use crate::generator::MultiSpec;
+use crate::generator::{MultiSpec, RecipeSpec};
 
 /// Result of one networked workload run.
 #[derive(Debug, Clone)]
@@ -186,6 +186,88 @@ pub fn run_multi_batches(
     })
 }
 
+/// Runs `clients` concurrent connections, each committing
+/// `txns_per_client` transactions of `spec`'s recipe (atomic rename or CAS
+/// counter). Every transaction is a 2-op atomic batch, so the report counts
+/// sub-operations like [`run_multi_batches`]. The generated chains assume
+/// in-order commits, so an aborted batch (a lost rename slot, a CAS version
+/// mismatch) is a correctness failure and reported as an error.
+///
+/// # Errors
+///
+/// Propagates connection and operation failures from any client thread, and
+/// reports an aborted recipe transaction as a marshalling error.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_recipes(
+    addr: SocketAddr,
+    credentials: Arc<dyn SessionCredentials>,
+    txns_per_client: usize,
+    spec: &RecipeSpec,
+) -> Result<NetRunReport, ZkError> {
+    let clients = spec.clients.max(1);
+    let start_line = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::with_capacity(clients);
+    for t in 0..clients {
+        let credentials = Arc::clone(&credentials);
+        let start_line = Arc::clone(&start_line);
+        let spec = *spec;
+        handles.push(std::thread::spawn(move || -> Result<f64, ZkError> {
+            let batches = spec.generate_for(t, txns_per_client);
+            let setup = (|| {
+                let mut client = ZkTcpClient::connect_with(addr, credentials, 30_000)?;
+                for request in spec.setup_requests_for(t) {
+                    match request {
+                        jute::Request::Create(create) => {
+                            match client.create(&create.path, create.data, create.mode) {
+                                Ok(_) | Err(ZkError::NodeExists { .. }) => {}
+                                Err(err) => return Err(err),
+                            }
+                        }
+                        other => unreachable!("recipe setup is creates only: {other:?}"),
+                    }
+                }
+                Ok(client)
+            })();
+
+            start_line.wait();
+            let mut client = setup?;
+            let started = Instant::now();
+            for batch in batches {
+                let results = client.multi(batch.ops)?;
+                if let Some((index, code)) = jute::multi::first_error_of(&results) {
+                    return Err(ZkError::Marshalling {
+                        reason: format!(
+                            "{} recipe aborted at op {index}: {code:?}",
+                            spec.kind.label()
+                        ),
+                    });
+                }
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            client.close();
+            Ok(elapsed)
+        }));
+    }
+
+    let mut slowest = 0f64;
+    for handle in handles {
+        let elapsed = handle.join().expect("worker thread panicked")?;
+        slowest = slowest.max(elapsed);
+    }
+    // Two sub-operations per recipe transaction.
+    let total_ops = clients * txns_per_client * 2;
+    let wall_seconds = slowest.max(f64::EPSILON);
+    Ok(NetRunReport {
+        clients,
+        total_ops,
+        wall_seconds,
+        throughput_rps: total_ops as f64 / wall_seconds,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +287,48 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         // 30% of 50 ops per client are SETs, plus the 4 setup creates.
         assert_eq!(server.replica().last_zxid(), 4 + 4 * 15);
+        server.shutdown();
+    }
+
+    #[test]
+    fn recipe_runs_commit_their_chains_end_to_end() {
+        use crate::generator::RecipeSpec;
+
+        let replica = Arc::new(ZkReplica::new(1).with_clock(Arc::new(MonotonicClock::new())));
+        let server = ZkTcpServer::bind("127.0.0.1:0", replica).unwrap();
+
+        // Atomic rename: after N committed renames each client's node sits
+        // at slot N and no intermediate slot survives.
+        let spec = RecipeSpec::atomic_rename(16, 2);
+        let report =
+            run_recipes(server.local_addr(), Arc::new(PlainCredentials), 5, &spec).unwrap();
+        assert_eq!(report.total_ops, 2 * 5 * 2);
+        {
+            let replica = server.replica();
+            let tree = replica.tree();
+            for client in 0..2 {
+                assert!(tree.contains(&RecipeSpec::slot_path(client, 5)));
+                for step in 0..5 {
+                    assert!(!tree.contains(&RecipeSpec::slot_path(client, step)));
+                }
+            }
+        }
+
+        // CAS counter: the committed value equals the number of increments
+        // and the version advanced once per transaction.
+        let spec = RecipeSpec::cas_counter(3);
+        let report =
+            run_recipes(server.local_addr(), Arc::new(PlainCredentials), 7, &spec).unwrap();
+        assert_eq!(report.total_ops, 3 * 7 * 2);
+        {
+            let replica = server.replica();
+            let tree = replica.tree();
+            for client in 0..3 {
+                let node = tree.get(&RecipeSpec::counter_path(client)).unwrap();
+                assert_eq!(node.data(), 7u64.to_be_bytes());
+                assert_eq!(node.stat().version, 7);
+            }
+        }
         server.shutdown();
     }
 

@@ -40,7 +40,7 @@ pub mod tcp;
 pub mod wire;
 
 pub use cluster::ZabCluster;
-pub use log::TxnLog;
+pub use log::{DurableLog, TxnLog};
 pub use message::{NodeId, Txn, ZabMessage, Zxid};
 pub use network::{Envelope, ZabTransport};
 pub use node::{send_sync, Role, ZabNode};

@@ -2,16 +2,63 @@
 
 use crate::message::{Txn, Zxid};
 
-/// An in-memory, append-only log of transactions with a commit watermark.
+/// Durable backing of a [`TxnLog`]: everything the in-memory log does is
+/// mirrored into an implementation of this trait (the `persist` crate's
+/// write-ahead log) so a crashed replica can rejoin with its local history.
+///
+/// Implementations are expected to be *write-behind buffers with a sync
+/// barrier*: `append_txn`/`mark_committed` may buffer, and [`DurableLog::
+/// sync`] makes everything buffered durable (the driver issues one sync per
+/// write-queue drain — group commit). Implementations should treat an I/O
+/// failure as fatal for the replica, as ZooKeeper does.
+pub trait DurableLog: Send {
+    /// Persists one appended proposal.
+    fn append_txn(&mut self, txn: &Txn);
+    /// Records the advanced commit watermark.
+    fn mark_committed(&mut self, zxid: Zxid);
+    /// Drops every persisted transaction newer than `zxid` (always the
+    /// commit watermark: become-follower truncation).
+    fn truncate_after(&mut self, zxid: Zxid);
+    /// Replaces the entire persisted history with a snapshot watermark at
+    /// `zxid` (a leader-shipped snapshot superseded local history).
+    fn reset_to(&mut self, zxid: Zxid);
+    /// Makes everything buffered durable (one fsync, group commit).
+    fn sync(&mut self);
+}
+
+/// An append-only log of transactions with a commit watermark.
 ///
 /// Proposals are appended when received; they become visible to the state
 /// machine only once committed. This mirrors ZooKeeper's behaviour where a
 /// follower logs a proposal to disk before acknowledging it and applies it to
 /// its database only on commit.
-#[derive(Debug, Clone, Default)]
+///
+/// The log keeps its entries in memory for serving resyncs; an optional
+/// [`DurableLog`] sink mirrors every mutation to disk, and
+/// [`TxnLog::compact_through`] discards the in-memory prefix covered by a
+/// snapshot — the *horizon*. Entries at or below the horizon can no longer
+/// be served from the log; a follower that far behind needs the snapshot
+/// itself (snapshot shipping, handled a layer above).
+#[derive(Default)]
 pub struct TxnLog {
     entries: Vec<Txn>,
     committed_up_to: Zxid,
+    /// Snapshot boundary: entries at or below it have been compacted away.
+    /// Also the floor reported by [`TxnLog::last_logged`] when the in-memory
+    /// suffix is empty.
+    horizon: Zxid,
+    durable: Option<Box<dyn DurableLog>>,
+}
+
+impl std::fmt::Debug for TxnLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnLog")
+            .field("entries", &self.entries.len())
+            .field("committed_up_to", &self.committed_up_to)
+            .field("horizon", &self.horizon)
+            .field("durable", &self.durable.is_some())
+            .finish()
+    }
 }
 
 impl TxnLog {
@@ -20,13 +67,35 @@ impl TxnLog {
         Self::default()
     }
 
+    /// Rebuilds a log from recovered state: `entries` (sorted, strictly
+    /// above `horizon`), the recovered commit watermark, and the snapshot
+    /// horizon the on-disk log was truncated at.
+    pub fn recovered(entries: Vec<Txn>, committed: Zxid, horizon: Zxid) -> Self {
+        let mut log = TxnLog {
+            entries: entries.into_iter().filter(|t| t.zxid > horizon).collect(),
+            committed_up_to: Zxid::ZERO,
+            horizon,
+            durable: None,
+        };
+        log.committed_up_to = committed.max(horizon).min(log.last_logged());
+        log
+    }
+
+    /// Attaches the durable sink that mirrors every future mutation.
+    pub fn attach_durable(&mut self, durable: Box<dyn DurableLog>) {
+        self.durable = Some(durable);
+    }
+
     /// Appends a proposed transaction.
     ///
     /// Out-of-order or duplicate appends are ignored (idempotent), which keeps
     /// recovery simple: a replica may receive the same proposal again during
     /// leader synchronization.
     pub fn append(&mut self, txn: Txn) {
-        if self.entries.last().is_none_or(|last| txn.zxid > last.zxid) {
+        if txn.zxid > self.last_logged() {
+            if let Some(durable) = &mut self.durable {
+                durable.append_txn(&txn);
+            }
             self.entries.push(txn);
         }
     }
@@ -49,13 +118,57 @@ impl TxnLog {
             .collect();
         if target > self.committed_up_to {
             self.committed_up_to = target;
+            if let Some(durable) = &mut self.durable {
+                durable.mark_committed(target);
+            }
         }
         newly
     }
 
-    /// The zxid of the last appended proposal (committed or not).
+    /// The zxid of the last appended proposal (committed or not). After
+    /// compaction or snapshot install this floors at the horizon — the
+    /// log's credential reflects the snapshotted state even when the
+    /// in-memory suffix is empty.
     pub fn last_logged(&self) -> Zxid {
-        self.entries.last().map_or(Zxid::ZERO, |t| t.zxid)
+        self.entries.last().map_or(self.horizon, |t| t.zxid)
+    }
+
+    /// The snapshot boundary: entries at or below it were compacted away and
+    /// can no longer be served from this log.
+    pub fn horizon(&self) -> Zxid {
+        self.horizon
+    }
+
+    /// Discards in-memory entries at or below `zxid` (which must be covered
+    /// by a snapshot — only committed entries are compactable) and advances
+    /// the horizon. Bounds leader memory on long-lived ensembles.
+    pub fn compact_through(&mut self, zxid: Zxid) {
+        let cut = zxid.min(self.committed_up_to);
+        if cut <= self.horizon {
+            return;
+        }
+        self.entries.retain(|t| t.zxid > cut);
+        self.horizon = cut;
+    }
+
+    /// Resets the log to an installed snapshot: all entries are dropped, the
+    /// watermark and horizon both move to `zxid`, and the durable backing is
+    /// reset the same way.
+    pub fn reset_to_snapshot(&mut self, zxid: Zxid) {
+        self.entries.clear();
+        self.committed_up_to = zxid;
+        self.horizon = zxid;
+        if let Some(durable) = &mut self.durable {
+            durable.reset_to(zxid);
+        }
+    }
+
+    /// Forces buffered durable writes to disk (one fsync — group commit).
+    /// A no-op for a purely in-memory log.
+    pub fn sync(&mut self) {
+        if let Some(durable) = &mut self.durable {
+            durable.sync();
+        }
     }
 
     /// The zxid up to which transactions have been committed.
@@ -78,6 +191,11 @@ impl TxnLog {
     /// never committed under the old epoch.
     pub fn truncate_uncommitted(&mut self) {
         let committed = self.committed_up_to;
+        if self.entries.last().is_some_and(|t| t.zxid > committed) {
+            if let Some(durable) = &mut self.durable {
+                durable.truncate_after(committed);
+            }
+        }
         self.entries.retain(|t| t.zxid <= committed);
     }
 
@@ -286,5 +404,110 @@ mod tests {
         assert_eq!(log.last_logged(), Zxid::ZERO);
         assert_eq!(log.last_committed(), Zxid::ZERO);
         assert!(log.entries_after(Zxid::ZERO).is_empty());
+    }
+
+    #[test]
+    fn compaction_moves_the_horizon_and_floors_the_credential() {
+        let mut log = TxnLog::new();
+        for i in 1..=6 {
+            log.append(txn(1, i));
+        }
+        log.commit_up_to(Zxid { epoch: 1, counter: 4 });
+        // Only the committed prefix is compactable.
+        log.compact_through(Zxid { epoch: 1, counter: 5 });
+        assert_eq!(log.horizon(), Zxid { epoch: 1, counter: 4 });
+        assert_eq!(log.len(), 2, "entries above the horizon survive");
+        assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 6 });
+        // Compacting everything leaves an empty log that still reports the
+        // snapshotted credential.
+        log.commit_up_to(Zxid { epoch: 1, counter: 6 });
+        log.compact_through(Zxid { epoch: 1, counter: 6 });
+        assert!(log.is_empty());
+        assert_eq!(log.last_logged(), Zxid { epoch: 1, counter: 6 });
+        assert_eq!(log.last_committed(), Zxid { epoch: 1, counter: 6 });
+        // Appends chain on top of the floor.
+        log.append(txn(1, 7));
+        assert_eq!(log.commit_up_to(Zxid { epoch: 1, counter: 7 }).len(), 1);
+    }
+
+    #[test]
+    fn recovered_log_resumes_where_the_disk_left_off() {
+        let entries = vec![txn(2, 5), txn(2, 6), txn(2, 7)];
+        let committed = Zxid { epoch: 2, counter: 6 };
+        let horizon = Zxid { epoch: 2, counter: 4 };
+        let mut log = TxnLog::recovered(entries, committed, horizon);
+        assert_eq!(log.last_logged(), Zxid { epoch: 2, counter: 7 });
+        assert_eq!(log.last_committed(), committed);
+        assert_eq!(log.horizon(), horizon);
+        // Entries at or below the horizon are filtered out on construction.
+        let log2 = TxnLog::recovered(vec![txn(2, 3), txn(2, 5)], committed, horizon);
+        assert_eq!(log2.len(), 1);
+        // The uncommitted tail commits normally.
+        assert_eq!(log.commit_up_to(Zxid { epoch: 2, counter: 7 }).len(), 1);
+    }
+
+    #[test]
+    fn reset_to_snapshot_supersedes_local_history() {
+        let mut log = TxnLog::new();
+        for i in 1..=3 {
+            log.append(txn(1, i));
+        }
+        log.reset_to_snapshot(Zxid { epoch: 3, counter: 50 });
+        assert!(log.is_empty());
+        assert_eq!(log.last_logged(), Zxid { epoch: 3, counter: 50 });
+        assert_eq!(log.last_committed(), Zxid { epoch: 3, counter: 50 });
+        assert_eq!(log.horizon(), Zxid { epoch: 3, counter: 50 });
+        // The suffix after the snapshot appends and commits cleanly.
+        log.append(txn(3, 51));
+        assert_eq!(log.commit_up_to(Zxid { epoch: 3, counter: 51 }).len(), 1);
+    }
+
+    /// Records every durable call for ordering assertions.
+    #[derive(Default)]
+    struct SpyDurable(std::sync::Arc<parking_lot::Mutex<Vec<String>>>);
+
+    impl DurableLog for SpyDurable {
+        fn append_txn(&mut self, txn: &Txn) {
+            self.0.lock().push(format!("append {}", txn.zxid));
+        }
+        fn mark_committed(&mut self, zxid: Zxid) {
+            self.0.lock().push(format!("commit {zxid}"));
+        }
+        fn truncate_after(&mut self, zxid: Zxid) {
+            self.0.lock().push(format!("truncate {zxid}"));
+        }
+        fn reset_to(&mut self, zxid: Zxid) {
+            self.0.lock().push(format!("reset {zxid}"));
+        }
+        fn sync(&mut self) {
+            self.0.lock().push("sync".into());
+        }
+    }
+
+    #[test]
+    fn durable_sink_mirrors_every_mutation_exactly_once() {
+        let calls = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut log = TxnLog::new();
+        log.attach_durable(Box::new(SpyDurable(std::sync::Arc::clone(&calls))));
+        log.append(txn(1, 1));
+        log.append(txn(1, 1)); // duplicate: ignored, not persisted twice
+        log.append(txn(1, 2));
+        log.commit_up_to(Zxid { epoch: 1, counter: 1 });
+        log.commit_up_to(Zxid { epoch: 1, counter: 1 }); // idempotent: no mark
+        log.sync();
+        log.truncate_uncommitted();
+        log.truncate_uncommitted(); // nothing left to truncate: no call
+        log.reset_to_snapshot(Zxid { epoch: 2, counter: 9 });
+        assert_eq!(
+            *calls.lock(),
+            vec![
+                "append 0x0000000100000001",
+                "append 0x0000000100000002",
+                "commit 0x0000000100000001",
+                "sync",
+                "truncate 0x0000000100000001",
+                "reset 0x0000000200000009",
+            ]
+        );
     }
 }

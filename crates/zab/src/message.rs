@@ -43,6 +43,19 @@ impl Zxid {
     pub fn next_epoch(&self) -> Zxid {
         Zxid { epoch: self.epoch + 1, counter: 0 }
     }
+
+    /// True when this zxid is a legal immediate successor of `prev` in ZAB's
+    /// numbering: the next counter within the same epoch, or the *first*
+    /// proposal (counter 1) of a later epoch (intervening epochs may be
+    /// empty). Receivers use this to refuse history that would open a
+    /// silent gap in their log.
+    pub fn follows(&self, prev: Zxid) -> bool {
+        if self.epoch == prev.epoch {
+            self.counter == prev.counter.wrapping_add(1)
+        } else {
+            self.epoch > prev.epoch && self.counter == 1
+        }
+    }
 }
 
 impl std::fmt::Display for Zxid {
@@ -138,6 +151,26 @@ pub enum ZabMessage {
         last_logged: Zxid,
         /// The candidate.
         from: NodeId,
+    },
+    /// Leader → follower: one chunk of a serialized state snapshot, shipped
+    /// when the follower has fallen behind the leader's log truncation
+    /// horizon and the missing range can no longer be replayed from the log.
+    /// Chunks of one snapshot travel in `seq` order over the FIFO link; the
+    /// frame with `last` set completes the transfer, after which the leader
+    /// follows up with a [`ZabMessage::NewLeaderSync`] carrying the log
+    /// suffix after `snapshot_zxid`. The payload bytes are opaque to the
+    /// protocol (and ciphertext throughout in secure mode).
+    SnapshotChunk {
+        /// The shipping leader's epoch.
+        epoch: u32,
+        /// The zxid the snapshot was taken at.
+        snapshot_zxid: Zxid,
+        /// Position of this chunk in the transfer, starting at 0.
+        seq: u32,
+        /// True on the final chunk.
+        last: bool,
+        /// The chunk's payload bytes.
+        bytes: Vec<u8>,
     },
 }
 

@@ -69,13 +69,20 @@ pub struct ZabNode {
 impl ZabNode {
     /// Creates a follower node in epoch 0.
     pub fn new(id: NodeId, cluster_size: usize) -> Self {
+        Self::with_log(id, cluster_size, TxnLog::new())
+    }
+
+    /// Creates a follower node in epoch 0 on top of an existing log —
+    /// recovery from a durable log rejoins with local history instead of an
+    /// empty credential.
+    pub fn with_log(id: NodeId, cluster_size: usize, log: TxnLog) -> Self {
         ZabNode {
             id,
             role: Role::Follower,
             epoch: 0,
             leader: None,
             cluster_size,
-            log: TxnLog::new(),
+            log,
             last_proposed: Zxid::ZERO,
             pending_acks: HashMap::new(),
             committed_outbox: Vec::new(),
@@ -140,6 +147,32 @@ impl ZabNode {
         self.leader = None;
     }
 
+    /// Adopts a leader-shipped snapshot taken at `zxid`: this node becomes a
+    /// follower of `leader` in `epoch`, and its log — local history now
+    /// superseded wholesale — resets to the snapshot watermark. The state
+    /// machine above must have installed the snapshot contents already; the
+    /// suffix after `zxid` arrives as an ordinary [`ZabMessage::NewLeaderSync`].
+    pub fn install_snapshot(&mut self, epoch: u32, leader: NodeId, zxid: Zxid) {
+        self.role = Role::Follower;
+        self.epoch = epoch;
+        self.leader = Some(leader);
+        self.pending_acks.clear();
+        self.committed_outbox.clear();
+        self.log.reset_to_snapshot(zxid);
+    }
+
+    /// Drops in-memory log entries covered by a snapshot at `zxid` (bounds
+    /// leader memory; the disk log is purged separately at segment
+    /// granularity).
+    pub fn compact_log_through(&mut self, zxid: Zxid) {
+        self.log.compact_through(zxid);
+    }
+
+    /// Forces buffered durable log writes to disk (group commit barrier).
+    pub fn sync_log(&mut self) {
+        self.log.sync();
+    }
+
     /// Leader only: assigns a zxid to `payload`, logs it locally, and
     /// broadcasts the proposal. Returns the assigned zxid.
     ///
@@ -182,10 +215,14 @@ impl ZabNode {
             // Heartbeats and election announcements carry failure-detection
             // state, which lives in the driver above the state machine (the
             // simulated cluster has global knowledge; the networked ensemble
-            // runs timers around `handle`).
+            // runs timers around `handle`). Snapshot chunks carry state the
+            // protocol core cannot install (the serialized tree); the
+            // ensemble layer assembles them and calls
+            // [`ZabNode::install_snapshot`].
             ZabMessage::SyncAck { .. }
             | ZabMessage::Heartbeat { .. }
-            | ZabMessage::Election { .. } => {}
+            | ZabMessage::Election { .. }
+            | ZabMessage::SnapshotChunk { .. } => {}
         }
     }
 
@@ -289,6 +326,12 @@ impl ZabNode {
         if self.role != Role::Leader {
             return;
         }
+        if last_logged < self.log.horizon() {
+            // The requested range was compacted into a snapshot; this state
+            // machine cannot serve it. The ensemble layer intercepts this
+            // case and ships the snapshot itself (see `zkserver::ensemble`).
+            return;
+        }
         let txns: Vec<Txn> =
             self.log.committed().filter(|t| t.zxid > last_logged).cloned().collect();
         send_sync(net, self.id, from, self.epoch, txns);
@@ -313,18 +356,52 @@ impl ZabNode {
         // truncate acked-but-uncommitted proposals (they may be one ack away
         // from their quorum); truncation is for genuine leadership changes,
         // where the divergent tail has to go.
-        if !(self.role == Role::Follower && self.epoch == epoch && self.leader == Some(from)) {
+        let adopted =
+            !(self.role == Role::Follower && self.epoch == epoch && self.leader == Some(from));
+        if adopted {
             self.become_follower(epoch, from);
         }
+        let announcement_only = txns.is_empty();
         let mut max_zxid = self.log.last_committed();
+        let mut gapped = false;
         for txn in txns {
+            if txn.zxid <= self.log.last_logged() {
+                // Redelivery of history this log already holds.
+                continue;
+            }
+            if !txn.zxid.follows(self.log.last_logged()) {
+                // The shipped range starts past this log's tip. That happens
+                // when the leader judged this node by a stale credential — a
+                // restarted replica announces its logged tip, then truncates
+                // the uncommitted part of it on adoption, so the "suffix"
+                // the leader shipped no longer chains. Appending would open
+                // a silent, permanent gap; re-request from the real tip
+                // instead.
+                gapped = true;
+                break;
+            }
             max_zxid = max_zxid.max(txn.zxid);
             self.log.append(txn);
         }
         // Everything the new leader ships is already committed on its side.
         let newly = self.log.commit_up_to(max_zxid);
         self.committed_outbox.extend(newly);
-        net.send(self.id, from, ZabMessage::SyncAck { from: self.id, epoch });
+        if gapped || (adopted && announcement_only) {
+            // Either the shipped range does not chain onto this log, or the
+            // new leader announced itself without history (it did not know
+            // this node's tip). Answer with the real tip so the leader can
+            // ship exactly the missing range — or a snapshot if this log
+            // fell behind its truncation horizon. A repair sync from the
+            // current leader that happens to be empty acks normally, so the
+            // announce/req exchange always terminates.
+            net.send(
+                self.id,
+                from,
+                ZabMessage::SyncRequest { from: self.id, last_logged: self.log.last_logged() },
+            );
+        } else {
+            net.send(self.id, from, ZabMessage::SyncAck { from: self.id, epoch });
+        }
     }
 
     /// Drains committed transactions that the replicated state machine (the
@@ -526,6 +603,70 @@ mod tests {
                 node.log().committed().map(|t| t.payload.clone()).collect();
             assert_eq!(payloads, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
         }
+    }
+
+    #[test]
+    fn gapped_new_leader_sync_is_refused_and_refetched() {
+        // A restarted replica announced credential {1,3} in an election, but
+        // entry 3 was uncommitted locally and gets truncated when it adopts
+        // the winner — so the winner's "suffix after 3" no longer chains.
+        // Appending it would silently lose txn 3 forever; the node must
+        // re-request from its real tip instead (the bug a durable restart
+        // under write load exposed).
+        let net = SimNetwork::new(&[NodeId(1), NodeId(2)]);
+        let mut node = ZabNode::new(NodeId(2), 3);
+        node.become_follower(1, NodeId(1));
+        for i in 1..=3 {
+            node.log.append(Txn { zxid: Zxid { epoch: 1, counter: i }, payload: vec![i as u8] });
+        }
+        node.log.commit_up_to(Zxid { epoch: 1, counter: 2 });
+        node.take_committed();
+
+        // New leader (epoch 2) ships the suffix after the *announced* tip 3;
+        // adoption truncates entry 3 first.
+        node.handle(
+            Envelope {
+                from: NodeId(1),
+                message: ZabMessage::NewLeaderSync {
+                    epoch: 2,
+                    txns: vec![
+                        Txn { zxid: Zxid { epoch: 1, counter: 4 }, payload: vec![4] },
+                        Txn { zxid: Zxid { epoch: 1, counter: 5 }, payload: vec![5] },
+                    ],
+                },
+            },
+            &net,
+        );
+        // Nothing past the gap was accepted, and the node asked for the
+        // missing range from its post-truncation tip.
+        assert_eq!(node.log().last_logged(), Zxid { epoch: 1, counter: 2 });
+        assert!(node.take_committed().is_empty());
+        let reply = net.receive(NodeId(1)).expect("a reply to the leader");
+        assert_eq!(
+            reply.message,
+            ZabMessage::SyncRequest { from: NodeId(2), last_logged: Zxid { epoch: 1, counter: 2 } }
+        );
+
+        // The leader answers with the complete suffix, which chains and
+        // commits — including the previously truncated slot.
+        node.handle(
+            Envelope {
+                from: NodeId(1),
+                message: ZabMessage::NewLeaderSync {
+                    epoch: 2,
+                    txns: (3..=5)
+                        .map(|i| Txn {
+                            zxid: Zxid { epoch: 1, counter: i },
+                            payload: vec![i as u8],
+                        })
+                        .collect(),
+                },
+            },
+            &net,
+        );
+        assert_eq!(node.log().last_committed(), Zxid { epoch: 1, counter: 5 });
+        let payloads: Vec<Vec<u8>> = node.take_committed().into_iter().map(|t| t.payload).collect();
+        assert_eq!(payloads, vec![vec![3], vec![4], vec![5]]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ const TAG_HEARTBEAT: u8 = 6;
 const TAG_FORWARD_WRITE: u8 = 7;
 const TAG_ELECTION: u8 = 8;
 const TAG_SYNC_REQUEST: u8 = 9;
+const TAG_SNAPSHOT_CHUNK: u8 = 10;
 
 fn write_node(out: &mut OutputArchive, node: NodeId) {
     out.write_i32(node.0 as i32);
@@ -109,6 +110,14 @@ pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
             write_zxid(&mut out, *last_logged);
             write_node(&mut out, *from);
         }
+        ZabMessage::SnapshotChunk { epoch, snapshot_zxid, seq, last, bytes } => {
+            out.write_u8(TAG_SNAPSHOT_CHUNK);
+            write_epoch(&mut out, *epoch);
+            write_zxid(&mut out, *snapshot_zxid);
+            out.write_i32(*seq as i32);
+            out.write_bool(*last);
+            out.write_buffer(bytes);
+        }
     }
     out.into_bytes()
 }
@@ -169,6 +178,13 @@ pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, JuteError> {
             last_logged: read_zxid(&mut input, "election credential")?,
             from: read_node(&mut input, "election candidate")?,
         },
+        TAG_SNAPSHOT_CHUNK => ZabMessage::SnapshotChunk {
+            epoch: read_epoch(&mut input, "snapshot epoch")?,
+            snapshot_zxid: read_zxid(&mut input, "snapshot zxid")?,
+            seq: input.read_i32("snapshot chunk seq")? as u32,
+            last: input.read_bool("snapshot chunk last")?,
+            bytes: input.read_buffer("snapshot chunk bytes")?,
+        },
         other => {
             return Err(JuteError::InvalidLength { what: "message tag", length: other.into() });
         }
@@ -212,6 +228,20 @@ mod tests {
         });
         roundtrip(ZabMessage::SyncRequest { from: NodeId(2), last_logged: zxid });
         roundtrip(ZabMessage::Election { epoch: 2, last_logged: Zxid::ZERO, from: NodeId(5) });
+        roundtrip(ZabMessage::SnapshotChunk {
+            epoch: 9,
+            snapshot_zxid: zxid,
+            seq: 3,
+            last: true,
+            bytes: vec![0xAB; 4096],
+        });
+        roundtrip(ZabMessage::SnapshotChunk {
+            epoch: 1,
+            snapshot_zxid: Zxid::ZERO,
+            seq: 0,
+            last: false,
+            bytes: Vec::new(),
+        });
     }
 
     #[test]

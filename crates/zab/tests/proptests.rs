@@ -94,6 +94,16 @@ fn arb_message() -> impl Strategy<Value = ZabMessage> {
         (any::<u32>(), arb_zxid(), any::<u32>()).prop_map(|(epoch, last_logged, from)| {
             ZabMessage::Election { epoch, last_logged, from: NodeId(from) }
         }),
+        (
+            any::<u32>(),
+            arb_zxid(),
+            any::<u32>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(epoch, snapshot_zxid, seq, last, bytes)| {
+                ZabMessage::SnapshotChunk { epoch, snapshot_zxid, seq, last, bytes }
+            }),
     ]
 }
 

@@ -443,7 +443,8 @@ impl ZkTcpClient {
         let kind = WatchEventKind::from_wire(wire.event_type).ok_or_else(|| {
             ZkError::Marshalling { reason: format!("unknown watch event type {}", wire.event_type) }
         })?;
-        let event = WatchEvent { path: wire.path, kind, session_id: self.session_id };
+        let event =
+            WatchEvent { path: wire.path, kind, session_id: self.session_id, zxid: header.zxid };
         if let Some(callback) = &mut self.watch_callback {
             callback(&event);
         }

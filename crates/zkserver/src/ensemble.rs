@@ -49,12 +49,17 @@ use parking_lot::Mutex;
 use jute::records::{DeleteRequest, ErrorCode};
 use jute::{InputArchive, OutputArchive, Request, Response};
 use zab::tcp::TcpNetwork;
-use zab::{Envelope, NodeId, Role, ZabMessage, ZabNode, ZabTransport, Zxid};
+use zab::{Envelope, NodeId, Role, Txn, ZabMessage, ZabNode, ZabTransport, Zxid};
 
 use crate::error::ZkError;
 use crate::net::{NetConfig, WriteHandler, ZkTcpServer};
 use crate::ops::WriteTxn;
+use crate::persist::{self, ReplicaPersistence};
 use crate::server::ZkReplica;
+
+/// Payload bound of one [`ZabMessage::SnapshotChunk`] frame; comfortably
+/// below the transport's 16 MiB frame cap even with framing overhead.
+const SNAPSHOT_CHUNK_BYTES: usize = 512 * 1024;
 
 /// Timing and transport configuration of an ensemble member.
 #[derive(Debug, Clone)]
@@ -118,6 +123,65 @@ struct ElectionState {
     votes: HashMap<NodeId, Zxid>,
 }
 
+/// A leader-shipped snapshot being reassembled from chunks.
+struct SnapshotAssembly {
+    from: NodeId,
+    epoch: u32,
+    zxid: Zxid,
+    next_seq: u32,
+    bytes: Vec<u8>,
+}
+
+/// Outgoing frames buffered during one write-queue drain so the WAL can be
+/// fsynced *once* before any acknowledgement (or commit) leaves the node —
+/// the group-commit ordering a durable log requires.
+#[derive(Default)]
+struct SendBuffer {
+    queued: Mutex<Vec<(NodeId, Option<NodeId>, ZabMessage)>>,
+}
+
+impl SendBuffer {
+    fn flush(&self, net: &dyn ZabTransport) {
+        for (from, to, message) in self.queued.lock().drain(..) {
+            match to {
+                Some(to) => net.send(from, to, message),
+                None => net.broadcast(from, &message),
+            }
+        }
+    }
+}
+
+impl ZabTransport for SendBuffer {
+    fn send(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        self.queued.lock().push((from, Some(to), message));
+    }
+
+    fn broadcast(&self, from: NodeId, message: &ZabMessage) {
+        self.queued.lock().push((from, None, message.clone()));
+    }
+
+    fn receive(&self, _node: NodeId) -> Option<Envelope> {
+        None
+    }
+}
+
+/// Counters of the resynchronization machinery, exposed for tests and the
+/// recovery benchmark: how a leader brought lagging peers up to date, and
+/// what this member itself recovered or installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Snapshots this member shipped to lagging peers (leader side).
+    pub snapshots_shipped: u64,
+    /// Transactions this member shipped in sync frames (leader side).
+    pub sync_txns_shipped: u64,
+    /// Leader-shipped snapshots this member installed (follower side).
+    pub snapshots_installed: u64,
+    /// Transactions replayed from the local durable log at boot.
+    pub recovered_txns: u64,
+    /// zxid of the on-disk snapshot recovery started from (0 = none).
+    pub recovered_snapshot_zxid: u64,
+}
+
 /// Protocol state owned by the driver thread (and briefly by writer threads
 /// submitting proposals). Lock order: this mutex before the replica's tree
 /// lock, never the reverse.
@@ -129,6 +193,8 @@ struct ProtocolState {
     /// Highest election epoch this node has announced a candidacy for;
     /// fresh elections always move past it.
     last_vote_epoch: u32,
+    /// A leader-shipped snapshot in transit (chunks arriving in order).
+    pending_snapshot: Option<SnapshotAssembly>,
 }
 
 /// Shared core of one ensemble member.
@@ -142,23 +208,45 @@ pub struct EnsembleCore {
     next_request_id: AtomicU64,
     running: AtomicBool,
     config: EnsembleConfig,
+    /// Durable log + snapshot store; `None` runs the member in-memory only
+    /// (the pre-persistence behaviour, still used by most unit tests).
+    persistence: Option<ReplicaPersistence>,
+    snapshots_shipped: AtomicU64,
+    sync_txns_shipped: AtomicU64,
+    snapshots_installed: AtomicU64,
+    recovered_txns: AtomicU64,
+    recovered_snapshot_zxid: AtomicU64,
 }
 
 impl EnsembleCore {
-    /// Routes one incoming peer message.
-    fn dispatch(&self, envelope: Envelope) {
+    /// Routes one incoming peer message. Frames the node sends in response
+    /// go through `net` — the driver passes a [`SendBuffer`] so a whole
+    /// drain's worth of appends hits the disk with one fsync *before* any
+    /// acknowledgement leaves this member.
+    fn dispatch(&self, envelope: Envelope, net: &dyn ZabTransport) {
         let mut state = self.state.lock();
         let epoch_before = state.node.epoch();
         let from = envelope.from;
         match envelope.message {
-            ZabMessage::Heartbeat { epoch } => self.on_heartbeat(&mut state, epoch, from),
+            ZabMessage::Heartbeat { epoch } => self.on_heartbeat(&mut state, epoch, from, net),
             ZabMessage::Election { epoch, last_logged, from: candidate } => {
-                self.on_election(&mut state, epoch, last_logged, candidate);
+                self.on_election(&mut state, epoch, last_logged, candidate, net);
+            }
+            ZabMessage::SnapshotChunk { epoch, snapshot_zxid, seq, last, bytes } => {
+                self.on_snapshot_chunk(&mut state, from, epoch, snapshot_zxid, seq, last, bytes);
+            }
+            ZabMessage::SyncRequest { from: requester, last_logged } => {
+                // Handled here rather than in the node so a request from
+                // below the log's truncation horizon can be answered with a
+                // shipped snapshot (the node cannot produce one).
+                if state.node.role() == Role::Leader {
+                    self.ship_state(&state, requester, last_logged, net);
+                }
             }
             ZabMessage::NewLeaderSync { epoch, txns } => {
                 state.node.handle(
                     Envelope { from, message: ZabMessage::NewLeaderSync { epoch, txns } },
-                    &self.transport,
+                    net,
                 );
                 if state.node.leader() == Some(from) {
                     state.election = None;
@@ -170,7 +258,7 @@ impl EnsembleCore {
                 if state.node.leader() == Some(from) {
                     state.last_leader_contact = Instant::now();
                 }
-                state.node.handle(Envelope { from, message }, &self.transport);
+                state.node.handle(Envelope { from, message }, net);
                 self.apply_committed(&mut state);
             }
         }
@@ -184,7 +272,139 @@ impl EnsembleCore {
         }
     }
 
-    fn on_heartbeat(&self, state: &mut ProtocolState, epoch: u32, from: NodeId) {
+    /// Brings `peer` (whose log tip is `since`) up to date. When the peer is
+    /// still within this leader's log, that is the classic committed-suffix
+    /// sync; when it has fallen behind the truncation horizon, the log can
+    /// no longer replay the gap and the serialized tree itself is shipped in
+    /// chunks, followed by the suffix after the snapshot. Either way the
+    /// uncommitted in-flight tail is retransmitted as ordinary proposals so
+    /// a gapped follower can still ack writes short of their quorum.
+    fn ship_state(&self, state: &ProtocolState, peer: NodeId, since: Zxid, net: &dyn ZabTransport) {
+        let epoch = state.node.epoch();
+        let log = state.node.log();
+        let sync_from = if since < log.horizon() {
+            let (snap_zxid_raw, bytes) = persist::snapshot_replica(&self.replica);
+            let snapshot_zxid = Zxid::from_u64(snap_zxid_raw as u64);
+            let chunks: Vec<&[u8]> = if bytes.is_empty() {
+                vec![&[][..]]
+            } else {
+                bytes.chunks(SNAPSHOT_CHUNK_BYTES).collect()
+            };
+            let chunk_count = chunks.len();
+            for (seq, chunk) in chunks.into_iter().enumerate() {
+                net.send(
+                    self.id,
+                    peer,
+                    ZabMessage::SnapshotChunk {
+                        epoch,
+                        snapshot_zxid,
+                        seq: seq as u32,
+                        last: seq + 1 == chunk_count,
+                        bytes: chunk.to_vec(),
+                    },
+                );
+            }
+            self.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            snapshot_zxid
+        } else {
+            since
+        };
+        let txns: Vec<Txn> = log.committed().filter(|t| t.zxid > sync_from).cloned().collect();
+        self.sync_txns_shipped.fetch_add(txns.len() as u64, Ordering::Relaxed);
+        zab::send_sync(net, self.id, peer, epoch, txns);
+        let mut prev = log.last_committed();
+        for txn in log.entries_after(prev) {
+            let next = txn.zxid;
+            net.send(self.id, peer, ZabMessage::Proposal { txn, prev });
+            prev = next;
+        }
+    }
+
+    /// Reassembles a leader-shipped snapshot and installs it: the replica's
+    /// tree, zxid watermark and session table are replaced wholesale, the
+    /// protocol log resets to the snapshot zxid (which also resets the
+    /// durable log), and the local snapshot store records the shipment so a
+    /// crash right after still recovers to this state.
+    #[allow(clippy::too_many_arguments)]
+    fn on_snapshot_chunk(
+        &self,
+        state: &mut ProtocolState,
+        from: NodeId,
+        epoch: u32,
+        snapshot_zxid: Zxid,
+        seq: u32,
+        last: bool,
+        bytes: Vec<u8>,
+    ) {
+        if epoch < state.node.epoch() {
+            return;
+        }
+        if seq == 0 {
+            state.pending_snapshot = Some(SnapshotAssembly {
+                from,
+                epoch,
+                zxid: snapshot_zxid,
+                next_seq: 0,
+                bytes: Vec::new(),
+            });
+        }
+        let Some(assembly) = &mut state.pending_snapshot else { return };
+        if assembly.from != from
+            || assembly.epoch != epoch
+            || assembly.zxid != snapshot_zxid
+            || assembly.next_seq != seq
+        {
+            // Interleaved or reordered shipment: drop it, the leader will
+            // retry on the next sync request.
+            state.pending_snapshot = None;
+            return;
+        }
+        assembly.bytes.extend_from_slice(&bytes);
+        assembly.next_seq = seq + 1;
+        if !last {
+            return;
+        }
+        let assembly = state.pending_snapshot.take().expect("assembly checked above");
+        match persist::decode_snapshot(&assembly.bytes) {
+            Ok((tree, sessions)) => {
+                if let Some(persistence) = &self.persistence {
+                    let _ =
+                        persistence.adopt_shipped_snapshot(assembly.zxid.as_u64(), &assembly.bytes);
+                }
+                self.replica.install_snapshot(tree, assembly.zxid.as_u64() as i64, &sessions);
+                state.node.install_snapshot(epoch, from, assembly.zxid);
+                state.election = None;
+                state.last_leader_contact = Instant::now();
+                self.snapshots_installed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // A corrupt shipment is dropped; this member keeps asking
+                // for a resync and the leader ships a fresh snapshot.
+            }
+        }
+    }
+
+    /// Snapshots the replica and truncates the logs behind it once the
+    /// configured number of transactions has been applied since the last
+    /// snapshot — this is what bounds leader memory and keeps crash-rejoin
+    /// cheap.
+    fn maybe_snapshot(&self, state: &mut ProtocolState, applied: u64) {
+        let Some(persistence) = &self.persistence else { return };
+        if !persistence.note_applied(applied) {
+            return;
+        }
+        if let Ok(snap_zxid) = persistence.snapshot_now(&self.replica) {
+            state.node.compact_log_through(snap_zxid);
+        }
+    }
+
+    fn on_heartbeat(
+        &self,
+        state: &mut ProtocolState,
+        epoch: u32,
+        from: NodeId,
+        net: &dyn ZabTransport,
+    ) {
         let node_epoch = state.node.epoch();
         if epoch < node_epoch {
             return;
@@ -203,23 +423,40 @@ impl EnsembleCore {
         if adopt {
             state.node.become_follower(epoch, from);
             state.election = None;
+            // Adoption means this member just (re)joined a running regime —
+            // typically a restart from disk. Announce the local log tip so
+            // the leader ships the missed suffix (or a snapshot when the
+            // tip fell behind its truncation horizon) without waiting for
+            // the next write to expose the gap.
+            net.send(
+                self.id,
+                from,
+                ZabMessage::SyncRequest {
+                    from: self.id,
+                    last_logged: state.node.log().last_logged(),
+                },
+            );
         }
         if state.node.leader() == Some(from) {
             state.last_leader_contact = Instant::now();
         }
     }
 
-    fn on_election(&self, state: &mut ProtocolState, epoch: u32, last_logged: Zxid, from: NodeId) {
+    fn on_election(
+        &self,
+        state: &mut ProtocolState,
+        epoch: u32,
+        last_logged: Zxid,
+        from: NodeId,
+        net: &dyn ZabTransport,
+    ) {
         if epoch <= state.node.epoch() {
             // Stale candidacy: if this node leads a newer (or the same)
-            // epoch, re-assert so the candidate rejoins. Routed through the
-            // node's sync-request handler, which ships only the *committed*
-            // entries past the candidate's announced tip.
+            // epoch, re-assert so the candidate rejoins — with the committed
+            // entries past its announced tip, or a shipped snapshot when the
+            // tip is below the truncation horizon.
             if state.node.role() == Role::Leader {
-                state.node.handle(
-                    Envelope { from, message: ZabMessage::SyncRequest { from, last_logged } },
-                    &self.transport,
-                );
+                self.ship_state(state, from, last_logged, net);
             }
             return;
         }
@@ -280,14 +517,22 @@ impl EnsembleCore {
             state.node.become_leader(election.epoch);
             for peer in self.transport.peer_ids() {
                 // Ship only what each voter is missing, judged by the log
-                // credential it announced (peers that never announced get
-                // the full history, chunked below the frame limit). A voter
-                // whose announced tip contained uncommitted entries
-                // truncates them on adoption and re-fetches the difference
-                // through a `SyncRequest`.
-                let since = election.votes.get(&peer).copied().unwrap_or(Zxid::ZERO);
-                let txns = state.node.log().entries_after(since);
-                zab::send_sync(&self.transport, self.id, peer, election.epoch, txns);
+                // credential it announced. A voter whose announced tip
+                // contained uncommitted entries truncates them on adoption
+                // and re-fetches the difference through a `SyncRequest`.
+                match election.votes.get(&peer) {
+                    Some(&since) => self.ship_state(state, peer, since, &self.transport),
+                    None => {
+                        // A peer that never announced has an unknown tip —
+                        // guessing zero would ship the full history (or,
+                        // after compaction, a whole destructive snapshot)
+                        // to a member that may be fully current. Send the
+                        // bare leadership announcement instead; adopting it
+                        // makes the peer reply with its real tip, and the
+                        // follow-up sync ships exactly what it misses.
+                        zab::send_sync(&self.transport, self.id, peer, election.epoch, Vec::new());
+                    }
+                }
             }
             state.last_heartbeat_sent = Instant::now();
             self.transport.broadcast(self.id, &ZabMessage::Heartbeat { epoch: election.epoch });
@@ -335,8 +580,12 @@ impl EnsembleCore {
 
     /// Applies newly committed transactions to the local replica in zxid
     /// order and answers the waiting client requests that originated here.
+    /// Once enough transactions accumulate since the last snapshot, the
+    /// replica state is snapshotted and the logs truncate behind it.
     fn apply_committed(&self, state: &mut ProtocolState) {
-        for txn in state.node.take_committed() {
+        let committed = state.node.take_committed();
+        let applied = committed.len() as u64;
+        for txn in committed {
             let zxid = txn.zxid.as_u64() as i64;
             match decode_payload(&txn.payload) {
                 Ok((origin, request_id, write)) => {
@@ -351,6 +600,28 @@ impl EnsembleCore {
                     // every replica skips the same txn, so no divergence).
                 }
             }
+        }
+        if applied > 0 {
+            self.maybe_snapshot(state, applied);
+        }
+    }
+
+    /// Group-commit barrier: one fsync for everything the durable log
+    /// buffered since the last one. A no-op for in-memory members.
+    fn sync_persistence(&self) {
+        if let Some(persistence) = &self.persistence {
+            persistence.sync();
+        }
+    }
+
+    /// Current resynchronization/recovery counters.
+    fn sync_stats(&self) -> SyncStats {
+        SyncStats {
+            snapshots_shipped: self.snapshots_shipped.load(Ordering::Relaxed),
+            sync_txns_shipped: self.sync_txns_shipped.load(Ordering::Relaxed),
+            snapshots_installed: self.snapshots_installed.load(Ordering::Relaxed),
+            recovered_txns: self.recovered_txns.load(Ordering::Relaxed),
+            recovered_snapshot_zxid: self.recovered_snapshot_zxid.load(Ordering::Relaxed),
         }
     }
 
@@ -386,7 +657,13 @@ impl EnsembleCore {
             let mut state = self.state.lock();
             match state.node.role() {
                 Role::Leader => {
-                    state.node.propose(payload, &self.transport);
+                    // Buffer the proposal frames, make the leader's own log
+                    // entry durable, then let the frames out — the leader's
+                    // implicit self-ack must never precede its fsync.
+                    let buffer = SendBuffer::default();
+                    state.node.propose(payload, &buffer);
+                    self.sync_persistence();
+                    buffer.flush(&self.transport);
                     // A single-replica ensemble commits immediately.
                     self.apply_committed(&mut state);
                     None
@@ -480,14 +757,23 @@ impl WriteHandler for EnsembleCore {
 }
 
 /// Drains the peer network and runs the protocol timers until shutdown.
+///
+/// Each drain processes every queued envelope against a [`SendBuffer`],
+/// fsyncs the durable log **once** (group commit), and only then releases
+/// the buffered frames — so no ack or commit ever leaves this member before
+/// the write it acknowledges is on disk, and a drain of N writes costs one
+/// fsync instead of N.
 fn driver_loop(core: &Arc<EnsembleCore>) {
     while core.running.load(Ordering::SeqCst) {
         if let Some(envelope) = core.transport.receive_timeout(core.config.poll_interval) {
-            core.dispatch(envelope);
+            let buffer = SendBuffer::default();
+            core.dispatch(envelope, &buffer);
             // Drain whatever queued up behind it before looking at timers.
             while let Some(envelope) = core.transport.receive(core.id) {
-                core.dispatch(envelope);
+                core.dispatch(envelope, &buffer);
             }
+            core.sync_persistence();
+            buffer.flush(&core.transport);
         }
         core.run_timers();
     }
@@ -537,6 +823,32 @@ impl ZkEnsembleServer {
         Self::start_with_transport(transport, peer_addrs, client_addr, replica, config)
     }
 
+    /// Starts a *durable* ensemble member: state recovered from
+    /// `persistence`'s data directory (newest valid snapshot + log suffix)
+    /// before joining, every accepted proposal written ahead to disk. A
+    /// member restarted this way rejoins with its local history — the
+    /// leader only ships the suffix it missed, or a snapshot if the ensemble
+    /// has truncated past its tip.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `peer_addrs` has no entry for `id` or a listener cannot be
+    /// bound.
+    pub fn start_persistent(
+        id: NodeId,
+        peer_addrs: HashMap<NodeId, SocketAddr>,
+        client_addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: EnsembleConfig,
+        persistence: ReplicaPersistence,
+    ) -> io::Result<Self> {
+        let own = *peer_addrs.get(&id).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("no peer address for {id}"))
+        })?;
+        let transport = TcpNetwork::bind(id, own)?;
+        Self::start_inner(transport, peer_addrs, client_addr, replica, config, Some(persistence))
+    }
+
     /// Starts an ensemble member on an already bound peer endpoint (the
     /// local-ensemble helper binds every endpoint on an ephemeral port first
     /// and then exchanges the addresses).
@@ -551,13 +863,90 @@ impl ZkEnsembleServer {
         replica: Arc<ZkReplica>,
         config: EnsembleConfig,
     ) -> io::Result<Self> {
+        Self::start_inner(transport, peer_addrs, client_addr, replica, config, None)
+    }
+
+    /// Recovers durable state (when present) into `replica` and builds the
+    /// protocol node: snapshot installed, committed log suffix replayed,
+    /// uncommitted tail kept as logged-but-unapplied history.
+    fn recover_node(
+        id: NodeId,
+        cluster_size: usize,
+        replica: &ZkReplica,
+        persistence: &ReplicaPersistence,
+        stats: (&AtomicU64, &AtomicU64),
+    ) -> ZabNode {
+        let mut recovery = persistence.take_recovery();
+        let mut horizon = Zxid::ZERO;
+        if let Some((snap_zxid, bytes)) = &recovery.snapshot {
+            if let Ok((tree, sessions)) = persist::decode_snapshot(bytes) {
+                replica.install_snapshot(tree, *snap_zxid as i64, &sessions);
+                horizon = Zxid::from_u64(*snap_zxid);
+                stats.1.store(*snap_zxid, Ordering::Relaxed);
+            }
+        }
+        // Only the WAL suffix that *chains* onto the snapshot is usable
+        // local history. A gap means this boot fell back past the snapshot
+        // the log was truncated against (a rotted newest snapshot): using
+        // the disconnected suffix would replay writes onto a state missing
+        // their predecessors and silently diverge. Claim only the chained
+        // prefix; the leader re-ships the rest (or a snapshot).
+        recovery.txns = persist::chained_suffix(recovery.txns, horizon);
+        let committed = recovery.committed.max(horizon);
+        let mut replayed = 0u64;
+        for txn in recovery.txns.iter().filter(|t| t.zxid > horizon && t.zxid <= committed) {
+            if let Ok((_, _, write)) = decode_payload(&txn.payload) {
+                replica.apply_txn(txn.zxid.as_u64() as i64, &write);
+                replayed += 1;
+            }
+        }
+        stats.0.store(replayed, Ordering::Relaxed);
+        let log = persistence.recovered_log(recovery, horizon);
+        ZabNode::with_log(id, cluster_size, log)
+    }
+
+    fn start_inner(
+        transport: TcpNetwork,
+        peer_addrs: HashMap<NodeId, SocketAddr>,
+        client_addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: EnsembleConfig,
+        persistence: Option<ReplicaPersistence>,
+    ) -> io::Result<Self> {
         let id = transport.id();
         let cluster_size = peer_addrs.len().max(1);
         let initial_leader = peer_addrs.keys().copied().min().unwrap_or(id);
         transport.set_peers(peer_addrs);
 
-        let mut node = ZabNode::new(id, cluster_size);
-        if id == initial_leader {
+        let recovered_txns = AtomicU64::new(0);
+        let recovered_snapshot_zxid = AtomicU64::new(0);
+        let mut node = match &persistence {
+            Some(persistence) => Self::recover_node(
+                id,
+                cluster_size,
+                &replica,
+                persistence,
+                (&recovered_txns, &recovered_snapshot_zxid),
+            ),
+            None => ZabNode::new(id, cluster_size),
+        };
+        let recovered_epoch = node.log().last_logged().epoch.max(node.log().last_committed().epoch);
+        let has_history = node.log().last_logged() > Zxid::ZERO;
+        if persistence.is_some() && has_history {
+            if cluster_size == 1 {
+                // Standalone durability: a quorum of one — everything this
+                // node logged is decided by definition; lead a fresh epoch
+                // past the recovered history.
+                node.become_leader(recovered_epoch + 1);
+            } else {
+                // Rejoining an ensemble that may have moved on: never assume
+                // leadership from stale state (a recovered uncommitted tail
+                // must not be committed unilaterally). Wait for the current
+                // leader's heartbeat, or win a proper election on timeout —
+                // the recovered log is the credential either way.
+                node.start_election();
+            }
+        } else if id == initial_leader {
             node.become_leader(1);
         } else {
             node.become_follower(1, initial_leader);
@@ -573,12 +962,19 @@ impl ZkEnsembleServer {
                 last_leader_contact: now,
                 last_heartbeat_sent: now,
                 election: None,
-                last_vote_epoch: 1,
+                last_vote_epoch: recovered_epoch.max(1),
+                pending_snapshot: None,
             }),
             waiters: Mutex::new(HashMap::new()),
             next_request_id: AtomicU64::new(1),
             running: AtomicBool::new(true),
             config: config.clone(),
+            persistence,
+            snapshots_shipped: AtomicU64::new(0),
+            sync_txns_shipped: AtomicU64::new(0),
+            snapshots_installed: AtomicU64::new(0),
+            recovered_txns,
+            recovered_snapshot_zxid,
         });
 
         let server = match ZkTcpServer::bind_with_handler(
@@ -594,6 +990,12 @@ impl ZkEnsembleServer {
                 return Err(err);
             }
         };
+        // A single-member recovered leader may hold a committed-on-promotion
+        // tail in its outbox; apply it before serving (no-op otherwise).
+        {
+            let mut state = core.state.lock();
+            core.apply_committed(&mut state);
+        }
         let driver = {
             let core = Arc::clone(&core);
             std::thread::spawn(move || driver_loop(&core))
@@ -676,6 +1078,14 @@ impl ZkEnsembleServer {
     /// The zxid of the last transaction applied to the local tree.
     pub fn last_applied_zxid(&self) -> i64 {
         self.core.replica.last_zxid()
+    }
+
+    /// Resynchronization and recovery counters: what this member shipped to
+    /// lagging peers, what it installed, and what it replayed from disk at
+    /// boot. Tests use these to prove a restarted member rejoined via its
+    /// local history (or a shipped snapshot) rather than a full-log replay.
+    pub fn sync_stats(&self) -> SyncStats {
+        self.core.sync_stats()
     }
 
     /// Stops the member: client server, driver and peer transport — the

@@ -42,6 +42,7 @@ pub mod ensemble;
 pub mod error;
 pub mod net;
 pub mod ops;
+pub mod persist;
 pub mod pipeline;
 pub mod server;
 pub mod session;
@@ -55,6 +56,7 @@ pub use ensemble::{EnsembleConfig, ZkEnsembleServer};
 pub use error::ZkError;
 pub use jute::multi::{Op, OpResult};
 pub use net::ZkTcpServer;
+pub use persist::{PersistConfig, ReplicaPersistence};
 pub use server::ZkReplica;
 pub use tree::{DataTree, Znode};
 pub use typed::{MultiDispatch, Txn};

@@ -213,11 +213,12 @@ impl Shared {
             return;
         }
         let interceptor = self.replica.interceptor();
-        let zxid = self.replica.last_zxid();
         for event in events {
             let conn = self.connections.lock().get(&event.session_id).cloned();
             let Some(conn) = conn else { continue };
-            let frame = encode_watch_event(&event, zxid);
+            // The reply header carries the zxid of the transaction that
+            // fired the watch, so the events of one multi share one zxid.
+            let frame = encode_watch_event(&event, event.zxid);
             let session_id = event.session_id;
             let _ = conn.send(|buffer| interceptor.on_event(session_id, buffer), frame);
         }

@@ -153,6 +153,34 @@ impl ZkReplica {
         self.last_zxid.load(Ordering::SeqCst)
     }
 
+    /// `(id, timeout_ms)` of every active session, sorted by id — the
+    /// session table persisted in snapshots.
+    pub fn session_table(&self) -> Vec<(i64, i64)> {
+        self.sessions.lock().session_table()
+    }
+
+    /// Replaces the replica's entire state with a recovered or
+    /// leader-shipped snapshot: the tree, the applied-zxid watermark, and
+    /// the session table (adopted so recovered ephemeral owners can still
+    /// expire). Watches are *not* restored — they are connection state, and
+    /// the connections did not survive the restart.
+    pub fn install_snapshot(&self, tree: DataTree, last_zxid: i64, sessions: &[(i64, i64)]) {
+        {
+            let mut guard = self.tree.write();
+            *guard = tree;
+            self.last_zxid.store(last_zxid, Ordering::SeqCst);
+        }
+        let now = self.clock.now_ms();
+        let mut manager = self.sessions.lock();
+        for &(session_id, timeout_ms) in sessions {
+            // Sessions connected to this replica right now keep their live
+            // state (password, last-seen); only unknown owners are adopted.
+            if !manager.is_active(session_id) {
+                manager.adopt(session_id, timeout_ms, now);
+            }
+        }
+    }
+
     /// Number of active sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.lock().count()
@@ -204,7 +232,7 @@ impl ZkReplica {
         for path in tree.ephemerals_of(session_id) {
             let zxid = self.last_zxid.fetch_add(1, Ordering::SeqCst) + 1;
             if tree.delete(&path, -1, zxid).is_ok() {
-                self.record_delete_watches(&path);
+                self.record_delete_watches(&path, zxid);
             }
         }
     }
@@ -254,63 +282,97 @@ impl ZkReplica {
         let result = ops::apply_write(tree, request, ctx, self.namer.as_ref());
         match result {
             Ok(response) => {
-                self.record_write_watches(request, &response);
+                self.record_write_watches(request, &response, ctx.zxid);
                 response
             }
             Err(err) => ops::error_response(&err),
         }
     }
 
-    fn record_write_watches(&self, request: &Request, response: &Response) {
+    fn record_write_watches(&self, request: &Request, response: &Response, zxid: i64) {
         match (request, response) {
             (Request::Create(_), Response::Create(create)) => {
-                self.record_create_watches(&create.path);
+                self.record_create_watches(&create.path, zxid);
             }
-            (Request::Delete(delete), Response::Delete) => self.record_delete_watches(&delete.path),
+            (Request::Delete(delete), Response::Delete) => {
+                self.record_delete_watches(&delete.path, zxid);
+            }
             (Request::SetData(set), Response::SetData(_)) => {
-                self.record_set_data_watches(&set.path);
+                self.record_set_data_watches(&set.path, zxid);
             }
             (Request::Multi(multi), Response::Multi(results)) if results.is_committed() => {
-                // A committed multi fires the watches of every sub-operation,
-                // in order; an aborted one changed nothing and fires nothing.
-                for (op, result) in multi.ops.iter().zip(&results.results) {
-                    match (op, result) {
-                        (jute::multi::Op::Create(_), jute::multi::OpResult::Create { path }) => {
-                            self.record_create_watches(path);
-                        }
-                        (jute::multi::Op::Delete(delete), jute::multi::OpResult::Delete) => {
-                            self.record_delete_watches(&delete.path);
-                        }
-                        (jute::multi::Op::SetData(set), jute::multi::OpResult::SetData { .. }) => {
-                            self.record_set_data_watches(&set.path);
-                        }
-                        _ => {}
-                    }
-                }
+                self.record_multi_watches(multi, results, zxid);
             }
             _ => {}
         }
     }
 
-    fn record_create_watches(&self, path: &str) {
-        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeCreated);
+    /// Fires the watches of one committed `multi` as a single batch: the
+    /// per-path events of the transaction are coalesced — each `(path,
+    /// trigger)` pair fires at most once no matter how many sub-operations
+    /// touched it, and one `NodeChildrenChanged` per parent covers all the
+    /// children the batch created or deleted under it — and every event is
+    /// tagged with the transaction's single zxid. An aborted multi changed
+    /// nothing and fires nothing.
+    fn record_multi_watches(
+        &self,
+        multi: &jute::multi::MultiRequest,
+        results: &jute::multi::MultiResponse,
+        zxid: i64,
+    ) {
+        use std::collections::HashSet;
+
+        let mut fired: HashSet<(String, WatchEventKind)> = HashSet::new();
+        let mut parents: HashSet<String> = HashSet::new();
+        let mut events = Vec::new();
+        let mut watches = self.watches.lock();
+        for (op, result) in multi.ops.iter().zip(&results.results) {
+            let (path, kind) = match (op, result) {
+                (jute::multi::Op::Create(_), jute::multi::OpResult::Create { path }) => {
+                    (path.as_str(), WatchEventKind::NodeCreated)
+                }
+                (jute::multi::Op::Delete(delete), jute::multi::OpResult::Delete) => {
+                    (delete.path.as_str(), WatchEventKind::NodeDeleted)
+                }
+                (jute::multi::Op::SetData(set), jute::multi::OpResult::SetData { .. }) => {
+                    (set.path.as_str(), WatchEventKind::NodeDataChanged)
+                }
+                _ => continue,
+            };
+            if fired.insert((path.to_string(), kind)) {
+                events.extend(watches.trigger_data(path, kind, zxid));
+            }
+            if kind != WatchEventKind::NodeDataChanged {
+                if let Some((parent, _)) = split_path(path) {
+                    if parents.insert(parent.to_string()) {
+                        events.extend(watches.trigger_children(parent, zxid));
+                    }
+                }
+            }
+        }
+        drop(watches);
+        self.watch_events.lock().extend(events);
+    }
+
+    fn record_create_watches(&self, path: &str, zxid: i64) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeCreated, zxid);
         self.watch_events.lock().extend(events);
         if let Some((parent, _)) = split_path(path) {
-            let events = self.watches.lock().trigger_children(parent);
+            let events = self.watches.lock().trigger_children(parent, zxid);
             self.watch_events.lock().extend(events);
         }
     }
 
-    fn record_set_data_watches(&self, path: &str) {
-        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDataChanged);
+    fn record_set_data_watches(&self, path: &str, zxid: i64) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDataChanged, zxid);
         self.watch_events.lock().extend(events);
     }
 
-    fn record_delete_watches(&self, path: &str) {
-        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDeleted);
+    fn record_delete_watches(&self, path: &str, zxid: i64) {
+        let events = self.watches.lock().trigger_data(path, WatchEventKind::NodeDeleted, zxid);
         self.watch_events.lock().extend(events);
         if let Some((parent, _)) = split_path(path) {
-            let events = self.watches.lock().trigger_children(parent);
+            let events = self.watches.lock().trigger_children(parent, zxid);
             self.watch_events.lock().extend(events);
         }
     }
@@ -554,6 +616,78 @@ mod tests {
             }),
         );
         assert!(replica.take_watch_events(session).is_empty());
+    }
+
+    #[test]
+    fn multi_watches_fire_coalesced_and_share_the_txn_zxid() {
+        use jute::multi::Op;
+        use jute::records::SetDataRequest;
+
+        let (replica, writer) = replica_with_session();
+        let watcher_a = replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id;
+        let watcher_b = replica.connect(DEFAULT_SESSION_TIMEOUT_MS).session_id;
+        replica.handle_request(writer, &create("/app", CreateMode::Persistent));
+        replica.handle_request(writer, &create("/app/cfg", CreateMode::Persistent));
+        // Both sessions watch the parent's children and the cfg node's data.
+        for session in [watcher_a, watcher_b] {
+            replica.handle_request(
+                session,
+                &Request::GetChildren(GetChildrenRequest { path: "/app".into(), watch: true }),
+            );
+            replica.handle_request(
+                session,
+                &Request::GetData(GetDataRequest { path: "/app/cfg".into(), watch: true }),
+            );
+        }
+
+        // One committed multi: two creates under the same parent and two
+        // set_datas on the same node.
+        let response = replica.handle_request(
+            writer,
+            &Request::Multi(jute::multi::MultiRequest {
+                ops: vec![
+                    Op::Create(CreateRequest {
+                        path: "/app/one".into(),
+                        data: vec![],
+                        mode: CreateMode::Persistent,
+                    }),
+                    Op::Create(CreateRequest {
+                        path: "/app/two".into(),
+                        data: vec![],
+                        mode: CreateMode::Persistent,
+                    }),
+                    Op::SetData(SetDataRequest {
+                        path: "/app/cfg".into(),
+                        data: b"v1".to_vec(),
+                        version: -1,
+                    }),
+                    Op::SetData(SetDataRequest {
+                        path: "/app/cfg".into(),
+                        data: b"v2".to_vec(),
+                        version: -1,
+                    }),
+                ],
+            }),
+        );
+        assert!(response.is_ok());
+        let txn_zxid = replica.last_zxid();
+
+        for session in [watcher_a, watcher_b] {
+            let events = replica.take_watch_events(session);
+            // Coalesced: ONE children-changed for the parent (not one per
+            // created child) and ONE data-changed for the twice-written
+            // node, all tagged with the batch's single zxid.
+            let kinds: Vec<WatchEventKind> = events.iter().map(|e| e.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![WatchEventKind::NodeChildrenChanged, WatchEventKind::NodeDataChanged],
+                "session {session}"
+            );
+            assert!(
+                events.iter().all(|e| e.zxid == txn_zxid),
+                "all events of one multi carry its zxid: {events:?}"
+            );
+        }
     }
 
     #[test]

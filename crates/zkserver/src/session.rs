@@ -108,6 +108,16 @@ impl SessionManager {
         SessionManager { sessions: HashMap::new(), next_id: base + 1 }
     }
 
+    /// `(id, timeout_ms)` of every active session, sorted by id. Persisted
+    /// in snapshots so ephemeral znodes recovered from disk keep an owner
+    /// that can still expire (and be cleaned up) after a restart.
+    pub fn session_table(&self) -> Vec<(i64, i64)> {
+        let mut table: Vec<(i64, i64)> =
+            self.sessions.values().map(|s| (s.id, s.timeout_ms)).collect();
+        table.sort_unstable();
+        table
+    }
+
     /// Ids of the sessions whose timeout has elapsed at `now_ms`, without
     /// removing them. The ensemble server uses this to run ephemeral cleanup
     /// through agreement *before* dropping the session.

@@ -41,6 +41,19 @@ impl Znode {
         self.stat.ephemeral_owner != 0
     }
 
+    /// The next sequence number this znode would assign to a sequential
+    /// child (persisted in snapshots so recovered replicas keep numbering
+    /// where they left off).
+    pub fn next_sequence(&self) -> u32 {
+        self.next_sequence
+    }
+
+    /// Rebuilds a znode from its persisted parts; the child set is
+    /// reconstructed from the paths by [`DataTree::from_nodes`].
+    pub(crate) fn from_parts(data: Vec<u8>, stat: Stat, next_sequence: u32) -> Self {
+        Znode { data, stat, children: BTreeSet::new(), next_sequence }
+    }
+
     /// Approximate memory footprint of this znode in bytes.
     fn memory_bytes(&self) -> usize {
         const NODE_OVERHEAD: usize = 160; // struct, map entry, stat
@@ -348,6 +361,65 @@ impl DataTree {
         let mut paths: Vec<String> = self.nodes.keys().cloned().collect();
         paths.sort();
         paths
+    }
+
+    /// Every `(path, znode)` pair, in sorted path order (parents before
+    /// children, since a parent path is a strict prefix). The snapshot
+    /// codec serializes this.
+    pub fn nodes_sorted(&self) -> Vec<(&str, &Znode)> {
+        let mut nodes: Vec<(&str, &Znode)> =
+            self.nodes.iter().map(|(path, node)| (path.as_str(), node)).collect();
+        nodes.sort_by_key(|(path, _)| *path);
+        nodes
+    }
+
+    /// Rebuilds a tree from persisted `(path, znode)` pairs, reconstructing
+    /// each parent's child set from the paths. Paths must be valid, unique,
+    /// and every non-root node's parent must be present; the root must be
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::Marshalling`] on any structural violation, so a
+    /// corrupt snapshot is rejected instead of installing a broken tree.
+    pub(crate) fn from_nodes(pairs: Vec<(String, Znode)>) -> Result<Self, ZkError> {
+        let mut nodes: HashMap<String, Znode> = HashMap::with_capacity(pairs.len());
+        for (path, node) in pairs {
+            if path != "/" {
+                validate_path(&path)
+                    .map_err(|_| ZkError::Marshalling { reason: format!("bad path {path}") })?;
+            }
+            if nodes.insert(path.clone(), node).is_some() {
+                return Err(ZkError::Marshalling { reason: format!("duplicate path {path}") });
+            }
+        }
+        if !nodes.contains_key("/") {
+            return Err(ZkError::Marshalling { reason: "snapshot tree has no root".into() });
+        }
+        let children: Vec<(String, String)> = nodes
+            .keys()
+            .filter_map(|path| {
+                split_path(path).map(|(parent, name)| (parent.to_string(), name.to_string()))
+            })
+            .collect();
+        for (parent, name) in children {
+            let Some(parent_node) = nodes.get_mut(&parent) else {
+                return Err(ZkError::Marshalling {
+                    reason: format!("orphan node {parent}/{name}"),
+                });
+            };
+            parent_node.children.insert(name);
+        }
+        // The persisted stats must agree with the rebuilt structure — a
+        // mismatch means the snapshot bytes are corrupt.
+        for (path, node) in &nodes {
+            if node.stat.num_children as usize != node.children.len() {
+                return Err(ZkError::Marshalling {
+                    reason: format!("child count mismatch at {path}"),
+                });
+            }
+        }
+        Ok(DataTree { nodes })
     }
 }
 

@@ -56,6 +56,10 @@ pub struct WatchEvent {
     pub kind: WatchEventKind,
     /// Session that registered the watch.
     pub session_id: i64,
+    /// zxid of the transaction that fired the watch. Every event of one
+    /// committed `multi` carries the same zxid, so clients can recognize
+    /// the notifications of one atomic batch.
+    pub zxid: i64,
 }
 
 /// Registry of pending watches.
@@ -90,12 +94,13 @@ impl WatchManager {
     }
 
     /// Fires data watches on `path` with `kind`, removing them (one-shot).
-    pub fn trigger_data(&mut self, path: &str, kind: WatchEventKind) -> Vec<WatchEvent> {
+    /// Events are tagged with the `zxid` of the triggering transaction.
+    pub fn trigger_data(&mut self, path: &str, kind: WatchEventKind, zxid: i64) -> Vec<WatchEvent> {
         match self.data_watches.remove(path) {
             Some(sessions) => {
                 let mut events: Vec<WatchEvent> = sessions
                     .into_iter()
-                    .map(|session_id| WatchEvent { path: path.to_string(), kind, session_id })
+                    .map(|session_id| WatchEvent { path: path.to_string(), kind, session_id, zxid })
                     .collect();
                 events.sort_by_key(|e| e.session_id);
                 events
@@ -104,8 +109,9 @@ impl WatchManager {
         }
     }
 
-    /// Fires child watches on `path`, removing them (one-shot).
-    pub fn trigger_children(&mut self, path: &str) -> Vec<WatchEvent> {
+    /// Fires child watches on `path`, removing them (one-shot). Events are
+    /// tagged with the `zxid` of the triggering transaction.
+    pub fn trigger_children(&mut self, path: &str, zxid: i64) -> Vec<WatchEvent> {
         match self.child_watches.remove(path) {
             Some(sessions) => {
                 let mut events: Vec<WatchEvent> = sessions
@@ -114,6 +120,7 @@ impl WatchManager {
                         path: path.to_string(),
                         kind: WatchEventKind::NodeChildrenChanged,
                         session_id,
+                        zxid,
                     })
                     .collect();
                 events.sort_by_key(|e| e.session_id);
@@ -145,11 +152,12 @@ mod tests {
         let mut mgr = WatchManager::new();
         mgr.add_data_watch("/a", 1);
         mgr.add_data_watch("/a", 2);
-        let events = mgr.trigger_data("/a", WatchEventKind::NodeDataChanged);
+        let events = mgr.trigger_data("/a", WatchEventKind::NodeDataChanged, 7);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].session_id, 1);
         assert_eq!(events[1].kind, WatchEventKind::NodeDataChanged);
-        assert!(mgr.trigger_data("/a", WatchEventKind::NodeDataChanged).is_empty());
+        assert!(events.iter().all(|e| e.zxid == 7), "events carry the txn zxid");
+        assert!(mgr.trigger_data("/a", WatchEventKind::NodeDataChanged, 7).is_empty());
         assert_eq!(mgr.pending(), 0);
     }
 
@@ -159,16 +167,16 @@ mod tests {
         mgr.add_data_watch("/a", 1);
         mgr.add_child_watch("/a", 1);
         assert_eq!(mgr.pending(), 2);
-        assert_eq!(mgr.trigger_children("/a").len(), 1);
+        assert_eq!(mgr.trigger_children("/a", 7).len(), 1);
         assert_eq!(mgr.pending(), 1);
-        assert_eq!(mgr.trigger_data("/a", WatchEventKind::NodeDeleted).len(), 1);
+        assert_eq!(mgr.trigger_data("/a", WatchEventKind::NodeDeleted, 7).len(), 1);
     }
 
     #[test]
     fn unrelated_paths_do_not_fire() {
         let mut mgr = WatchManager::new();
         mgr.add_data_watch("/a", 1);
-        assert!(mgr.trigger_data("/b", WatchEventKind::NodeCreated).is_empty());
+        assert!(mgr.trigger_data("/b", WatchEventKind::NodeCreated, 7).is_empty());
         assert_eq!(mgr.pending(), 1);
     }
 
@@ -193,7 +201,7 @@ mod tests {
         mgr.add_child_watch("/b", 1);
         mgr.remove_session(1);
         assert_eq!(mgr.pending(), 1);
-        let events = mgr.trigger_data("/a", WatchEventKind::NodeDeleted);
+        let events = mgr.trigger_data("/a", WatchEventKind::NodeDeleted, 7);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].session_id, 2);
     }

@@ -1,0 +1,446 @@
+//! Durable-persistence end-to-end tests: members run on real TCP with a
+//! disk-backed WAL + snapshot store, get killed (process teardown) under
+//! write load, and restart *from their data directory* — rejoining via
+//! local history plus the missed suffix, or via a leader-shipped snapshot
+//! when the ensemble truncated past their tip. CI runs this file in the
+//! `persistence-e2e` job (plain leg of the matrix).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jute::records::{CreateMode, Stat};
+use zab::NodeId;
+use zkserver::client::ZkTcpClient;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::persist::{PersistConfig, ReplicaPersistence};
+use zkserver::session::MonotonicClock;
+use zkserver::{ZkError, ZkReplica};
+
+fn test_config() -> EnsembleConfig {
+    EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(5),
+        ..EnsembleConfig::default()
+    }
+}
+
+fn unique_dir(name: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "zk-persistence-e2e-{}-{name}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_replica(id: u32) -> Arc<ZkReplica> {
+    Arc::new(ZkReplica::new(id).with_clock(Arc::new(MonotonicClock::new())))
+}
+
+/// A durable 3-member ensemble plus everything needed to kill one member
+/// and restart it from its data directory on the *same* peer address.
+struct DurableEnsemble {
+    servers: Vec<Option<ZkEnsembleServer>>,
+    peer_addrs: HashMap<NodeId, SocketAddr>,
+    data_dirs: Vec<PathBuf>,
+    persist_config: PersistConfig,
+}
+
+impl DurableEnsemble {
+    fn start(name: &str, size: usize, persist_config: PersistConfig) -> Self {
+        let transports: Vec<zab::TcpNetwork> = (1..=size as u32)
+            .map(|i| zab::TcpNetwork::bind(NodeId(i), "127.0.0.1:0").expect("bind peer"))
+            .collect();
+        let peer_addrs: HashMap<NodeId, SocketAddr> =
+            transports.iter().map(|t| (t.id(), t.local_addr())).collect();
+        let data_dirs: Vec<PathBuf> =
+            (1..=size).map(|i| unique_dir(&format!("{name}-m{i}"))).collect();
+        // `start_persistent` binds its own transport; free the probes first.
+        drop(transports);
+        let servers = (1..=size as u32)
+            .map(|i| {
+                let persistence =
+                    ReplicaPersistence::open(&data_dirs[i as usize - 1], persist_config)
+                        .expect("open data dir");
+                Some(
+                    ZkEnsembleServer::start_persistent(
+                        NodeId(i),
+                        peer_addrs.clone(),
+                        "127.0.0.1:0",
+                        fresh_replica(i),
+                        test_config(),
+                        persistence,
+                    )
+                    .expect("start durable member"),
+                )
+            })
+            .collect();
+        DurableEnsemble { servers, peer_addrs, data_dirs, persist_config }
+    }
+
+    fn server(&self, index: usize) -> &ZkEnsembleServer {
+        self.servers[index].as_ref().expect("member alive")
+    }
+
+    fn alive(&self) -> impl Iterator<Item = &ZkEnsembleServer> {
+        self.servers.iter().flatten()
+    }
+
+    /// Kills member `index` (drops the whole process stack: client server,
+    /// driver, peer transport). Its data directory survives.
+    fn kill(&mut self, index: usize) {
+        if let Some(server) = self.servers[index].take() {
+            server.shutdown();
+        }
+    }
+
+    /// Restarts member `index` from its data directory on its original peer
+    /// address (retrying the bind while the old socket drains).
+    fn restart(&mut self, index: usize) {
+        let id = NodeId(index as u32 + 1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            // Reopened per attempt: a failed bind consumed the handle.
+            let persistence = ReplicaPersistence::open(&self.data_dirs[index], self.persist_config)
+                .expect("reopen data dir");
+            match ZkEnsembleServer::start_persistent(
+                id,
+                self.peer_addrs.clone(),
+                "127.0.0.1:0",
+                fresh_replica(id.0),
+                test_config(),
+                persistence,
+            ) {
+                Ok(server) => {
+                    self.servers[index] = Some(server);
+                    return;
+                }
+                Err(_) if Instant::now() < deadline => {
+                    // The crashed member's listener may still be draining
+                    // (AddrInUse) or the socket teardown racing; retry.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(err) => panic!("restart never succeeded: {err}"),
+            }
+        }
+    }
+}
+
+/// Counter part of a packed zxid — `last_applied_zxid()` packs the epoch in
+/// the high 32 bits, so comparisons against transaction *counts* must look
+/// at the low half.
+fn applied_counter(server: &ZkEnsembleServer) -> u32 {
+    zab::Zxid::from_u64(server.last_applied_zxid() as u64).counter
+}
+
+fn wait_until(what: &str, condition: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connect(server: &ZkEnsembleServer) -> ZkTcpClient {
+    ZkTcpClient::connect(server.client_addr()).expect("client connect")
+}
+
+fn create_with_retry(client: &mut ZkTcpClient, path: &str, addrs: &[SocketAddr]) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.create(path, b"v".to_vec(), CreateMode::Persistent) {
+            Ok(_) | Err(ZkError::NodeExists { .. }) => return,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "write to {path} never recovered");
+                for addr in addrs {
+                    if client.reconnect_to(*addr).is_ok() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Structural fingerprint of a replica's tree: every path with its payload
+/// and full stat — byte-for-byte identity across members.
+fn fingerprint(server: &ZkEnsembleServer) -> Vec<(String, Vec<u8>, Stat)> {
+    let replica = server.replica();
+    let tree = replica.tree();
+    tree.nodes_sorted()
+        .into_iter()
+        .map(|(path, node)| (path.to_string(), node.data().to_vec(), *node.stat()))
+        .collect()
+}
+
+fn assert_converged(ensemble: &DurableEnsemble) {
+    wait_until("zxid convergence", || {
+        let zxids: Vec<i64> = ensemble.alive().map(|s| s.last_applied_zxid()).collect();
+        zxids.windows(2).all(|w| w[0] == w[1])
+    });
+    let prints: Vec<_> = ensemble.alive().map(fingerprint).collect();
+    for (i, print) in prints.iter().enumerate().skip(1) {
+        if prints[0] != *print {
+            let ref_paths: std::collections::BTreeSet<&String> =
+                prints[0].iter().map(|(p, _, _)| p).collect();
+            let got_paths: std::collections::BTreeSet<&String> =
+                print.iter().map(|(p, _, _)| p).collect();
+            let missing: Vec<_> = ref_paths.difference(&got_paths).collect();
+            let extra: Vec<_> = got_paths.difference(&ref_paths).collect();
+            if !missing.is_empty() || !extra.is_empty() {
+                panic!("member {} diverged: missing {:?}, extra {:?}", i + 1, missing, extra);
+            }
+            for (a, b) in prints[0].iter().zip(print.iter()) {
+                if a != b {
+                    panic!("member {} diverged:\n  ref: {:?}\n  got: {:?}", i + 1, a, b);
+                }
+            }
+            panic!(
+                "member {} diverged in node count: {} vs {}",
+                i + 1,
+                prints[0].len(),
+                print.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn standalone_member_survives_restart_from_disk() {
+    let mut ensemble = DurableEnsemble::start(
+        "standalone",
+        1,
+        PersistConfig { snapshot_every: 8, ..PersistConfig::default() },
+    );
+    let mut client = connect(ensemble.server(0));
+    client.create("/root", b"base".to_vec(), CreateMode::Persistent).unwrap();
+    for i in 0..20 {
+        client.create(&format!("/root/n-{i:02}"), vec![i], CreateMode::Persistent).unwrap();
+    }
+    client.set_data("/root", b"updated".to_vec(), -1).unwrap();
+    let zxid_before = ensemble.server(0).last_applied_zxid();
+    let print_before = fingerprint(ensemble.server(0));
+    client.close();
+
+    ensemble.kill(0);
+    ensemble.restart(0);
+
+    assert_eq!(ensemble.server(0).last_applied_zxid(), zxid_before, "zxid survives the crash");
+    assert_eq!(fingerprint(ensemble.server(0)), print_before, "tree survives the crash");
+    let stats = ensemble.server(0).sync_stats();
+    assert!(
+        stats.recovered_snapshot_zxid > 0,
+        "periodic snapshotting must have bounded the replayed log"
+    );
+
+    // The restarted member keeps serving: reads and writes continue.
+    let mut client = connect(ensemble.server(0));
+    let (data, _) = client.get_data("/root", false).unwrap();
+    assert_eq!(data, b"updated");
+    client.create("/root/after-restart", vec![], CreateMode::Persistent).unwrap();
+    assert!(ensemble.server(0).last_applied_zxid() > zxid_before);
+    client.close();
+}
+
+#[test]
+fn follower_killed_under_load_rejoins_from_disk_with_suffix_sync() {
+    // Snapshots effectively disabled: the follower's entire history stays in
+    // its WAL, so the rejoin must run over local history + the missed
+    // suffix, never a snapshot shipment.
+    let config = PersistConfig { snapshot_every: u64::MAX, ..PersistConfig::default() };
+    let mut ensemble = DurableEnsemble::start("follower", 3, config);
+    assert!(ensemble.server(0).is_leader());
+
+    let addrs: Vec<SocketAddr> = [0, 1].iter().map(|&i| ensemble.server(i).client_addr()).collect();
+    let mut client = connect(ensemble.server(0));
+    client.create("/load", vec![], CreateMode::Persistent).unwrap();
+
+    // Background write load against the leader throughout the crash.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let addr = addrs[0];
+        std::thread::spawn(move || {
+            let mut client = ZkTcpClient::connect(addr).expect("writer connect");
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let path = format!("/load/w-{i:04}");
+                if client.create(&path, vec![0u8; 32], CreateMode::Persistent).is_ok() {
+                    i += 1;
+                }
+            }
+            client.close();
+            i
+        })
+    };
+
+    // Let some load replicate, then kill the follower mid-stream.
+    wait_until("pre-crash load", || applied_counter(ensemble.server(2)) > 10);
+    let before_crash = ensemble.server(2).last_applied_zxid();
+    ensemble.kill(2);
+    // More writes land while the follower is down.
+    wait_until("load while down", || ensemble.server(0).last_applied_zxid() > before_crash + 20);
+
+    ensemble.restart(2);
+    stop.store(true, Ordering::Relaxed);
+    let total_writes = writer.join().expect("writer thread");
+
+    wait_until("rejoin", || {
+        ensemble.server(2).last_applied_zxid() >= ensemble.server(0).last_applied_zxid()
+    });
+    assert_converged(&ensemble);
+
+    // Proof of a cheap rejoin: the restarted member replayed its pre-crash
+    // history from disk and the leader shipped only what it missed — not
+    // the full log, and no snapshot.
+    let stats = ensemble.server(2).sync_stats();
+    assert!(stats.recovered_txns > 10, "local history replayed ({} txns)", stats.recovered_txns);
+    assert_eq!(stats.snapshots_installed, 0, "no snapshot needed for a suffix rejoin");
+    let leader_stats = ensemble.server(0).sync_stats();
+    assert_eq!(leader_stats.snapshots_shipped, 0);
+    assert!(
+        leader_stats.sync_txns_shipped < total_writes as u64 + 8,
+        "leader shipped {} txns for {} total writes — that is a full-log replay",
+        leader_stats.sync_txns_shipped,
+        total_writes
+    );
+    client.close();
+}
+
+#[test]
+fn lagging_member_behind_the_truncation_horizon_gets_a_shipped_snapshot() {
+    // Aggressive snapshot cadence: while the victim is down, the leader
+    // snapshots and truncates its log past the victim's tip, so rejoin MUST
+    // go through snapshot shipping.
+    let config = PersistConfig { snapshot_every: 16, ..PersistConfig::default() };
+    let mut ensemble = DurableEnsemble::start("snapship", 3, config);
+    let mut client = connect(ensemble.server(0));
+    client.create("/data", vec![], CreateMode::Persistent).unwrap();
+    wait_until("initial replication", || ensemble.server(2).last_applied_zxid() > 0);
+
+    ensemble.kill(2);
+    for i in 0..80 {
+        create_with_retry(
+            &mut client,
+            &format!("/data/bulk-{i:03}"),
+            &[ensemble.server(0).client_addr()],
+        );
+    }
+    ensemble.restart(2);
+
+    wait_until("snapshot rejoin", || {
+        ensemble.server(2).last_applied_zxid() >= ensemble.server(0).last_applied_zxid()
+    });
+    assert_converged(&ensemble);
+
+    let stats = ensemble.server(2).sync_stats();
+    assert!(stats.snapshots_installed >= 1, "rejoin must have installed a shipped snapshot");
+    // Whichever member leads by now (an election may have moved leadership
+    // mid-test) must have shipped at least one snapshot.
+    let shipped: u64 = ensemble.alive().map(|s| s.sync_stats().snapshots_shipped).sum();
+    assert!(shipped >= 1, "some member must have shipped a snapshot");
+
+    // The shipped snapshot is durable on the receiver: kill and restart it
+    // again with NO writes in between — it must come back from its own disk.
+    let zxid = ensemble.server(2).last_applied_zxid();
+    ensemble.kill(2);
+    ensemble.restart(2);
+    wait_until("second rejoin", || ensemble.server(2).last_applied_zxid() >= zxid);
+    assert_converged(&ensemble);
+    client.close();
+}
+
+#[test]
+fn leader_killed_under_load_restarts_from_disk_and_rejoins_as_follower() {
+    let config = PersistConfig { snapshot_every: u64::MAX, ..PersistConfig::default() };
+    let mut ensemble = DurableEnsemble::start("leader", 3, config);
+    assert!(ensemble.server(0).is_leader());
+    let survivor_addrs: Vec<SocketAddr> =
+        [1, 2].iter().map(|&i| ensemble.server(i).client_addr()).collect();
+
+    let mut client = connect(ensemble.server(1));
+    client.create("/t", vec![], CreateMode::Persistent).unwrap();
+    for i in 0..15 {
+        client.create(&format!("/t/pre-{i:02}"), vec![i], CreateMode::Persistent).unwrap();
+    }
+    wait_until("pre-crash replication", || ensemble.alive().all(|s| applied_counter(s) >= 16));
+
+    // Kill the leader; the survivors elect and keep committing.
+    ensemble.kill(0);
+    wait_until("election", || ensemble.alive().any(|s| s.is_leader()));
+    for i in 0..10 {
+        create_with_retry(&mut client, &format!("/t/during-{i:02}"), &survivor_addrs);
+    }
+
+    // The old leader restarts from disk and must come back as a follower of
+    // the new regime, keep its durable history, and catch up the rest.
+    ensemble.restart(0);
+    wait_until("old leader rejoins", || {
+        ensemble.server(0).last_applied_zxid() >= ensemble.server(1).last_applied_zxid()
+            && !ensemble.server(0).is_leader()
+    });
+    let stats = ensemble.server(0).sync_stats();
+    assert!(stats.recovered_txns >= 10, "restart replayed durable history");
+    assert!(ensemble.server(0).epoch() > 1, "the restarted member adopted the new epoch");
+
+    for i in 0..5 {
+        create_with_retry(&mut client, &format!("/t/post-{i:02}"), &survivor_addrs);
+    }
+    wait_until("full convergence", || {
+        let tip = ensemble.server(1).last_applied_zxid();
+        ensemble.alive().all(|s| s.last_applied_zxid() >= tip)
+    });
+    assert_converged(&ensemble);
+    client.close();
+}
+
+#[test]
+fn whole_ensemble_restart_recovers_committed_state_from_disk() {
+    let config = PersistConfig { snapshot_every: 32, ..PersistConfig::default() };
+    let mut ensemble = DurableEnsemble::start("full-restart", 3, config);
+    let mut client = connect(ensemble.server(1));
+    client.create("/cfg", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+    for i in 0..40 {
+        client.create(&format!("/cfg/item-{i:02}"), vec![i], CreateMode::Persistent).unwrap();
+    }
+    wait_until("replication", || ensemble.alive().all(|s| applied_counter(s) >= 41));
+    let print_before = fingerprint(ensemble.server(0));
+    let zxid_before = ensemble.server(0).last_applied_zxid();
+    client.close();
+
+    // Power-cycle the whole ensemble.
+    for i in 0..3 {
+        ensemble.kill(i);
+    }
+    for i in 0..3 {
+        ensemble.restart(i);
+    }
+
+    // The members recover from disk, elect a leader among themselves (their
+    // recovered logs are the credentials) and serve the old state.
+    wait_until("post-restart election", || ensemble.alive().any(|s| s.is_leader()));
+    wait_until("recovered state", || {
+        ensemble.alive().all(|s| s.last_applied_zxid() >= zxid_before)
+    });
+    assert_converged(&ensemble);
+    assert_eq!(fingerprint(ensemble.server(0)), print_before, "committed state lost");
+
+    // And the recovered ensemble still commits new writes.
+    let addrs: Vec<SocketAddr> = (0..3).map(|i| ensemble.server(i).client_addr()).collect();
+    let mut client = connect(ensemble.server(0));
+    create_with_retry(&mut client, "/cfg/after-powercycle", &addrs);
+    wait_until("post-restart write replicates", || {
+        ensemble.alive().all(|s| s.replica().tree().contains("/cfg/after-powercycle"))
+    });
+    client.close();
+}

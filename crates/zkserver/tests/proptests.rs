@@ -170,3 +170,117 @@ proptest! {
         }
     }
 }
+
+/// Builds a tree (with ephemeral owners and sequential counters) from the
+/// same random operation stream the invariant test uses.
+fn build_tree(ops: &[TreeOp]) -> DataTree {
+    let mut tree = DataTree::new();
+    let paths = candidate_paths();
+    let mut zxid = 0i64;
+    for op in ops {
+        zxid += 1;
+        match op {
+            TreeOp::Create { parent, name, payload, sequential } => {
+                let parent_path = if parent % 3 == 0 {
+                    "/".to_string()
+                } else {
+                    paths[parent % paths.len()].clone()
+                };
+                let path = if parent_path == "/" {
+                    format!("/n{}", name % 3)
+                } else {
+                    format!("{parent_path}/{}", ["a", "b", "c"][name % 3])
+                };
+                // Leaf creates alternate between persistent and ephemeral
+                // (ephemeral owner ids exercise the snapshot session table).
+                let owner =
+                    if *name % 2 == 1 && parent_path != "/" { 7_000 + *name as i64 } else { 0 };
+                if *sequential {
+                    if tree.contains(&parent_path) {
+                        let seq = tree.next_sequence(&parent_path).unwrap();
+                        let _ = tree.create(
+                            &format!("{path}{seq:010}"),
+                            payload.clone(),
+                            owner,
+                            zxid,
+                            zxid,
+                        );
+                    }
+                } else {
+                    let _ = tree.create(&path, payload.clone(), owner, zxid, zxid);
+                }
+            }
+            TreeOp::Set { target, payload } => {
+                let path = &paths[target % paths.len()];
+                let _ = tree.set_data(path, payload.clone(), -1, zxid, zxid);
+            }
+            TreeOp::Delete { target } => {
+                let path = &paths[target % paths.len()];
+                let _ = tree.delete(path, -1, zxid);
+            }
+        }
+    }
+    tree
+}
+
+/// Full structural fingerprint of a tree (path, payload, stat, sequence
+/// counter) for byte-level equality checks.
+fn tree_fingerprint(tree: &DataTree) -> Vec<(String, Vec<u8>, jute::records::Stat, u32)> {
+    tree.nodes_sorted()
+        .into_iter()
+        .map(|(path, node)| {
+            (path.to_string(), node.data().to_vec(), *node.stat(), node.next_sequence())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_codec_roundtrips_arbitrary_trees(
+        ops in proptest::collection::vec(arb_op(), 0..80),
+        sessions in proptest::collection::vec((1i64..1_000_000, 1i64..120_000), 0..8),
+    ) {
+        let tree = build_tree(&ops);
+        let bytes = zkserver::persist::encode_snapshot(&tree, &sessions);
+        let (decoded, decoded_sessions) =
+            zkserver::persist::decode_snapshot(&bytes).expect("own snapshot decodes");
+        prop_assert_eq!(tree_fingerprint(&decoded), tree_fingerprint(&tree));
+        prop_assert_eq!(decoded_sessions, sessions);
+        // Decoded trees satisfy the same structural invariants.
+        assert_tree_invariants(&decoded);
+        // Encoding is deterministic (stable across replicas).
+        prop_assert_eq!(zkserver::persist::encode_snapshot(&tree, &sessions), bytes);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_snapshot_loader(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Arbitrary bytes: decoding must reject or succeed, never panic.
+        let _ = zkserver::persist::decode_snapshot(&bytes);
+    }
+
+    #[test]
+    fn truncated_and_mutated_snapshots_never_panic(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        cut in any::<proptest::sample::Index>(),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        let tree = build_tree(&ops);
+        let bytes = zkserver::persist::encode_snapshot(&tree, &[(42, 30_000)]);
+        // Every truncation of a valid snapshot is rejected without panicking.
+        let cut = cut.index(bytes.len().max(1)).min(bytes.len().saturating_sub(1));
+        prop_assert!(zkserver::persist::decode_snapshot(&bytes[..cut]).is_err());
+        // A bit flip anywhere either still decodes to *some* valid tree or
+        // errors — it never panics and never produces a structurally
+        // invalid tree.
+        let mut mutated = bytes.clone();
+        if !mutated.is_empty() {
+            let at = flip.index(mutated.len());
+            mutated[at] ^= 0x40;
+            if let Ok((tree, _)) = zkserver::persist::decode_snapshot(&mutated) {
+                assert_tree_invariants(&tree);
+            }
+        }
+    }
+}

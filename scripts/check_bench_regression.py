@@ -26,6 +26,10 @@ GUARDED_BENCHMARKS = [
     "ensemble/failover_recovery_ms/secure",
     "ensemble/steady_op_latency/plain",
     "ensemble/steady_op_latency/secure",
+    # Durable-replica crash recovery (BENCH_persist.json): boot from the
+    # newest snapshot + log suffix vs the full-log-replay baseline.
+    "persist/recovery_ms/snapshot",
+    "persist/recovery_ms/log_replay",
 ]
 DEFAULT_THRESHOLD = 3.0
 
