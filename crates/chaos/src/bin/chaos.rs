@@ -1,0 +1,170 @@
+//! The chaos matrix runner.
+//!
+//! ```text
+//! chaos list
+//! chaos run --scenario leader-partition --seed 7
+//! chaos run --all --mode both --seed 42
+//! chaos run --scenario power-cycle --mode secure --no-shrink
+//! ```
+//!
+//! Exit code 0 when every selected run passes all verifications, 1 when any
+//! fails (the failing seed, mode, and — unless `--no-shrink` — a minimised
+//! fault schedule are printed).
+
+use std::process::ExitCode;
+
+use chaos::scenario::{catalogue, find, run_schedule, RunOptions, Scenario};
+use chaos::shrink::shrink_schedule;
+
+struct Args {
+    command: String,
+    scenario: Option<String>,
+    all: bool,
+    seed: u64,
+    modes: Vec<bool>, // secure flags to run
+    no_shrink: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  chaos list\n  chaos run (--scenario NAME | --all) [--seed N] \
+         [--mode plain|secure|both] [--no-shrink]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    let mut args = Args {
+        command,
+        scenario: None,
+        all: false,
+        seed: 42,
+        modes: vec![false],
+        no_shrink: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(argv.next().unwrap_or_else(|| usage())),
+            "--all" => args.all = true,
+            "--seed" => {
+                args.seed = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--mode" => {
+                args.modes = match argv.next().as_deref() {
+                    Some("plain") => vec![false],
+                    Some("secure") => vec![true],
+                    Some("both") => vec![false, true],
+                    _ => usage(),
+                }
+            }
+            "--no-shrink" => args.no_shrink = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn mode_name(secure: bool) -> &'static str {
+    if secure {
+        "secure"
+    } else {
+        "plain"
+    }
+}
+
+fn run_one(scenario: &Scenario, seed: u64, secure: bool, no_shrink: bool) -> bool {
+    let options = RunOptions { seed, secure, duration: scenario.duration, clients: 3 };
+    let schedule = (scenario.schedule)(seed);
+    print!("{:<32} seed={seed:<6} mode={:<6} ... ", scenario.name, mode_name(secure));
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match run_schedule(scenario.spec, &schedule, &options) {
+        Ok(report) => {
+            println!(
+                "ok  ({} ops, {} history, epoch {}, frames {} [{} dropped / {} dup / {} delayed], \
+                 {} re-attaches)",
+                report.ops,
+                report.history_len,
+                report.max_epoch,
+                report.frames,
+                report.dropped,
+                report.duplicated,
+                report.delayed,
+                report.reattaches,
+            );
+            true
+        }
+        Err(failure) => {
+            println!("FAILED");
+            println!("  {failure}");
+            if !no_shrink {
+                println!("  shrinking the fault schedule (budget 12 reruns)...");
+                let outcome = shrink_schedule(scenario.spec, &schedule, &options, failure, 12);
+                println!(
+                    "  minimal failing schedule after {} rerun(s) — reproduce with \
+                     --scenario {} --seed {seed} --mode {}:",
+                    outcome.reruns,
+                    scenario.name,
+                    mode_name(secure),
+                );
+                for event in &outcome.schedule {
+                    println!("    at {:>6?}: {:?}", event.at, event.action);
+                }
+                println!("  minimal failure: {}", outcome.failure);
+            }
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "list" => {
+            for scenario in catalogue() {
+                println!(
+                    "{:<32} {}-node {:<9} {:>5}ms  {}",
+                    scenario.name,
+                    scenario.spec.size,
+                    if scenario.spec.durable { "durable" } else { "in-memory" },
+                    scenario.duration.as_millis(),
+                    scenario.summary,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let selected: Vec<Scenario> = if args.all {
+                catalogue()
+            } else {
+                match args.scenario.as_deref().and_then(find) {
+                    Some(scenario) => vec![scenario],
+                    None => {
+                        eprintln!(
+                            "unknown or missing --scenario (use `chaos list`); or pass --all"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            let mut failures = 0u32;
+            for scenario in &selected {
+                for &secure in &args.modes {
+                    if !run_one(scenario, args.seed, secure, args.no_shrink) {
+                        failures += 1;
+                    }
+                }
+            }
+            let total = selected.len() * args.modes.len();
+            println!("{}/{total} runs passed", total as u32 - failures);
+            if failures == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

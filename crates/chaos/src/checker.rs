@@ -1,0 +1,478 @@
+//! A polynomial consistency checker for the versioned-register model,
+//! verifying the ensemble's actual contract (ZooKeeper's):
+//!
+//! * **writes are linearizable** — the register's version order must be a
+//!   legal linearization of all successful writes against real time;
+//! * **reads are session-consistent** — a read is served by whichever
+//!   replica the client is attached to and may therefore lag other
+//!   clients' completed writes (follower reads are *allowed* to be stale),
+//!   but each session's view must be monotonic and include the session's
+//!   own completed writes, even across failover reconnects (the client
+//!   announces its observation floor via `lastZxidSeen`, and a lagging
+//!   replica refuses the attach).
+//!
+//! The general Wing–Gong / linear-scan search is exponential in history
+//! width; this checker avoids it by exploiting two properties the chaos
+//! workload guarantees:
+//!
+//! * every write carries a **globally unique value**, so a read identifies
+//!   exactly which write it observed;
+//! * every successful write returns the register **version** it produced,
+//!   so successful writes arrive totally ordered — the linearization order
+//!   of writes is not searched, it is *given*, and the checker only has to
+//!   validate that order (and every read) against real time.
+//!
+//! Indeterminate operations (connection loss mid-write) are handled the
+//! standard way: they may have taken effect at any point from their
+//! invocation onwards (their interval is open-ended — the effect can land
+//! after the client gave up), or never. A read observing an indeterminate
+//! write's value *binds* it into the order at the observed version.
+//!
+//! Every reported violation is a definite one: the checker only flags
+//! behaviours impossible under any linearization, so a failing seed is a
+//! true counterexample, never harness noise.
+
+use std::collections::HashMap;
+
+use crate::history::{OpKind, OpRecord, Outcome};
+
+/// Response timestamp standing in for "never completed" (indeterminate
+/// operations can linearize arbitrarily late).
+const OPEN_ENDED: u64 = u64::MAX;
+
+/// One definite linearizability violation, with a human-readable account of
+/// the contradicting operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What real-time/order contradiction was found.
+    pub description: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.description)
+    }
+}
+
+/// A write placed in the version order (determinate, or indeterminate and
+/// bound by a read that observed it).
+#[derive(Debug, Clone, Copy)]
+struct OrderedWrite {
+    version: i32,
+    value: u64,
+    invoke_ns: u64,
+    response_ns: u64,
+    client: u32,
+}
+
+/// Checks one register history for linearizability.
+///
+/// `initial` is the `(version, value)` state the register held before the
+/// first recorded operation (the creation write), anchoring reads that
+/// observed the pre-workload state.
+pub fn check(history: &[OpRecord], initial: (i32, u64)) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Phase 1: collect determinate writes, keyed by version.
+    let mut by_version: HashMap<i32, OrderedWrite> = HashMap::new();
+    by_version.insert(
+        initial.0,
+        OrderedWrite {
+            version: initial.0,
+            value: initial.1,
+            invoke_ns: 0,
+            response_ns: 0,
+            client: u32::MAX,
+        },
+    );
+    let mut indeterminate: HashMap<u64, (u64, u32)> = HashMap::new(); // value -> (invoke, client)
+    let mut bound: HashMap<u64, i32> = HashMap::new(); // indeterminate value -> bound version
+    for op in history {
+        let value = match op.kind {
+            OpKind::Write { value } | OpKind::Cas { value, .. } => value,
+            OpKind::Read => continue,
+        };
+        match &op.outcome {
+            Outcome::WriteOk { version } => {
+                let write = OrderedWrite {
+                    version: *version,
+                    value,
+                    invoke_ns: op.invoke_ns,
+                    response_ns: op.response_ns,
+                    client: op.client,
+                };
+                if let Some(previous) = by_version.insert(*version, write) {
+                    violations.push(Violation {
+                        description: format!(
+                            "two successful writes produced version {}: value {:#x} \
+                             (client {}) and value {:#x} (client {}) — replicas diverged",
+                            version, previous.value, previous.client, value, op.client
+                        ),
+                    });
+                }
+            }
+            Outcome::Indeterminate => {
+                indeterminate.insert(value, (op.invoke_ns, op.client));
+            }
+            Outcome::CasFail | Outcome::Rejected => {}
+            Outcome::ReadOk { .. } => {}
+        }
+    }
+    // Phase 2: bind reads. Each read must observe a known write's value at a
+    // consistent version.
+    for op in history {
+        if op.kind != OpKind::Read {
+            continue;
+        }
+        let Outcome::ReadOk { version, value } = &op.outcome else { continue };
+        let Some(value) = value else {
+            violations.push(Violation {
+                description: format!(
+                    "client {} read malformed register data at version {} — \
+                     the register only ever holds 8-byte write tags",
+                    op.client, version
+                ),
+            });
+            continue;
+        };
+        if let Some(write) = by_version.get(version) {
+            if write.value != *value {
+                violations.push(Violation {
+                    description: format!(
+                        "client {} read value {:#x} at version {version}, but version \
+                         {version} was produced by value {:#x}",
+                        op.client, value, write.value
+                    ),
+                });
+            }
+        } else if let Some(&(invoke_ns, client)) = indeterminate.get(value) {
+            match bound.get(value) {
+                Some(&v) if v != *version => violations.push(Violation {
+                    description: format!(
+                        "indeterminate write of value {:#x} was observed at two distinct \
+                         versions ({v} and {version}) — a single write took effect twice",
+                        value
+                    ),
+                }),
+                Some(_) => {}
+                None => {
+                    bound.insert(*value, *version);
+                    by_version.insert(
+                        *version,
+                        OrderedWrite {
+                            version: *version,
+                            value: *value,
+                            invoke_ns,
+                            response_ns: OPEN_ENDED,
+                            client,
+                        },
+                    );
+                }
+            }
+        } else {
+            violations.push(Violation {
+                description: format!(
+                    "client {} read value {:#x} at version {} that no recorded write \
+                     (successful or indeterminate) ever wrote — phantom state",
+                    op.client, value, version
+                ),
+            });
+        }
+    }
+    // Phase 3: the write order (by version) must respect real time — a
+    // write that completed strictly before another was invoked cannot be
+    // ordered after it.
+    let mut writes: Vec<OrderedWrite> = by_version.values().copied().collect();
+    writes.sort_by_key(|w| w.version);
+    let mut prefix_max_invoke: u64 = 0;
+    let mut prefix_holder: Option<OrderedWrite> = None;
+    for write in &writes {
+        if write.response_ns != OPEN_ENDED && prefix_max_invoke > write.response_ns {
+            let holder = prefix_holder.expect("a prefix max implies a holder");
+            violations.push(Violation {
+                description: format!(
+                    "write of {:#x} (version {}) responded at {}ns, before the \
+                     lower-versioned write of {:#x} (version {}) was even invoked at {}ns",
+                    write.value,
+                    write.version,
+                    write.response_ns,
+                    holder.value,
+                    holder.version,
+                    holder.invoke_ns
+                ),
+            });
+        }
+        if write.invoke_ns >= prefix_max_invoke {
+            prefix_max_invoke = write.invoke_ns;
+            prefix_holder = Some(*write);
+        }
+    }
+    // Phase 4: every read must not have *finished* before the write that
+    // produced its value was even invoked — impossible under any model.
+    // (Reads lagging newer completed writes are NOT flagged: follower
+    // reads are allowed to be stale under the contract.)
+    for op in history {
+        if op.kind != OpKind::Read {
+            continue;
+        }
+        let Outcome::ReadOk { version, .. } = &op.outcome else { continue };
+        let Ok(index) = writes.binary_search_by_key(version, |w| w.version) else {
+            continue; // phantom, already reported in phase 2
+        };
+        let write = writes[index];
+        if op.response_ns < write.invoke_ns {
+            violations.push(Violation {
+                description: format!(
+                    "client {} finished reading version {} at {}ns, before the write \
+                     that produced it was invoked at {}ns",
+                    op.client, version, op.response_ns, write.invoke_ns
+                ),
+            });
+        }
+    }
+    // Phase 5: session order. Each client is single-threaded, so its ops
+    // in invocation order are its program order. The session's observed
+    // version floor (from its reads *and* its own completed writes) must
+    // never move backwards — monotonic reads plus read-your-writes, the
+    // guarantees that must survive failover reconnects.
+    let mut sessions: HashMap<u32, Vec<&OpRecord>> = HashMap::new();
+    for op in history {
+        sessions.entry(op.client).or_default().push(op);
+    }
+    for (client, mut ops) in sessions {
+        ops.sort_by_key(|op| op.invoke_ns);
+        let mut floor: Option<(i32, &'static str, u64)> = None; // (version, how, when)
+        for op in ops {
+            let observed = match &op.outcome {
+                Outcome::WriteOk { version } => (*version, "write"),
+                Outcome::ReadOk { version, .. } => {
+                    if let Some((held, how, at_ns)) = floor {
+                        if *version < held {
+                            violations.push(Violation {
+                                description: format!(
+                                    "client {client} invoked a read at {}ns and observed \
+                                     version {version}, after its own {how} had already \
+                                     established version {held} at {at_ns}ns — the session \
+                                     read backwards",
+                                    op.invoke_ns
+                                ),
+                            });
+                        }
+                    }
+                    (*version, "read")
+                }
+                _ => continue,
+            };
+            if floor.is_none_or(|(held, _, _)| observed.0 > held) {
+                floor = Some((observed.0, observed.1, op.response_ns));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{OpKind, OpRecord, Outcome};
+
+    const INITIAL: (i32, u64) = (0, 0);
+
+    fn write(client: u32, invoke: u64, resp: u64, value: u64, version: i32) -> OpRecord {
+        OpRecord {
+            client,
+            invoke_ns: invoke,
+            response_ns: resp,
+            kind: OpKind::Write { value },
+            outcome: Outcome::WriteOk { version },
+        }
+    }
+
+    fn lost_write(client: u32, invoke: u64, resp: u64, value: u64) -> OpRecord {
+        OpRecord {
+            client,
+            invoke_ns: invoke,
+            response_ns: resp,
+            kind: OpKind::Write { value },
+            outcome: Outcome::Indeterminate,
+        }
+    }
+
+    fn read(client: u32, invoke: u64, resp: u64, value: u64, version: i32) -> OpRecord {
+        OpRecord {
+            client,
+            invoke_ns: invoke,
+            response_ns: resp,
+            kind: OpKind::Read,
+            outcome: Outcome::ReadOk { version, value: Some(value) },
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let history = vec![
+            write(1, 10, 20, 0x1_0000_0001, 1),
+            read(2, 30, 40, 0x1_0000_0001, 1),
+            write(2, 50, 60, 0x2_0000_0001, 2),
+            read(1, 70, 80, 0x2_0000_0001, 2),
+        ];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn concurrent_overlapping_writes_and_reads_are_linearizable() {
+        // Two overlapping writes resolved by their returned versions, and a
+        // read overlapping both that saw the first.
+        let history = vec![
+            write(1, 10, 50, 0xA, 1),
+            write(2, 15, 45, 0xB, 2),
+            read(3, 20, 60, 0xA, 1),
+            read(3, 70, 80, 0xB, 2),
+        ];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn initial_state_reads_are_linearizable() {
+        let history = vec![read(1, 5, 9, 0, 0), write(1, 10, 20, 0xA, 1)];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn cross_client_stale_read_is_allowed() {
+        // Client 2's replica lags: it reads version 1 long after client 1's
+        // write of version 2 completed. Follower reads may be stale — the
+        // contract only promises linearizable writes, not linearizable
+        // reads — so this is legal.
+        let history =
+            vec![write(1, 10, 20, 0xA, 1), write(1, 30, 40, 0xB, 2), read(2, 100, 110, 0xA, 1)];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn session_reading_before_its_own_write_is_flagged() {
+        // Client 1 completed its own write of version 2, then read version 1
+        // back — read-your-writes broken (e.g. a failover reconnect landed
+        // on a lagging replica that should have refused the attach).
+        let history =
+            vec![write(1, 10, 20, 0xA, 1), write(1, 30, 40, 0xB, 2), read(1, 100, 110, 0xA, 1)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("session read backwards"), "{violations:?}");
+    }
+
+    #[test]
+    fn read_from_the_future_is_flagged() {
+        // The read finished before the write producing its value started.
+        let history = vec![read(2, 10, 20, 0xA, 1), write(1, 50, 60, 0xA, 1)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("before the write"), "{violations:?}");
+    }
+
+    #[test]
+    fn phantom_value_is_flagged() {
+        let history = vec![write(1, 10, 20, 0xA, 1), read(2, 30, 40, 0xDEAD, 2)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("phantom"), "{violations:?}");
+    }
+
+    #[test]
+    fn duplicate_versions_are_flagged_as_divergence() {
+        let history = vec![write(1, 10, 20, 0xA, 1), write(2, 30, 40, 0xB, 1)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("diverged"), "{violations:?}");
+    }
+
+    #[test]
+    fn version_order_contradicting_real_time_is_flagged() {
+        // 0xB finished (resp 20) before 0xA was invoked (30), yet 0xB got
+        // the higher version — impossible for a single register.
+        let history = vec![write(1, 30, 40, 0xA, 1), write(2, 10, 20, 0xB, 2)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("before the lower-versioned"), "{violations:?}");
+    }
+
+    #[test]
+    fn session_reads_going_backwards_are_flagged() {
+        // Both observed versions exist and each read is individually
+        // plausible against the (open-ended) writes, but the *same* session
+        // saw the older version after observing the newer one.
+        let history = vec![
+            lost_write(1, 10, 15, 0xA),
+            lost_write(1, 16, 21, 0xB),
+            read(2, 30, 40, 0xB, 2),
+            read(2, 50, 60, 0xA, 1),
+        ];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("session read backwards"), "{violations:?}");
+    }
+
+    #[test]
+    fn different_sessions_may_observe_different_orders_of_lag() {
+        // Two sessions attached to differently-lagged replicas: one already
+        // sees version 2 while the other still sees version 1. Legal.
+        let history = vec![
+            lost_write(1, 10, 15, 0xA),
+            lost_write(1, 16, 21, 0xB),
+            read(2, 30, 40, 0xB, 2),
+            read(3, 50, 60, 0xA, 1),
+        ];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn observed_indeterminate_write_is_bound_not_flagged() {
+        // The write timed out client-side but took effect; the read binds it
+        // at version 1. Legal.
+        let history = vec![lost_write(1, 10, 20, 0xA), read(2, 100, 110, 0xA, 1)];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn unobserved_indeterminate_write_is_legal_either_way() {
+        // The lost write may simply never have happened; a later read seeing
+        // the old state is fine because nothing newer provably completed.
+        let history =
+            vec![write(1, 10, 20, 0xA, 1), lost_write(1, 30, 40, 0xB), read(2, 50, 60, 0xA, 1)];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn indeterminate_write_observed_at_two_versions_is_flagged() {
+        let history =
+            vec![lost_write(1, 10, 20, 0xA), read(2, 30, 40, 0xA, 1), read(3, 50, 60, 0xA, 3)];
+        let violations = check(&history, INITIAL);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].description.contains("took effect twice"), "{violations:?}");
+    }
+
+    #[test]
+    fn late_landing_indeterminate_write_causes_no_false_positive() {
+        // The indeterminate write's client gave up at 20ns but the effect
+        // landed later, after a determinate write invoked at 30ns. Binding
+        // it open-endedly must not trip the real-time write-order check.
+        let history =
+            vec![lost_write(1, 10, 20, 0xB), write(2, 30, 40, 0xA, 1), read(3, 50, 60, 0xB, 2)];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+
+    #[test]
+    fn failed_cas_is_a_no_op() {
+        let history = vec![
+            write(1, 10, 20, 0xA, 1),
+            OpRecord {
+                client: 2,
+                invoke_ns: 30,
+                response_ns: 40,
+                kind: OpKind::Cas { value: 0xB, expected_version: 0 },
+                outcome: Outcome::CasFail,
+            },
+            read(3, 50, 60, 0xA, 1),
+        ];
+        assert_eq!(check(&history, INITIAL), vec![]);
+    }
+}

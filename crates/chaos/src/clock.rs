@@ -1,0 +1,58 @@
+//! Clock-skew injection via the replica's [`Clock`] seam.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use zkserver::session::{Clock, MonotonicClock};
+
+/// A monotonic clock with an adjustable millisecond offset, injected into a
+/// replica through [`zkserver::ZkReplica::with_clock`] so a scenario can
+/// skew one member's idea of time (session expiry sweeps run against this
+/// clock) without touching the others.
+///
+/// The offset can move backwards between reads; the replica's session
+/// bookkeeping must tolerate that — which is exactly what the clock-skew
+/// scenario asserts.
+#[derive(Debug, Default)]
+pub struct SkewedClock {
+    inner: MonotonicClock,
+    offset_ms: AtomicI64,
+}
+
+impl SkewedClock {
+    /// A skew-free clock (offset zero).
+    pub fn new() -> Self {
+        SkewedClock::default()
+    }
+
+    /// Sets the offset added to every subsequent reading.
+    pub fn set_skew_ms(&self, offset_ms: i64) {
+        self.offset_ms.store(offset_ms, Ordering::Relaxed);
+    }
+
+    /// The currently configured offset.
+    pub fn skew_ms(&self) -> i64 {
+        self.offset_ms.load(Ordering::Relaxed)
+    }
+}
+
+impl Clock for SkewedClock {
+    fn now_ms(&self) -> i64 {
+        self.inner.now_ms().saturating_add(self.offset_ms.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_shifts_readings_and_can_reverse() {
+        let clock = SkewedClock::new();
+        let base = clock.now_ms();
+        clock.set_skew_ms(5_000);
+        assert!(clock.now_ms() >= base + 5_000);
+        clock.set_skew_ms(-5_000);
+        assert!(clock.now_ms() <= base + 100);
+        assert_eq!(clock.skew_ms(), -5_000);
+    }
+}

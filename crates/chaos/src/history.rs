@@ -1,0 +1,120 @@
+//! Operation histories: what concurrent clients invoked against the
+//! replicated register and what came back, with real-time intervals.
+//!
+//! The chaos workload drives a single *versioned register* — one znode
+//! whose data is an 8-byte unique write tag and whose `set_data` responses
+//! return the znode version. Those versions are what make linearizability
+//! checking polynomial instead of exponential: a successful write's version
+//! totally orders it against every other successful write, so the checker
+//! (see [`crate::checker`]) only has to validate that order against real
+//! time rather than search for one.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// What one operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// An unconditional `set_data` of a unique value.
+    Write {
+        /// The globally unique value written (`client << 32 | seq`).
+        value: u64,
+    },
+    /// A version-conditioned `set_data` (compare-and-swap).
+    Cas {
+        /// The globally unique value written on success.
+        value: u64,
+        /// The version the writer required.
+        expected_version: i32,
+    },
+    /// A `get_data` of the register.
+    Read,
+}
+
+/// How one operation completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The write (or CAS) succeeded and produced this register version.
+    WriteOk {
+        /// Version returned in the response `Stat`.
+        version: i32,
+    },
+    /// The read returned this version/value pair.
+    ReadOk {
+        /// Version from the response `Stat`.
+        version: i32,
+        /// The 8-byte value decoded from the znode data, if well-formed.
+        value: Option<u64>,
+    },
+    /// The CAS failed with `BadVersion`: a definite no-op.
+    CasFail,
+    /// A connection-level failure: the operation *may or may not* have
+    /// taken effect (the classic indeterminate result).
+    Indeterminate,
+    /// A definite server-side rejection other than `BadVersion` (still a
+    /// no-op on the register).
+    Rejected,
+}
+
+/// One completed operation with its real-time interval, measured in
+/// nanoseconds from the recorder's origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The issuing workload client.
+    pub client: u32,
+    /// Invocation instant (ns since recorder start).
+    pub invoke_ns: u64,
+    /// Response instant (ns since recorder start).
+    pub response_ns: u64,
+    /// What was attempted.
+    pub kind: OpKind,
+    /// What came back.
+    pub outcome: Outcome,
+}
+
+/// Thread-safe collector the workload clients append to.
+#[derive(Debug)]
+pub struct HistoryRecorder {
+    origin: Instant,
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl Default for HistoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryRecorder {
+    /// An empty history whose time origin is now.
+    pub fn new() -> Self {
+        HistoryRecorder { origin: Instant::now(), ops: Mutex::new(Vec::new()) }
+    }
+
+    /// Nanoseconds elapsed since the recorder's origin (for timestamping an
+    /// invocation before the call is made).
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Appends one completed operation.
+    pub fn record(&self, op: OpRecord) {
+        self.ops.lock().push(op);
+    }
+
+    /// Takes the full history recorded so far.
+    pub fn take(&self) -> Vec<OpRecord> {
+        std::mem::take(&mut self.ops.lock())
+    }
+}
+
+/// Encodes a write tag as the register's 8-byte payload.
+pub fn encode_value(value: u64) -> Vec<u8> {
+    value.to_be_bytes().to_vec()
+}
+
+/// Decodes the register payload back into a write tag.
+pub fn decode_value(data: &[u8]) -> Option<u64> {
+    Some(u64::from_be_bytes(data.try_into().ok()?))
+}

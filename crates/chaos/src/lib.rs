@@ -1,0 +1,50 @@
+//! Deterministic fault injection and linearizability checking for the
+//! replicated ensemble.
+//!
+//! Everything random in this crate flows from one `u64` seed through
+//! [`rng::ChaosRng`] (a SplitMix64 stream with labelled forking), so a
+//! failing run is re-runnable from its seed alone:
+//!
+//! - [`plane::FaultPlane`] rules on every peer frame — drop, duplicate,
+//!   delay, or deliver — with an independent deterministic stream per
+//!   directed link, plus partition sets layered on top;
+//! - [`transport::FaultyTransport`] applies those rulings at the
+//!   [`zkserver::PeerTransport`] seam, under the *unmodified* protocol
+//!   code;
+//! - [`clock::SkewedClock`] skews one member's time through the replica's
+//!   `Clock` seam;
+//! - [`history::HistoryRecorder`] collects a concurrent register history
+//!   which [`checker::check`] verifies for linearizability (polynomial,
+//!   thanks to znode versions totally ordering the writes);
+//! - [`scenario`] names the seeded fault schedules, runs them against real
+//!   TCP ensembles (plain or SecureKeeper), and verifies convergence,
+//!   byte-identical replica trees, multi atomicity, single-leader-per-epoch,
+//!   and session durability;
+//! - [`shrink`] minimises a failing schedule to a small counterexample.
+//!
+//! The `chaos` binary fronts all of it: `chaos list`, `chaos run --scenario
+//! leader-partition --seed 7`, `chaos run --all --mode secure`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod clock;
+pub mod history;
+pub mod plane;
+pub mod rng;
+pub mod scenario;
+pub mod shrink;
+pub mod transport;
+
+pub use checker::{check, Violation};
+pub use clock::SkewedClock;
+pub use history::{HistoryRecorder, OpKind, OpRecord, Outcome};
+pub use plane::{FaultPlane, LinkFaults};
+pub use rng::ChaosRng;
+pub use scenario::{
+    catalogue, find, run_scenario, run_schedule, EnsembleSpec, FaultAction, FaultEvent, RunOptions,
+    RunReport, Scenario,
+};
+pub use shrink::{shrink_schedule, ShrinkOutcome};
+pub use transport::FaultyTransport;

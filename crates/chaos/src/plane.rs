@@ -1,0 +1,250 @@
+//! The fault plane: one shared, seeded decision authority for every
+//! peer-to-peer link of an ensemble under test.
+//!
+//! Each directed link `(from, to)` owns an independent random stream forked
+//! from the plane's seed, and every frame crossing the link consumes exactly
+//! one decision from that stream — so a link's fault pattern is a pure
+//! function of `(seed, from, to, per-link frame index)`, independent of how
+//! the OS interleaves the other links. Partitions are modelled separately
+//! as hard directed blocks layered over the probabilistic faults.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use zab::NodeId;
+
+use crate::rng::ChaosRng;
+
+/// Probabilistic per-frame faults, applied uniformly to every unblocked
+/// link. All probabilities are in permille (units of 0.1%).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Chance a frame is silently dropped.
+    pub drop_permille: u32,
+    /// Chance a frame is delivered twice.
+    pub duplicate_permille: u32,
+    /// Chance a frame is held back before delivery (which reorders it past
+    /// frames sent after it).
+    pub delay_permille: u32,
+    /// Upper bound of an injected delay, drawn uniformly per delayed frame.
+    pub max_delay: Duration,
+}
+
+impl LinkFaults {
+    /// No probabilistic faults (hard partitions still apply).
+    pub fn none() -> Self {
+        LinkFaults::default()
+    }
+}
+
+/// What the plane decided for one frame on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Deliver the frame normally.
+    Deliver,
+    /// Silently discard the frame.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Deliver the frame after the given hold-back.
+    Delay(Duration),
+}
+
+/// Seeded fault-decision authority shared by all [`FaultyTransport`]
+/// wrappers of one ensemble under test.
+///
+/// [`FaultyTransport`]: crate::transport::FaultyTransport
+#[derive(Debug)]
+pub struct FaultPlane {
+    root: ChaosRng,
+    faults: Mutex<LinkFaults>,
+    links: Mutex<HashMap<(NodeId, NodeId), ChaosRng>>,
+    blocked: Mutex<HashSet<(NodeId, NodeId)>>,
+    frames: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultPlane {
+    /// A plane with no faults configured, rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlane {
+            root: ChaosRng::new(seed),
+            faults: Mutex::new(LinkFaults::none()),
+            links: Mutex::new(HashMap::new()),
+            blocked: Mutex::new(HashSet::new()),
+            frames: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the probabilistic fault configuration for all links.
+    pub fn set_faults(&self, faults: LinkFaults) {
+        *self.faults.lock() = faults;
+    }
+
+    /// Blocks frames in the single direction `from → to` (the asymmetric
+    /// half of a partition).
+    pub fn block_one_way(&self, from: NodeId, to: NodeId) {
+        self.blocked.lock().insert((from, to));
+    }
+
+    /// Partitions the ensemble into the given groups: every link that
+    /// crosses a group boundary is blocked in both directions. Previously
+    /// installed blocks stay in place.
+    pub fn partition(&self, groups: &[Vec<NodeId>]) {
+        let mut blocked = self.blocked.lock();
+        for (i, a) in groups.iter().enumerate() {
+            for b in groups.iter().skip(i + 1) {
+                for &x in a {
+                    for &y in b {
+                        blocked.insert((x, y));
+                        blocked.insert((y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cuts `node` off from every other member, both directions.
+    pub fn isolate(&self, node: NodeId, all: &[NodeId]) {
+        let mut blocked = self.blocked.lock();
+        for &other in all {
+            if other != node {
+                blocked.insert((node, other));
+                blocked.insert((other, node));
+            }
+        }
+    }
+
+    /// Removes every partition block (probabilistic faults keep applying
+    /// until [`set_faults`](Self::set_faults) clears them too).
+    pub fn heal(&self) {
+        self.blocked.lock().clear();
+    }
+
+    /// Decides the fate of the next frame on the directed link `from → to`,
+    /// consuming one decision from the link's deterministic stream.
+    pub fn decide(&self, from: NodeId, to: NodeId) -> Decision {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        if self.blocked.lock().contains(&(from, to)) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Decision::Drop;
+        }
+        let faults = *self.faults.lock();
+        let mut links = self.links.lock();
+        let rng = links
+            .entry((from, to))
+            .or_insert_with(|| self.root.fork((u64::from(from.0) << 32) | u64::from(to.0)));
+        // Draw the three rolls unconditionally so a link's stream position
+        // depends only on its frame count, not on the fault configuration
+        // that happened to be active earlier in the run.
+        let drop = rng.chance(faults.drop_permille);
+        let duplicate = rng.chance(faults.duplicate_permille);
+        let delay = rng.chance(faults.delay_permille);
+        let delay_ms = rng.next_below(faults.max_delay.as_millis().max(1) as u64);
+        if drop {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            Decision::Drop
+        } else if duplicate {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            Decision::Duplicate
+        } else if delay {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            Decision::Delay(Duration::from_millis(delay_ms))
+        } else {
+            Decision::Deliver
+        }
+    }
+
+    /// Total frames the plane has ruled on.
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames dropped (probabilistically or by a partition block).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Frames held back before delivery.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_link() {
+        let faults = LinkFaults {
+            drop_permille: 300,
+            duplicate_permille: 200,
+            delay_permille: 200,
+            max_delay: Duration::from_millis(50),
+        };
+        let run = |seed| {
+            let plane = FaultPlane::new(seed);
+            plane.set_faults(faults);
+            (0..200).map(|_| plane.decide(NodeId(1), NodeId(2))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn link_streams_are_independent() {
+        let faults = LinkFaults {
+            drop_permille: 500,
+            duplicate_permille: 0,
+            delay_permille: 0,
+            max_delay: Duration::ZERO,
+        };
+        // Interleaving traffic on a second link must not shift the first
+        // link's decision stream.
+        let quiet = FaultPlane::new(3);
+        quiet.set_faults(faults);
+        let alone: Vec<_> = (0..100).map(|_| quiet.decide(NodeId(1), NodeId(2))).collect();
+        let busy = FaultPlane::new(3);
+        busy.set_faults(faults);
+        let interleaved: Vec<_> = (0..100)
+            .map(|_| {
+                let _ = busy.decide(NodeId(2), NodeId(1));
+                let _ = busy.decide(NodeId(3), NodeId(1));
+                busy.decide(NodeId(1), NodeId(2))
+            })
+            .collect();
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let plane = FaultPlane::new(0);
+        plane.partition(&[vec![NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        assert_eq!(plane.decide(NodeId(1), NodeId(2)), Decision::Drop);
+        assert_eq!(plane.decide(NodeId(3), NodeId(1)), Decision::Drop);
+        assert_eq!(plane.decide(NodeId(2), NodeId(3)), Decision::Deliver);
+        plane.heal();
+        assert_eq!(plane.decide(NodeId(1), NodeId(2)), Decision::Deliver);
+    }
+
+    #[test]
+    fn one_way_blocks_are_asymmetric() {
+        let plane = FaultPlane::new(0);
+        plane.block_one_way(NodeId(1), NodeId(2));
+        assert_eq!(plane.decide(NodeId(1), NodeId(2)), Decision::Drop);
+        assert_eq!(plane.decide(NodeId(2), NodeId(1)), Decision::Deliver);
+    }
+}

@@ -1,0 +1,84 @@
+//! Counterexample shrinking: reduce a failing fault schedule to a minimal
+//! one that still fails.
+//!
+//! Because a schedule is plain data (a `Vec<FaultEvent>`), shrinking is
+//! delta-debugging lite: first try dropping whole halves, then individual
+//! events (newest first — late events are most often incidental), re-running
+//! the deterministic executor each time and keeping any smaller schedule
+//! that still reproduces a failure. The rerun budget is bounded, so a
+//! shrink costs at most `budget` extra scenario executions.
+
+use crate::scenario::{run_schedule, EnsembleSpec, FaultEvent, RunFailure, RunOptions};
+
+/// Result of a shrink pass.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest schedule found that still fails.
+    pub schedule: Vec<FaultEvent>,
+    /// The failure that minimal schedule produces.
+    pub failure: RunFailure,
+    /// How many reruns the search spent.
+    pub reruns: usize,
+}
+
+/// Shrinks `schedule` (which is known to fail under `spec`/`options`) to a
+/// locally minimal failing schedule, spending at most `budget` reruns.
+pub fn shrink_schedule(
+    spec: EnsembleSpec,
+    schedule: &[FaultEvent],
+    options: &RunOptions,
+    original_failure: RunFailure,
+    budget: usize,
+) -> ShrinkOutcome {
+    let mut current = schedule.to_vec();
+    let mut failure = original_failure;
+    let mut reruns = 0;
+
+    let try_candidate = |candidate: &[FaultEvent], reruns: &mut usize| -> Option<RunFailure> {
+        *reruns += 1;
+        run_schedule(spec, candidate, options).err()
+    };
+
+    // Phase 1: halves. Cheap big cuts while the schedule is long.
+    while current.len() > 2 && reruns < budget {
+        let mid = current.len() / 2;
+        let front: Vec<FaultEvent> = current[..mid].to_vec();
+        if let Some(f) = try_candidate(&front, &mut reruns) {
+            current = front;
+            failure = f;
+            continue;
+        }
+        if reruns >= budget {
+            break;
+        }
+        let back: Vec<FaultEvent> = current[mid..].to_vec();
+        if let Some(f) = try_candidate(&back, &mut reruns) {
+            current = back;
+            failure = f;
+            continue;
+        }
+        break;
+    }
+
+    // Phase 2: single removals, newest event first, restarting after every
+    // successful cut until a fixpoint or the budget runs out.
+    let mut changed = true;
+    while changed && reruns < budget {
+        changed = false;
+        for index in (0..current.len()).rev() {
+            if reruns >= budget {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.remove(index);
+            if let Some(f) = try_candidate(&candidate, &mut reruns) {
+                current = candidate;
+                failure = f;
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    ShrinkOutcome { schedule: current, failure, reruns }
+}

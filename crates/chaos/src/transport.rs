@@ -1,0 +1,177 @@
+//! A fault-injecting decorator over the ensemble's peer transport.
+//!
+//! [`FaultyTransport`] wraps any [`PeerTransport`] (in practice
+//! [`zab::TcpNetwork`]) and consults the shared [`FaultPlane`] for every
+//! outgoing frame. Broadcasts are decomposed into per-peer sends first, so
+//! a partition can cut one recipient out of a broadcast while the others
+//! still receive it — exactly what a switch dropping one port would do.
+//! Delayed frames are re-injected by a background scheduler thread, which
+//! also reorders them past later traffic.
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use zab::{Envelope, NodeId, ZabMessage, ZabTransport};
+use zkserver::PeerTransport;
+
+use crate::plane::{Decision, FaultPlane};
+
+/// A frame held back by the delay scheduler.
+struct DelayedFrame {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    message: ZabMessage,
+}
+
+impl PartialEq for DelayedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedFrame {}
+impl PartialOrd for DelayedFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest due frame wins.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Fault-injecting wrapper around a real peer transport. Ensemble members
+/// built over one of these (via [`ZkEnsembleServer::start_custom`]) run the
+/// unmodified protocol code; only their view of the network is filtered.
+///
+/// [`ZkEnsembleServer::start_custom`]: zkserver::ZkEnsembleServer::start_custom
+pub struct FaultyTransport {
+    inner: Arc<dyn PeerTransport>,
+    plane: Arc<FaultPlane>,
+    delay_tx: Mutex<Option<Sender<DelayedFrame>>>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for FaultyTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("id", &PeerTransport::id(self.inner.as_ref()))
+            .finish()
+    }
+}
+
+impl FaultyTransport {
+    /// Wraps `inner`, routing every outgoing frame through `plane`.
+    pub fn new(inner: Arc<dyn PeerTransport>, plane: Arc<FaultPlane>) -> Self {
+        let (tx, rx) = mpsc::channel::<DelayedFrame>();
+        let scheduler_inner = Arc::clone(&inner);
+        let scheduler = std::thread::spawn(move || {
+            let mut heap: BinaryHeap<DelayedFrame> = BinaryHeap::new();
+            loop {
+                let wait = heap
+                    .peek()
+                    .map(|f| f.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_secs(3600));
+                match rx.recv_timeout(wait) {
+                    Ok(frame) => heap.push(frame),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                while heap.peek().is_some_and(|f| f.due <= Instant::now()) {
+                    let frame = heap.pop().expect("peeked above");
+                    scheduler_inner.send(frame.from, frame.to, frame.message);
+                }
+            }
+        });
+        FaultyTransport {
+            inner,
+            plane,
+            delay_tx: Mutex::new(Some(tx)),
+            scheduler: Mutex::new(Some(scheduler)),
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The shared fault plane this transport consults.
+    pub fn plane(&self) -> &Arc<FaultPlane> {
+        &self.plane
+    }
+
+    fn send_with_faults(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        match self.plane.decide(from, to) {
+            Decision::Deliver => self.inner.send(from, to, message),
+            Decision::Drop => {}
+            Decision::Duplicate => {
+                self.inner.send(from, to, message.clone());
+                self.inner.send(from, to, message);
+            }
+            Decision::Delay(hold) => {
+                let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let frame = DelayedFrame { due: Instant::now() + hold, seq, from, to, message };
+                // After shutdown the scheduler is gone; dropping the frame
+                // matches what the dead socket would have done.
+                if let Some(tx) = self.delay_tx.lock().as_ref() {
+                    let _ = tx.send(frame);
+                }
+            }
+        }
+    }
+}
+
+impl ZabTransport for FaultyTransport {
+    fn send(&self, from: NodeId, to: NodeId, message: ZabMessage) {
+        self.send_with_faults(from, to, message);
+    }
+
+    fn broadcast(&self, from: NodeId, message: &ZabMessage) {
+        // Decompose: each recipient gets its own per-link fault decision.
+        for peer in self.inner.peer_ids() {
+            self.send_with_faults(from, peer, message.clone());
+        }
+    }
+
+    fn receive(&self, node: NodeId) -> Option<Envelope> {
+        self.inner.receive(node)
+    }
+}
+
+impl PeerTransport for FaultyTransport {
+    fn id(&self) -> NodeId {
+        PeerTransport::id(self.inner.as_ref())
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        self.inner.local_addr()
+    }
+
+    fn peer_ids(&self) -> Vec<NodeId> {
+        self.inner.peer_ids()
+    }
+
+    fn set_peers(&self, peers: std::collections::HashMap<NodeId, std::net::SocketAddr>) {
+        self.inner.set_peers(peers);
+    }
+
+    fn receive_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.inner.receive_timeout(timeout)
+    }
+
+    fn shutdown(&self) {
+        // Dropping the sender disconnects the scheduler's channel; it exits
+        // after flushing nothing further. Join so no frame is re-injected
+        // into a transport the caller believes dead.
+        drop(self.delay_tx.lock().take());
+        if let Some(handle) = self.scheduler.lock().take() {
+            let _ = handle.join();
+        }
+        self.inner.shutdown();
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: arbitrary small fault schedules against a durable
+//! three-member ensemble must never panic the driver, the WAL recovery
+//! path, or the verification pipeline. (Whether a given pathological
+//! schedule *passes* verification is asserted by the named scenario matrix;
+//! here the property is that the harness and the ensemble stay well-defined
+//! under any schedule at all.)
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use chaos::plane::LinkFaults;
+use chaos::scenario::{run_schedule, EnsembleSpec, FaultAction, FaultEvent, RunOptions};
+use zab::NodeId;
+
+fn arb_action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        (0u32..200, 0u32..200, 0u32..200, 1u64..40).prop_map(|(drop, dup, delay, max)| {
+            FaultAction::SetFaults(LinkFaults {
+                drop_permille: drop,
+                duplicate_permille: dup,
+                delay_permille: delay,
+                max_delay: Duration::from_millis(max),
+            })
+        }),
+        Just(FaultAction::Partition(vec![vec![NodeId(1)], vec![NodeId(2), NodeId(3)]])),
+        (1u32..=3).prop_map(|n| FaultAction::Isolate(NodeId(n))),
+        Just(FaultAction::Heal),
+        (0usize..3).prop_map(FaultAction::Kill),
+        (0usize..3).prop_map(FaultAction::Restart),
+        (0usize..3).prop_map(FaultAction::CorruptStorage),
+        (0usize..3, -5_000i64..5_000).prop_map(|(i, ms)| FaultAction::SkewClock(i, ms)),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = Vec<FaultEvent>> {
+    prop::collection::vec((50u64..900, arb_action()), 0..5).prop_map(|events| {
+        events
+            .into_iter()
+            .map(|(at, action)| FaultEvent { at: Duration::from_millis(at), action })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn arbitrary_schedules_never_panic_the_driver(
+        seed in 0u64..u64::MAX,
+        schedule in arb_schedule(),
+    ) {
+        let options = RunOptions {
+            seed,
+            secure: false,
+            duration: Duration::from_millis(1_000),
+            clients: 2,
+        };
+        // Durable spec: every kill is recoverable, so the executor's restore
+        // phase can always bring the ensemble back before verifying. The
+        // property under test is "no panic, a well-formed verdict either
+        // way" — the Result itself may legitimately be Err for harness
+        // reasons under pathological schedules.
+        let _ = run_schedule(EnsembleSpec::durable(3, 32), &schedule, &options);
+    }
+}

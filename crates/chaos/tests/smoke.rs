@@ -1,0 +1,29 @@
+//! Smoke runs of the scenario matrix: a partition scenario and a
+//! message-chaos scenario, plain and secure, at fixed seeds. The full
+//! matrix runs in CI via the `chaos` binary; these keep `cargo test`
+//! honest about the harness itself.
+
+use chaos::scenario::{find, run_scenario};
+
+#[test]
+fn leader_partition_scenario_passes_plain() {
+    let scenario = find("leader-partition").expect("scenario is in the catalogue");
+    let report = run_scenario(&scenario, 1, false).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.ops > 0, "workload made no progress");
+    assert!(report.history_len > 0, "nothing recorded against the register");
+    assert!(report.frames > 0, "fault plane never consulted");
+}
+
+#[test]
+fn message_chaos_scenario_passes_plain() {
+    let scenario = find("message-chaos").expect("scenario is in the catalogue");
+    let report = run_scenario(&scenario, 2, false).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.dropped + report.duplicated + report.delayed > 0, "no faults were injected");
+}
+
+#[test]
+fn leader_partition_scenario_passes_secure() {
+    let scenario = find("leader-partition").expect("scenario is in the catalogue");
+    let report = run_scenario(&scenario, 3, true).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.ops > 0, "secure workload made no progress");
+}

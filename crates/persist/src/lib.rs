@@ -30,4 +30,4 @@ pub mod snapshot;
 pub mod wal;
 
 pub use snapshot::SnapshotStore;
-pub use wal::{Wal, WalConfig, WalRecovery};
+pub use wal::{FaultInjector, Wal, WalConfig, WalRecovery, WriteFault};

@@ -45,6 +45,44 @@ const RECORD_HEADER: usize = 8;
 /// transaction that travelled over the wire can be logged.
 const MAX_RECORD_BYTES: usize = 16 * 1024 * 1024 + 64;
 
+/// What an injected fault does to one record write.
+///
+/// Produced by [`FaultInjector::on_write`] for every record about to hit the
+/// active segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: the full record reaches the file.
+    Clean,
+    /// Only the first `n` bytes of the framed record reach the file before
+    /// the write fails — what a power cut mid-`write` leaves behind. The
+    /// log is poisoned afterwards; reopening recovers the valid prefix.
+    Torn(usize),
+    /// The write fails without any bytes reaching the file.
+    Fail,
+}
+
+/// Injectable disk-fault hooks, the seam the chaos harness uses to exercise
+/// WAL recovery instead of trusting it.
+///
+/// Install one with [`Wal::open_with_faults`]. Both hooks default to
+/// fault-free behaviour so an injector only overrides the failure modes it
+/// cares about. The injector decides *deterministically from its own state*
+/// (typically a seeded schedule) — the log never consults a clock or RNG.
+pub trait FaultInjector: Send {
+    /// Decides the fate of one record write; `frame_len` is the framed
+    /// record length in bytes.
+    fn on_write(&mut self, frame_len: usize) -> WriteFault {
+        let _ = frame_len;
+        WriteFault::Clean
+    }
+
+    /// Returns true to make the next `fdatasync` fail. The log stays dirty,
+    /// so the caller sees the error and can treat the log as poisoned.
+    fn fail_sync(&mut self) -> bool {
+        false
+    }
+}
+
 /// Tuning knobs of the write-ahead log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalConfig {
@@ -105,6 +143,8 @@ pub struct Wal {
     dirty: bool,
     fsyncs: u64,
     appended: u64,
+    /// Injected disk faults (chaos testing); `None` in production.
+    faults: Option<Box<dyn FaultInjector>>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -210,7 +250,31 @@ impl Wal {
     /// Propagates I/O failures (the *content* of damaged files is handled,
     /// not surfaced as an error).
     pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> io::Result<(Self, WalRecovery)> {
-        let dir = dir.as_ref().to_path_buf();
+        Self::open_inner(dir.as_ref(), config, None)
+    }
+
+    /// Like [`Wal::open`], but with injected disk faults: every subsequent
+    /// record write and fsync consults `faults` first. Recovery itself runs
+    /// fault-free (the injector models the *writing* process crashing, not
+    /// the reading one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, as [`Wal::open`].
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        faults: Box<dyn FaultInjector>,
+    ) -> io::Result<(Self, WalRecovery)> {
+        Self::open_inner(dir.as_ref(), config, Some(faults))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        config: WalConfig,
+        faults: Option<Box<dyn FaultInjector>>,
+    ) -> io::Result<(Self, WalRecovery)> {
+        let dir = dir.to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut paths: Vec<PathBuf> = fs::read_dir(&dir)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -284,6 +348,7 @@ impl Wal {
             dirty: false,
             fsyncs: 0,
             appended: 0,
+            faults,
         };
         wal.reopen_active()?;
         Ok((wal, WalRecovery { txns, committed }))
@@ -311,6 +376,19 @@ impl Wal {
     fn write_record(&mut self, frame: &[u8], zxid: Zxid) -> io::Result<()> {
         if self.file.is_none() {
             self.open_segment(zxid)?;
+        }
+        match self.faults.as_mut().map_or(WriteFault::Clean, |f| f.on_write(frame.len())) {
+            WriteFault::Clean => {}
+            WriteFault::Torn(n) => {
+                let n = n.min(frame.len());
+                let file = self.file.as_mut().expect("active segment");
+                file.write_all(&frame[..n])?;
+                file.sync_data()?;
+                return Err(io::Error::other("injected torn write"));
+            }
+            WriteFault::Fail => {
+                return Err(io::Error::other("injected write failure"));
+            }
         }
         self.file.as_mut().expect("active segment").write_all(frame)?;
         let segment = self.segments.last_mut().expect("active segment meta");
@@ -365,6 +443,11 @@ impl Wal {
     pub fn sync(&mut self) -> io::Result<()> {
         if !self.dirty {
             return Ok(());
+        }
+        if self.faults.as_mut().is_some_and(|f| f.fail_sync()) {
+            // The log stays dirty: durability of the buffered records is
+            // unknown, exactly as after a real failed fdatasync.
+            return Err(io::Error::other("injected fsync failure"));
         }
         if let Some(file) = &mut self.file {
             file.sync_data()?;
@@ -717,6 +800,104 @@ mod tests {
         assert!(recovery.txns.is_empty());
         assert_eq!(recovery.committed, Zxid::ZERO);
         drop(wal);
+    }
+
+    /// A scripted injector: tears the `tear_at`-th record write (0-based,
+    /// keeping `keep` bytes) and fails the `fail_sync_at`-th sync.
+    struct Script {
+        writes: usize,
+        syncs: usize,
+        tear_at: Option<(usize, usize)>,
+        fail_sync_at: Option<usize>,
+    }
+
+    impl Script {
+        fn new(tear_at: Option<(usize, usize)>, fail_sync_at: Option<usize>) -> Box<Self> {
+            Box::new(Script { writes: 0, syncs: 0, tear_at, fail_sync_at })
+        }
+    }
+
+    impl FaultInjector for Script {
+        fn on_write(&mut self, _frame_len: usize) -> WriteFault {
+            let index = self.writes;
+            self.writes += 1;
+            match self.tear_at {
+                Some((at, keep)) if at == index => WriteFault::Torn(keep),
+                _ => WriteFault::Clean,
+            }
+        }
+
+        fn fail_sync(&mut self) -> bool {
+            let index = self.syncs;
+            self.syncs += 1;
+            self.fail_sync_at == Some(index)
+        }
+    }
+
+    #[test]
+    fn injected_torn_write_loses_only_the_tail() {
+        let dir = tmp_dir("inject-torn");
+        {
+            let config = WalConfig { fsync_every: 0, ..WalConfig::default() };
+            let (mut wal, _) =
+                Wal::open_with_faults(&dir, config, Script::new(Some((2, 5)), None)).unwrap();
+            wal.append_txn(&txn(1, 1, b"a")).unwrap();
+            wal.append_txn(&txn(1, 2, b"b")).unwrap();
+            let err = wal.append_txn(&txn(1, 3, b"lost")).unwrap_err();
+            assert!(err.to_string().contains("torn"));
+        }
+        // The crash left 5 stray bytes of record 3; recovery truncates them.
+        let (mut wal, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recovery.txns.len(), 2);
+        wal.append_txn(&txn(1, 3, b"retry")).unwrap();
+        wal.sync().unwrap();
+        let (_, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recovery.txns.len(), 3);
+        assert_eq!(recovery.txns[2].payload, b"retry");
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_and_log_stays_dirty() {
+        let dir = tmp_dir("inject-fsync");
+        let (mut wal, _) =
+            Wal::open_with_faults(&dir, WalConfig::default(), Script::new(None, Some(0))).unwrap();
+        wal.append_txn(&txn(1, 1, b"a")).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("fsync"));
+        // A later sync (injector exhausted) still covers the record.
+        wal.sync().unwrap();
+        assert_eq!(wal.fsync_count(), 1);
+    }
+
+    #[test]
+    fn injected_write_failure_writes_nothing() {
+        let dir = tmp_dir("inject-fail");
+        struct FailSecond {
+            writes: usize,
+        }
+        impl FaultInjector for FailSecond {
+            fn on_write(&mut self, _frame_len: usize) -> WriteFault {
+                self.writes += 1;
+                if self.writes == 2 {
+                    WriteFault::Fail
+                } else {
+                    WriteFault::Clean
+                }
+            }
+        }
+        {
+            let (mut wal, _) = Wal::open_with_faults(
+                &dir,
+                WalConfig::default(),
+                Box::new(FailSecond { writes: 0 }),
+            )
+            .unwrap();
+            wal.append_txn(&txn(1, 1, b"a")).unwrap();
+            assert!(wal.append_txn(&txn(1, 2, b"rejected")).is_err());
+            wal.sync().unwrap();
+        }
+        let (_, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recovery.txns.len(), 1, "failed write left no bytes behind");
     }
 
     #[test]

@@ -152,6 +152,21 @@ pub enum ZabMessage {
         /// The candidate.
         from: NodeId,
     },
+    /// Voter → candidate: one vote granted for `epoch`. A member grants at
+    /// most one vote per epoch (persisted before the grant leaves the node
+    /// on durable members), and only to a candidate whose announced log
+    /// credential is at least as advanced as its own — so two same-epoch
+    /// leaders would need two intersecting quorums of single-use grants,
+    /// which cannot exist.
+    VoteGrant {
+        /// The epoch the vote is granted for.
+        epoch: u32,
+        /// The granting member.
+        from: NodeId,
+        /// The granter's own log tip, so the winning candidate can ship
+        /// exactly the suffix this voter is missing.
+        last_logged: Zxid,
+    },
     /// Leader → follower: one chunk of a serialized state snapshot, shipped
     /// when the follower has fallen behind the leader's log truncation
     /// horizon and the missing range can no longer be replayed from the log.

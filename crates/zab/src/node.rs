@@ -1,6 +1,6 @@
 //! The per-replica ZAB state machine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::log::TxnLog;
 use crate::message::{NodeId, Txn, ZabMessage, Zxid};
@@ -62,9 +62,18 @@ pub struct ZabNode {
     last_proposed: Zxid,
     /// Outstanding acks per proposal (leader only).
     pending_acks: HashMap<Zxid, HashSet<NodeId>>,
+    /// Recently proposed forwarded request ids per origin (leader only): a
+    /// retransmitted [`ZabMessage::ForwardWrite`] must not be proposed a
+    /// second time, or one client write commits at two zxids.
+    forward_dedup: HashMap<NodeId, (HashSet<u64>, VecDeque<u64>)>,
     /// Committed transactions not yet consumed by the state machine above.
     committed_outbox: Vec<Txn>,
 }
+
+/// Per-origin size of the leader's forwarded-write dedup window. Origins
+/// allocate request ids from a process-unique counter, so a window this deep
+/// only ever drops true retransmissions.
+const FORWARD_DEDUP_WINDOW: usize = 512;
 
 impl ZabNode {
     /// Creates a follower node in epoch 0.
@@ -85,6 +94,7 @@ impl ZabNode {
             log,
             last_proposed: Zxid::ZERO,
             pending_acks: HashMap::new(),
+            forward_dedup: HashMap::new(),
             committed_outbox: Vec::new(),
         }
     }
@@ -127,6 +137,7 @@ impl ZabNode {
         self.epoch = epoch;
         self.leader = Some(self.id);
         self.pending_acks.clear();
+        self.forward_dedup.clear();
         let newly = self.log.commit_up_to(self.log.last_logged());
         self.committed_outbox.extend(newly);
         self.last_proposed = Zxid { epoch, counter: 0 };
@@ -138,6 +149,7 @@ impl ZabNode {
         self.epoch = epoch;
         self.leader = Some(leader);
         self.pending_acks.clear();
+        self.forward_dedup.clear();
         self.log.truncate_uncommitted();
     }
 
@@ -157,6 +169,7 @@ impl ZabNode {
         self.epoch = epoch;
         self.leader = Some(leader);
         self.pending_acks.clear();
+        self.forward_dedup.clear();
         self.committed_outbox.clear();
         self.log.reset_to_snapshot(zxid);
     }
@@ -222,6 +235,7 @@ impl ZabNode {
             ZabMessage::SyncAck { .. }
             | ZabMessage::Heartbeat { .. }
             | ZabMessage::Election { .. }
+            | ZabMessage::VoteGrant { .. }
             | ZabMessage::SnapshotChunk { .. } => {}
         }
     }
@@ -238,6 +252,19 @@ impl ZabNode {
         net: &dyn ZabTransport,
     ) {
         if self.role == Role::Leader {
+            // Transports may retransmit: proposing a duplicated forward
+            // again would commit the same client write at two zxids. Dedup
+            // against a bounded window of recently proposed ids per origin.
+            let (seen, order) = self.forward_dedup.entry(origin).or_default();
+            if !seen.insert(request_id) {
+                return;
+            }
+            order.push_back(request_id);
+            if order.len() > FORWARD_DEDUP_WINDOW {
+                if let Some(evicted) = order.pop_front() {
+                    seen.remove(&evicted);
+                }
+            }
             self.propose(payload, net);
         } else if let Some(leader) = self.leader {
             if leader != self.id {

@@ -21,6 +21,7 @@ const TAG_FORWARD_WRITE: u8 = 7;
 const TAG_ELECTION: u8 = 8;
 const TAG_SYNC_REQUEST: u8 = 9;
 const TAG_SNAPSHOT_CHUNK: u8 = 10;
+const TAG_VOTE_GRANT: u8 = 11;
 
 fn write_node(out: &mut OutputArchive, node: NodeId) {
     out.write_i32(node.0 as i32);
@@ -110,6 +111,12 @@ pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
             write_zxid(&mut out, *last_logged);
             write_node(&mut out, *from);
         }
+        ZabMessage::VoteGrant { epoch, from, last_logged } => {
+            out.write_u8(TAG_VOTE_GRANT);
+            write_epoch(&mut out, *epoch);
+            write_node(&mut out, *from);
+            write_zxid(&mut out, *last_logged);
+        }
         ZabMessage::SnapshotChunk { epoch, snapshot_zxid, seq, last, bytes } => {
             out.write_u8(TAG_SNAPSHOT_CHUNK);
             write_epoch(&mut out, *epoch);
@@ -178,6 +185,11 @@ pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, JuteError> {
             last_logged: read_zxid(&mut input, "election credential")?,
             from: read_node(&mut input, "election candidate")?,
         },
+        TAG_VOTE_GRANT => ZabMessage::VoteGrant {
+            epoch: read_epoch(&mut input, "vote-grant epoch")?,
+            from: read_node(&mut input, "vote-grant voter")?,
+            last_logged: read_zxid(&mut input, "vote-grant tip")?,
+        },
         TAG_SNAPSHOT_CHUNK => ZabMessage::SnapshotChunk {
             epoch: read_epoch(&mut input, "snapshot epoch")?,
             snapshot_zxid: read_zxid(&mut input, "snapshot zxid")?,
@@ -228,6 +240,7 @@ mod tests {
         });
         roundtrip(ZabMessage::SyncRequest { from: NodeId(2), last_logged: zxid });
         roundtrip(ZabMessage::Election { epoch: 2, last_logged: Zxid::ZERO, from: NodeId(5) });
+        roundtrip(ZabMessage::VoteGrant { epoch: 3, last_logged: zxid, from: NodeId(4) });
         roundtrip(ZabMessage::SnapshotChunk {
             epoch: 9,
             snapshot_zxid: zxid,

@@ -7,6 +7,27 @@
 //! and the benchmark harness both drive the service through this interface,
 //! and the SecureKeeper crate provides drop-in equivalents whose traffic is
 //! transport-encrypted.
+//!
+//! # Safe retry semantics
+//!
+//! A [`ZkError::ConnectionLoss`] means the outcome of the in-flight request
+//! is *unknown*: the write may or may not have committed before the
+//! connection died. What is safe to retry after reconnecting:
+//!
+//! * **Reads** (`get_data`, `exists`, `get_children`) — always safe.
+//! * **Versioned writes** (`set_data`/`delete` with an explicit version,
+//!   `multi` with a [`Op::Check`] guard) — safe: if the first attempt
+//!   committed, the retry fails with `BadVersion` instead of applying twice.
+//! * **Plain creates** — safe to retry *if* a `NodeExists` answer is treated
+//!   as success (the first attempt may have landed).
+//! * **Sequential creates** — NOT idempotent: a retry can allocate a second
+//!   sequence number, leaving an orphan node from the lost first attempt.
+//!   Recovery requires listing the parent and matching a client-chosen
+//!   prefix, as ZooKeeper recipes do.
+//!
+//! [`ZkTcpClient::connect_ensemble`] and the [`RetryPolicy`] it takes only
+//! retry the *connection handshake* (always safe); request retries remain
+//! the caller's decision under the rules above.
 
 use std::collections::VecDeque;
 use std::io::Read;
@@ -215,6 +236,60 @@ impl MultiDispatch for ZkClient {
 /// Callback invoked for every watch notification the server pushes.
 pub type WatchCallback = Box<dyn FnMut(&WatchEvent) + Send>;
 
+/// Bounded exponential backoff with jitter for connection retries.
+///
+/// Attempt `n` (0-based) sleeps `base_backoff * 2^n`, capped at
+/// `max_backoff`, plus up to 50% random jitter so a herd of clients
+/// reconnecting after a failover does not stampede in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many *additional* passes to make after the first one fails.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff (jitter comes on top).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(800),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one pass, no sleeping).
+    pub fn no_retries() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The sleep before retry `attempt` (0-based): exponential, capped,
+    /// jittered.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max_backoff);
+        capped + jitter(capped / 2)
+    }
+}
+
+/// Uniform-ish random duration in `[0, cap)` from std-only entropy (the
+/// hasher keys of [`std::collections::hash_map::RandomState`] are randomly
+/// seeded per instance — no `rand` dependency needed for retry jitter).
+fn jitter(cap: Duration) -> Duration {
+    use std::hash::{BuildHasher, Hasher};
+    let cap_ms = cap.as_millis() as u64;
+    if cap_ms == 0 {
+        return Duration::ZERO;
+    }
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(cap_ms);
+    Duration::from_millis(hasher.finish() % cap_ms)
+}
+
 /// A blocking client speaking the length-prefixed wire protocol against a
 /// [`crate::net::ZkTcpServer`].
 ///
@@ -229,6 +304,10 @@ pub struct ZkTcpClient {
     credentials: Arc<dyn SessionCredentials>,
     cipher: Box<dyn WireCipher>,
     session_id: i64,
+    /// The session password granted on connect; presented on reconnect to
+    /// re-attach to the same session (surviving ephemerals and, after a
+    /// power cycle, the snapshot-recovered session table).
+    session_password: Vec<u8>,
     negotiated_timeout_ms: i32,
     next_xid: i32,
     last_zxid: i64,
@@ -274,13 +353,15 @@ impl ZkTcpClient {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| ZkError::ConnectionLoss { reason: "no address to connect to".into() })?;
-        let (stream, cipher, response) = Self::handshake(addr, credentials.as_ref(), timeout_ms)?;
+        let (stream, cipher, response) =
+            Self::handshake(addr, credentials.as_ref(), timeout_ms, None, 0)?;
         Ok(ZkTcpClient {
             stream,
             addr,
             credentials,
             cipher,
             session_id: response.session_id,
+            session_password: response.password,
             negotiated_timeout_ms: response.timeout_ms,
             next_xid: 1,
             last_zxid: 0,
@@ -293,16 +374,29 @@ impl ZkTcpClient {
         addr: SocketAddr,
         credentials: &dyn SessionCredentials,
         timeout_ms: i64,
+        prior_session: Option<(i64, &[u8])>,
+        last_zxid_seen: i64,
     ) -> Result<(TcpStream, Box<dyn WireCipher>, ConnectResponse), ZkError> {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let (blob, cipher) = credentials.establish();
+        // A re-attach sends the prior session id, with the session password
+        // prefixed to the credential blob (the server splits them again).
+        let (session_id, password) = match prior_session {
+            Some((id, session_password)) => {
+                let mut combined = Vec::with_capacity(session_password.len() + blob.len());
+                combined.extend_from_slice(session_password);
+                combined.extend_from_slice(&blob);
+                (id, combined)
+            }
+            None => (0, blob),
+        };
         let request = ConnectRequest {
             protocol_version: 0,
-            last_zxid_seen: 0,
+            last_zxid_seen,
             timeout_ms: timeout_ms as i32,
-            session_id: 0,
-            password: blob,
+            session_id,
+            password,
         };
         let mut out = OutputArchive::with_capacity(64);
         request.serialize(&mut out);
@@ -319,6 +413,14 @@ impl ZkTcpClient {
     /// The session id granted by the server.
     pub fn session_id(&self) -> i64 {
         self.session_id
+    }
+
+    /// The server address this client is currently connected to. Sessions
+    /// live on the member that created them, so a failover that wants to
+    /// keep its session should prefer that member's address when it comes
+    /// back.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// The session timeout the server granted, in milliseconds.
@@ -338,9 +440,13 @@ impl ZkTcpClient {
         self.watch_callback = Some(callback);
     }
 
-    /// Re-dials the server and establishes a *new* session (fresh credentials,
-    /// fresh session id). Watches and ephemeral znodes of the old session are
-    /// not carried over, matching ZooKeeper's session-expiry semantics.
+    /// Re-dials the server, attempting to **re-attach to the same session**
+    /// by presenting the session password. If the server still knows the
+    /// session (alive, or recovered from a snapshot after a power cycle),
+    /// the session id — and with it ephemerals — survives; otherwise the
+    /// server silently grants a fresh session, which the caller can detect
+    /// by comparing [`ZkTcpClient::session_id`] before and after. Watches
+    /// are connection state and never survive a reconnect.
     ///
     /// # Errors
     ///
@@ -352,48 +458,84 @@ impl ZkTcpClient {
     /// Re-dials a *different* server address — the failover path when the
     /// replica this client was connected to crashes. The credentials are
     /// re-established (sticky credentials such as SecureKeeper's replayable
-    /// session key reinstall the same key on the new replica); the session
-    /// id, watches and ephemerals start fresh.
+    /// session key reinstall the same key on the new replica), and the
+    /// client attempts to re-attach to its session as in
+    /// [`ZkTcpClient::reconnect`].
     ///
     /// # Errors
     ///
-    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable.
+    /// Returns [`ZkError::ConnectionLoss`] when the server is unreachable,
+    /// or when it refuses the attach because its applied log is still
+    /// behind the highest zxid this client has observed (retry another
+    /// member, or the same one after it catches up).
     pub fn reconnect_to(&mut self, addr: impl ToSocketAddrs) -> Result<(), ZkError> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| ZkError::ConnectionLoss { reason: "no address to connect to".into() })?;
         let timeout = i64::from(self.negotiated_timeout_ms);
-        let (stream, cipher, response) = Self::handshake(addr, self.credentials.as_ref(), timeout)?;
+        let prior = (self.session_id != 0 && !self.session_password.is_empty())
+            .then_some((self.session_id, self.session_password.as_slice()));
+        // Announce the highest zxid this session has observed: a replica
+        // whose applied log is behind it refuses the attach, so a failover
+        // can never time-travel the session to older state (ZooKeeper's
+        // `lastZxidSeen` check). `last_zxid` is deliberately NOT reset — the
+        // session's observation floor survives the reconnect.
+        let (stream, cipher, response) =
+            Self::handshake(addr, self.credentials.as_ref(), timeout, prior, self.last_zxid)?;
         self.stream = stream;
         self.addr = addr;
         self.cipher = cipher;
         self.session_id = response.session_id;
+        self.session_password = response.password;
         self.negotiated_timeout_ms = response.timeout_ms;
         self.next_xid = 1;
-        self.last_zxid = 0;
         self.pending_events.clear();
         Ok(())
     }
 
-    /// Connects to the first reachable address of an ensemble, in order.
-    /// Combine with [`ZkTcpClient::reconnect_to`] to fail over between the
-    /// members after a crash.
+    /// Connects to the first reachable address of an ensemble with the
+    /// default [`RetryPolicy`]: each pass tries every address in order, and
+    /// failed passes repeat under exponential backoff with jitter. Combine
+    /// with [`ZkTcpClient::reconnect_to`] to fail over between the members
+    /// after a crash.
     ///
     /// # Errors
     ///
-    /// Returns [`ZkError::ConnectionLoss`] when no member is reachable.
+    /// Returns the final attempt's [`ZkError::ConnectionLoss`] when no
+    /// member becomes reachable within the policy's retry budget.
     pub fn connect_ensemble(
         addrs: &[SocketAddr],
         credentials: Arc<dyn SessionCredentials>,
         timeout_ms: i64,
     ) -> Result<Self, ZkError> {
+        Self::connect_ensemble_with(addrs, credentials, timeout_ms, RetryPolicy::default())
+    }
+
+    /// [`ZkTcpClient::connect_ensemble`] with an explicit [`RetryPolicy`]
+    /// (use [`RetryPolicy::no_retries`] for a single fail-fast pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's [`ZkError::ConnectionLoss`] when no
+    /// member becomes reachable within the policy's retry budget.
+    pub fn connect_ensemble_with(
+        addrs: &[SocketAddr],
+        credentials: Arc<dyn SessionCredentials>,
+        timeout_ms: i64,
+        policy: RetryPolicy,
+    ) -> Result<Self, ZkError> {
         let mut last_error =
             ZkError::ConnectionLoss { reason: "no ensemble address to connect to".into() };
-        for &addr in addrs {
-            match Self::connect_with(addr, Arc::clone(&credentials), timeout_ms) {
-                Ok(client) => return Ok(client),
-                Err(err) => last_error = err,
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            for &addr in addrs {
+                match Self::connect_with(addr, Arc::clone(&credentials), timeout_ms) {
+                    Ok(client) => return Ok(client),
+                    Err(err) => last_error = err,
+                }
             }
         }
         Err(last_error)

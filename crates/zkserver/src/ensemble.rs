@@ -20,20 +20,24 @@
 //! session-expiry ephemeral cleanup are replicated the same way, so the
 //! trees of all replicas stay byte-for-byte identical.
 //!
-//! Leader election is announcement-based: when a follower's leader times
-//! out, it broadcasts its log credential for the next epoch; every node
-//! joins, and after a fixed vote window the node with the most advanced log
-//! (ties broken by the highest id) declares itself leader, syncs the others
-//! with [`ZabMessage::NewLeaderSync`], and resumes heartbeats. This assumes
-//! crash-stop faults and timely delivery between live peers — the fault
-//! model of the paper's Figure 12 — not Byzantine behaviour or partitions.
-//! In a **3-replica** ensemble (the configuration CI gates) the scheme is
-//! split-brain-free even under frame loss: any quorum-sized vote set over
-//! two survivors is the same set, so every node computes the same winner.
-//! With five or more replicas, two disjoint-but-quorum-sized vote sets
-//! could in principle crown different same-epoch leaders if election
-//! frames are lost; the grant-based election (one vote per node per epoch)
-//! that closes this window is a roadmap follow-on.
+//! Leader election is grant-based: when a follower's leader goes quiet past
+//! its (per-id staggered) timeout, it starts a candidacy for the next epoch
+//! and broadcasts its log credential ([`ZabMessage::Election`]). Every other
+//! member grants **at most one** vote per epoch ([`ZabMessage::VoteGrant`]) —
+//! persisted on durable members so a crash-restart cannot double-vote — and
+//! only to a candidate whose announced log is at least as advanced as its
+//! own. A candidate that collects a quorum of grants (its own included)
+//! promotes itself, syncs every peer with [`ZabMessage::NewLeaderSync`] (or
+//! a shipped snapshot for peers behind the log's truncation horizon), and
+//! resumes heartbeats; a candidate whose vote window closes short of quorum
+//! abandons the round and retries at a higher epoch after a fresh timeout.
+//! Because a quorum of single-shot grants is required and any two quorums
+//! intersect, two leaders can never be crowned for the same epoch — at any
+//! ensemble size, under frame loss, duplication, reordering or partition
+//! (the fault schedules `crates/chaos` drives). A refused candidate does
+//! not counter-announce at the contested epoch; it only remembers the epoch
+//! so its *next* candidacy moves past it, which keeps racing rounds
+//! converging instead of livelocking.
 
 use std::collections::HashMap;
 use std::io;
@@ -60,6 +64,53 @@ use crate::server::ZkReplica;
 /// Payload bound of one [`ZabMessage::SnapshotChunk`] frame; comfortably
 /// below the transport's 16 MiB frame cap even with framing overhead.
 const SNAPSHOT_CHUNK_BYTES: usize = 512 * 1024;
+
+/// The replica-to-replica transport seam of an ensemble member.
+///
+/// [`TcpNetwork`] is the production implementation; the chaos harness wraps
+/// one in a fault-injecting decorator (drops, delays, duplicates,
+/// partitions) and hands it to [`ZkEnsembleServer::start_custom`] — the
+/// protocol code above this seam cannot tell the difference.
+pub trait PeerTransport: ZabTransport + Send + Sync {
+    /// The node id this endpoint was bound as.
+    fn id(&self) -> NodeId;
+    /// The address peers connect to.
+    fn local_addr(&self) -> SocketAddr;
+    /// Ids of the *other* ensemble members (excludes this node).
+    fn peer_ids(&self) -> Vec<NodeId>;
+    /// Installs the peer address book (identical on every member).
+    fn set_peers(&self, peers: HashMap<NodeId, SocketAddr>);
+    /// Blocks up to `timeout` for one incoming envelope.
+    fn receive_timeout(&self, timeout: Duration) -> Option<Envelope>;
+    /// Stops the endpoint; subsequent sends are dropped.
+    fn shutdown(&self);
+}
+
+impl PeerTransport for TcpNetwork {
+    fn id(&self) -> NodeId {
+        TcpNetwork::id(self)
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        TcpNetwork::local_addr(self)
+    }
+
+    fn peer_ids(&self) -> Vec<NodeId> {
+        TcpNetwork::peer_ids(self)
+    }
+
+    fn set_peers(&self, peers: HashMap<NodeId, SocketAddr>) {
+        TcpNetwork::set_peers(self, peers);
+    }
+
+    fn receive_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        TcpNetwork::receive_timeout(self, timeout)
+    }
+
+    fn shutdown(&self) {
+        TcpNetwork::shutdown(self);
+    }
+}
 
 /// Timing and transport configuration of an ensemble member.
 #[derive(Debug, Clone)]
@@ -115,8 +166,9 @@ fn decode_payload(bytes: &[u8]) -> Result<(NodeId, u64, WriteTxn), ZkError> {
     Ok((origin, request_id, txn))
 }
 
-/// An election in progress: the epoch being contested and the credentials
-/// announced so far (including this node's own).
+/// This node's own candidacy in progress: the epoch it is contesting and
+/// the grants collected so far (its own self-grant included), each with the
+/// granter's announced log tip so the new leader knows what to ship.
 struct ElectionState {
     epoch: u32,
     deadline: Instant,
@@ -190,9 +242,13 @@ struct ProtocolState {
     last_leader_contact: Instant,
     last_heartbeat_sent: Instant,
     election: Option<ElectionState>,
-    /// Highest election epoch this node has announced a candidacy for;
-    /// fresh elections always move past it.
+    /// Highest election epoch this node has seen contested (own candidacies
+    /// and refused ones alike); fresh candidacies always move past it.
     last_vote_epoch: u32,
+    /// The single vote this node granted, per epoch: granting again in the
+    /// same epoch is only allowed to the same candidate (duplicate frames).
+    /// Persisted on durable members so a restart cannot double-vote.
+    last_grant: Option<(u32, NodeId)>,
     /// A leader-shipped snapshot in transit (chunks arriving in order).
     pending_snapshot: Option<SnapshotAssembly>,
 }
@@ -202,7 +258,7 @@ pub struct EnsembleCore {
     id: NodeId,
     cluster_size: usize,
     replica: Arc<ZkReplica>,
-    transport: TcpNetwork,
+    transport: Arc<dyn PeerTransport>,
     state: Mutex<ProtocolState>,
     waiters: Mutex<HashMap<u64, Sender<(Response, i64)>>>,
     next_request_id: AtomicU64,
@@ -231,6 +287,9 @@ impl EnsembleCore {
             ZabMessage::Heartbeat { epoch } => self.on_heartbeat(&mut state, epoch, from, net),
             ZabMessage::Election { epoch, last_logged, from: candidate } => {
                 self.on_election(&mut state, epoch, last_logged, candidate, net);
+            }
+            ZabMessage::VoteGrant { epoch, from: voter, last_logged } => {
+                self.on_vote_grant(&mut state, epoch, voter, last_logged, net);
             }
             ZabMessage::SnapshotChunk { epoch, snapshot_zxid, seq, last, bytes } => {
                 self.on_snapshot_chunk(&mut state, from, epoch, snapshot_zxid, seq, last, bytes);
@@ -442,6 +501,9 @@ impl EnsembleCore {
         }
     }
 
+    /// Handles another member's candidacy announcement: grant the epoch's
+    /// single vote if it is still available and the candidate's log is at
+    /// least as advanced as this node's, refuse silently otherwise.
     fn on_election(
         &self,
         state: &mut ProtocolState,
@@ -460,27 +522,90 @@ impl EnsembleCore {
             }
             return;
         }
-        match &mut state.election {
-            Some(election) if election.epoch >= epoch => {
-                if election.epoch == epoch {
-                    election.votes.insert(from, last_logged);
-                }
+        state.last_vote_epoch = state.last_vote_epoch.max(epoch);
+        let own_tip = state.node.log().last_logged();
+        let vote_free =
+            state.last_grant.is_none_or(|(e, c)| epoch > e || (epoch == e && c == from));
+        if !vote_free || last_logged < own_tip {
+            // Refused — already granted this epoch to someone else, or the
+            // candidate's log is behind. Crucially this node does *not*
+            // counter-announce at the contested epoch (that livelocks two
+            // refusing candidates); bumping `last_vote_epoch` above already
+            // points its next timeout-driven candidacy past this round.
+            return;
+        }
+        // Make the vote durable *before* it can leave this node, so a
+        // crash-restart cannot grant the same epoch to a second candidate.
+        self.record_grant(epoch, from);
+        state.last_grant = Some((epoch, from));
+        // Granting abandons any own candidacy at this or a lower epoch and
+        // buys the candidate a fresh timeout to win and announce itself.
+        if state.election.as_ref().is_some_and(|e| e.epoch <= epoch) {
+            state.election = None;
+        }
+        state.last_leader_contact = Instant::now();
+        net.send(
+            self.id,
+            from,
+            ZabMessage::VoteGrant { epoch, from: self.id, last_logged: own_tip },
+        );
+    }
+
+    /// Counts a grant for this node's own candidacy; on quorum the node
+    /// promotes itself and synchronizes every peer.
+    fn on_vote_grant(
+        &self,
+        state: &mut ProtocolState,
+        epoch: u32,
+        voter: NodeId,
+        voter_tip: Zxid,
+        net: &dyn ZabTransport,
+    ) {
+        {
+            let Some(election) = &mut state.election else { return };
+            if election.epoch != epoch {
+                return;
             }
-            _ => {
-                // Join the (newer) election with an own announcement.
-                self.start_candidacy(state, epoch);
-                if let Some(election) = &mut state.election {
-                    election.votes.insert(from, last_logged);
+            election.votes.insert(voter, voter_tip);
+            if election.votes.len() < self.cluster_size / 2 + 1 {
+                return;
+            }
+        }
+        let election = state.election.take().expect("candidacy checked above");
+        state.node.become_leader(election.epoch);
+        for peer in self.transport.peer_ids() {
+            // Ship only what each granter is missing, judged by the log tip
+            // it announced with its grant. A granter whose tip contained
+            // uncommitted entries truncates them on adoption and re-fetches
+            // the difference through a `SyncRequest`.
+            match election.votes.get(&peer) {
+                Some(&since) => self.ship_state(state, peer, since, net),
+                None => {
+                    // A peer that granted nobody (or granted a rival) has an
+                    // unknown tip — guessing zero would ship the full
+                    // history (or, after compaction, a whole destructive
+                    // snapshot) to a member that may be fully current. Send
+                    // the bare leadership announcement instead; adopting it
+                    // makes the peer reply with its real tip, and the
+                    // follow-up sync ships exactly what it misses.
+                    zab::send_sync(net, self.id, peer, election.epoch, Vec::new());
                 }
             }
         }
+        state.last_heartbeat_sent = Instant::now();
+        net.broadcast(self.id, &ZabMessage::Heartbeat { epoch: election.epoch });
+        // Promotion committed everything logged on this node.
+        self.apply_committed(state);
     }
 
-    /// Announces this node's candidacy for `epoch` and opens the vote window.
+    /// Starts this node's candidacy for `epoch`: self-grant (made durable
+    /// first), open the vote window, announce the log credential to all.
     fn start_candidacy(&self, state: &mut ProtocolState, epoch: u32) {
         state.node.start_election();
-        state.last_vote_epoch = epoch;
+        state.last_vote_epoch = state.last_vote_epoch.max(epoch);
         let credential = state.node.log().last_logged();
+        self.record_grant(epoch, self.id);
+        state.last_grant = Some((epoch, self.id));
         let mut votes = HashMap::new();
         votes.insert(self.id, credential);
         state.election = Some(ElectionState {
@@ -494,54 +619,21 @@ impl EnsembleCore {
         );
     }
 
-    /// Closes the vote window: the most advanced announced log wins (ties to
-    /// the highest id). The winner promotes itself and synchronizes everyone;
-    /// the others wait for its `NewLeaderSync` (or re-elect if it never
-    /// arrives).
-    fn conclude_election(&self, state: &mut ProtocolState) {
-        let Some(election) = state.election.take() else { return };
-        let quorum = self.cluster_size / 2 + 1;
-        if election.votes.len() < quorum {
-            // Not enough live peers to elect anyone; back off, the timeout
-            // will trigger a fresh round.
-            state.last_leader_contact = Instant::now();
-            return;
+    /// Persists a granted vote on durable members (a no-op in-memory). Runs
+    /// before the grant/candidacy leaves the node, so a restart recovers it.
+    fn record_grant(&self, epoch: u32, candidate: NodeId) {
+        if let Some(persistence) = &self.persistence {
+            let _ = persistence.record_grant(epoch, candidate);
         }
-        let winner = election
-            .votes
-            .iter()
-            .max_by_key(|&(&id, &credential)| (credential, id))
-            .map(|(&id, _)| id)
-            .expect("vote set contains at least this node");
-        if winner == self.id {
-            state.node.become_leader(election.epoch);
-            for peer in self.transport.peer_ids() {
-                // Ship only what each voter is missing, judged by the log
-                // credential it announced. A voter whose announced tip
-                // contained uncommitted entries truncates them on adoption
-                // and re-fetches the difference through a `SyncRequest`.
-                match election.votes.get(&peer) {
-                    Some(&since) => self.ship_state(state, peer, since, &self.transport),
-                    None => {
-                        // A peer that never announced has an unknown tip —
-                        // guessing zero would ship the full history (or,
-                        // after compaction, a whole destructive snapshot)
-                        // to a member that may be fully current. Send the
-                        // bare leadership announcement instead; adopting it
-                        // makes the peer reply with its real tip, and the
-                        // follow-up sync ships exactly what it misses.
-                        zab::send_sync(&self.transport, self.id, peer, election.epoch, Vec::new());
-                    }
-                }
-            }
-            state.last_heartbeat_sent = Instant::now();
-            self.transport.broadcast(self.id, &ZabMessage::Heartbeat { epoch: election.epoch });
-            // Promotion committed everything logged on this node.
-            self.apply_committed(&mut *state);
-        } else {
-            // Give the winner a grace period to announce itself.
-            state.last_leader_contact = Instant::now();
-        }
+    }
+
+    /// This member's effective leader-silence timeout: the configured base
+    /// plus a deterministic per-id stagger, so members time out at distinct
+    /// instants and one candidate usually collects its grants before a
+    /// rival even starts (concurrent candidacies still converge, just
+    /// slower — each refused round bumps the epoch).
+    fn election_timeout(&self) -> Duration {
+        self.config.election_timeout + (self.config.election_timeout / 8) * self.id.0.min(8)
     }
 
     /// Emits heartbeats (leader) or checks the failure detector and election
@@ -561,10 +653,15 @@ impl EnsembleCore {
             Role::Follower | Role::Electing => {
                 if let Some(election) = &state.election {
                     if now >= election.deadline {
-                        self.conclude_election(&mut state);
+                        // The vote window closed short of a quorum of grants
+                        // (rival candidacy, partition, or dead peers):
+                        // abandon the round and let the timeout drive a
+                        // fresh candidacy at a higher epoch.
+                        state.election = None;
+                        state.last_leader_contact = now;
                     }
                 } else if self.cluster_size > 1
-                    && now.duration_since(state.last_leader_contact) >= self.config.election_timeout
+                    && now.duration_since(state.last_leader_contact) >= self.election_timeout()
                 {
                     let epoch = state.last_vote_epoch.max(state.node.epoch()) + 1;
                     self.start_candidacy(&mut state, epoch);
@@ -663,7 +760,7 @@ impl EnsembleCore {
                     let buffer = SendBuffer::default();
                     state.node.propose(payload, &buffer);
                     self.sync_persistence();
-                    buffer.flush(&self.transport);
+                    buffer.flush(self.transport.as_ref());
                     // A single-replica ensemble commits immediately.
                     self.apply_committed(&mut state);
                     None
@@ -773,7 +870,7 @@ fn driver_loop(core: &Arc<EnsembleCore>) {
                 core.dispatch(envelope, &buffer);
             }
             core.sync_persistence();
-            buffer.flush(&core.transport);
+            buffer.flush(core.transport.as_ref());
         }
         core.run_timers();
     }
@@ -823,6 +920,27 @@ impl ZkEnsembleServer {
         Self::start_with_transport(transport, peer_addrs, client_addr, replica, config)
     }
 
+    /// Starts an ensemble member on an arbitrary [`PeerTransport`]
+    /// implementation — the entry point the chaos harness uses to splice a
+    /// fault-injecting transport under an otherwise unmodified member.
+    /// `persistence` switches the member between durable and in-memory
+    /// operation exactly like [`start`](Self::start) vs
+    /// [`start_persistent`](Self::start_persistent).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the client listener cannot be bound.
+    pub fn start_custom(
+        transport: Arc<dyn PeerTransport>,
+        peer_addrs: HashMap<NodeId, SocketAddr>,
+        client_addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: EnsembleConfig,
+        persistence: Option<ReplicaPersistence>,
+    ) -> io::Result<Self> {
+        Self::start_inner(transport, peer_addrs, client_addr, replica, config, persistence)
+    }
+
     /// Starts a *durable* ensemble member: state recovered from
     /// `persistence`'s data directory (newest valid snapshot + log suffix)
     /// before joining, every accepted proposal written ahead to disk. A
@@ -846,7 +964,14 @@ impl ZkEnsembleServer {
             io::Error::new(io::ErrorKind::InvalidInput, format!("no peer address for {id}"))
         })?;
         let transport = TcpNetwork::bind(id, own)?;
-        Self::start_inner(transport, peer_addrs, client_addr, replica, config, Some(persistence))
+        Self::start_inner(
+            Arc::new(transport),
+            peer_addrs,
+            client_addr,
+            replica,
+            config,
+            Some(persistence),
+        )
     }
 
     /// Starts an ensemble member on an already bound peer endpoint (the
@@ -863,7 +988,7 @@ impl ZkEnsembleServer {
         replica: Arc<ZkReplica>,
         config: EnsembleConfig,
     ) -> io::Result<Self> {
-        Self::start_inner(transport, peer_addrs, client_addr, replica, config, None)
+        Self::start_inner(Arc::new(transport), peer_addrs, client_addr, replica, config, None)
     }
 
     /// Recovers durable state (when present) into `replica` and builds the
@@ -906,7 +1031,7 @@ impl ZkEnsembleServer {
     }
 
     fn start_inner(
-        transport: TcpNetwork,
+        transport: Arc<dyn PeerTransport>,
         peer_addrs: HashMap<NodeId, SocketAddr>,
         client_addr: impl ToSocketAddrs,
         replica: Arc<ZkReplica>,
@@ -931,6 +1056,10 @@ impl ZkEnsembleServer {
             None => ZabNode::new(id, cluster_size),
         };
         let recovered_epoch = node.log().last_logged().epoch.max(node.log().last_committed().epoch);
+        // The durable single-vote record: without it a restarted member
+        // could grant an epoch it already granted before the crash, and two
+        // same-epoch leaders could each assemble a "quorum".
+        let recovered_grant = persistence.as_ref().and_then(ReplicaPersistence::recovered_grant);
         let has_history = node.log().last_logged() > Zxid::ZERO;
         if persistence.is_some() && has_history {
             if cluster_size == 1 {
@@ -962,11 +1091,22 @@ impl ZkEnsembleServer {
                 last_leader_contact: now,
                 last_heartbeat_sent: now,
                 election: None,
-                last_vote_epoch: recovered_epoch.max(1),
+                last_vote_epoch: recovered_epoch
+                    .max(1)
+                    .max(recovered_grant.map_or(0, |(epoch, _)| epoch)),
+                last_grant: recovered_grant,
                 pending_snapshot: None,
             }),
             waiters: Mutex::new(HashMap::new()),
-            next_request_id: AtomicU64::new(1),
+            // Seeded from wall time so ids stay unique across process
+            // restarts of the same member: the leader's forwarded-write
+            // dedup window would otherwise confuse a rebooted member's
+            // fresh ids with its pre-crash ones.
+            next_request_id: AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(1, |since| since.as_nanos() as u64),
+            ),
             running: AtomicBool::new(true),
             config: config.clone(),
             persistence,

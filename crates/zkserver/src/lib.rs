@@ -52,7 +52,7 @@ pub mod watch;
 
 pub use client::{ZkClient, ZkTcpClient};
 pub use cluster::ZkCluster;
-pub use ensemble::{EnsembleConfig, ZkEnsembleServer};
+pub use ensemble::{EnsembleConfig, PeerTransport, ZkEnsembleServer};
 pub use error::ZkError;
 pub use jute::multi::{Op, OpResult};
 pub use net::ZkTcpServer;

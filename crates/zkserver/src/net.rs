@@ -39,6 +39,7 @@ use jute::{InputArchive, OutputArchive, Request};
 
 use crate::error::ZkError;
 use crate::server::{ZkReplica, DEFAULT_SESSION_TIMEOUT_MS};
+use crate::session::SESSION_PASSWORD_LEN;
 use crate::watch::WatchEvent;
 
 /// Encrypts and decrypts whole wire frames (one endpoint of the per-session
@@ -228,6 +229,20 @@ impl Shared {
         if let Some(conn) = self.connections.lock().remove(&session_id) {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
+    }
+
+    /// Closes `conn` and removes it from the registry *only if it is still
+    /// the registered connection* for its session — when a client
+    /// re-attaches from a new socket, the predecessor's exiting reader
+    /// thread must not tear the fresh connection down with it.
+    fn drop_connection_exact(&self, conn: &Arc<Connection>) {
+        {
+            let mut connections = self.connections.lock();
+            if connections.get(&conn.session_id).is_some_and(|current| Arc::ptr_eq(current, conn)) {
+                connections.remove(&conn.session_id);
+            }
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -450,11 +465,10 @@ fn connection_loop(shared: &Shared, write_tx: &Sender<WriteJob>, stream: TcpStre
     let Ok(reader) = stream.try_clone() else { return };
     let mut reader = reader;
     let Some(conn) = handshake(shared, &mut reader, stream) else { return };
-    let session_id = conn.session_id;
 
     serve_connection(shared, write_tx, &conn, &mut reader);
 
-    shared.drop_connection(session_id);
+    shared.drop_connection_exact(&conn);
     // A connection that ends without CloseSession leaves its session behind
     // to expire via the ticker — ZooKeeper's disconnection semantics, which
     // is what keeps ephemeral znodes alive across a client reconnect window.
@@ -474,17 +488,40 @@ fn handshake(
     let connect = ConnectRequest::deserialize(&mut input).ok()?;
     input.expect_exhausted().ok()?;
 
+    // A client announcing a `last_zxid_seen` beyond this replica's applied
+    // log has observed state we cannot serve yet; attaching it here would
+    // let its session read backwards in time. Refuse (drop the connection)
+    // and let the client fail over to a member that has caught up.
+    if connect.last_zxid_seen > shared.replica.last_zxid() {
+        return None;
+    }
+
     let requested = i64::from(connect.timeout_ms);
     let timeout_ms = if requested <= 0 {
         DEFAULT_SESSION_TIMEOUT_MS.min(shared.config.max_session_timeout_ms)
     } else {
         requested.min(shared.config.max_session_timeout_ms)
     };
-    let response = shared.replica.connect(timeout_ms);
+    // A non-zero session id is a re-attach attempt: the first 16 bytes of
+    // the password field are the session password, the rest is the
+    // interceptor's key-exchange blob (which a fresh connect carries alone).
+    // A failed re-attach (expired session, wrong password) falls back to a
+    // fresh session — the client sees the new id and knows its ephemerals
+    // and watches are gone, ZooKeeper's session-expired contract.
+    let (response, interceptor_blob) =
+        if connect.session_id != 0 && connect.password.len() >= SESSION_PASSWORD_LEN {
+            let (session_password, blob) = connect.password.split_at(SESSION_PASSWORD_LEN);
+            match shared.replica.reattach_session(connect.session_id, session_password) {
+                Some(response) => (response, blob),
+                None => (shared.replica.connect(timeout_ms), blob),
+            }
+        } else {
+            (shared.replica.connect(timeout_ms), connect.password.as_slice())
+        };
     let session_id = response.session_id;
 
     let interceptor = shared.replica.interceptor();
-    if interceptor.on_session_established(session_id, &connect.password).is_err() {
+    if interceptor.on_session_established(session_id, interceptor_blob).is_err() {
         shared.replica.close_session(session_id);
         return None;
     }
@@ -495,7 +532,7 @@ fn handshake(
     let mut out = OutputArchive::with_capacity(64);
     response.serialize(&mut out);
     if conn.send(|_| Ok(()), out.into_bytes()).is_err() {
-        shared.drop_connection(session_id);
+        shared.drop_connection_exact(&conn);
         return None;
     }
     Some(conn)

@@ -34,10 +34,13 @@ use zab::{DurableLog, Txn, TxnLog, Zxid};
 
 use crate::error::ZkError;
 use crate::server::ZkReplica;
+use crate::session::SessionRecord;
 use crate::tree::{DataTree, Znode};
 
-/// Snapshot codec version byte.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot codec version byte. Version 2 added session passwords to the
+/// session table (so clients can re-attach after a full-ensemble restart);
+/// version-1 snapshots still decode, with empty passwords.
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// Tuning knobs of a replica's persistence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +72,9 @@ impl Default for PersistConfig {
 ///
 /// Layout (jute): version byte, node count, then per node *in sorted path
 /// order* (parents precede children): path, payload buffer, [`Stat`],
-/// sequential counter; then the session count and `(id, timeout_ms)` pairs.
-pub fn encode_snapshot(tree: &DataTree, sessions: &[(i64, i64)]) -> Vec<u8> {
+/// sequential counter; then the session count and per session id, timeout
+/// and password buffer.
+pub fn encode_snapshot(tree: &DataTree, sessions: &[SessionRecord]) -> Vec<u8> {
     let nodes = tree.nodes_sorted();
     let mut out = OutputArchive::with_capacity(64 + nodes.len() * 96);
     out.write_u8(SNAPSHOT_VERSION);
@@ -82,9 +86,10 @@ pub fn encode_snapshot(tree: &DataTree, sessions: &[(i64, i64)]) -> Vec<u8> {
         out.write_i32(node.next_sequence() as i32);
     }
     out.write_i32(sessions.len() as i32);
-    for &(session_id, timeout_ms) in sessions {
-        out.write_i64(session_id);
-        out.write_i64(timeout_ms);
+    for session in sessions {
+        out.write_i64(session.id);
+        out.write_i64(session.timeout_ms);
+        out.write_buffer(&session.password);
     }
     out.into_bytes()
 }
@@ -96,10 +101,10 @@ pub fn encode_snapshot(tree: &DataTree, sessions: &[(i64, i64)]) -> Vec<u8> {
 /// Returns [`ZkError::Marshalling`] on truncated or structurally invalid
 /// input (bad counts, malformed paths, duplicate nodes, orphans, missing
 /// root) — garbage bytes are rejected, never installed and never panic.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<(DataTree, Vec<(i64, i64)>), ZkError> {
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(DataTree, Vec<SessionRecord>), ZkError> {
     let mut input = InputArchive::new(bytes);
     let version = input.read_u8("snapshot version")?;
-    if version != SNAPSHOT_VERSION {
+    if version == 0 || version > SNAPSHOT_VERSION {
         return Err(ZkError::Marshalling { reason: format!("snapshot version {version}") });
     }
     let node_count = input.read_i32("snapshot node count")?;
@@ -120,9 +125,13 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(DataTree, Vec<(i64, i64)>), ZkEr
     }
     let mut sessions = Vec::with_capacity((session_count as usize).min(4096));
     for _ in 0..session_count {
-        let session_id = input.read_i64("session id")?;
+        let id = input.read_i64("session id")?;
         let timeout_ms = input.read_i64("session timeout")?;
-        sessions.push((session_id, timeout_ms));
+        // Version 1 predates durable passwords: the session re-derives one
+        // on adoption, as it always did.
+        let password =
+            if version >= 2 { input.read_buffer("session password")? } else { Vec::new() };
+        sessions.push(SessionRecord { id, timeout_ms, password });
     }
     input.expect_exhausted()?;
     let tree = DataTree::from_nodes(pairs)?;
@@ -135,7 +144,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(DataTree, Vec<(i64, i64)>), ZkEr
 pub fn snapshot_replica(replica: &ZkReplica) -> (i64, Vec<u8>) {
     let tree = replica.tree();
     let zxid = replica.last_zxid();
-    let bytes = encode_snapshot(&tree, &replica.session_table());
+    let bytes = encode_snapshot(&tree, &replica.session_records());
     (zxid, bytes)
 }
 
@@ -339,6 +348,46 @@ impl ReplicaPersistence {
         Ok(())
     }
 
+    /// Durably records an election vote grant *before* it leaves the node:
+    /// `<dir>/grant.vote` holds the granted epoch and candidate, written
+    /// atomically (tmp + fsync + rename). A member that crashes and rejoins
+    /// within the same epoch therefore cannot hand out a second grant —
+    /// the single-grant-per-epoch invariant survives restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the caller must *not* send the grant then.
+    pub fn record_grant(&self, epoch: u32, candidate: zab::NodeId) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(12);
+        bytes.extend_from_slice(&epoch.to_be_bytes());
+        bytes.extend_from_slice(&candidate.0.to_be_bytes());
+        let crc = persist::crc::crc32c(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        let tmp = self.data_dir.join("grant.vote.tmp");
+        let path = self.data_dir.join("grant.vote");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::File::open(&tmp)?.sync_data()?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// The vote grant recovered from `<dir>/grant.vote`, if a valid one is
+    /// on disk: `(epoch, candidate)` of the most recently persisted grant.
+    /// A missing, short, or checksum-failing file reads as "never granted".
+    pub fn recovered_grant(&self) -> Option<(u32, zab::NodeId)> {
+        let bytes = std::fs::read(self.data_dir.join("grant.vote")).ok()?;
+        if bytes.len() != 12 {
+            return None;
+        }
+        let crc = u32::from_be_bytes(bytes[8..12].try_into().ok()?);
+        if persist::crc::crc32c(&bytes[..8]) != crc {
+            return None;
+        }
+        let epoch = u32::from_be_bytes(bytes[..4].try_into().ok()?);
+        let node = u32::from_be_bytes(bytes[4..8].try_into().ok()?);
+        Some((epoch, zab::NodeId(node)))
+    }
+
     /// Number of snapshots written since open (shipped ones not included).
     pub fn snapshots_taken(&self) -> u64 {
         self.snapshots_taken.load(Ordering::Relaxed)
@@ -427,7 +476,7 @@ mod tests {
 
         let (tree, sessions) = decode_snapshot(&bytes).unwrap();
         assert_eq!(tree_fingerprint(&tree), tree_fingerprint(&replica.tree()));
-        assert_eq!(sessions, replica.session_table());
+        assert_eq!(sessions, replica.session_records());
         assert_eq!(tree.get("/app").unwrap().next_sequence(), 1, "counter survives");
         assert!(tree.get("/app/worker").unwrap().is_ephemeral());
         assert_eq!(tree.ephemerals_of(session), vec!["/app/worker".to_string()]);

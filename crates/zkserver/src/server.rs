@@ -23,7 +23,7 @@ use jute::{Request, Response};
 use crate::error::ZkError;
 use crate::ops::{self, ApplyContext, DefaultSequentialNamer, SequentialNamer, WriteTxn};
 use crate::pipeline::{PassthroughInterceptor, RequestInterceptor};
-use crate::session::{Clock, ManualClock, SessionManager};
+use crate::session::{Clock, ManualClock, SessionManager, SessionRecord};
 use crate::tree::{split_path, DataTree};
 use crate::watch::{WatchEvent, WatchEventKind, WatchManager};
 
@@ -153,10 +153,16 @@ impl ZkReplica {
         self.last_zxid.load(Ordering::SeqCst)
     }
 
-    /// `(id, timeout_ms)` of every active session, sorted by id — the
-    /// session table persisted in snapshots.
+    /// `(id, timeout_ms)` of every active session, sorted by id.
     pub fn session_table(&self) -> Vec<(i64, i64)> {
         self.sessions.lock().session_table()
+    }
+
+    /// The full durable record (id, timeout, password) of every active
+    /// session, sorted by id — the session table persisted in snapshots so
+    /// clients can re-attach after a full-ensemble restart.
+    pub fn session_records(&self) -> Vec<SessionRecord> {
+        self.sessions.lock().session_records()
     }
 
     /// Replaces the replica's entire state with a recovered or
@@ -164,7 +170,7 @@ impl ZkReplica {
     /// the session table (adopted so recovered ephemeral owners can still
     /// expire). Watches are *not* restored — they are connection state, and
     /// the connections did not survive the restart.
-    pub fn install_snapshot(&self, tree: DataTree, last_zxid: i64, sessions: &[(i64, i64)]) {
+    pub fn install_snapshot(&self, tree: DataTree, last_zxid: i64, sessions: &[SessionRecord]) {
         {
             let mut guard = self.tree.write();
             *guard = tree;
@@ -172,11 +178,11 @@ impl ZkReplica {
         }
         let now = self.clock.now_ms();
         let mut manager = self.sessions.lock();
-        for &(session_id, timeout_ms) in sessions {
+        for record in sessions {
             // Sessions connected to this replica right now keep their live
             // state (password, last-seen); only unknown owners are adopted.
-            if !manager.is_active(session_id) {
-                manager.adopt(session_id, timeout_ms, now);
+            if !manager.is_active(record.id) {
+                manager.adopt_with_password(record.id, record.timeout_ms, &record.password, now);
             }
         }
     }
@@ -197,6 +203,21 @@ impl ZkReplica {
     /// returns the session password.
     pub fn adopt_session(&self, session_id: i64, timeout_ms: i64) -> Vec<u8> {
         self.sessions.lock().adopt(session_id, timeout_ms, self.clock.now_ms())
+    }
+
+    /// Re-attaches a client to an existing session: verifies the password
+    /// against the (possibly snapshot-recovered) session and touches it.
+    /// Returns `None` for unknown sessions or a password mismatch — the
+    /// caller falls back to establishing a fresh session.
+    pub fn reattach_session(&self, session_id: i64, password: &[u8]) -> Option<ConnectResponse> {
+        let timeout_ms =
+            self.sessions.lock().reattach(session_id, password, self.clock.now_ms())?;
+        Some(ConnectResponse {
+            protocol_version: 0,
+            timeout_ms: timeout_ms as i32,
+            session_id,
+            password: password.to_vec(),
+        })
     }
 
     /// Closes a session, removing its watches and ephemeral znodes.

@@ -11,6 +11,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
+/// Length in bytes of a session password. On the wire, a re-attaching
+/// client prefixes its interceptor blob with exactly this many password
+/// bytes (see [`crate::net`]'s handshake).
+pub const SESSION_PASSWORD_LEN: usize = 16;
+
 /// Source of session time in milliseconds.
 pub trait Clock: Send + Sync {
     /// The current time in milliseconds. Only differences matter; the epoch is
@@ -87,6 +92,19 @@ impl Session {
     }
 }
 
+/// One session's durable record: identity, negotiated timeout, and the
+/// password a client must present to re-attach. Persisted in snapshots so a
+/// client can resume its session after a full-ensemble power cycle.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionRecord {
+    /// The session id.
+    pub id: i64,
+    /// Negotiated timeout in milliseconds.
+    pub timeout_ms: i64,
+    /// The session password.
+    pub password: Vec<u8>,
+}
+
 /// Tracks all sessions of one replica (or of the whole in-process cluster).
 #[derive(Debug, Default)]
 pub struct SessionManager {
@@ -116,6 +134,23 @@ impl SessionManager {
             self.sessions.values().map(|s| (s.id, s.timeout_ms)).collect();
         table.sort_unstable();
         table
+    }
+
+    /// The full durable record of every active session, sorted by id. This
+    /// is what snapshots persist (passwords included) so clients can
+    /// re-attach after a full-ensemble restart.
+    pub fn session_records(&self) -> Vec<SessionRecord> {
+        let mut records: Vec<SessionRecord> = self
+            .sessions
+            .values()
+            .map(|s| SessionRecord {
+                id: s.id,
+                timeout_ms: s.timeout_ms,
+                password: s.password.clone(),
+            })
+            .collect();
+        records.sort_unstable();
+        records
     }
 
     /// Ids of the sessions whose timeout has elapsed at `now_ms`, without
@@ -159,6 +194,44 @@ impl SessionManager {
             },
         );
         password
+    }
+
+    /// Registers a session under an externally assigned id, preserving the
+    /// given password (a snapshot-recovered or leader-shipped record). An
+    /// empty password falls back to the derived one, so version-1 snapshots
+    /// (which carried no passwords) keep their historical behaviour.
+    pub fn adopt_with_password(
+        &mut self,
+        session_id: i64,
+        timeout_ms: i64,
+        password: &[u8],
+        now_ms: i64,
+    ) -> Vec<u8> {
+        if password.is_empty() {
+            return self.adopt(session_id, timeout_ms, now_ms);
+        }
+        self.sessions.insert(
+            session_id,
+            Session {
+                id: session_id,
+                timeout_ms: timeout_ms.max(1),
+                last_seen_ms: now_ms,
+                password: password.to_vec(),
+            },
+        );
+        password.to_vec()
+    }
+
+    /// Re-attaches a client to an existing session: verifies the password
+    /// and touches the session. Returns the negotiated timeout on success,
+    /// `None` for unknown sessions or a password mismatch.
+    pub fn reattach(&mut self, session_id: i64, password: &[u8], now_ms: i64) -> Option<i64> {
+        let session = self.sessions.get_mut(&session_id)?;
+        if session.password != password {
+            return None;
+        }
+        session.last_seen_ms = now_ms;
+        Some(session.timeout_ms)
     }
 
     /// Marks a session as active at `now_ms`. Returns false for unknown sessions.
@@ -244,6 +317,43 @@ mod tests {
         let expired = mgr.expire_sessions(2_500);
         assert_eq!(expired, vec![a]);
         assert!(mgr.is_active(b));
+    }
+
+    #[test]
+    fn session_records_preserve_passwords_across_adopt() {
+        let mut mgr = SessionManager::new();
+        let (id, password) = mgr.create_session(5_000, 0);
+        let records = mgr.session_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].password, password);
+
+        // A fresh manager (post power cycle) adopts the records verbatim.
+        let mut restarted = SessionManager::new();
+        for record in &records {
+            restarted.adopt_with_password(record.id, record.timeout_ms, &record.password, 0);
+        }
+        assert_eq!(restarted.session_records(), records);
+        // Re-attach succeeds with the original password only.
+        assert_eq!(restarted.reattach(id, &password, 100), Some(5_000));
+        assert_eq!(restarted.reattach(id, b"wrong password..", 100), None);
+        assert_eq!(restarted.reattach(id + 7, &password, 100), None);
+    }
+
+    #[test]
+    fn empty_password_adoption_derives_the_legacy_one() {
+        let mut v1 = SessionManager::new();
+        let derived = v1.adopt(42, 1_000, 0);
+        let mut v2 = SessionManager::new();
+        assert_eq!(v2.adopt_with_password(42, 1_000, &[], 0), derived);
+    }
+
+    #[test]
+    fn reattach_touches_the_session() {
+        let mut mgr = SessionManager::new();
+        let (id, password) = mgr.create_session(1_000, 0);
+        assert!(mgr.reattach(id, &password, 900).is_some());
+        // Touched at 900, so still alive at 1800.
+        assert!(mgr.expire_sessions(1_800).is_empty());
     }
 
     #[test]

@@ -222,15 +222,19 @@ fn shutdown_is_not_wedged_by_a_stalled_handshake() {
 }
 
 #[test]
-fn reconnect_establishes_a_fresh_session() {
+fn reconnect_reattaches_to_the_live_session() {
     let server = start_server();
     let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
     let first_session = client.session_id();
     client.create("/durable", vec![], CreateMode::Persistent).unwrap();
+    client.create("/mine", vec![], CreateMode::Ephemeral).unwrap();
     client.reconnect().unwrap();
-    assert_ne!(client.session_id(), first_session);
-    // Persistent data is still there; the new session works immediately.
+    // The session survives the reconnect (password re-attach), so its
+    // ephemeral znodes are still owned and alive.
+    assert_eq!(client.session_id(), first_session);
     assert!(client.exists("/durable", false).unwrap().is_some());
+    assert!(client.exists("/mine", false).unwrap().is_some());
+    client.set_data("/mine", b"still mine".to_vec(), -1).unwrap();
     server.shutdown();
 }
 

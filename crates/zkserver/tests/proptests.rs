@@ -240,8 +240,17 @@ proptest! {
     #[test]
     fn snapshot_codec_roundtrips_arbitrary_trees(
         ops in proptest::collection::vec(arb_op(), 0..80),
-        sessions in proptest::collection::vec((1i64..1_000_000, 1i64..120_000), 0..8),
+        sessions in proptest::collection::vec(
+            (1i64..1_000_000, 1i64..120_000, proptest::collection::vec(any::<u8>(), 0..24)),
+            0..8,
+        ),
     ) {
+        let sessions: Vec<zkserver::session::SessionRecord> = sessions
+            .into_iter()
+            .map(|(id, timeout_ms, password)| {
+                zkserver::session::SessionRecord { id, timeout_ms, password }
+            })
+            .collect();
         let tree = build_tree(&ops);
         let bytes = zkserver::persist::encode_snapshot(&tree, &sessions);
         let (decoded, decoded_sessions) =
@@ -267,7 +276,12 @@ proptest! {
         flip in any::<proptest::sample::Index>(),
     ) {
         let tree = build_tree(&ops);
-        let bytes = zkserver::persist::encode_snapshot(&tree, &[(42, 30_000)]);
+        let session = zkserver::session::SessionRecord {
+            id: 42,
+            timeout_ms: 30_000,
+            password: vec![7; 16],
+        };
+        let bytes = zkserver::persist::encode_snapshot(&tree, &[session]);
         // Every truncation of a valid snapshot is rejected without panicking.
         let cut = cut.index(bytes.len().max(1)).min(bytes.len().saturating_sub(1));
         prop_assert!(zkserver::persist::decode_snapshot(&bytes[..cut]).is_err());
