@@ -107,6 +107,12 @@ pub enum FaultAction {
     PowerCycle,
     /// Skew member `index`'s clock by the given offset.
     SkewClock(usize, i64),
+    /// Gracefully drain member `index`: readiness flips to unready, new
+    /// writes are refused, leadership (if held) is handed to a peer. The
+    /// member keeps running — this models a rolling-restart takeout, not a
+    /// crash. The executor asserts the probe flip and that the member's
+    /// `mntr` counters stay monotonic through the handoff.
+    Drain(usize),
 }
 
 /// A timestamped fault, relative to workload start.
@@ -206,6 +212,9 @@ fn chaos_ensemble_config() -> EnsembleConfig {
         election_vote_window: Duration::from_millis(80),
         write_timeout: Duration::from_secs(1),
         poll_interval: Duration::from_millis(5),
+        // Every member gets an ops endpoint so drain scenarios can assert
+        // the probe flip from the outside, like an operator would.
+        ops_addr: Some("127.0.0.1:0".parse().expect("loopback literal always parses")),
         ..EnsembleConfig::default()
     }
 }
@@ -376,6 +385,58 @@ impl ChaosEnsemble {
         }
     }
 
+    /// Gracefully drains a live member and asserts the operator-visible
+    /// contract from the outside: the readiness probe flips to 503/draining
+    /// while liveness stays green, leadership (if held) hands off, and every
+    /// monotone `mntr` counter survives the handoff without going backwards.
+    fn drain_member(&mut self, index: usize) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
+        let members = self.members.lock();
+        let Some(server) = members[index].as_ref() else { return Ok(()) };
+        let client_addr = server.client_addr();
+        let ops_addr = server
+            .ops_addr()
+            .ok_or_else(|| Error::new(ErrorKind::InvalidInput, "no ops endpoint configured"))?;
+        let before = mntr_counters(client_addr)?;
+
+        // Generous budget: elections settle in well under a second on an idle
+        // machine, but chaos runs share the host with sibling ensembles and a
+        // starved debug build can stretch the handoff.
+        let report = server.drain(Duration::from_secs(10));
+        if report.was_leader && !report.handed_off {
+            return Err(Error::new(
+                ErrorKind::TimedOut,
+                format!("drain never handed leadership off: {report:?}"),
+            ));
+        }
+
+        let (code, body) = opsplane::http::http_get(ops_addr, "/health/ready")?;
+        if code != 503 || !body.contains("draining") {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("drained member still ready: {code} {body:?}"),
+            ));
+        }
+        let (code, _) = opsplane::http::http_get(ops_addr, "/health/live")?;
+        if code != 200 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "drained member must stay live (it is unready, not dead)",
+            ));
+        }
+        let after = mntr_counters(client_addr)?;
+        for (key, value_before) in &before {
+            let value_after = after.get(key).copied().unwrap_or(-1.0);
+            if value_after < *value_before {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("mntr counter {key} went backwards: {value_before} -> {value_after}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn node_ids(&self) -> Vec<NodeId> {
         (1..=self.spec.size as u32).map(NodeId).collect()
     }
@@ -406,6 +467,11 @@ impl ChaosEnsemble {
             FaultAction::SkewClock(index, offset_ms) => {
                 if *index < self.spec.size {
                     self.clocks[*index].set_skew_ms(*offset_ms);
+                }
+            }
+            FaultAction::Drain(index) => {
+                if *index < self.spec.size {
+                    self.drain_member(*index)?;
                 }
             }
         }
@@ -439,6 +505,24 @@ impl Drop for ChaosEnsemble {
             let _ = std::fs::remove_dir_all(root);
         }
     }
+}
+
+/// Scrapes a member's monotone counters through the `mntr` admin word (the
+/// `_total` families plus histogram `_count`s — everything that must never
+/// go backwards within one process lifetime).
+fn mntr_counters(client_addr: SocketAddr) -> std::io::Result<HashMap<String, f64>> {
+    let reply = opsplane::words::send_word(client_addr, "mntr")?;
+    let mut counters = HashMap::new();
+    for line in reply.lines() {
+        let Some((key, value)) = line.split_once('\t') else { continue };
+        if !(key.contains("_total") || key.contains("_count")) {
+            continue;
+        }
+        if let Ok(value) = value.parse::<f64>() {
+            counters.insert(key.to_string(), value);
+        }
+    }
+    Ok(counters)
 }
 
 fn credentials(secure: bool) -> Arc<dyn SessionCredentials> {
@@ -1144,6 +1228,14 @@ pub fn catalogue() -> Vec<Scenario> {
                     FaultEvent { at: ms(1800), action: FaultAction::Restart(0) },
                 ]
             },
+        },
+        Scenario {
+            name: "graceful-leader-drain",
+            summary: "bootstrap leader drained mid-load: sub-second handoff, probe flip, \
+                      monotone counters, no acknowledged write lost",
+            spec: EnsembleSpec::in_memory(3),
+            duration: ms(2500),
+            schedule: |_| vec![FaultEvent { at: ms(800), action: FaultAction::Drain(0) }],
         },
         Scenario {
             name: "clock-skew-sessions",

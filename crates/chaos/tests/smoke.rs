@@ -27,3 +27,14 @@ fn leader_partition_scenario_passes_secure() {
     let report = run_scenario(&scenario, 3, true).unwrap_or_else(|f| panic!("{f}"));
     assert!(report.ops > 0, "secure workload made no progress");
 }
+
+#[test]
+fn graceful_leader_drain_scenario_passes_plain() {
+    // The drain executor itself asserts the probe flip, the handoff, and
+    // `mntr` counter monotonicity; the run verdict adds linearizability of
+    // the concurrent workload (no acknowledged write lost to the handoff).
+    let scenario = find("graceful-leader-drain").expect("scenario is in the catalogue");
+    let report = run_scenario(&scenario, 4, false).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.ops > 0, "workload made no progress through the drain");
+    assert!(report.max_epoch >= 2, "the drain never handed leadership to a new epoch");
+}

@@ -10,6 +10,7 @@
 //! hardened ensemble.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,7 +21,7 @@ use zab::NodeId;
 use zkcrypto::keys::{SessionKey, StorageKey};
 use zkserver::client::{share, SharedCluster};
 use zkserver::ops::{DefaultSequentialNamer, SequentialNamer};
-use zkserver::pipeline::RequestInterceptor;
+use zkserver::pipeline::{InterceptorStats, RequestInterceptor};
 use zkserver::{ZkCluster, ZkError, ZkReplica};
 
 use crate::counter::CounterEnclave;
@@ -68,6 +69,8 @@ pub struct SecureKeeperInterceptor {
     cost_model: CostModel,
     path_cache: Arc<PathCipherCache>,
     enclaves: Mutex<HashMap<i64, Arc<EntryEnclave>>>,
+    frames_opened: AtomicU64,
+    frames_sealed: AtomicU64,
 }
 
 impl std::fmt::Debug for SecureKeeperInterceptor {
@@ -91,6 +94,8 @@ impl SecureKeeperInterceptor {
             cost_model: config.cost_model.clone(),
             path_cache: Arc::new(PathCipherCache::with_capacity(config.path_cache_capacity)),
             enclaves: Mutex::new(HashMap::new()),
+            frames_opened: AtomicU64::new(0),
+            frames_sealed: AtomicU64::new(0),
         }
     }
 
@@ -168,12 +173,16 @@ impl RequestInterceptor for SecureKeeperInterceptor {
 
     fn on_request(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
         let enclave = self.enclave_for(session_id)?;
-        enclave.process_request(buffer).map_err(ZkError::from)
+        enclave.process_request(buffer).map_err(ZkError::from)?;
+        self.frames_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn on_event(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
         let enclave = self.enclave_for(session_id)?;
-        enclave.seal_event(buffer).map_err(ZkError::from)
+        enclave.seal_event(buffer).map_err(ZkError::from)?;
+        self.frames_sealed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn on_response(
@@ -185,7 +194,9 @@ impl RequestInterceptor for SecureKeeperInterceptor {
         // The operation type is *not* taken from the untrusted caller: the
         // enclave uses its own FIFO queue, as in the paper.
         let enclave = self.enclave_for(session_id)?;
-        enclave.process_response(buffer).map_err(ZkError::from)
+        enclave.process_response(buffer).map_err(ZkError::from)?;
+        self.frames_sealed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn on_session_closed(&self, session_id: i64) {
@@ -196,6 +207,16 @@ impl RequestInterceptor for SecureKeeperInterceptor {
 
     fn name(&self) -> &'static str {
         "securekeeper-entry-enclave"
+    }
+
+    fn stats(&self) -> InterceptorStats {
+        InterceptorStats {
+            path_cache_hits: self.path_cache.hits(),
+            path_cache_misses: self.path_cache.misses(),
+            frames_sealed: self.frames_sealed.load(Ordering::Relaxed),
+            frames_opened: self.frames_opened.load(Ordering::Relaxed),
+            entry_enclaves: self.enclaves.lock().len() as u64,
+        }
     }
 }
 

@@ -449,6 +449,67 @@ fn secure_members_restart_from_sealed_disk_state_and_rejoin() {
 }
 
 #[test]
+fn admin_words_and_metrics_answer_in_secure_mode() {
+    use opsplane::http::http_get;
+    use opsplane::words::{send_word, ADMIN_WORDS};
+
+    let secure_config = SecureKeeperConfig::with_label("ops-e2e");
+    let ensemble_config = EnsembleConfig {
+        ops_addr: Some("127.0.0.1:0".parse().expect("loopback addr")),
+        ..test_config()
+    };
+    let servers = ZkEnsembleServer::start_local_ensemble(3, &ensemble_config, move |id| {
+        let (replica, _interceptor, _counter) = secure_ensemble_replica(id, &secure_config);
+        replica
+    })
+    .expect("bind loopback secure ensemble");
+
+    let credentials = Arc::new(ReplayableSessionCredentials::generate());
+    let mut client = ZkTcpClient::connect_with(
+        servers[0].client_addr(),
+        Arc::clone(&credentials) as Arc<dyn zkserver::net::SessionCredentials>,
+        30_000,
+    )
+    .expect("secure connect");
+    client.create("/ops", b"sealed".to_vec(), CreateMode::Persistent).unwrap();
+    let (data, _) = client.get_data("/ops", false).unwrap();
+    assert_eq!(data, b"sealed");
+
+    // The admin words are deliberately outside the enclave boundary (they
+    // expose only operational state, never payloads), so they answer in
+    // plaintext even though the jute path rejects plaintext clients.
+    for server in &servers {
+        for word in ADMIN_WORDS {
+            let reply = send_word(server.client_addr(), word).expect("word answered");
+            assert!(!reply.is_empty() || word == "cons", "{word} answered nothing");
+        }
+    }
+    let srvr = send_word(servers[0].client_addr(), "srvr").unwrap();
+    assert!(srvr.contains("Secure: true"), "{srvr}");
+    assert!(srvr.contains("Mode: leader"), "{srvr}");
+
+    // The enclave counters move: frames were opened (decrypted requests)
+    // and sealed (encrypted replies), and the session has an entry enclave.
+    let (code, text) = http_get(servers[0].ops_addr().unwrap(), "/metrics").unwrap();
+    assert_eq!(code, 200);
+    let sample = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("{name} missing:\n{text}"))
+            .trim()
+            .parse()
+            .expect("sample value")
+    };
+    assert!(sample("zk_secure_frames_opened_total") >= 2.0, "{text}");
+    assert!(sample("zk_secure_frames_sealed_total") >= 2.0, "{text}");
+    assert!(sample("zk_entry_enclaves") >= 1.0, "{text}");
+    let mntr = send_word(servers[0].client_addr(), "mntr").unwrap();
+    assert!(mntr.contains("zk_server_state\tleader"), "{mntr}");
+    assert!(mntr.contains("zk_secure_frames_opened_total"), "{mntr}");
+    client.close();
+}
+
+#[test]
 fn plaintext_clients_are_rejected_by_every_secure_replica() {
     let servers = start_secure_ensemble(3);
     for server in &servers {

@@ -62,6 +62,25 @@ pub fn decode_frame(buffer: &mut BytesMut) -> Result<Option<Vec<u8>>, JuteError>
 /// frame and [`io::ErrorKind::InvalidData`] when the length prefix is negative
 /// or exceeds [`MAX_FRAME_LEN`].
 pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    match read_prefix(reader)? {
+        Some(prefix) => read_body(reader, prefix).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Reads the 4-byte frame length prefix without interpreting it, retrying
+/// short reads. Returns `Ok(None)` on a clean end-of-stream before any byte.
+///
+/// Together with [`read_body`] this lets a server peek at the first four
+/// bytes of a connection — ZooKeeper's four-letter admin words arrive as raw
+/// ASCII exactly where a length prefix is expected — and then either answer
+/// the word or resume normal frame parsing with the bytes already consumed.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] when the stream ends inside the
+/// prefix.
+pub fn read_prefix<R: Read + ?Sized>(reader: &mut R) -> io::Result<Option<[u8; 4]>> {
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < prefix.len() {
@@ -78,6 +97,18 @@ pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> io::Result<Option<Vec<u8>
             Err(err) => return Err(err),
         }
     }
+    Ok(Some(prefix))
+}
+
+/// Reads the body of the frame whose length `prefix` was already consumed
+/// from the stream (see [`read_prefix`]).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when the prefix decodes to a
+/// negative or oversized length, and [`io::ErrorKind::UnexpectedEof`] when
+/// the stream ends inside the body.
+pub fn read_body<R: Read + ?Sized>(reader: &mut R, prefix: [u8; 4]) -> io::Result<Vec<u8>> {
     let len = i32::from_be_bytes(prefix);
     if len < 0 || len as usize > MAX_FRAME_LEN {
         return Err(io::Error::new(
@@ -87,7 +118,7 @@ pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> io::Result<Option<Vec<u8>
     }
     let mut body = vec![0u8; len as usize];
     reader.read_exact(&mut body)?;
-    Ok(Some(body))
+    Ok(body)
 }
 
 /// Writes `body` as one length-prefixed frame, flushing the stream.
@@ -255,6 +286,17 @@ mod tests {
         let framed = encode_frame(b"xyz");
         let mut reader = &framed[..5];
         assert_eq!(read_frame(&mut reader).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn read_prefix_then_read_body_equals_read_frame() {
+        let stream = encode_frame(b"peeked");
+        let mut reader = Trickle { data: &stream, pos: 0, chunk: 2 };
+        let prefix = read_prefix(&mut reader).unwrap().unwrap();
+        assert_eq!(prefix, (6i32).to_be_bytes());
+        assert_eq!(read_body(&mut reader, prefix).unwrap(), b"peeked");
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_prefix(&mut empty).unwrap(), None);
     }
 
     #[test]

@@ -130,6 +130,9 @@ pub enum ErrorCode {
     /// The ensemble has lost its write quorum (a majority of replicas is
     /// unreachable); reads may still succeed, writes cannot commit.
     NoQuorum,
+    /// The session exceeded its request-rate budget; the client should back
+    /// off and retry (ZooKeeper's `THROTTLEDOP`).
+    Throttled,
 }
 
 impl ErrorCode {
@@ -150,6 +153,7 @@ impl ErrorCode {
             ErrorCode::NotEmpty => -111,
             ErrorCode::SessionExpired => -112,
             ErrorCode::AuthFailed => -115,
+            ErrorCode::Throttled => -127,
         }
     }
 
@@ -169,6 +173,7 @@ impl ErrorCode {
             -111 => ErrorCode::NotEmpty,
             -112 => ErrorCode::SessionExpired,
             -115 => ErrorCode::AuthFailed,
+            -127 => ErrorCode::Throttled,
             _ => ErrorCode::MarshallingError,
         }
     }
@@ -889,6 +894,7 @@ mod tests {
             ErrorCode::AuthFailed,
             ErrorCode::SessionExpired,
             ErrorCode::NoQuorum,
+            ErrorCode::Throttled,
         ] {
             assert_eq!(ErrorCode::from_i32(code.to_i32()), code);
         }

@@ -1,0 +1,342 @@
+//! The per-member ops HTTP endpoint: `/metrics` plus liveness/readiness
+//! probes.
+//!
+//! The workspace vendors no HTTP stack, and none is needed: a scrape or a
+//! probe is one short `GET`, answered and closed. [`OpsServer`] accepts on
+//! a dedicated port (never the client protocol port), parses the request
+//! line, and routes:
+//!
+//! * `GET /metrics` → the registry rendered in Prometheus text format;
+//! * `GET /health/live` → `200` while the member's driver loop is beating,
+//!   `503` once it stops (process manager: restart me);
+//! * `GET /health/ready` → `200` only while the member can serve — it is
+//!   leading, or following a live leader, and not draining (load balancer:
+//!   route to me). The body carries the reason when unready.
+//!
+//! Probe state lives in [`ProbeState`], a handle shared with the ensemble
+//! driver: the driver beats the liveness heartbeat every loop and flips
+//! readiness as quorum membership changes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::metrics::MetricsRegistry;
+
+/// How stale the liveness heartbeat may grow before `/health/live` reports
+/// the member dead.
+pub const DEFAULT_LIVENESS_WINDOW: Duration = Duration::from_secs(2);
+
+/// Liveness/readiness state shared between the serving loop (writes) and
+/// the probe endpoint (reads).
+pub struct ProbeState {
+    started: Instant,
+    liveness_window: Duration,
+    live: AtomicBool,
+    /// Milliseconds since `started` of the last liveness beat.
+    heartbeat_ms: AtomicU64,
+    ready: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl ProbeState {
+    /// Fresh state: live (with a current heartbeat), not ready.
+    pub fn new() -> Self {
+        ProbeState::with_liveness_window(DEFAULT_LIVENESS_WINDOW)
+    }
+
+    /// Fresh state with an explicit liveness-staleness window.
+    pub fn with_liveness_window(liveness_window: Duration) -> Self {
+        ProbeState {
+            started: Instant::now(),
+            liveness_window,
+            live: AtomicBool::new(true),
+            heartbeat_ms: AtomicU64::new(0),
+            ready: AtomicBool::new(false),
+            reason: Mutex::new("starting".to_string()),
+        }
+    }
+
+    /// Records one liveness beat (the driver loop calls this every
+    /// iteration).
+    pub fn beat(&self) {
+        self.heartbeat_ms.store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Marks the member permanently dead (shutdown) or revives it.
+    pub fn set_live(&self, live: bool) {
+        if live {
+            self.beat();
+        }
+        self.live.store(live, Ordering::Relaxed);
+    }
+
+    /// True while the member is alive *and* its heartbeat is fresh.
+    pub fn is_live(&self) -> bool {
+        if !self.live.load(Ordering::Relaxed) {
+            return false;
+        }
+        let age = self
+            .started
+            .elapsed()
+            .as_millis()
+            .saturating_sub(u128::from(self.heartbeat_ms.load(Ordering::Relaxed)));
+        age <= self.liveness_window.as_millis()
+    }
+
+    /// Flips readiness, recording why when unready.
+    pub fn set_ready(&self, ready: bool, reason: &str) {
+        self.ready.store(ready, Ordering::Relaxed);
+        *self.reason.lock() = reason.to_string();
+    }
+
+    /// True while the member should receive traffic.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// The most recent readiness reason (e.g. `"leading"`, `"draining"`).
+    pub fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+}
+
+impl Default for ProbeState {
+    fn default() -> Self {
+        ProbeState::new()
+    }
+}
+
+/// The ops HTTP endpoint of one member.
+///
+/// Dropping the server shuts it down.
+pub struct OpsServer {
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for OpsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpsServer").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl OpsServer {
+    /// Binds the endpoint (use port 0 for an ephemeral port) and starts
+    /// serving `registry` and `probes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        probes: Arc<ProbeState>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_thread = {
+            let running = Arc::clone(&running);
+            std::thread::spawn(move || accept_loop(&listener, &running, &registry, &probes))
+        };
+        Ok(OpsServer { local_addr, running, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the endpoint is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the endpoint.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept call.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    running: &Arc<AtomicBool>,
+    registry: &Arc<MetricsRegistry>,
+    probes: &Arc<ProbeState>,
+) {
+    for stream in listener.incoming() {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let registry = Arc::clone(registry);
+        let probes = Arc::clone(probes);
+        // One short-lived thread per request; the read timeout bounds how
+        // long a stalled client can hold it.
+        std::thread::spawn(move || serve_one(stream, &registry, &probes));
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry, probes: &ProbeState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some((method, path)) = read_request_line(&mut stream) else { return };
+    let (status, body): (&str, String) = if method != "GET" {
+        ("405 Method Not Allowed", "only GET is served\n".to_string())
+    } else {
+        match path.as_str() {
+            "/metrics" => ("200 OK", registry.render()),
+            "/health/live" => {
+                if probes.is_live() {
+                    ("200 OK", "live\n".to_string())
+                } else {
+                    ("503 Service Unavailable", "dead\n".to_string())
+                }
+            }
+            "/health/ready" => {
+                if probes.is_ready() {
+                    ("200 OK", format!("ready: {}\n", probes.reason()))
+                } else {
+                    ("503 Service Unavailable", format!("unready: {}\n", probes.reason()))
+                }
+            }
+            _ => ("404 Not Found", "unknown path\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request headers and returns `(method, path)`
+/// from the request line.
+fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut buffer = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    loop {
+        if buffer.windows(4).any(|w| w == b"\r\n\r\n") || buffer.len() > 8192 {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&buffer);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    Some((method, path))
+}
+
+/// A minimal HTTP GET client for probes and scrapes — what the e2e tests
+/// and the CI `ops-e2e` job use in place of `curl`. Returns the status code
+/// and body.
+///
+/// # Errors
+///
+/// Propagates socket errors; a malformed response surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status =
+        response.split_whitespace().nth(1).and_then(|code| code.parse::<u16>().ok()).ok_or_else(
+            || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response"),
+        )?;
+    let body =
+        response.split_once("\r\n\r\n").map(|(_, body)| body.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> (OpsServer, Arc<MetricsRegistry>, Arc<ProbeState>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let probes = Arc::new(ProbeState::new());
+        let server =
+            OpsServer::bind("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&probes)).unwrap();
+        (server, registry, probes)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_registry() {
+        let (server, registry, _probes) = server();
+        registry.counter("zk_test_total", "Test.").add(9);
+        let (status, body) = http_get(server.local_addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("zk_test_total 9"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn probes_reflect_state() {
+        let (server, _registry, probes) = server();
+        let (status, _) = http_get(server.local_addr(), "/health/live").unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = http_get(server.local_addr(), "/health/ready").unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("starting"));
+        probes.set_ready(true, "leading");
+        let (status, body) = http_get(server.local_addr(), "/health/ready").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("leading"));
+        probes.set_live(false);
+        let (status, _) = http_get(server.local_addr(), "/health/live").unwrap();
+        assert_eq!(status, 503);
+        server.shutdown();
+    }
+
+    #[test]
+    fn liveness_goes_stale_without_beats() {
+        let probes = ProbeState::with_liveness_window(Duration::from_millis(30));
+        assert!(probes.is_live());
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!probes.is_live(), "stale heartbeat must read as dead");
+        probes.beat();
+        assert!(probes.is_live());
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let (server, _registry, _probes) = server();
+        let (status, _) = http_get(server.local_addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

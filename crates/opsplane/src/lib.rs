@@ -1,0 +1,38 @@
+//! The production ops plane: everything an operator needs to run the
+//! ensemble as a real service instead of a black box.
+//!
+//! ZooKeeper deployments are operated through three channels, and this crate
+//! provides all of them for the SecureKeeper reproduction:
+//!
+//! * [`metrics`] — a lock-free metrics registry (counters, gauges,
+//!   histograms; atomic updates on the hot path, a mutex only at
+//!   registration and render time) rendered in the Prometheus text
+//!   exposition format;
+//! * [`http`] — a dependency-free HTTP/1.1 endpoint serving `GET /metrics`
+//!   plus the `/health/live` and `/health/ready` probes a process manager
+//!   or load balancer polls;
+//! * [`words`] — ZooKeeper's classic four-letter admin words (`ruok`,
+//!   `srvr`, `stat`, `mntr`, `cons`, `wchs`), answered over the *client*
+//!   port exactly like upstream ZooKeeper: the four raw ASCII bytes arrive
+//!   where a frame length prefix is expected, the server detects them and
+//!   replies in plain text;
+//! * [`ratelimit`] — per-session token-bucket request-rate limiting, the
+//!   backpressure primitive behind the typed `Throttled` error.
+//!
+//! The crate is deliberately free of server-side types: `zkserver` wires
+//! these primitives through its accept loop, ensemble driver and
+//! persistence hooks, and `docs/OPERATIONS.md` + `docs/METRICS.md` document
+//! the result for operators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod ratelimit;
+pub mod words;
+
+pub use http::{http_get, OpsServer, ProbeState};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ratelimit::{RateLimitConfig, SessionRateLimiter};
+pub use words::{send_word, ServerInfo, ADMIN_WORDS};

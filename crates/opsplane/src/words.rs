@@ -1,0 +1,269 @@
+//! ZooKeeper's four-letter admin words.
+//!
+//! Upstream ZooKeeper answers tiny diagnostic commands on the *client*
+//! port: a connection whose first four bytes spell an ASCII word like
+//! `ruok` gets a plain-text reply and an immediate close, instead of the
+//! usual length-prefixed jute handshake. This module holds the protocol
+//! knowledge — which words exist, how each reply is formatted — while the
+//! server side (`zkserver`) supplies the live [`ServerInfo`] snapshot and
+//! metrics registry each reply is built from.
+//!
+//! Supported words:
+//!
+//! | word   | reply                                                        |
+//! |--------|--------------------------------------------------------------|
+//! | `ruok` | `imok` — the process is alive and answering its client port  |
+//! | `srvr` | role, epoch, zxid, node/session/connection counts            |
+//! | `stat` | `srvr` plus one line per open client connection              |
+//! | `cons` | per-connection detail (peer address, session id)             |
+//! | `wchs` | watch summary (pending watch count)                          |
+//! | `mntr` | every registry metric as `key\tvalue` lines, machine-readable |
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+
+/// Every admin word the server answers, in documentation order.
+pub const ADMIN_WORDS: [&str; 6] = ["ruok", "srvr", "stat", "cons", "wchs", "mntr"];
+
+/// Maps the first four bytes of a connection to an admin word, if they
+/// spell one.
+pub fn parse_word(prefix: &[u8; 4]) -> Option<&'static str> {
+    ADMIN_WORDS.iter().copied().find(|word| word.as_bytes() == prefix)
+}
+
+/// One open client connection, as reported by `stat` and `cons`.
+#[derive(Debug, Clone)]
+pub struct ClientInfo {
+    /// Peer address of the connection.
+    pub addr: String,
+    /// Session id served on it, or `None` before the handshake completes.
+    pub session_id: Option<i64>,
+}
+
+/// A point-in-time snapshot of one member, gathered by the server when an
+/// admin word arrives.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Human-readable build version.
+    pub version: String,
+    /// This member's id within the ensemble (0 for standalone).
+    pub member_id: u32,
+    /// `"leader"`, `"follower"`, `"electing"`, or `"standalone"`.
+    pub role: String,
+    /// Current ZAB epoch (0 for standalone).
+    pub epoch: u32,
+    /// Member id of the current leader, if known.
+    pub leader: Option<u32>,
+    /// Highest zxid applied to the tree.
+    pub last_zxid: i64,
+    /// Number of znodes in the tree.
+    pub znode_count: u64,
+    /// Approximate bytes of node data held.
+    pub approx_memory_bytes: u64,
+    /// Live sessions.
+    pub session_count: u64,
+    /// Open client connections.
+    pub connection_count: u64,
+    /// Pending (armed, unfired) watches.
+    pub watch_count: u64,
+    /// Whether the member currently passes its readiness probe.
+    pub ready: bool,
+    /// Whether a graceful drain is in progress.
+    pub draining: bool,
+    /// Whether the secure (enclave) pipeline is active.
+    pub secure: bool,
+    /// Open client connections, for `stat`/`cons`.
+    pub clients: Vec<ClientInfo>,
+}
+
+/// Builds the reply for `word`, or `None` if the word is unknown.
+pub fn respond(word: &str, info: &ServerInfo, registry: &MetricsRegistry) -> Option<String> {
+    match word {
+        "ruok" => Some("imok\n".to_string()),
+        "srvr" => Some(server_lines(info)),
+        "stat" => {
+            let mut out = server_lines(info);
+            out.push_str("Clients:\n");
+            for client in &info.clients {
+                out.push_str(&format!(" {}{}\n", client.addr, session_suffix(client)));
+            }
+            Some(out)
+        }
+        "cons" => {
+            let mut out = String::new();
+            for client in &info.clients {
+                out.push_str(&format!("{}{}\n", client.addr, session_suffix(client)));
+            }
+            Some(out)
+        }
+        "wchs" => Some(format!(
+            "{} connections watching\n{} total watches\n",
+            info.connection_count, info.watch_count
+        )),
+        "mntr" => {
+            let mut out = String::new();
+            out.push_str(&format!("zk_version\t{}\n", info.version));
+            out.push_str(&format!("zk_server_state\t{}\n", info.role));
+            for (key, value) in registry.flatten() {
+                if value.fract() == 0.0 {
+                    out.push_str(&format!("{key}\t{}\n", value as i64));
+                } else {
+                    out.push_str(&format!("{key}\t{value}\n"));
+                }
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+fn session_suffix(client: &ClientInfo) -> String {
+    match client.session_id {
+        Some(id) => format!("[session=0x{id:x}]"),
+        None => "[handshaking]".to_string(),
+    }
+}
+
+fn server_lines(info: &ServerInfo) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Version: {}\n", info.version));
+    out.push_str(&format!("Member id: {}\n", info.member_id));
+    out.push_str(&format!("Mode: {}\n", info.role));
+    out.push_str(&format!("Epoch: {}\n", info.epoch));
+    match info.leader {
+        Some(leader) => out.push_str(&format!("Leader: {leader}\n")),
+        None => out.push_str("Leader: unknown\n"),
+    }
+    out.push_str(&format!("Zxid: 0x{:x}\n", info.last_zxid));
+    out.push_str(&format!("Node count: {}\n", info.znode_count));
+    out.push_str(&format!("Approximate data size: {}\n", info.approx_memory_bytes));
+    out.push_str(&format!("Sessions: {}\n", info.session_count));
+    out.push_str(&format!("Connections: {}\n", info.connection_count));
+    out.push_str(&format!("Watches: {}\n", info.watch_count));
+    out.push_str(&format!("Ready: {}\n", info.ready));
+    out.push_str(&format!("Draining: {}\n", info.draining));
+    out.push_str(&format!("Secure: {}\n", info.secure));
+    out
+}
+
+/// Sends a four-letter admin word to a member's client port and returns the
+/// plain-text reply. This is the client half used by tests, CI, and
+/// operators without `nc` at hand.
+///
+/// ```no_run
+/// use opsplane::send_word;
+///
+/// let reply = send_word("127.0.0.1:2181", "ruok").unwrap();
+/// assert_eq!(reply.trim(), "imok");
+/// ```
+///
+/// # Errors
+///
+/// Propagates socket errors; an unknown word makes the server close the
+/// connection with an empty reply, which surfaces as an empty string.
+pub fn send_word(addr: impl ToSocketAddrs, word: &str) -> std::io::Result<String> {
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let bytes = word.as_bytes();
+    if bytes.len() != 4 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "admin words are exactly four ASCII bytes",
+        ));
+    }
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(bytes)?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply)?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ServerInfo {
+        ServerInfo {
+            version: "securekeeper-repro 0.1".to_string(),
+            member_id: 2,
+            role: "leader".to_string(),
+            epoch: 3,
+            leader: Some(2),
+            last_zxid: 0x300000007,
+            znode_count: 12,
+            approx_memory_bytes: 4096,
+            session_count: 2,
+            connection_count: 2,
+            watch_count: 5,
+            ready: true,
+            draining: false,
+            secure: false,
+            clients: vec![
+                ClientInfo { addr: "127.0.0.1:50001".to_string(), session_id: Some(0x1001) },
+                ClientInfo { addr: "127.0.0.1:50002".to_string(), session_id: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_documented_word_parses_and_answers() {
+        let registry = MetricsRegistry::new();
+        for word in ADMIN_WORDS {
+            let mut prefix = [0u8; 4];
+            prefix.copy_from_slice(word.as_bytes());
+            assert_eq!(parse_word(&prefix), Some(word));
+            assert!(respond(word, &info(), &registry).is_some(), "{word} must answer");
+        }
+        assert_eq!(parse_word(b"zzzz"), None);
+        assert!(respond("zzzz", &info(), &registry).is_none());
+    }
+
+    #[test]
+    fn frame_prefixes_do_not_parse_as_words() {
+        // A real jute frame starts with a 4-byte big-endian length; small
+        // lengths contain NUL bytes that can never spell a word.
+        assert_eq!(parse_word(&[0, 0, 0, 44]), None);
+        assert_eq!(parse_word(&[0, 0, 1, 0]), None);
+    }
+
+    #[test]
+    fn srvr_reports_the_snapshot() {
+        let registry = MetricsRegistry::new();
+        let reply = respond("srvr", &info(), &registry).unwrap();
+        assert!(reply.contains("Mode: leader"));
+        assert!(reply.contains("Epoch: 3"));
+        assert!(reply.contains("Zxid: 0x300000007"));
+        assert!(reply.contains("Node count: 12"));
+        assert!(reply.contains("Draining: false"));
+    }
+
+    #[test]
+    fn stat_and_cons_list_connections() {
+        let registry = MetricsRegistry::new();
+        let stat = respond("stat", &info(), &registry).unwrap();
+        assert!(stat.contains("Clients:"));
+        assert!(stat.contains("127.0.0.1:50001[session=0x1001]"));
+        let cons = respond("cons", &info(), &registry).unwrap();
+        assert!(cons.contains("127.0.0.1:50002[handshaking]"));
+        assert!(!cons.contains("Mode:"));
+    }
+
+    #[test]
+    fn mntr_dumps_registry_metrics_as_tab_pairs() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zk_requests_total", "Requests.").add(17);
+        let reply = respond("mntr", &info(), &registry).unwrap();
+        assert!(reply.contains("zk_version\tsecurekeeper-repro 0.1"));
+        assert!(reply.contains("zk_server_state\tleader"));
+        assert!(reply.contains("zk_requests_total\t17"));
+        for line in reply.lines() {
+            assert_eq!(line.split('\t').count(), 2, "mntr lines are key\\tvalue: {line}");
+        }
+    }
+}

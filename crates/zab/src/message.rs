@@ -187,6 +187,19 @@ pub enum ZabMessage {
         /// The chunk's payload bytes.
         bytes: Vec<u8>,
     },
+    /// Draining leader → chosen successor: start a candidacy now instead of
+    /// waiting for the leader's heartbeats to time out. Sent after the
+    /// draining leader has shipped its committed log suffix to the
+    /// successor, so the successor's election credential is at least as
+    /// advanced as every voter's and the handoff completes in one
+    /// sub-second round instead of a full failure-detection cycle. Purely
+    /// an optimization hint: a lost or ignored transfer degrades to an
+    /// ordinary timeout-driven election.
+    TransferLeadership {
+        /// The draining leader's current epoch; the successor campaigns at
+        /// a strictly higher one.
+        epoch: u32,
+    },
 }
 
 #[cfg(test)]

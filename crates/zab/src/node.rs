@@ -231,12 +231,14 @@ impl ZabNode {
             // runs timers around `handle`). Snapshot chunks carry state the
             // protocol core cannot install (the serialized tree); the
             // ensemble layer assembles them and calls
-            // [`ZabNode::install_snapshot`].
+            // [`ZabNode::install_snapshot`]. Leadership transfers likewise
+            // trigger a driver-level candidacy.
             ZabMessage::SyncAck { .. }
             | ZabMessage::Heartbeat { .. }
             | ZabMessage::Election { .. }
             | ZabMessage::VoteGrant { .. }
-            | ZabMessage::SnapshotChunk { .. } => {}
+            | ZabMessage::SnapshotChunk { .. }
+            | ZabMessage::TransferLeadership { .. } => {}
         }
     }
 

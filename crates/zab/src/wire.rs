@@ -22,6 +22,7 @@ const TAG_ELECTION: u8 = 8;
 const TAG_SYNC_REQUEST: u8 = 9;
 const TAG_SNAPSHOT_CHUNK: u8 = 10;
 const TAG_VOTE_GRANT: u8 = 11;
+const TAG_TRANSFER_LEADERSHIP: u8 = 12;
 
 fn write_node(out: &mut OutputArchive, node: NodeId) {
     out.write_i32(node.0 as i32);
@@ -125,6 +126,10 @@ pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
             out.write_bool(*last);
             out.write_buffer(bytes);
         }
+        ZabMessage::TransferLeadership { epoch } => {
+            out.write_u8(TAG_TRANSFER_LEADERSHIP);
+            write_epoch(&mut out, *epoch);
+        }
     }
     out.into_bytes()
 }
@@ -197,6 +202,9 @@ pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, JuteError> {
             last: input.read_bool("snapshot chunk last")?,
             bytes: input.read_buffer("snapshot chunk bytes")?,
         },
+        TAG_TRANSFER_LEADERSHIP => {
+            ZabMessage::TransferLeadership { epoch: read_epoch(&mut input, "transfer epoch")? }
+        }
         other => {
             return Err(JuteError::InvalidLength { what: "message tag", length: other.into() });
         }
@@ -255,6 +263,7 @@ mod tests {
             last: false,
             bytes: Vec::new(),
         });
+        roundtrip(ZabMessage::TransferLeadership { epoch: 11 });
     }
 
     #[test]

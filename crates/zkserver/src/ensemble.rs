@@ -48,6 +48,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use opsplane::http::{OpsServer, ProbeState};
 use parking_lot::Mutex;
 
 use jute::records::{DeleteRequest, ErrorCode};
@@ -56,7 +57,8 @@ use zab::tcp::TcpNetwork;
 use zab::{Envelope, NodeId, Role, Txn, ZabMessage, ZabNode, ZabTransport, Zxid};
 
 use crate::error::ZkError;
-use crate::net::{NetConfig, WriteHandler, ZkTcpServer};
+use crate::metrics::ServerMetrics;
+use crate::net::{AdminInfo, NetConfig, WriteHandler, ZkTcpServer};
 use crate::ops::WriteTxn;
 use crate::persist::{self, ReplicaPersistence};
 use crate::server::ZkReplica;
@@ -129,6 +131,11 @@ pub struct EnsembleConfig {
     pub poll_interval: Duration,
     /// Configuration of the client-facing TCP server.
     pub net: NetConfig,
+    /// Address of the operational HTTP endpoint (`/metrics`, `/health/live`,
+    /// `/health/ready`); `None` runs the member without one. Port 0 binds an
+    /// ephemeral port — read it back with
+    /// [`ZkEnsembleServer::ops_addr`].
+    pub ops_addr: Option<SocketAddr>,
 }
 
 impl Default for EnsembleConfig {
@@ -140,6 +147,7 @@ impl Default for EnsembleConfig {
             write_timeout: Duration::from_secs(5),
             poll_interval: Duration::from_millis(10),
             net: NetConfig::default(),
+            ops_addr: None,
         }
     }
 }
@@ -267,6 +275,12 @@ pub struct EnsembleCore {
     /// Durable log + snapshot store; `None` runs the member in-memory only
     /// (the pre-persistence behaviour, still used by most unit tests).
     persistence: Option<ReplicaPersistence>,
+    metrics: Arc<ServerMetrics>,
+    probes: Arc<ProbeState>,
+    /// Set for the remainder of the member's life once a graceful drain
+    /// begins: new writes are refused (frozen log tip = clean handoff) and
+    /// the readiness probe reports unready.
+    draining: AtomicBool,
     snapshots_shipped: AtomicU64,
     sync_txns_shipped: AtomicU64,
     snapshots_installed: AtomicU64,
@@ -313,9 +327,30 @@ impl EnsembleCore {
                 }
                 self.apply_committed(&mut state);
             }
+            ZabMessage::TransferLeadership { epoch } => {
+                // A draining leader shipped this member its committed suffix
+                // and asks it to take over without waiting out the failure
+                // detector. Losing this frame is harmless: the ordinary
+                // election timeout elects a successor anyway, just slower.
+                if state.node.role() != Role::Leader && !self.draining.load(Ordering::SeqCst) {
+                    let next = state.last_vote_epoch.max(state.node.epoch()).max(epoch) + 1;
+                    self.start_candidacy(&mut state, next);
+                }
+            }
             message => {
                 if state.node.leader() == Some(from) {
                     state.last_leader_contact = Instant::now();
+                }
+                if matches!(&message, ZabMessage::ForwardWrite { .. })
+                    && state.node.role() == Role::Leader
+                {
+                    if self.draining.load(Ordering::SeqCst) {
+                        // A draining leader's log tip is frozen; the frame is
+                        // dropped, and the origin's waiter fails over to the
+                        // successor on the epoch bump it is about to see.
+                        return;
+                    }
+                    self.metrics.zab_proposals.inc();
                 }
                 state.node.handle(Envelope { from, message }, net);
                 self.apply_committed(&mut state);
@@ -364,12 +399,14 @@ impl EnsembleCore {
                 );
             }
             self.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            self.metrics.zab_snapshots_shipped.inc();
             snapshot_zxid
         } else {
             since
         };
         let txns: Vec<Txn> = log.committed().filter(|t| t.zxid > sync_from).cloned().collect();
         self.sync_txns_shipped.fetch_add(txns.len() as u64, Ordering::Relaxed);
+        self.metrics.zab_sync_txns_shipped.add(txns.len() as u64);
         zab::send_sync(net, self.id, peer, epoch, txns);
         let mut prev = log.last_committed();
         for txn in log.entries_after(prev) {
@@ -435,6 +472,7 @@ impl EnsembleCore {
                 state.election = None;
                 state.last_leader_contact = Instant::now();
                 self.snapshots_installed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.zab_snapshots_installed.inc();
             }
             Err(_) => {
                 // A corrupt shipment is dropped; this member keeps asking
@@ -573,6 +611,7 @@ impl EnsembleCore {
         }
         let election = state.election.take().expect("candidacy checked above");
         state.node.become_leader(election.epoch);
+        self.metrics.zab_elections_won.inc();
         for peer in self.transport.peer_ids() {
             // Ship only what each granter is missing, judged by the log tip
             // it announced with its grant. A granter whose tip contained
@@ -602,6 +641,7 @@ impl EnsembleCore {
     /// first), open the vote window, announce the log credential to all.
     fn start_candidacy(&self, state: &mut ProtocolState, epoch: u32) {
         state.node.start_election();
+        self.metrics.zab_elections_started.inc();
         state.last_vote_epoch = state.last_vote_epoch.max(epoch);
         let credential = state.node.log().last_logged();
         self.record_grant(epoch, self.id);
@@ -673,6 +713,37 @@ impl EnsembleCore {
             // leader are lost; fail them so their clients retry here.
             self.fail_all_waiters();
         }
+        self.refresh_health(&state, now);
+    }
+
+    /// Refreshes the epoch/role gauges and the readiness probe from the
+    /// protocol state. Runs on every driver tick, so a probe or scrape is
+    /// never more than one poll interval stale.
+    fn refresh_health(&self, state: &ProtocolState, now: Instant) {
+        self.metrics.zab_epoch.set(i64::from(state.node.epoch()));
+        let role = state.node.role();
+        self.metrics.zab_role.set(match role {
+            Role::Electing => 0,
+            Role::Follower => 1,
+            Role::Leader => 2,
+        });
+        if self.draining.load(Ordering::SeqCst) {
+            self.probes.set_ready(false, "draining");
+            return;
+        }
+        match role {
+            Role::Leader => self.probes.set_ready(true, "leading"),
+            Role::Follower => {
+                if self.cluster_size == 1
+                    || now.duration_since(state.last_leader_contact) < self.election_timeout()
+                {
+                    self.probes.set_ready(true, "following");
+                } else {
+                    self.probes.set_ready(false, "no recent leader contact");
+                }
+            }
+            Role::Electing => self.probes.set_ready(false, "electing"),
+        }
     }
 
     /// Applies newly committed transactions to the local replica in zxid
@@ -699,6 +770,7 @@ impl EnsembleCore {
             }
         }
         if applied > 0 {
+            self.metrics.zab_commits.add(applied);
             self.maybe_snapshot(state, applied);
         }
     }
@@ -752,11 +824,20 @@ impl EnsembleCore {
         // connect timeout never stalls the driver thread behind this lock.
         let forward = {
             let mut state = self.state.lock();
+            if self.draining.load(Ordering::SeqCst) && state.node.role() == Role::Leader {
+                // A draining leader's log tip must stay frozen so the chosen
+                // successor (which was shipped that exact tip) wins its
+                // election on the first try. Refuse the write; the client
+                // reconnects and retries against the new leader.
+                self.waiters.lock().remove(&request_id);
+                return (Response::Error(ErrorCode::ConnectionLoss), self.replica.last_zxid());
+            }
             match state.node.role() {
                 Role::Leader => {
                     // Buffer the proposal frames, make the leader's own log
                     // entry durable, then let the frames out — the leader's
                     // implicit self-ack must never precede its fsync.
+                    self.metrics.zab_proposals.inc();
                     let buffer = SendBuffer::default();
                     state.node.propose(payload, &buffer);
                     self.sync_persistence();
@@ -778,6 +859,7 @@ impl EnsembleCore {
             }
         };
         if let Some((leader, payload)) = forward {
+            self.metrics.zab_forwards.inc();
             self.transport.send(
                 self.id,
                 leader,
@@ -814,6 +896,72 @@ impl EnsembleCore {
         replica.remove_session_local(session_id);
         Response::CloseSession
     }
+
+    /// Gracefully takes this member out of service: readiness flips to
+    /// unready, new writes are refused, and — if this member leads — its
+    /// committed state is shipped to the lowest-id peer, which is then asked
+    /// (via [`ZabMessage::TransferLeadership`]) to start an immediate
+    /// candidacy instead of waiting out the failure detector. The call
+    /// returns once leadership has left this member (or `timeout` expires)
+    /// and the durable log is flushed; reads keep being served until the
+    /// process actually shuts down.
+    fn drain(&self, timeout: Duration) -> DrainReport {
+        let started = Instant::now();
+        self.draining.store(true, Ordering::SeqCst);
+        self.metrics.draining.set(1);
+        self.probes.set_ready(false, "draining");
+        let (was_leader, successor) = {
+            let state = self.state.lock();
+            if state.node.role() == Role::Leader && self.cluster_size > 1 {
+                // Lowest-id live peer; with no liveness oracle beyond the
+                // protocol itself, "lowest id" is the deterministic pick and
+                // a dead pick degrades to the ordinary timeout election.
+                (true, self.transport.peer_ids().into_iter().min())
+            } else {
+                (state.node.role() == Role::Leader, None)
+            }
+        };
+        if let Some(peer) = successor {
+            {
+                let state = self.state.lock();
+                let epoch = state.node.epoch();
+                // Ship everything past the truncation horizon: idempotent on
+                // the receiver, and guarantees its log credential reaches
+                // this (now frozen) tip so its candidacy wins on both counts.
+                self.ship_state(&state, peer, state.node.log().horizon(), self.transport.as_ref());
+                self.transport.send(self.id, peer, ZabMessage::TransferLeadership { epoch });
+            }
+            while self.state.lock().node.role() == Role::Leader
+                && started.elapsed() < timeout
+                && self.running.load(Ordering::SeqCst)
+            {
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+        // Flush the commit watermark and any buffered appends so a restart
+        // of this member recovers to exactly the state it drained at.
+        self.sync_persistence();
+        let still_leader = self.state.lock().node.role() == Role::Leader;
+        DrainReport {
+            was_leader,
+            successor,
+            handed_off: was_leader && !still_leader,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// Outcome of a graceful drain ([`ZkEnsembleServer::drain`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Whether this member led the ensemble when the drain began.
+    pub was_leader: bool,
+    /// The peer chosen to take over leadership, if a handoff was attempted.
+    pub successor: Option<NodeId>,
+    /// Whether leadership actually left this member within the timeout.
+    pub handed_off: bool,
+    /// Wall time the drain took (state shipping included).
+    pub elapsed: Duration,
 }
 
 impl WriteHandler for EnsembleCore {
@@ -833,6 +981,25 @@ impl WriteHandler for EnsembleCore {
             return (response, replica.last_zxid());
         }
         self.submit_replicated(session_id, request)
+    }
+
+    fn admin_info(&self) -> AdminInfo {
+        let (role, epoch, leader) = {
+            let state = self.state.lock();
+            let role = match state.node.role() {
+                Role::Leader => "leader",
+                Role::Follower => "follower",
+                Role::Electing => "electing",
+            };
+            (role, state.node.epoch(), state.node.leader().map(|n| n.0))
+        };
+        AdminInfo {
+            role: role.to_string(),
+            epoch,
+            leader,
+            ready: self.probes.is_ready(),
+            draining: self.draining.load(Ordering::SeqCst),
+        }
     }
 
     fn tick(&self, replica: &Arc<ZkReplica>) -> Vec<i64> {
@@ -862,6 +1029,10 @@ impl WriteHandler for EnsembleCore {
 /// fsync instead of N.
 fn driver_loop(core: &Arc<EnsembleCore>) {
     while core.running.load(Ordering::SeqCst) {
+        // The liveness probe answers "is the driver thread actually turning
+        // over", not just "does the process accept TCP" — a wedged driver
+        // lets the heartbeat age out and the probe go dark.
+        core.probes.beat();
         if let Some(envelope) = core.transport.receive_timeout(core.config.poll_interval) {
             let buffer = SendBuffer::default();
             core.dispatch(envelope, &buffer);
@@ -882,6 +1053,7 @@ fn driver_loop(core: &Arc<EnsembleCore>) {
 pub struct ZkEnsembleServer {
     core: Arc<EnsembleCore>,
     server: Option<ZkTcpServer>,
+    ops: Option<OpsServer>,
     driver: Option<JoinHandle<()>>,
 }
 
@@ -1080,6 +1252,8 @@ impl ZkEnsembleServer {
         } else {
             node.become_follower(1, initial_leader);
         }
+        let metrics = Arc::new(ServerMetrics::new());
+        let probes = Arc::new(ProbeState::new());
         let now = Instant::now();
         let core = Arc::new(EnsembleCore {
             id,
@@ -1110,6 +1284,9 @@ impl ZkEnsembleServer {
             running: AtomicBool::new(true),
             config: config.clone(),
             persistence,
+            metrics: Arc::clone(&metrics),
+            probes: Arc::clone(&probes),
+            draining: AtomicBool::new(false),
             snapshots_shipped: AtomicU64::new(0),
             sync_txns_shipped: AtomicU64::new(0),
             snapshots_installed: AtomicU64::new(0),
@@ -1117,11 +1294,32 @@ impl ZkEnsembleServer {
             recovered_snapshot_zxid,
         });
 
-        let server = match ZkTcpServer::bind_with_handler(
+        // Bridge the persistence-owned WAL counters into the registry: a
+        // collector refreshes the monotone mirrors right before each render,
+        // without the hot fsync path ever touching a metric handle.
+        {
+            let weak = Arc::downgrade(&core);
+            let fsyncs = metrics.wal_fsyncs.clone();
+            let bytes = metrics.wal_bytes.clone();
+            let snapshots = metrics.snapshots_taken.clone();
+            metrics.registry().register_collector(move || {
+                let Some(core) = weak.upgrade() else { return };
+                let Some(persistence) = &core.persistence else { return };
+                fsyncs.raise_to(persistence.wal_fsyncs());
+                bytes.raise_to(persistence.wal_bytes());
+                snapshots.raise_to(persistence.snapshots_taken());
+            });
+        }
+        {
+            let state = core.state.lock();
+            core.refresh_health(&state, Instant::now());
+        }
+        let server = match ZkTcpServer::bind_with_metrics(
             client_addr,
             replica,
             config.net,
             Arc::clone(&core) as Arc<dyn WriteHandler>,
+            Arc::clone(&metrics),
         ) {
             Ok(server) => server,
             Err(err) => {
@@ -1129,6 +1327,18 @@ impl ZkEnsembleServer {
                 core.transport.shutdown();
                 return Err(err);
             }
+        };
+        let ops = match config.ops_addr {
+            Some(addr) => match OpsServer::bind(addr, metrics.registry(), Arc::clone(&probes)) {
+                Ok(ops) => Some(ops),
+                Err(err) => {
+                    core.running.store(false, Ordering::SeqCst);
+                    core.transport.shutdown();
+                    server.shutdown();
+                    return Err(err);
+                }
+            },
+            None => None,
         };
         // A single-member recovered leader may hold a committed-on-promotion
         // tail in its outbox; apply it before serving (no-op otherwise).
@@ -1140,7 +1350,7 @@ impl ZkEnsembleServer {
             let core = Arc::clone(&core);
             std::thread::spawn(move || driver_loop(&core))
         };
-        Ok(ZkEnsembleServer { core, server: Some(server), driver: Some(driver) })
+        Ok(ZkEnsembleServer { core, server: Some(server), ops, driver: Some(driver) })
     }
 
     /// Binds and starts a complete ensemble of `size` members on loopback
@@ -1228,6 +1438,35 @@ impl ZkEnsembleServer {
         self.core.sync_stats()
     }
 
+    /// The address of this member's operational HTTP endpoint, when one was
+    /// configured ([`EnsembleConfig::ops_addr`]).
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(OpsServer::local_addr)
+    }
+
+    /// This member's metric surface (also rendered by `GET /metrics` and the
+    /// `mntr` admin word).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.core.metrics)
+    }
+
+    /// This member's liveness/readiness probe state (also served as
+    /// `GET /health/live` and `GET /health/ready`).
+    pub fn probes(&self) -> Arc<ProbeState> {
+        Arc::clone(&self.core.probes)
+    }
+
+    /// Gracefully takes this member out of service before a shutdown:
+    /// readiness flips to unready, new writes are refused, leadership (if
+    /// held) is handed to the lowest-id peer by shipping it this member's
+    /// committed state and triggering an immediate candidacy, and the
+    /// durable log is flushed. Call [`shutdown`](Self::shutdown) afterwards;
+    /// reads keep being served in between so load balancers can rotate the
+    /// member out on the unready probe first.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        self.core.drain(timeout)
+    }
+
     /// Stops the member: client server, driver and peer transport — the
     /// crash-injection primitive of the failover tests.
     pub fn shutdown(mut self) {
@@ -1241,8 +1480,12 @@ impl ZkEnsembleServer {
         // Unblock client writer threads first so the TCP server can join
         // its threads without waiting out the write timeout.
         self.core.fail_all_waiters();
+        self.core.probes.set_live(false);
         if let Some(server) = self.server.take() {
             server.shutdown();
+        }
+        if let Some(ops) = self.ops.take() {
+            ops.shutdown();
         }
         self.core.transport.shutdown();
         if let Some(driver) = self.driver.take() {

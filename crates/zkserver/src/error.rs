@@ -66,6 +66,8 @@ pub enum ZkError {
         /// Explanation of what happened.
         reason: String,
     },
+    /// The session exceeded its request-rate budget; back off and retry.
+    Throttled,
 }
 
 impl ZkError {
@@ -83,6 +85,7 @@ impl ZkError {
             ZkError::Marshalling { .. } => ErrorCode::MarshallingError,
             ZkError::NoQuorum => ErrorCode::NoQuorum,
             ZkError::ConnectionLoss { .. } => ErrorCode::ConnectionLoss,
+            ZkError::Throttled => ErrorCode::Throttled,
         }
     }
 }
@@ -107,6 +110,7 @@ impl fmt::Display for ZkError {
             ZkError::Marshalling { reason } => write!(f, "marshalling error: {reason}"),
             ZkError::NoQuorum => write!(f, "cluster has no quorum"),
             ZkError::ConnectionLoss { reason } => write!(f, "connection lost: {reason}"),
+            ZkError::Throttled => write!(f, "session request rate exceeded; retry later"),
         }
     }
 }
@@ -138,6 +142,7 @@ mod tests {
             ErrorCode::BadVersion
         );
         assert_eq!(ZkError::NoQuorum.code(), ErrorCode::NoQuorum);
+        assert_eq!(ZkError::Throttled.code(), ErrorCode::Throttled);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod client;
 pub mod cluster;
 pub mod ensemble;
 pub mod error;
+pub mod metrics;
 pub mod net;
 pub mod ops;
 pub mod persist;
@@ -52,9 +53,10 @@ pub mod watch;
 
 pub use client::{ZkClient, ZkTcpClient};
 pub use cluster::ZkCluster;
-pub use ensemble::{EnsembleConfig, PeerTransport, ZkEnsembleServer};
+pub use ensemble::{DrainReport, EnsembleConfig, PeerTransport, ZkEnsembleServer};
 pub use error::ZkError;
 pub use jute::multi::{Op, OpResult};
+pub use metrics::ServerMetrics;
 pub use net::ZkTcpServer;
 pub use persist::{PersistConfig, ReplicaPersistence};
 pub use server::ZkReplica;

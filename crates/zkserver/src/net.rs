@@ -29,15 +29,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use jute::framing;
 use jute::records::{ConnectRequest, ErrorCode, ReplyHeader, WatcherEvent, NOTIFICATION_XID};
 use jute::{InputArchive, OutputArchive, Request};
+use opsplane::ratelimit::{RateLimitConfig, SessionRateLimiter};
+use opsplane::words::{self, ClientInfo, ServerInfo};
 
 use crate::error::ZkError;
+use crate::metrics::ServerMetrics;
 use crate::server::{ZkReplica, DEFAULT_SESSION_TIMEOUT_MS};
 use crate::session::SESSION_PASSWORD_LEN;
 use crate::watch::WatchEvent;
@@ -120,6 +123,43 @@ pub trait WriteHandler: Send + Sync {
     fn tick(&self, replica: &Arc<ZkReplica>) -> Vec<i64> {
         replica.tick()
     }
+
+    /// A snapshot of the coordination state the four-letter admin words
+    /// report. The standalone default is a ready, non-draining member with
+    /// no ensemble around it; the ensemble handler overrides this with its
+    /// live ZAB role.
+    fn admin_info(&self) -> AdminInfo {
+        AdminInfo::default()
+    }
+}
+
+/// Coordination-layer state reported by the admin words (`srvr`, `stat`,
+/// `mntr`), supplied by the [`WriteHandler`] because only the write path
+/// knows whether it is standalone or an ensemble member.
+#[derive(Debug, Clone)]
+pub struct AdminInfo {
+    /// `"standalone"`, `"leader"`, `"follower"`, or `"electing"`.
+    pub role: String,
+    /// Current ZAB epoch (0 when standalone).
+    pub epoch: u32,
+    /// Member id of the current leader, if known.
+    pub leader: Option<u32>,
+    /// Whether the member currently passes its readiness probe.
+    pub ready: bool,
+    /// Whether a graceful drain is in progress.
+    pub draining: bool,
+}
+
+impl Default for AdminInfo {
+    fn default() -> Self {
+        AdminInfo {
+            role: "standalone".into(),
+            epoch: 0,
+            leader: None,
+            ready: true,
+            draining: false,
+        }
+    }
 }
 
 /// The standalone write path: the replica orders and applies writes itself.
@@ -145,6 +185,8 @@ pub struct NetConfig {
     pub max_session_timeout_ms: i64,
     /// Interval of the background expiry/fan-out ticker.
     pub tick_interval: Duration,
+    /// Per-session request-rate limit; `None` disables throttling.
+    pub rate_limit: Option<RateLimitConfig>,
 }
 
 impl Default for NetConfig {
@@ -152,6 +194,7 @@ impl Default for NetConfig {
         NetConfig {
             max_session_timeout_ms: DEFAULT_SESSION_TIMEOUT_MS,
             tick_interval: Duration::from_millis(20),
+            rate_limit: None,
         }
     }
 }
@@ -194,6 +237,8 @@ struct Shared {
     replica: Arc<ZkReplica>,
     handler: Arc<dyn WriteHandler>,
     config: NetConfig,
+    metrics: Arc<ServerMetrics>,
+    limiter: Option<SessionRateLimiter>,
     connections: Mutex<HashMap<i64, Arc<Connection>>>,
     /// Every accepted socket, registered *before* the handshake and removed
     /// when its connection thread exits. Shutdown closes these, so a client
@@ -221,7 +266,9 @@ impl Shared {
             // fired the watch, so the events of one multi share one zxid.
             let frame = encode_watch_event(&event, event.zxid);
             let session_id = event.session_id;
-            let _ = conn.send(|buffer| interceptor.on_event(session_id, buffer), frame);
+            if conn.send(|buffer| interceptor.on_event(session_id, buffer), frame).is_ok() {
+                self.metrics.watch_events.inc();
+            }
         }
     }
 
@@ -317,17 +364,47 @@ impl ZkTcpServer {
         config: NetConfig,
         handler: Arc<dyn WriteHandler>,
     ) -> io::Result<Self> {
+        Self::bind_with_metrics(addr, replica, config, handler, Arc::new(ServerMetrics::new()))
+    }
+
+    /// Binds with an externally owned metric surface — the ensemble server
+    /// passes the surface its ZAB driver already updates, so one registry
+    /// covers the member's request path and its agreement path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind_with_metrics(
+        addr: impl ToSocketAddrs,
+        replica: Arc<ZkReplica>,
+        config: NetConfig,
+        handler: Arc<dyn WriteHandler>,
+        metrics: Arc<ServerMetrics>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        metrics.attach_replica(&replica);
+        let limiter = config.rate_limit.map(SessionRateLimiter::new);
         let shared = Arc::new(Shared {
             replica,
             handler,
             config,
+            metrics,
+            limiter,
             connections: Mutex::new(HashMap::new()),
             sockets: Mutex::new(HashMap::new()),
             next_socket_token: AtomicU64::new(0),
             running: AtomicBool::new(true),
         });
+        {
+            let connections_open = shared.metrics.connections_open.clone();
+            let weak = Arc::downgrade(&shared);
+            shared.metrics.registry().register_collector(move || {
+                if let Some(shared) = weak.upgrade() {
+                    connections_open.set(shared.connections.lock().len() as i64);
+                }
+            });
+        }
         let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -362,6 +439,11 @@ impl ZkTcpServer {
     /// Number of live client connections.
     pub fn connection_count(&self) -> usize {
         self.shared.connections.lock().len()
+    }
+
+    /// The metric surface this transport updates.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Stops accepting, closes every connection and joins all threads.
@@ -453,6 +535,10 @@ fn ticker_loop(shared: &Shared) {
     while shared.running.load(Ordering::SeqCst) {
         std::thread::sleep(shared.config.tick_interval);
         for session_id in shared.handler.tick(&shared.replica) {
+            shared.metrics.sessions_expired.inc();
+            if let Some(limiter) = &shared.limiter {
+                limiter.forget(session_id);
+            }
             shared.drop_connection(session_id);
         }
         shared.fan_out_watch_events();
@@ -483,7 +569,15 @@ fn handshake(
     reader: &mut TcpStream,
     stream: TcpStream,
 ) -> Option<Arc<Connection>> {
-    let frame = framing::read_frame(reader).ok()??;
+    // The first four bytes are either a frame length prefix or a four-letter
+    // admin word in raw ASCII (ZooKeeper answers `ruok` & co. on the client
+    // port). Peek the prefix before committing to frame parsing.
+    let prefix = framing::read_prefix(reader).ok()??;
+    if let Some(word) = words::parse_word(&prefix) {
+        serve_admin_word(shared, word, &stream);
+        return None;
+    }
+    let frame = framing::read_body(reader, prefix).ok()?;
     let mut input = InputArchive::new(&frame);
     let connect = ConnectRequest::deserialize(&mut input).ok()?;
     input.expect_exhausted().ok()?;
@@ -538,6 +632,53 @@ fn handshake(
     Some(conn)
 }
 
+/// Answers one four-letter admin word with plain text on `stream` and lets
+/// the connection close. The reply is never framed or encrypted — admin
+/// words predate sessions, carry no client data, and must work from `nc`.
+fn serve_admin_word(shared: &Shared, word: &str, stream: &TcpStream) {
+    use std::io::Write;
+
+    let admin = shared.handler.admin_info();
+    let clients: Vec<ClientInfo> = shared
+        .connections
+        .lock()
+        .values()
+        .map(|conn| ClientInfo {
+            addr: conn
+                .stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "unknown".to_string()),
+            session_id: Some(conn.session_id),
+        })
+        .collect();
+    let replica = &shared.replica;
+    let info = ServerInfo {
+        version: format!("securekeeper-repro {}", env!("CARGO_PKG_VERSION")),
+        member_id: replica.id(),
+        role: admin.role,
+        epoch: admin.epoch,
+        leader: admin.leader,
+        last_zxid: replica.last_zxid(),
+        znode_count: replica.tree().node_count() as u64,
+        approx_memory_bytes: replica.memory_bytes() as u64,
+        session_count: replica.session_count() as u64,
+        connection_count: clients.len() as u64,
+        watch_count: replica.watch_count() as u64,
+        ready: admin.ready,
+        draining: admin.draining,
+        secure: replica.interceptor().name() != "passthrough",
+        clients,
+    };
+    if let Some(reply) = words::respond(word, &info, &shared.metrics.registry()) {
+        shared.metrics.admin_commands.inc();
+        let mut writer = stream;
+        let _ = writer.write_all(reply.as_bytes());
+        let _ = writer.flush();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// The per-connection request loop: reads framed requests, routes them
 /// through the interceptor and the replica (reads inline, writes via the
 /// single-writer queue), and sends framed responses back.
@@ -575,10 +716,43 @@ fn serve_connection(
             if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_ok() {
                 let _ = reply_rx.recv();
             }
+            shared.metrics.requests_write.inc();
+            if let Some(limiter) = &shared.limiter {
+                limiter.forget(session_id);
+            }
             break;
         }
 
-        let (response, zxid) = if request.op().is_write() {
+        // Rate limiting happens after the exempt requests (pings keep the
+        // session alive, CloseSession above frees resources) and before any
+        // tree work. A throttled request is answered in-band with the typed
+        // error and the connection stays open — the client backs off.
+        if request != Request::Ping {
+            if let Some(limiter) = &shared.limiter {
+                if !limiter.try_acquire(session_id) {
+                    shared.metrics.throttled.inc();
+                    shared.metrics.request_errors.inc();
+                    let reply = ReplyHeader {
+                        xid: header.xid,
+                        zxid: shared.replica.last_zxid(),
+                        err: ErrorCode::Throttled,
+                    };
+                    let bytes = jute::Response::Error(ErrorCode::Throttled).to_bytes(&reply);
+                    let sent = conn.send(
+                        |buffer| interceptor.on_response(session_id, header.op, buffer),
+                        bytes,
+                    );
+                    if sent.is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        let started = Instant::now();
+        let is_write = request.op().is_write();
+        let (response, zxid) = if is_write {
             let (reply_tx, reply_rx) = mpsc::channel();
             if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_err() {
                 break;
@@ -591,6 +765,18 @@ fn serve_connection(
             let response = shared.replica.handle_request(session_id, &request);
             (response, shared.replica.last_zxid())
         };
+
+        let elapsed = started.elapsed();
+        if is_write {
+            shared.metrics.requests_write.inc();
+            shared.metrics.latency_write.observe_duration(elapsed);
+        } else {
+            shared.metrics.requests_read.inc();
+            shared.metrics.latency_read.observe_duration(elapsed);
+        }
+        if response.error_code() != ErrorCode::Ok {
+            shared.metrics.request_errors.inc();
+        }
 
         let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
         let bytes = response.to_bytes(&reply);

@@ -91,6 +91,30 @@ pub trait RequestInterceptor: Send + Sync {
     fn name(&self) -> &'static str {
         "interceptor"
     }
+
+    /// A snapshot of the interceptor's internal counters, exported through
+    /// the ops plane (`/metrics` and `mntr`). The default reports all
+    /// zeroes — a passthrough interceptor seals nothing and caches nothing.
+    fn stats(&self) -> InterceptorStats {
+        InterceptorStats::default()
+    }
+}
+
+/// Counters an interceptor exposes to the ops plane. SecureKeeper's entry
+/// interceptor fills these from its path cache and sealing pipeline; a
+/// passthrough interceptor leaves them at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterceptorStats {
+    /// Path-cache lookups answered from the cache.
+    pub path_cache_hits: u64,
+    /// Path-cache lookups that had to compute the mapping.
+    pub path_cache_misses: u64,
+    /// Frames sealed (encrypted) on the response/event path.
+    pub frames_sealed: u64,
+    /// Frames opened (decrypted) on the request path.
+    pub frames_opened: u64,
+    /// Per-session entry enclaves currently instantiated.
+    pub entry_enclaves: u64,
 }
 
 /// The identity interceptor: vanilla ZooKeeper message flow.

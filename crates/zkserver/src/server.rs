@@ -192,6 +192,11 @@ impl ZkReplica {
         self.sessions.lock().count()
     }
 
+    /// Number of watches currently armed (registered and not yet fired).
+    pub fn watch_count(&self) -> usize {
+        self.watches.lock().pending()
+    }
+
     /// Establishes a new client session.
     pub fn connect(&self, timeout_ms: i64) -> ConnectResponse {
         let (session_id, password) =

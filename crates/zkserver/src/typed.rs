@@ -193,15 +193,35 @@ pub trait MultiDispatch {
     }
 }
 
-/// A fluent builder for atomic transactions, terminated by [`Txn::commit`]:
+/// A fluent builder for atomic transactions, terminated by [`Txn::commit`].
 ///
-/// ```ignore
+/// The same builder runs against every client flavour; here against the
+/// in-process cluster client:
+///
+/// ```
+/// use jute::records::CreateMode;
+/// use zkserver::client::{share, ZkClient};
+/// use zkserver::{MultiDispatch, OpResult, ZkCluster};
+/// use zab::NodeId;
+///
+/// let cluster = share(ZkCluster::new(3));
+/// let mut client = ZkClient::connect(&cluster, NodeId(1))?;
+/// client.create("/config", b"v0".to_vec(), CreateMode::Persistent)?;
+///
+/// // Guarded read-modify-write with an audit trail, applied at one zxid:
 /// let results = client
 ///     .txn()
-///     .check("/config", 3)
-///     .set_data("/config", new_blob, 3)
-///     .create("/config/history-", old_blob, CreateMode::PersistentSequential)
+///     .check("/config", 0)
+///     .set_data("/config", b"v1".to_vec(), 0)
+///     .create("/config/history-", b"v0".to_vec(), CreateMode::PersistentSequential)
 ///     .commit()?;
+/// assert!(matches!(&results[2], OpResult::Create { path } if path.starts_with("/config/history-")));
+///
+/// // A stale guard aborts the whole batch; nothing is applied and the
+/// // failing sub-operation's typed error comes back:
+/// let err = client.txn().check("/config", 0).delete("/config", -1).commit();
+/// assert!(matches!(err, Err(zkserver::ZkError::BadVersion { .. })));
+/// # Ok::<(), zkserver::ZkError>(())
 /// ```
 #[must_use = "a transaction does nothing until commit() is called"]
 pub struct Txn<'c, C: MultiDispatch + ?Sized> {

@@ -165,8 +165,11 @@ fn watch_callback_is_invoked_on_delivery() {
 #[test]
 fn close_removes_ephemerals_and_disconnect_leaves_them_to_expire() {
     let replica = Arc::new(ZkReplica::new(1).with_clock(Arc::new(MonotonicClock::new())));
-    let config =
-        NetConfig { max_session_timeout_ms: 30_000, tick_interval: Duration::from_millis(5) };
+    let config = NetConfig {
+        max_session_timeout_ms: 30_000,
+        tick_interval: Duration::from_millis(5),
+        ..NetConfig::default()
+    };
     let server =
         ZkTcpServer::bind_with_config("127.0.0.1:0", Arc::clone(&replica), config).unwrap();
 

@@ -1,0 +1,343 @@
+//! Ops-plane end-to-end tests: a real 3-member ensemble scraped over HTTP,
+//! poked with four-letter admin words, throttled, and gracefully drained.
+//!
+//! The acceptance properties of the ops-plane milestone:
+//!
+//! * `/metrics` and both health probes answer on every member, and the
+//!   counters match what the workload driver actually did (not just "are
+//!   non-zero");
+//! * every documented admin word answers on the client port, with `mntr`
+//!   agreeing with `/metrics`;
+//! * a graceful drain of the leader under load hands leadership off in
+//!   under a second, flips the readiness probe, and loses no acknowledged
+//!   write;
+//! * the exported metric family set and `docs/METRICS.md` never diverge
+//!   (the guard test CI's `ops-e2e` job leans on).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jute::records::CreateMode;
+use opsplane::http::http_get;
+use opsplane::ratelimit::RateLimitConfig;
+use opsplane::words::{send_word, ADMIN_WORDS};
+use parking_lot::Mutex;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::net::NetConfig;
+use zkserver::{ZkError, ZkReplica, ZkTcpClient, ZkTcpServer};
+
+fn test_config() -> EnsembleConfig {
+    EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(5),
+        ops_addr: Some("127.0.0.1:0".parse().expect("loopback addr")),
+        ..EnsembleConfig::default()
+    }
+}
+
+fn start_ensemble(size: usize) -> Vec<ZkEnsembleServer> {
+    ZkEnsembleServer::start_local_ensemble(size, &test_config(), |id| Arc::new(ZkReplica::new(id)))
+        .expect("bind loopback ensemble")
+}
+
+fn wait_until(what: &str, condition: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Extracts the value of one sample line (exact name + label match) from a
+/// Prometheus text exposition.
+fn sample(text: &str, name: &str) -> f64 {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                return value.trim().parse().expect("sample value");
+            }
+        }
+    }
+    panic!("sample {name} not found in:\n{text}");
+}
+
+/// Parses a `mntr` reply into its key/value lines.
+fn mntr_values(reply: &str) -> Vec<(String, String)> {
+    reply
+        .lines()
+        .map(|line| {
+            let (key, value) = line.split_once('\t').expect("mntr lines are key\\tvalue");
+            (key.to_string(), value.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_probes_and_words_reflect_the_workload() {
+    let servers = start_ensemble(3);
+    assert!(servers[0].is_leader());
+    for server in &servers {
+        let ops = server.ops_addr().expect("ops endpoint configured");
+        wait_until("readiness", || {
+            http_get(ops, "/health/ready").map(|(code, _)| code == 200).unwrap_or(false)
+        });
+        let (code, body) = http_get(ops, "/health/live").unwrap();
+        assert_eq!((code, body.as_str()), (200, "live\n"));
+    }
+
+    // A known workload against the leader: 20 writes, 20 reads, one watch.
+    const WRITES: u64 = 20;
+    let mut client = ZkTcpClient::connect(servers[0].client_addr()).expect("connect");
+    for i in 0..WRITES {
+        client.create(&format!("/w{i}"), vec![b'x'; 8], CreateMode::Persistent).unwrap();
+    }
+    for i in 0..WRITES {
+        let (data, _) = client.get_data(&format!("/w{i}"), false).unwrap();
+        assert_eq!(data.len(), 8);
+    }
+    assert!(client.exists("/w0", true).unwrap().is_some());
+
+    // The connected member's request counters equal the driver's counts.
+    let leader_ops = servers[0].ops_addr().unwrap();
+    let (code, text) = http_get(leader_ops, "/metrics").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(sample(&text, "zk_requests_total{class=\"write\"}"), WRITES as f64);
+    // 20 get_data + 1 exists.
+    assert_eq!(sample(&text, "zk_requests_total{class=\"read\"}"), (WRITES + 1) as f64);
+    assert_eq!(sample(&text, "zk_request_latency_seconds_count{class=\"write\"}"), WRITES as f64);
+    assert_eq!(sample(&text, "zk_zab_proposals_total"), WRITES as f64);
+    assert_eq!(sample(&text, "zk_connections_open"), 1.0);
+    assert_eq!(sample(&text, "zk_sessions_active"), 1.0);
+    assert_eq!(sample(&text, "zk_watches_pending"), 1.0);
+    assert_eq!(sample(&text, "zk_znodes"), (WRITES + 1) as f64); // + root
+    assert_eq!(sample(&text, "zk_zab_role"), 2.0);
+    assert_eq!(sample(&text, "zk_draining"), 0.0);
+
+    // Every member committed exactly the driver's writes.
+    for server in &servers {
+        let ops = server.ops_addr().unwrap();
+        wait_until("commit replication", || {
+            let (_, text) = http_get(ops, "/metrics").unwrap();
+            sample(&text, "zk_zab_commits_total") == WRITES as f64
+        });
+    }
+
+    // Every documented admin word answers on every member's client port.
+    for server in &servers {
+        for word in ADMIN_WORDS {
+            let reply = send_word(server.client_addr(), word).unwrap();
+            // `cons` is legitimately empty on a member with no sessions.
+            assert!(
+                !reply.is_empty() || word == "cons",
+                "{word} answered nothing on {:?}",
+                server.id()
+            );
+        }
+    }
+    assert_eq!(send_word(servers[0].client_addr(), "ruok").unwrap(), "imok\n");
+    let srvr = send_word(servers[0].client_addr(), "srvr").unwrap();
+    assert!(srvr.contains("Mode: leader"), "{srvr}");
+    assert!(srvr.contains(&format!("Node count: {}", WRITES + 1)), "{srvr}");
+    assert!(srvr.contains("Secure: false"), "{srvr}");
+    let follower_srvr = send_word(servers[1].client_addr(), "srvr").unwrap();
+    assert!(follower_srvr.contains("Mode: follower"), "{follower_srvr}");
+    assert!(follower_srvr.contains("Leader: 1"), "{follower_srvr}");
+    let stat = send_word(servers[0].client_addr(), "stat").unwrap();
+    assert!(stat.contains("Clients:"), "{stat}");
+    let cons = send_word(servers[0].client_addr(), "cons").unwrap();
+    assert!(cons.contains("session=0x"), "{cons}");
+    let wchs = send_word(servers[0].client_addr(), "wchs").unwrap();
+    assert!(wchs.contains("1 total watches"), "{wchs}");
+
+    // `mntr` agrees with `/metrics` on the same counters.
+    let mntr = send_word(servers[0].client_addr(), "mntr").unwrap();
+    let values = mntr_values(&mntr);
+    let get = |key: &str| {
+        values
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("{key} missing from mntr:\n{mntr}"))
+            .1
+            .clone()
+    };
+    assert_eq!(get("zk_server_state"), "leader");
+    assert_eq!(get("zk_znodes"), (WRITES + 1).to_string());
+    assert_eq!(get("zk_zab_commits_total"), WRITES.to_string());
+    assert_eq!(get("zk_requests_total{class=\"write\"}"), WRITES.to_string());
+
+    // The word connections themselves never consume a session.
+    let (_, text) = http_get(leader_ops, "/metrics").unwrap();
+    assert_eq!(sample(&text, "zk_sessions_active"), 1.0);
+    assert!(sample(&text, "zk_admin_commands_total") >= ADMIN_WORDS.len() as f64);
+    client.close();
+}
+
+#[test]
+fn session_rate_limiting_throttles_without_killing_the_connection() {
+    let replica = Arc::new(ZkReplica::new(1));
+    let config = NetConfig {
+        rate_limit: Some(RateLimitConfig { capacity: 5, refill_per_sec: 1 }),
+        ..NetConfig::default()
+    };
+    let server = ZkTcpServer::bind_with_config("127.0.0.1:0", replica, config).unwrap();
+    let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
+
+    // The bucket holds 5 tokens; the 6th rapid-fire request is throttled
+    // with a typed in-band error, not a dropped connection.
+    let mut throttled = 0u32;
+    for i in 0..8 {
+        match client.exists(&format!("/probe{i}"), false) {
+            Ok(_) => {}
+            Err(ZkError::Throttled) => throttled += 1,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert!(throttled >= 3, "expected throttling after the burst, got {throttled}");
+    // Pings are exempt (they are the session heartbeat), and the connection
+    // is still alive for a later, slower request.
+    client.ping().expect("pings are never throttled");
+    std::thread::sleep(Duration::from_millis(1100));
+    client.exists("/after-refill", false).expect("one token refilled");
+
+    let (_, text) = http_get_metrics(&server);
+    assert_eq!(sample(&text, "zk_throttled_total"), f64::from(throttled));
+    client.close();
+    server.shutdown();
+}
+
+/// Renders a standalone server's registry (no ops endpoint bound here).
+fn http_get_metrics(server: &ZkTcpServer) -> (u16, String) {
+    (200, server.metrics().registry().render())
+}
+
+#[test]
+fn graceful_leader_drain_loses_no_acknowledged_write() {
+    let servers = start_ensemble(3);
+    assert!(servers[0].is_leader());
+    let leader_ops = servers[0].ops_addr().unwrap();
+    wait_until("leader ready", || http_get(leader_ops, "/health/ready").unwrap().0 == 200);
+    let mntr_before = mntr_values(&send_word(servers[0].client_addr(), "mntr").unwrap());
+
+    // Continuous write load against the member that is NOT the chosen
+    // successor (lowest-id peer = member 2), so its writes are forwarded
+    // across the handoff.
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let acked = Arc::clone(&acked);
+        let addr = servers[2].client_addr();
+        std::thread::spawn(move || {
+            let mut client = ZkTcpClient::connect(addr).expect("writer connect");
+            let mut i = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let path = format!("/d{i:05}");
+                match client.create(&path, b"v".to_vec(), CreateMode::Persistent) {
+                    Ok(_) => {
+                        acked.lock().push(path);
+                        i += 1;
+                    }
+                    Err(_) => {
+                        // Throttle of the drain window: reconnect and retry
+                        // the same path (NodeExists then counts it acked).
+                        std::thread::sleep(Duration::from_millis(10));
+                        if let Ok(fresh) = ZkTcpClient::connect(addr) {
+                            client = fresh;
+                        }
+                        if let Ok(Some(_)) = client.exists(&path, false) {
+                            acked.lock().push(path);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            client.close();
+        })
+    };
+    wait_until("load running", || acked.lock().len() >= 20);
+
+    let report = servers[0].drain(Duration::from_secs(5));
+    assert!(report.was_leader);
+    assert!(report.handed_off, "leadership never left the drained member: {report:?}");
+    assert!(
+        report.elapsed < Duration::from_secs(1),
+        "handoff took {:?}, expected sub-second",
+        report.elapsed
+    );
+    assert_eq!(report.successor.map(|n| n.0), Some(2));
+
+    // The drained member flips unready (but stays live) and says why.
+    let (code, body) = http_get(leader_ops, "/health/ready").unwrap();
+    assert_eq!(code, 503, "{body}");
+    assert!(body.contains("draining"), "{body}");
+    assert_eq!(http_get(leader_ops, "/health/live").unwrap().0, 200);
+    let srvr = send_word(servers[0].client_addr(), "srvr").unwrap();
+    assert!(srvr.contains("Draining: true"), "{srvr}");
+
+    // The successor leads, and writes keep landing in the new regime.
+    wait_until("successor leads", || servers[1].is_leader());
+    let landed = acked.lock().len();
+    wait_until("post-drain writes", || acked.lock().len() > landed + 10);
+    stop.store(true, Ordering::SeqCst);
+    writer.join().expect("writer thread");
+
+    // Zero acknowledged-write loss: every acked path exists on the new
+    // leader (and, once converged, on every member).
+    let acked = acked.lock();
+    assert!(!acked.is_empty());
+    let tip = servers[1].last_applied_zxid();
+    wait_until("convergence", || servers.iter().all(|s| s.last_applied_zxid() >= tip));
+    for server in &servers {
+        let replica = server.replica();
+        let tree = replica.tree();
+        for path in acked.iter() {
+            assert!(tree.get(path).is_some(), "acked {path} missing on {:?}", server.id());
+        }
+    }
+
+    // `mntr` counters on the drained member stayed monotonic through the
+    // handoff.
+    let mntr_after = mntr_values(&send_word(servers[0].client_addr(), "mntr").unwrap());
+    for (key, before) in &mntr_before {
+        if !key.ends_with("_total") {
+            continue;
+        }
+        let after = &mntr_after.iter().find(|(k, _)| k == key).expect("family persists").1;
+        let (before, after): (f64, f64) = (before.parse().unwrap(), after.parse().unwrap());
+        assert!(after >= before, "{key} went backwards: {before} -> {after}");
+    }
+}
+
+#[test]
+fn documented_metrics_match_exported_set() {
+    use std::collections::BTreeSet;
+
+    let servers = start_ensemble(1);
+    let (code, text) = http_get(servers[0].ops_addr().unwrap(), "/metrics").unwrap();
+    assert_eq!(code, 200);
+    let exported: BTreeSet<String> = text
+        .lines()
+        .filter_map(|line| line.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    assert!(!exported.is_empty());
+
+    let doc_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/METRICS.md");
+    let doc = std::fs::read_to_string(&doc_path).expect("docs/METRICS.md exists");
+    let documented: BTreeSet<String> = doc
+        .lines()
+        .filter_map(|line| line.strip_prefix("| `zk_"))
+        .filter_map(|rest| rest.split('`').next())
+        .map(|name| format!("zk_{name}"))
+        .collect();
+
+    let undocumented: Vec<&String> = exported.difference(&documented).collect();
+    assert!(undocumented.is_empty(), "exported but missing from docs/METRICS.md: {undocumented:?}");
+    let stale: Vec<&String> = documented.difference(&exported).collect();
+    assert!(stale.is_empty(), "documented but not exported: {stale:?}");
+}
