@@ -18,7 +18,7 @@ use jute::{Request, Response};
 use zab::NodeId;
 use zkcrypto::keys::SessionKey;
 use zkserver::client::SharedCluster;
-use zkserver::typed::{self, MultiDispatch, Txn};
+use zkserver::typed::{self, MultiDispatch, Txn, ZooKeeper};
 use zkserver::watch::WatchEvent;
 
 use crate::error::SkError;
@@ -247,6 +247,40 @@ impl MultiDispatch for SecureKeeperClient {
 
     fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, SkError> {
         SecureKeeperClient::multi(self, ops)
+    }
+}
+
+impl ZooKeeper for SecureKeeperClient {
+    fn create(&mut self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, SkError> {
+        SecureKeeperClient::create(self, path, data, mode)
+    }
+
+    fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), SkError> {
+        SecureKeeperClient::get_data(self, path, watch)
+    }
+
+    fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, SkError> {
+        SecureKeeperClient::set_data(self, path, data, version)
+    }
+
+    fn delete(&mut self, path: &str, version: i32) -> Result<(), SkError> {
+        SecureKeeperClient::delete(self, path, version)
+    }
+
+    fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, SkError> {
+        SecureKeeperClient::get_children(self, path, watch)
+    }
+
+    fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, SkError> {
+        SecureKeeperClient::exists(self, path, watch)
+    }
+
+    fn check(&mut self, path: &str, version: i32) -> Result<(), SkError> {
+        SecureKeeperClient::check(self, path, version)
+    }
+
+    fn ping(&mut self) -> Result<(), SkError> {
+        SecureKeeperClient::ping(self)
     }
 }
 

@@ -139,6 +139,47 @@ pub fn write_frame<W: Write + ?Sized>(writer: &mut W, body: &[u8]) -> io::Result
     writer.flush()
 }
 
+/// How the first four bytes of a connection should be interpreted — the one
+/// place the wire protocol is ambiguous. ZooKeeper answers four-letter admin
+/// words (`ruok`, `srvr`, …) on the client port as raw ASCII exactly where a
+/// frame length prefix is expected, so servers must peek before parsing.
+/// Because the words are lowercase ASCII letters, their big-endian value is
+/// always far above [`MAX_FRAME_LEN`], making the dispatch unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Fewer than four bytes buffered; read more and retry.
+    NeedMore,
+    /// A valid frame length prefix: the body is this many bytes.
+    Frame(usize),
+    /// Not a length prefix: four raw ASCII letters (an admin-word attempt).
+    Word([u8; 4]),
+}
+
+/// Classifies the first four bytes of a connection (see [`Dispatch`]).
+///
+/// This is the single shared implementation of the admin-word /
+/// `ConnectRequest` dispatch that both the blocking transport and the
+/// readiness reactor use, so the two paths cannot drift apart.
+///
+/// # Errors
+///
+/// Returns [`JuteError::InvalidLength`] when the bytes are neither four ASCII
+/// letters nor a valid frame length (negative, oversized, or stray binary).
+pub fn dispatch_prefix(buffer: &[u8]) -> Result<Dispatch, JuteError> {
+    if buffer.len() < 4 {
+        return Ok(Dispatch::NeedMore);
+    }
+    let prefix = [buffer[0], buffer[1], buffer[2], buffer[3]];
+    if prefix.iter().all(|b| b.is_ascii_lowercase()) {
+        return Ok(Dispatch::Word(prefix));
+    }
+    let len = i32::from_be_bytes(prefix);
+    if len < 0 || len as usize > MAX_FRAME_LEN {
+        return Err(JuteError::InvalidLength { what: "frame", length: i64::from(len) });
+    }
+    Ok(Dispatch::Frame(len as usize))
+}
+
 /// A streaming frame decoder that accumulates bytes until frames are complete.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
@@ -308,6 +349,31 @@ mod tests {
         assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
         assert_eq!(read_frame(&mut reader).unwrap().unwrap(), Vec::<u8>::new());
         assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn dispatch_prefix_distinguishes_frames_words_and_garbage() {
+        assert_eq!(dispatch_prefix(b"ru").unwrap(), Dispatch::NeedMore);
+        assert_eq!(dispatch_prefix(b"ruok").unwrap(), Dispatch::Word(*b"ruok"));
+        assert_eq!(dispatch_prefix(b"mntr trailing").unwrap(), Dispatch::Word(*b"mntr"));
+        let framed = encode_frame(b"hello");
+        assert_eq!(dispatch_prefix(&framed).unwrap(), Dispatch::Frame(5));
+        assert_eq!(dispatch_prefix(&0i32.to_be_bytes()).unwrap(), Dispatch::Frame(0));
+        assert!(dispatch_prefix(&(-1i32).to_be_bytes()).is_err());
+        assert!(dispatch_prefix(&((MAX_FRAME_LEN as i32) + 1).to_be_bytes()).is_err());
+        // Mixed-case or NUL-bearing prefixes are not words; out-of-range ones
+        // must error rather than be misread as enormous frames.
+        assert!(dispatch_prefix(b"Ruok").is_err());
+        assert!(dispatch_prefix(&[0, 0, b'o', b'k']).unwrap() == Dispatch::Frame(0x6f6b));
+    }
+
+    #[test]
+    fn every_lowercase_prefix_exceeds_max_frame_len() {
+        // The invariant dispatch_prefix rests on: the smallest all-lowercase
+        // prefix ("aaaa") read as a big-endian length is beyond the frame cap,
+        // so no valid frame can ever be mistaken for a word or vice versa.
+        let smallest = i32::from_be_bytes(*b"aaaa");
+        assert!(smallest as usize > MAX_FRAME_LEN);
     }
 
     #[test]

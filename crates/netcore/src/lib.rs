@@ -1,0 +1,792 @@
+//! The sharded readiness reactor both transports run on.
+//!
+//! One OS thread per connection does not scale to the paper's "many
+//! concurrent clients" regime, so this crate multiplexes every accepted
+//! socket onto a small fixed pool of event-loop shards (epoll/kqueue via the
+//! vendored [`netpoll`] shim). Each shard owns its poller and its subset of
+//! connections; total transport threads are O(cores), not O(connections).
+//!
+//! Responsibilities split as follows:
+//!
+//! * the reactor owns accept (nonblocking, shard 0), per-connection buffered
+//!   reads, frame reassembly (via [`jute::framing`]), write queues with
+//!   write-interest-driven flushing, and teardown;
+//! * the embedding transport supplies a [`Service`]: a set of callbacks that
+//!   receive complete inbound frames (or the raw four-byte admin-word prefix)
+//!   and answer through [`Conn`] handles.
+//!
+//! Outbound frames are sealed *inside* the connection's queue lock
+//! ([`Conn::send_framed`]), so a cipher whose per-session counters must match
+//! the byte order on the socket (SecureKeeper's transport encryption) stays
+//! correct even when responses are produced from multiple threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use jute::framing::{self, Dispatch};
+
+/// Poll timeout of an idle shard. Wakeups arrive through the waker; this is
+/// only a safety net so a lost wakeup degrades to latency, not a hang.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Read scratch size: one syscall drains up to this much per connection turn.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Token reserved for the shard waker.
+const TOKEN_WAKER: u64 = u64::MAX;
+/// Token reserved for the listener (registered on shard 0 only).
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+
+/// Configuration of a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Number of event-loop shards; `0` picks `min(available cores, 4)`.
+    pub shards: usize,
+    /// Largest inbound frame accepted before the connection is dropped.
+    pub max_frame_len: usize,
+    /// Outbound-queue cap per connection: a consumer that falls further
+    /// behind than this is disconnected instead of buffering unboundedly.
+    pub max_outbound_bytes: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            shards: 0,
+            max_frame_len: framing::MAX_FRAME_LEN,
+            max_outbound_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl ReactorConfig {
+    fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+    }
+}
+
+/// Why a [`Conn`] send was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The connection is closed (or closing); the frame was dropped.
+    Closed,
+    /// The seal callback failed; nothing was queued.
+    SealFailed,
+    /// The frame exceeds the configured maximum frame length.
+    Oversized,
+    /// The connection's outbound queue exceeded its byte cap; the connection
+    /// has been scheduled for teardown.
+    QueueFull,
+}
+
+/// Callbacks a transport implements to run on the reactor.
+///
+/// All callbacks run on a shard's event-loop thread (or, for work the
+/// embedder forwards elsewhere, wherever it re-enters through [`Conn`]), so
+/// they must not block on slow work — hand that to a worker and answer later
+/// through the `Arc<Conn>`.
+pub trait Service: Send + Sync + 'static {
+    /// Per-connection state created at accept time.
+    type State: Send + Sync + 'static;
+
+    /// Builds the state attached to a newly accepted connection.
+    fn make_state(&self, peer: SocketAddr) -> Self::State;
+
+    /// One complete inbound frame (length prefix stripped).
+    fn on_frame(&self, conn: &Arc<Conn<Self::State>>, frame: Vec<u8>);
+
+    /// The connection opened with four raw ASCII letters instead of a frame
+    /// length prefix (ZooKeeper's four-letter admin words). The default
+    /// closes the connection; transports that answer words override this.
+    /// Any bytes following the word are discarded.
+    fn on_word(&self, conn: &Arc<Conn<Self::State>>, word: [u8; 4]) {
+        let _ = word;
+        conn.close();
+    }
+
+    /// The connection left its event loop (peer closed, error, eviction, or
+    /// reactor shutdown). Called exactly once per accepted connection.
+    fn on_closed(&self, conn: &Arc<Conn<Self::State>>) {
+        let _ = conn;
+    }
+}
+
+/// Outbound byte queue of one connection.
+#[derive(Debug, Default)]
+struct Outbound {
+    buf: Vec<u8>,
+    pos: usize,
+    /// Set once: no further sends are accepted and pending bytes are gone.
+    closed: bool,
+    /// Close the socket once the queue drains (graceful goodbye frames).
+    close_after_flush: bool,
+    /// The token is already on its shard's flush list.
+    flush_requested: bool,
+}
+
+impl Outbound {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Cross-thread mailbox of one shard: connections to adopt, tokens to flush
+/// or tear down, plus the waker that interrupts the shard's poll.
+struct ShardMailbox {
+    waker: netpoll::Waker,
+    notified: AtomicBool,
+    incoming: Mutex<Vec<TcpStream>>,
+    flush: Mutex<Vec<u64>>,
+    closing: Mutex<Vec<u64>>,
+}
+
+impl ShardMailbox {
+    fn wake(&self) {
+        if !self.notified.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
+    }
+}
+
+/// One multiplexed connection, shared between its shard and any thread that
+/// answers through it (write workers, tickers, watch fan-out).
+pub struct Conn<T> {
+    stream: TcpStream,
+    token: u64,
+    peer: SocketAddr,
+    max_frame_len: usize,
+    max_outbound_bytes: usize,
+    out: Mutex<Outbound>,
+    shard: Arc<ShardMailbox>,
+    /// Transport-defined per-connection state (see [`Service::State`]).
+    pub state: T,
+}
+
+impl<T> std::fmt::Debug for Conn<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn").field("token", &self.token).field("peer", &self.peer).finish()
+    }
+}
+
+impl<T> Conn<T> {
+    /// The remote address of this connection.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Seals `body` with `seal`, wraps it in a length prefix and queues it,
+    /// atomically with respect to every other frame sent on this connection —
+    /// seal order always equals byte order on the socket. If the socket is
+    /// immediately writable the frame is written in place (no event-loop
+    /// round trip); leftovers are flushed by the shard on write readiness.
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`]; on any error nothing of `body` reaches the wire.
+    pub fn send_framed(
+        &self,
+        seal: impl FnOnce(&mut Vec<u8>) -> Result<(), ()>,
+        mut body: Vec<u8>,
+    ) -> Result<(), SendError> {
+        let mut out = self.out.lock();
+        if out.closed || out.close_after_flush {
+            return Err(SendError::Closed);
+        }
+        if seal(&mut body).is_err() {
+            return Err(SendError::SealFailed);
+        }
+        if body.len() > self.max_frame_len {
+            return Err(SendError::Oversized);
+        }
+        out.buf.reserve(4 + body.len());
+        out.buf.extend_from_slice(&(body.len() as i32).to_be_bytes());
+        out.buf.extend_from_slice(&body);
+        self.after_enqueue(out)
+    }
+
+    /// Queues raw bytes verbatim (no length prefix, no sealing) — the admin
+    /// words answer in plain text on the client port.
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`].
+    pub fn send_raw(&self, bytes: &[u8]) -> Result<(), SendError> {
+        let mut out = self.out.lock();
+        if out.closed || out.close_after_flush {
+            return Err(SendError::Closed);
+        }
+        out.buf.extend_from_slice(bytes);
+        self.after_enqueue(out)
+    }
+
+    /// Common tail of the send paths: opportunistic inline flush, queue-cap
+    /// enforcement, and shard notification for the remainder.
+    fn after_enqueue(
+        &self,
+        mut out: parking_lot::MutexGuard<'_, Outbound>,
+    ) -> Result<(), SendError> {
+        match flush_outbound(&self.stream, &mut out) {
+            Ok(()) => {}
+            Err(_) => {
+                // The socket broke mid-write; poison the queue and let the
+                // shard tear the connection down.
+                out.closed = true;
+                drop(out);
+                self.request_close();
+                return Err(SendError::Closed);
+            }
+        }
+        if out.pending() > self.max_outbound_bytes {
+            out.closed = true;
+            drop(out);
+            self.request_close();
+            return Err(SendError::QueueFull);
+        }
+        if out.pending() > 0 && !out.flush_requested {
+            out.flush_requested = true;
+            drop(out);
+            self.shard.flush.lock().push(self.token);
+            self.shard.wake();
+        }
+        Ok(())
+    }
+
+    /// Closes the connection as soon as its queued bytes have been flushed;
+    /// further sends are rejected.
+    pub fn close_after_flush(&self) {
+        let mut out = self.out.lock();
+        if out.closed || out.close_after_flush {
+            return;
+        }
+        out.close_after_flush = true;
+        let drained = out.pending() == 0;
+        drop(out);
+        if drained {
+            self.request_close();
+        } else {
+            self.shard.flush.lock().push(self.token);
+            self.shard.wake();
+        }
+    }
+
+    /// Closes the connection immediately, discarding queued bytes.
+    pub fn close(&self) {
+        {
+            let mut out = self.out.lock();
+            if out.closed {
+                return;
+            }
+            out.closed = true;
+            out.buf.clear();
+            out.pos = 0;
+        }
+        self.request_close();
+    }
+
+    fn request_close(&self) {
+        self.shard.closing.lock().push(self.token);
+        self.shard.wake();
+    }
+}
+
+/// Writes as much of the queue as the socket accepts right now. `Ok` covers
+/// both "drained" and "would block"; `Err` means the connection is dead.
+fn flush_outbound(stream: &TcpStream, out: &mut Outbound) -> io::Result<()> {
+    if out.closed {
+        return Ok(());
+    }
+    while out.pos < out.buf.len() {
+        match (&*stream).write(&out.buf[out.pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => out.pos += n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    if out.pos == out.buf.len() {
+        out.buf.clear();
+        out.pos = 0;
+    } else if out.pos > 64 * 1024 {
+        // Compact so a slow consumer does not pin the already-sent prefix.
+        out.buf.drain(..out.pos);
+        out.pos = 0;
+    }
+    Ok(())
+}
+
+/// How the inbound bytes of a connection are currently interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadMode {
+    /// First four bytes not seen yet: frame stream or admin word unknown.
+    Undecided,
+    /// Normal length-prefixed frame stream.
+    Framed,
+    /// The connection opened with an admin word; the word was dispatched and
+    /// everything after it is discarded until close.
+    Word,
+}
+
+/// Shard-private bookkeeping for one connection.
+struct ShardConn<T> {
+    conn: Arc<Conn<T>>,
+    inbuf: Vec<u8>,
+    consumed: usize,
+    mode: ReadMode,
+    want_write: bool,
+}
+
+/// State shared by all shards of one reactor.
+struct ReactorShared<S: Service> {
+    service: Arc<S>,
+    config: ReactorConfig,
+    mailboxes: Vec<Arc<ShardMailbox>>,
+    next_token: AtomicU64,
+    next_shard: AtomicUsize,
+    conn_count: AtomicUsize,
+    running: AtomicBool,
+}
+
+/// A listening TCP endpoint multiplexed over a fixed pool of event loops.
+///
+/// Dropping the reactor shuts it down: the listener and every connection are
+/// closed (each surviving connection gets its [`Service::on_closed`] call)
+/// and the shard threads are joined.
+pub struct Reactor<S: Service> {
+    shared: Arc<ReactorShared<S>>,
+    local_addr: SocketAddr,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: Service> std::fmt::Debug for Reactor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.shared.mailboxes.len())
+            .field("connections", &self.shared.conn_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<S: Service> Reactor<S> {
+    /// Binds `addr` and starts the shard threads serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and poller creation errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<S>,
+        config: ReactorConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shard_count = config.effective_shards();
+        let mut pollers = Vec::with_capacity(shard_count);
+        let mut mailboxes = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let poller = netpoll::Poller::new()?;
+            let waker = netpoll::Waker::new(&poller, TOKEN_WAKER)?;
+            pollers.push(poller);
+            mailboxes.push(Arc::new(ShardMailbox {
+                waker,
+                notified: AtomicBool::new(false),
+                incoming: Mutex::new(Vec::new()),
+                flush: Mutex::new(Vec::new()),
+                closing: Mutex::new(Vec::new()),
+            }));
+        }
+        pollers[0].register(listener.as_raw_fd(), TOKEN_LISTENER, netpoll::Interest::READ)?;
+
+        let shared = Arc::new(ReactorShared {
+            service,
+            config,
+            mailboxes,
+            next_token: AtomicU64::new(1),
+            next_shard: AtomicUsize::new(0),
+            conn_count: AtomicUsize::new(0),
+            running: AtomicBool::new(true),
+        });
+        let mut threads = Vec::with_capacity(shard_count);
+        let mut listener = Some(listener);
+        for (index, poller) in pollers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let listener = if index == 0 { listener.take() } else { None };
+            threads.push(std::thread::spawn(move || {
+                ShardLoop::new(index, poller, listener, shared).run();
+            }));
+        }
+        Ok(Reactor { shared, local_addr, threads: Mutex::new(threads) })
+    }
+
+    /// The address the reactor is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of event-loop shards (equals transport threads owned here).
+    pub fn shard_count(&self) -> usize {
+        self.shared.mailboxes.len()
+    }
+
+    /// Number of currently multiplexed connections.
+    pub fn connection_count(&self) -> usize {
+        self.shared.conn_count.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, tears down every connection and joins the shard
+    /// threads. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.running.swap(false, Ordering::SeqCst) {
+            for mailbox in &self.shared.mailboxes {
+                mailbox.wake();
+            }
+        }
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: Service> Drop for Reactor<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One shard's event loop: the poller, its connections, and (on shard 0) the
+/// listener.
+struct ShardLoop<S: Service> {
+    index: usize,
+    poller: netpoll::Poller,
+    listener: Option<TcpListener>,
+    shared: Arc<ReactorShared<S>>,
+    conns: HashMap<u64, ShardConn<S::State>>,
+    scratch: Vec<u8>,
+}
+
+impl<S: Service> ShardLoop<S> {
+    fn new(
+        index: usize,
+        poller: netpoll::Poller,
+        listener: Option<TcpListener>,
+        shared: Arc<ReactorShared<S>>,
+    ) -> Self {
+        ShardLoop {
+            index,
+            poller,
+            listener,
+            shared,
+            conns: HashMap::new(),
+            scratch: vec![0; READ_CHUNK],
+        }
+    }
+
+    fn mailbox(&self) -> &Arc<ShardMailbox> {
+        &self.shared.mailboxes[self.index]
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<netpoll::Event> = Vec::new();
+        loop {
+            self.process_mailbox();
+            if !self.shared.running.load(Ordering::SeqCst) {
+                break;
+            }
+            events.clear();
+            if self.poller.wait(&mut events, Some(IDLE_POLL)).is_err() {
+                break;
+            }
+            for event in &events {
+                match event.token {
+                    TOKEN_WAKER => self.mailbox().waker.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_event(token, event.readable, event.writable || event.closed),
+                }
+            }
+        }
+        // Shutdown: every surviving connection gets its close notification.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.teardown(token);
+        }
+    }
+
+    /// Adopts new connections, services flush requests and close requests.
+    fn process_mailbox(&mut self) {
+        let mailbox = Arc::clone(self.mailbox());
+        mailbox.notified.store(false, Ordering::Release);
+        let incoming = std::mem::take(&mut *mailbox.incoming.lock());
+        for stream in incoming {
+            self.adopt(stream);
+        }
+        let flush = std::mem::take(&mut *mailbox.flush.lock());
+        for token in flush {
+            self.flush_and_sync(token);
+        }
+        let closing = std::mem::take(&mut *mailbox.closing.lock());
+        for token in closing {
+            self.teardown(token);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let Ok(peer) = stream.peer_addr() else { return };
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        let fd = stream.as_raw_fd();
+        let state = self.shared.service.make_state(peer);
+        let conn = Arc::new(Conn {
+            stream,
+            token,
+            peer,
+            max_frame_len: self.shared.config.max_frame_len,
+            max_outbound_bytes: self.shared.config.max_outbound_bytes,
+            out: Mutex::new(Outbound::default()),
+            shard: Arc::clone(self.mailbox()),
+            state,
+        });
+        if self.poller.register(fd, token, netpoll::Interest::READ).is_err() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            return;
+        }
+        self.shared.conn_count.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(
+            token,
+            ShardConn {
+                conn,
+                inbuf: Vec::new(),
+                consumed: 0,
+                mode: ReadMode::Undecided,
+                want_write: false,
+            },
+        );
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shard_count = self.shared.mailboxes.len();
+                    let target =
+                        self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % shard_count;
+                    if target == self.index {
+                        self.adopt(stream);
+                    } else {
+                        let mailbox = &self.shared.mailboxes[target];
+                        mailbox.incoming.lock().push(stream);
+                        mailbox.wake();
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept failures (fd exhaustion): back off briefly
+                // so the level-triggered listener does not busy-spin, then
+                // let the next poll retry.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        if readable && !self.read_ready(token) {
+            self.teardown(token);
+            return;
+        }
+        if writable {
+            self.flush_and_sync(token);
+        } else {
+            self.sync_interest(token);
+        }
+    }
+
+    /// Drains the socket and dispatches complete frames. Returns `false`
+    /// when the connection must be torn down.
+    fn read_ready(&mut self, token: u64) -> bool {
+        loop {
+            let Some(sc) = self.conns.get_mut(&token) else { return true };
+            match (&sc.conn.stream).read(&mut self.scratch) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    if sc.mode == ReadMode::Word {
+                        // Post-word bytes are discarded (the reply is on its
+                        // way out and the connection is closing).
+                        continue;
+                    }
+                    sc.inbuf.extend_from_slice(&self.scratch[..n]);
+                    if !self.dispatch_inbuf(token) {
+                        return false;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Consumes as many complete frames from the inbound buffer as possible.
+    fn dispatch_inbuf(&mut self, token: u64) -> bool {
+        loop {
+            let Some(sc) = self.conns.get_mut(&token) else { return true };
+            let buffered = &sc.inbuf[sc.consumed..];
+            if sc.mode == ReadMode::Undecided {
+                match framing::dispatch_prefix(buffered) {
+                    Ok(Dispatch::NeedMore) => break,
+                    Ok(Dispatch::Word(word)) => {
+                        sc.mode = ReadMode::Word;
+                        sc.inbuf.clear();
+                        sc.consumed = 0;
+                        let conn = Arc::clone(&sc.conn);
+                        self.shared.service.on_word(&conn, word);
+                        return true;
+                    }
+                    Ok(Dispatch::Frame(_)) => sc.mode = ReadMode::Framed,
+                    Err(_) => return false,
+                }
+            }
+            let Some(sc) = self.conns.get_mut(&token) else { return true };
+            let buffered = &sc.inbuf[sc.consumed..];
+            if buffered.len() < 4 {
+                break;
+            }
+            let len = i32::from_be_bytes([buffered[0], buffered[1], buffered[2], buffered[3]]);
+            if len < 0 || len as usize > self.shared.config.max_frame_len {
+                return false;
+            }
+            let len = len as usize;
+            if buffered.len() < 4 + len {
+                break;
+            }
+            let frame = buffered[4..4 + len].to_vec();
+            sc.consumed += 4 + len;
+            if sc.consumed == sc.inbuf.len() {
+                sc.inbuf.clear();
+                sc.consumed = 0;
+            } else if sc.consumed > READ_CHUNK {
+                sc.inbuf.drain(..sc.consumed);
+                sc.consumed = 0;
+            }
+            let conn = Arc::clone(&sc.conn);
+            self.shared.service.on_frame(&conn, frame);
+        }
+        true
+    }
+
+    /// Flushes a connection's queue and reconciles its write interest.
+    fn flush_and_sync(&mut self, token: u64) {
+        let Some(sc) = self.conns.get(&token) else { return };
+        let conn = Arc::clone(&sc.conn);
+        let result = {
+            let mut out = conn.out.lock();
+            out.flush_requested = false;
+            if out.closed {
+                drop(out);
+                self.teardown(token);
+                return;
+            }
+            flush_outbound(&conn.stream, &mut out)
+        };
+        if result.is_err() {
+            self.teardown(token);
+            return;
+        }
+        self.sync_interest(token);
+    }
+
+    /// Reconciles poller write interest with the queue state; finishes a
+    /// close-after-flush whose queue has drained.
+    fn sync_interest(&mut self, token: u64) {
+        let Some(sc) = self.conns.get_mut(&token) else { return };
+        let (pending, finished) = {
+            let out = sc.conn.out.lock();
+            (out.pending(), (out.close_after_flush || out.closed) && out.pending() == 0)
+        };
+        if finished {
+            self.teardown(token);
+            return;
+        }
+        let want_write = pending > 0;
+        if want_write != sc.want_write {
+            let interest =
+                if want_write { netpoll::Interest::READ_WRITE } else { netpoll::Interest::READ };
+            if self.poller.reregister(sc.conn.stream.as_raw_fd(), token, interest).is_ok() {
+                sc.want_write = want_write;
+            }
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        let Some(sc) = self.conns.remove(&token) else { return };
+        let _ = self.poller.deregister(sc.conn.stream.as_raw_fd());
+        {
+            let mut out = sc.conn.out.lock();
+            out.closed = true;
+            out.buf.clear();
+            out.pos = 0;
+        }
+        let _ = sc.conn.stream.shutdown(Shutdown::Both);
+        self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+        self.shared.service.on_closed(&sc.conn);
+    }
+}
+
+/// A trivially reusable FIFO of parsed-but-deferred work, used by transports
+/// that must keep per-connection processing serial while a slow operation is
+/// in flight elsewhere.
+#[derive(Debug)]
+pub struct Backlog<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Default for Backlog<T> {
+    fn default() -> Self {
+        Backlog { items: VecDeque::new() }
+    }
+}
+
+impl<T> Backlog<T> {
+    /// Appends deferred work.
+    pub fn push(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// Takes the oldest deferred item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Number of deferred items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there is no deferred work.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}

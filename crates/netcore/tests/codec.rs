@@ -1,0 +1,262 @@
+//! Wire-level robustness tests for the reactor's frame codec: arbitrary
+//! fragmentation of the inbound byte stream, write-interest churn on the
+//! outbound path, oversized-frame rejection, and slow-loris isolation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netcore::{Conn, Reactor, ReactorConfig, Service};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Echoes every frame back unchanged; answers admin words in plain text.
+struct Echo;
+
+impl Service for Echo {
+    type State = ();
+
+    fn make_state(&self, _peer: SocketAddr) -> Self::State {}
+
+    fn on_frame(&self, conn: &Arc<Conn<()>>, frame: Vec<u8>) {
+        let _ = conn.send_framed(|_| Ok(()), frame);
+    }
+
+    fn on_word(&self, conn: &Arc<Conn<()>>, word: [u8; 4]) {
+        let _ = conn.send_raw(&word);
+        conn.close_after_flush();
+    }
+}
+
+/// Replies to every inbound frame with `copies` large patterned frames, to
+/// overrun the socket buffer and force the write-interest flush path.
+struct Amplifier {
+    copies: usize,
+    frame_len: usize,
+}
+
+impl Service for Amplifier {
+    type State = ();
+
+    fn make_state(&self, _peer: SocketAddr) -> Self::State {}
+
+    fn on_frame(&self, conn: &Arc<Conn<()>>, frame: Vec<u8>) {
+        let tag = frame.first().copied().unwrap_or(0);
+        for copy in 0..self.copies {
+            let body = vec![tag.wrapping_add(copy as u8); self.frame_len];
+            let _ = conn.send_framed(|_| Ok(()), body);
+        }
+    }
+}
+
+fn bind(
+    service: impl Service<State = ()>,
+    config: ReactorConfig,
+) -> Reactor<impl Service<State = ()>> {
+    Reactor::bind("127.0.0.1:0", Arc::new(service), config).expect("bind reactor")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) {
+    stream.write_all(&(body.len() as i32).to_be_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = i32::from_be_bytes(prefix);
+    assert!(len >= 0, "negative frame length from server");
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any number of frames, fragmented at arbitrary byte boundaries across
+    /// any number of writes (including splits inside the 4-byte length
+    /// prefix), reassemble into exactly the original frames.
+    #[test]
+    fn echo_survives_arbitrary_fragmentation(
+        frames in vec(vec(any::<u8>(), 0..400), 1..5),
+        cuts in vec(1usize..48, 1..12),
+    ) {
+        let reactor = bind(Echo, ReactorConfig { shards: 1, ..ReactorConfig::default() });
+        let mut stream = connect(reactor.local_addr());
+
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&(frame.len() as i32).to_be_bytes());
+            wire.extend_from_slice(frame);
+        }
+        let mut offset = 0;
+        let mut cut = 0;
+        while offset < wire.len() {
+            let take = cuts[cut % cuts.len()].min(wire.len() - offset);
+            cut += 1;
+            stream.write_all(&wire[offset..offset + take]).unwrap();
+            stream.flush().unwrap();
+            offset += take;
+            // A short pause defeats TCP coalescing often enough that the
+            // server really sees fragmented reads.
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        for expected in &frames {
+            let echoed = read_frame(&mut stream).expect("echoed frame");
+            prop_assert_eq!(&echoed, expected);
+        }
+        drop(stream);
+        reactor.shutdown();
+    }
+}
+
+#[test]
+fn length_prefix_split_byte_by_byte_is_reassembled() {
+    let reactor = bind(Echo, ReactorConfig::default());
+    let mut stream = connect(reactor.local_addr());
+    let body = b"prefix-split".to_vec();
+    let mut wire = (body.len() as i32).to_be_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    for byte in wire {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(read_frame(&mut stream).unwrap(), body);
+    reactor.shutdown();
+}
+
+/// Amplified responses overrun the client's receive window, so the server's
+/// outbound queues cycle through WouldBlock → write-interest → flush; a
+/// slowly draining client must still observe every byte, in order.
+#[test]
+fn write_interest_churn_preserves_content_and_order() {
+    const REQUESTS: usize = 4;
+    const COPIES: usize = 3;
+    const FRAME_LEN: usize = 256 * 1024;
+    let reactor = bind(
+        Amplifier { copies: COPIES, frame_len: FRAME_LEN },
+        ReactorConfig { shards: 1, ..ReactorConfig::default() },
+    );
+    let mut stream = connect(reactor.local_addr());
+    for tag in 0..REQUESTS as u8 {
+        write_frame(&mut stream, &[tag]);
+    }
+    for tag in 0..REQUESTS as u8 {
+        for copy in 0..COPIES as u8 {
+            let frame = read_frame(&mut stream).expect("amplified frame");
+            assert_eq!(frame.len(), FRAME_LEN);
+            assert!(
+                frame.iter().all(|&b| b == tag.wrapping_add(copy)),
+                "frame for request {tag} copy {copy} corrupted"
+            );
+            // Drain deliberately slowly so the server queue stays backed up
+            // and write interest toggles more than once.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    reactor.shutdown();
+}
+
+#[test]
+fn oversized_frames_get_the_connection_dropped() {
+    let reactor =
+        bind(Echo, ReactorConfig { shards: 1, max_frame_len: 1024, ..ReactorConfig::default() });
+    let mut stream = connect(reactor.local_addr());
+    // An in-bounds frame first proves the connection works.
+    write_frame(&mut stream, b"ok");
+    assert_eq!(read_frame(&mut stream).unwrap(), b"ok");
+    // A frame whose advertised length exceeds the cap closes the connection
+    // before any payload is buffered.
+    stream.write_all(&2048i32.to_be_bytes()).unwrap();
+    stream.write_all(&[0u8; 16]).unwrap();
+    let mut rest = Vec::new();
+    let outcome = stream.read_to_end(&mut rest);
+    assert!(
+        matches!(outcome, Ok(0)) || outcome.is_err(),
+        "server kept the connection open after an oversized frame: {outcome:?} {rest:?}"
+    );
+    reactor.shutdown();
+}
+
+#[test]
+fn negative_length_prefix_gets_the_connection_dropped() {
+    let reactor = bind(Echo, ReactorConfig { shards: 1, ..ReactorConfig::default() });
+    let mut stream = connect(reactor.local_addr());
+    stream.write_all(&(-5i32).to_be_bytes()).unwrap();
+    let mut rest = Vec::new();
+    let outcome = stream.read_to_end(&mut rest);
+    assert!(matches!(outcome, Ok(0)) || outcome.is_err());
+    reactor.shutdown();
+}
+
+/// A slow-loris connection trickling one byte at a time must not wedge the
+/// event loop: other sessions on the same shard keep their latency, and the
+/// loris frame still completes once its bytes finally arrive.
+#[test]
+fn slow_loris_does_not_starve_other_sessions() {
+    let reactor = bind(Echo, ReactorConfig { shards: 1, ..ReactorConfig::default() });
+    let addr = reactor.local_addr();
+
+    let loris = std::thread::spawn(move || {
+        let mut stream = connect(addr);
+        let body = b"loris".to_vec();
+        let mut wire = (body.len() as i32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        for byte in wire {
+            stream.write_all(&[byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        read_frame(&mut stream).expect("loris frame eventually echoed")
+    });
+
+    // While the loris trickles, a well-behaved session on the same shard
+    // does 50 round trips; each must stay interactive.
+    let mut stream = connect(addr);
+    let started = Instant::now();
+    for i in 0..50u32 {
+        let body = i.to_be_bytes().to_vec();
+        write_frame(&mut stream, &body);
+        assert_eq!(read_frame(&mut stream).unwrap(), body);
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "loris starved the loop: 50 round trips took {elapsed:?}"
+    );
+    assert_eq!(loris.join().unwrap(), b"loris");
+    reactor.shutdown();
+}
+
+/// Connections spread across shards and the admin-word path coexists with
+/// framed sessions on the same listener.
+#[test]
+fn words_and_frames_share_the_listener() {
+    let reactor = bind(Echo, ReactorConfig { shards: 2, ..ReactorConfig::default() });
+    let addr = reactor.local_addr();
+
+    let mut framed = connect(addr);
+    write_frame(&mut framed, b"data");
+    assert_eq!(read_frame(&mut framed).unwrap(), b"data");
+
+    let mut word = connect(addr);
+    word.write_all(b"ruok").unwrap();
+    let mut reply = Vec::new();
+    word.read_to_end(&mut reply).unwrap();
+    assert_eq!(reply, b"ruok");
+
+    // The framed session is unaffected by the word session's close.
+    write_frame(&mut framed, b"more");
+    assert_eq!(read_frame(&mut framed).unwrap(), b"more");
+    reactor.shutdown();
+}

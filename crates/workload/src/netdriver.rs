@@ -5,7 +5,13 @@
 //! socket to the server and push a 70:30 GET/SET mix through it, so the
 //! client-scaling experiments (Figure 6) exercise real connection
 //! concurrency — socket framing, the per-connection interceptor path, the
-//! reader/writer split inside the replica — instead of a loop.
+//! event-loop transport inside the replica — instead of a loop.
+//!
+//! The measured per-client loops ([`drive_mixed_get_set`],
+//! [`drive_batches`]) are generic over the [`ZooKeeper`] trait, so the same
+//! workload runs against the socket client, the in-process cluster client,
+//! or SecureKeeper's encrypted client; the `run_*` entry points here merely
+//! add the TCP connection setup and thread fan-out around them.
 //!
 //! [`ZkTcpServer`]: zkserver::net::ZkTcpServer
 
@@ -15,9 +21,58 @@ use std::time::Instant;
 
 use jute::records::CreateMode;
 use zkserver::net::SessionCredentials;
-use zkserver::{ZkError, ZkTcpClient};
+use zkserver::{ZkError, ZkTcpClient, ZooKeeper};
 
 use crate::generator::{MultiSpec, RecipeSpec};
+
+/// Drives `ops` operations of the deterministic 70:30 GET/SET mix against
+/// `path` on any [`ZooKeeper`] client — the same measured loop runs over the
+/// socket client, the in-process cluster client, or SecureKeeper's encrypted
+/// client unchanged.
+///
+/// # Errors
+///
+/// Propagates the client's operation failures.
+pub fn drive_mixed_get_set<C: ZooKeeper>(
+    client: &mut C,
+    path: &str,
+    payload: &[u8],
+    ops: usize,
+) -> Result<(), C::Error> {
+    for i in 0..ops {
+        // Deterministic 70:30 mix, interleaved rather than phased.
+        if i % 10 < 7 {
+            let (data, _) = client.get_data(path, false)?;
+            debug_assert_eq!(data.len(), payload.len());
+        } else {
+            client.set_data(path, payload.to_vec(), -1)?;
+        }
+    }
+    Ok(())
+}
+
+/// Commits every generated batch on any [`ZooKeeper`] client, reporting an
+/// aborted batch (which the generated workloads never legitimately produce)
+/// as a marshalling error labelled with `what`.
+///
+/// # Errors
+///
+/// Propagates the client's operation failures and reports aborts.
+pub fn drive_batches<C: ZooKeeper>(
+    client: &mut C,
+    batches: Vec<crate::generator::GeneratedMulti>,
+    what: &str,
+) -> Result<(), C::Error> {
+    for batch in batches {
+        let results = client.multi(batch.ops)?;
+        if let Some((index, code)) = jute::multi::first_error_of(&results) {
+            return Err(C::Error::from(ZkError::Marshalling {
+                reason: format!("{what} aborted at op {index}: {code:?}"),
+            }));
+        }
+    }
+    Ok(())
+}
 
 /// Result of one networked workload run.
 #[derive(Debug, Clone)]
@@ -78,15 +133,7 @@ pub fn run_mixed_get_set(
             start_line.wait();
             let mut client = setup?;
             let started = Instant::now();
-            for i in 0..ops_per_client {
-                // Deterministic 70:30 mix, interleaved rather than phased.
-                if i % 10 < 7 {
-                    let (data, _) = client.get_data(&path, false)?;
-                    debug_assert_eq!(data.len(), payload_bytes);
-                } else {
-                    client.set_data(&path, payload.clone(), -1)?;
-                }
-            }
+            drive_mixed_get_set(&mut client, &path, &payload, ops_per_client)?;
             let elapsed = started.elapsed().as_secs_f64();
             client.close();
             Ok(elapsed)
@@ -157,14 +204,7 @@ pub fn run_multi_batches(
             start_line.wait();
             let mut client = setup?;
             let started = Instant::now();
-            for batch in batches {
-                let results = client.multi(batch.ops)?;
-                if let Some((index, code)) = jute::multi::first_error_of(&results) {
-                    return Err(ZkError::Marshalling {
-                        reason: format!("generated batch aborted at op {index}: {code:?}"),
-                    });
-                }
-            }
+            drive_batches(&mut client, batches, "generated batch")?;
             let elapsed = started.elapsed().as_secs_f64();
             client.close();
             Ok(elapsed)
@@ -235,17 +275,7 @@ pub fn run_recipes(
             start_line.wait();
             let mut client = setup?;
             let started = Instant::now();
-            for batch in batches {
-                let results = client.multi(batch.ops)?;
-                if let Some((index, code)) = jute::multi::first_error_of(&results) {
-                    return Err(ZkError::Marshalling {
-                        reason: format!(
-                            "{} recipe aborted at op {index}: {code:?}",
-                            spec.kind.label()
-                        ),
-                    });
-                }
-            }
+            drive_batches(&mut client, batches, &format!("{} recipe", spec.kind.label()))?;
             let elapsed = started.elapsed().as_secs_f64();
             client.close();
             Ok(elapsed)
@@ -275,6 +305,29 @@ mod tests {
     use zkserver::net::PlainCredentials;
     use zkserver::session::MonotonicClock;
     use zkserver::{ZkReplica, ZkTcpServer};
+
+    #[test]
+    fn generic_loops_run_over_the_in_process_client() {
+        use jute::records::CreateMode;
+        use zkserver::client::{share, ZkClient};
+        use zkserver::ZkCluster;
+
+        let cluster = share(ZkCluster::new(3));
+        let replica = cluster.lock().replica_ids()[0];
+        let mut client = ZkClient::connect(&cluster, replica).unwrap();
+        client.create("/generic", vec![0x5a; 16], CreateMode::Persistent).unwrap();
+        // The same measured loop that drives TCP sockets runs against the
+        // in-process transport — the point of the unified trait.
+        drive_mixed_get_set(&mut client, "/generic", &[0x5a; 16], 20).unwrap();
+        let spec = MultiSpec::batched_writes(4, 32, 1);
+        client
+            .create(crate::generator::WorkloadSpec::root_path(), vec![], CreateMode::Persistent)
+            .unwrap();
+        client
+            .create(&crate::generator::WorkloadSpec::client_path(0), vec![], CreateMode::Persistent)
+            .unwrap();
+        drive_batches(&mut client, spec.generate_for(0, 3), "generic batch").unwrap();
+    }
 
     #[test]
     fn mixed_run_reports_all_operations() {

@@ -1,24 +1,31 @@
 //! Real-socket replica-to-replica transport.
 //!
-//! Each replica process owns one [`TcpNetwork`]: a listener accepting frames
-//! from its peers and a set of lazily established, reconnecting outgoing
-//! links. Envelopes travel as length-prefixed frames ([`jute::framing`])
-//! encoded by [`crate::wire`]. Delivery is best-effort: a send to a peer that
-//! is down (or whose link just broke) is retried once with a fresh connection
-//! and then dropped — exactly the guarantee ZAB needs, since replicas that
-//! miss messages catch up through [`ZabMessage::NewLeaderSync`].
+//! Each replica process owns one [`TcpNetwork`]: an inbound endpoint
+//! accepting frames from its peers and a set of lazily established,
+//! reconnecting outgoing links. Envelopes travel as length-prefixed frames
+//! ([`jute::framing`]) encoded by [`crate::wire`]. Delivery is best-effort:
+//! a send to a peer that is down (or whose link just broke) is retried once
+//! with a fresh connection and then dropped — exactly the guarantee ZAB
+//! needs, since replicas that miss messages catch up through
+//! [`ZabMessage::NewLeaderSync`].
+//!
+//! The inbound side runs on a single-shard [`netcore`] readiness reactor
+//! instead of one reader thread per peer connection, so an ensemble member's
+//! peer mesh costs one event-loop thread regardless of ensemble size. The
+//! outgoing links stay synchronous: senders may hold protocol locks, and the
+//! dial-timeout/backoff budget below is what bounds their worst case.
 //!
 //! [`ZabMessage::NewLeaderSync`]: crate::message::ZabMessage::NewLeaderSync
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use netcore::{Conn, Reactor, ReactorConfig, Service};
 use parking_lot::Mutex;
 
 use crate::message::{NodeId, ZabMessage};
@@ -43,20 +50,39 @@ struct PeerLink {
     next_dial: Option<Instant>,
 }
 
-/// Shared state between the accept loop, reader threads and senders.
+/// State shared between the reactor service and senders.
 struct TcpShared {
     id: NodeId,
     peers: Mutex<HashMap<NodeId, SocketAddr>>,
     /// Established outgoing links, one per peer.
     links: Mutex<HashMap<NodeId, Arc<Mutex<PeerLink>>>>,
-    /// Incoming envelopes, fed by the per-connection reader threads.
-    inbox_tx: Sender<Envelope>,
-    /// Clones of every accepted socket so shutdown can unblock readers.
-    accepted: Mutex<HashMap<u64, TcpStream>>,
-    next_token: AtomicU64,
     running: AtomicBool,
     sent: AtomicU64,
     dropped: AtomicU64,
+}
+
+/// The inbound half: decodes envelopes off reactor-multiplexed peer
+/// connections into the shared inbox. Malformed frames close the connection
+/// (the peer will redial); peers never receive responses on these sockets.
+struct ZabInbound {
+    inbox_tx: Sender<Envelope>,
+}
+
+impl Service for ZabInbound {
+    type State = ();
+
+    fn make_state(&self, _peer: SocketAddr) -> Self::State {}
+
+    fn on_frame(&self, conn: &Arc<Conn<()>>, frame: Vec<u8>) {
+        match wire::decode_envelope(&frame) {
+            Ok(envelope) => {
+                if self.inbox_tx.send(envelope).is_err() {
+                    conn.close();
+                }
+            }
+            Err(_) => conn.close(),
+        }
+    }
 }
 
 /// One replica's endpoint of the ensemble's TCP mesh.
@@ -67,8 +93,7 @@ pub struct TcpNetwork {
     shared: Arc<TcpShared>,
     local_addr: SocketAddr,
     inbox_rx: Mutex<Receiver<Envelope>>,
-    accept_thread: Option<JoinHandle<()>>,
-    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Reactor<ZabInbound>,
 }
 
 impl std::fmt::Debug for TcpNetwork {
@@ -91,33 +116,24 @@ impl TcpNetwork {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn bind(id: NodeId, addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
         let (inbox_tx, inbox_rx) = mpsc::channel();
+        // Peer meshes are small (ensemble size), so one event-loop shard
+        // multiplexes every inbound peer connection.
+        let reactor = Reactor::bind(
+            addr,
+            Arc::new(ZabInbound { inbox_tx }),
+            ReactorConfig { shards: 1, ..ReactorConfig::default() },
+        )?;
+        let local_addr = reactor.local_addr();
         let shared = Arc::new(TcpShared {
             id,
             peers: Mutex::new(HashMap::new()),
             links: Mutex::new(HashMap::new()),
-            inbox_tx,
-            accepted: Mutex::new(HashMap::new()),
-            next_token: AtomicU64::new(0),
             running: AtomicBool::new(true),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         });
-        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            let readers = Arc::clone(&reader_threads);
-            Some(std::thread::spawn(move || accept_loop(&listener, &shared, &readers)))
-        };
-        Ok(TcpNetwork {
-            shared,
-            local_addr,
-            inbox_rx: Mutex::new(inbox_rx),
-            accept_thread,
-            reader_threads,
-        })
+        Ok(TcpNetwork { shared, local_addr, inbox_rx: Mutex::new(inbox_rx), reactor })
     }
 
     /// The address this endpoint listens on.
@@ -165,25 +181,13 @@ impl TcpNetwork {
         if !self.shared.running.swap(false, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        for socket in self.shared.accepted.lock().values() {
-            let _ = socket.shutdown(Shutdown::Both);
-        }
+        // Tears down every accepted peer connection and joins the event
+        // loop; no reader can stay blocked because none ever blocks.
+        self.reactor.shutdown();
         for (_, link) in self.shared.links.lock().drain() {
             if let Some(stream) = link.lock().stream.take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
-        }
-    }
-
-    fn join_threads(&mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let handles = std::mem::take(&mut *self.reader_threads.lock());
-        for handle in handles {
-            let _ = handle.join();
         }
     }
 }
@@ -191,7 +195,6 @@ impl TcpNetwork {
 impl Drop for TcpNetwork {
     fn drop(&mut self) {
         self.shutdown();
-        self.join_threads();
     }
 }
 
@@ -266,48 +269,6 @@ fn send_frame(shared: &TcpShared, to: NodeId, frame: &[u8]) -> bool {
         }
     }
     false
-}
-
-/// Accepts peer connections until shutdown, one reader thread each.
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<TcpShared>,
-    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if !shared.running.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else {
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        let _ = stream.set_nodelay(true);
-        let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.accepted.lock().insert(token, clone);
-        }
-        let shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || {
-            reader_loop(&shared, stream);
-            shared.accepted.lock().remove(&token);
-        });
-        let mut handles = readers.lock();
-        handles.retain(|handle| !handle.is_finished());
-        handles.push(handle);
-    }
-}
-
-/// Reads frames off one accepted connection into the shared inbox. Malformed
-/// frames terminate the connection (the peer will redial).
-fn reader_loop(shared: &TcpShared, mut stream: TcpStream) {
-    while shared.running.load(Ordering::SeqCst) {
-        let Ok(Some(frame)) = jute::framing::read_frame(&mut stream) else { break };
-        let Ok(envelope) = wire::decode_envelope(&frame) else { break };
-        if shared.inbox_tx.send(envelope).is_err() {
-            break;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -409,5 +370,22 @@ mod tests {
         nets[0].send(NodeId(1), NodeId(2), ZabMessage::Heartbeat { epoch: 3 });
         let envelope = nets[1].receive_timeout(Duration::from_secs(5)).expect("healthy");
         assert_eq!(envelope.message, ZabMessage::Heartbeat { epoch: 3 });
+    }
+
+    #[test]
+    fn peer_mesh_inbound_runs_on_one_event_loop() {
+        // The scaling claim for the peer mesh: accepted connections are
+        // multiplexed, so the endpoint's inbound side is one shard no matter
+        // how many peers dial in.
+        let nets = mesh(3);
+        assert_eq!(nets[0].reactor.shard_count(), 1);
+        for net in &nets {
+            net.broadcast(net.id(), &ZabMessage::Heartbeat { epoch: 9 });
+        }
+        for net in &nets {
+            for _ in 0..2 {
+                assert!(net.receive_timeout(Duration::from_secs(5)).is_some());
+            }
+        }
     }
 }

@@ -29,7 +29,7 @@
 //! retry the *connection handshake* (always safe); request retries remain
 //! the caller's decision under the rules above.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -41,8 +41,8 @@ use jute::framing::{self, FrameDecoder};
 use jute::multi::{MultiRequest, Op, OpResult};
 use jute::records::{
     CheckVersionRequest, ConnectRequest, ConnectResponse, CreateMode, CreateRequest, DeleteRequest,
-    ExistsRequest, GetChildrenRequest, GetDataRequest, ReplyHeader, RequestHeader, SetDataRequest,
-    Stat, WatcherEvent, NOTIFICATION_XID,
+    ExistsRequest, GetChildrenRequest, GetDataRequest, OpCode, ReplyHeader, RequestHeader,
+    SetDataRequest, Stat, WatcherEvent, NOTIFICATION_XID,
 };
 use jute::{InputArchive, OutputArchive, Request, Response};
 use zab::NodeId;
@@ -51,7 +51,7 @@ use crate::cluster::ZkCluster;
 use crate::error::ZkError;
 use crate::net::{PlainCredentials, SessionCredentials, WireCipher};
 use crate::server::DEFAULT_SESSION_TIMEOUT_MS;
-use crate::typed::{self, MultiDispatch, Txn};
+use crate::typed::{self, MultiDispatch, Txn, ZooKeeper};
 use crate::watch::{WatchEvent, WatchEventKind};
 
 /// A shared handle to an in-process cluster.
@@ -233,6 +233,40 @@ impl MultiDispatch for ZkClient {
     }
 }
 
+impl ZooKeeper for ZkClient {
+    fn create(&mut self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, ZkError> {
+        ZkClient::create(self, path, data, mode)
+    }
+
+    fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
+        ZkClient::get_data(self, path, watch)
+    }
+
+    fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
+        ZkClient::set_data(self, path, data, version)
+    }
+
+    fn delete(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        ZkClient::delete(self, path, version)
+    }
+
+    fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
+        ZkClient::get_children(self, path, watch)
+    }
+
+    fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        ZkClient::exists(self, path, watch)
+    }
+
+    fn check(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        ZkClient::check(self, path, version)
+    }
+
+    fn ping(&mut self) -> Result<(), ZkError> {
+        ZkClient::ping(self)
+    }
+}
+
 /// Callback invoked for every watch notification the server pushes.
 pub type WatchCallback = Box<dyn FnMut(&WatchEvent) + Send>;
 
@@ -290,6 +324,40 @@ fn jitter(cap: Duration) -> Duration {
     Duration::from_millis(hasher.finish() % cap_ms)
 }
 
+/// A correlation handle for a request submitted with
+/// [`ZkTcpClient::submit`]: redeem it with [`ZkTcpClient::poll`]
+/// (nonblocking) or [`ZkTcpClient::wait`] (blocking). Tickets are `Copy`
+/// and single-use — claiming the response consumes the server-side slot, so
+/// a second redemption of the same ticket reports it as unknown. A
+/// reconnect invalidates all outstanding tickets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    xid: i32,
+    op: OpCode,
+}
+
+impl Ticket {
+    /// The xid the request was assigned on the wire.
+    pub fn xid(&self) -> i32 {
+        self.xid
+    }
+
+    /// The operation the ticket's response will decode as.
+    pub fn op(&self) -> OpCode {
+        self.op
+    }
+}
+
+/// What one bounded read attempt produced.
+enum ReadOutcome {
+    /// Bytes were fed into the frame decoder.
+    Data,
+    /// The timeout elapsed without data.
+    Empty,
+    /// The server closed its end.
+    Eof,
+}
+
 /// A blocking client speaking the length-prefixed wire protocol against a
 /// [`crate::net::ZkTcpServer`].
 ///
@@ -298,6 +366,19 @@ fn jitter(cap: Duration) -> Duration {
 /// are queued (and handed to the [`WatchCallback`], when one is set) instead
 /// of being confused with them. The client also tracks the highest zxid it
 /// has seen, like the real ZooKeeper client library.
+///
+/// # Pipelining
+///
+/// Besides the blocking typed methods, requests can be issued without
+/// waiting: [`ZkTcpClient::submit`] writes the request and returns a
+/// [`Ticket`]; any number of tickets may be in flight at once (the server
+/// answers them in FIFO order per session), and each is redeemed with
+/// [`ZkTcpClient::poll`] or [`ZkTcpClient::wait`]. The blocking methods are
+/// submit-then-wait over the same machinery, so mixing both styles on one
+/// client is safe. All inbound bytes — responses and watch notifications
+/// alike — flow through one persistent frame decoder, so a partial frame
+/// left over from a `poll` is completed by the next read wherever it
+/// happens.
 pub struct ZkTcpClient {
     stream: TcpStream,
     addr: SocketAddr,
@@ -311,6 +392,16 @@ pub struct ZkTcpClient {
     negotiated_timeout_ms: i32,
     next_xid: i32,
     last_zxid: i64,
+    /// Reassembles length-prefixed frames across reads; shared by every
+    /// receive path so partial frames survive between calls.
+    decoder: FrameDecoder,
+    /// Xids of submitted requests whose responses have not arrived, in
+    /// submission order (the server's single-writer answers in this order).
+    inflight: VecDeque<i32>,
+    /// Responses that arrived before their ticket was redeemed, keyed by
+    /// xid; frames are stored cipher-opened (the cipher's frame counters
+    /// must advance in arrival order) but not yet decoded.
+    completed: HashMap<i32, Vec<u8>>,
     pending_events: VecDeque<WatchEvent>,
     watch_callback: Option<WatchCallback>,
 }
@@ -365,6 +456,9 @@ impl ZkTcpClient {
             negotiated_timeout_ms: response.timeout_ms,
             next_xid: 1,
             last_zxid: 0,
+            decoder: FrameDecoder::new(),
+            inflight: VecDeque::new(),
+            completed: HashMap::new(),
             pending_events: VecDeque::new(),
             watch_callback: None,
         })
@@ -490,6 +584,12 @@ impl ZkTcpClient {
         self.session_password = response.password;
         self.negotiated_timeout_ms = response.timeout_ms;
         self.next_xid = 1;
+        // The old connection's stream state dies with it: half-received
+        // frames, unredeemed responses and outstanding tickets are all
+        // meaningless against the new socket.
+        self.decoder = FrameDecoder::new();
+        self.inflight.clear();
+        self.completed.clear();
         self.pending_events.clear();
         Ok(())
     }
@@ -541,33 +641,152 @@ impl ZkTcpClient {
         Err(last_error)
     }
 
-    /// Sends one request and blocks until its response arrives, queueing any
-    /// watch notifications that arrive in between.
-    fn call(&mut self, request: &Request) -> Result<Response, ZkError> {
+    /// Writes one request to the wire without waiting for its response and
+    /// returns the [`Ticket`] to redeem later. Any number of tickets may be
+    /// outstanding; the server answers them in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] on socket failures.
+    pub fn submit(&mut self, request: &Request) -> Result<Ticket, ZkError> {
         let xid = self.next_xid;
         self.next_xid += 1;
         let op = request.op();
         let mut bytes = request.to_bytes(&RequestHeader { xid, op });
         self.cipher.seal(&mut bytes)?;
         framing::write_frame(&mut self.stream, &bytes)?;
-        loop {
-            let mut frame = framing::read_frame(&mut self.stream)?.ok_or_else(|| {
-                ZkError::ConnectionLoss { reason: "server closed the connection".into() }
-            })?;
-            self.cipher.open(&mut frame)?;
-            if peek_xid(&frame)? == NOTIFICATION_XID {
-                self.decode_event(&frame)?;
-                continue;
+        self.inflight.push_back(xid);
+        Ok(Ticket { xid, op })
+    }
+
+    /// Checks whether `ticket`'s response has arrived, reading whatever the
+    /// socket has buffered (bounded by a 1 ms poll) but never blocking for
+    /// the server. Watch notifications decoded along the way are queued as
+    /// usual. Returns `Ok(None)` while the response is still outstanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] on socket failures, and
+    /// [`ZkError::Marshalling`] for an unknown ticket (already claimed, or
+    /// issued before a reconnect) or a FIFO-order violation on the stream.
+    pub fn poll(&mut self, ticket: Ticket) -> Result<Option<Response>, ZkError> {
+        self.drain_decoder()?;
+        if let Some(frame) = self.completed.remove(&ticket.xid) {
+            return self.claim(ticket, &frame).map(Some);
+        }
+        if !self.inflight.contains(&ticket.xid) {
+            return Err(unknown_ticket(ticket));
+        }
+        match self.read_some(Some(Duration::from_millis(1)))? {
+            ReadOutcome::Data => self.drain_decoder()?,
+            ReadOutcome::Empty => {}
+            ReadOutcome::Eof => {
+                return Err(ZkError::ConnectionLoss {
+                    reason: "server closed the connection".into(),
+                })
             }
-            let (header, response) = Response::from_bytes(&frame, op)?;
-            if header.xid != xid {
-                return Err(ZkError::Marshalling {
-                    reason: format!("response xid {} does not match request xid {xid}", header.xid),
+        }
+        match self.completed.remove(&ticket.xid) {
+            Some(frame) => self.claim(ticket, &frame).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until `ticket`'s response arrives, queueing any watch
+    /// notifications and earlier-submitted responses that arrive in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZkError::ConnectionLoss`] on socket failures or a server
+    /// close, and [`ZkError::Marshalling`] for an unknown ticket or a
+    /// FIFO-order violation on the stream.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Response, ZkError> {
+        loop {
+            self.drain_decoder()?;
+            if let Some(frame) = self.completed.remove(&ticket.xid) {
+                return self.claim(ticket, &frame);
+            }
+            if !self.inflight.contains(&ticket.xid) {
+                return Err(unknown_ticket(ticket));
+            }
+            if let ReadOutcome::Eof = self.read_some(None)? {
+                return Err(ZkError::ConnectionLoss {
+                    reason: "server closed the connection".into(),
                 });
             }
-            self.observe_zxid(header.zxid);
-            return Ok(response);
         }
+    }
+
+    /// Sends one request and blocks until its response arrives: submit plus
+    /// wait on the same ticket machinery the nonblocking surface uses.
+    fn call(&mut self, request: &Request) -> Result<Response, ZkError> {
+        let ticket = self.submit(request)?;
+        self.wait(ticket)
+    }
+
+    /// One bounded read into the frame decoder. `None` blocks until data
+    /// arrives (or the peer closes); `Some(timeout)` gives up quietly after
+    /// the timeout.
+    fn read_some(&mut self, timeout: Option<Duration>) -> Result<ReadOutcome, ZkError> {
+        self.stream.set_read_timeout(timeout)?;
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(ReadOutcome::Eof),
+            Ok(n) => {
+                self.decoder.feed(&chunk[..n]);
+                Ok(ReadOutcome::Data)
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(ReadOutcome::Empty)
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Routes every complete frame the decoder holds.
+    fn drain_decoder(&mut self) -> Result<(), ZkError> {
+        for frame in self.decoder.frames()? {
+            self.handle_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Routes one inbound frame: opens the cipher (whose frame counters
+    /// must advance in arrival order), then either queues a watch
+    /// notification or stows a response under its xid. The server is
+    /// single-writer per session, so responses must match the in-flight
+    /// queue head — anything else is a FIFO violation.
+    fn handle_frame(&mut self, mut frame: Vec<u8>) -> Result<(), ZkError> {
+        self.cipher.open(&mut frame)?;
+        let xid = peek_xid(&frame)?;
+        if xid == NOTIFICATION_XID {
+            return self.decode_event(&frame);
+        }
+        match self.inflight.front() {
+            Some(&expected) if expected == xid => {
+                self.inflight.pop_front();
+                self.observe_zxid(peek_zxid(&frame)?);
+                self.completed.insert(xid, frame);
+                Ok(())
+            }
+            Some(&expected) => Err(ZkError::Marshalling {
+                reason: format!("response xid {xid} does not match request xid {expected}"),
+            }),
+            None => {
+                Err(ZkError::Marshalling { reason: "unsolicited non-notification frame".into() })
+            }
+        }
+    }
+
+    /// Decodes a stowed response frame as `ticket`'s operation.
+    fn claim(&mut self, ticket: Ticket, frame: &[u8]) -> Result<Response, ZkError> {
+        let (header, response) = Response::from_bytes(frame, ticket.op)?;
+        debug_assert_eq!(header.xid, ticket.xid);
+        self.observe_zxid(header.zxid);
+        Ok(response)
     }
 
     fn observe_zxid(&mut self, zxid: i64) {
@@ -602,66 +821,45 @@ impl ZkTcpClient {
 
     /// Waits up to `wait` for watch notifications and drains every event
     /// received so far (including previously queued ones). Returns as soon as
-    /// at least one event is available.
+    /// at least one event is available. Responses to in-flight tickets that
+    /// arrive during the wait are stowed for their tickets, not lost; a
+    /// partially received frame stays in the shared decoder for whichever
+    /// call reads next.
     ///
     /// # Errors
     ///
     /// Returns [`ZkError::ConnectionLoss`] on socket failures and
-    /// [`ZkError::Marshalling`] if a non-notification frame arrives (which
-    /// would mean the stream is out of sync — no request is outstanding).
+    /// [`ZkError::Marshalling`] if a response frame arrives while no request
+    /// is outstanding (which would mean the stream is out of sync).
     pub fn poll_events(&mut self, wait: Duration) -> Result<Vec<WatchEvent>, ZkError> {
+        self.drain_decoder()?;
         if !self.pending_events.is_empty() {
             return Ok(self.take_watch_events());
         }
         let deadline = Instant::now() + wait;
         // Once a frame has started arriving we keep reading past the deadline
-        // (bounded by a grace period) so a partially received frame never
-        // desynchronizes the stream.
+        // (bounded by a grace period) so a frame in transit is pulled in
+        // whole instead of straddling calls.
         let grace = deadline + Duration::from_secs(5);
-        let mut decoder = FrameDecoder::new();
-        let mut chunk = [0u8; 4096];
         loop {
             let now = Instant::now();
-            if (decoder.pending_bytes() == 0 && now >= deadline) || now >= grace {
+            if (self.decoder.pending_bytes() == 0 && now >= deadline) || now >= grace {
                 break;
             }
-            let budget = if decoder.pending_bytes() == 0 { deadline } else { grace };
+            let budget = if self.decoder.pending_bytes() == 0 { deadline } else { grace };
             let remaining = budget.saturating_duration_since(now).max(Duration::from_millis(1));
-            self.stream.set_read_timeout(Some(remaining))?;
-            match self.stream.read(&mut chunk) {
-                Ok(0) => break,
-                Ok(n) => {
-                    decoder.feed(&chunk[..n]);
-                    let frames = decoder.frames().map_err(ZkError::from)?;
-                    for mut frame in frames {
-                        self.cipher.open(&mut frame)?;
-                        if peek_xid(&frame)? != NOTIFICATION_XID {
-                            self.stream.set_read_timeout(None)?;
-                            return Err(ZkError::Marshalling {
-                                reason: "unsolicited non-notification frame".into(),
-                            });
-                        }
-                        self.decode_event(&frame)?;
-                    }
-                    if decoder.pending_bytes() == 0 && !self.pending_events.is_empty() {
+            match self.read_some(Some(remaining))? {
+                ReadOutcome::Data => {
+                    self.drain_decoder()?;
+                    if self.decoder.pending_bytes() == 0 && !self.pending_events.is_empty() {
                         break;
                     }
                 }
-                Err(err)
-                    if err.kind() == std::io::ErrorKind::WouldBlock
-                        || err.kind() == std::io::ErrorKind::TimedOut => {}
-                Err(err) => {
-                    let _ = self.stream.set_read_timeout(None);
-                    return Err(err.into());
-                }
+                ReadOutcome::Empty => {}
+                ReadOutcome::Eof => break,
             }
         }
         self.stream.set_read_timeout(None)?;
-        if decoder.pending_bytes() > 0 {
-            return Err(ZkError::ConnectionLoss {
-                reason: "stream ended inside a notification frame".into(),
-            });
-        }
         Ok(self.take_watch_events())
     }
 
@@ -792,6 +990,40 @@ impl MultiDispatch for ZkTcpClient {
     }
 }
 
+impl ZooKeeper for ZkTcpClient {
+    fn create(&mut self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<String, ZkError> {
+        ZkTcpClient::create(self, path, data, mode)
+    }
+
+    fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
+        ZkTcpClient::get_data(self, path, watch)
+    }
+
+    fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
+        ZkTcpClient::set_data(self, path, data, version)
+    }
+
+    fn delete(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        ZkTcpClient::delete(self, path, version)
+    }
+
+    fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
+        ZkTcpClient::get_children(self, path, watch)
+    }
+
+    fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        ZkTcpClient::exists(self, path, watch)
+    }
+
+    fn check(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        ZkTcpClient::check(self, path, version)
+    }
+
+    fn ping(&mut self) -> Result<(), ZkError> {
+        ZkTcpClient::ping(self)
+    }
+}
+
 /// Reads the xid out of a reply header without consuming the frame.
 fn peek_xid(frame: &[u8]) -> Result<i32, ZkError> {
     let prefix: [u8; 4] = frame
@@ -799,6 +1031,28 @@ fn peek_xid(frame: &[u8]) -> Result<i32, ZkError> {
         .and_then(|slice| slice.try_into().ok())
         .ok_or_else(|| ZkError::Marshalling { reason: "reply frame shorter than an xid".into() })?;
     Ok(i32::from_be_bytes(prefix))
+}
+
+/// Reads the zxid out of a reply header without consuming the frame, so the
+/// observation floor advances when the response arrives rather than when its
+/// ticket is eventually redeemed.
+fn peek_zxid(frame: &[u8]) -> Result<i64, ZkError> {
+    let bytes: [u8; 8] =
+        frame.get(4..12).and_then(|slice| slice.try_into().ok()).ok_or_else(|| {
+            ZkError::Marshalling { reason: "reply frame shorter than its header".into() }
+        })?;
+    Ok(i64::from_be_bytes(bytes))
+}
+
+/// The error for redeeming a ticket the client no longer tracks.
+fn unknown_ticket(ticket: Ticket) -> ZkError {
+    ZkError::Marshalling {
+        reason: format!(
+            "ticket xid {} is neither in flight nor completed (already claimed, or issued \
+             before a reconnect)",
+            ticket.xid
+        ),
+    }
 }
 
 #[cfg(test)]

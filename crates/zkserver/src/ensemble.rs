@@ -67,6 +67,11 @@ use crate::server::ZkReplica;
 /// below the transport's 16 MiB frame cap even with framing overhead.
 const SNAPSHOT_CHUNK_BYTES: usize = 512 * 1024;
 
+/// How often a draining leader re-sends [`ZabMessage::TransferLeadership`]
+/// while it still leads: long enough for the successor's previous candidacy
+/// round to conclude, short enough to retry many times within a drain budget.
+const DRAIN_NUDGE_INTERVAL: Duration = Duration::from_millis(250);
+
 /// The replica-to-replica transport seam of an ensemble member.
 ///
 /// [`TcpNetwork`] is the production implementation; the chaos harness wraps
@@ -330,9 +335,14 @@ impl EnsembleCore {
             ZabMessage::TransferLeadership { epoch } => {
                 // A draining leader shipped this member its committed suffix
                 // and asks it to take over without waiting out the failure
-                // detector. Losing this frame is harmless: the ordinary
-                // election timeout elects a successor anyway, just slower.
-                if state.node.role() != Role::Leader && !self.draining.load(Ordering::SeqCst) {
+                // detector. The drain loop re-sends this until leadership
+                // moves, so a lost frame only delays the handoff; a re-send
+                // that lands mid-candidacy is ignored rather than allowed to
+                // restart the round and void the votes already collected.
+                if state.node.role() != Role::Leader
+                    && !self.draining.load(Ordering::SeqCst)
+                    && state.election.is_none()
+                {
                     let next = state.last_vote_epoch.max(state.node.epoch()).max(epoch) + 1;
                     self.start_candidacy(&mut state, next);
                 }
@@ -512,9 +522,15 @@ impl EnsembleCore {
             // favour of the higher id.
             Role::Leader => epoch > node_epoch || (epoch == node_epoch && from > self.id),
             // A follower adopts a newer epoch or a changed leader; an
-            // electing node rejoins a leader that proves alive.
+            // electing node rejoins a leader that proves alive — unless its
+            // own candidacy targets a higher epoch than the heartbeat
+            // carries. A candidate that adopted here would let the outgoing
+            // leader's routine heartbeats kill the very candidacy it asked
+            // for (the leadership-transfer race); if the candidacy fails its
+            // vote window instead, the next heartbeat rejoins as before.
             Role::Follower | Role::Electing => {
-                epoch > node_epoch || state.node.leader() != Some(from)
+                (epoch > node_epoch || state.node.leader() != Some(from))
+                    && state.election.as_ref().is_none_or(|election| election.epoch <= epoch)
             }
         };
         if adopt {
@@ -924,17 +940,25 @@ impl EnsembleCore {
         if let Some(peer) = successor {
             {
                 let state = self.state.lock();
-                let epoch = state.node.epoch();
                 // Ship everything past the truncation horizon: idempotent on
                 // the receiver, and guarantees its log credential reaches
                 // this (now frozen) tip so its candidacy wins on both counts.
                 self.ship_state(&state, peer, state.node.log().horizon(), self.transport.as_ref());
-                self.transport.send(self.id, peer, ZabMessage::TransferLeadership { epoch });
             }
+            // Nudge the successor until leadership actually moves: the first
+            // transfer frame can be lost, or its candidacy can lose a race
+            // and dissolve — the successor ignores re-sends while a round is
+            // still in flight, so nudging is cheap and cannot void votes.
+            let mut last_nudge: Option<Instant> = None;
             while self.state.lock().node.role() == Role::Leader
                 && started.elapsed() < timeout
                 && self.running.load(Ordering::SeqCst)
             {
+                if last_nudge.is_none_or(|at| at.elapsed() >= DRAIN_NUDGE_INTERVAL) {
+                    last_nudge = Some(Instant::now());
+                    let epoch = self.state.lock().node.epoch();
+                    self.transport.send(self.id, peer, ZabMessage::TransferLeadership { epoch });
+                }
                 std::thread::sleep(self.config.poll_interval);
             }
         }

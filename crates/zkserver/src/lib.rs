@@ -29,9 +29,9 @@
 //!   the benchmark harness;
 //! * [`client::ZkTcpClient`] — the blocking socket client matching
 //!   [`net::ZkTcpServer`];
-//! * [`typed`] — the shared typed-operation layer: response decoders used by
-//!   every client flavour and the [`typed::Txn`] builder for atomic `multi`
-//!   transactions.
+//! * [`typed`] — the shared typed-operation layer: the [`typed::ZooKeeper`]
+//!   trait every client flavour implements, the response decoders they all
+//!   share, and the [`typed::Txn`] builder for atomic `multi` transactions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,4 +61,4 @@ pub use net::ZkTcpServer;
 pub use persist::{PersistConfig, ReplicaPersistence};
 pub use server::ZkReplica;
 pub use tree::{DataTree, Znode};
-pub use typed::{MultiDispatch, Txn};
+pub use typed::{MultiDispatch, Txn, ZooKeeper};

@@ -3,29 +3,39 @@
 //! SecureKeeper's deployment is a *networked* service: clients speak the
 //! length-prefixed ZooKeeper wire protocol over TCP, and the entry enclave
 //! intercepts serialized buffers on the connection path (paper §5.1). This
-//! module provides that transport on `std::net` and OS threads:
+//! module provides that transport on a sharded readiness reactor
+//! ([`netcore`]) instead of one OS thread per connection, so a single server
+//! process sustains thousands of live sessions with O(cores) threads:
 //!
-//! * each accepted connection performs the `ConnectRequest` handshake and
-//!   then runs a per-connection thread; the handshake blob (the request's
-//!   `password` field) is handed to the replica's interceptor via
+//! * accepted connections are multiplexed onto the reactor's event-loop
+//!   shards; the `ConnectRequest` handshake arrives as the first frame, and
+//!   its blob (the request's `password` field) is handed to the replica's
+//!   interceptor via
 //!   [`RequestInterceptor::on_session_established`](crate::pipeline::RequestInterceptor::on_session_established),
-//!   which is where
-//!   SecureKeeper installs the per-session transport key in an entry enclave;
-//! * reads execute concurrently on the connection threads against the
-//!   replica's reader-writer-locked tree;
+//!   which is where SecureKeeper installs the per-session transport key in an
+//!   entry enclave;
+//! * reads execute on the shard threads against the replica's
+//!   reader-writer-locked tree;
 //! * writes funnel through a single-writer ordered queue (an [`mpsc`]
 //!   channel drained by one thread), so zxid order on the wire always matches
-//!   apply order;
+//!   apply order. While a session's write is in flight its later requests
+//!   wait in a per-connection backlog, preserving the strict per-session
+//!   FIFO the protocol requires;
 //! * a background ticker drives session expiry from the replica's clock and
 //!   fans fired watch notifications back out over the live connections as
 //!   [`WatcherEvent`] frames (reply header xid [`NOTIFICATION_XID`]).
+//!
+//! Frame sealing happens inside each connection's outbound-queue lock
+//! ([`netcore::Conn::send_framed`]), so the interceptor's per-session frame
+//! counters always match the byte order on the socket no matter which thread
+//! produced the frame.
 //!
 //! [`RequestInterceptor`]: crate::pipeline::RequestInterceptor
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,9 +43,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use jute::framing;
-use jute::records::{ConnectRequest, ErrorCode, ReplyHeader, WatcherEvent, NOTIFICATION_XID};
+use jute::records::{
+    ConnectRequest, ErrorCode, ReplyHeader, RequestHeader, WatcherEvent, NOTIFICATION_XID,
+};
 use jute::{InputArchive, OutputArchive, Request};
+use netcore::{Backlog, Conn, Reactor, ReactorConfig, Service};
 use opsplane::ratelimit::{RateLimitConfig, SessionRateLimiter};
 use opsplane::words::{self, ClientInfo, ServerInfo};
 
@@ -187,6 +199,8 @@ pub struct NetConfig {
     pub tick_interval: Duration,
     /// Per-session request-rate limit; `None` disables throttling.
     pub rate_limit: Option<RateLimitConfig>,
+    /// Number of reactor event-loop shards; `0` picks `min(cores, 4)`.
+    pub event_loops: usize,
 }
 
 impl Default for NetConfig {
@@ -195,57 +209,56 @@ impl Default for NetConfig {
             max_session_timeout_ms: DEFAULT_SESSION_TIMEOUT_MS,
             tick_interval: Duration::from_millis(20),
             rate_limit: None,
+            event_loops: 0,
         }
     }
 }
 
-/// A write queued for the single-writer thread, with the channel its
-/// response travels back on.
+/// Where a connection is in its lifecycle.
+enum Phase {
+    /// Waiting for the `ConnectRequest` frame.
+    Handshake,
+    /// Session established; requests flow.
+    Active { session_id: i64 },
+    /// `CloseSession` accepted (or the handshake failed); remaining inbound
+    /// frames are discarded.
+    Closing,
+}
+
+/// Per-connection protocol state. `busy` is true while a write belonging to
+/// this session sits in the single-writer queue; requests arriving meanwhile
+/// wait in `backlog` so responses keep the per-session FIFO order.
+struct ConnState {
+    phase: Phase,
+    busy: bool,
+    backlog: Backlog<(RequestHeader, Request)>,
+}
+
+/// The transport's per-connection attachment (see [`netcore::Service`]).
+pub struct SessionSlot {
+    state: Mutex<ConnState>,
+}
+
+type ZkConn = Conn<SessionSlot>;
+
+/// A write queued for the single-writer thread, carrying the connection its
+/// response goes out on.
 struct WriteJob {
+    conn: Arc<ZkConn>,
     session_id: i64,
+    header: RequestHeader,
     request: Request,
-    reply: Sender<(jute::Response, i64)>,
+    started: Instant,
 }
 
-/// Per-connection server state shared between the connection's own thread
-/// and the threads that push watch notifications to it.
-struct Connection {
-    session_id: i64,
-    stream: TcpStream,
-    /// Serializes seal-and-write pairs so the interceptor's per-session
-    /// frame counters always match the byte order on the socket.
-    write_lock: Mutex<()>,
-}
-
-impl Connection {
-    /// Seals `frame` through `seal` and writes it, atomically with respect to
-    /// other frames sent to this connection.
-    fn send(
-        &self,
-        seal: impl FnOnce(&mut Vec<u8>) -> Result<(), ZkError>,
-        mut frame: Vec<u8>,
-    ) -> Result<(), ZkError> {
-        let _guard = self.write_lock.lock();
-        seal(&mut frame)?;
-        framing::write_frame(&mut &self.stream, &frame)?;
-        Ok(())
-    }
-}
-
-/// State shared by the accept loop, connection threads, writer and ticker.
+/// State shared by the reactor callbacks, the writer and the ticker.
 struct Shared {
     replica: Arc<ZkReplica>,
     handler: Arc<dyn WriteHandler>,
     config: NetConfig,
     metrics: Arc<ServerMetrics>,
     limiter: Option<SessionRateLimiter>,
-    connections: Mutex<HashMap<i64, Arc<Connection>>>,
-    /// Every accepted socket, registered *before* the handshake and removed
-    /// when its connection thread exits. Shutdown closes these, so a client
-    /// that stalls mid-handshake (never in `connections`) cannot wedge
-    /// [`ZkTcpServer::shutdown`] on a blocking read.
-    sockets: Mutex<HashMap<u64, TcpStream>>,
-    next_socket_token: AtomicU64,
+    connections: Mutex<HashMap<i64, Arc<ZkConn>>>,
     running: AtomicBool,
 }
 
@@ -266,30 +279,32 @@ impl Shared {
             // fired the watch, so the events of one multi share one zxid.
             let frame = encode_watch_event(&event, event.zxid);
             let session_id = event.session_id;
-            if conn.send(|buffer| interceptor.on_event(session_id, buffer), frame).is_ok() {
+            let sent = conn.send_framed(
+                |buffer| interceptor.on_event(session_id, buffer).map_err(|_| ()),
+                frame,
+            );
+            if sent.is_ok() {
                 self.metrics.watch_events.inc();
             }
         }
     }
 
+    /// Closes the registered connection of `session_id`, if any.
     fn drop_connection(&self, session_id: i64) {
         if let Some(conn) = self.connections.lock().remove(&session_id) {
-            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.close();
         }
     }
 
-    /// Closes `conn` and removes it from the registry *only if it is still
-    /// the registered connection* for its session — when a client
-    /// re-attaches from a new socket, the predecessor's exiting reader
-    /// thread must not tear the fresh connection down with it.
-    fn drop_connection_exact(&self, conn: &Arc<Connection>) {
-        {
-            let mut connections = self.connections.lock();
-            if connections.get(&conn.session_id).is_some_and(|current| Arc::ptr_eq(current, conn)) {
-                connections.remove(&conn.session_id);
-            }
+    /// Removes `conn` from the registry *only if it is still the registered
+    /// connection* for its session — when a client re-attaches from a new
+    /// socket, the predecessor's teardown must not tear the fresh connection
+    /// down with it.
+    fn unregister_exact(&self, session_id: i64, conn: &Arc<ZkConn>) {
+        let mut connections = self.connections.lock();
+        if connections.get(&session_id).is_some_and(|current| Arc::ptr_eq(current, conn)) {
+            connections.remove(&session_id);
         }
-        let _ = conn.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -307,15 +322,331 @@ fn encode_watch_event(event: &WatchEvent, zxid: i64) -> Vec<u8> {
     out.into_bytes()
 }
 
+/// What to do with one parsed request, decided under the connection's state
+/// lock and executed by whichever thread holds the request.
+enum RequestRoute {
+    /// Handled completely (read, ping, throttle answer, protocol error).
+    Done,
+    /// A write: the caller owns forwarding `WriteJob` to the ordered queue.
+    Write(WriteJob),
+    /// `CloseSession`: ack sent, close job queued, connection closing.
+    Close(WriteJob),
+}
+
+/// The [`netcore::Service`] implementation: protocol dispatch for one client
+/// connection, shared across all reactor shards.
+struct ZkService {
+    shared: Arc<Shared>,
+    write_tx: Sender<WriteJob>,
+}
+
+impl ZkService {
+    /// Sends `response` for `header` back on `conn`, sealed through the
+    /// interceptor. Failures schedule the connection for teardown.
+    fn respond(
+        &self,
+        conn: &Arc<ZkConn>,
+        session_id: i64,
+        header: &RequestHeader,
+        response: &jute::Response,
+        zxid: i64,
+    ) {
+        let interceptor = self.shared.replica.interceptor();
+        let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
+        let bytes = response.to_bytes(&reply);
+        let sent = conn.send_framed(
+            |buffer| interceptor.on_response(session_id, header.op, buffer).map_err(|_| ()),
+            bytes,
+        );
+        if sent.is_err() {
+            conn.close();
+        }
+    }
+
+    /// Routes one parsed request. Runs with the connection's state lock held
+    /// by the caller (`state`), so per-session processing stays serial.
+    fn route_request(
+        &self,
+        conn: &Arc<ZkConn>,
+        state: &mut ConnState,
+        session_id: i64,
+        header: RequestHeader,
+        request: Request,
+    ) -> RequestRoute {
+        let shared = &self.shared;
+        if request == Request::CloseSession {
+            // Seal and send the acknowledgement while the session's enclave
+            // is still alive (closing the session tears it down), then run
+            // the close — ephemeral cleanup is a write — through the ordered
+            // queue before ending the connection.
+            let reply = ReplyHeader {
+                xid: header.xid,
+                zxid: shared.replica.last_zxid(),
+                err: ErrorCode::Ok,
+            };
+            let interceptor = shared.replica.interceptor();
+            let bytes = jute::Response::CloseSession.to_bytes(&reply);
+            let _ = conn.send_framed(
+                |buffer| interceptor.on_response(session_id, header.op, buffer).map_err(|_| ()),
+                bytes,
+            );
+            shared.metrics.requests_write.inc();
+            if let Some(limiter) = &shared.limiter {
+                limiter.forget(session_id);
+            }
+            state.phase = Phase::Closing;
+            state.busy = true;
+            return RequestRoute::Close(WriteJob {
+                conn: Arc::clone(conn),
+                session_id,
+                header,
+                request,
+                started: Instant::now(),
+            });
+        }
+
+        // Rate limiting happens after the exempt requests (pings keep the
+        // session alive, CloseSession above frees resources) and before any
+        // tree work. A throttled request is answered in-band with the typed
+        // error and the connection stays open — the client backs off.
+        if request != Request::Ping {
+            if let Some(limiter) = &shared.limiter {
+                if !limiter.try_acquire(session_id) {
+                    shared.metrics.throttled.inc();
+                    shared.metrics.request_errors.inc();
+                    let response = jute::Response::Error(ErrorCode::Throttled);
+                    self.respond(conn, session_id, &header, &response, shared.replica.last_zxid());
+                    return RequestRoute::Done;
+                }
+            }
+        }
+
+        if request.op().is_write() {
+            state.busy = true;
+            return RequestRoute::Write(WriteJob {
+                conn: Arc::clone(conn),
+                session_id,
+                header,
+                request,
+                started: Instant::now(),
+            });
+        }
+
+        let started = Instant::now();
+        let response = shared.replica.handle_request(session_id, &request);
+        let zxid = shared.replica.last_zxid();
+        shared.metrics.requests_read.inc();
+        shared.metrics.latency_read.observe_duration(started.elapsed());
+        if response.error_code() != ErrorCode::Ok {
+            shared.metrics.request_errors.inc();
+        }
+        self.respond(conn, session_id, &header, &response, zxid);
+        RequestRoute::Done
+    }
+
+    /// Forwards a routed write to the single-writer queue.
+    fn forward(&self, route: RequestRoute) {
+        match route {
+            RequestRoute::Done => {}
+            RequestRoute::Write(job) | RequestRoute::Close(job) => {
+                if self.write_tx.send(job).is_err() {
+                    // Shutdown raced us; the reactor is being torn down.
+                }
+            }
+        }
+    }
+
+    /// Performs the `ConnectRequest`/`ConnectResponse` exchange. The
+    /// handshake travels unencrypted (it carries the key-exchange blob, not
+    /// application data), exactly like the attested key exchange that
+    /// precedes the secure channel in the paper.
+    fn handshake(&self, conn: &Arc<ZkConn>, state: &mut ConnState, frame: &[u8]) {
+        let shared = &self.shared;
+        let fail = |state: &mut ConnState| {
+            state.phase = Phase::Closing;
+            conn.close();
+        };
+        let mut input = InputArchive::new(frame);
+        let Ok(connect) = ConnectRequest::deserialize(&mut input) else { return fail(state) };
+        if input.expect_exhausted().is_err() {
+            return fail(state);
+        }
+
+        // A client announcing a `last_zxid_seen` beyond this replica's
+        // applied log has observed state we cannot serve yet; attaching it
+        // here would let its session read backwards in time. Refuse (drop
+        // the connection) and let the client fail over to a member that has
+        // caught up.
+        if connect.last_zxid_seen > shared.replica.last_zxid() {
+            return fail(state);
+        }
+
+        let requested = i64::from(connect.timeout_ms);
+        let timeout_ms = if requested <= 0 {
+            DEFAULT_SESSION_TIMEOUT_MS.min(shared.config.max_session_timeout_ms)
+        } else {
+            requested.min(shared.config.max_session_timeout_ms)
+        };
+        // A non-zero session id is a re-attach attempt: the first 16 bytes
+        // of the password field are the session password, the rest is the
+        // interceptor's key-exchange blob (which a fresh connect carries
+        // alone). A failed re-attach (expired session, wrong password) falls
+        // back to a fresh session — the client sees the new id and knows its
+        // ephemerals and watches are gone, ZooKeeper's session-expired
+        // contract.
+        let (response, interceptor_blob) =
+            if connect.session_id != 0 && connect.password.len() >= SESSION_PASSWORD_LEN {
+                let (session_password, blob) = connect.password.split_at(SESSION_PASSWORD_LEN);
+                match shared.replica.reattach_session(connect.session_id, session_password) {
+                    Some(response) => (response, blob),
+                    None => (shared.replica.connect(timeout_ms), blob),
+                }
+            } else {
+                (shared.replica.connect(timeout_ms), connect.password.as_slice())
+            };
+        let session_id = response.session_id;
+
+        let interceptor = shared.replica.interceptor();
+        if interceptor.on_session_established(session_id, interceptor_blob).is_err() {
+            shared.replica.close_session(session_id);
+            return fail(state);
+        }
+
+        state.phase = Phase::Active { session_id };
+        shared.connections.lock().insert(session_id, Arc::clone(conn));
+
+        let mut out = OutputArchive::with_capacity(64);
+        response.serialize(&mut out);
+        if conn.send_framed(|_| Ok(()), out.into_bytes()).is_err() {
+            shared.unregister_exact(session_id, conn);
+            fail(state);
+        }
+    }
+}
+
+impl Service for ZkService {
+    type State = SessionSlot;
+
+    fn make_state(&self, _peer: SocketAddr) -> SessionSlot {
+        SessionSlot {
+            state: Mutex::new(ConnState {
+                phase: Phase::Handshake,
+                busy: false,
+                backlog: Backlog::default(),
+            }),
+        }
+    }
+
+    fn on_frame(&self, conn: &Arc<ZkConn>, mut frame: Vec<u8>) {
+        let mut state = conn.state.state.lock();
+        match state.phase {
+            Phase::Handshake => self.handshake(conn, &mut state, &frame),
+            Phase::Closing => {}
+            Phase::Active { session_id } => {
+                // The interceptor sees the raw bytes first — in arrival
+                // order, even while the session is busy, because its
+                // per-session counters track the inbound byte stream. This
+                // is where the entry enclave terminates the transport
+                // encryption and encrypts the sensitive fields before the
+                // untrusted server parses the request.
+                let interceptor = self.shared.replica.interceptor();
+                if interceptor.on_request(session_id, &mut frame).is_err() {
+                    state.phase = Phase::Closing;
+                    drop(state);
+                    conn.close();
+                    return;
+                }
+                let Ok((header, request)) = Request::from_bytes(&frame) else {
+                    state.phase = Phase::Closing;
+                    drop(state);
+                    conn.close();
+                    return;
+                };
+                if state.busy {
+                    // A write of this session is in flight; queue behind it
+                    // so the response order matches the request order.
+                    state.backlog.push((header, request));
+                    return;
+                }
+                let route = self.route_request(conn, &mut state, session_id, header, request);
+                drop(state);
+                self.forward(route);
+            }
+        }
+    }
+
+    fn on_word(&self, conn: &Arc<ZkConn>, word: [u8; 4]) {
+        let Some(word) = words::parse_word(&word) else {
+            conn.close();
+            return;
+        };
+        serve_admin_word(&self.shared, word, conn);
+    }
+
+    fn on_closed(&self, conn: &Arc<ZkConn>) {
+        let state = conn.state.state.lock();
+        if let Phase::Active { session_id } = state.phase {
+            drop(state);
+            self.shared.unregister_exact(session_id, conn);
+            // A connection that ends without CloseSession leaves its session
+            // behind to expire via the ticker — ZooKeeper's disconnection
+            // semantics, which is what keeps ephemeral znodes alive across a
+            // client reconnect window.
+        }
+    }
+}
+
+/// Answers one four-letter admin word with plain text and closes the
+/// connection once the reply has flushed. The reply is never framed or
+/// encrypted — admin words predate sessions, carry no client data, and must
+/// work from `nc`.
+fn serve_admin_word(shared: &Arc<Shared>, word: &str, conn: &Arc<ZkConn>) {
+    let admin = shared.handler.admin_info();
+    let clients: Vec<ClientInfo> = shared
+        .connections
+        .lock()
+        .iter()
+        .map(|(session_id, conn)| ClientInfo {
+            addr: conn.peer_addr().to_string(),
+            session_id: Some(*session_id),
+        })
+        .collect();
+    let replica = &shared.replica;
+    let info = ServerInfo {
+        version: format!("securekeeper-repro {}", env!("CARGO_PKG_VERSION")),
+        member_id: replica.id(),
+        role: admin.role,
+        epoch: admin.epoch,
+        leader: admin.leader,
+        last_zxid: replica.last_zxid(),
+        znode_count: replica.tree().node_count() as u64,
+        approx_memory_bytes: replica.memory_bytes() as u64,
+        session_count: replica.session_count() as u64,
+        connection_count: clients.len() as u64,
+        watch_count: replica.watch_count() as u64,
+        ready: admin.ready,
+        draining: admin.draining,
+        secure: replica.interceptor().name() != "passthrough",
+        clients,
+    };
+    if let Some(reply) = words::respond(word, &info, &shared.metrics.registry()) {
+        shared.metrics.admin_commands.inc();
+        let _ = conn.send_raw(reply.as_bytes());
+        conn.close_after_flush();
+    } else {
+        conn.close();
+    }
+}
+
 /// A ZooKeeper replica listening on a real TCP socket.
 ///
 /// Dropping the server shuts it down: the listener and every connection are
 /// closed and all threads are joined.
 pub struct ZkTcpServer {
     shared: Arc<Shared>,
+    reactor: Option<Reactor<ZkService>>,
     local_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for ZkTcpServer {
@@ -381,8 +712,6 @@ impl ZkTcpServer {
         handler: Arc<dyn WriteHandler>,
         metrics: Arc<ServerMetrics>,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
         metrics.attach_replica(&replica);
         let limiter = config.rate_limit.map(SessionRateLimiter::new);
         let shared = Arc::new(Shared {
@@ -392,8 +721,6 @@ impl ZkTcpServer {
             metrics,
             limiter,
             connections: Mutex::new(HashMap::new()),
-            sockets: Mutex::new(HashMap::new()),
-            next_socket_token: AtomicU64::new(0),
             running: AtomicBool::new(true),
         });
         {
@@ -406,24 +733,23 @@ impl ZkTcpServer {
             });
         }
         let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let service = Arc::new(ZkService { shared: Arc::clone(&shared), write_tx });
+        let reactor_config =
+            ReactorConfig { shards: shared.config.event_loops, ..ReactorConfig::default() };
+        let reactor = Reactor::bind(addr, Arc::clone(&service), reactor_config)?;
+        let local_addr = reactor.local_addr();
 
         let mut threads = Vec::new();
         threads.push({
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || writer_loop(&shared, &write_rx))
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || writer_loop(&service, &write_rx))
         });
         threads.push({
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || ticker_loop(&shared))
         });
-        threads.push({
-            let shared = Arc::clone(&shared);
-            let conn_threads = Arc::clone(&conn_threads);
-            std::thread::spawn(move || accept_loop(&listener, &shared, &write_tx, &conn_threads))
-        });
 
-        Ok(ZkTcpServer { shared, local_addr, threads, conn_threads })
+        Ok(ZkTcpServer { shared, reactor: Some(reactor), local_addr, threads })
     }
 
     /// The address the server is listening on.
@@ -436,9 +762,15 @@ impl ZkTcpServer {
         Arc::clone(&self.shared.replica)
     }
 
-    /// Number of live client connections.
+    /// Number of live client connections (established sessions).
     pub fn connection_count(&self) -> usize {
         self.shared.connections.lock().len()
+    }
+
+    /// Total transport threads: reactor shards plus the writer and ticker.
+    /// O(cores) by construction — independent of the connection count.
+    pub fn transport_thread_count(&self) -> usize {
+        self.reactor.as_ref().map_or(0, Reactor::shard_count) + self.threads.len()
     }
 
     /// The metric surface this transport updates.
@@ -455,18 +787,14 @@ impl ZkTcpServer {
         if !self.shared.running.swap(false, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        // Close every accepted socket, including ones still mid-handshake,
-        // so no connection thread stays blocked in a read.
-        for socket in self.shared.sockets.lock().values() {
-            let _ = socket.shutdown(Shutdown::Both);
+        // Tearing the reactor down closes every connection — including ones
+        // still mid-handshake — and joins the shard threads. Dropping it
+        // afterwards drops the service's writer-queue sender, which lets the
+        // writer thread's `recv` disconnect.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         for handle in self.threads.drain(..) {
-            let _ = handle.join();
-        }
-        let handles = std::mem::take(&mut *self.conn_threads.lock());
-        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -478,54 +806,82 @@ impl Drop for ZkTcpServer {
     }
 }
 
-/// Accepts connections until the server shuts down, spawning one thread per
-/// connection. The writer-queue sender is cloned into each thread; the writer
-/// exits once the last sender (this loop's clone) is gone.
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    write_tx: &Sender<WriteJob>,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if !shared.running.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => {
-                // Persistent accept errors (e.g. fd exhaustion) must not
-                // busy-spin; back off briefly and re-check `running`.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        let token = shared.next_socket_token.fetch_add(1, Ordering::Relaxed);
-        if let Ok(socket) = stream.try_clone() {
-            shared.sockets.lock().insert(token, socket);
-        }
-        let shared = Arc::clone(shared);
-        let write_tx = write_tx.clone();
-        let handle = std::thread::spawn(move || {
-            connection_loop(&shared, &write_tx, stream);
-            shared.sockets.lock().remove(&token);
-        });
-        // Reap finished connection threads so the handle list tracks live
-        // connections instead of growing with total connection churn.
-        let mut handles = conn_threads.lock();
-        handles.retain(|handle| !handle.is_finished());
-        handles.push(handle);
-    }
-}
-
 /// Applies queued writes one at a time, preserving arrival order, and fans
-/// the watch events fired by each write out to the live connections.
-fn writer_loop(shared: &Shared, write_rx: &Receiver<WriteJob>) {
-    while let Ok(job) = write_rx.recv() {
-        let (response, zxid) =
-            shared.handler.execute_write(&shared.replica, job.session_id, &job.request);
-        let _ = job.reply.send((response, zxid));
-        shared.fan_out_watch_events();
+/// the watch events fired by each write out to the live connections. After
+/// each write it drains the owning connection's backlog (requests that
+/// arrived while the write was in flight), so per-session FIFO order holds
+/// without ever blocking a reactor shard on agreement latency.
+fn writer_loop(service: &Arc<ZkService>, write_rx: &Receiver<WriteJob>) {
+    let shared = &service.shared;
+    loop {
+        // The loop owns an `Arc<ZkService>` that keeps the queue's sender
+        // alive, so disconnection alone can never end it — poll the running
+        // flag instead (shutdown cost: at most one timeout window).
+        let first = match write_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.running.load(Ordering::SeqCst) {
+                    continue;
+                }
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut job = first;
+        loop {
+            let closing = matches!(job.request, Request::CloseSession);
+            let (response, zxid) =
+                shared.handler.execute_write(&shared.replica, job.session_id, &job.request);
+            if closing {
+                // The acknowledgement was already sent (sealed while the
+                // session's enclave was alive); finish the goodbye.
+                shared.unregister_exact(job.session_id, &job.conn);
+                job.conn.close_after_flush();
+            } else {
+                shared.metrics.requests_write.inc();
+                shared.metrics.latency_write.observe_duration(job.started.elapsed());
+                if response.error_code() != ErrorCode::Ok {
+                    shared.metrics.request_errors.inc();
+                }
+                service.respond(&job.conn, job.session_id, &job.header, &response, zxid);
+            }
+            shared.fan_out_watch_events();
+
+            if closing {
+                break;
+            }
+            // Drain the session's backlog: cheap requests (reads, pings,
+            // throttle answers) are handled right here under the state lock;
+            // the next write continues this loop, keeping the connection
+            // marked busy throughout.
+            let next = {
+                let mut state = job.conn.state.state.lock();
+                let mut next = None;
+                while let Some((header, request)) = state.backlog.pop() {
+                    match service.route_request(
+                        &job.conn,
+                        &mut state,
+                        job.session_id,
+                        header,
+                        request,
+                    ) {
+                        RequestRoute::Done => {}
+                        RequestRoute::Write(job) | RequestRoute::Close(job) => {
+                            next = Some(job);
+                            break;
+                        }
+                    }
+                }
+                if next.is_none() {
+                    state.busy = false;
+                }
+                next
+            };
+            match next {
+                Some(next_job) => job = next_job,
+                None => break,
+            }
+        }
     }
 }
 
@@ -542,248 +898,5 @@ fn ticker_loop(shared: &Shared) {
             shared.drop_connection(session_id);
         }
         shared.fan_out_watch_events();
-    }
-}
-
-/// Runs one client connection: handshake, then the request loop.
-fn connection_loop(shared: &Shared, write_tx: &Sender<WriteJob>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let Ok(reader) = stream.try_clone() else { return };
-    let mut reader = reader;
-    let Some(conn) = handshake(shared, &mut reader, stream) else { return };
-
-    serve_connection(shared, write_tx, &conn, &mut reader);
-
-    shared.drop_connection_exact(&conn);
-    // A connection that ends without CloseSession leaves its session behind
-    // to expire via the ticker — ZooKeeper's disconnection semantics, which
-    // is what keeps ephemeral znodes alive across a client reconnect window.
-}
-
-/// Performs the `ConnectRequest`/`ConnectResponse` exchange and registers the
-/// connection. The handshake travels unencrypted (it carries the key-exchange
-/// blob, not application data), exactly like the attested key exchange that
-/// precedes the secure channel in the paper.
-fn handshake(
-    shared: &Shared,
-    reader: &mut TcpStream,
-    stream: TcpStream,
-) -> Option<Arc<Connection>> {
-    // The first four bytes are either a frame length prefix or a four-letter
-    // admin word in raw ASCII (ZooKeeper answers `ruok` & co. on the client
-    // port). Peek the prefix before committing to frame parsing.
-    let prefix = framing::read_prefix(reader).ok()??;
-    if let Some(word) = words::parse_word(&prefix) {
-        serve_admin_word(shared, word, &stream);
-        return None;
-    }
-    let frame = framing::read_body(reader, prefix).ok()?;
-    let mut input = InputArchive::new(&frame);
-    let connect = ConnectRequest::deserialize(&mut input).ok()?;
-    input.expect_exhausted().ok()?;
-
-    // A client announcing a `last_zxid_seen` beyond this replica's applied
-    // log has observed state we cannot serve yet; attaching it here would
-    // let its session read backwards in time. Refuse (drop the connection)
-    // and let the client fail over to a member that has caught up.
-    if connect.last_zxid_seen > shared.replica.last_zxid() {
-        return None;
-    }
-
-    let requested = i64::from(connect.timeout_ms);
-    let timeout_ms = if requested <= 0 {
-        DEFAULT_SESSION_TIMEOUT_MS.min(shared.config.max_session_timeout_ms)
-    } else {
-        requested.min(shared.config.max_session_timeout_ms)
-    };
-    // A non-zero session id is a re-attach attempt: the first 16 bytes of
-    // the password field are the session password, the rest is the
-    // interceptor's key-exchange blob (which a fresh connect carries alone).
-    // A failed re-attach (expired session, wrong password) falls back to a
-    // fresh session — the client sees the new id and knows its ephemerals
-    // and watches are gone, ZooKeeper's session-expired contract.
-    let (response, interceptor_blob) =
-        if connect.session_id != 0 && connect.password.len() >= SESSION_PASSWORD_LEN {
-            let (session_password, blob) = connect.password.split_at(SESSION_PASSWORD_LEN);
-            match shared.replica.reattach_session(connect.session_id, session_password) {
-                Some(response) => (response, blob),
-                None => (shared.replica.connect(timeout_ms), blob),
-            }
-        } else {
-            (shared.replica.connect(timeout_ms), connect.password.as_slice())
-        };
-    let session_id = response.session_id;
-
-    let interceptor = shared.replica.interceptor();
-    if interceptor.on_session_established(session_id, interceptor_blob).is_err() {
-        shared.replica.close_session(session_id);
-        return None;
-    }
-
-    let conn = Arc::new(Connection { session_id, stream, write_lock: Mutex::new(()) });
-    shared.connections.lock().insert(session_id, Arc::clone(&conn));
-
-    let mut out = OutputArchive::with_capacity(64);
-    response.serialize(&mut out);
-    if conn.send(|_| Ok(()), out.into_bytes()).is_err() {
-        shared.drop_connection_exact(&conn);
-        return None;
-    }
-    Some(conn)
-}
-
-/// Answers one four-letter admin word with plain text on `stream` and lets
-/// the connection close. The reply is never framed or encrypted — admin
-/// words predate sessions, carry no client data, and must work from `nc`.
-fn serve_admin_word(shared: &Shared, word: &str, stream: &TcpStream) {
-    use std::io::Write;
-
-    let admin = shared.handler.admin_info();
-    let clients: Vec<ClientInfo> = shared
-        .connections
-        .lock()
-        .values()
-        .map(|conn| ClientInfo {
-            addr: conn
-                .stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "unknown".to_string()),
-            session_id: Some(conn.session_id),
-        })
-        .collect();
-    let replica = &shared.replica;
-    let info = ServerInfo {
-        version: format!("securekeeper-repro {}", env!("CARGO_PKG_VERSION")),
-        member_id: replica.id(),
-        role: admin.role,
-        epoch: admin.epoch,
-        leader: admin.leader,
-        last_zxid: replica.last_zxid(),
-        znode_count: replica.tree().node_count() as u64,
-        approx_memory_bytes: replica.memory_bytes() as u64,
-        session_count: replica.session_count() as u64,
-        connection_count: clients.len() as u64,
-        watch_count: replica.watch_count() as u64,
-        ready: admin.ready,
-        draining: admin.draining,
-        secure: replica.interceptor().name() != "passthrough",
-        clients,
-    };
-    if let Some(reply) = words::respond(word, &info, &shared.metrics.registry()) {
-        shared.metrics.admin_commands.inc();
-        let mut writer = stream;
-        let _ = writer.write_all(reply.as_bytes());
-        let _ = writer.flush();
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// The per-connection request loop: reads framed requests, routes them
-/// through the interceptor and the replica (reads inline, writes via the
-/// single-writer queue), and sends framed responses back.
-fn serve_connection(
-    shared: &Shared,
-    write_tx: &Sender<WriteJob>,
-    conn: &Arc<Connection>,
-    reader: &mut TcpStream,
-) {
-    let interceptor = shared.replica.interceptor();
-    let session_id = conn.session_id;
-    while let Ok(Some(mut buffer)) = framing::read_frame(reader) {
-        // The interceptor sees the raw bytes first: this is where the entry
-        // enclave terminates the transport encryption and encrypts the
-        // sensitive fields before the untrusted server parses the request.
-        if interceptor.on_request(session_id, &mut buffer).is_err() {
-            break;
-        }
-        let Ok((header, request)) = Request::from_bytes(&buffer) else { break };
-
-        if request == Request::CloseSession {
-            // Seal and send the acknowledgement while the session's enclave
-            // is still alive (closing the session tears it down), then run
-            // the close — ephemeral cleanup is a write — through the ordered
-            // queue before ending the connection.
-            let reply = ReplyHeader {
-                xid: header.xid,
-                zxid: shared.replica.last_zxid(),
-                err: ErrorCode::Ok,
-            };
-            let bytes = jute::Response::CloseSession.to_bytes(&reply);
-            let _ =
-                conn.send(|buffer| interceptor.on_response(session_id, header.op, buffer), bytes);
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_ok() {
-                let _ = reply_rx.recv();
-            }
-            shared.metrics.requests_write.inc();
-            if let Some(limiter) = &shared.limiter {
-                limiter.forget(session_id);
-            }
-            break;
-        }
-
-        // Rate limiting happens after the exempt requests (pings keep the
-        // session alive, CloseSession above frees resources) and before any
-        // tree work. A throttled request is answered in-band with the typed
-        // error and the connection stays open — the client backs off.
-        if request != Request::Ping {
-            if let Some(limiter) = &shared.limiter {
-                if !limiter.try_acquire(session_id) {
-                    shared.metrics.throttled.inc();
-                    shared.metrics.request_errors.inc();
-                    let reply = ReplyHeader {
-                        xid: header.xid,
-                        zxid: shared.replica.last_zxid(),
-                        err: ErrorCode::Throttled,
-                    };
-                    let bytes = jute::Response::Error(ErrorCode::Throttled).to_bytes(&reply);
-                    let sent = conn.send(
-                        |buffer| interceptor.on_response(session_id, header.op, buffer),
-                        bytes,
-                    );
-                    if sent.is_err() {
-                        break;
-                    }
-                    continue;
-                }
-            }
-        }
-
-        let started = Instant::now();
-        let is_write = request.op().is_write();
-        let (response, zxid) = if is_write {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if write_tx.send(WriteJob { session_id, request, reply: reply_tx }).is_err() {
-                break;
-            }
-            match reply_rx.recv() {
-                Ok(result) => result,
-                Err(_) => break,
-            }
-        } else {
-            let response = shared.replica.handle_request(session_id, &request);
-            (response, shared.replica.last_zxid())
-        };
-
-        let elapsed = started.elapsed();
-        if is_write {
-            shared.metrics.requests_write.inc();
-            shared.metrics.latency_write.observe_duration(elapsed);
-        } else {
-            shared.metrics.requests_read.inc();
-            shared.metrics.latency_read.observe_duration(elapsed);
-        }
-        if response.error_code() != ErrorCode::Ok {
-            shared.metrics.request_errors.inc();
-        }
-
-        let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
-        let bytes = response.to_bytes(&reply);
-        let sent =
-            conn.send(|buffer| interceptor.on_response(session_id, header.op, buffer), bytes);
-        if sent.is_err() {
-            break;
-        }
     }
 }

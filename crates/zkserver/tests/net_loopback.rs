@@ -279,3 +279,67 @@ fn many_concurrent_connections_interleave_correctly() {
     assert_eq!(replica.tree().get("/load").unwrap().stat().num_children, 160);
     server.shutdown();
 }
+
+#[test]
+fn pipelined_tickets_resolve_in_any_claim_order() {
+    use jute::records::{GetDataRequest, SetDataRequest};
+    use jute::{Request, Response};
+
+    let server = start_server();
+    let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
+    client.create("/pipe", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+
+    // Submit a pipeline of requests without reading a single response: the
+    // server processes them in FIFO order, the client stows each reply under
+    // its ticket until claimed.
+    let set = client
+        .submit(&Request::SetData(SetDataRequest {
+            path: "/pipe".into(),
+            data: b"v1".to_vec(),
+            version: -1,
+        }))
+        .unwrap();
+    let get = client
+        .submit(&Request::GetData(GetDataRequest { path: "/pipe".into(), watch: false }))
+        .unwrap();
+    let ping = client.submit(&Request::Ping).unwrap();
+
+    // Claim out of submission order: last first.
+    assert!(matches!(client.wait(ping).unwrap(), Response::Ping));
+    let Response::GetData(read) = client.wait(get).unwrap() else { panic!("expected GetData") };
+    assert_eq!(read.data, b"v1", "the earlier pipelined set must be visible to the later get");
+    let Response::SetData(written) = client.wait(set).unwrap() else { panic!("expected SetData") };
+    assert_eq!(written.stat.version, 1);
+
+    // A claimed ticket is spent; polling it again is a typed error, and
+    // polling with nothing in flight never blocks.
+    assert!(client.poll(ping).is_err());
+    assert!(client.last_zxid() > 0);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn poll_returns_none_until_the_response_lands() {
+    use jute::records::GetDataRequest;
+    use jute::{Request, Response};
+
+    let server = start_server();
+    let mut client = ZkTcpClient::connect(server.local_addr()).unwrap();
+    client.create("/poll", b"x".to_vec(), CreateMode::Persistent).unwrap();
+
+    let ticket = client
+        .submit(&Request::GetData(GetDataRequest { path: "/poll".into(), watch: false }))
+        .unwrap();
+    // Poll until the reply arrives; each empty poll returns promptly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let response = loop {
+        if let Some(response) = client.poll(ticket).unwrap() {
+            break response;
+        }
+        assert!(std::time::Instant::now() < deadline, "response never arrived");
+    };
+    assert!(matches!(response, Response::GetData(_)));
+    client.close();
+    server.shutdown();
+}

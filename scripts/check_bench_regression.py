@@ -30,6 +30,13 @@ GUARDED_BENCHMARKS = [
     # newest snapshot + log suffix vs the full-log-replay baseline.
     "persist/recovery_ms/snapshot",
     "persist/recovery_ms/log_replay",
+    # Connection scaling on the event-loop transport
+    # (BENCH_connections.json): p99 read latency and derived ns/op with 1000
+    # live connections, plain and secure.
+    "fig14/active_read_p99_ns_1000conns/plain",
+    "fig14/active_read_p99_ns_1000conns/secure",
+    "fig14/active_read_derived_ns_per_op_1000conns/plain",
+    "fig14/active_read_derived_ns_per_op_1000conns/secure",
 ]
 DEFAULT_THRESHOLD = 3.0
 

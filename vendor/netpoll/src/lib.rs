@@ -1,0 +1,591 @@
+//! Offline stand-in for a mio-style readiness poller.
+//!
+//! This workspace vendors its dependencies, so instead of `mio` this crate
+//! exposes the minimal OS readiness surface the `netcore` reactor needs:
+//! a [`Poller`] (one `epoll` instance on Linux, one `kqueue` on the BSDs and
+//! macOS), level-triggered [`Event`]s keyed by a caller-chosen `u64` token,
+//! and a [`Waker`] (an `eventfd` / `EVFILT_USER` event) that lets any thread
+//! interrupt a blocked [`Poller::wait`].
+//!
+//! The syscall bindings are declared directly (`extern "C"`) rather than via
+//! the `libc` crate, which is not vendored. This is the only crate in the
+//! workspace that uses `unsafe`; everything above it (`netcore`, the
+//! transports) stays `forbid(unsafe_code)`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness event: the registered token plus edge flags.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token supplied at registration time.
+    pub token: u64,
+    /// The fd is readable (or has a pending hangup/error, which a read will
+    /// surface as `Ok(0)` / `Err`).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the owner should tear it down.
+    pub closed: bool,
+}
+
+/// Which readiness classes a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Deliver read-readiness.
+    pub readable: bool,
+    /// Deliver write-readiness.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-readiness only — the steady state of an idle connection.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Read and write readiness — a connection with queued outbound bytes.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // Values from the Linux UAPI headers (asm-generic), stable ABI.
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// `struct epoll_event`; packed on x86 so the 64-bit data field sits at
+    /// offset 4, matching the kernel ABI.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(result: i32) -> io::Result<i32> {
+        if result < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(result)
+        }
+    }
+
+    /// One epoll instance.
+    #[derive(Debug)]
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut flags = EPOLLRDHUP;
+            if interest.readable {
+                flags |= EPOLLIN;
+            }
+            if interest.writable {
+                flags |= EPOLLOUT;
+            }
+            let mut event = EpollEvent { events: flags, data: token };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms = match timeout {
+                // Round up so a 100µs timeout does not busy-spin as 0 ms.
+                Some(t) => i32::try_from(t.as_millis().max(1)).unwrap_or(i32::MAX),
+                None => -1,
+            };
+            let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for event in &events[..n] {
+                let flags = event.events;
+                out.push(Event {
+                    token: event.data,
+                    readable: flags & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: flags & EPOLLOUT != 0,
+                    closed: flags & (EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// An eventfd registered with the selector; writing to it wakes `wait`.
+    #[derive(Debug)]
+    pub struct WakerFd {
+        fd: RawFd,
+    }
+
+    impl WakerFd {
+        pub fn new(selector: &Selector, token: u64) -> io::Result<WakerFd> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            let waker = WakerFd { fd };
+            selector.register(fd, token, Interest::READ)?;
+            Ok(waker)
+        }
+
+        pub fn wake(&self) {
+            let one = 1u64.to_ne_bytes();
+            unsafe { write(self.fd, one.as_ptr(), one.len()) };
+        }
+
+        /// Clears the pending wakeup so a level-triggered poll goes quiet.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl Drop for WakerFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::ptr;
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EVFILT_USER: i16 = -10;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_ENABLE: u16 = 0x0004;
+    const EV_CLEAR: u16 = 0x0020;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+    const NOTE_TRIGGER: u32 = 0x0100_0000;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut core::ffi::c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const KEvent,
+            nchanges: i32,
+            eventlist: *mut KEvent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// The token used for the `EVFILT_USER` waker registration.
+    const WAKER_IDENT: usize = usize::MAX;
+
+    #[derive(Debug)]
+    pub struct Selector {
+        kq: RawFd,
+    }
+
+    // The raw pointer in `KEvent.udata` never escapes a single call.
+    unsafe impl Send for Selector {}
+    unsafe impl Sync for Selector {}
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { kq })
+        }
+
+        fn apply(&self, changes: &[KEvent]) -> io::Result<()> {
+            let n = unsafe {
+                kevent(
+                    self.kq,
+                    changes.as_ptr(),
+                    changes.len() as i32,
+                    ptr::null_mut(),
+                    0,
+                    ptr::null(),
+                )
+            };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16, fflags: u32, token: u64) -> KEvent {
+            let _ = self;
+            KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags,
+                data: 0,
+                udata: token as *mut core::ffi::c_void,
+            }
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let read_flags = if interest.readable { EV_ADD | EV_ENABLE } else { EV_ADD };
+            let write_flags = if interest.writable { EV_ADD | EV_ENABLE } else { EV_ADD };
+            // Register both filters and delete the disabled one so reregister
+            // can toggle by re-adding; kqueue treats re-ADD as an update.
+            self.apply(&[self.change(fd, EVFILT_READ, read_flags, 0, token)])?;
+            if interest.writable {
+                self.apply(&[self.change(fd, EVFILT_WRITE, write_flags, 0, token)])?;
+            }
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)?;
+            if !interest.writable {
+                // Deleting a filter that is not present is an error; ignore.
+                let _ = self.apply(&[self.change(fd, EVFILT_WRITE, EV_DELETE, 0, token)]);
+            }
+            Ok(())
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let _ = self.apply(&[self.change(fd, EVFILT_READ, EV_DELETE, 0, 0)]);
+            let _ = self.apply(&[self.change(fd, EVFILT_WRITE, EV_DELETE, 0, 0)]);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timespec = timeout.map(|t| Timespec {
+                tv_sec: t.as_secs() as i64,
+                tv_nsec: i64::from(t.subsec_nanos()),
+            });
+            let ts_ptr = timespec.as_ref().map_or(ptr::null(), |t| t as *const Timespec);
+            let mut events = [KEvent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: ptr::null_mut(),
+            }; 256];
+            let n = loop {
+                let n = unsafe {
+                    kevent(
+                        self.kq,
+                        ptr::null(),
+                        0,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        ts_ptr,
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for event in &events[..n] {
+                let token = event.udata as u64;
+                out.push(Event {
+                    token,
+                    readable: event.filter == EVFILT_READ || event.filter == EVFILT_USER,
+                    writable: event.filter == EVFILT_WRITE,
+                    closed: event.flags & (EV_EOF | EV_ERROR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn trigger_user(&self) {
+            let _ = self.apply(&[KEvent {
+                ident: WAKER_IDENT,
+                filter: EVFILT_USER,
+                flags: 0,
+                fflags: NOTE_TRIGGER,
+                data: 0,
+                udata: ptr::null_mut(),
+            }]);
+        }
+
+        fn register_user(&self, token: u64) -> io::Result<()> {
+            self.apply(&[KEvent {
+                ident: WAKER_IDENT,
+                filter: EVFILT_USER,
+                flags: EV_ADD | EV_ENABLE | EV_CLEAR,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut core::ffi::c_void,
+            }])
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { close(self.kq) };
+        }
+    }
+
+    /// kqueue has no eventfd; the waker is an `EVFILT_USER` registration
+    /// triggered through the selector itself.
+    #[derive(Debug)]
+    pub struct WakerFd {
+        kq: RawFd,
+    }
+
+    impl WakerFd {
+        pub fn new(selector: &Selector, token: u64) -> io::Result<WakerFd> {
+            selector.register_user(token)?;
+            Ok(WakerFd { kq: selector.kq })
+        }
+
+        pub fn wake(&self) {
+            // Reconstruct a selector view over the shared kq fd; EV_CLEAR on
+            // the registration makes triggers one-shot per wait wakeup.
+            let view = Selector { kq: self.kq };
+            view.trigger_user();
+            std::mem::forget(view);
+        }
+
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("netpoll supports Linux (epoll) and other unix (kqueue) targets only");
+
+/// A readiness poller: registrations are level-triggered and keyed by token.
+#[derive(Debug)]
+pub struct Poller {
+    selector: sys::Selector,
+}
+
+impl Poller {
+    /// Creates a new OS poller instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_create1` / `kqueue` error.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { selector: sys::Selector::new()? })
+    }
+
+    /// Starts delivering readiness for `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_ctl` / `kevent` error.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.selector.register(fd, token, interest)
+    }
+
+    /// Changes the interest set of an already registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_ctl` / `kevent` error.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.selector.reregister(fd, token, interest)
+    }
+
+    /// Stops delivering readiness for `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_ctl` / `kevent` error.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.selector.deregister(fd)
+    }
+
+    /// Blocks until at least one event is ready (or `timeout` elapses, or a
+    /// [`Waker`] fires), appending events to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_wait` / `kevent` error. `EINTR` is
+    /// retried internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.selector.wait(out, timeout)
+    }
+}
+
+/// Wakes a [`Poller::wait`] call from any thread. The wakeup surfaces as an
+/// [`Event`] carrying the token supplied at construction.
+#[derive(Debug)]
+pub struct Waker {
+    inner: sys::WakerFd,
+}
+
+impl Waker {
+    /// Creates a waker registered with `poller` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `eventfd` / `kevent` registration error.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        Ok(Waker { inner: sys::WakerFd::new(&poller.selector, token)? })
+    }
+
+    /// Signals the poller; cheap and callable from any thread.
+    pub fn wake(&self) {
+        self.inner.wake();
+    }
+
+    /// Acknowledges a delivered wakeup (call when its event is seen).
+    pub fn drain(&self) {
+        self.inner.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn waker_interrupts_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poller, 7).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        handle.join().unwrap();
+        assert!(events.iter().any(|e| e.token == 7), "waker event not delivered");
+        waker.drain();
+    }
+
+    #[test]
+    fn readable_socket_is_reported_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Level-triggered: unread bytes keep the fd hot on the next wait.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        let mut buf = [0u8; 16];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Drained: the fd goes quiet.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(!events.iter().any(|e| e.token == 42));
+    }
+
+    #[test]
+    fn write_interest_fires_and_can_be_dropped() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.register(client.as_raw_fd(), 9, Interest::READ_WRITE).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+
+        // Back to read-only interest: writability stops being reported.
+        poller.reregister(client.as_raw_fd(), 9, Interest::READ).unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(!events.iter().any(|e| e.writable));
+
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+}
