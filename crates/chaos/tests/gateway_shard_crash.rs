@@ -1,0 +1,236 @@
+//! Chaos scenario `shard-leader-crash-behind-gateway`: two shards of three
+//! members each behind the routing gateway; one shard's leader is killed
+//! under mixed load. The other shard must never stall, the crashed shard
+//! must recover by electing a new leader, and each shard's recorded
+//! history must stay linearizable (`chaos::checker`) — the gateway must
+//! not smear one shard's outage across shard boundaries.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chaos::checker;
+use chaos::history::{decode_value, encode_value, HistoryRecorder, OpKind, OpRecord, Outcome};
+use gateway::{Gateway, GatewayConfig, ShardMap};
+use jute::records::CreateMode;
+use zkserver::client::ZkTcpClient;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::{ZkError, ZkReplica};
+
+const SHARDS: usize = 2;
+const WORKERS_PER_SHARD: usize = 2;
+/// The register each shard's workers hammer.
+const REGISTERS: [&str; SHARDS] = ["/reg", "/app/reg"];
+
+fn shard_config(subtree_root: Option<&str>) -> EnsembleConfig {
+    let mut config = EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(1),
+        poll_interval: Duration::from_millis(5),
+        ..EnsembleConfig::default()
+    };
+    config.net.subtree_root = subtree_root.map(str::to_string);
+    config
+}
+
+/// One workload client bound to a single shard's register: random
+/// reads and unique-value writes through the gateway, reconnecting with a
+/// fresh session (and thus a fresh history client id) after failures.
+#[allow(clippy::needless_pass_by_value)]
+fn worker_loop(
+    global_index: u32,
+    shard: usize,
+    gateway_addr: SocketAddr,
+    recorder: Arc<HistoryRecorder>,
+    ops_done: Arc<Vec<AtomicU64>>,
+    stop: Arc<AtomicBool>,
+) {
+    let register = REGISTERS[shard];
+    let mut client: Option<ZkTcpClient> = None;
+    let mut seq: u64 = 0;
+    let mut generation: u32 = 0;
+
+    while !stop.load(Ordering::Relaxed) {
+        let Some(active) = client.as_mut() else {
+            match ZkTcpClient::connect(gateway_addr) {
+                Ok(fresh) => {
+                    generation += 1;
+                    client = Some(fresh);
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+            continue;
+        };
+
+        let invoke_ns = recorder.now_ns();
+        let (kind, outcome, lost) = if seq.is_multiple_of(2) {
+            match active.get_data(register, false) {
+                Ok((data, stat)) => (
+                    OpKind::Read,
+                    Outcome::ReadOk { version: stat.version, value: decode_value(&data) },
+                    false,
+                ),
+                // Reads have no effect: any failure is a definite no-op for
+                // the register, but the session may be gone.
+                Err(err) => (OpKind::Read, Outcome::Rejected, connection_dead(&err)),
+            }
+        } else {
+            let value = (u64::from(global_index + 1) << 32) | seq;
+            match active.set_data(register, encode_value(value), -1) {
+                Ok(stat) => {
+                    (OpKind::Write { value }, Outcome::WriteOk { version: stat.version }, false)
+                }
+                // A failed write may still commit behind the crash —
+                // conservatively leave it in limbo for the checker.
+                Err(err) => {
+                    (OpKind::Write { value }, Outcome::Indeterminate, connection_dead(&err))
+                }
+            }
+        };
+        let response_ns = recorder.now_ns();
+        recorder.record(OpRecord {
+            client: (generation << 8) | global_index,
+            invoke_ns,
+            response_ns,
+            kind,
+            outcome,
+        });
+        seq += 1;
+        ops_done[shard].fetch_add(1, Ordering::Relaxed);
+
+        if lost {
+            client = None;
+        } else {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn connection_dead(err: &ZkError) -> bool {
+    matches!(err, ZkError::ConnectionLoss { .. } | ZkError::Marshalling { .. })
+}
+
+fn create_with_retry(client: &mut ZkTcpClient, path: &str, data: Vec<u8>) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.create(path, data.clone(), CreateMode::Persistent) {
+            Ok(_) | Err(ZkError::NodeExists { .. }) => return,
+            Err(err) if Instant::now() >= deadline => panic!("create {path}: {err}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+#[test]
+fn shard_leader_crash_behind_gateway() {
+    // Two shards, three in-memory members each. Shard 1 owns /app; the
+    // crash lands on its leader.
+    let mut shards: Vec<Vec<Option<ZkEnsembleServer>>> = Vec::new();
+    for guard in [None, Some("/app")] {
+        let members = ZkEnsembleServer::start_local_ensemble(3, &shard_config(guard), |id| {
+            Arc::new(ZkReplica::new(id))
+        })
+        .expect("bind shard ensemble");
+        shards.push(members.into_iter().map(Some).collect());
+    }
+    let shard_addrs: Vec<Vec<SocketAddr>> = shards
+        .iter()
+        .map(|members| members.iter().map(|m| m.as_ref().unwrap().client_addr()).collect())
+        .collect();
+
+    // Bootstrap the /app boundary node directly on shard 1, then the two
+    // registers through the gateway.
+    let map = ShardMap::new(SHARDS, &[("/", 0), ("/app", 1)]).expect("valid map");
+    let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::new(map, shard_addrs.clone()))
+        .expect("bind gateway");
+    {
+        let mut boot = ZkTcpClient::connect(shard_addrs[1][0]).expect("bootstrap");
+        create_with_retry(&mut boot, "/app", Vec::new());
+        boot.close();
+        let mut seed = ZkTcpClient::connect(gateway.local_addr()).expect("seed");
+        for register in REGISTERS {
+            create_with_retry(&mut seed, register, encode_value(0));
+        }
+        seed.close();
+    }
+
+    // Mixed load: per-shard recorders so each shard's history is checked
+    // against its own register.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops_done: Arc<Vec<AtomicU64>> = Arc::new((0..SHARDS).map(|_| AtomicU64::new(0)).collect());
+    let recorders: Vec<Arc<HistoryRecorder>> =
+        (0..SHARDS).map(|_| Arc::new(HistoryRecorder::new())).collect();
+    let workers: Vec<_> = (0..(SHARDS * WORKERS_PER_SHARD) as u32)
+        .map(|i| {
+            let shard = i as usize % SHARDS;
+            let recorder = Arc::clone(&recorders[shard]);
+            let ops_done = Arc::clone(&ops_done);
+            let stop = Arc::clone(&stop);
+            let addr = gateway.local_addr();
+            std::thread::spawn(move || worker_loop(i, shard, addr, recorder, ops_done, stop))
+        })
+        .collect();
+
+    // Let the workload settle, then kill shard 1's leader (crash-stop; the
+    // two survivors still form a quorum and must elect a replacement).
+    std::thread::sleep(Duration::from_millis(600));
+    let leader_slot = shards[1]
+        .iter()
+        .position(|m| m.as_ref().is_some_and(ZkEnsembleServer::is_leader))
+        .expect("shard 1 has a leader before the crash");
+    shards[1][leader_slot].take().expect("leader present").shutdown();
+    let kill_mark = ops_done[0].load(Ordering::Relaxed);
+
+    // Property 1: the other shard never stalls. Its workers keep completing
+    // operations right through shard 1's outage window.
+    std::thread::sleep(Duration::from_millis(800));
+    let healthy_progress = ops_done[0].load(Ordering::Relaxed) - kill_mark;
+    assert!(healthy_progress > 0, "shard 0 made no progress while shard 1's leader was down");
+
+    // Keep the load running while shard 1 re-elects, then stop.
+    std::thread::sleep(Duration::from_millis(1000));
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+
+    // Property 2: the crashed shard recovers — a write to its register
+    // commits through the gateway once the survivors elected a new leader.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut recovered = false;
+    while Instant::now() < deadline && !recovered {
+        if let Ok(mut probe) = ZkTcpClient::connect(gateway.local_addr()) {
+            if probe.set_data(REGISTERS[1], encode_value(u64::MAX), -1).is_ok() {
+                recovered = true;
+            }
+            probe.close();
+        }
+        if !recovered {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    assert!(recovered, "shard 1 never accepted writes again after its leader crashed");
+
+    // Property 3: each shard's history is linearizable on its own.
+    for (shard, recorder) in recorders.iter().enumerate() {
+        let history = recorder.take();
+        assert!(!history.is_empty(), "shard {shard} recorded no operations");
+        let violations = checker::check(&history, (0, 0));
+        assert!(
+            violations.is_empty(),
+            "shard {shard}: {} violation(s) in {} ops: {violations:?}",
+            violations.len(),
+            history.len()
+        );
+    }
+
+    gateway.shutdown();
+    for members in shards {
+        for member in members.into_iter().flatten() {
+            member.shutdown();
+        }
+    }
+}

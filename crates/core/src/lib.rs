@@ -70,6 +70,7 @@ pub mod keymgmt;
 pub mod path_cache;
 pub mod path_crypto;
 pub mod payload_crypto;
+pub mod sealed_client;
 pub mod transport;
 
 pub use client::SecureKeeperClient;
@@ -81,4 +82,5 @@ pub use integration::{
     SecureKeeperHandles,
 };
 pub use path_cache::PathCipherCache;
+pub use sealed_client::SealedClient;
 pub use transport::{ReplayableSessionCredentials, SecureSessionCredentials, SecureWire};

@@ -1,0 +1,315 @@
+//! Client-side field sealing for gateway deployments.
+//!
+//! SecureKeeper's standard pipeline seals paths and payloads inside the
+//! *server-side* entry enclave. In front of a sharded namespace that
+//! placement breaks down: the routing gateway must see the path structure
+//! to pick a shard, but it is an untrusted stateless tier that must never
+//! hold keys. [`SealedClient`] moves the sealing boundary to the client:
+//! paths and payloads are encrypted with the storage key **before** they
+//! leave the client process, the gateway routes byte-wise over ciphertext
+//! prefixes (its shard map is sealed with the same deterministic path
+//! cipher, see `gateway::ShardMap::sealed_with`), and the backend
+//! ensembles store ciphertext verbatim. Nothing between the client and
+//! the disk observes a plaintext path or payload.
+//!
+//! Limitations, both documented consequences of pulling the enclave out
+//! of the server path: sequential create modes are refused (the merged
+//! sequence suffix is minted server-side by the counter enclave, which a
+//! plain backend does not run), and watch-event paths are decrypted
+//! opportunistically (an event for a node this client cannot decrypt is
+//! surfaced with its ciphertext path).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use jute::multi::{Op, OpResult};
+use jute::records::{CreateMode, Stat};
+use zkcrypto::keys::StorageKey;
+use zkserver::client::ZkTcpClient;
+use zkserver::error::ZkError;
+use zkserver::watch::WatchEvent;
+
+use crate::error::SkError;
+use crate::path_crypto::PathCipher;
+use crate::payload_crypto::{PayloadCipher, SequentialFlag};
+
+fn seal_error(err: SkError) -> ZkError {
+    ZkError::Marshalling { reason: format!("client-side sealing failed: {err}") }
+}
+
+/// A ZooKeeper client whose requests carry only ciphertext paths and
+/// payloads, for use through the sharded-namespace gateway.
+pub struct SealedClient {
+    inner: ZkTcpClient,
+    paths: PathCipher,
+    payloads: PayloadCipher,
+}
+
+impl SealedClient {
+    /// Connects a plaintext-transport session (typically to a gateway
+    /// front port) that seals every field with `storage_key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection errors of [`ZkTcpClient::connect`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        storage_key: &StorageKey,
+        timeout_ms: i64,
+    ) -> Result<SealedClient, ZkError> {
+        let inner = ZkTcpClient::connect_with(
+            addr,
+            std::sync::Arc::new(zkserver::net::PlainCredentials),
+            timeout_ms,
+        )?;
+        Ok(Self::wrap(inner, storage_key))
+    }
+
+    /// Wraps an already connected client.
+    pub fn wrap(inner: ZkTcpClient, storage_key: &StorageKey) -> SealedClient {
+        SealedClient {
+            inner,
+            paths: PathCipher::new(storage_key),
+            payloads: PayloadCipher::new(storage_key),
+        }
+    }
+
+    /// Seals one plaintext path exactly as requests do — also the function
+    /// a deployment uses to seal its shard-map prefixes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cipher failures as [`ZkError::Marshalling`].
+    pub fn seal_path(&self, path: &str) -> Result<String, ZkError> {
+        self.paths.encrypt_path(path).map_err(seal_error)
+    }
+
+    /// The session id granted by the gateway.
+    pub fn session_id(&self) -> i64 {
+        self.inner.session_id()
+    }
+
+    /// The highest (lane-vector) zxid observed so far.
+    pub fn last_zxid(&self) -> i64 {
+        self.inner.last_zxid()
+    }
+
+    /// Re-dials `addr` and re-attaches the session (see
+    /// [`ZkTcpClient::reconnect_to`]); sealing state is key-derived and
+    /// carries over untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn reconnect_to(&mut self, addr: SocketAddr) -> Result<(), ZkError> {
+        self.inner.reconnect_to(addr)
+    }
+
+    /// Creates a znode with sealed path and payload, returning the
+    /// plaintext path. Sequential modes are refused — their sequence
+    /// suffix is minted server-side by the counter enclave, which plain
+    /// backends behind a gateway do not run.
+    ///
+    /// # Errors
+    ///
+    /// `BadArguments` for sequential modes; otherwise the service error.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        mode: CreateMode,
+    ) -> Result<String, ZkError> {
+        if mode.is_sequential() {
+            return Err(ZkError::BadArguments {
+                reason: "sequential creates need the server-side counter enclave; \
+                         the client-sealed gateway pipeline does not support them"
+                    .into(),
+            });
+        }
+        let sealed_path = self.seal_path(path)?;
+        let sealed_data = self.payloads.seal(path, &data, SequentialFlag::Regular);
+        let created = self.inner.create(&sealed_path, sealed_data, mode)?;
+        self.paths.decrypt_path(&created).map_err(seal_error)
+    }
+
+    /// Reads and opens a znode's payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error; `Marshalling` if the stored bytes do
+    /// not verify against this storage key.
+    pub fn get_data(&mut self, path: &str, watch: bool) -> Result<(Vec<u8>, Stat), ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        let (sealed_data, mut stat) = self.inner.get_data(&sealed_path, watch)?;
+        let data = self.payloads.open_vec(path, sealed_data).map_err(seal_error)?;
+        stat.data_length = data.len() as i32;
+        Ok((data, stat))
+    }
+
+    /// Replaces a znode's payload (sealed, bound to the plaintext path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error.
+    pub fn set_data(&mut self, path: &str, data: Vec<u8>, version: i32) -> Result<Stat, ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        let sealed_data = self.payloads.seal(path, &data, SequentialFlag::Regular);
+        self.inner.set_data(&sealed_path, sealed_data, version)
+    }
+
+    /// Deletes a znode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error.
+    pub fn delete(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        self.inner.delete(&sealed_path, version)
+    }
+
+    /// Stats a znode without reading it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error.
+    pub fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        self.inner.exists(&sealed_path, watch)
+    }
+
+    /// Lists a znode's children, decrypted back to plaintext names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error; `Marshalling` for child names that do
+    /// not verify against this storage key.
+    pub fn get_children(&mut self, path: &str, watch: bool) -> Result<Vec<String>, ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        let sealed = self.inner.get_children(&sealed_path, watch)?;
+        let mut children = Vec::with_capacity(sealed.len());
+        for child in &sealed {
+            children.push(self.paths.decrypt_chunk(child).map_err(seal_error)?);
+        }
+        children.sort();
+        Ok(children)
+    }
+
+    /// Version-checks a znode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service error.
+    pub fn check(&mut self, path: &str, version: i32) -> Result<(), ZkError> {
+        let sealed_path = self.seal_path(path)?;
+        self.inner.check(&sealed_path, version)
+    }
+
+    /// Executes an atomic transaction with every sub-operation sealed;
+    /// CREATE results are decrypted back to plaintext paths. The gateway
+    /// admits the transaction only if all sealed paths route to one shard.
+    ///
+    /// # Errors
+    ///
+    /// `BadArguments` for sequential creates; otherwise the service error
+    /// (including the typed cross-shard rejection).
+    pub fn multi(&mut self, ops: Vec<Op>) -> Result<Vec<OpResult>, ZkError> {
+        let mut sealed_ops = Vec::with_capacity(ops.len());
+        for op in &ops {
+            sealed_ops.push(match op {
+                Op::Create(create) => {
+                    if create.mode.is_sequential() {
+                        return Err(ZkError::BadArguments {
+                            reason: "sequential creates are unsupported in the client-sealed \
+                                     gateway pipeline"
+                                .into(),
+                        });
+                    }
+                    Op::Create(jute::records::CreateRequest {
+                        path: self.seal_path(&create.path)?,
+                        data: self.payloads.seal(
+                            &create.path,
+                            &create.data,
+                            SequentialFlag::Regular,
+                        ),
+                        mode: create.mode,
+                    })
+                }
+                Op::SetData(set) => Op::SetData(jute::records::SetDataRequest {
+                    path: self.seal_path(&set.path)?,
+                    data: self.payloads.seal(&set.path, &set.data, SequentialFlag::Regular),
+                    version: set.version,
+                }),
+                Op::Delete(delete) => Op::Delete(jute::records::DeleteRequest {
+                    path: self.seal_path(&delete.path)?,
+                    version: delete.version,
+                }),
+                Op::Check(check) => Op::Check(jute::records::CheckVersionRequest {
+                    path: self.seal_path(&check.path)?,
+                    version: check.version,
+                }),
+            });
+        }
+        let results = self.inner.multi(sealed_ops)?;
+        results
+            .into_iter()
+            .map(|result| match result {
+                OpResult::Create { path } => self
+                    .paths
+                    .decrypt_path(&path)
+                    .map(|path| OpResult::Create { path })
+                    .map_err(seal_error),
+                other => Ok(other),
+            })
+            .collect()
+    }
+
+    /// Sends a keep-alive ping (the gateway fans it out to every backend
+    /// session it holds for this client).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn ping(&mut self) -> Result<(), ZkError> {
+        self.inner.ping()
+    }
+
+    /// Drains received watch notifications, decrypting each event's path
+    /// when it verifies against this storage key (events keep their
+    /// ciphertext path otherwise).
+    pub fn take_watch_events(&mut self) -> Vec<WatchEvent> {
+        self.inner
+            .take_watch_events()
+            .into_iter()
+            .map(|mut event| {
+                if let Ok(plain) = self.paths.decrypt_path(&event.path) {
+                    event.path = plain;
+                }
+                event
+            })
+            .collect()
+    }
+
+    /// Waits up to `wait` for watch notifications (see
+    /// [`ZkTcpClient::poll_events`]), decrypting paths as in
+    /// [`SealedClient::take_watch_events`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn poll_events(&mut self, wait: std::time::Duration) -> Result<Vec<WatchEvent>, ZkError> {
+        let events = self.inner.poll_events(wait)?;
+        Ok(events
+            .into_iter()
+            .map(|mut event| {
+                if let Ok(plain) = self.paths.decrypt_path(&event.path) {
+                    event.path = plain;
+                }
+                event
+            })
+            .collect())
+    }
+
+    /// Closes the session cleanly.
+    pub fn close(self) {
+        self.inner.close();
+    }
+}

@@ -1,0 +1,141 @@
+//! Backend links: one plain-protocol session per (front session, shard).
+//!
+//! A link is a blocking `TcpStream` to any member of the shard's ensemble
+//! (followers forward writes to their leader, so member choice only
+//! affects latency, not correctness). The write half lives behind a mutex
+//! and carries request frames verbatim; the read half is cloned off to a
+//! reader thread owned by the gateway service, which correlates replies
+//! and rebases zxids. Links are connection state, exactly like the front
+//! session that owns them: when either side dies, the whole front
+//! connection is torn down and the client re-attaches through the normal
+//! reconnect path.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use jute::records::{ConnectRequest, ConnectResponse};
+use jute::{framing, InputArchive, OutputArchive};
+use parking_lot::Mutex;
+
+/// The xid the gateway stamps on traffic it originates toward a backend
+/// (keepalive pings, close-session fan-out). Reader threads swallow replies
+/// carrying it after folding their zxid into the shard's lane; real client
+/// xids are strictly positive, so the namespaces cannot collide.
+pub const GATEWAY_XID: i32 = -2;
+
+/// The write half of one backend session.
+#[derive(Debug)]
+pub struct BackendLink {
+    shard: usize,
+    session_id: i64,
+    writer: Mutex<TcpStream>,
+    closed: AtomicBool,
+}
+
+impl BackendLink {
+    /// Dials the first reachable member of `addrs` and performs the plain
+    /// session handshake with `last_zxid_seen` as the replay floor (the
+    /// lane codec guarantees the floor never exceeds what the shard
+    /// committed, so the handshake cannot be refused as "from the
+    /// future"). Returns the link plus the read-half clone for the
+    /// caller's reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection or handshake error when no member of
+    /// the shard is reachable.
+    pub fn connect(
+        shard: usize,
+        addrs: &[SocketAddr],
+        last_zxid_seen: i64,
+        timeout_ms: i32,
+    ) -> io::Result<(BackendLink, TcpStream)> {
+        let mut last_error =
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "shard has no member addresses");
+        for &addr in addrs {
+            match Self::handshake(addr, last_zxid_seen, timeout_ms) {
+                Ok((stream, response)) => {
+                    let reader = stream.try_clone()?;
+                    let link = BackendLink {
+                        shard,
+                        session_id: response.session_id,
+                        writer: Mutex::new(stream),
+                        closed: AtomicBool::new(false),
+                    };
+                    return Ok((link, reader));
+                }
+                Err(err) => last_error = err,
+            }
+        }
+        Err(last_error)
+    }
+
+    fn handshake(
+        addr: SocketAddr,
+        last_zxid_seen: i64,
+        timeout_ms: i32,
+    ) -> io::Result<(TcpStream, ConnectResponse)> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let request = ConnectRequest {
+            protocol_version: 0,
+            last_zxid_seen,
+            timeout_ms,
+            session_id: 0,
+            password: Vec::new(),
+        };
+        let mut out = OutputArchive::with_capacity(64);
+        request.serialize(&mut out);
+        framing::write_frame(&mut stream, &out.into_bytes())?;
+        let frame = framing::read_frame(&mut stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionReset, "backend refused the session handshake")
+        })?;
+        let mut input = InputArchive::new(&frame);
+        let response = ConnectResponse::deserialize(&mut input)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        Ok((stream, response))
+    }
+
+    /// The shard this link serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The backend-granted session id (distinct per shard; never exposed
+    /// to the client, which only sees its gateway session id).
+    pub fn session_id(&self) -> i64 {
+        self.session_id
+    }
+
+    /// Forwards one already-encoded request frame (header + body) verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; the caller tears the front session down.
+    pub fn send_frame(&self, frame: &[u8]) -> io::Result<()> {
+        let mut writer = self.writer.lock();
+        framing::write_frame(&mut *writer, frame)
+    }
+
+    /// Whether this link has been marked or torn down.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Marks the link as deliberately closing without touching the socket:
+    /// the reader thread treats the coming EOF as expected while it drains
+    /// the replies the backend still owes.
+    pub fn mark_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Closes both stream halves; the reader thread unblocks with EOF.
+    pub fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let writer = self.writer.lock();
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+    }
+}

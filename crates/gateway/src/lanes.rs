@@ -1,0 +1,208 @@
+//! Packing per-shard zxids into the single `i64` the wire protocol carries.
+//!
+//! Clients track one `last_zxid` and the protocol has one header slot for
+//! it, but behind the gateway each shard advances an independent zxid
+//! stream. The [`LaneCodec`] folds the per-shard values into one 62-bit
+//! vector of fixed-width *lanes* (shard 0 in the lowest lane). Ensemble
+//! zxids are `(epoch << 32) | counter`, far too wide for a narrow lane, so
+//! each lane stores saturating sub-fields for epoch and counter with these
+//! guarantees:
+//!
+//! - **Monotone**: `z1 <= z2` implies `encode(z1) <= encode(z2)`, and the
+//!   merged vector is numerically monotone in every component — so the
+//!   client's habit of keeping the max of all observed header zxids keeps
+//!   exactly the latest vector.
+//! - **Safe floor**: `decode(encode(z)) <= z`. On reconnect the gateway
+//!   splits the client-presented vector back into per-shard floors; a
+//!   floor that never exceeds what the shard actually committed can never
+//!   make a backend refuse the session for being "from the future".
+//! - **Exact while unsaturated**: until a shard's epoch or counter
+//!   overflows its sub-field, `decode(encode(z)) == z`.
+//!
+//! With one shard the codec is the identity, so a 1-shard gateway is
+//! wire-for-wire transparent.
+
+/// Splits the protocol's 62 usable zxid bits into equal lanes, one per
+/// shard.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneCodec {
+    shards: u32,
+    /// Bits per lane (62 / shards); 64 in the 1-shard identity case.
+    width: u32,
+    /// High sub-field of a lane: the zxid's epoch, saturating.
+    epoch_bits: u32,
+    /// Low sub-field: the zxid's counter, saturating.
+    counter_bits: u32,
+}
+
+impl LaneCodec {
+    /// A codec for `shards` lanes. Panics if `shards` is 0 or needs lanes
+    /// too narrow to be useful (more than 15 shards).
+    pub fn new(shards: usize) -> LaneCodec {
+        assert!(shards >= 1, "a lane codec needs at least one shard");
+        assert!(shards <= 15, "62-bit zxid vectors support at most 15 shards");
+        let shards = shards as u32;
+        if shards == 1 {
+            return LaneCodec { shards: 1, width: 64, epoch_bits: 32, counter_bits: 32 };
+        }
+        let width = 62 / shards;
+        let epoch_bits = (width / 2).min(10);
+        LaneCodec { shards, width, epoch_bits, counter_bits: width - epoch_bits }
+    }
+
+    /// Number of lanes.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Bits of a lane that hold the zxid's epoch.
+    pub fn epoch_bits(&self) -> u32 {
+        self.epoch_bits
+    }
+
+    /// Bits of a lane that hold the zxid's counter.
+    pub fn counter_bits(&self) -> u32 {
+        self.counter_bits
+    }
+
+    fn lane_max(&self) -> u64 {
+        if self.shards == 1 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Compresses one shard's zxid into its lane representation.
+    pub fn encode(&self, zxid: i64) -> u64 {
+        if self.shards == 1 {
+            return zxid as u64;
+        }
+        if zxid <= 0 {
+            return 0;
+        }
+        let z = zxid as u64;
+        let epoch = z >> 32;
+        let counter = z & 0xffff_ffff;
+        let epoch_max = (1u64 << self.epoch_bits) - 1;
+        let counter_max = (1u64 << self.counter_bits) - 1;
+        if epoch >= epoch_max {
+            // Epoch overflow saturates the whole lane: still monotone, and
+            // decode maps it back to the highest representable floor.
+            return self.lane_max();
+        }
+        (epoch << self.counter_bits) | counter.min(counter_max)
+    }
+
+    /// Expands a lane back to a zxid lower bound (exact while unsaturated).
+    pub fn decode(&self, lane: u64) -> i64 {
+        if self.shards == 1 {
+            return lane as i64;
+        }
+        if lane >= self.lane_max() {
+            let epoch_max = (1u64 << self.epoch_bits) - 1;
+            return (epoch_max << 32) as i64;
+        }
+        let counter_mask = (1u64 << self.counter_bits) - 1;
+        let epoch = lane >> self.counter_bits;
+        let counter = lane & counter_mask;
+        ((epoch << 32) | counter) as i64
+    }
+
+    /// Merges per-shard zxids into the single header value.
+    pub fn merge(&self, per_shard: &[i64]) -> i64 {
+        assert_eq!(per_shard.len(), self.shards as usize);
+        if self.shards == 1 {
+            return per_shard[0];
+        }
+        let mut merged = 0u64;
+        for (shard, &zxid) in per_shard.iter().enumerate() {
+            merged |= self.encode(zxid) << (shard as u32 * self.width);
+        }
+        merged as i64
+    }
+
+    /// Splits a merged header value back into per-shard floors.
+    pub fn split(&self, merged: i64) -> Vec<i64> {
+        if self.shards == 1 {
+            return vec![merged];
+        }
+        let merged = merged as u64;
+        let lane_mask = self.lane_max();
+        (0..self.shards)
+            .map(|shard| self.decode((merged >> (shard * self.width)) & lane_mask))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zxid(epoch: u64, counter: u64) -> i64 {
+        ((epoch << 32) | counter) as i64
+    }
+
+    #[test]
+    fn one_shard_is_the_identity() {
+        let codec = LaneCodec::new(1);
+        for z in [0, 1, zxid(3, 77), i64::MAX] {
+            assert_eq!(codec.merge(&[z]), z);
+            assert_eq!(codec.split(z), vec![z]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_while_unsaturated() {
+        for shards in [2usize, 3, 4, 8] {
+            let codec = LaneCodec::new(shards);
+            // The largest unsaturated epoch/counter for this lane width.
+            let epoch_top = (1u64 << codec.epoch_bits()) - 2;
+            let counter_top = (1u64 << codec.counter_bits()) - 1;
+            let samples =
+                [0, 1, zxid(1, 0), zxid(1, counter_top.min(9)), zxid(epoch_top, counter_top)];
+            for z in samples {
+                let per_shard: Vec<i64> = (0..shards).map(|s| z.max(s as i64)).collect();
+                assert_eq!(codec.split(codec.merge(&per_shard)), per_shard, "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_exceeds_the_original() {
+        let codec = LaneCodec::new(4);
+        for z in [0, 1, zxid(1, 5), zxid(1023, 7), zxid(1024, 7), zxid(4000, u32::MAX as u64)] {
+            assert!(codec.decode(codec.encode(z)) <= z, "zxid {z:#x}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_monotone_per_lane_and_merged() {
+        let codec = LaneCodec::new(4);
+        let samples = [0, 1, 2, zxid(1, 0), zxid(1, 1), zxid(2, 0), zxid(1023, 0), zxid(2000, 9)];
+        for pair in samples.windows(2) {
+            assert!(codec.encode(pair[0]) <= codec.encode(pair[1]), "{pair:?}");
+        }
+        // Componentwise growth ⇒ numeric growth of the merged vector.
+        let low = codec.merge(&[zxid(1, 5), 0, zxid(1, 1), 0]);
+        let high = codec.merge(&[zxid(1, 6), 0, zxid(1, 1), 0]);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn saturation_yields_a_safe_floor() {
+        let codec = LaneCodec::new(8); // narrow lanes: 7 bits, 3-bit epochs
+        let huge = zxid(i32::MAX as u64, u32::MAX as u64); // largest positive zxid
+        let floor = codec.decode(codec.encode(huge));
+        assert!(floor <= huge);
+        assert!(floor > 0, "saturated lanes still witness progress");
+    }
+
+    #[test]
+    fn lanes_do_not_interfere() {
+        let codec = LaneCodec::new(4);
+        let merged = codec.merge(&[zxid(1, 2), 0, zxid(3, 4), 7]);
+        let split = codec.split(merged);
+        assert_eq!(split, vec![zxid(1, 2), 0, zxid(3, 4), 7]);
+    }
+}

@@ -1,0 +1,114 @@
+//! The gateway's metric families.
+//!
+//! All families use the `gw_` prefix — deliberately disjoint from the
+//! ensemble members' `zk_` namespace so a scrape of the gateway and a
+//! scrape of a member never collide, and so the members' docs/metrics
+//! equality test (which audits `zk_` rows) is unaffected.
+
+use std::sync::Arc;
+
+use opsplane::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Latency buckets for the routed-request histogram, in seconds.
+const LATENCY_BOUNDS: &[f64] =
+    &[0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5];
+
+/// Instruments one gateway process.
+pub struct GatewayMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Requests routed to each shard (`gw_requests_total{shard=...}`).
+    pub requests: Vec<Counter>,
+    /// End-to-end gateway latency per shard: forward → reply released.
+    pub request_latency: Vec<Histogram>,
+    /// Watch events rebased and forwarded per shard.
+    pub watch_events: Vec<Counter>,
+    /// `multi` requests refused for spanning shards.
+    pub cross_shard_rejections: Counter,
+    /// Requests refused by the per-tenant rate limiter.
+    pub throttled: Counter,
+    /// Client sessions currently attached to the gateway.
+    pub front_sessions: Gauge,
+    /// Backend links currently open across all sessions and shards.
+    pub backend_links: Gauge,
+    /// Front handshakes accepted (new sessions and re-attaches).
+    pub handshakes: Counter,
+    /// Four-letter admin words served on the front port.
+    pub admin_commands: Counter,
+}
+
+impl GatewayMetrics {
+    /// Registers the gateway families for `shards` shards on a fresh
+    /// registry.
+    pub fn new(shards: usize) -> GatewayMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        let shard_label = |s: usize| [("shard", format!("{s}"))];
+        let mut requests = Vec::with_capacity(shards);
+        let mut request_latency = Vec::with_capacity(shards);
+        let mut watch_events = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let labels = shard_label(shard);
+            let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            requests.push(registry.counter_with(
+                "gw_requests_total",
+                &labels,
+                "Requests routed to this shard",
+            ));
+            request_latency.push(registry.histogram_with(
+                "gw_request_latency_seconds",
+                &labels,
+                "Gateway-observed latency of routed requests",
+                LATENCY_BOUNDS,
+            ));
+            watch_events.push(registry.counter_with(
+                "gw_watch_events_total",
+                &labels,
+                "Watch notifications rebased and forwarded from this shard",
+            ));
+        }
+        GatewayMetrics {
+            cross_shard_rejections: registry.counter(
+                "gw_cross_shard_rejections_total",
+                "Multi requests refused because their operations span shards",
+            ),
+            throttled: registry
+                .counter("gw_throttled_total", "Requests refused by the per-tenant rate limiter"),
+            front_sessions: registry
+                .gauge("gw_front_sessions", "Client sessions currently attached"),
+            backend_links: registry
+                .gauge("gw_backend_links", "Open backend links across all sessions and shards"),
+            handshakes: registry
+                .counter("gw_handshakes_total", "Front handshakes accepted (new and re-attach)"),
+            admin_commands: registry
+                .counter("gw_admin_commands_total", "Four-letter admin words served"),
+            registry,
+            requests,
+            request_latency,
+            watch_events,
+        }
+    }
+
+    /// The registry backing these families (serve it via
+    /// [`opsplane::OpsServer`] for `/metrics` scrapes).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_use_the_gw_prefix_exclusively() {
+        let metrics = GatewayMetrics::new(3);
+        metrics.requests[1].inc();
+        metrics.throttled.inc();
+        let names = metrics.registry().family_names();
+        assert!(!names.is_empty());
+        for name in &names {
+            assert!(name.starts_with("gw_"), "{name} escapes the gateway namespace");
+        }
+        let rendered = metrics.registry().render();
+        assert!(rendered.contains("gw_requests_total{shard=\"1\"} 1"), "{rendered}");
+    }
+}

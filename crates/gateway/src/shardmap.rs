@@ -1,0 +1,266 @@
+//! Longest-prefix subtree routing.
+//!
+//! A [`ShardMap`] assigns every znode path to exactly one shard by matching
+//! the path's leading components against configured subtree prefixes; the
+//! longest matching prefix wins. Matching is **purely byte-wise per
+//! component**, which is what lets the same code route plaintext paths and
+//! sealed paths: SecureKeeper's path encryption is deterministic per
+//! component, so a map whose prefixes were sealed with the storage key
+//! ([`ShardMap::sealed_with`]) routes ciphertext exactly as the plaintext
+//! map routes plaintext — without the gateway ever holding a key.
+
+use jute::shardmap::{ShardMapConfig, ShardMapEntry};
+use jute::{MultiRequest, Request};
+
+/// Why a request cannot be routed to a single shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A `multi` whose sub-operations map to different shards. Carries the
+    /// first path that left the transaction's shard.
+    CrossShard(String),
+}
+
+/// The routing table: subtree prefix → shard index, longest prefix wins.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    /// Prefix components (empty for `/`) and the owning shard, kept in
+    /// configuration order for deterministic tie-breaking.
+    entries: Vec<(Vec<String>, usize)>,
+}
+
+impl ShardMap {
+    /// Builds a map from prefix/shard pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a map with zero shards, a shard index out of range, or no
+    /// `/` entry (every path must route somewhere — totality is a
+    /// configuration invariant, not a runtime surprise).
+    pub fn new(shards: usize, rules: &[(&str, usize)]) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("a shard map needs at least one shard".into());
+        }
+        let mut entries = Vec::with_capacity(rules.len());
+        let mut has_root = false;
+        for (prefix, shard) in rules {
+            if *shard >= shards {
+                return Err(format!(
+                    "prefix {prefix} routes to shard {shard}, but only {shards} shards exist"
+                ));
+            }
+            let components: Vec<String> =
+                prefix.split('/').filter(|c| !c.is_empty()).map(str::to_string).collect();
+            has_root |= components.is_empty();
+            entries.push((components, *shard));
+        }
+        if !has_root {
+            return Err("a shard map must contain a `/` entry so every path routes".into());
+        }
+        Ok(ShardMap { shards, entries })
+    }
+
+    /// Builds a map from its wire-format configuration record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation failures of [`ShardMap::new`].
+    pub fn from_config(config: &ShardMapConfig) -> Result<Self, String> {
+        if config.shards <= 0 {
+            return Err("a shard map needs at least one shard".into());
+        }
+        let rules: Vec<(&str, usize)> =
+            config.entries.iter().map(|e| (e.prefix.as_str(), e.shard.max(0) as usize)).collect();
+        Self::new(config.shards as usize, &rules)
+    }
+
+    /// Renders the map back into its wire-format configuration record.
+    pub fn to_config(&self) -> ShardMapConfig {
+        ShardMapConfig {
+            shards: self.shards as i32,
+            entries: self
+                .entries
+                .iter()
+                .map(|(components, shard)| ShardMapEntry {
+                    prefix: if components.is_empty() {
+                        "/".to_string()
+                    } else {
+                        format!("/{}", components.join("/"))
+                    },
+                    shard: *shard as i32,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards this map addresses.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// A copy of this map whose prefixes were rewritten by `seal` (the
+    /// deployment tool passes a closure over the storage key's path cipher;
+    /// the gateway itself only ever sees the sealed output). The `/` entry
+    /// stays `/` — deterministic path encryption maps the root to itself.
+    pub fn sealed_with(&self, mut seal: impl FnMut(&str) -> String) -> ShardMap {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(components, shard)| {
+                if components.is_empty() {
+                    return (Vec::new(), *shard);
+                }
+                let sealed = seal(&format!("/{}", components.join("/")));
+                let sealed_components: Vec<String> =
+                    sealed.split('/').filter(|c| !c.is_empty()).map(str::to_string).collect();
+                (sealed_components, *shard)
+            })
+            .collect();
+        ShardMap { shards: self.shards, entries }
+    }
+
+    /// The shard owning `path`: the entry with the most leading components
+    /// in common wins; among equal-length matches the earliest configured
+    /// entry wins (deterministic tie-break). Total because construction
+    /// requires a `/` entry.
+    pub fn route(&self, path: &str) -> usize {
+        let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let mut best: Option<(usize, usize)> = None; // (match length, shard)
+        for (prefix, shard) in &self.entries {
+            if prefix.len() > components.len() {
+                continue;
+            }
+            if prefix.iter().zip(&components).all(|(p, c)| p == c) {
+                let better = match best {
+                    Some((len, _)) => prefix.len() > len,
+                    None => true,
+                };
+                if better {
+                    best = Some((prefix.len(), *shard));
+                }
+            }
+        }
+        best.map(|(_, shard)| shard).expect("shard maps are total by construction")
+    }
+
+    /// Routes a whole request: `Ok(Some(shard))` for anything with a path,
+    /// `Ok(None)` for pathless ops the gateway answers itself (ping,
+    /// close), and [`RouteError::CrossShard`] for a `multi` spanning
+    /// shards. A single-shard `multi` routes like a single op — it stays
+    /// atomic on its one ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::CrossShard`] when a `multi`'s sub-operations
+    /// map to more than one shard.
+    pub fn route_request(&self, request: &Request) -> Result<Option<usize>, RouteError> {
+        if let Some(path) = request.path() {
+            return Ok(Some(self.route(path)));
+        }
+        if let Request::Multi(multi) = request {
+            return self.route_multi(multi).map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Routes a `multi`: every sub-operation must land on one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::CrossShard`] with the first escaping path.
+    pub fn route_multi(&self, multi: &MultiRequest) -> Result<usize, RouteError> {
+        let mut ops = multi.ops.iter();
+        let first = match ops.next() {
+            Some(op) => op,
+            // An empty multi touches nothing; route it to the root's shard.
+            None => return Ok(self.route("/")),
+        };
+        let shard = self.route(first.path());
+        for op in ops {
+            if self.route(op.path()) != shard {
+                return Err(RouteError::CrossShard(op.path().to_string()));
+            }
+        }
+        Ok(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jute::records::{CreateMode, CreateRequest};
+    use jute::Op;
+
+    fn map() -> ShardMap {
+        ShardMap::new(3, &[("/", 0), ("/app", 1), ("/app/orders", 2)]).unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let map = map();
+        assert_eq!(map.route("/other/x"), 0);
+        assert_eq!(map.route("/app/users/42"), 1);
+        assert_eq!(map.route("/app/orders/9"), 2);
+        assert_eq!(map.route("/app/orders"), 2, "the boundary path itself belongs to the subtree");
+        assert_eq!(map.route("/app"), 1);
+        assert_eq!(map.route("/"), 0, "root routes via the `/` entry");
+    }
+
+    #[test]
+    fn equal_length_ties_break_to_the_earliest_entry() {
+        let map = ShardMap::new(2, &[("/", 0), ("/a/b", 1), ("/a/b", 0)]).unwrap();
+        assert_eq!(map.route("/a/b/c"), 1, "first configured entry wins the tie");
+    }
+
+    #[test]
+    fn totality_and_bounds_are_validated() {
+        assert!(ShardMap::new(0, &[("/", 0)]).is_err());
+        assert!(ShardMap::new(2, &[("/a", 1)]).is_err(), "no `/` entry");
+        assert!(ShardMap::new(2, &[("/", 5)]).is_err(), "shard out of range");
+    }
+
+    #[test]
+    fn config_roundtrip_preserves_routing() {
+        let original = map();
+        let rebuilt = ShardMap::from_config(&original.to_config()).unwrap();
+        for path in ["/", "/app", "/app/orders/1", "/zzz"] {
+            assert_eq!(original.route(path), rebuilt.route(path), "{path}");
+        }
+    }
+
+    #[test]
+    fn sealed_map_routes_sealed_paths_identically() {
+        // A toy deterministic "cipher": reverse each component. The real
+        // deployment uses PathCipher; only determinism matters here.
+        let seal = |path: &str| -> String {
+            let sealed: Vec<String> = path
+                .split('/')
+                .filter(|c| !c.is_empty())
+                .map(|c| c.chars().rev().collect())
+                .collect();
+            format!("/{}", sealed.join("/"))
+        };
+        let plain = map();
+        let sealed = plain.sealed_with(seal);
+        for path in ["/app/users/7", "/app/orders/1", "/elsewhere", "/"] {
+            assert_eq!(plain.route(path), sealed.route(&seal(path)), "{path}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_multi_is_rejected_with_the_escaping_path() {
+        let map = map();
+        let op = |path: &str| {
+            Op::Create(CreateRequest {
+                path: path.into(),
+                data: vec![],
+                mode: CreateMode::Persistent,
+            })
+        };
+        let single = MultiRequest::new(vec![op("/app/users/a"), op("/app/users/b")]);
+        assert_eq!(map.route_multi(&single), Ok(1));
+        let mixed = MultiRequest::new(vec![op("/app/users/a"), op("/app/orders/b")]);
+        assert_eq!(map.route_multi(&mixed), Err(RouteError::CrossShard("/app/orders/b".into())));
+        assert_eq!(map.route_multi(&MultiRequest::new(vec![])), Ok(0), "empty multi → root shard");
+    }
+}

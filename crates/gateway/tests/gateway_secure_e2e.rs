@@ -1,0 +1,227 @@
+//! Secure-mode end-to-end tests: a [`SealedClient`] seals paths and
+//! payloads with the storage key before they leave the client process,
+//! the gateway routes byte-wise over ciphertext prefixes using a shard
+//! map sealed with the same deterministic path cipher, and the backend
+//! shards store ciphertext verbatim. The gateway holds no keys at any
+//! point — these tests prove it (and the shards) never observe the
+//! plaintext markers the client writes.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gateway::{Gateway, GatewayConfig, ShardMap};
+use jute::multi::Op;
+use jute::records::{CheckVersionRequest, CreateMode, CreateRequest};
+use securekeeper::path_crypto::PathCipher;
+use securekeeper::SealedClient;
+use zkcrypto::keys::StorageKey;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::{ZkError, ZkReplica};
+
+/// Plaintext fragments that must never appear on the untrusted side.
+const MARKERS: &[&str] = &["app", "orders", "invoice", "customer-record", "tenant"];
+
+fn shard_ensemble_config(subtree_root: Option<&str>) -> EnsembleConfig {
+    let mut config = EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(5),
+        ..EnsembleConfig::default()
+    };
+    config.net.subtree_root = subtree_root.map(str::to_string);
+    config
+}
+
+struct SecureFixture {
+    shards: Vec<Vec<ZkEnsembleServer>>,
+    gateway: Gateway,
+    key: StorageKey,
+    plain_map: ShardMap,
+    sealed_map: ShardMap,
+}
+
+const PLAIN_RULES: &[(&str, usize)] = &[("/", 0), ("/app", 1)];
+
+impl SecureFixture {
+    /// Seals the shard-map prefixes with the storage key's path cipher,
+    /// boots one shard ensemble per rule (guarding the *sealed* subtree),
+    /// bootstraps the sealed prefix chain, and fronts it with a gateway
+    /// configured from ciphertext only.
+    fn start() -> SecureFixture {
+        let key = StorageKey::derive_from_label("sharding-e2e");
+        let cipher = PathCipher::new(&key);
+        let seal = |path: &str| cipher.encrypt_path(path).expect("seal prefix");
+
+        let plain_map = ShardMap::new(2, PLAIN_RULES).expect("plain map");
+        let sealed_map = plain_map.sealed_with(|p| seal(p));
+
+        // Shard 0 guards `/` (everything); shard 1 guards the sealed /app.
+        let guards = [None, Some(seal("/app"))];
+        let shards: Vec<Vec<ZkEnsembleServer>> = guards
+            .iter()
+            .map(|guard| {
+                let config = shard_ensemble_config(guard.as_deref());
+                ZkEnsembleServer::start_local_ensemble(1, &config, |id| {
+                    Arc::new(ZkReplica::new(id))
+                })
+                .expect("bind shard ensemble")
+            })
+            .collect();
+
+        // Bootstrap the sealed `/app` node directly on shard 1, through the
+        // sealing client (so its payload is valid ciphertext too).
+        let mut boot = SealedClient::connect(shards[1][0].client_addr(), &key, 40_000)
+            .expect("bootstrap client");
+        boot.create("/app", Vec::new(), CreateMode::Persistent).expect("bootstrap /app");
+        boot.close();
+
+        let shard_addrs: Vec<Vec<SocketAddr>> = shards
+            .iter()
+            .map(|members| members.iter().map(ZkEnsembleServer::client_addr).collect())
+            .collect();
+        let gateway =
+            Gateway::bind("127.0.0.1:0", GatewayConfig::new(sealed_map.clone(), shard_addrs))
+                .expect("bind gateway");
+
+        SecureFixture { shards, gateway, key, plain_map, sealed_map }
+    }
+
+    fn connect(&self) -> SealedClient {
+        SealedClient::connect(self.gateway.local_addr(), &self.key, 40_000)
+            .expect("connect sealed client via gateway")
+    }
+
+    /// Asserts no plaintext marker appears anywhere in a shard's tree —
+    /// the backend (and therefore the gateway, which only ever relayed
+    /// these same bytes) never observed client plaintext.
+    fn assert_no_plaintext(&self, shard: usize) {
+        let replica = self.shards[shard][0].replica();
+        let tree = replica.tree();
+        for path in tree.paths() {
+            for marker in MARKERS {
+                assert!(!path.contains(marker), "plaintext path leaked on shard {shard}: {path}");
+            }
+            if path != "/" {
+                let rendered =
+                    String::from_utf8_lossy(tree.get(&path).unwrap().data()).into_owned();
+                for marker in MARKERS {
+                    assert!(
+                        !rendered.contains(marker),
+                        "plaintext payload leaked on shard {shard} at {path}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sealed_sessions_route_read_and_write_through_the_gateway() {
+    let fixture = SecureFixture::start();
+    let mut client = fixture.connect();
+
+    client.create("/tenant-ledger", b"customer-record 1".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/app/orders", b"invoice 17".to_vec(), CreateMode::Persistent).unwrap();
+    client.create("/app/orders/first", b"invoice 18".to_vec(), CreateMode::Persistent).unwrap();
+
+    let (data, _) = client.get_data("/tenant-ledger", false).unwrap();
+    assert_eq!(data, b"customer-record 1");
+    let (data, _) = client.get_data("/app/orders/first", false).unwrap();
+    assert_eq!(data, b"invoice 18");
+
+    let children = client.get_children("/app/orders", false).unwrap();
+    assert_eq!(children, vec!["first".to_string()], "child names decrypt back to plaintext");
+
+    // The writes landed on the shards the *plaintext* rules prescribe,
+    // even though the gateway only ever saw ciphertext.
+    let shard1 = fixture.shards[1][0].replica();
+    assert!(shard1.tree().paths().len() > 1, "the /app subtree lives on shard 1");
+    fixture.assert_no_plaintext(0);
+    fixture.assert_no_plaintext(1);
+
+    // Sanity: what actually crossed the wire was not the plaintext path.
+    let sealed = client.seal_path("/app/orders").unwrap();
+    assert_ne!(sealed, "/app/orders");
+    assert!(!sealed.contains("orders"));
+
+    client.close();
+}
+
+#[test]
+fn sealed_map_routes_exactly_like_the_plain_map() {
+    let fixture = SecureFixture::start();
+    let client = fixture.connect();
+
+    // Routing equivalence with the real deterministic, prefix-preserving
+    // path cipher: for every probe, sealing the path and routing it on the
+    // sealed map picks the same shard as routing the plaintext on the
+    // plain map.
+    let probes = [
+        "/",
+        "/app",
+        "/app/orders",
+        "/app/orders/deep/leaf",
+        "/apple",
+        "/tenant-ledger",
+        "/other/app",
+    ];
+    for probe in probes {
+        let sealed = client.seal_path(probe).unwrap();
+        assert_eq!(
+            fixture.sealed_map.route(&sealed),
+            fixture.plain_map.route(probe),
+            "sealed routing diverges for {probe} (sealed: {sealed})"
+        );
+    }
+    client.close();
+}
+
+#[test]
+fn sealed_cross_shard_multi_is_refused_and_sequentials_are_rejected_client_side() {
+    let fixture = SecureFixture::start();
+    let mut client = fixture.connect();
+
+    client.create("/app/tx", b"invoice base".to_vec(), CreateMode::Persistent).unwrap();
+    let err = client
+        .multi(vec![
+            Op::Create(CreateRequest {
+                path: "/tenant-span".into(),
+                data: Vec::new(),
+                mode: CreateMode::Persistent,
+            }),
+            Op::Check(CheckVersionRequest { path: "/app/tx".into(), version: -1 }),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, ZkError::CrossShard { .. }), "got {err:?}");
+
+    // Sequential creates need the server-side counter enclave, which the
+    // plain backends behind the gateway do not run — refused before any
+    // bytes leave the client.
+    let err = client.create("/app/seq-", Vec::new(), CreateMode::PersistentSequential).unwrap_err();
+    assert!(matches!(err, ZkError::BadArguments { .. }), "got {err:?}");
+
+    fixture.assert_no_plaintext(0);
+    fixture.assert_no_plaintext(1);
+    client.close();
+}
+
+#[test]
+fn sealed_watches_decrypt_their_event_paths() {
+    let fixture = SecureFixture::start();
+    let mut watcher = fixture.connect();
+    let mut writer = fixture.connect();
+
+    watcher.create("/app/watched", b"invoice v0".to_vec(), CreateMode::Persistent).unwrap();
+    watcher.get_data("/app/watched", true).unwrap();
+    writer.set_data("/app/watched", b"invoice v1".to_vec(), -1).unwrap();
+
+    let events = watcher.poll_events(Duration::from_secs(5)).unwrap();
+    assert_eq!(events.len(), 1, "{events:?}");
+    assert_eq!(events[0].path, "/app/watched", "the event path decrypts back to plaintext");
+
+    watcher.close();
+    writer.close();
+}

@@ -17,6 +17,8 @@
 //! * [`framing`] — the 4-byte length framing used on the wire;
 //! * [`multi`] — the typed [`Op`]/[`OpResult`] model of atomic `multi`
 //!   transactions (opcode 14) with their nested `MultiHeader` wire framing;
+//! * [`shardmap`] — the shard-map configuration records consumed by the
+//!   sharded-namespace routing gateway;
 //! * [`Request`] and [`Response`] — typed unions over all operations, the
 //!   currency of the rest of the workspace.
 //!
@@ -46,6 +48,7 @@ pub mod framing;
 pub mod multi;
 pub mod records;
 pub mod ser;
+pub mod shardmap;
 
 mod message;
 

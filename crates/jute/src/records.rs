@@ -133,6 +133,11 @@ pub enum ErrorCode {
     /// The session exceeded its request-rate budget; the client should back
     /// off and retry (ZooKeeper's `THROTTLEDOP`).
     Throttled,
+    /// The operation spans more than one namespace shard (a `multi` whose
+    /// sub-operations route to different ensembles, or a single-path op sent
+    /// to a member that does not own the path's subtree). The client must
+    /// split the transaction per shard or re-route.
+    CrossShard,
 }
 
 impl ErrorCode {
@@ -154,6 +159,7 @@ impl ErrorCode {
             ErrorCode::SessionExpired => -112,
             ErrorCode::AuthFailed => -115,
             ErrorCode::Throttled => -127,
+            ErrorCode::CrossShard => -126,
         }
     }
 
@@ -174,6 +180,7 @@ impl ErrorCode {
             -112 => ErrorCode::SessionExpired,
             -115 => ErrorCode::AuthFailed,
             -127 => ErrorCode::Throttled,
+            -126 => ErrorCode::CrossShard,
             _ => ErrorCode::MarshallingError,
         }
     }
@@ -895,6 +902,7 @@ mod tests {
             ErrorCode::SessionExpired,
             ErrorCode::NoQuorum,
             ErrorCode::Throttled,
+            ErrorCode::CrossShard,
         ] {
             assert_eq!(ErrorCode::from_i32(code.to_i32()), code);
         }

@@ -1,0 +1,115 @@
+//! Shard-map configuration records.
+//!
+//! The sharded deployment partitions the znode tree by path subtree across
+//! independent ensembles behind a routing gateway. The map from subtree
+//! prefix to shard index is *configuration* that must travel between
+//! operators, gateways, and tooling, so it is serialized in the same jute
+//! record format as everything else on the wire.
+//!
+//! These records carry only the routing table — prefix strings and shard
+//! indices. Shard *addresses* are deployment-local and stay outside the
+//! record (the gateway binds them at boot). In secure mode the prefixes in
+//! an entry may be ciphertext (sealed component-wise by the deployment
+//! tooling that holds the storage key); the records are oblivious to which.
+
+use crate::de::InputArchive;
+use crate::error::JuteError;
+use crate::ser::OutputArchive;
+
+/// One routing rule: every path under `prefix` belongs to shard `shard`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMapEntry {
+    /// Subtree prefix, e.g. `/` or `/app/users` (plaintext or sealed).
+    pub prefix: String,
+    /// Index of the owning shard, `0..shards`.
+    pub shard: i32,
+}
+
+impl ShardMapEntry {
+    /// Serializes the record.
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_string(&self.prefix);
+        out.write_i32(self.shard);
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        Ok(ShardMapEntry { prefix: input.read_string("prefix")?, shard: input.read_i32("shard")? })
+    }
+}
+
+/// The full routing table: the shard count plus longest-prefix rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMapConfig {
+    /// Number of shards addressed by the entries.
+    pub shards: i32,
+    /// Routing rules; longest matching prefix wins.
+    pub entries: Vec<ShardMapEntry>,
+}
+
+impl ShardMapConfig {
+    /// Serializes the record (entry vector is length-prefixed like every
+    /// jute vector).
+    pub fn serialize(&self, out: &mut OutputArchive) {
+        out.write_i32(self.shards);
+        out.write_i32(self.entries.len() as i32);
+        for entry in &self.entries {
+            entry.serialize(out);
+        }
+    }
+
+    /// Deserializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures and rejects negative lengths.
+    pub fn deserialize(input: &mut InputArchive<'_>) -> Result<Self, JuteError> {
+        let shards = input.read_i32("shards")?;
+        let count = input.read_i32("entry count")?;
+        if count < 0 {
+            return Err(JuteError::InvalidLength { what: "entry count", length: i64::from(count) });
+        }
+        let mut entries = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            entries.push(ShardMapEntry::deserialize(input)?);
+        }
+        Ok(ShardMapConfig { shards, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_roundtrip() {
+        let config = ShardMapConfig {
+            shards: 3,
+            entries: vec![
+                ShardMapEntry { prefix: "/".into(), shard: 0 },
+                ShardMapEntry { prefix: "/app/users".into(), shard: 1 },
+                ShardMapEntry { prefix: "/app/orders".into(), shard: 2 },
+            ],
+        };
+        let mut out = OutputArchive::with_capacity(64);
+        config.serialize(&mut out);
+        let bytes = out.into_bytes();
+        let mut input = InputArchive::new(&bytes);
+        let decoded = ShardMapConfig::deserialize(&mut input).unwrap();
+        input.expect_exhausted().unwrap();
+        assert_eq!(decoded, config);
+    }
+
+    #[test]
+    fn negative_entry_count_is_rejected() {
+        let mut out = OutputArchive::with_capacity(8);
+        out.write_i32(2);
+        out.write_i32(-1);
+        let bytes = out.into_bytes();
+        assert!(ShardMapConfig::deserialize(&mut InputArchive::new(&bytes)).is_err());
+    }
+}

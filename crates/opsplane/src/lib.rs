@@ -34,5 +34,5 @@ pub mod words;
 
 pub use http::{http_get, OpsServer, ProbeState};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use ratelimit::{RateLimitConfig, SessionRateLimiter};
-pub use words::{send_word, ServerInfo, ADMIN_WORDS};
+pub use ratelimit::{RateLimitConfig, SessionRateLimiter, TenantRateLimiter};
+pub use words::{send_word, DataDirInfo, ServerInfo, ADMIN_WORDS};

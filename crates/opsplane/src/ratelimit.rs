@@ -87,6 +87,72 @@ impl SessionRateLimiter {
     }
 }
 
+/// Per-*tenant* token buckets, keyed by namespace rather than session.
+///
+/// At the sharded-namespace gateway a tenant is the first component of the
+/// request path (`/acme/...` → tenant `acme`) — in secure mode that
+/// component is deterministic ciphertext, which still identifies the tenant
+/// byte-for-byte without revealing it. Unlike sessions, tenants are
+/// long-lived and shared across many connections, so buckets are never
+/// forgotten implicitly; an operator can [`TenantRateLimiter::forget`] one
+/// to reset it.
+pub struct TenantRateLimiter {
+    config: RateLimitConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TenantRateLimiter {
+    /// Creates a limiter enforcing `config` on every tenant.
+    pub fn new(config: RateLimitConfig) -> Self {
+        TenantRateLimiter { config, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> RateLimitConfig {
+        self.config
+    }
+
+    /// The tenant a path belongs to: its first component (the whole
+    /// namespace subtree). The root path itself belongs to the reserved
+    /// empty tenant.
+    pub fn tenant_of(path: &str) -> &str {
+        let trimmed = path.strip_prefix('/').unwrap_or(path);
+        trimmed.split('/').next().unwrap_or("")
+    }
+
+    /// Takes one token for the tenant owning `path`. Returns `false` —
+    /// throttle — when the tenant's bucket is empty.
+    pub fn try_acquire(&self, path: &str) -> bool {
+        let tenant = Self::tenant_of(path);
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(tenant.to_string()).or_insert_with(|| Bucket {
+            tokens: f64::from(self.config.capacity),
+            last_refill: now,
+        });
+        let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * f64::from(self.config.refill_per_sec))
+            .min(f64::from(self.config.capacity));
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets the bucket of one tenant.
+    pub fn forget(&self, tenant: &str) {
+        self.buckets.lock().remove(tenant);
+    }
+
+    /// Number of tenants currently holding a bucket.
+    pub fn tracked_tenants(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +193,33 @@ mod tests {
         assert_eq!(limiter.tracked_sessions(), 2);
         limiter.forget(1);
         assert_eq!(limiter.tracked_sessions(), 1);
+    }
+
+    #[test]
+    fn tenant_is_the_first_path_component() {
+        assert_eq!(TenantRateLimiter::tenant_of("/acme/users/42"), "acme");
+        assert_eq!(TenantRateLimiter::tenant_of("/acme"), "acme");
+        assert_eq!(TenantRateLimiter::tenant_of("/"), "");
+    }
+
+    #[test]
+    fn tenants_share_a_bucket_across_paths() {
+        let limiter = TenantRateLimiter::new(RateLimitConfig { capacity: 2, refill_per_sec: 1 });
+        assert!(limiter.try_acquire("/acme/a"));
+        assert!(limiter.try_acquire("/acme/b"));
+        assert!(!limiter.try_acquire("/acme/c"), "one tenant, one bucket");
+        assert!(limiter.try_acquire("/globex/a"), "other tenants are unaffected");
+        assert_eq!(limiter.tracked_tenants(), 2);
+        limiter.forget("acme");
+        assert!(limiter.try_acquire("/acme/d"), "forgetting a tenant resets its bucket");
+    }
+
+    #[test]
+    fn tenant_tokens_refill_over_time() {
+        let limiter = TenantRateLimiter::new(RateLimitConfig { capacity: 1, refill_per_sec: 100 });
+        assert!(limiter.try_acquire("/t/x"));
+        assert!(!limiter.try_acquire("/t/y"));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(limiter.try_acquire("/t/z"), "refill must restore tenant tokens");
     }
 }

@@ -18,6 +18,7 @@
 //! | `cons` | per-connection detail (peer address, session id)             |
 //! | `wchs` | watch summary (pending watch count)                          |
 //! | `mntr` | every registry metric as `key\tvalue` lines, machine-readable |
+//! | `dirs` | WAL and snapshot data-directory sizes on disk                |
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -26,7 +27,7 @@ use std::time::Duration;
 use crate::metrics::MetricsRegistry;
 
 /// Every admin word the server answers, in documentation order.
-pub const ADMIN_WORDS: [&str; 6] = ["ruok", "srvr", "stat", "cons", "wchs", "mntr"];
+pub const ADMIN_WORDS: [&str; 7] = ["ruok", "srvr", "stat", "cons", "wchs", "mntr", "dirs"];
 
 /// Maps the first four bytes of a connection to an admin word, if they
 /// spell one.
@@ -41,6 +42,22 @@ pub struct ClientInfo {
     pub addr: String,
     /// Session id served on it, or `None` before the handshake completes.
     pub session_id: Option<i64>,
+}
+
+/// On-disk footprint of one member's durable state, reported by `dirs`.
+/// `None` on [`ServerInfo`] means the member runs purely in memory.
+#[derive(Debug, Clone, Default)]
+pub struct DataDirInfo {
+    /// Root of the member's data directory.
+    pub data_dir: String,
+    /// Total bytes across live WAL segment files.
+    pub wal_bytes: u64,
+    /// Number of live WAL segment files.
+    pub wal_segments: u64,
+    /// Total bytes across retained snapshot files.
+    pub snapshot_bytes: u64,
+    /// Number of retained snapshot files.
+    pub snapshots: u64,
 }
 
 /// A point-in-time snapshot of one member, gathered by the server when an
@@ -77,6 +94,8 @@ pub struct ServerInfo {
     pub secure: bool,
     /// Open client connections, for `stat`/`cons`.
     pub clients: Vec<ClientInfo>,
+    /// Durable-storage footprint, or `None` for in-memory members.
+    pub data_dirs: Option<DataDirInfo>,
 }
 
 /// Builds the reply for `word`, or `None` if the word is unknown.
@@ -116,7 +135,25 @@ pub fn respond(word: &str, info: &ServerInfo, registry: &MetricsRegistry) -> Opt
             }
             Some(out)
         }
+        "dirs" => Some(dirs_lines(info)),
         _ => None,
+    }
+}
+
+/// Renders the `dirs` reply for one member (also the line format each
+/// shard member contributes to the gateway's aggregated reply).
+pub fn dirs_lines(info: &ServerInfo) -> String {
+    match &info.data_dirs {
+        Some(dirs) => format!(
+            "Member id: {}\nData dir: {}\nWal bytes: {}\nWal segments: {}\nSnapshot bytes: {}\nSnapshots: {}\n",
+            info.member_id,
+            dirs.data_dir,
+            dirs.wal_bytes,
+            dirs.wal_segments,
+            dirs.snapshot_bytes,
+            dirs.snapshots,
+        ),
+        None => format!("Member id: {}\nData dir: none (in-memory)\n", info.member_id),
     }
 }
 
@@ -208,6 +245,7 @@ mod tests {
                 ClientInfo { addr: "127.0.0.1:50001".to_string(), session_id: Some(0x1001) },
                 ClientInfo { addr: "127.0.0.1:50002".to_string(), session_id: None },
             ],
+            data_dirs: None,
         }
     }
 
@@ -252,6 +290,28 @@ mod tests {
         let cons = respond("cons", &info(), &registry).unwrap();
         assert!(cons.contains("127.0.0.1:50002[handshaking]"));
         assert!(!cons.contains("Mode:"));
+    }
+
+    #[test]
+    fn dirs_reports_durable_footprint_or_in_memory() {
+        let registry = MetricsRegistry::new();
+        let memory = respond("dirs", &info(), &registry).unwrap();
+        assert!(memory.contains("Data dir: none (in-memory)"));
+
+        let mut durable = info();
+        durable.data_dirs = Some(DataDirInfo {
+            data_dir: "/var/lib/zk/member2".to_string(),
+            wal_bytes: 8192,
+            wal_segments: 2,
+            snapshot_bytes: 4096,
+            snapshots: 1,
+        });
+        let reply = respond("dirs", &durable, &registry).unwrap();
+        assert!(reply.contains("Data dir: /var/lib/zk/member2"));
+        assert!(reply.contains("Wal bytes: 8192"));
+        assert!(reply.contains("Wal segments: 2"));
+        assert!(reply.contains("Snapshot bytes: 4096"));
+        assert!(reply.contains("Snapshots: 1"));
     }
 
     #[test]

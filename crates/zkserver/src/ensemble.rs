@@ -1023,6 +1023,7 @@ impl WriteHandler for EnsembleCore {
             leader,
             ready: self.probes.is_ready(),
             draining: self.draining.load(Ordering::SeqCst),
+            data_dirs: self.persistence.as_ref().map(ReplicaPersistence::dir_sizes),
         }
     }
 

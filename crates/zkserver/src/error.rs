@@ -68,6 +68,13 @@ pub enum ZkError {
     },
     /// The session exceeded its request-rate budget; back off and retry.
     Throttled,
+    /// The operation spans more than one namespace shard (or was sent to a
+    /// member that does not own the path's subtree); split it per shard.
+    CrossShard {
+        /// The offending path, or the first sub-operation path that left the
+        /// transaction's shard.
+        path: String,
+    },
 }
 
 impl ZkError {
@@ -86,6 +93,7 @@ impl ZkError {
             ZkError::NoQuorum => ErrorCode::NoQuorum,
             ZkError::ConnectionLoss { .. } => ErrorCode::ConnectionLoss,
             ZkError::Throttled => ErrorCode::Throttled,
+            ZkError::CrossShard { .. } => ErrorCode::CrossShard,
         }
     }
 }
@@ -111,6 +119,9 @@ impl fmt::Display for ZkError {
             ZkError::NoQuorum => write!(f, "cluster has no quorum"),
             ZkError::ConnectionLoss { reason } => write!(f, "connection lost: {reason}"),
             ZkError::Throttled => write!(f, "session request rate exceeded; retry later"),
+            ZkError::CrossShard { path } => {
+                write!(f, "operation crosses shard boundaries at {path}")
+            }
         }
     }
 }

@@ -160,6 +160,9 @@ pub struct AdminInfo {
     pub ready: bool,
     /// Whether a graceful drain is in progress.
     pub draining: bool,
+    /// On-disk WAL/snapshot footprint for the `dirs` word; `None` for
+    /// in-memory members.
+    pub data_dirs: Option<opsplane::DataDirInfo>,
 }
 
 impl Default for AdminInfo {
@@ -170,6 +173,7 @@ impl Default for AdminInfo {
             leader: None,
             ready: true,
             draining: false,
+            data_dirs: None,
         }
     }
 }
@@ -201,6 +205,13 @@ pub struct NetConfig {
     pub rate_limit: Option<RateLimitConfig>,
     /// Number of reactor event-loop shards; `0` picks `min(cores, 4)`.
     pub event_loops: usize,
+    /// When set, this member owns only the named subtree of the namespace
+    /// (it is one shard of a partitioned deployment): any operation on a
+    /// path that is neither inside the subtree nor an ancestor of it is
+    /// answered with the typed `CrossShard` error. Ancestors stay
+    /// addressable so the chain of parents above the shard root can be
+    /// bootstrapped and inspected.
+    pub subtree_root: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -210,6 +221,7 @@ impl Default for NetConfig {
             tick_interval: Duration::from_millis(20),
             rate_limit: None,
             event_loops: 0,
+            subtree_root: None,
         }
     }
 }
@@ -310,6 +322,34 @@ impl Shared {
 
 /// Serializes a watch notification as a reply frame with
 /// [`NOTIFICATION_XID`] in the header, the format real ZooKeeper uses.
+/// True when `path` lies on the member's subtree axis: the shard root
+/// itself, one of its descendants, or one of its ancestors. Comparison is
+/// component-wise and purely byte-wise, so it works unchanged on sealed
+/// (per-component encrypted) paths.
+pub fn within_subtree(path: &str, root: &str) -> bool {
+    let mut path_parts = path.split('/').filter(|c| !c.is_empty());
+    let mut root_parts = root.split('/').filter(|c| !c.is_empty());
+    loop {
+        match (path_parts.next(), root_parts.next()) {
+            (Some(p), Some(r)) if p == r => continue,
+            (Some(_), Some(_)) => return false,
+            // One side ran out: ancestor or descendant (or equal) — in.
+            _ => return true,
+        }
+    }
+}
+
+/// True when any path the request names leaves this member's subtree.
+fn request_escapes_subtree(request: &Request, root: &str) -> bool {
+    if let Some(path) = request.path() {
+        return !within_subtree(path, root);
+    }
+    if let Request::Multi(multi) = request {
+        return multi.ops.iter().any(|op| !within_subtree(op.path(), root));
+    }
+    false
+}
+
 fn encode_watch_event(event: &WatchEvent, zxid: i64) -> Vec<u8> {
     let mut out = OutputArchive::with_capacity(32 + event.path.len());
     ReplyHeader { xid: NOTIFICATION_XID, zxid, err: ErrorCode::Ok }.serialize(&mut out);
@@ -403,6 +443,18 @@ impl ZkService {
                 request,
                 started: Instant::now(),
             });
+        }
+
+        // Subtree enforcement runs before the rate limiter: a misrouted
+        // request is a deployment error, not tenant traffic, and must not
+        // drain the session's token budget.
+        if let Some(root) = &shared.config.subtree_root {
+            if request_escapes_subtree(&request, root) {
+                shared.metrics.request_errors.inc();
+                let response = jute::Response::Error(ErrorCode::CrossShard);
+                self.respond(conn, session_id, &header, &response, shared.replica.last_zxid());
+                return RequestRoute::Done;
+            }
         }
 
         // Rate limiting happens after the exempt requests (pings keep the
@@ -628,6 +680,7 @@ fn serve_admin_word(shared: &Arc<Shared>, word: &str, conn: &Arc<ZkConn>) {
         draining: admin.draining,
         secure: replica.interceptor().name() != "passthrough",
         clients,
+        data_dirs: admin.data_dirs,
     };
     if let Some(reply) = words::respond(word, &info, &shared.metrics.registry()) {
         shared.metrics.admin_commands.inc();
@@ -898,5 +951,41 @@ fn ticker_loop(shared: &Shared) {
             shared.drop_connection(session_id);
         }
         shared.fan_out_watch_events();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtree_membership_is_componentwise() {
+        assert!(within_subtree("/a/b/c", "/a/b"), "descendant is in");
+        assert!(within_subtree("/a/b", "/a/b"), "the shard root itself is in");
+        assert!(within_subtree("/a", "/a/b"), "ancestors stay addressable");
+        assert!(within_subtree("/", "/a/b"), "the tree root is everyone's ancestor");
+        assert!(!within_subtree("/a/x", "/a/b"), "siblings are out");
+        assert!(!within_subtree("/ab", "/a"), "string prefix is not component prefix");
+        assert!(within_subtree("/anything", "/"), "a root-rooted shard owns everything");
+    }
+
+    #[test]
+    fn multi_escape_checks_every_sub_operation() {
+        use jute::records::{CreateMode, CreateRequest};
+        let inside = jute::multi::Op::Create(CreateRequest {
+            path: "/a/b/x".into(),
+            data: vec![],
+            mode: CreateMode::Persistent,
+        });
+        let outside = jute::multi::Op::Create(CreateRequest {
+            path: "/z/x".into(),
+            data: vec![],
+            mode: CreateMode::Persistent,
+        });
+        let mixed = Request::Multi(jute::MultiRequest::new(vec![inside.clone(), outside]));
+        assert!(request_escapes_subtree(&mixed, "/a/b"));
+        let pure = Request::Multi(jute::MultiRequest::new(vec![inside]));
+        assert!(!request_escapes_subtree(&pure, "/a/b"));
+        assert!(!request_escapes_subtree(&Request::Ping, "/a/b"), "pathless ops never escape");
     }
 }

@@ -343,6 +343,7 @@ pub fn error_from_code(code: ErrorCode, path: &str) -> ZkError {
         ErrorCode::AuthFailed => ZkError::Marshalling { reason: "authentication failed".into() },
         ErrorCode::BadArguments => ZkError::BadArguments { reason: path.to_string() },
         ErrorCode::Throttled => ZkError::Throttled,
+        ErrorCode::CrossShard => ZkError::CrossShard { path: path.to_string() },
         ErrorCode::Ok | ErrorCode::MarshallingError => {
             ZkError::Marshalling { reason: format!("unexpected error code for {path}") }
         }

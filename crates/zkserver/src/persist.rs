@@ -270,6 +270,35 @@ impl ReplicaPersistence {
         self.config
     }
 
+    /// Measures the on-disk footprint of the WAL and snapshot directories
+    /// (file sizes as of this call), for the `dirs` admin word.
+    pub fn dir_sizes(&self) -> opsplane::DataDirInfo {
+        fn scan(dir: &Path) -> (u64, u64) {
+            let mut bytes = 0;
+            let mut files = 0;
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if let Ok(meta) = entry.metadata() {
+                        if meta.is_file() {
+                            bytes += meta.len();
+                            files += 1;
+                        }
+                    }
+                }
+            }
+            (bytes, files)
+        }
+        let (wal_bytes, wal_segments) = scan(&self.data_dir.join("log"));
+        let (snapshot_bytes, snapshots) = scan(&self.data_dir.join("snap"));
+        opsplane::DataDirInfo {
+            data_dir: self.data_dir.display().to_string(),
+            wal_bytes,
+            wal_segments,
+            snapshot_bytes,
+            snapshots,
+        }
+    }
+
     /// Takes the state recovered at [`ReplicaPersistence::open`] (consumed
     /// once, by the ensemble boot path).
     pub fn take_recovery(&self) -> RecoveredState {
