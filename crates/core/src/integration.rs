@@ -172,9 +172,14 @@ impl RequestInterceptor for SecureKeeperInterceptor {
     }
 
     fn on_request(&self, session_id: i64, buffer: &mut Vec<u8>) -> Result<(), ZkError> {
+        // The trace context was peeled off the frame (and made ambient)
+        // before the enclave boundary, so the open/seal spans live in the
+        // untrusted host — the trace plane never enters the TCB.
+        let open_start = trace::now_ns();
         let enclave = self.enclave_for(session_id)?;
         enclave.process_request(buffer).map_err(ZkError::from)?;
         self.frames_opened.fetch_add(1, Ordering::Relaxed);
+        trace::record_current(trace::Stage::Open, open_start, session_id as u64);
         Ok(())
     }
 
@@ -193,9 +198,11 @@ impl RequestInterceptor for SecureKeeperInterceptor {
     ) -> Result<(), ZkError> {
         // The operation type is *not* taken from the untrusted caller: the
         // enclave uses its own FIFO queue, as in the paper.
+        let seal_start = trace::now_ns();
         let enclave = self.enclave_for(session_id)?;
         enclave.process_response(buffer).map_err(ZkError::from)?;
         self.frames_sealed.fetch_add(1, Ordering::Relaxed);
+        trace::record_current(trace::Stage::Seal, seal_start, session_id as u64);
         Ok(())
     }
 

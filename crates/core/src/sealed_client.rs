@@ -93,6 +93,18 @@ impl SealedClient {
         self.inner.last_zxid()
     }
 
+    /// Sets the client's trace sampling rate (see
+    /// [`ZkTcpClient::sample_one_in`]); sealing changes nothing about the
+    /// envelope, which rides outside every cipher.
+    pub fn sample_one_in(&mut self, n: u32) {
+        self.inner.sample_one_in(n);
+    }
+
+    /// The trace id minted for the most recently submitted request.
+    pub fn last_trace_id(&self) -> u64 {
+        self.inner.last_trace_id()
+    }
+
     /// Re-dials `addr` and re-attaches the session (see
     /// [`ZkTcpClient::reconnect_to`]); sealing state is key-derived and
     /// carries over untouched.

@@ -7,11 +7,9 @@
 
 use std::sync::Arc;
 
-use opsplane::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-
-/// Latency buckets for the routed-request histogram, in seconds.
-const LATENCY_BOUNDS: &[f64] =
-    &[0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5];
+use opsplane::metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, READ_LATENCY_BUCKETS, STAGE_DURATION_BUCKETS,
+};
 
 /// Instruments one gateway process.
 pub struct GatewayMetrics {
@@ -34,6 +32,10 @@ pub struct GatewayMetrics {
     pub handshakes: Counter,
     /// Four-letter admin words served on the front port.
     pub admin_commands: Counter,
+    /// Time spent deciding and forwarding one request
+    /// (`gw_stage_duration_seconds{stage="route"}`), the gateway's slice of
+    /// the end-to-end trace taxonomy.
+    pub route_duration: Histogram,
 }
 
 impl GatewayMetrics {
@@ -57,7 +59,7 @@ impl GatewayMetrics {
                 "gw_request_latency_seconds",
                 &labels,
                 "Gateway-observed latency of routed requests",
-                LATENCY_BOUNDS,
+                &READ_LATENCY_BUCKETS,
             ));
             watch_events.push(registry.counter_with(
                 "gw_watch_events_total",
@@ -80,6 +82,12 @@ impl GatewayMetrics {
                 .counter("gw_handshakes_total", "Front handshakes accepted (new and re-attach)"),
             admin_commands: registry
                 .counter("gw_admin_commands_total", "Four-letter admin words served"),
+            route_duration: registry.histogram_with(
+                "gw_stage_duration_seconds",
+                &[("stage", "route")],
+                "Gateway pipeline stage duration in seconds, by stage",
+                &STAGE_DURATION_BUCKETS,
+            ),
             registry,
             requests,
             request_latency,

@@ -42,10 +42,12 @@ use jute::records::{
     ConnectRequest, ConnectResponse, ErrorCode, OpCode, ReplyHeader, RequestHeader,
     NOTIFICATION_XID,
 };
+use jute::trace_envelope;
 use jute::{framing, InputArchive, OutputArchive, Request, Response};
 use netcore::{Conn, Reactor, ReactorConfig, Service};
 use opsplane::{words, MetricsRegistry, RateLimitConfig, TenantRateLimiter};
 use parking_lot::Mutex;
+use trace::{SpanRecord, Stage};
 
 use crate::backend::{BackendLink, GATEWAY_XID};
 use crate::lanes::LaneCodec;
@@ -350,8 +352,17 @@ impl GatewayService {
         Some(link)
     }
 
-    fn handle_request(&self, conn: &Arc<Conn<FrontSlot>>, frame: Vec<u8>) {
-        let (header, request) = match Request::from_bytes(&frame) {
+    fn handle_request(&self, conn: &Arc<Conn<FrontSlot>>, mut frame: Vec<u8>) {
+        // The gateway is keyless by design: the trace envelope is the only
+        // part of the frame it may rewrite, and the jute body — sealed in
+        // secure deployments — is parsed at an offset and forwarded intact.
+        let route_start = trace::now_ns();
+        let client_ctx = trace_envelope::peek(&frame);
+        let body = match client_ctx {
+            Some(_) => &frame[trace_envelope::ENVELOPE_LEN..],
+            None => frame.as_slice(),
+        };
+        let (header, request) = match Request::from_bytes(body) {
             Ok(decoded) => decoded,
             Err(_) => {
                 conn.close();
@@ -428,6 +439,26 @@ impl GatewayService {
         });
         drop(state);
         self.metrics.requests[shard].inc();
+        if let Some(ctx) = client_ctx {
+            // Open the gateway's own span and splice its id into the
+            // envelope so the shard's spans parent under this hop — the
+            // rewrite touches only the 21-byte prefix, never the body.
+            let route_span = trace::new_id();
+            trace_envelope::rewrite_span_id(&mut frame, route_span);
+            trace::record(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: route_span,
+                parent_span_id: ctx.span_id,
+                stage: Stage::GwRoute,
+                flags: ctx.flags,
+                start_ns: route_start,
+                end_ns: trace::now_ns(),
+                detail: shard as u64,
+            });
+        }
+        self.metrics
+            .route_duration
+            .observe(trace::now_ns().saturating_sub(route_start) as f64 / 1e9);
         if link.send_frame(&frame).is_err() {
             conn.close();
         }

@@ -445,3 +445,47 @@ fn longest_prefix_ties_resolve_to_the_first_configured_entry() {
     assert!(direct1.exists("/dup/x", false).unwrap().is_some(), "first entry (shard 1) wins");
     client.close();
 }
+
+#[test]
+fn documented_gateway_metrics_match_exported_set() {
+    use std::collections::BTreeSet;
+
+    // A live scrape through a real ops endpoint, mirroring the member-side
+    // guard in `crates/zkserver/tests/ops_e2e.rs` for the `gw_` table.
+    let fixture = ShardedFixture::start(RULES, 1);
+    let ops = opsplane::OpsServer::bind(
+        "127.0.0.1:0",
+        fixture.gateway().registry(),
+        Arc::new(opsplane::ProbeState::new()),
+    )
+    .expect("bind gateway ops endpoint");
+    let (code, text) = opsplane::http_get(ops.local_addr(), "/metrics").unwrap();
+    assert_eq!(code, 200);
+    let exported: BTreeSet<String> = text
+        .lines()
+        .filter_map(|line| line.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    assert!(!exported.is_empty());
+
+    let doc_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/METRICS.md");
+    let doc = std::fs::read_to_string(&doc_path).expect("docs/METRICS.md exists");
+    let documented: BTreeSet<String> = doc
+        .lines()
+        .filter_map(|line| line.strip_prefix("| `gw_"))
+        .filter_map(|rest| rest.split('`').next())
+        .map(|name| format!("gw_{name}"))
+        .collect();
+
+    let undocumented: Vec<&String> = exported.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "gateway families missing from docs/METRICS.md: {undocumented:?}"
+    );
+    let phantom: Vec<&String> = documented.difference(&exported).collect();
+    assert!(
+        phantom.is_empty(),
+        "docs/METRICS.md documents unexported gateway families: {phantom:?}"
+    );
+}

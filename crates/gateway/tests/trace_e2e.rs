@@ -1,0 +1,352 @@
+//! Trace-plane acceptance tests for the sharded gateway deployment: one
+//! secure-mode write must come out of the flight recorder as a single
+//! trace whose spans cross all three tiers — client (`client_call`),
+//! gateway (`gw_route`), and shard member (queue/agreement/WAL/apply
+//! stages) — correctly parented across both wire hops, and the trace
+//! plane must keep working across a gateway restart. CI runs this file in
+//! the `trace-e2e` job.
+//!
+//! Client, gateway and shards share this test process, so the global
+//! recorder holds every tier's spans and the full tree is assertable in
+//! one place; in a real deployment each process exports its own slice
+//! and a collector joins them by trace id.
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gateway::{Gateway, GatewayConfig, ShardMap};
+use jute::records::{CreateMode, CreateRequest};
+use jute::Request;
+use securekeeper::path_crypto::PathCipher;
+use securekeeper::SealedClient;
+use trace::Stage;
+use zab::{NodeId, TcpNetwork};
+use zkcrypto::keys::StorageKey;
+use zkserver::client::ZkTcpClient;
+use zkserver::ensemble::{EnsembleConfig, ZkEnsembleServer};
+use zkserver::persist::{PersistConfig, ReplicaPersistence};
+use zkserver::ZkReplica;
+
+const PLAIN_RULES: &[(&str, usize)] = &[("/", 0), ("/app", 1)];
+
+fn shard_ensemble_config(subtree_root: Option<&str>) -> EnsembleConfig {
+    let mut config = EnsembleConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        election_timeout: Duration::from_millis(150),
+        election_vote_window: Duration::from_millis(80),
+        write_timeout: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(5),
+        ..EnsembleConfig::default()
+    };
+    config.net.subtree_root = subtree_root.map(str::to_string);
+    config
+}
+
+/// Boots one *durable* single-member shard ensemble — the acceptance
+/// trace must attribute a real `wal_fsync`, which an in-memory member
+/// never records.
+fn start_durable_member(config: &EnsembleConfig, data_dir: &PathBuf) -> ZkEnsembleServer {
+    let transport = TcpNetwork::bind(NodeId(1), "127.0.0.1:0").expect("bind peer transport");
+    let peer_addrs: HashMap<NodeId, SocketAddr> =
+        HashMap::from([(NodeId(1), transport.local_addr())]);
+    let persistence =
+        ReplicaPersistence::open(data_dir, PersistConfig::default()).expect("open shard data dir");
+    ZkEnsembleServer::start_custom(
+        Arc::new(transport),
+        peer_addrs,
+        "127.0.0.1:0",
+        Arc::new(ZkReplica::new(1)),
+        config.clone(),
+        Some(persistence),
+    )
+    .expect("start durable shard member")
+}
+
+fn wait_until(what: &str, mut condition: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stage_names(trace_id: u64) -> BTreeSet<&'static str> {
+    trace::spans_for(trace_id).iter().map(|span| span.stage.name()).collect()
+}
+
+/// Two durable shards behind a ciphertext-routing gateway: the
+/// deployment of the acceptance criterion.
+struct SecureCell {
+    shards: Vec<ZkEnsembleServer>,
+    gateway: Option<Gateway>,
+    key: StorageKey,
+    data_dirs: Vec<PathBuf>,
+}
+
+impl SecureCell {
+    fn start() -> SecureCell {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let key = StorageKey::derive_from_label("trace-acceptance");
+        let cipher = PathCipher::new(&key);
+        let seal = |path: &str| cipher.encrypt_path(path).expect("seal prefix");
+        let sealed_map = ShardMap::new(2, PLAIN_RULES).expect("plain map").sealed_with(|p| seal(p));
+
+        let guards = [None, Some(seal("/app"))];
+        let data_dirs: Vec<PathBuf> = (0..guards.len())
+            .map(|shard| {
+                std::env::temp_dir()
+                    .join(format!("gw-trace-e2e-{}-{seq}-s{shard}", std::process::id()))
+            })
+            .collect();
+        let shards: Vec<ZkEnsembleServer> = guards
+            .iter()
+            .zip(&data_dirs)
+            .map(|(guard, dir)| start_durable_member(&shard_ensemble_config(guard.as_deref()), dir))
+            .collect();
+
+        // Bootstrap the sealed /app node directly on its shard.
+        let mut boot =
+            SealedClient::connect(shards[1].client_addr(), &key, 40_000).expect("bootstrap");
+        boot.create("/app", Vec::new(), CreateMode::Persistent).expect("bootstrap /app");
+        boot.close();
+
+        let shard_addrs: Vec<Vec<SocketAddr>> =
+            shards.iter().map(|member| vec![member.client_addr()]).collect();
+        let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::new(sealed_map, shard_addrs))
+            .expect("bind gateway");
+        SecureCell { shards, gateway: Some(gateway), key, data_dirs }
+    }
+
+    fn gateway(&self) -> &Gateway {
+        self.gateway.as_ref().expect("gateway running")
+    }
+}
+
+impl Drop for SecureCell {
+    fn drop(&mut self) {
+        if let Some(gateway) = self.gateway.take() {
+            gateway.shutdown();
+        }
+        for shard in self.shards.drain(..) {
+            shard.shutdown();
+        }
+        for dir in &self.data_dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// The PR's acceptance criterion: a single secure-mode create through
+/// the gateway yields one trace with at least six named stages spanning
+/// all three tiers, monotone timestamps, and the quorum round and WAL
+/// fsync attributed to it.
+#[test]
+fn secure_create_through_the_gateway_traces_every_tier() {
+    let cell = SecureCell::start();
+    let mut client =
+        SealedClient::connect(cell.gateway().local_addr(), &cell.key, 40_000).expect("connect");
+
+    // The client-sealed pipeline runs plaintext transport over sealed
+    // fields, so the backend interceptor is passthrough: no enclave
+    // `open`/`seal` spans, and everything else must be present.
+    let expected: BTreeSet<&'static str> = [
+        "client_call",
+        "gw_route",
+        "queue_wait",
+        "propose",
+        "quorum_ack",
+        "wal_fsync",
+        "apply",
+        "reply_flush",
+    ]
+    .into_iter()
+    .collect();
+
+    // Retried only for the group-commit race (the driver thread can fsync
+    // a write's WAL entry before the writer thread reaches its own sync
+    // barrier, leaving that one trace without a `wal_fsync` span).
+    let mut trace_id = 0;
+    let mut traced_path = String::new();
+    let mut names: BTreeSet<&'static str> = BTreeSet::new();
+    'attempts: for attempt in 0..20 {
+        traced_path = format!("/app/traced{attempt}");
+        client
+            .create(&traced_path, b"sealed".to_vec(), CreateMode::Persistent)
+            .expect("traced create");
+        trace_id = client.last_trace_id();
+        for _ in 0..50 {
+            names = stage_names(trace_id);
+            if expected.is_subset(&names) {
+                break 'attempts;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert!(
+        expected.is_subset(&names),
+        "no trace carried all of {expected:?} after 20 writes; last saw {names:?}"
+    );
+    assert!(names.len() >= 6, "acceptance floor: at least six named stages");
+
+    let spans = trace::spans_for(trace_id);
+    let root = spans.iter().find(|span| span.stage == Stage::ClientCall).expect("client_call root");
+    let route = spans.iter().find(|span| span.stage == Stage::GwRoute).expect("gw_route span");
+
+    // Tier linkage across both wire hops: client → gateway → shard. The
+    // gateway re-parents the envelope, so every member-side leaf hangs
+    // off gw_route, which hangs off the client root.
+    assert_eq!(root.parent_span_id, 0);
+    assert_eq!(route.parent_span_id, root.span_id, "gw_route is the client's child");
+    assert_ne!(route.span_id, 0, "gw_route parents the member spans");
+    for span in &spans {
+        if span.stage == Stage::ClientCall || span.stage == Stage::GwRoute {
+            continue;
+        }
+        assert_eq!(
+            span.parent_span_id,
+            route.span_id,
+            "{} must hang off gw_route, not the client root",
+            span.stage.name()
+        );
+    }
+
+    // Monotone: the client starts first, the gateway routes before the
+    // member sees the frame, and every start lands inside the root
+    // window. (Ends can cross threads — see the zkserver trace tests.)
+    assert!(root.start_ns <= route.start_ns);
+    for span in &spans {
+        assert!(span.end_ns >= span.start_ns, "{} runs backwards", span.stage.name());
+        assert!(
+            span.start_ns >= root.start_ns && span.start_ns <= root.end_ns,
+            "{} start escapes the client_call window",
+            span.stage.name()
+        );
+        if span.stage != Stage::ClientCall && span.stage != Stage::GwRoute {
+            assert!(
+                span.start_ns >= route.start_ns,
+                "{} starts before the gateway routed it",
+                span.stage.name()
+            );
+        }
+    }
+
+    // Quorum and fsync are attributed with their agreement artifacts:
+    // both carry the committed zxid / batch detail, never a path.
+    let quorum = spans.iter().find(|span| span.stage == Stage::QuorumAck).expect("quorum_ack span");
+    assert_ne!(quorum.detail, 0, "quorum_ack carries the committed zxid");
+
+    // The sealed path: the routing decision picked the /app shard from
+    // ciphertext, and the root's detail is the hash of the *sealed* path
+    // — the trace plane never holds plaintext.
+    assert_eq!(route.detail, 1, "/app routes to shard 1");
+    let sealed = client.seal_path(&traced_path).expect("seal");
+    assert_eq!(
+        root.detail,
+        trace::path_hash(&sealed),
+        "client_call hashes exactly what crossed the wire — the sealed path"
+    );
+    assert_ne!(
+        root.detail,
+        trace::path_hash(&traced_path),
+        "client_call must not hash the plaintext path"
+    );
+
+    // The gateway's slice also feeds its stage histogram.
+    let rendered = cell.gateway().registry().render();
+    let line = rendered
+        .lines()
+        .find(|line| line.starts_with("gw_stage_duration_seconds_count{stage=\"route\"}"))
+        .expect("route stage histogram exported");
+    let count: f64 = line.rsplit(' ').next().unwrap().parse().expect("sample");
+    assert!(count >= 1.0, "{line}");
+
+    // And the assembled trace exports as one rooted JSON line.
+    let hex = format!("{trace_id:016x}");
+    let exported = trace::export_json_lines();
+    let line = exported
+        .lines()
+        .find(|line| line.contains(&hex))
+        .unwrap_or_else(|| panic!("trace {hex} missing from export"));
+    assert!(line.contains("\"orphan\":false"), "{line}");
+    for stage in &expected {
+        assert!(line.contains(&format!("\"stage\":\"{stage}\"")), "{stage} missing: {line}");
+    }
+
+    client.close();
+}
+
+/// Satellite: a gateway restart neither breaks propagation for the
+/// re-attached session nor silently drops the spans of requests whose
+/// replies died with the old gateway — those surface as orphan traces.
+#[test]
+fn gateway_restart_reattaches_tracing_and_orphans_severed_replies() {
+    let config = shard_ensemble_config(None);
+    let shards =
+        ZkEnsembleServer::start_local_ensemble(1, &config, |id| Arc::new(ZkReplica::new(id)))
+            .expect("bind shard");
+    let shard_addrs = vec![vec![shards[0].client_addr()]];
+    let map = || ShardMap::new(1, &[("/", 0)]).expect("map");
+    let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::new(map(), shard_addrs.clone()))
+        .expect("bind gateway");
+    let mut client = ZkTcpClient::connect(gateway.local_addr()).expect("connect via gateway");
+
+    // Submit a write and let it commit on the shard, but kill the gateway
+    // before redeeming the reply: the response dies with the gateway's
+    // front connection.
+    let request = Request::Create(CreateRequest {
+        path: "/severed".into(),
+        data: b"v".to_vec(),
+        mode: CreateMode::Persistent,
+    });
+    let _ticket = client.submit(&request).expect("submit");
+    let severed_trace = client.last_trace_id();
+    wait_until("severed write applied on the shard", || {
+        trace::spans_for(severed_trace).iter().any(|span| span.stage == Stage::Apply)
+    });
+    gateway.shutdown();
+
+    // Re-front the same shard with a fresh gateway and re-attach.
+    let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::new(map(), shard_addrs))
+        .expect("rebind gateway");
+    wait_until("re-attach through the new gateway", || {
+        client.reconnect_to(gateway.local_addr()).is_ok()
+    });
+
+    // The severed request's spans (gateway hop included) survive as an
+    // orphan trace — flagged, never silently dropped.
+    let severed = trace::spans_for(severed_trace);
+    assert!(severed.iter().any(|span| span.stage == Stage::GwRoute));
+    assert!(!severed.iter().any(|span| span.stage == Stage::ClientCall));
+    let view = trace::collect_traces()
+        .into_iter()
+        .find(|view| view.trace_id == severed_trace)
+        .expect("severed trace exports");
+    assert!(view.orphan, "a reply severed by the restart must flag its trace orphan");
+
+    // Post-restart, the re-attached session traces end to end again,
+    // including the (new) gateway's hop.
+    client.create("/after-restart", b"v".to_vec(), CreateMode::Persistent).expect("create");
+    let fresh = client.last_trace_id();
+    assert_ne!(fresh, severed_trace);
+    wait_until("post-restart trace completes", || {
+        let names = stage_names(fresh);
+        ["client_call", "gw_route", "queue_wait", "apply", "reply_flush"]
+            .iter()
+            .all(|stage| names.contains(stage))
+    });
+    let view = trace::collect_traces()
+        .into_iter()
+        .find(|view| view.trace_id == fresh)
+        .expect("fresh trace exports");
+    assert!(!view.orphan);
+
+    client.close();
+    gateway.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}

@@ -19,6 +19,8 @@
 //!   transactions (opcode 14) with their nested `MultiHeader` wire framing;
 //! * [`shardmap`] — the shard-map configuration records consumed by the
 //!   sharded-namespace routing gateway;
+//! * [`trace_envelope`] — the optional 21-byte trace-context prefix that
+//!   rides outside the transport cipher for end-to-end request tracing;
 //! * [`Request`] and [`Response`] — typed unions over all operations, the
 //!   currency of the rest of the workspace.
 //!
@@ -49,6 +51,7 @@ pub mod multi;
 pub mod records;
 pub mod ser;
 pub mod shardmap;
+pub mod trace_envelope;
 
 mod message;
 

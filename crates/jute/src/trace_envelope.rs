@@ -1,0 +1,152 @@
+//! The trace-context wire envelope.
+//!
+//! End-to-end tracing needs a trace id and parent span id to ride along
+//! with every request, from the client through the (keyless) routing
+//! gateway into the backend pipeline. The envelope is a fixed 21-byte
+//! header **prepended to the frame body, outside any transport cipher**:
+//! the client seals the jute payload first and then prepends the
+//! envelope, so the entry enclave still opens and parses exactly the
+//! bytes it always did and the trace plane stays outside the TCB. The
+//! gateway — untrusted and keyless by design — can peek the context and
+//! rewrite the parent span id in place without understanding anything
+//! else about the frame.
+//!
+//! Layout (big-endian, like all jute framing):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic 0x7472_6378 ("trcx")
+//! 4       8     trace id
+//! 12      8     parent span id
+//! 20      1     flags (bit 0 = sampled)
+//! ```
+//!
+//! Backward compatibility: the envelope is optional. Request frames
+//! start with a strictly positive client xid (small, monotonically
+//! assigned from 1), so a frame body beginning with the magic word
+//! (≈1.95 · 10⁹) is unambiguously enveloped; anything else is a legacy
+//! frame and passes through untouched. Replies and handshake frames
+//! never carry an envelope.
+
+/// Magic word identifying an enveloped frame: the ASCII bytes `trcx`.
+pub const TRACE_MAGIC: [u8; 4] = *b"trcx";
+
+/// Total size of the envelope prefix in bytes.
+pub const ENVELOPE_LEN: usize = 21;
+
+/// Byte offset of the parent span id inside the envelope.
+const SPAN_ID_OFFSET: usize = 12;
+
+/// The trace context carried by the wire envelope: which end-to-end
+/// request this frame belongs to and which span caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifier of the whole end-to-end trace, minted by the client.
+    pub trace_id: u64,
+    /// Span id of the sender-side parent span (rewritten hop by hop).
+    pub span_id: u64,
+    /// Flag bits; see [`TraceContext::FLAG_SAMPLED`].
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Flag bit: the client elected this trace for export.
+    pub const FLAG_SAMPLED: u8 = 0x01;
+
+    /// Whether the client elected this trace for export.
+    pub fn sampled(&self) -> bool {
+        self.flags & Self::FLAG_SAMPLED != 0
+    }
+}
+
+/// Prepends the envelope for `ctx` to an (already sealed) frame body.
+pub fn prepend(frame: &mut Vec<u8>, ctx: &TraceContext) {
+    let mut envelope = [0u8; ENVELOPE_LEN];
+    envelope[..4].copy_from_slice(&TRACE_MAGIC);
+    envelope[4..12].copy_from_slice(&ctx.trace_id.to_be_bytes());
+    envelope[12..20].copy_from_slice(&ctx.span_id.to_be_bytes());
+    envelope[20] = ctx.flags;
+    frame.splice(0..0, envelope.iter().copied());
+}
+
+/// Reads the envelope at the front of `frame` without consuming it.
+/// Returns `None` for legacy (un-enveloped) frames.
+pub fn peek(frame: &[u8]) -> Option<TraceContext> {
+    if frame.len() < ENVELOPE_LEN || frame[..4] != TRACE_MAGIC {
+        return None;
+    }
+    let mut trace_id = [0u8; 8];
+    trace_id.copy_from_slice(&frame[4..12]);
+    let mut span_id = [0u8; 8];
+    span_id.copy_from_slice(&frame[12..20]);
+    Some(TraceContext {
+        trace_id: u64::from_be_bytes(trace_id),
+        span_id: u64::from_be_bytes(span_id),
+        flags: frame[20],
+    })
+}
+
+/// Removes the envelope from the front of `frame`, returning the carried
+/// context, or leaves a legacy frame untouched and returns `None`.
+pub fn strip(frame: &mut Vec<u8>) -> Option<TraceContext> {
+    let ctx = peek(frame)?;
+    frame.drain(..ENVELOPE_LEN);
+    Some(ctx)
+}
+
+/// Overwrites the parent span id of an enveloped frame in place — the
+/// gateway's hop rewrite. Returns `false` (frame untouched) when the
+/// frame carries no envelope.
+pub fn rewrite_span_id(frame: &mut [u8], span_id: u64) -> bool {
+    if frame.len() < ENVELOPE_LEN || frame[..4] != TRACE_MAGIC {
+        return false;
+    }
+    frame[SPAN_ID_OFFSET..SPAN_ID_OFFSET + 8].copy_from_slice(&span_id.to_be_bytes());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_payload_and_context() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF_0BAD_F00D, span_id: 42, flags: 1 };
+        let payload = vec![9u8, 8, 7, 6];
+        let mut frame = payload.clone();
+        prepend(&mut frame, &ctx);
+        assert_eq!(frame.len(), payload.len() + ENVELOPE_LEN);
+        assert_eq!(peek(&frame), Some(ctx));
+        let stripped = strip(&mut frame);
+        assert_eq!(stripped, Some(ctx));
+        assert_eq!(frame, payload);
+    }
+
+    #[test]
+    fn legacy_frames_pass_through() {
+        // A frame starting with a small positive xid is not an envelope.
+        let mut frame = vec![0u8, 0, 0, 1, 0, 0, 0, 1];
+        assert_eq!(peek(&frame), None);
+        assert_eq!(strip(&mut frame), None);
+        assert_eq!(frame.len(), 8);
+        assert!(!rewrite_span_id(&mut frame, 7));
+    }
+
+    #[test]
+    fn rewrite_changes_only_the_span_id() {
+        let ctx = TraceContext { trace_id: 11, span_id: 22, flags: 1 };
+        let mut frame = vec![1, 2, 3];
+        prepend(&mut frame, &ctx);
+        assert!(rewrite_span_id(&mut frame, 33));
+        assert_eq!(peek(&frame), Some(TraceContext { span_id: 33, ..ctx }));
+        assert_eq!(strip(&mut frame), Some(TraceContext { span_id: 33, ..ctx }));
+        assert_eq!(frame, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn short_frames_are_not_envelopes() {
+        let mut frame = b"trc".to_vec();
+        assert_eq!(peek(&frame), None);
+        assert_eq!(strip(&mut frame), None);
+    }
+}

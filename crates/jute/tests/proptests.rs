@@ -269,4 +269,57 @@ proptest! {
         let mut reader = &bytes[..];
         let _ = jute::framing::read_frame(&mut reader);
     }
+
+    #[test]
+    fn trace_envelope_roundtrips_over_any_body(
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        trace_id in 1u64..=u64::MAX,
+        span_id in any::<u64>(),
+        sampled in any::<bool>(),
+        rewritten in any::<u64>(),
+    ) {
+        use jute::trace_envelope::{self, TraceContext};
+        let ctx = TraceContext {
+            trace_id,
+            span_id,
+            flags: if sampled { TraceContext::FLAG_SAMPLED } else { 0 },
+        };
+        let mut frame = body.clone();
+        trace_envelope::prepend(&mut frame, &ctx);
+        // peek sees the context without consuming it.
+        prop_assert_eq!(trace_envelope::peek(&frame), Some(ctx));
+        // The gateway's in-place span rewrite changes only the span id.
+        prop_assert!(trace_envelope::rewrite_span_id(&mut frame, rewritten));
+        prop_assert_eq!(
+            trace_envelope::peek(&frame),
+            Some(TraceContext { span_id: rewritten, ..ctx })
+        );
+        // strip returns the (rewritten) context and restores the body
+        // byte-for-byte — the enclave parses exactly what the client sealed.
+        let stripped = trace_envelope::strip(&mut frame);
+        prop_assert_eq!(stripped, Some(TraceContext { span_id: rewritten, ..ctx }));
+        prop_assert_eq!(frame, body);
+    }
+
+    #[test]
+    fn trace_envelope_never_misfires_on_legacy_frames(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use jute::trace_envelope::{self, TRACE_MAGIC};
+        // A frame that does not begin with the magic word is legacy: peek
+        // and strip must leave it untouched, whatever its bytes are.
+        let enveloped = body.len() >= 4 && body[..4] == TRACE_MAGIC;
+        let mut frame = body.clone();
+        let stripped = trace_envelope::strip(&mut frame);
+        if enveloped {
+            // Garbage that happens to open with the magic parses as an
+            // envelope (or is rejected for being short) — either way strip
+            // never panics and never grows the frame.
+            prop_assert!(frame.len() <= body.len());
+        } else {
+            prop_assert_eq!(stripped, None);
+            prop_assert_eq!(trace_envelope::peek(&frame), None);
+            prop_assert_eq!(frame, body);
+        }
+    }
 }

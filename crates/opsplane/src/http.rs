@@ -7,6 +7,8 @@
 //! line, and routes:
 //!
 //! * `GET /metrics` → the registry rendered in Prometheus text format;
+//! * `GET /trace` → the flight recorder's exportable traces (sampled +
+//!   slow), one JSON object per line;
 //! * `GET /health/live` → `200` while the member's driver loop is beating,
 //!   `503` once it stops (process manager: restart me);
 //! * `GET /health/ready` → `200` only while the member can serve — it is
@@ -204,6 +206,7 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry, probes: &ProbeSt
     } else {
         match path.as_str() {
             "/metrics" => ("200 OK", registry.render()),
+            "/trace" => ("200 OK", trace::export_json_lines()),
             "/health/live" => {
                 if probes.is_live() {
                     ("200 OK", "live\n".to_string())

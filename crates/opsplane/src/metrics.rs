@@ -83,10 +83,33 @@ impl Gauge {
 }
 
 /// Default latency buckets (seconds): 50µs to 2.5s, roughly exponential —
-/// tuned to the request pipeline this workspace benches (tens of µs reads,
-/// single-digit-ms replicated writes, outliers under elections).
+/// the generic fallback for histograms without a tuned family below.
 pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] =
     [0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5];
+
+/// Read-request latency buckets (seconds), log-scaled at half-decade
+/// steps across the distribution the fig06/fig14 harnesses actually
+/// measure: in-memory tree reads land in the tens of microseconds, the
+/// secure (enclave) pipeline in the hundreds, and a read parked behind
+/// an election can reach seconds.
+pub const READ_LATENCY_BUCKETS: [f64; 12] =
+    [0.00001, 0.0000316, 0.0001, 0.000316, 0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0, 3.16];
+
+/// Write-request latency buckets (seconds), log-scaled at half-decade
+/// steps from 100µs: replicated writes are quorum- and fsync-bound
+/// (fig15 measures single-digit-ms medians on durable members), with a
+/// long tail under group-commit stalls and leader failover.
+pub const WRITE_LATENCY_BUCKETS: [f64; 12] =
+    [0.0001, 0.000316, 0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6];
+
+/// Pipeline-stage duration buckets (seconds), log-scaled ×4 from 500ns:
+/// individual stages range from sub-microsecond (queue handoff, apply)
+/// through enclave seal/open (tens of µs) up to fsync batches and quorum
+/// waits (ms), far below whole-request latency.
+pub const STAGE_DURATION_BUCKETS: [f64; 12] = [
+    0.0000005, 0.000002, 0.000008, 0.000032, 0.000128, 0.000512, 0.002048, 0.008192, 0.032768,
+    0.131072, 0.524288, 2.097152,
+];
 
 struct HistogramCells {
     /// Upper bounds of the finite buckets, ascending; an implicit `+Inf`

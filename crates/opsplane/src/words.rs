@@ -19,6 +19,7 @@
 //! | `wchs` | watch summary (pending watch count)                          |
 //! | `mntr` | every registry metric as `key\tvalue` lines, machine-readable |
 //! | `dirs` | WAL and snapshot data-directory sizes on disk                |
+//! | `trcx` | exportable traces from the flight recorder, as JSON lines    |
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -27,7 +28,7 @@ use std::time::Duration;
 use crate::metrics::MetricsRegistry;
 
 /// Every admin word the server answers, in documentation order.
-pub const ADMIN_WORDS: [&str; 7] = ["ruok", "srvr", "stat", "cons", "wchs", "mntr", "dirs"];
+pub const ADMIN_WORDS: [&str; 8] = ["ruok", "srvr", "stat", "cons", "wchs", "mntr", "dirs", "trcx"];
 
 /// Maps the first four bytes of a connection to an admin word, if they
 /// spell one.
@@ -136,6 +137,18 @@ pub fn respond(word: &str, info: &ServerInfo, registry: &MetricsRegistry) -> Opt
             Some(out)
         }
         "dirs" => Some(dirs_lines(info)),
+        // Flight-recorder export: sampled + slow traces this process
+        // recorded, one JSON object per line. A member answers with its
+        // own spans; never empty even when no trace qualifies, so `nc`
+        // users can tell "no traces" from "unknown word".
+        "trcx" => {
+            let traces = trace::export_json_lines();
+            if traces.is_empty() {
+                Some("no exportable traces\n".to_string())
+            } else {
+                Some(traces)
+            }
+        }
         _ => None,
     }
 }

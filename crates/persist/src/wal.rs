@@ -450,8 +450,13 @@ impl Wal {
             return Err(io::Error::other("injected fsync failure"));
         }
         if let Some(file) = &mut self.file {
+            let fsync_start = trace::now_ns();
             file.sync_data()?;
             self.fsyncs += 1;
+            // Attribute the whole group-commit batch to whichever traced
+            // request the driver made ambient — that request's write rode
+            // exactly this fdatasync to disk.
+            trace::record_current(trace::Stage::WalFsync, fsync_start, self.pending as u64);
         }
         self.dirty = false;
         self.pending = 0;

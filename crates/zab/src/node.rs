@@ -5,6 +5,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use crate::log::TxnLog;
 use crate::message::{NodeId, Txn, ZabMessage, Zxid};
 use crate::network::{Envelope, ZabTransport};
+use trace::Stage;
 
 /// Upper bound on the serialized payload carried by one `NewLeaderSync`
 /// frame. Histories longer than this are shipped as a sequence of sync
@@ -195,6 +196,7 @@ impl ZabNode {
     /// to the current leader.
     pub fn propose(&mut self, payload: Vec<u8>, net: &dyn ZabTransport) -> Zxid {
         assert_eq!(self.role, Role::Leader, "only the leader proposes");
+        let propose_start = trace::now_ns();
         self.last_proposed = if self.last_proposed.epoch == self.epoch {
             self.last_proposed.next()
         } else {
@@ -206,6 +208,10 @@ impl ZabNode {
         // The leader's own log entry counts as its ack.
         self.pending_acks.entry(txn.zxid).or_default().insert(self.id);
         net.broadcast(self.id, &ZabMessage::Proposal { txn, prev });
+        // The proposal broadcast, attributed to whichever traced request
+        // the driver has made ambient. This is the single choke point
+        // both leader-local and forwarded writes pass through.
+        trace::record_current(Stage::Propose, propose_start, self.last_proposed.as_u64());
         self.maybe_commit(self.last_proposed, net);
         self.last_proposed
     }

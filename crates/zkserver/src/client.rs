@@ -45,6 +45,7 @@ use jute::records::{
     SetDataRequest, Stat, WatcherEvent, NOTIFICATION_XID,
 };
 use jute::{InputArchive, OutputArchive, Request, Response};
+use trace::{SpanRecord, Stage, TraceContext};
 use zab::NodeId;
 
 use crate::cluster::ZkCluster;
@@ -404,6 +405,16 @@ pub struct ZkTcpClient {
     completed: HashMap<i32, Vec<u8>>,
     pending_events: VecDeque<WatchEvent>,
     watch_callback: Option<WatchCallback>,
+    /// Trace contexts of in-flight requests keyed by xid, each recorded
+    /// as a `client_call` root span when its reply arrives: (context,
+    /// submit time, path hash).
+    trace_pending: HashMap<i32, (TraceContext, u64, u64)>,
+    /// Sampling knob: mark 1 of every `n` traces for export (1 = all).
+    trace_sample_every: u32,
+    /// Rolling counter driving the sampling decision.
+    trace_tick: u32,
+    /// Trace id minted for the most recent submit.
+    last_trace_id: u64,
 }
 
 impl std::fmt::Debug for ZkTcpClient {
@@ -461,6 +472,10 @@ impl ZkTcpClient {
             completed: HashMap::new(),
             pending_events: VecDeque::new(),
             watch_callback: None,
+            trace_pending: HashMap::new(),
+            trace_sample_every: 1,
+            trace_tick: 0,
+            last_trace_id: 0,
         })
     }
 
@@ -591,6 +606,11 @@ impl ZkTcpClient {
         self.inflight.clear();
         self.completed.clear();
         self.pending_events.clear();
+        // Replies for pre-reconnect submits will never arrive, so their
+        // client_call roots are never recorded — any server-side spans
+        // they produced surface as orphan traces in the export rather
+        // than silently vanishing.
+        self.trace_pending.clear();
         Ok(())
     }
 
@@ -649,14 +669,57 @@ impl ZkTcpClient {
     ///
     /// Returns [`ZkError::ConnectionLoss`] on socket failures.
     pub fn submit(&mut self, request: &Request) -> Result<Ticket, ZkError> {
+        // Clocked before the frame leaves: the client_call span must
+        // enclose every server-side span, and the server can enqueue the
+        // request before this thread gets scheduled again.
+        let submitted_ns = trace::now_ns();
         let xid = self.next_xid;
         self.next_xid += 1;
         let op = request.op();
         let mut bytes = request.to_bytes(&RequestHeader { xid, op });
         self.cipher.seal(&mut bytes)?;
+        // The trace envelope rides OUTSIDE the transport cipher: the
+        // server (and the keyless gateway) strips it before the entry
+        // enclave ever sees the frame, so the trace plane stays out of
+        // the TCB. The path hash is computed over whatever path
+        // representation is in the request — ciphertext for sealed
+        // clients — never stored as plaintext in a span.
+        let ctx = self.originate_trace();
+        let detail = request.path().map(trace::path_hash).unwrap_or(0);
+        jute::trace_envelope::prepend(&mut bytes, &ctx);
         framing::write_frame(&mut self.stream, &bytes)?;
         self.inflight.push_back(xid);
+        self.trace_pending.insert(xid, (ctx, submitted_ns, detail));
         Ok(Ticket { xid, op })
+    }
+
+    /// Mints the context for one outgoing request and applies the
+    /// sampling knob.
+    fn originate_trace(&mut self) -> TraceContext {
+        let sampled =
+            self.trace_sample_every <= 1 || self.trace_tick.is_multiple_of(self.trace_sample_every);
+        self.trace_tick = self.trace_tick.wrapping_add(1);
+        let ctx = TraceContext {
+            trace_id: trace::new_id(),
+            span_id: trace::new_id(),
+            flags: if sampled { TraceContext::FLAG_SAMPLED } else { 0 },
+        };
+        self.last_trace_id = ctx.trace_id;
+        ctx
+    }
+
+    /// Marks 1 of every `n` traces for export (default 1 = every trace).
+    /// Recording is unaffected — unsampled traces still reach the flight
+    /// recorder and export if they cross the slow threshold.
+    pub fn sample_one_in(&mut self, n: u32) {
+        self.trace_sample_every = n.max(1);
+    }
+
+    /// The trace id minted for the most recently submitted request —
+    /// how a test or a caller correlates an operation with its exported
+    /// trace.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// Checks whether `ticket`'s response has arrived, reading whatever the
@@ -769,6 +832,19 @@ impl ZkTcpClient {
             Some(&expected) if expected == xid => {
                 self.inflight.pop_front();
                 self.observe_zxid(peek_zxid(&frame)?);
+                // The round trip is complete: record the trace's root.
+                if let Some((ctx, start_ns, detail)) = self.trace_pending.remove(&xid) {
+                    trace::record(SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        parent_span_id: 0,
+                        stage: Stage::ClientCall,
+                        flags: ctx.flags,
+                        start_ns,
+                        end_ns: trace::now_ns(),
+                        detail,
+                    });
+                }
                 self.completed.insert(xid, frame);
                 Ok(())
             }

@@ -53,6 +53,7 @@ use parking_lot::Mutex;
 
 use jute::records::{DeleteRequest, ErrorCode};
 use jute::{InputArchive, OutputArchive, Request, Response};
+use trace::{Stage, TraceContext};
 use zab::tcp::TcpNetwork;
 use zab::{Envelope, NodeId, Role, Txn, ZabMessage, ZabNode, ZabTransport, Zxid};
 
@@ -159,24 +160,52 @@ impl Default for EnsembleConfig {
 
 /// The ZAB payload of one replicated write: which replica the issuing client
 /// is connected to (so that replica can answer it once the commit applies),
-/// an origin-local request id, and the serialized [`WriteTxn`].
-fn encode_payload(origin: NodeId, request_id: u64, txn: &WriteTxn) -> Vec<u8> {
+/// an origin-local request id, the serialized [`WriteTxn`], and — when the
+/// request carried a wire trace envelope — the trace context, so every
+/// replica can attribute its apply and fsync work to the end-to-end trace.
+fn encode_payload(
+    origin: NodeId,
+    request_id: u64,
+    txn: &WriteTxn,
+    ctx: Option<TraceContext>,
+) -> Vec<u8> {
     let txn_bytes = txn.to_bytes();
-    let mut out = OutputArchive::with_capacity(16 + txn_bytes.len());
+    let mut out = OutputArchive::with_capacity(36 + txn_bytes.len());
     out.write_i32(origin.0 as i32);
     out.write_i64(request_id as i64);
     out.write_buffer(&txn_bytes);
+    let ctx = ctx.unwrap_or(TraceContext { trace_id: 0, span_id: 0, flags: 0 });
+    out.write_i64(ctx.trace_id as i64);
+    out.write_i64(ctx.span_id as i64);
+    out.write_i32(i32::from(ctx.flags));
     out.into_bytes()
 }
 
-fn decode_payload(bytes: &[u8]) -> Result<(NodeId, u64, WriteTxn), ZkError> {
+fn decode_payload(bytes: &[u8]) -> Result<(NodeId, u64, WriteTxn, Option<TraceContext>), ZkError> {
     let mut input = InputArchive::new(bytes);
     let origin = NodeId(input.read_i32("payload origin")? as u32);
     let request_id = input.read_i64("payload request id")? as u64;
     let txn_bytes = input.read_buffer("payload txn")?;
-    input.expect_exhausted()?;
+    // The trace fields were appended in a later format revision; a payload
+    // recovered from an older WAL simply ends after the txn.
+    let ctx = if input.is_exhausted() {
+        None
+    } else {
+        let trace_id = input.read_i64("payload trace id")? as u64;
+        let span_id = input.read_i64("payload span id")? as u64;
+        let flags = input.read_i32("payload trace flags")? as u8;
+        input.expect_exhausted()?;
+        (trace_id != 0).then_some(TraceContext { trace_id, span_id, flags })
+    };
     let txn = WriteTxn::from_bytes(&txn_bytes)?;
-    Ok((origin, request_id, txn))
+    Ok((origin, request_id, txn, ctx))
+}
+
+/// The trace context a replicated payload carries, if any — what a leader
+/// receiving a forwarded write (or a follower receiving a proposal) makes
+/// ambient so the layers below attribute their spans.
+fn payload_trace_ctx(bytes: &[u8]) -> Option<TraceContext> {
+    decode_payload(bytes).ok().and_then(|(_, _, _, ctx)| ctx)
 }
 
 /// This node's own candidacy in progress: the epoch it is contesting and
@@ -361,6 +390,18 @@ impl EnsembleCore {
                         return;
                     }
                     self.metrics.zab_proposals.inc();
+                }
+                // Forwarded writes and proposals carry the originating trace
+                // context in their payload; making it ambient (sticky until
+                // the driver's post-drain fsync) lets the propose ring span
+                // and the group-commit fsync attribute themselves to it.
+                let payload_ctx = match &message {
+                    ZabMessage::ForwardWrite { payload, .. } => payload_trace_ctx(payload),
+                    ZabMessage::Proposal { txn, .. } => payload_trace_ctx(&txn.payload),
+                    _ => None,
+                };
+                if payload_ctx.is_some() {
+                    trace::set_current(payload_ctx);
                 }
                 state.node.handle(Envelope { from, message }, net);
                 self.apply_committed(&mut state);
@@ -772,8 +813,15 @@ impl EnsembleCore {
         for txn in committed {
             let zxid = txn.zxid.as_u64() as i64;
             match decode_payload(&txn.payload) {
-                Ok((origin, request_id, write)) => {
+                Ok((origin, request_id, write, ctx)) => {
+                    let apply_start = trace::now_ns();
                     let response = self.replica.apply_txn(zxid, &write);
+                    self.metrics
+                        .stages
+                        .observe_ns(Stage::Apply, trace::now_ns().saturating_sub(apply_start));
+                    if let Some(ctx) = &ctx {
+                        trace::record_leaf(Stage::Apply, ctx, apply_start, zxid as u64);
+                    }
                     if origin == self.id {
                         self.complete(request_id, response, zxid);
                     }
@@ -795,7 +843,11 @@ impl EnsembleCore {
     /// buffered since the last one. A no-op for in-memory members.
     fn sync_persistence(&self) {
         if let Some(persistence) = &self.persistence {
+            let fsync_start = trace::now_ns();
             persistence.sync();
+            self.metrics
+                .stages
+                .observe_ns(Stage::WalFsync, trace::now_ns().saturating_sub(fsync_start));
         }
     }
 
@@ -830,7 +882,11 @@ impl EnsembleCore {
         let request_bytes = ZkReplica::serialize_request(0, request);
         let write = WriteTxn { session_id, time_ms: self.replica.now_ms(), request_bytes };
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let payload = encode_payload(self.id, request_id, &write);
+        // The ambient context was set by the writer thread from the wire
+        // envelope; riding it inside the payload carries it to every replica.
+        let ctx = trace::current();
+        let quorum_start = trace::now_ns();
+        let payload = encode_payload(self.id, request_id, &write, ctx);
 
         let (waiter_tx, waiter_rx) = mpsc::channel();
         self.waiters.lock().insert(request_id, waiter_tx);
@@ -855,7 +911,11 @@ impl EnsembleCore {
                     // implicit self-ack must never precede its fsync.
                     self.metrics.zab_proposals.inc();
                     let buffer = SendBuffer::default();
+                    let propose_start = trace::now_ns();
                     state.node.propose(payload, &buffer);
+                    self.metrics
+                        .stages
+                        .observe_ns(Stage::Propose, trace::now_ns().saturating_sub(propose_start));
                     self.sync_persistence();
                     buffer.flush(self.transport.as_ref());
                     // A single-replica ensemble commits immediately.
@@ -883,7 +943,15 @@ impl EnsembleCore {
             );
         }
         match waiter_rx.recv_timeout(self.config.write_timeout) {
-            Ok((response, zxid)) => (response, zxid),
+            Ok((response, zxid)) => {
+                // From the origin's seat this is the whole agreement round:
+                // propose (or forward), quorum ack, local commit and apply.
+                self.metrics
+                    .stages
+                    .observe_ns(Stage::QuorumAck, trace::now_ns().saturating_sub(quorum_start));
+                trace::record_current(Stage::QuorumAck, quorum_start, zxid as u64);
+                (response, zxid)
+            }
             Err(_) => {
                 // The commit never reached this replica (leader crash or
                 // quorum loss mid-flight): surface a connection-level error
@@ -1067,6 +1135,10 @@ fn driver_loop(core: &Arc<EnsembleCore>) {
             }
             core.sync_persistence();
             buffer.flush(core.transport.as_ref());
+            // The dispatches above may have made a payload's trace context
+            // ambient (sticky through the group-commit fsync); drop it so
+            // timer work is not attributed to a request.
+            trace::set_current(None);
         }
         core.run_timers();
     }
@@ -1217,7 +1289,7 @@ impl ZkEnsembleServer {
         let committed = recovery.committed.max(horizon);
         let mut replayed = 0u64;
         for txn in recovery.txns.iter().filter(|t| t.zxid > horizon && t.zxid <= committed) {
-            if let Ok((_, _, write)) = decode_payload(&txn.payload) {
+            if let Ok((_, _, write, _)) = decode_payload(&txn.payload) {
                 replica.apply_txn(txn.zxid.as_u64() as i64, &write);
                 replayed += 1;
             }

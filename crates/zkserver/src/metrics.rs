@@ -15,9 +15,57 @@
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
-use opsplane::metrics::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use opsplane::metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, READ_LATENCY_BUCKETS, STAGE_DURATION_BUCKETS,
+    WRITE_LATENCY_BUCKETS,
+};
+use trace::Stage;
 
 use crate::server::ZkReplica;
+
+/// The pipeline stages a server process executes, in request order — the
+/// label set of the `zk_stage_duration_seconds` family. Client- and
+/// gateway-side stages (`client_call`, `gw_route`) are exported by their
+/// own processes, not here.
+const SERVER_STAGES: [Stage; 8] = [
+    Stage::Open,
+    Stage::QueueWait,
+    Stage::Propose,
+    Stage::QuorumAck,
+    Stage::WalFsync,
+    Stage::Apply,
+    Stage::Seal,
+    Stage::ReplyFlush,
+];
+
+/// Per-stage pipeline latency histograms (`zk_stage_duration_seconds`),
+/// indexed by [`trace::Stage`] so hot paths observe without string lookups.
+/// Stages this process never executes hold no handle and observe as a no-op.
+pub struct StageHistograms {
+    histograms: [Option<Histogram>; Stage::ALL.len()],
+}
+
+impl StageHistograms {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let mut histograms: [Option<Histogram>; Stage::ALL.len()] = Default::default();
+        for stage in SERVER_STAGES {
+            histograms[stage as usize] = Some(registry.histogram_with(
+                "zk_stage_duration_seconds",
+                &[("stage", stage.name())],
+                "Request pipeline stage duration in seconds, by stage.",
+                &STAGE_DURATION_BUCKETS,
+            ));
+        }
+        StageHistograms { histograms }
+    }
+
+    /// Records one execution of `stage` that took `nanos` nanoseconds.
+    pub fn observe_ns(&self, stage: Stage, nanos: u64) {
+        if let Some(histogram) = &self.histograms[stage as usize] {
+            histogram.observe(nanos as f64 / 1e9);
+        }
+    }
+}
 
 /// All metric handles of one server, plus the registry that renders them.
 pub struct ServerMetrics {
@@ -71,6 +119,8 @@ pub struct ServerMetrics {
     pub snapshots_taken: Counter,
     /// Whether a graceful drain is in progress (0/1).
     pub draining: Gauge,
+    /// Per-stage pipeline latency (`zk_stage_duration_seconds{stage=...}`).
+    pub stages: StageHistograms,
 }
 
 impl ServerMetrics {
@@ -96,13 +146,13 @@ impl ServerMetrics {
                 "zk_request_latency_seconds",
                 &[("class", "read")],
                 "Request service latency in seconds, by request class.",
-                &DEFAULT_LATENCY_BUCKETS,
+                &READ_LATENCY_BUCKETS,
             ),
             latency_write: registry.histogram_with(
                 "zk_request_latency_seconds",
                 &[("class", "write")],
                 "Request service latency in seconds, by request class.",
-                &DEFAULT_LATENCY_BUCKETS,
+                &WRITE_LATENCY_BUCKETS,
             ),
             throttled: registry.counter(
                 "zk_throttled_total",
@@ -163,6 +213,7 @@ impl ServerMetrics {
                 .counter("zk_snapshots_taken_total", "Tree snapshots written to disk."),
             draining: registry
                 .gauge("zk_draining", "1 while a graceful drain is in progress, else 0."),
+            stages: StageHistograms::new(&registry),
             registry,
         };
         // Gauges refreshed by collectors still belong to the always-visible
@@ -255,6 +306,7 @@ mod tests {
         for expected in [
             "zk_requests_total",
             "zk_request_latency_seconds",
+            "zk_stage_duration_seconds",
             "zk_zab_commits_total",
             "zk_wal_fsyncs_total",
             "zk_path_cache_hits_total",

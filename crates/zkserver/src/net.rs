@@ -46,10 +46,12 @@ use parking_lot::Mutex;
 use jute::records::{
     ConnectRequest, ErrorCode, ReplyHeader, RequestHeader, WatcherEvent, NOTIFICATION_XID,
 };
+use jute::trace_envelope::{self, TraceContext};
 use jute::{InputArchive, OutputArchive, Request};
 use netcore::{Backlog, Conn, Reactor, ReactorConfig, Service};
 use opsplane::ratelimit::{RateLimitConfig, SessionRateLimiter};
 use opsplane::words::{self, ClientInfo, ServerInfo};
+use trace::Stage;
 
 use crate::error::ZkError;
 use crate::metrics::ServerMetrics;
@@ -243,7 +245,7 @@ enum Phase {
 struct ConnState {
     phase: Phase,
     busy: bool,
-    backlog: Backlog<(RequestHeader, Request)>,
+    backlog: Backlog<(RequestHeader, Request, Option<TraceContext>)>,
 }
 
 /// The transport's per-connection attachment (see [`netcore::Service`]).
@@ -261,6 +263,10 @@ struct WriteJob {
     header: RequestHeader,
     request: Request,
     started: Instant,
+    /// Trace context carried by the request's wire envelope, if any.
+    ctx: Option<TraceContext>,
+    /// When the job entered the queue, for `queue_wait` attribution.
+    enqueued_ns: u64,
 }
 
 /// State shared by the reactor callbacks, the writer and the ticker.
@@ -394,10 +400,21 @@ impl ZkService {
         let interceptor = self.shared.replica.interceptor();
         let reply = ReplyHeader { xid: header.xid, zxid, err: response.error_code() };
         let bytes = response.to_bytes(&reply);
+        let flush_start = trace::now_ns();
+        let mut seal_ns = 0u64;
         let sent = conn.send_framed(
-            |buffer| interceptor.on_response(session_id, header.op, buffer).map_err(|_| ()),
+            |buffer| {
+                let seal_start = trace::now_ns();
+                let sealed = interceptor.on_response(session_id, header.op, buffer).map_err(|_| ());
+                seal_ns = trace::now_ns().saturating_sub(seal_start);
+                sealed
+            },
             bytes,
         );
+        let stages = &self.shared.metrics.stages;
+        stages.observe_ns(Stage::Seal, seal_ns);
+        stages.observe_ns(Stage::ReplyFlush, trace::now_ns().saturating_sub(flush_start));
+        trace::record_current(Stage::ReplyFlush, flush_start, header.xid as u64);
         if sent.is_err() {
             conn.close();
         }
@@ -412,6 +429,7 @@ impl ZkService {
         session_id: i64,
         header: RequestHeader,
         request: Request,
+        ctx: Option<TraceContext>,
     ) -> RequestRoute {
         let shared = &self.shared;
         if request == Request::CloseSession {
@@ -442,6 +460,8 @@ impl ZkService {
                 header,
                 request,
                 started: Instant::now(),
+                ctx,
+                enqueued_ns: trace::now_ns(),
             });
         }
 
@@ -481,6 +501,8 @@ impl ZkService {
                 header,
                 request,
                 started: Instant::now(),
+                ctx,
+                enqueued_ns: trace::now_ns(),
             });
         }
 
@@ -595,6 +617,13 @@ impl Service for ZkService {
             Phase::Handshake => self.handshake(conn, &mut state, &frame),
             Phase::Closing => {}
             Phase::Active { session_id } => {
+                // The trace envelope rides *outside* the transport cipher,
+                // so it peels off before the interceptor — the enclave opens
+                // exactly the bytes the client sealed, and the trace plane
+                // stays outside the TCB. Making the context ambient here
+                // lets the interceptor's open/seal hooks attribute spans.
+                let ctx = trace_envelope::strip(&mut frame);
+                trace::set_current(ctx);
                 // The interceptor sees the raw bytes first — in arrival
                 // order, even while the session is busy, because its
                 // per-session counters track the inbound byte stream. This
@@ -602,12 +631,17 @@ impl Service for ZkService {
                 // encryption and encrypts the sensitive fields before the
                 // untrusted server parses the request.
                 let interceptor = self.shared.replica.interceptor();
+                let open_start = trace::now_ns();
                 if interceptor.on_request(session_id, &mut frame).is_err() {
                     state.phase = Phase::Closing;
                     drop(state);
                     conn.close();
                     return;
                 }
+                self.shared
+                    .metrics
+                    .stages
+                    .observe_ns(Stage::Open, trace::now_ns().saturating_sub(open_start));
                 let Ok((header, request)) = Request::from_bytes(&frame) else {
                     state.phase = Phase::Closing;
                     drop(state);
@@ -617,10 +651,10 @@ impl Service for ZkService {
                 if state.busy {
                     // A write of this session is in flight; queue behind it
                     // so the response order matches the request order.
-                    state.backlog.push((header, request));
+                    state.backlog.push((header, request, ctx));
                     return;
                 }
-                let route = self.route_request(conn, &mut state, session_id, header, request);
+                let route = self.route_request(conn, &mut state, session_id, header, request, ctx);
                 drop(state);
                 self.forward(route);
             }
@@ -882,6 +916,18 @@ fn writer_loop(service: &Arc<ZkService>, write_rx: &Receiver<WriteJob>) {
         };
         let mut job = first;
         loop {
+            // Attribute the time the job sat behind other sessions' writes,
+            // then make its trace context ambient so the agreement and
+            // persistence layers below can attribute their own spans.
+            let picked_ns = trace::now_ns();
+            shared
+                .metrics
+                .stages
+                .observe_ns(Stage::QueueWait, picked_ns.saturating_sub(job.enqueued_ns));
+            if let Some(ctx) = &job.ctx {
+                trace::record_leaf(Stage::QueueWait, ctx, job.enqueued_ns, 0);
+            }
+            trace::set_current(job.ctx);
             let closing = matches!(job.request, Request::CloseSession);
             let (response, zxid) =
                 shared.handler.execute_write(&shared.replica, job.session_id, &job.request);
@@ -898,6 +944,9 @@ fn writer_loop(service: &Arc<ZkService>, write_rx: &Receiver<WriteJob>) {
                 }
                 service.respond(&job.conn, job.session_id, &job.header, &response, zxid);
             }
+            // Watch fan-out belongs to no single request; drop the ambient
+            // context so event seals are not attributed to this trace.
+            trace::set_current(None);
             shared.fan_out_watch_events();
 
             if closing {
@@ -910,13 +959,15 @@ fn writer_loop(service: &Arc<ZkService>, write_rx: &Receiver<WriteJob>) {
             let next = {
                 let mut state = job.conn.state.state.lock();
                 let mut next = None;
-                while let Some((header, request)) = state.backlog.pop() {
+                while let Some((header, request, ctx)) = state.backlog.pop() {
+                    trace::set_current(ctx);
                     match service.route_request(
                         &job.conn,
                         &mut state,
                         job.session_id,
                         header,
                         request,
+                        ctx,
                     ) {
                         RequestRoute::Done => {}
                         RequestRoute::Write(job) | RequestRoute::Close(job) => {
@@ -925,6 +976,7 @@ fn writer_loop(service: &Arc<ZkService>, write_rx: &Receiver<WriteJob>) {
                         }
                     }
                 }
+                trace::set_current(None);
                 if next.is_none() {
                     state.busy = false;
                 }

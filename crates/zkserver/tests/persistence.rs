@@ -343,8 +343,13 @@ fn lagging_member_behind_the_truncation_horizon_gets_a_shipped_snapshot() {
     });
     assert_converged(&ensemble);
 
-    let stats = ensemble.server(2).sync_stats();
-    assert!(stats.snapshots_installed >= 1, "rejoin must have installed a shipped snapshot");
+    // Polled, not sampled: the install sequence bumps the replica tip (which
+    // the rejoin-wait above observes) several steps before it ticks this
+    // counter, with a durable WAL reset in between — sampling once here can
+    // catch the install mid-flight and read a stale zero.
+    wait_until("shipped snapshot installed", || {
+        ensemble.server(2).sync_stats().snapshots_installed >= 1
+    });
     // Whichever member leads by now (an election may have moved leadership
     // mid-test) must have shipped at least one snapshot.
     let shipped: u64 = ensemble.alive().map(|s| s.sync_stats().snapshots_shipped).sum();

@@ -51,6 +51,14 @@ GUARDED_BENCHMARKS = [
     "fig15/write_latency_median_ns_gateway_1shard/secure",
     "fig15/write_latency_median_ns_direct/plain",
     "fig15/write_latency_median_ns_direct/secure",
+    # Always-on flight-recorder overhead (BENCH_trace.json): median write
+    # ns/op with the recorder on and off, plain and secure. The <2% on/off
+    # ratio is asserted inside the harness (--check); these rows guard the
+    # absolute pipeline cost.
+    "fig16/set_ns_per_op_recorder_on/plain",
+    "fig16/set_ns_per_op_recorder_off/plain",
+    "fig16/set_ns_per_op_recorder_on/secure",
+    "fig16/set_ns_per_op_recorder_off/secure",
 ]
 DEFAULT_THRESHOLD = 3.0
 
